@@ -1,0 +1,30 @@
+//! Criterion bench of the Bron–Kerbosch variants (the Fig. 4 kernels)
+//! on two contrasting gallery graphs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gms_pattern::BkVariant;
+use std::hint::black_box;
+
+fn benches(c: &mut Criterion) {
+    let graphs = [
+        ("tskew-huge", gms_gen::planted_cliques(800, 0.004, 1, 14, 105).0),
+        ("tskew-low", gms_gen::planted_cliques(800, 0.003, 30, 5, 106).0),
+    ];
+    let mut group = c.benchmark_group("bron_kerbosch");
+    for (name, graph) in &graphs {
+        for variant in BkVariant::ALL {
+            group.bench_function(
+                BenchmarkId::new(variant.label(), name),
+                |b| b.iter(|| black_box(variant.run(black_box(graph)).clique_count)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = bk;
+    config = Criterion::default().sample_size(10);
+    targets = benches
+}
+criterion_main!(bk);

@@ -1,0 +1,64 @@
+//! Criterion bench of the compression schemes (Appendix B): encode
+//! and decode throughput of gap/varint, RLE, bit packing, compressed
+//! CSR, and k²-tree construction — the access-cost side of the
+//! storage trade-off (§6.8).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gms_core::Graph;
+use gms_graph::compress::{bitpack::BitPacked, gap, k2tree::K2Tree, rle};
+use gms_graph::CompressedCsr;
+use std::hint::black_box;
+
+fn benches(c: &mut Criterion) {
+    let graph = gms_gen::kronecker_default(12, 8, 5);
+    let neighborhood: Vec<u32> = (0..4096u32).map(|i| i * 7).collect();
+
+    let mut group = c.benchmark_group("compression");
+    group.bench_function(BenchmarkId::new("gap_encode", "4096"), |b| {
+        b.iter(|| black_box(gap::encode(black_box(&neighborhood))))
+    });
+    let encoded = gap::encode(&neighborhood);
+    group.bench_function(BenchmarkId::new("gap_decode", "4096"), |b| {
+        b.iter(|| black_box(gap::decode(black_box(&encoded), neighborhood.len())))
+    });
+    group.bench_function(BenchmarkId::new("rle_encode", "4096"), |b| {
+        b.iter(|| black_box(rle::encode(black_box(&neighborhood))))
+    });
+    group.bench_function(BenchmarkId::new("bitpack", "4096"), |b| {
+        b.iter(|| black_box(BitPacked::pack_for_universe(black_box(&neighborhood), 40_000)))
+    });
+    group.bench_function(BenchmarkId::new("compressed_csr_build", "kron12"), |b| {
+        b.iter(|| black_box(CompressedCsr::from_csr(black_box(&graph))))
+    });
+    let compressed = CompressedCsr::from_csr(&graph);
+    group.bench_function(BenchmarkId::new("compressed_csr_scan", "kron12"), |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for v in 0..graph.num_vertices() as u32 {
+                total += compressed.neighbors(v).count() as u64;
+            }
+            black_box(total)
+        })
+    });
+    group.bench_function(BenchmarkId::new("csr_scan", "kron12"), |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for v in 0..graph.num_vertices() as u32 {
+                total += graph.neighbors_slice(v).len() as u64;
+            }
+            black_box(total)
+        })
+    });
+    let small = gms_gen::gnp(512, 0.02, 3);
+    group.bench_function(BenchmarkId::new("k2tree_build", "er512"), |b| {
+        b.iter(|| black_box(K2Tree::from_graph(black_box(&small))))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = compression;
+    config = Criterion::default().sample_size(20);
+    targets = benches
+}
+criterion_main!(compression);

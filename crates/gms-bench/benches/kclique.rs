@@ -1,0 +1,43 @@
+//! Criterion bench of k-clique counting (the Fig. 5/9 kernels):
+//! drivers × orderings × k.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gms_order::OrderingKind;
+use gms_pattern::{k_clique_count, KcConfig, KcParallel};
+use std::hint::black_box;
+
+fn benches(c: &mut Criterion) {
+    let graph = gms_gen::planted_cliques(1_000, 0.006, 8, 9, 42).0;
+    let mut group = c.benchmark_group("kclique");
+    for k in [4usize, 6] {
+        for (label, config) in [
+            (
+                "edge+ADG",
+                KcConfig {
+                    ordering: OrderingKind::ApproxDegeneracy(0.25),
+                    parallel: KcParallel::Edge,
+                },
+            ),
+            (
+                "edge+DGR",
+                KcConfig { ordering: OrderingKind::Degeneracy, parallel: KcParallel::Edge },
+            ),
+            (
+                "node+DGR",
+                KcConfig { ordering: OrderingKind::Degeneracy, parallel: KcParallel::Node },
+            ),
+        ] {
+            group.bench_function(BenchmarkId::new(label, format!("k{k}")), |b| {
+                b.iter(|| black_box(k_clique_count(black_box(&graph), k, &config).count))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = kc;
+    config = Criterion::default().sample_size(10);
+    targets = benches
+}
+criterion_main!(kc);

@@ -1,0 +1,30 @@
+//! Criterion bench of the preprocessing orderings (the Fig. 6
+//! reordering costs): DEG vs DGR vs ADG at several ε.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gms_order::{approx_degeneracy_order, degeneracy_order, degree_order};
+use std::hint::black_box;
+
+fn benches(c: &mut Criterion) {
+    let graph = gms_gen::kronecker_default(12, 8, 7);
+    let mut group = c.benchmark_group("orderings");
+    group.bench_function(BenchmarkId::new("DEG", "kron12"), |b| {
+        b.iter(|| black_box(degree_order(black_box(&graph))))
+    });
+    group.bench_function(BenchmarkId::new("DGR", "kron12"), |b| {
+        b.iter(|| black_box(degeneracy_order(black_box(&graph)).degeneracy))
+    });
+    for eps in [0.5, 0.1, 0.01] {
+        group.bench_function(BenchmarkId::new(format!("ADG-{eps}"), "kron12"), |b| {
+            b.iter(|| black_box(approx_degeneracy_order(black_box(&graph), eps).rounds))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = orderings;
+    config = Criterion::default().sample_size(10);
+    targets = benches
+}
+criterion_main!(orderings);

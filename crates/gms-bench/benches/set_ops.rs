@@ -1,0 +1,48 @@
+//! Criterion microbenches of the set-algebra kernel: intersections,
+//! unions and differences across the four set layouts, in the size
+//! regimes graph mining produces (balanced merges, skewed gallops,
+//! dense bit-parallel sweeps).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gms_core::{DenseBitSet, HashVertexSet, RoaringSet, Set, SortedVecSet};
+use std::hint::black_box;
+
+fn dataset(n: u32, step: usize, offset: u32) -> Vec<u32> {
+    (offset..n).step_by(step).collect()
+}
+
+fn bench_layouts<S: Set>(c: &mut Criterion, layout: &str) {
+    let balanced_a = S::from_sorted(&dataset(40_000, 2, 0));
+    let balanced_b = S::from_sorted(&dataset(40_000, 3, 0));
+    let small = S::from_sorted(&dataset(40_000, 500, 7));
+    let big = S::from_sorted(&dataset(40_000, 1, 0));
+
+    let mut group = c.benchmark_group("set_ops");
+    group.bench_function(BenchmarkId::new("intersect_balanced", layout), |b| {
+        b.iter(|| black_box(balanced_a.intersect_count(black_box(&balanced_b))))
+    });
+    group.bench_function(BenchmarkId::new("intersect_skewed", layout), |b| {
+        b.iter(|| black_box(small.intersect_count(black_box(&big))))
+    });
+    group.bench_function(BenchmarkId::new("union", layout), |b| {
+        b.iter(|| black_box(balanced_a.union(black_box(&balanced_b)).cardinality()))
+    });
+    group.bench_function(BenchmarkId::new("diff", layout), |b| {
+        b.iter(|| black_box(balanced_a.diff(black_box(&balanced_b)).cardinality()))
+    });
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_layouts::<SortedVecSet>(c, "sorted");
+    bench_layouts::<RoaringSet>(c, "roaring");
+    bench_layouts::<DenseBitSet>(c, "dense");
+    bench_layouts::<HashVertexSet>(c, "hash");
+}
+
+criterion_group! {
+    name = set_ops;
+    config = Criterion::default().sample_size(20);
+    targets = benches
+}
+criterion_main!(set_ops);

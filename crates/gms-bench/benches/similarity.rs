@@ -1,0 +1,28 @@
+//! Criterion bench of the vertex-similarity kernel (§6.5): the seven
+//! measures over a batch of vertex pairs, on sorted-array
+//! neighborhoods (merge/galloping intersections).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gms_core::{SetGraph, SortedVecSet};
+use gms_learn::{similarity_batch, SimilarityMeasure};
+use std::hint::black_box;
+
+fn benches(c: &mut Criterion) {
+    let csr = gms_gen::kronecker_default(12, 10, 3);
+    let graph: SetGraph<SortedVecSet> = SetGraph::from_csr(&csr);
+    let pairs: Vec<(u32, u32)> = (0..2_000u32).map(|i| (i * 2 % 4096, (i * 7 + 1) % 4096)).collect();
+    let mut group = c.benchmark_group("similarity");
+    for measure in SimilarityMeasure::ALL {
+        group.bench_function(BenchmarkId::new(measure.label(), "kron12x2000"), |b| {
+            b.iter(|| black_box(similarity_batch(&graph, measure, black_box(&pairs))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = sim;
+    config = Criterion::default().sample_size(10);
+    targets = benches
+}
+criterion_main!(sim);

@@ -1,0 +1,51 @@
+//! Ablation: which set layout should back Bron–Kerbosch's P/X sets at
+//! which graph density? (The design choice DESIGN.md §5.2 calls out;
+//! the paper picks roaring bitmaps on million-vertex graphs.)
+//!
+//! Expected shape at laptop scale (n < 65536): sorted u32 arrays and
+//! roaring track each other (roaring's chunks stay in sorted-u16
+//! array form below 4096 entries, so it cannot engage its bitmap
+//! containers — its advantage needs n ≫ 65536 or dense chunks, which
+//! the `set_ops` criterion bench demonstrates directly); dense
+//! bitvectors pull ahead as density grows (word-parallel ops over a
+//! small universe); hash sets trail throughout.
+
+use gms_core::{DenseBitSet, HashVertexSet, RoaringSet, SortedVecSet};
+use gms_order::OrderingKind;
+use gms_pattern::{bron_kerbosch, BkConfig, SubgraphMode};
+
+fn main() {
+    let graphs = [
+        ("sparse(er-1500-0.02)", gms_gen::gnp(1500, 0.02, 1)),
+        ("medium(er-800-0.10)", gms_gen::gnp(800, 0.10, 1)),
+        ("dense(er-500-0.25)", gms_gen::gnp(500, 0.25, 1)),
+    ];
+    let config = BkConfig {
+        ordering: OrderingKind::Degeneracy,
+        subgraph: SubgraphMode::None,
+        collect: false,
+    };
+    println!("graph,layout,cliques,mine_s");
+    for (name, graph) in &graphs {
+        let runs: Vec<(&str, u64, f64)> = vec![
+            run::<SortedVecSet>("sorted", graph, &config),
+            run::<RoaringSet>("roaring", graph, &config),
+            run::<DenseBitSet>("dense", graph, &config),
+            run::<HashVertexSet>("hash", graph, &config),
+        ];
+        let counts: Vec<u64> = runs.iter().map(|r| r.1).collect();
+        assert!(counts.windows(2).all(|w| w[0] == w[1]), "layouts disagree");
+        for (layout, cliques, secs) in runs {
+            println!("{name},{layout},{cliques},{secs:.4}");
+        }
+    }
+}
+
+fn run<S: gms_core::Set>(
+    label: &'static str,
+    graph: &gms_core::CsrGraph,
+    config: &BkConfig,
+) -> (&'static str, u64, f64) {
+    let outcome = bron_kerbosch::<S>(graph, config);
+    (label, outcome.clique_count, outcome.mine.as_secs_f64())
+}

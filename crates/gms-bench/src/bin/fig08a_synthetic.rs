@@ -1,0 +1,42 @@
+//! Figure 8a: synthetic-graph sweep — Kronecker power-law graphs at
+//! scales 10 and 11, average degree swept over powers of two;
+//! preprocessing (DGR reordering) time vs mining (BK) time. Paper
+//! shape: for very sparse graphs mining dominates; as m/n grows the
+//! reordering cost overtakes it, because Kronecker graphs lack large
+//! cliques while reorder cost grows with m.
+
+use gms_bench::print_csv;
+use gms_core::{Graph, RoaringSet};
+use gms_order::OrderingKind;
+use gms_pattern::bk::SubgraphMode;
+use gms_pattern::{bron_kerbosch, BkConfig};
+
+fn main() {
+    let mut rows = Vec::new();
+    for scale in [10u32, 11] {
+        for edge_factor in [1usize, 4, 16, 64] {
+            let graph = gms_gen::kronecker_default(scale, edge_factor, 77);
+            let outcome = bron_kerbosch::<RoaringSet>(
+                &graph,
+                &BkConfig {
+                    ordering: OrderingKind::Degeneracy,
+                    subgraph: SubgraphMode::None,
+                    collect: false,
+                },
+            );
+            let avg_degree =
+                2.0 * graph.num_edges_undirected() as f64 / graph.num_vertices() as f64;
+            rows.push(format!(
+                "{scale},{edge_factor},{:.2},{:.4},{:.4},{}",
+                avg_degree,
+                outcome.preprocess.as_secs_f64(),
+                outcome.mine.as_secs_f64(),
+                outcome.clique_count,
+            ));
+        }
+    }
+    print_csv(
+        "kron_scale,edge_factor,avg_degree,preprocessing_time_s,mining_time_s,cliques",
+        &rows,
+    );
+}

@@ -1,0 +1,56 @@
+//! Figure 8b: machine-efficiency analysis — BK runtime vs thread
+//! count, alongside the memory-pressure proxy (bytes touched by set
+//! operations per second, from the software counters that substitute
+//! for PAPI stalled-cycle measurements; see DESIGN.md). Paper shape:
+//! speedups flatten as threads grow while the memory-traffic rate
+//! keeps climbing — the memory-bound signature of maximal clique
+//! listing.
+
+use gms_bench::{print_csv, scale_from_env};
+use gms_core::SortedVecSet;
+use gms_order::OrderingKind;
+use gms_pattern::bk::SubgraphMode;
+use gms_pattern::{bron_kerbosch, BkConfig};
+use gms_platform::counters::{CounterRegion, CountingSet};
+use gms_platform::run_scaling;
+
+fn main() {
+    let s = scale_from_env();
+    let graphs = [
+        ("clique-rich", gms_gen::planted_cliques(1_200 * s, 0.004, 10, 9, 103).0),
+        ("social-kron", gms_gen::kronecker_default(11, 10, 101)),
+    ];
+    let config = BkConfig {
+        ordering: OrderingKind::ApproxDegeneracy(0.25),
+        subgraph: SubgraphMode::None,
+        collect: false,
+    };
+    let mut rows = Vec::new();
+    for (name, graph) in &graphs {
+        // Run the full series even when the machine has fewer cores:
+        // on an oversubscribed pool the curve goes flat, which is
+        // itself the saturation signal this figure reports.
+        for t in [1usize, 2, 4, 8] {
+            let region = CounterRegion::start();
+            let series = run_scaling(&[t], || {
+                // Instrumented run: CountingSet feeds the counters.
+                let outcome =
+                    bron_kerbosch::<CountingSet<SortedVecSet>>(graph, &config);
+                std::hint::black_box(outcome.clique_count);
+            });
+            let stats = region.stop();
+            let secs = series[0].elapsed.as_secs_f64();
+            rows.push(format!(
+                "{name},{t},{:.4},{},{},{:.3e}",
+                secs,
+                stats.set_ops,
+                stats.bytes_touched(),
+                stats.bytes_touched() as f64 / secs.max(1e-12),
+            ));
+        }
+    }
+    print_csv(
+        "graph,threads,time_s,set_ops,bytes_touched,bytes_per_second",
+        &rows,
+    );
+}

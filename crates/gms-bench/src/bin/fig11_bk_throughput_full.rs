@@ -1,0 +1,26 @@
+//! Figure 11 (appendix): algorithmic throughput (maximal cliques per
+//! second) of all Bron–Kerbosch variants across the FULL dataset
+//! gallery — the appendix-size version of Fig. 1. Paper shape: GMS
+//! variants dominate BK-DAS everywhere; the relative margin shrinks on
+//! graphs dense in maximal cliques (§8.10).
+
+use gms_bench::{gallery, print_csv, scale_from_env};
+use gms_pattern::BkVariant;
+
+fn main() {
+    let datasets = gallery(scale_from_env());
+    let mut rows = Vec::new();
+    for dataset in &datasets {
+        for variant in BkVariant::ALL {
+            let outcome = variant.run(&dataset.graph);
+            rows.push(format!(
+                "{},{},{},{:.0}",
+                dataset.name,
+                variant.label(),
+                outcome.clique_count,
+                outcome.throughput(),
+            ));
+        }
+    }
+    print_csv("graph,variant,maximal_cliques,cliques_per_second", &rows);
+}

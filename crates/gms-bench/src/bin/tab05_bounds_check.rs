@@ -1,0 +1,71 @@
+//! Tables 5 & 6: empirical scaling-shape checks of the concurrency
+//! analysis. The bounds themselves are proofs; what is measurable is
+//! their *shape*:
+//!
+//! * ADG needs O(log n) rounds (Lemma 7.1) — rounds must grow
+//!   logarithmically as n doubles;
+//! * the ADG later-neighbor bound stays within (2+ε)·d of the exact
+//!   degeneracy (the factor driving the BK-ADG work bound
+//!   O(dm·3^((2+ε)d/3)));
+//! * the edge-parallel k-clique driver exposes more parallelism than
+//!   the node-parallel one (depth column of Table 5), visible as
+//!   better thread scaling.
+
+use gms_bench::print_csv;
+use gms_core::Graph;
+use gms_order::{approx_degeneracy_order, degeneracy_order, OrderingKind};
+use gms_pattern::{k_clique_count, KcConfig, KcParallel};
+use gms_platform::run_scaling;
+
+fn main() {
+    // Part 1: ADG round growth vs n (expected: ~ log n).
+    let mut rows = Vec::new();
+    for scale in [9u32, 10, 11, 12, 13] {
+        let graph = gms_gen::kronecker_default(scale, 8, 21);
+        let exact = degeneracy_order(&graph);
+        let adg = approx_degeneracy_order(&graph, 0.1);
+        rows.push(format!(
+            "{},{},{},{},{},{:.2}",
+            graph.num_vertices(),
+            graph.num_edges_undirected(),
+            exact.degeneracy,
+            adg.rounds,
+            adg.out_degree_bound,
+            adg.out_degree_bound as f64 / exact.degeneracy.max(1) as f64,
+        ));
+    }
+    print_csv("n,m,degeneracy_d,adg_rounds,adg_bound,bound_over_d", &rows);
+    assert_adg_rounds_logarithmic();
+
+    // Part 2: node- vs edge-parallel k-clique thread scaling.
+    let graph = gms_gen::planted_cliques(1_500, 0.005, 10, 9, 33).0;
+    println!();
+    let mut rows = Vec::new();
+    for (label, parallel) in [("node", KcParallel::Node), ("edge", KcParallel::Edge)] {
+        let config = KcConfig { ordering: OrderingKind::Degeneracy, parallel };
+        let series = run_scaling(&[1, 4], || {
+            std::hint::black_box(k_clique_count(&graph, 6, &config).count);
+        });
+        let speedup = series[0].elapsed.as_secs_f64() / series[1].elapsed.as_secs_f64();
+        rows.push(format!(
+            "{label},{:.4},{:.4},{:.2}",
+            series[0].elapsed.as_secs_f64(),
+            series[1].elapsed.as_secs_f64(),
+            speedup,
+        ));
+    }
+    print_csv("driver,time_1t_s,time_4t_s,speedup_4t", &rows);
+}
+
+fn assert_adg_rounds_logarithmic() {
+    // Doubling n must add O(1) rounds, not multiply them.
+    let small = gms_gen::kronecker_default(10, 8, 5);
+    let large = gms_gen::kronecker_default(13, 8, 5);
+    let r_small = approx_degeneracy_order(&small, 0.1).rounds;
+    let r_large = approx_degeneracy_order(&large, 0.1).rounds;
+    assert!(
+        r_large <= r_small + 16,
+        "rounds grew too fast: {r_small} -> {r_large}"
+    );
+    println!("# ADG rounds: n*8 growth added {} rounds (logarithmic)", r_large - r_small);
+}

@@ -1,0 +1,17 @@
+//! Table 7: the dataset gallery characterized by the paper's
+//! structural features — n, m, m/n, maximum degree, triangle count T,
+//! T/n, and the maximum per-vertex triangle count T̂ (the T-skew
+//! signal). Mirrors the archetypes of the paper's table: graphs picked
+//! to stress sparsity, degree skew, triangle skew, and origin effects.
+
+use gms_bench::{gallery, scale_from_env};
+use gms_platform::GraphStats;
+
+fn main() {
+    let datasets = gallery(scale_from_env());
+    println!("{}", GraphStats::header());
+    for dataset in &datasets {
+        let stats = GraphStats::compute(dataset.name, &dataset.graph);
+        println!("{}  skew={:.1}", stats.row(), stats.t_skew());
+    }
+}

@@ -1,0 +1,28 @@
+//! # gms-bench
+//!
+//! Benchmark harness for GraphMineSuite-rs. One binary per paper
+//! figure/table (see DESIGN.md §4 for the full experiment index):
+//!
+//! ```sh
+//! cargo run --release -p gms-bench --bin fig04_bk_speedups
+//! cargo run --release -p gms-bench --bin tab07_datasets
+//! # ...
+//! ```
+//!
+//! plus criterion microbenches (`cargo bench`). The [`gallery`] module
+//! holds the synthetic stand-ins for the Table 7 dataset archetypes.
+
+#![warn(missing_docs)]
+
+pub mod gallery;
+
+pub use gallery::{fig1_subset, gallery, print_csv, Dataset};
+
+/// Scale factor for the figure binaries, read from `GMS_SCALE`
+/// (default 1). Raise it on beefier machines to stress the kernels.
+pub fn scale_from_env() -> usize {
+    std::env::var("GMS_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}

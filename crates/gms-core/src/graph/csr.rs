@@ -1,0 +1,230 @@
+//! Compressed Sparse Row (CSR, "adjacency array") — the default GMS
+//! representation (§2.3): a contiguous array of neighbor IDs plus an
+//! offset array, with every neighborhood sorted by vertex ID.
+
+use super::Graph;
+use crate::types::{Edge, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// An immutable CSR graph. May hold a symmetric (undirected) graph or
+/// an oriented one — construction decides; the accessors are identical.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CsrGraph {
+    offsets: Vec<usize>,
+    neighbors: Vec<NodeId>,
+}
+
+impl CsrGraph {
+    /// Builds an undirected graph from an edge list. Self-loops are
+    /// dropped and duplicate edges deduplicated; each kept edge is
+    /// stored in both directions.
+    pub fn from_undirected_edges(n: usize, edges: &[Edge]) -> Self {
+        let mut builder = CsrBuilder::new(n);
+        for &(u, v) in edges {
+            if u != v {
+                builder.push_arc(u, v);
+                builder.push_arc(v, u);
+            }
+        }
+        builder.finish_dedup()
+    }
+
+    /// Builds a directed graph from arcs (kept as given, deduplicated,
+    /// self-loops dropped).
+    pub fn from_arcs(n: usize, arcs: &[Edge]) -> Self {
+        let mut builder = CsrBuilder::new(n);
+        for &(u, v) in arcs {
+            if u != v {
+                builder.push_arc(u, v);
+            }
+        }
+        builder.finish_dedup()
+    }
+
+    /// Assembles a CSR directly from parts.
+    ///
+    /// # Panics
+    /// Panics if the offsets are not monotone or do not span `neighbors`.
+    pub fn from_parts(offsets: Vec<usize>, neighbors: Vec<NodeId>) -> Self {
+        assert!(!offsets.is_empty(), "offsets must contain at least [0]");
+        assert_eq!(*offsets.first().unwrap(), 0);
+        assert_eq!(*offsets.last().unwrap(), neighbors.len());
+        assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        Self { offsets, neighbors }
+    }
+
+    /// The sorted neighborhood slice of `v`.
+    #[inline]
+    pub fn neighbors_slice(&self, v: NodeId) -> &[NodeId] {
+        &self.neighbors[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// The raw offset array (n + 1 entries).
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The raw concatenated adjacency array.
+    pub fn adjacency(&self) -> &[NodeId] {
+        &self.neighbors
+    }
+
+    /// Returns each arc `(u, v)` exactly once as stored.
+    pub fn arcs(&self) -> impl Iterator<Item = Edge> + '_ {
+        (0..self.num_vertices() as NodeId).flat_map(move |u| {
+            self.neighbors_slice(u).iter().map(move |&v| (u, v))
+        })
+    }
+
+    /// Returns each undirected edge once (`u < v`), assuming symmetric
+    /// storage.
+    pub fn edges_undirected(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.arcs().filter(|&(u, v)| u < v)
+    }
+
+    /// Heap bytes of the representation (offsets + adjacency), for the
+    /// storage analyses of §8.9.
+    pub fn heap_bytes(&self) -> usize {
+        self.offsets.capacity() * std::mem::size_of::<usize>()
+            + self.neighbors.capacity() * std::mem::size_of::<NodeId>()
+    }
+}
+
+impl Graph for CsrGraph {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    #[inline]
+    fn num_arcs(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    #[inline]
+    fn degree(&self, v: NodeId) -> usize {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    #[inline]
+    fn neighbors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.neighbors_slice(v).iter().copied()
+    }
+
+    #[inline]
+    fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.neighbors_slice(u).binary_search(&v).is_ok()
+    }
+}
+
+/// Incremental CSR builder: collect arcs, then sort into place.
+pub struct CsrBuilder {
+    n: usize,
+    arcs: Vec<Edge>,
+}
+
+impl CsrBuilder {
+    /// Creates a builder for a graph with `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Self { n, arcs: Vec::new() }
+    }
+
+    /// Records the arc `u -> v`.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is out of range.
+    #[inline]
+    pub fn push_arc(&mut self, u: NodeId, v: NodeId) {
+        assert!((u as usize) < self.n && (v as usize) < self.n, "arc out of range");
+        self.arcs.push((u, v));
+    }
+
+    /// Builds the CSR, deduplicating arcs.
+    pub fn finish_dedup(mut self) -> CsrGraph {
+        self.arcs.sort_unstable();
+        self.arcs.dedup();
+        self.finish_sorted()
+    }
+
+    fn finish_sorted(self) -> CsrGraph {
+        let mut offsets = vec![0usize; self.n + 1];
+        for &(u, _) in &self.arcs {
+            offsets[u as usize + 1] += 1;
+        }
+        for i in 0..self.n {
+            offsets[i + 1] += offsets[i];
+        }
+        let neighbors = self.arcs.into_iter().map(|(_, v)| v).collect();
+        CsrGraph { offsets, neighbors }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_plus_tail() -> CsrGraph {
+        // 0-1, 1-2, 0-2 triangle; 2-3 tail.
+        CsrGraph::from_undirected_edges(4, &[(0, 1), (1, 2), (0, 2), (2, 3)])
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let g = triangle_plus_tail();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_arcs(), 8);
+        assert_eq!(g.num_edges_undirected(), 4);
+        assert_eq!(g.degree(2), 3);
+        assert_eq!(g.neighbors_slice(2), &[0, 1, 3]);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 3));
+        assert_eq!(g.max_degree(), 3);
+    }
+
+    #[test]
+    fn dedup_and_self_loop_policy() {
+        let g = CsrGraph::from_undirected_edges(3, &[(0, 1), (1, 0), (0, 1), (2, 2)]);
+        assert_eq!(g.num_edges_undirected(), 1);
+        assert_eq!(g.degree(2), 0);
+    }
+
+    #[test]
+    fn arcs_and_undirected_edges() {
+        let g = triangle_plus_tail();
+        assert_eq!(g.arcs().count(), 8);
+        let edges: Vec<_> = g.edges_undirected().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn directed_construction_keeps_orientation() {
+        let g = CsrGraph::from_arcs(3, &[(0, 1), (0, 2), (1, 2)]);
+        assert_eq!(g.num_arcs(), 3);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 0));
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        let g = CsrGraph::from_parts(vec![0, 2, 2], vec![0, 1]);
+        assert_eq!(g.num_vertices(), 2);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "arc out of range")]
+    fn builder_rejects_out_of_range() {
+        let mut b = CsrBuilder::new(2);
+        b.push_arc(0, 5);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::from_undirected_edges(0, &[]);
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_arcs(), 0);
+        assert_eq!(g.max_degree(), 0);
+    }
+}

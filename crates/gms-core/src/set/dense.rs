@@ -1,0 +1,316 @@
+//! `DenseBitSet`: a set stored as a dense bitvector of `n` bits.
+//!
+//! The paper (§5.2) notes that a dense bitvector is more
+//! space-efficient than a sparse array when the set is very large
+//! relative to the universe, and that it enables O(1) insertion,
+//! deletion and membership — useful in algorithms with dynamic sets
+//! such as Bron–Kerbosch. Binary operations are word-parallel.
+
+use super::{Set, SetElement};
+use serde::{Deserialize, Serialize};
+
+const WORD_BITS: usize = 64;
+
+/// A set of vertex IDs backed by a growable dense bitvector.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct DenseBitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl DenseBitSet {
+    #[inline]
+    fn locate(element: SetElement) -> (usize, u64) {
+        let idx = element as usize;
+        (idx / WORD_BITS, 1u64 << (idx % WORD_BITS))
+    }
+
+    fn grow_to(&mut self, word_index: usize) {
+        if word_index >= self.words.len() {
+            self.words.resize(word_index + 1, 0);
+        }
+    }
+
+    /// Trims trailing zero words so structural equality is canonical.
+    fn shrink(&mut self) {
+        while self.words.last() == Some(&0) {
+            self.words.pop();
+        }
+    }
+
+    fn recount(&mut self) {
+        self.len = self.words.iter().map(|w| w.count_ones() as usize).sum();
+    }
+
+    /// Word-level view, for word-parallel consumers.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+impl PartialEq for DenseBitSet {
+    fn eq(&self, other: &Self) -> bool {
+        // `shrink` keeps representations canonical after mutation, but
+        // compare defensively by treating missing words as zero.
+        let (short, long) = if self.words.len() <= other.words.len() {
+            (&self.words, &other.words)
+        } else {
+            (&other.words, &self.words)
+        };
+        short
+            .iter()
+            .chain(std::iter::repeat(&0))
+            .zip(long.iter())
+            .all(|(a, b)| a == b)
+    }
+}
+
+impl Eq for DenseBitSet {}
+
+impl Set for DenseBitSet {
+    fn empty() -> Self {
+        Self { words: Vec::new(), len: 0 }
+    }
+
+    fn with_universe(universe_hint: usize) -> Self {
+        Self {
+            words: Vec::with_capacity(universe_hint.div_ceil(WORD_BITS)),
+            len: 0,
+        }
+    }
+
+    fn from_sorted(elements: &[SetElement]) -> Self {
+        debug_assert!(elements.windows(2).all(|w| w[0] < w[1]));
+        let mut set = match elements.last() {
+            Some(&max) => {
+                let words = vec![0u64; (max as usize) / WORD_BITS + 1];
+                Self { words, len: 0 }
+            }
+            None => return Self::empty(),
+        };
+        for &e in elements {
+            let (w, bit) = Self::locate(e);
+            set.words[w] |= bit;
+        }
+        set.len = elements.len();
+        set
+    }
+
+    #[inline]
+    fn cardinality(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    fn contains(&self, element: SetElement) -> bool {
+        let (w, bit) = Self::locate(element);
+        self.words.get(w).is_some_and(|word| word & bit != 0)
+    }
+
+    fn add(&mut self, element: SetElement) {
+        let (w, bit) = Self::locate(element);
+        self.grow_to(w);
+        if self.words[w] & bit == 0 {
+            self.words[w] |= bit;
+            self.len += 1;
+        }
+    }
+
+    fn remove(&mut self, element: SetElement) {
+        let (w, bit) = Self::locate(element);
+        if let Some(word) = self.words.get_mut(w) {
+            if *word & bit != 0 {
+                *word &= !bit;
+                self.len -= 1;
+                self.shrink();
+            }
+        }
+    }
+
+    fn intersect(&self, other: &Self) -> Self {
+        let n = self.words.len().min(other.words.len());
+        let mut words: Vec<u64> = self.words[..n]
+            .iter()
+            .zip(&other.words[..n])
+            .map(|(a, b)| a & b)
+            .collect();
+        while words.last() == Some(&0) {
+            words.pop();
+        }
+        let mut out = Self { words, len: 0 };
+        out.recount();
+        out
+    }
+
+    fn intersect_count(&self, other: &Self) -> usize {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    fn intersect_inplace(&mut self, other: &Self) {
+        let n = self.words.len().min(other.words.len());
+        for (w, o) in self.words[..n].iter_mut().zip(&other.words[..n]) {
+            *w &= o;
+        }
+        self.words.truncate(n);
+        self.shrink();
+        self.recount();
+    }
+
+    fn union(&self, other: &Self) -> Self {
+        let (short, long) = if self.words.len() <= other.words.len() {
+            (&self.words, &other.words)
+        } else {
+            (&other.words, &self.words)
+        };
+        let mut words = long.clone();
+        for (w, s) in words.iter_mut().zip(short.iter()) {
+            *w |= s;
+        }
+        let mut out = Self { words, len: 0 };
+        out.recount();
+        out
+    }
+
+    fn union_count(&self, other: &Self) -> usize {
+        let common: usize = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a | b).count_ones() as usize)
+            .sum();
+        let n = self.words.len().min(other.words.len());
+        let tail_self: usize = self.words[n..].iter().map(|w| w.count_ones() as usize).sum();
+        let tail_other: usize = other.words[n..].iter().map(|w| w.count_ones() as usize).sum();
+        common + tail_self + tail_other
+    }
+
+    fn union_inplace(&mut self, other: &Self) {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
+        self.recount();
+    }
+
+    fn diff(&self, other: &Self) -> Self {
+        let mut words = self.words.clone();
+        for (w, o) in words.iter_mut().zip(&other.words) {
+            *w &= !o;
+        }
+        while words.last() == Some(&0) {
+            words.pop();
+        }
+        let mut out = Self { words, len: 0 };
+        out.recount();
+        out
+    }
+
+    fn diff_count(&self, other: &Self) -> usize {
+        self.len - self.intersect_count(other)
+    }
+
+    fn diff_inplace(&mut self, other: &Self) {
+        let n = self.words.len().min(other.words.len());
+        for (w, o) in self.words[..n].iter_mut().zip(&other.words[..n]) {
+            *w &= !o;
+        }
+        self.shrink();
+        self.recount();
+    }
+
+    fn iter(&self) -> impl Iterator<Item = SetElement> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            BitIter { word, base: (wi * WORD_BITS) as u32 }
+        })
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.words.capacity() * std::mem::size_of::<u64>()
+    }
+
+    fn min(&self) -> Option<SetElement> {
+        self.words.iter().enumerate().find_map(|(wi, &word)| {
+            (word != 0).then(|| (wi * WORD_BITS) as u32 + word.trailing_zeros())
+        })
+    }
+}
+
+struct BitIter {
+    word: u64,
+    base: u32,
+}
+
+impl Iterator for BitIter {
+    type Item = SetElement;
+
+    #[inline]
+    fn next(&mut self) -> Option<SetElement> {
+        if self.word == 0 {
+            return None;
+        }
+        let tz = self.word.trailing_zeros();
+        self.word &= self.word - 1;
+        Some(self.base + tz)
+    }
+}
+
+impl FromIterator<SetElement> for DenseBitSet {
+    fn from_iter<I: IntoIterator<Item = SetElement>>(iter: I) -> Self {
+        let mut set = Self::empty();
+        for e in iter {
+            set.add(e);
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::set::conformance;
+
+    #[test]
+    fn conformance_suite() {
+        conformance::run_all::<DenseBitSet>();
+    }
+
+    #[test]
+    fn word_boundaries() {
+        let mut s = DenseBitSet::empty();
+        for e in [0u32, 63, 64, 127, 128] {
+            s.add(e);
+        }
+        assert_eq!(s.to_vec(), vec![0, 63, 64, 127, 128]);
+        s.remove(64);
+        assert_eq!(s.to_vec(), vec![0, 63, 127, 128]);
+    }
+
+    #[test]
+    fn equality_ignores_trailing_capacity() {
+        let a = DenseBitSet::from_sorted(&[1, 2]);
+        let mut b = DenseBitSet::from_sorted(&[1, 2, 1000]);
+        b.remove(1000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn diff_count_consistent_with_materialized() {
+        let a: DenseBitSet = (0..500).collect();
+        let b: DenseBitSet = (250..750).collect();
+        assert_eq!(a.diff_count(&b), a.diff(&b).cardinality());
+        assert_eq!(a.diff_count(&b), 250);
+    }
+
+    #[test]
+    fn min_skips_zero_words() {
+        let s = DenseBitSet::from_sorted(&[700]);
+        assert_eq!(s.min(), Some(700));
+    }
+}

@@ -1,0 +1,161 @@
+//! `HashVertexSet`: a set stored in an open-addressing hash table.
+//!
+//! Mirrors the paper's `HashSet` implementation (backed by a Robin
+//! Hood table in the original; here `std::collections::HashSet` with
+//! the crate-local Fx hasher). O(1) expected membership and updates;
+//! binary set operations cost O(|A| + |B|) expected.
+//!
+//! Iteration sorts the elements first so the ascending-order contract
+//! of [`Set::iter`] holds; callers that only need membership tests pay
+//! nothing for this.
+
+use super::{Set, SetElement};
+use crate::hash::FxHashSet;
+
+/// A set of vertex IDs backed by a hash table.
+#[derive(Clone, Debug, Default)]
+pub struct HashVertexSet {
+    elements: FxHashSet<SetElement>,
+}
+
+impl PartialEq for HashVertexSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.elements == other.elements
+    }
+}
+
+impl Eq for HashVertexSet {}
+
+impl Set for HashVertexSet {
+    fn empty() -> Self {
+        Self { elements: FxHashSet::default() }
+    }
+
+    fn with_universe(universe_hint: usize) -> Self {
+        let mut elements = FxHashSet::default();
+        elements.reserve(universe_hint.min(1024));
+        Self { elements }
+    }
+
+    fn from_sorted(elements: &[SetElement]) -> Self {
+        Self { elements: elements.iter().copied().collect() }
+    }
+
+    #[inline]
+    fn cardinality(&self) -> usize {
+        self.elements.len()
+    }
+
+    #[inline]
+    fn contains(&self, element: SetElement) -> bool {
+        self.elements.contains(&element)
+    }
+
+    fn add(&mut self, element: SetElement) {
+        self.elements.insert(element);
+    }
+
+    fn remove(&mut self, element: SetElement) {
+        self.elements.remove(&element);
+    }
+
+    fn intersect(&self, other: &Self) -> Self {
+        let (small, big) = if self.elements.len() <= other.elements.len() {
+            (&self.elements, &other.elements)
+        } else {
+            (&other.elements, &self.elements)
+        };
+        Self {
+            elements: small.iter().filter(|e| big.contains(e)).copied().collect(),
+        }
+    }
+
+    fn intersect_count(&self, other: &Self) -> usize {
+        let (small, big) = if self.elements.len() <= other.elements.len() {
+            (&self.elements, &other.elements)
+        } else {
+            (&other.elements, &self.elements)
+        };
+        small.iter().filter(|e| big.contains(e)).count()
+    }
+
+    fn intersect_inplace(&mut self, other: &Self) {
+        self.elements.retain(|e| other.elements.contains(e));
+    }
+
+    fn union(&self, other: &Self) -> Self {
+        let mut elements = self.elements.clone();
+        elements.extend(other.elements.iter().copied());
+        Self { elements }
+    }
+
+    fn union_inplace(&mut self, other: &Self) {
+        self.elements.extend(other.elements.iter().copied());
+    }
+
+    fn diff(&self, other: &Self) -> Self {
+        Self {
+            elements: self
+                .elements
+                .iter()
+                .filter(|e| !other.elements.contains(e))
+                .copied()
+                .collect(),
+        }
+    }
+
+    fn diff_count(&self, other: &Self) -> usize {
+        self.elements.len() - self.intersect_count(other)
+    }
+
+    fn diff_inplace(&mut self, other: &Self) {
+        self.elements.retain(|e| !other.elements.contains(e));
+    }
+
+    fn iter(&self) -> impl Iterator<Item = SetElement> + '_ {
+        let mut sorted: Vec<SetElement> = self.elements.iter().copied().collect();
+        sorted.sort_unstable();
+        sorted.into_iter()
+    }
+
+    fn heap_bytes(&self) -> usize {
+        // Approximation: hashbrown stores ~1 control byte plus the
+        // element per bucket, with capacity >= len / 0.875.
+        self.elements.capacity() * (std::mem::size_of::<SetElement>() + 1)
+    }
+}
+
+impl FromIterator<SetElement> for HashVertexSet {
+    fn from_iter<I: IntoIterator<Item = SetElement>>(iter: I) -> Self {
+        Self { elements: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::set::conformance;
+
+    #[test]
+    fn conformance_suite() {
+        conformance::run_all::<HashVertexSet>();
+    }
+
+    #[test]
+    fn iteration_is_sorted_despite_hash_order() {
+        let s: HashVertexSet = [9u32, 3, 7, 1, 100, 50].into_iter().collect();
+        assert_eq!(s.to_vec(), vec![1, 3, 7, 9, 50, 100]);
+    }
+
+    #[test]
+    fn retain_based_inplace_ops() {
+        let mut a: HashVertexSet = (0..100).collect();
+        let b: HashVertexSet = (50..150).collect();
+        a.intersect_inplace(&b);
+        assert_eq!(a.cardinality(), 50);
+        let mut c: HashVertexSet = (0..100).collect();
+        c.diff_inplace(&b);
+        assert_eq!(c.cardinality(), 50);
+        assert!(c.iter().all(|x| x < 50));
+    }
+}

@@ -1,0 +1,374 @@
+//! `RoaringSet`: a compressed bitmap set, implemented from scratch.
+//!
+//! Roaring bitmaps ([Chambi et al. 2016]) partition the 32-bit
+//! universe by the high 16 bits of each value; every populated chunk
+//! stores its low 16 bits in a sorted `u16` array, an 8 KiB bitmap, or
+//! a run-length encoding — whichever is most compact. The paper uses
+//! roaring bitmaps as the default layout for the Bron–Kerbosch
+//! auxiliary sets `P`, `X`, `R` and for vertex neighborhoods, citing
+//! their mild compression *without* expensive decompression; this is
+//! the workhorse behind the >9× maximal-clique speedups.
+//!
+//! [Chambi et al. 2016]: https://arxiv.org/abs/1402.6407
+
+mod container;
+
+pub use container::{Container, Run, ARRAY_MAX};
+
+use super::{Set, SetElement};
+
+/// A compressed roaring bitmap over `u32` vertex IDs.
+#[derive(Clone)]
+pub struct RoaringSet {
+    /// Sorted high-16-bit keys of the populated chunks.
+    keys: Vec<u16>,
+    /// Containers aligned with `keys`.
+    containers: Vec<Container>,
+}
+
+#[inline]
+fn split(value: SetElement) -> (u16, u16) {
+    ((value >> 16) as u16, (value & 0xFFFF) as u16)
+}
+
+#[inline]
+fn join(key: u16, low: u16) -> SetElement {
+    (key as u32) << 16 | low as u32
+}
+
+impl RoaringSet {
+    /// Converts every container to its most compact encoding,
+    /// including run-length encoding (roaring's `runOptimize`).
+    pub fn optimize(&mut self) {
+        for c in &mut self.containers {
+            c.optimize();
+        }
+    }
+
+    /// Number of populated 65536-value chunks.
+    pub fn num_containers(&self) -> usize {
+        self.containers.len()
+    }
+
+    #[inline]
+    fn container_index(&self, key: u16) -> Result<usize, usize> {
+        self.keys.binary_search(&key)
+    }
+
+    fn drop_if_empty(&mut self, idx: usize) {
+        if self.containers[idx].cardinality() == 0 {
+            self.keys.remove(idx);
+            self.containers.remove(idx);
+        }
+    }
+
+    /// Merges two roaring sets key-by-key with the given per-container
+    /// operation, keeping only keys present in both (intersection-like).
+    fn zip_common<F: Fn(&Container, &Container) -> Container>(
+        &self,
+        other: &Self,
+        op: F,
+    ) -> Self {
+        let mut keys = Vec::new();
+        let mut containers = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.keys.len() && j < other.keys.len() {
+            match self.keys[i].cmp(&other.keys[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    let c = op(&self.containers[i], &other.containers[j]);
+                    if c.cardinality() > 0 {
+                        keys.push(self.keys[i]);
+                        containers.push(c);
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        Self { keys, containers }
+    }
+}
+
+impl Default for RoaringSet {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl PartialEq for RoaringSet {
+    fn eq(&self, other: &Self) -> bool {
+        if self.keys != other.keys {
+            return false;
+        }
+        self.containers
+            .iter()
+            .zip(&other.containers)
+            .all(|(a, b)| {
+                a.cardinality() == b.cardinality() && a.iter().eq(b.iter())
+            })
+    }
+}
+
+impl Eq for RoaringSet {}
+
+impl std::fmt::Debug for RoaringSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RoaringSet")
+            .field("cardinality", &self.cardinality())
+            .field("containers", &self.containers.len())
+            .finish()
+    }
+}
+
+impl Set for RoaringSet {
+    fn empty() -> Self {
+        Self { keys: Vec::new(), containers: Vec::new() }
+    }
+
+    fn from_sorted(elements: &[SetElement]) -> Self {
+        debug_assert!(elements.windows(2).all(|w| w[0] < w[1]));
+        let mut set = Self::empty();
+        let mut chunk_start = 0;
+        while chunk_start < elements.len() {
+            let (key, _) = split(elements[chunk_start]);
+            let chunk_end = elements[chunk_start..]
+                .partition_point(|&e| split(e).0 == key)
+                + chunk_start;
+            let lows: Vec<u16> = elements[chunk_start..chunk_end]
+                .iter()
+                .map(|&e| split(e).1)
+                .collect();
+            let container = if lows.len() > ARRAY_MAX {
+                Container::Bitmap(container::BitmapStore::from_array(&lows))
+            } else {
+                Container::Array(lows)
+            };
+            set.keys.push(key);
+            set.containers.push(container);
+            chunk_start = chunk_end;
+        }
+        set
+    }
+
+    fn cardinality(&self) -> usize {
+        self.containers.iter().map(Container::cardinality).sum()
+    }
+
+    fn contains(&self, element: SetElement) -> bool {
+        let (key, low) = split(element);
+        match self.container_index(key) {
+            Ok(idx) => self.containers[idx].contains(low),
+            Err(_) => false,
+        }
+    }
+
+    fn add(&mut self, element: SetElement) {
+        let (key, low) = split(element);
+        match self.container_index(key) {
+            Ok(idx) => {
+                self.containers[idx].insert(low);
+            }
+            Err(pos) => {
+                let mut c = Container::new();
+                c.insert(low);
+                self.keys.insert(pos, key);
+                self.containers.insert(pos, c);
+            }
+        }
+    }
+
+    fn remove(&mut self, element: SetElement) {
+        let (key, low) = split(element);
+        if let Ok(idx) = self.container_index(key) {
+            if self.containers[idx].discard(low) {
+                self.drop_if_empty(idx);
+            }
+        }
+    }
+
+    fn intersect(&self, other: &Self) -> Self {
+        self.zip_common(other, Container::and)
+    }
+
+    fn intersect_count(&self, other: &Self) -> usize {
+        let (mut i, mut j, mut count) = (0, 0, 0);
+        while i < self.keys.len() && j < other.keys.len() {
+            match self.keys[i].cmp(&other.keys[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    count += self.containers[i].and_count(&other.containers[j]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        count
+    }
+
+    fn union(&self, other: &Self) -> Self {
+        let mut keys = Vec::with_capacity(self.keys.len() + other.keys.len());
+        let mut containers = Vec::with_capacity(keys.capacity());
+        let (mut i, mut j) = (0, 0);
+        while i < self.keys.len() && j < other.keys.len() {
+            match self.keys[i].cmp(&other.keys[j]) {
+                std::cmp::Ordering::Less => {
+                    keys.push(self.keys[i]);
+                    containers.push(self.containers[i].clone());
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    keys.push(other.keys[j]);
+                    containers.push(other.containers[j].clone());
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    keys.push(self.keys[i]);
+                    containers.push(self.containers[i].or(&other.containers[j]));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        for k in i..self.keys.len() {
+            keys.push(self.keys[k]);
+            containers.push(self.containers[k].clone());
+        }
+        for k in j..other.keys.len() {
+            keys.push(other.keys[k]);
+            containers.push(other.containers[k].clone());
+        }
+        Self { keys, containers }
+    }
+
+    fn diff(&self, other: &Self) -> Self {
+        let mut keys = Vec::with_capacity(self.keys.len());
+        let mut containers = Vec::with_capacity(self.keys.len());
+        let mut j = 0;
+        for (i, &key) in self.keys.iter().enumerate() {
+            while j < other.keys.len() && other.keys[j] < key {
+                j += 1;
+            }
+            if j < other.keys.len() && other.keys[j] == key {
+                let c = self.containers[i].andnot(&other.containers[j]);
+                if c.cardinality() > 0 {
+                    keys.push(key);
+                    containers.push(c);
+                }
+            } else {
+                keys.push(key);
+                containers.push(self.containers[i].clone());
+            }
+        }
+        Self { keys, containers }
+    }
+
+    fn iter(&self) -> impl Iterator<Item = SetElement> + '_ {
+        self.keys.iter().zip(&self.containers).flat_map(|(&key, container)| {
+            container.iter().map(move |low| join(key, low))
+        })
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.keys.capacity() * 2
+            + self.containers.capacity() * std::mem::size_of::<Container>()
+            + self.containers.iter().map(Container::heap_bytes).sum::<usize>()
+    }
+
+    fn min(&self) -> Option<SetElement> {
+        let key = *self.keys.first()?;
+        self.containers[0].iter().next().map(|low| join(key, low))
+    }
+}
+
+impl FromIterator<SetElement> for RoaringSet {
+    fn from_iter<I: IntoIterator<Item = SetElement>>(iter: I) -> Self {
+        let mut elements: Vec<SetElement> = iter.into_iter().collect();
+        elements.sort_unstable();
+        elements.dedup();
+        Self::from_sorted(&elements)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::set::conformance;
+
+    #[test]
+    fn conformance_suite() {
+        conformance::run_all::<RoaringSet>();
+    }
+
+    #[test]
+    fn spans_multiple_containers() {
+        let elements: Vec<u32> = vec![0, 1, 65_535, 65_536, 65_537, 200_000, 4_000_000_000];
+        let s = RoaringSet::from_sorted(&elements);
+        assert_eq!(s.num_containers(), 4);
+        assert_eq!(s.to_vec(), elements);
+        for &e in &elements {
+            assert!(s.contains(e));
+        }
+        assert!(!s.contains(2));
+        assert!(!s.contains(65_538));
+    }
+
+    #[test]
+    fn dense_chunk_becomes_bitmap_on_construction() {
+        let elements: Vec<u32> = (0..10_000).collect();
+        let s = RoaringSet::from_sorted(&elements);
+        assert_eq!(s.num_containers(), 1);
+        assert_eq!(s.cardinality(), 10_000);
+        assert_eq!(s.to_vec(), elements);
+    }
+
+    #[test]
+    fn cross_container_ops() {
+        let a: RoaringSet = (0u32..100_000).step_by(2).collect();
+        let b: RoaringSet = (0u32..100_000).step_by(3).collect();
+        let and = a.intersect(&b);
+        assert_eq!(and.cardinality(), 100_000usize.div_ceil(6));
+        assert_eq!(a.intersect_count(&b), and.cardinality());
+        let or = a.union(&b);
+        assert_eq!(
+            or.cardinality(),
+            a.cardinality() + b.cardinality() - and.cardinality()
+        );
+        let not = a.diff(&b);
+        assert_eq!(not.cardinality(), a.cardinality() - and.cardinality());
+    }
+
+    #[test]
+    fn remove_drops_empty_containers() {
+        let mut s = RoaringSet::from_sorted(&[5, 70_000]);
+        assert_eq!(s.num_containers(), 2);
+        s.remove(70_000);
+        assert_eq!(s.num_containers(), 1);
+        assert_eq!(s.to_vec(), vec![5]);
+    }
+
+    #[test]
+    fn optimize_preserves_contents() {
+        let elements: Vec<u32> = (1000u32..60_000).collect();
+        let mut s = RoaringSet::from_sorted(&elements);
+        let before = s.to_vec();
+        let bytes_before = s.heap_bytes();
+        s.optimize();
+        assert_eq!(s.to_vec(), before);
+        assert!(s.heap_bytes() < bytes_before, "runs should compress a dense range");
+        // Operations still work on the run-encoded set.
+        let probe: RoaringSet = [999u32, 1000, 59_999, 60_000].into_iter().collect();
+        assert_eq!(s.intersect(&probe).to_vec(), vec![1000, 59_999]);
+    }
+
+    #[test]
+    fn equality_across_layouts() {
+        let elements: Vec<u32> = (0u32..5000).collect();
+        let a = RoaringSet::from_sorted(&elements);
+        let mut b = RoaringSet::from_sorted(&elements);
+        b.optimize();
+        assert_eq!(a, b);
+    }
+}

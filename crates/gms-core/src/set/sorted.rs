@@ -1,0 +1,350 @@
+//! `SortedVecSet`: a set stored as a sorted, deduplicated `Vec<u32>`.
+//!
+//! This mirrors the paper's `SortedSet` and the CSR convention that a
+//! vertex neighborhood is a sorted contiguous integer array. Binary
+//! operations use the *merge* scheme when the operands have similar
+//! sizes and switch to *galloping* (exponential + binary search) when
+//! one side is much smaller — the two intersection algorithms the
+//! paper describes in §5.2 and §6.5.
+
+use super::{Set, SetElement};
+use serde::{Deserialize, Serialize};
+
+/// Size ratio beyond which intersection switches from merging to
+/// galloping. With |A| ≪ |B|, galloping costs O(|A| log |B|) versus
+/// O(|A| + |B|) for the merge.
+const GALLOP_RATIO: usize = 16;
+
+/// A set of vertex IDs backed by a sorted vector.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SortedVecSet {
+    elements: Vec<SetElement>,
+}
+
+impl SortedVecSet {
+    /// Borrows the underlying sorted slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[SetElement] {
+        &self.elements
+    }
+
+    /// Wraps an already-sorted, deduplicated vector without copying.
+    ///
+    /// # Panics
+    /// In debug builds, panics if `elements` is not strictly increasing.
+    pub fn from_sorted_vec(elements: Vec<SetElement>) -> Self {
+        debug_assert!(elements.windows(2).all(|w| w[0] < w[1]));
+        Self { elements }
+    }
+
+    /// Galloping (exponential + binary) search for `x` in `haystack[lo..]`,
+    /// returning the insertion point relative to the whole slice.
+    #[inline]
+    fn gallop(haystack: &[SetElement], lo: usize, x: SetElement) -> usize {
+        let mut step = 1;
+        let mut prev = lo;
+        let mut hi = lo;
+        while hi < haystack.len() && haystack[hi] < x {
+            prev = hi + 1;
+            hi += step;
+            step <<= 1;
+        }
+        // The insertion point now lies in [prev, min(hi, len)].
+        let upper = hi.min(haystack.len());
+        prev + haystack[prev..upper].partition_point(|&y| y < x)
+    }
+
+    fn intersect_merge(a: &[SetElement], b: &[SetElement], out: &mut Vec<SetElement>) {
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+    }
+
+    fn intersect_gallop(small: &[SetElement], big: &[SetElement], out: &mut Vec<SetElement>) {
+        let mut from = 0;
+        for &x in small {
+            let pos = Self::gallop(big, from, x);
+            if pos < big.len() && big[pos] == x {
+                out.push(x);
+                from = pos + 1;
+            } else {
+                from = pos;
+            }
+            if from >= big.len() {
+                break;
+            }
+        }
+    }
+
+    fn intersect_into(a: &[SetElement], b: &[SetElement], out: &mut Vec<SetElement>) {
+        let (small, big) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+        if small.is_empty() {
+            return;
+        }
+        if big.len() / small.len().max(1) >= GALLOP_RATIO {
+            Self::intersect_gallop(small, big, out);
+        } else {
+            Self::intersect_merge(a, b, out);
+        }
+    }
+}
+
+impl Set for SortedVecSet {
+    fn empty() -> Self {
+        Self { elements: Vec::new() }
+    }
+
+    fn with_universe(universe_hint: usize) -> Self {
+        // Neighborhood-sized sets are usually far smaller than the
+        // universe; reserve modestly.
+        Self { elements: Vec::with_capacity(universe_hint.min(64)) }
+    }
+
+    fn from_sorted(elements: &[SetElement]) -> Self {
+        debug_assert!(elements.windows(2).all(|w| w[0] < w[1]));
+        Self { elements: elements.to_vec() }
+    }
+
+    #[inline]
+    fn cardinality(&self) -> usize {
+        self.elements.len()
+    }
+
+    #[inline]
+    fn contains(&self, element: SetElement) -> bool {
+        self.elements.binary_search(&element).is_ok()
+    }
+
+    fn add(&mut self, element: SetElement) {
+        // Fast path: appending in ascending order is O(1).
+        match self.elements.last() {
+            Some(&last) if last < element => self.elements.push(element),
+            Some(&last) if last == element => {}
+            _ => {
+                if let Err(pos) = self.elements.binary_search(&element) {
+                    self.elements.insert(pos, element);
+                }
+            }
+        }
+    }
+
+    fn remove(&mut self, element: SetElement) {
+        if let Ok(pos) = self.elements.binary_search(&element) {
+            self.elements.remove(pos);
+        }
+    }
+
+    fn intersect(&self, other: &Self) -> Self {
+        let mut out = Vec::with_capacity(self.elements.len().min(other.elements.len()));
+        Self::intersect_into(&self.elements, &other.elements, &mut out);
+        Self { elements: out }
+    }
+
+    fn intersect_count(&self, other: &Self) -> usize {
+        let a = &self.elements;
+        let b = &other.elements;
+        let (small, big) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+        if small.is_empty() {
+            return 0;
+        }
+        if big.len() / small.len().max(1) >= GALLOP_RATIO {
+            let mut count = 0;
+            let mut from = 0;
+            for &x in small.iter() {
+                let pos = Self::gallop(big, from, x);
+                if pos < big.len() && big[pos] == x {
+                    count += 1;
+                    from = pos + 1;
+                } else {
+                    from = pos;
+                }
+                if from >= big.len() {
+                    break;
+                }
+            }
+            count
+        } else {
+            let (mut i, mut j, mut count) = (0, 0, 0);
+            while i < a.len() && j < b.len() {
+                match a[i].cmp(&b[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        count += 1;
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+            count
+        }
+    }
+
+    fn intersect_inplace(&mut self, other: &Self) {
+        // Merge in place: compact survivors toward the front.
+        let b = &other.elements;
+        let mut write = 0;
+        let mut j = 0;
+        for read in 0..self.elements.len() {
+            let x = self.elements[read];
+            while j < b.len() && b[j] < x {
+                j += 1;
+            }
+            if j < b.len() && b[j] == x {
+                self.elements[write] = x;
+                write += 1;
+            }
+        }
+        self.elements.truncate(write);
+    }
+
+    fn union(&self, other: &Self) -> Self {
+        let a = &self.elements;
+        let b = &other.elements;
+        let mut out = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(a[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(b[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&a[i..]);
+        out.extend_from_slice(&b[j..]);
+        Self { elements: out }
+    }
+
+    fn union_count(&self, other: &Self) -> usize {
+        self.elements.len() + other.elements.len() - self.intersect_count(other)
+    }
+
+    fn diff(&self, other: &Self) -> Self {
+        let a = &self.elements;
+        let b = &other.elements;
+        let mut out = Vec::with_capacity(a.len());
+        let mut j = 0;
+        for &x in a {
+            while j < b.len() && b[j] < x {
+                j += 1;
+            }
+            if j >= b.len() || b[j] != x {
+                out.push(x);
+            }
+        }
+        Self { elements: out }
+    }
+
+    fn diff_count(&self, other: &Self) -> usize {
+        self.elements.len() - self.intersect_count(other)
+    }
+
+    fn diff_inplace(&mut self, other: &Self) {
+        let b = &other.elements;
+        let mut write = 0;
+        let mut j = 0;
+        for read in 0..self.elements.len() {
+            let x = self.elements[read];
+            while j < b.len() && b[j] < x {
+                j += 1;
+            }
+            if j >= b.len() || b[j] != x {
+                self.elements[write] = x;
+                write += 1;
+            }
+        }
+        self.elements.truncate(write);
+    }
+
+    fn iter(&self) -> impl Iterator<Item = SetElement> + '_ {
+        self.elements.iter().copied()
+    }
+
+    fn to_vec(&self) -> Vec<SetElement> {
+        self.elements.clone()
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.elements.capacity() * std::mem::size_of::<SetElement>()
+    }
+
+    fn min(&self) -> Option<SetElement> {
+        self.elements.first().copied()
+    }
+}
+
+impl FromIterator<SetElement> for SortedVecSet {
+    fn from_iter<I: IntoIterator<Item = SetElement>>(iter: I) -> Self {
+        let mut elements: Vec<SetElement> = iter.into_iter().collect();
+        elements.sort_unstable();
+        elements.dedup();
+        Self { elements }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::set::conformance;
+
+    #[test]
+    fn conformance_suite() {
+        conformance::run_all::<SortedVecSet>();
+    }
+
+    #[test]
+    fn galloping_kicks_in_for_skewed_sizes() {
+        let small = SortedVecSet::from_sorted(&[5, 500, 50_000]);
+        let big: SortedVecSet = (0..100_000).collect();
+        assert_eq!(small.intersect(&big).to_vec(), vec![5, 500, 50_000]);
+        assert_eq!(small.intersect_count(&big), 3);
+        // And symmetric.
+        assert_eq!(big.intersect_count(&small), 3);
+    }
+
+    #[test]
+    fn inplace_diff_compacts() {
+        let mut a: SortedVecSet = (0..100).collect();
+        let evens: SortedVecSet = (0..100).filter(|x| x % 2 == 0).collect();
+        a.diff_inplace(&evens);
+        assert_eq!(a.cardinality(), 50);
+        assert!(a.iter().all(|x| x % 2 == 1));
+    }
+
+    #[test]
+    fn add_is_ascending_fast_path_safe() {
+        let mut s = SortedVecSet::empty();
+        s.add(10);
+        s.add(20);
+        s.add(20);
+        s.add(15);
+        s.add(1);
+        assert_eq!(s.to_vec(), vec![1, 10, 15, 20]);
+    }
+
+    #[test]
+    fn union_count_via_inclusion_exclusion() {
+        let a = SortedVecSet::from_sorted(&[1, 2, 3]);
+        let b = SortedVecSet::from_sorted(&[3, 4]);
+        assert_eq!(a.union_count(&b), 4);
+    }
+}

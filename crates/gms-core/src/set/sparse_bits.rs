@@ -1,0 +1,259 @@
+//! `SparseBitSet`: a sparse bitvector (§5.2 cites sparse bitvectors as
+//! a further set layout [1, 107]). Only non-zero 64-bit words are
+//! stored, as a sorted array of `(word_index, bits)` pairs; binary
+//! operations merge the page lists word-parallel. Sits between the
+//! dense bitvector (fast, O(universe) space) and the sorted array
+//! (compact, element-wise ops): word-parallel ops at O(set bits)
+//! space for clustered IDs.
+
+use super::{Set, SetElement};
+
+/// A sparse bitvector over `u32` IDs.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SparseBitSet {
+    /// Sorted by page index; every stored word is non-zero.
+    pages: Vec<(u32, u64)>,
+    len: usize,
+}
+
+#[inline]
+fn locate(element: SetElement) -> (u32, u64) {
+    (element >> 6, 1u64 << (element & 63))
+}
+
+impl SparseBitSet {
+    fn page_index(&self, page: u32) -> Result<usize, usize> {
+        self.pages.binary_search_by_key(&page, |&(p, _)| p)
+    }
+
+    fn recount(&mut self) {
+        self.len = self.pages.iter().map(|&(_, w)| w.count_ones() as usize).sum();
+    }
+
+    /// Merges two page lists with a per-page word operation; pages
+    /// missing on one side contribute `0` on that side. Zero results
+    /// are dropped.
+    fn merge_pages(
+        &self,
+        other: &Self,
+        op: impl Fn(u64, u64) -> u64,
+    ) -> Self {
+        let mut pages = Vec::with_capacity(self.pages.len().max(other.pages.len()));
+        let (mut i, mut j) = (0, 0);
+        while i < self.pages.len() || j < other.pages.len() {
+            let (page, a, b) = match (self.pages.get(i), other.pages.get(j)) {
+                (Some(&(pa, wa)), Some(&(pb, wb))) => match pa.cmp(&pb) {
+                    std::cmp::Ordering::Less => {
+                        i += 1;
+                        (pa, wa, 0)
+                    }
+                    std::cmp::Ordering::Greater => {
+                        j += 1;
+                        (pb, 0, wb)
+                    }
+                    std::cmp::Ordering::Equal => {
+                        i += 1;
+                        j += 1;
+                        (pa, wa, wb)
+                    }
+                },
+                (Some(&(pa, wa)), None) => {
+                    i += 1;
+                    (pa, wa, 0)
+                }
+                (None, Some(&(pb, wb))) => {
+                    j += 1;
+                    (pb, 0, wb)
+                }
+                (None, None) => unreachable!(),
+            };
+            let word = op(a, b);
+            if word != 0 {
+                pages.push((page, word));
+            }
+        }
+        let mut out = Self { pages, len: 0 };
+        out.recount();
+        out
+    }
+}
+
+impl Set for SparseBitSet {
+    fn empty() -> Self {
+        Self { pages: Vec::new(), len: 0 }
+    }
+
+    fn from_sorted(elements: &[SetElement]) -> Self {
+        debug_assert!(elements.windows(2).all(|w| w[0] < w[1]));
+        let mut pages: Vec<(u32, u64)> = Vec::new();
+        for &e in elements {
+            let (page, bit) = locate(e);
+            match pages.last_mut() {
+                Some((p, w)) if *p == page => *w |= bit,
+                _ => pages.push((page, bit)),
+            }
+        }
+        Self { pages, len: elements.len() }
+    }
+
+    #[inline]
+    fn cardinality(&self) -> usize {
+        self.len
+    }
+
+    fn contains(&self, element: SetElement) -> bool {
+        let (page, bit) = locate(element);
+        match self.page_index(page) {
+            Ok(idx) => self.pages[idx].1 & bit != 0,
+            Err(_) => false,
+        }
+    }
+
+    fn add(&mut self, element: SetElement) {
+        let (page, bit) = locate(element);
+        match self.page_index(page) {
+            Ok(idx) => {
+                if self.pages[idx].1 & bit == 0 {
+                    self.pages[idx].1 |= bit;
+                    self.len += 1;
+                }
+            }
+            Err(pos) => {
+                self.pages.insert(pos, (page, bit));
+                self.len += 1;
+            }
+        }
+    }
+
+    fn remove(&mut self, element: SetElement) {
+        let (page, bit) = locate(element);
+        if let Ok(idx) = self.page_index(page) {
+            if self.pages[idx].1 & bit != 0 {
+                self.pages[idx].1 &= !bit;
+                self.len -= 1;
+                if self.pages[idx].1 == 0 {
+                    self.pages.remove(idx);
+                }
+            }
+        }
+    }
+
+    fn intersect(&self, other: &Self) -> Self {
+        self.merge_pages(other, |a, b| a & b)
+    }
+
+    fn intersect_count(&self, other: &Self) -> usize {
+        let (mut i, mut j, mut count) = (0, 0, 0usize);
+        while i < self.pages.len() && j < other.pages.len() {
+            match self.pages[i].0.cmp(&other.pages[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    count += (self.pages[i].1 & other.pages[j].1).count_ones() as usize;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        count
+    }
+
+    fn union(&self, other: &Self) -> Self {
+        self.merge_pages(other, |a, b| a | b)
+    }
+
+    fn diff(&self, other: &Self) -> Self {
+        self.merge_pages(other, |a, b| a & !b)
+    }
+
+    fn iter(&self) -> impl Iterator<Item = SetElement> + '_ {
+        self.pages.iter().flat_map(|&(page, word)| {
+            PageIter { word, base: page << 6 }
+        })
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.pages.capacity() * std::mem::size_of::<(u32, u64)>()
+    }
+
+    fn min(&self) -> Option<SetElement> {
+        self.pages
+            .first()
+            .map(|&(page, word)| (page << 6) + word.trailing_zeros())
+    }
+}
+
+struct PageIter {
+    word: u64,
+    base: u32,
+}
+
+impl Iterator for PageIter {
+    type Item = SetElement;
+
+    #[inline]
+    fn next(&mut self) -> Option<SetElement> {
+        if self.word == 0 {
+            return None;
+        }
+        let tz = self.word.trailing_zeros();
+        self.word &= self.word - 1;
+        Some(self.base + tz)
+    }
+}
+
+impl FromIterator<SetElement> for SparseBitSet {
+    fn from_iter<I: IntoIterator<Item = SetElement>>(iter: I) -> Self {
+        let mut elements: Vec<SetElement> = iter.into_iter().collect();
+        elements.sort_unstable();
+        elements.dedup();
+        Self::from_sorted(&elements)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::set::conformance;
+
+    #[test]
+    fn conformance_suite() {
+        conformance::run_all::<SparseBitSet>();
+    }
+
+    #[test]
+    fn clustered_ids_use_few_pages() {
+        // 128 consecutive IDs at a large offset: exactly 2 pages.
+        let s: SparseBitSet = (1_000_000..1_000_128).collect();
+        assert_eq!(s.pages.len(), 2);
+        assert_eq!(s.cardinality(), 128);
+        // Far smaller than a dense bitvector over the same universe.
+        assert!(s.heap_bytes() < 1_000_128 / 8);
+    }
+
+    #[test]
+    fn scattered_ids_cost_one_page_each() {
+        let s: SparseBitSet = (0..50u32).map(|i| i * 1000).collect();
+        assert_eq!(s.pages.len(), 50);
+        assert_eq!(s.to_vec(), (0..50u32).map(|i| i * 1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn page_boundary_ops() {
+        let a = SparseBitSet::from_sorted(&[63, 64, 127, 128]);
+        let b = SparseBitSet::from_sorted(&[64, 128, 129]);
+        assert_eq!(a.intersect(&b).to_vec(), vec![64, 128]);
+        assert_eq!(a.intersect_count(&b), 2);
+        assert_eq!(a.union(&b).cardinality(), 5);
+        assert_eq!(a.diff(&b).to_vec(), vec![63, 127]);
+    }
+
+    #[test]
+    fn remove_drops_empty_pages() {
+        let mut s = SparseBitSet::from_sorted(&[5, 1000]);
+        assert_eq!(s.pages.len(), 2);
+        s.remove(1000);
+        assert_eq!(s.pages.len(), 1);
+        assert_eq!(s.to_vec(), vec![5]);
+    }
+}

@@ -1,0 +1,36 @@
+//! Fundamental identifiers shared by every GMS crate.
+
+/// Identifier of a vertex. The paper models vertices as integer IDs
+/// `V = {1, ..., n}`; we use zero-based `u32` IDs, which keeps
+/// neighborhoods at 4 bytes per entry (half the size of `usize` on
+/// 64-bit platforms) — a deliberate storage choice for graphs whose
+/// runtimes are dominated by data movement.
+pub type NodeId = u32;
+
+/// Identifier of an edge within an edge array.
+pub type EdgeId = usize;
+
+/// An undirected edge, stored with `src <= dst` once normalized.
+pub type Edge = (NodeId, NodeId);
+
+/// Normalizes an undirected edge so that the smaller endpoint comes first.
+#[inline]
+pub fn normalize_edge(u: NodeId, v: NodeId) -> Edge {
+    if u <= v {
+        (u, v)
+    } else {
+        (v, u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_orders_endpoints() {
+        assert_eq!(normalize_edge(3, 7), (3, 7));
+        assert_eq!(normalize_edge(7, 3), (3, 7));
+        assert_eq!(normalize_edge(5, 5), (5, 5));
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based model tests: every `Set` implementation must behave
+//! exactly like a `BTreeSet` under arbitrary operation sequences —
+//! the strongest form of the paper's "set operations are
+//! interchangeable modules" claim.
+
+use gms_core::set::SparseBitSet;
+use gms_core::{DenseBitSet, HashVertexSet, RoaringSet, Set, SortedVecSet};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// One mutation step against a set under test.
+#[derive(Clone, Debug)]
+enum Op {
+    Add(u32),
+    Remove(u32),
+    IntersectWith(Vec<u32>),
+    UnionWith(Vec<u32>),
+    DiffWith(Vec<u32>),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let element = 0u32..200_000;
+    let operand = proptest::collection::btree_set(0u32..200_000, 0..40)
+        .prop_map(|s| s.into_iter().collect::<Vec<u32>>());
+    prop_oneof![
+        element.clone().prop_map(Op::Add),
+        element.prop_map(Op::Remove),
+        operand.clone().prop_map(Op::IntersectWith),
+        operand.clone().prop_map(Op::UnionWith),
+        operand.prop_map(Op::DiffWith),
+    ]
+}
+
+fn run_model<S: Set>(initial: &[u32], ops: &[Op]) {
+    let mut subject = S::from_sorted(initial);
+    let mut model: BTreeSet<u32> = initial.iter().copied().collect();
+    for (step, op) in ops.iter().enumerate() {
+        match op {
+            Op::Add(x) => {
+                subject.add(*x);
+                model.insert(*x);
+            }
+            Op::Remove(x) => {
+                subject.remove(*x);
+                model.remove(x);
+            }
+            Op::IntersectWith(other) => {
+                let rhs = S::from_sorted(other);
+                // Exercise count, new-set, and in-place paths together.
+                let count = subject.intersect_count(&rhs);
+                let fresh = subject.intersect(&rhs);
+                assert_eq!(count, fresh.cardinality(), "step {step}");
+                subject.intersect_inplace(&rhs);
+                assert_eq!(subject, fresh, "step {step}");
+                let other_model: BTreeSet<u32> = other.iter().copied().collect();
+                model = model.intersection(&other_model).copied().collect();
+            }
+            Op::UnionWith(other) => {
+                let rhs = S::from_sorted(other);
+                let fresh = subject.union(&rhs);
+                assert_eq!(subject.union_count(&rhs), fresh.cardinality(), "step {step}");
+                subject.union_inplace(&rhs);
+                assert_eq!(subject, fresh, "step {step}");
+                model.extend(other.iter().copied());
+            }
+            Op::DiffWith(other) => {
+                let rhs = S::from_sorted(other);
+                let fresh = subject.diff(&rhs);
+                assert_eq!(subject.diff_count(&rhs), fresh.cardinality(), "step {step}");
+                subject.diff_inplace(&rhs);
+                assert_eq!(subject, fresh, "step {step}");
+                for x in other {
+                    model.remove(x);
+                }
+            }
+        }
+        // Full-state comparison after every step.
+        assert_eq!(subject.cardinality(), model.len(), "step {step}");
+        assert!(
+            subject.iter().eq(model.iter().copied()),
+            "step {step}: {:?} != {:?}",
+            subject.to_vec(),
+            model
+        );
+        assert_eq!(subject.min(), model.first().copied(), "step {step}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sorted_vec_set_matches_model(
+        initial in proptest::collection::btree_set(0u32..200_000, 0..60),
+        ops in proptest::collection::vec(op_strategy(), 0..25),
+    ) {
+        let init: Vec<u32> = initial.into_iter().collect();
+        run_model::<SortedVecSet>(&init, &ops);
+    }
+
+    #[test]
+    fn roaring_set_matches_model(
+        initial in proptest::collection::btree_set(0u32..200_000, 0..60),
+        ops in proptest::collection::vec(op_strategy(), 0..25),
+    ) {
+        let init: Vec<u32> = initial.into_iter().collect();
+        run_model::<RoaringSet>(&init, &ops);
+    }
+
+    #[test]
+    fn dense_bit_set_matches_model(
+        initial in proptest::collection::btree_set(0u32..200_000, 0..60),
+        ops in proptest::collection::vec(op_strategy(), 0..25),
+    ) {
+        let init: Vec<u32> = initial.into_iter().collect();
+        run_model::<DenseBitSet>(&init, &ops);
+    }
+
+    #[test]
+    fn hash_set_matches_model(
+        initial in proptest::collection::btree_set(0u32..200_000, 0..60),
+        ops in proptest::collection::vec(op_strategy(), 0..25),
+    ) {
+        let init: Vec<u32> = initial.into_iter().collect();
+        run_model::<HashVertexSet>(&init, &ops);
+    }
+
+    #[test]
+    fn sparse_bit_set_matches_model(
+        initial in proptest::collection::btree_set(0u32..200_000, 0..60),
+        ops in proptest::collection::vec(op_strategy(), 0..25),
+    ) {
+        let init: Vec<u32> = initial.into_iter().collect();
+        run_model::<SparseBitSet>(&init, &ops);
+    }
+
+    #[test]
+    fn roaring_optimize_is_transparent(
+        initial in proptest::collection::btree_set(0u32..100_000, 0..300),
+        probe in proptest::collection::btree_set(0u32..100_000, 0..50),
+    ) {
+        let init: Vec<u32> = initial.into_iter().collect();
+        let probe: Vec<u32> = probe.into_iter().collect();
+        let plain = RoaringSet::from_sorted(&init);
+        let mut optimized = plain.clone();
+        optimized.optimize();
+        let rhs = RoaringSet::from_sorted(&probe);
+        prop_assert_eq!(plain.intersect(&rhs), optimized.intersect(&rhs));
+        prop_assert_eq!(plain.union(&rhs).to_vec(), optimized.union(&rhs).to_vec());
+        prop_assert_eq!(plain.diff(&rhs).to_vec(), optimized.diff(&rhs).to_vec());
+        prop_assert_eq!(plain, optimized);
+    }
+}

@@ -1,0 +1,134 @@
+//! Erdős–Rényi random graphs (§4.2): the uniform random model the
+//! paper prescribes for studying performance under controlled,
+//! skew-free degree distributions.
+
+use gms_core::{CsrGraph, Edge, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Samples `G(n, p)`: every unordered pair is an edge independently
+/// with probability `p`. Uses geometric skipping, so the cost is
+/// proportional to the number of generated edges, not `n²`.
+pub fn gnp(n: usize, p: f64, seed: u64) -> CsrGraph {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<Edge> = Vec::new();
+    if n < 2 || p == 0.0 {
+        return CsrGraph::from_undirected_edges(n, &edges);
+    }
+    if p >= 1.0 {
+        for u in 0..n as NodeId {
+            for v in u + 1..n as NodeId {
+                edges.push((u, v));
+            }
+        }
+        return CsrGraph::from_undirected_edges(n, &edges);
+    }
+    // Enumerate pairs (u, v), u < v, as a linear index and skip
+    // geometrically between successive edges.
+    let total_pairs = n as u64 * (n as u64 - 1) / 2;
+    let log1m = (1.0 - p).ln();
+    let mut index: u64 = 0;
+    loop {
+        let r: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let skip = (r.ln() / log1m).floor() as u64 + 1;
+        index = match index.checked_add(skip) {
+            Some(i) => i,
+            None => break,
+        };
+        if index > total_pairs {
+            break;
+        }
+        edges.push(pair_from_index(n as u64, index - 1));
+    }
+    CsrGraph::from_undirected_edges(n, &edges)
+}
+
+/// Samples `G(n, m)`: exactly `m` distinct edges drawn uniformly.
+pub fn gnm(n: usize, m: usize, seed: u64) -> CsrGraph {
+    let total_pairs = if n < 2 { 0 } else { n as u64 * (n as u64 - 1) / 2 };
+    assert!(m as u64 <= total_pairs, "m exceeds the number of vertex pairs");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut chosen = std::collections::HashSet::with_capacity(m * 2);
+    let mut edges = Vec::with_capacity(m);
+    while edges.len() < m {
+        let idx = rng.gen_range(0..total_pairs);
+        if chosen.insert(idx) {
+            edges.push(pair_from_index(n as u64, idx));
+        }
+    }
+    CsrGraph::from_undirected_edges(n, &edges)
+}
+
+/// Maps a linear index in `0..n*(n-1)/2` to the corresponding
+/// unordered pair `(u, v)`, `u < v`, in lexicographic order.
+fn pair_from_index(n: u64, index: u64) -> Edge {
+    // Row u starts at offset u*n - u*(u+1)/2 - u ... solve directly.
+    // Find the largest u with f(u) = u*(2n - u - 1)/2 <= index.
+    let mut lo = 0u64;
+    let mut hi = n - 1;
+    while lo < hi {
+        let mid = (lo + hi).div_ceil(2);
+        let f = mid * (2 * n - mid - 1) / 2;
+        if f <= index {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    let u = lo;
+    let offset = u * (2 * n - u - 1) / 2;
+    let v = u + 1 + (index - offset);
+    (u as NodeId, v as NodeId)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gms_core::Graph;
+
+    #[test]
+    fn pair_indexing_is_bijective() {
+        let n = 10u64;
+        let mut seen = std::collections::HashSet::new();
+        for idx in 0..n * (n - 1) / 2 {
+            let (u, v) = pair_from_index(n, idx);
+            assert!(u < v && (v as u64) < n, "({u},{v})");
+            assert!(seen.insert((u, v)));
+        }
+        assert_eq!(seen.len() as u64, n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn gnp_determinism_and_density() {
+        let a = gnp(500, 0.02, 7);
+        let b = gnp(500, 0.02, 7);
+        assert_eq!(a, b);
+        let expected = 0.02 * 500.0 * 499.0 / 2.0;
+        let m = a.num_edges_undirected() as f64;
+        assert!((m - expected).abs() < expected * 0.25, "m = {m}, expected ≈ {expected}");
+        // Different seeds differ.
+        assert_ne!(a, gnp(500, 0.02, 8));
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(gnp(100, 0.0, 1).num_edges_undirected(), 0);
+        assert_eq!(gnp(20, 1.0, 1).num_edges_undirected(), 190);
+        assert_eq!(gnp(0, 0.5, 1).num_vertices(), 0);
+        assert_eq!(gnp(1, 0.5, 1).num_edges_undirected(), 0);
+    }
+
+    #[test]
+    fn gnm_exact_edge_count() {
+        let g = gnm(200, 1000, 3);
+        assert_eq!(g.num_edges_undirected(), 1000);
+        assert_eq!(gnm(200, 1000, 3), g);
+    }
+
+    #[test]
+    #[should_panic(expected = "m exceeds")]
+    fn gnm_rejects_impossible_m() {
+        gnm(3, 10, 0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Kronecker (RMAT) power-law graphs (§4.2): the paper's prescribed
+//! generator for skewed degree distributions, matching the Graph500 /
+//! GAPBS generator it integrates with. Edges are sampled by
+//! recursively descending a 2×2 probability matrix.
+
+use gms_core::{CsrGraph, Edge, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// RMAT parameters. Graph500 uses `a=0.57, b=0.19, c=0.19`.
+#[derive(Clone, Copy, Debug)]
+pub struct RmatParams {
+    /// Probability of the top-left quadrant.
+    pub a: f64,
+    /// Probability of the top-right quadrant.
+    pub b: f64,
+    /// Probability of the bottom-left quadrant.
+    pub c: f64,
+}
+
+impl Default for RmatParams {
+    fn default() -> Self {
+        Self { a: 0.57, b: 0.19, c: 0.19 }
+    }
+}
+
+/// Generates a Kronecker graph with `2^scale` vertices and
+/// `edge_factor * 2^scale` undirected edge samples (duplicates and
+/// self-loops are dropped, as in the Graph500 specification, so the
+/// final `m` is slightly lower).
+pub fn kronecker(scale: u32, edge_factor: usize, params: RmatParams, seed: u64) -> CsrGraph {
+    assert!(scale <= 30, "scale too large for u32 vertex IDs");
+    let n = 1usize << scale;
+    let samples = edge_factor * n;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let d = 1.0 - params.a - params.b - params.c;
+    assert!(d >= -1e-9, "quadrant probabilities exceed 1");
+    let mut edges: Vec<Edge> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let (mut u, mut v) = (0u64, 0u64);
+        for _ in 0..scale {
+            let r: f64 = rng.gen();
+            let (du, dv) = if r < params.a {
+                (0, 0)
+            } else if r < params.a + params.b {
+                (0, 1)
+            } else if r < params.a + params.b + params.c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            u = (u << 1) | du;
+            v = (v << 1) | dv;
+        }
+        edges.push((u as NodeId, v as NodeId));
+    }
+    CsrGraph::from_undirected_edges(n, &edges)
+}
+
+/// Convenience wrapper with Graph500 parameters.
+pub fn kronecker_default(scale: u32, edge_factor: usize, seed: u64) -> CsrGraph {
+    kronecker(scale, edge_factor, RmatParams::default(), seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gms_core::Graph;
+
+    #[test]
+    fn sizes_follow_scale() {
+        let g = kronecker_default(8, 8, 1);
+        assert_eq!(g.num_vertices(), 256);
+        // Up to 2048 samples minus dedup/self-loop losses.
+        assert!(g.num_edges_undirected() <= 2048);
+        assert!(g.num_edges_undirected() > 1000);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(kronecker_default(7, 4, 9), kronecker_default(7, 4, 9));
+        assert_ne!(kronecker_default(7, 4, 9), kronecker_default(7, 4, 10));
+    }
+
+    #[test]
+    fn skewed_parameters_produce_degree_skew() {
+        let skewed = kronecker_default(10, 8, 5);
+        let n = skewed.num_vertices();
+        let avg = 2.0 * skewed.num_edges_undirected() as f64 / n as f64;
+        let max = skewed.max_degree() as f64;
+        assert!(
+            max > 6.0 * avg,
+            "power-law graphs have hubs: max {max}, avg {avg}"
+        );
+        // A uniform quadrant matrix gives an ER-like (low-skew) graph.
+        let uniform = kronecker(10, 8, RmatParams { a: 0.25, b: 0.25, c: 0.25 }, 5);
+        let umax = uniform.max_degree() as f64;
+        let uavg = 2.0 * uniform.num_edges_undirected() as f64 / n as f64;
+        assert!(umax / uavg < max / avg, "uniform matrix must be less skewed");
+    }
+
+    #[test]
+    #[should_panic(expected = "probabilities exceed 1")]
+    fn rejects_invalid_probabilities() {
+        kronecker(4, 2, RmatParams { a: 0.7, b: 0.3, c: 0.2 }, 0);
+    }
+}

@@ -1,0 +1,31 @@
+//! # gms-gen
+//!
+//! Synthetic graph generators for GraphMineSuite-rs. The paper's
+//! dataset chapter (§4.2) deliberately avoids fixing concrete
+//! datasets; it instead characterizes inputs along structural axes —
+//! sparsity `m/n`, degree skew, triangle count `T` and `T`-skew,
+//! clique density vs cluster density, diameter. These generators
+//! produce graphs at controlled points along each axis:
+//!
+//! * [`er::gnp`]/[`er::gnm`] — uniform random (skew-free);
+//! * [`kronecker::kronecker`] — power-law/RMAT (degree skew, hubs);
+//! * [`planted::planted_cliques`] & friends — higher-order structure
+//!   control (the §8.6 Livemocha-vs-Flickr contrast);
+//! * [`planted::planted_partition`] — community ground truth;
+//! * [`planted::grid`] — road-network stand-in (high diameter, few
+//!   triangles).
+
+#![warn(missing_docs)]
+
+pub mod er;
+pub mod kronecker;
+pub mod models;
+pub mod planted;
+
+pub use er::{gnm, gnp};
+pub use models::{barabasi_albert, bipartite, watts_strogatz};
+pub use kronecker::{kronecker, kronecker_default, RmatParams};
+pub use planted::{
+    complete, grid, planted_clique_star, planted_cliques, planted_dense_groups,
+    planted_partition, PlantedConfig,
+};

@@ -1,0 +1,154 @@
+//! Additional random-graph models covering the remaining §4.2 dataset
+//! axes: preferential attachment (hub-dominated degree skew with a
+//! different tail than RMAT), small-world rewiring (tunable
+//! diameter/locality), and bipartite graphs (recommendation-network
+//! stand-ins, triangle-free by construction).
+
+use gms_core::{CsrGraph, Edge, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Barabási–Albert preferential attachment: starts from a small seed
+/// clique, then every new vertex attaches to `m_per_vertex` existing
+/// vertices with probability proportional to their current degree.
+pub fn barabasi_albert(n: usize, m_per_vertex: usize, seed: u64) -> CsrGraph {
+    assert!(m_per_vertex >= 1);
+    assert!(n > m_per_vertex, "need more vertices than attachments");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<Edge> = Vec::with_capacity(n * m_per_vertex);
+    // Repeated-endpoint list: sampling uniformly from it is sampling
+    // proportionally to degree.
+    let mut endpoints: Vec<NodeId> = Vec::with_capacity(2 * n * m_per_vertex);
+    // Seed: a clique on m_per_vertex + 1 vertices.
+    for u in 0..=m_per_vertex as NodeId {
+        for v in u + 1..=m_per_vertex as NodeId {
+            edges.push((u, v));
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    for v in (m_per_vertex + 1)..n {
+        let v = v as NodeId;
+        let mut chosen = Vec::with_capacity(m_per_vertex);
+        while chosen.len() < m_per_vertex {
+            let target = endpoints[rng.gen_range(0..endpoints.len())];
+            if target != v && !chosen.contains(&target) {
+                chosen.push(target);
+            }
+        }
+        for &target in &chosen {
+            edges.push((v, target));
+            endpoints.push(v);
+            endpoints.push(target);
+        }
+    }
+    CsrGraph::from_undirected_edges(n, &edges)
+}
+
+/// Watts–Strogatz small-world graph: a ring lattice where every vertex
+/// connects to its `k/2` nearest neighbors on each side, with each
+/// edge rewired to a random endpoint with probability `beta`.
+/// `beta = 0` keeps the high-diameter lattice; `beta = 1` approaches
+/// an ER graph — the §4.2 diameter axis in one knob.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> CsrGraph {
+    assert!(k >= 2 && k.is_multiple_of(2), "k must be even and >= 2");
+    assert!(k < n, "lattice degree must be below n");
+    assert!((0.0..=1.0).contains(&beta));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<Edge> = Vec::with_capacity(n * k / 2);
+    for v in 0..n {
+        for offset in 1..=k / 2 {
+            let u = v as NodeId;
+            let w = ((v + offset) % n) as NodeId;
+            if rng.gen::<f64>() < beta {
+                // Rewire the far endpoint uniformly (avoiding self).
+                let mut t = rng.gen_range(0..n as NodeId);
+                while t == u {
+                    t = rng.gen_range(0..n as NodeId);
+                }
+                edges.push((u, t));
+            } else {
+                edges.push((u, w));
+            }
+        }
+    }
+    CsrGraph::from_undirected_edges(n, &edges)
+}
+
+/// Random bipartite graph: `left × right` pairs are edges with
+/// probability `p`. Vertices `0..left` form one side. Triangle-free
+/// by construction — a recommendation-graph stand-in.
+pub fn bipartite(left: usize, right: usize, p: f64, seed: u64) -> CsrGraph {
+    assert!((0.0..=1.0).contains(&p));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    for l in 0..left as NodeId {
+        for r in 0..right as NodeId {
+            if rng.gen::<f64>() < p {
+                edges.push((l, left as NodeId + r));
+            }
+        }
+    }
+    CsrGraph::from_undirected_edges(left + right, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gms_core::Graph as _;
+
+    #[test]
+    fn ba_has_hub_skew() {
+        let g = barabasi_albert(800, 3, 4);
+        let n = g.num_vertices() as f64;
+        let avg = 2.0 * g.num_edges_undirected() as f64 / n;
+        assert!((5.0..=7.0).contains(&avg), "avg degree ≈ 2m_per_vertex, got {avg}");
+        assert!(
+            g.max_degree() as f64 > 5.0 * avg,
+            "preferential attachment grows hubs: max {} avg {avg}",
+            g.max_degree()
+        );
+    }
+
+    #[test]
+    fn ba_is_connected() {
+        let g = barabasi_albert(300, 2, 9);
+        assert_eq!(gms_graph::traverse::largest_component_size(&g), 300);
+    }
+
+    #[test]
+    fn ws_beta_zero_is_a_lattice() {
+        let g = watts_strogatz(100, 4, 0.0, 1);
+        assert_eq!(g.num_edges_undirected(), 200);
+        for v in g.vertices() {
+            assert_eq!(g.degree(v), 4, "regular lattice");
+        }
+        // High diameter at beta = 0.
+        assert!(gms_graph::traverse::pseudo_diameter(&g, 0) >= 20);
+    }
+
+    #[test]
+    fn ws_rewiring_shrinks_diameter() {
+        let lattice = watts_strogatz(400, 4, 0.0, 2);
+        let small_world = watts_strogatz(400, 4, 0.3, 2);
+        let d_lat = gms_graph::traverse::pseudo_diameter(&lattice, 0);
+        let d_sw = gms_graph::traverse::pseudo_diameter(&small_world, 0);
+        assert!(d_sw * 2 < d_lat, "rewiring must shorten paths: {d_sw} vs {d_lat}");
+    }
+
+    #[test]
+    fn bipartite_has_no_triangles_and_no_side_edges() {
+        let g = bipartite(40, 60, 0.1, 7);
+        for (u, v) in g.edges_undirected() {
+            assert!((u < 40) != (v < 40), "edges cross sides only");
+        }
+        assert_eq!(gms_order::triangle_count(&g), 0);
+    }
+
+    #[test]
+    fn deterministic_models() {
+        assert_eq!(barabasi_albert(200, 2, 5), barabasi_albert(200, 2, 5));
+        assert_eq!(watts_strogatz(200, 6, 0.2, 5), watts_strogatz(200, 6, 0.2, 5));
+        assert_eq!(bipartite(30, 30, 0.2, 5), bipartite(30, 30, 0.2, 5));
+    }
+}

@@ -1,0 +1,250 @@
+//! Planted-structure generators. §8.6 of the paper shows that graphs
+//! with near-identical size/sparsity/degree statistics can differ by
+//! three orders of magnitude in higher-order structure (4-clique
+//! counts of Livemocha vs Flickr). These generators reproduce that
+//! axis deliberately: a sparse background plus planted cliques,
+//! clique-stars, or dense-but-non-clique clusters.
+
+use crate::er;
+use gms_core::{CsrGraph, Edge, NodeId};
+
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, Rng, SeedableRng};
+
+/// Configuration for a planted-clique graph.
+#[derive(Clone, Debug)]
+pub struct PlantedConfig {
+    /// Total vertex count.
+    pub n: usize,
+    /// Background edge probability.
+    pub background_p: f64,
+    /// Sizes of the planted structures.
+    pub sizes: Vec<usize>,
+    /// Intra-structure edge probability: `1.0` plants true cliques;
+    /// values below 1 plant dense non-clique clusters (the
+    /// "Livemocha-like" case).
+    pub density: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Plants dense vertex groups into an ER background. Groups are
+/// disjoint, chosen from a random permutation of the vertices.
+/// Returns the graph and the planted groups.
+pub fn planted_dense_groups(config: &PlantedConfig) -> (CsrGraph, Vec<Vec<NodeId>>) {
+    let total: usize = config.sizes.iter().sum();
+    assert!(total <= config.n, "planted structures exceed n");
+    assert!((0.0..=1.0).contains(&config.density));
+    let background = er::gnp(config.n, config.background_p, config.seed);
+    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(0x9E37_79B9));
+    let mut vertices: Vec<NodeId> = (0..config.n as NodeId).collect();
+    vertices.shuffle(&mut rng);
+
+    let mut edges: Vec<Edge> = background.edges_undirected().collect();
+    let mut groups = Vec::with_capacity(config.sizes.len());
+    let mut cursor = 0usize;
+    for &size in &config.sizes {
+        let group: Vec<NodeId> = vertices[cursor..cursor + size].to_vec();
+        cursor += size;
+        for i in 0..size {
+            for j in i + 1..size {
+                if config.density >= 1.0 || rng.gen::<f64>() < config.density {
+                    edges.push((group[i], group[j]));
+                }
+            }
+        }
+        groups.push(group);
+    }
+    (CsrGraph::from_undirected_edges(config.n, &edges), groups)
+}
+
+/// Plants `count` cliques of size `size` into an ER background.
+pub fn planted_cliques(
+    n: usize,
+    background_p: f64,
+    count: usize,
+    size: usize,
+    seed: u64,
+) -> (CsrGraph, Vec<Vec<NodeId>>) {
+    planted_dense_groups(&PlantedConfig {
+        n,
+        background_p,
+        sizes: vec![size; count],
+        density: 1.0,
+        seed,
+    })
+}
+
+/// Plants a `k`-clique-star (§6.6): a `k`-clique whose every member is
+/// also adjacent to `extra` shared satellite vertices. Returns the
+/// graph, the clique core, and the satellites.
+pub fn planted_clique_star(
+    n: usize,
+    background_p: f64,
+    k: usize,
+    extra: usize,
+    seed: u64,
+) -> (CsrGraph, Vec<NodeId>, Vec<NodeId>) {
+    assert!(k + extra <= n);
+    let background = er::gnp(n, background_p, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xDEAD_BEEF);
+    let mut vertices: Vec<NodeId> = (0..n as NodeId).collect();
+    vertices.shuffle(&mut rng);
+    let core: Vec<NodeId> = vertices[..k].to_vec();
+    let satellites: Vec<NodeId> = vertices[k..k + extra].to_vec();
+    let mut edges: Vec<Edge> = background.edges_undirected().collect();
+    for i in 0..k {
+        for j in i + 1..k {
+            edges.push((core[i], core[j]));
+        }
+        for &s in &satellites {
+            edges.push((core[i], s));
+        }
+    }
+    (CsrGraph::from_undirected_edges(n, &edges), core, satellites)
+}
+
+/// Planted-partition ("stochastic block") graph for clustering and
+/// community-detection oracles: `communities` equal-sized groups with
+/// intra-probability `p_in` and inter-probability `p_out`. Returns the
+/// graph and the ground-truth community of every vertex.
+pub fn planted_partition(
+    n: usize,
+    communities: usize,
+    p_in: f64,
+    p_out: f64,
+    seed: u64,
+) -> (CsrGraph, Vec<u32>) {
+    assert!(communities >= 1 && communities <= n.max(1));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let assignment: Vec<u32> = (0..n).map(|v| (v % communities) as u32).collect();
+    let mut edges: Vec<Edge> = Vec::new();
+    for u in 0..n {
+        for v in u + 1..n {
+            let p = if assignment[u] == assignment[v] { p_in } else { p_out };
+            if rng.gen::<f64>() < p {
+                edges.push((u as NodeId, v as NodeId));
+            }
+        }
+    }
+    (CsrGraph::from_undirected_edges(n, &edges), assignment)
+}
+
+/// A 2-D grid ("road-network-like") graph: high diameter, tiny
+/// triangle count — the paper's USA-roads stand-in.
+pub fn grid(rows: usize, cols: usize) -> CsrGraph {
+    let id = |r: usize, c: usize| (r * cols + c) as NodeId;
+    let mut edges = Vec::with_capacity(2 * rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if r + 1 < rows {
+                edges.push((id(r, c), id(r + 1, c)));
+            }
+            if c + 1 < cols {
+                edges.push((id(r, c), id(r, c + 1)));
+            }
+        }
+    }
+    CsrGraph::from_undirected_edges(rows * cols, &edges)
+}
+
+/// The complete graph `K_n` — the clique-count oracle workhorse.
+pub fn complete(n: usize) -> CsrGraph {
+    let mut edges = Vec::with_capacity(n * (n - 1) / 2);
+    for u in 0..n as NodeId {
+        for v in u + 1..n as NodeId {
+            edges.push((u, v));
+        }
+    }
+    CsrGraph::from_undirected_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gms_core::Graph as _;
+
+    #[test]
+    fn planted_cliques_are_cliques() {
+        let (g, groups) = planted_cliques(300, 0.01, 3, 8, 42);
+        assert_eq!(groups.len(), 3);
+        for group in &groups {
+            assert_eq!(group.len(), 8);
+            for (i, &u) in group.iter().enumerate() {
+                for &v in &group[i + 1..] {
+                    assert!(g.has_edge(u, v), "planted pair ({u},{v}) missing");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dense_groups_are_not_cliques_below_density_one() {
+        let (g, groups) = planted_dense_groups(&PlantedConfig {
+            n: 200,
+            background_p: 0.0,
+            sizes: vec![30],
+            density: 0.5,
+            seed: 1,
+        });
+        let group = &groups[0];
+        let mut present = 0;
+        let mut total = 0;
+        for (i, &u) in group.iter().enumerate() {
+            for &v in &group[i + 1..] {
+                total += 1;
+                if g.has_edge(u, v) {
+                    present += 1;
+                }
+            }
+        }
+        assert!(present < total, "density 0.5 must drop some pairs");
+        assert!(present as f64 > total as f64 * 0.25, "...but keep many");
+    }
+
+    #[test]
+    fn clique_star_structure() {
+        let (g, core, satellites) = planted_clique_star(100, 0.0, 4, 3, 7);
+        for (i, &u) in core.iter().enumerate() {
+            for &v in &core[i + 1..] {
+                assert!(g.has_edge(u, v));
+            }
+            for &s in &satellites {
+                assert!(g.has_edge(u, s));
+            }
+        }
+        // Satellites need not connect to each other.
+        assert_eq!(core.len(), 4);
+        assert_eq!(satellites.len(), 3);
+    }
+
+    #[test]
+    fn partition_is_denser_inside() {
+        let (g, communities) = planted_partition(120, 4, 0.5, 0.02, 11);
+        let mut intra = 0usize;
+        let mut inter = 0usize;
+        for (u, v) in g.edges_undirected() {
+            if communities[u as usize] == communities[v as usize] {
+                intra += 1;
+            } else {
+                inter += 1;
+            }
+        }
+        assert!(intra > inter * 2, "intra {intra} vs inter {inter}");
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(4, 5);
+        assert_eq!(g.num_vertices(), 20);
+        assert_eq!(g.num_edges_undirected(), 3 * 5 + 4 * 4);
+        assert_eq!(g.max_degree(), 4);
+    }
+
+    #[test]
+    fn complete_graph() {
+        let g = complete(6);
+        assert_eq!(g.num_edges_undirected(), 15);
+        assert_eq!(g.max_degree(), 5);
+    }
+}

@@ -1,0 +1,159 @@
+//! Adjacency-matrix representation (Figure 3 / §B.1.1): an `n × n`
+//! bit matrix. O(1) edge queries and word-parallel neighborhood
+//! operations at O(n²) bits — the layout of choice for small dense
+//! (sub)graphs, and the basis of several compression schemes
+//! (k²-trees partition exactly this matrix).
+
+use gms_core::{CsrGraph, Graph, NodeId};
+
+const WORD_BITS: usize = 64;
+
+/// A dense adjacency matrix over `n` vertices.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AdjacencyMatrix {
+    n: usize,
+    words_per_row: usize,
+    bits: Vec<u64>,
+    arcs: usize,
+}
+
+impl AdjacencyMatrix {
+    /// Builds from any CSR graph.
+    pub fn from_csr(graph: &CsrGraph) -> Self {
+        let n = graph.num_vertices();
+        let words_per_row = n.div_ceil(WORD_BITS);
+        let mut bits = vec![0u64; n * words_per_row];
+        for u in graph.vertices() {
+            let row = u as usize * words_per_row;
+            for v in graph.neighbors(u) {
+                bits[row + v as usize / WORD_BITS] |= 1u64 << (v as usize % WORD_BITS);
+            }
+        }
+        Self { n, words_per_row, bits, arcs: graph.num_arcs() }
+    }
+
+    /// The bit row of vertex `u`.
+    #[inline]
+    pub fn row(&self, u: NodeId) -> &[u64] {
+        let start = u as usize * self.words_per_row;
+        &self.bits[start..start + self.words_per_row]
+    }
+
+    /// Word-parallel common-neighbor count — the AM's signature
+    /// operation (`|N(u) ∩ N(v)|` in one popcount sweep).
+    pub fn common_neighbors(&self, u: NodeId, v: NodeId) -> usize {
+        self.row(u)
+            .iter()
+            .zip(self.row(v))
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Converts back to CSR.
+    pub fn to_csr(&self) -> CsrGraph {
+        let mut offsets = Vec::with_capacity(self.n + 1);
+        offsets.push(0usize);
+        let mut neighbors = Vec::with_capacity(self.arcs);
+        for u in 0..self.n as NodeId {
+            neighbors.extend(self.neighbors(u));
+            offsets.push(neighbors.len());
+        }
+        CsrGraph::from_parts(offsets, neighbors)
+    }
+
+    /// Heap bytes (the O(n²/8) cost the paper's Figure 3 flags).
+    pub fn heap_bytes(&self) -> usize {
+        self.bits.capacity() * 8
+    }
+}
+
+impl Graph for AdjacencyMatrix {
+    fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    fn num_arcs(&self) -> usize {
+        self.arcs
+    }
+
+    fn degree(&self, v: NodeId) -> usize {
+        self.row(v).iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    fn neighbors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.row(v).iter().enumerate().flat_map(|(wi, &word)| {
+            let base = (wi * WORD_BITS) as u32;
+            std::iter::successors(
+                if word == 0 { None } else { Some((word, base + word.trailing_zeros())) },
+                move |&(w, _)| {
+                    let w = w & (w - 1);
+                    if w == 0 {
+                        None
+                    } else {
+                        Some((w, base + w.trailing_zeros()))
+                    }
+                },
+            )
+            .map(|(_, v)| v)
+        })
+    }
+
+    #[inline]
+    fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.row(u)[v as usize / WORD_BITS] & (1u64 << (v as usize % WORD_BITS)) != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_access() {
+        let g = gms_gen::gnp(120, 0.08, 5);
+        let am = AdjacencyMatrix::from_csr(&g);
+        assert_eq!(am.to_csr(), g);
+        assert_eq!(am.num_vertices(), g.num_vertices());
+        assert_eq!(am.num_arcs(), g.num_arcs());
+        for v in g.vertices() {
+            assert_eq!(am.degree(v), g.degree(v));
+            assert_eq!(am.neighbors(v).collect::<Vec<_>>(), g.neighbors_slice(v));
+        }
+        for u in 0..120u32 {
+            for v in 0..120u32 {
+                assert_eq!(am.has_edge(u, v), g.has_edge(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn common_neighbors_matches_set_intersection() {
+        let g = gms_gen::gnp(90, 0.15, 2);
+        let am = AdjacencyMatrix::from_csr(&g);
+        use gms_core::{Set, SortedVecSet};
+        for (u, v) in [(0u32, 1u32), (5, 50), (10, 11)] {
+            let su = SortedVecSet::from_sorted(g.neighbors_slice(u));
+            let sv = SortedVecSet::from_sorted(g.neighbors_slice(v));
+            assert_eq!(am.common_neighbors(u, v), su.intersect_count(&sv));
+        }
+    }
+
+    #[test]
+    fn word_boundary_vertices() {
+        // n = 65: row spills into a second word.
+        let g = CsrGraph::from_undirected_edges(65, &[(0, 63), (0, 64), (63, 64)]);
+        let am = AdjacencyMatrix::from_csr(&g);
+        assert!(am.has_edge(0, 64));
+        assert!(am.has_edge(64, 63));
+        assert_eq!(am.neighbors(0).collect::<Vec<_>>(), vec![63, 64]);
+        assert_eq!(am.common_neighbors(0, 63), 1); // vertex 64
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let g = CsrGraph::from_undirected_edges(0, &[]);
+        let am = AdjacencyMatrix::from_csr(&g);
+        assert_eq!(am.num_vertices(), 0);
+        assert_eq!(am.to_csr(), g);
+    }
+}

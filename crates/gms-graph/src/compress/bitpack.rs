@@ -1,0 +1,136 @@
+//! Fixed-width bit packing of vertex IDs — the core Log(Graph)
+//! technique (§B.1.3): every ID in a graph with `n` vertices needs
+//! only `⌈log₂ n⌉` bits, giving 20–35% space savings over 32-bit
+//! storage with near-zero decode cost.
+
+/// A packed array of fixed-width unsigned integers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitPacked {
+    words: Vec<u64>,
+    width: u32,
+    len: usize,
+}
+
+/// Bits needed to represent values `< universe` (at least 1).
+#[inline]
+pub fn width_for_universe(universe: usize) -> u32 {
+    usize::BITS - universe.saturating_sub(1).leading_zeros().min(usize::BITS - 1)
+}
+
+impl BitPacked {
+    /// Packs `values`, each of which must fit in `width` bits.
+    ///
+    /// # Panics
+    /// Panics if `width` is 0, exceeds 32, or a value overflows it.
+    pub fn pack(values: &[u32], width: u32) -> Self {
+        assert!((1..=32).contains(&width), "width must be in 1..=32");
+        let total_bits = values.len() * width as usize;
+        let mut words = vec![0u64; total_bits.div_ceil(64)];
+        for (i, &v) in values.iter().enumerate() {
+            assert!(u64::from(v) < (1u64 << width), "value exceeds width");
+            let bit = i * width as usize;
+            let (word, shift) = (bit / 64, (bit % 64) as u32);
+            words[word] |= u64::from(v) << shift;
+            if shift + width > 64 {
+                words[word + 1] |= u64::from(v) >> (64 - shift);
+            }
+        }
+        Self { words, width, len: values.len() }
+    }
+
+    /// Packs with the minimal width for values `< universe`.
+    pub fn pack_for_universe(values: &[u32], universe: usize) -> Self {
+        Self::pack(values, width_for_universe(universe.max(2)))
+    }
+
+    /// Reads the value at `index`.
+    #[inline]
+    pub fn get(&self, index: usize) -> u32 {
+        debug_assert!(index < self.len);
+        let bit = index * self.width as usize;
+        let (word, shift) = (bit / 64, (bit % 64) as u32);
+        let mut v = self.words[word] >> shift;
+        if shift + self.width > 64 {
+            v |= self.words[word + 1] << (64 - shift);
+        }
+        (v & ((1u64 << self.width) - 1)) as u32
+    }
+
+    /// Number of stored values.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if no values are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bit width per value.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Heap bytes of the packed payload.
+    pub fn heap_bytes(&self) -> usize {
+        self.words.capacity() * 8
+    }
+
+    /// Iterates all values.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.len).map(|i| self.get(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_computation() {
+        assert_eq!(width_for_universe(2), 1);
+        assert_eq!(width_for_universe(3), 2);
+        assert_eq!(width_for_universe(256), 8);
+        assert_eq!(width_for_universe(257), 9);
+        assert_eq!(width_for_universe(1 << 20), 20);
+    }
+
+    #[test]
+    fn roundtrip_various_widths() {
+        for width in [1u32, 5, 7, 8, 13, 17, 31, 32] {
+            let mask = if width == 32 { u32::MAX } else { (1 << width) - 1 };
+            let values: Vec<u32> =
+                (0..257u32).map(|i| i.wrapping_mul(2_654_435_761) & mask).collect();
+            let packed = BitPacked::pack(&values, width);
+            assert_eq!(packed.len(), values.len());
+            for (i, &v) in values.iter().enumerate() {
+                assert_eq!(packed.get(i), v, "width {width} index {i}");
+            }
+            assert_eq!(packed.iter().collect::<Vec<_>>(), values);
+        }
+    }
+
+    #[test]
+    fn straddles_word_boundaries() {
+        // width 20: value index 3 occupies bits 60..80, crossing words.
+        let values = vec![0xF_FFFF_u32; 8];
+        let packed = BitPacked::pack(&values, 20);
+        for i in 0..8 {
+            assert_eq!(packed.get(i), 0xF_FFFF);
+        }
+    }
+
+    #[test]
+    fn pack_for_universe_is_compact() {
+        let values: Vec<u32> = (0..1000).collect();
+        let packed = BitPacked::pack_for_universe(&values, 1000);
+        assert_eq!(packed.width(), 10);
+        assert!(packed.heap_bytes() < values.len() * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "value exceeds width")]
+    fn overflow_is_rejected() {
+        BitPacked::pack(&[8], 3);
+    }
+}

@@ -1,0 +1,99 @@
+//! Gap (difference) encoding of sorted neighborhoods (§B.2): a sorted
+//! neighborhood `[a0, a1, a2, ...]` is stored as `[a0, a1-a0, a2-a1,
+//! ...]`; combined with varints, small gaps — common after good vertex
+//! relabelings — compress to single bytes.
+
+use super::varint;
+
+/// Encodes a strictly increasing neighborhood as varint gaps.
+pub fn encode(sorted: &[u32]) -> Vec<u8> {
+    debug_assert!(sorted.windows(2).all(|w| w[0] < w[1]));
+    let mut out = Vec::with_capacity(sorted.len());
+    let mut prev = 0u32;
+    for (i, &v) in sorted.iter().enumerate() {
+        let gap = if i == 0 { v } else { v - prev };
+        varint::encode_u32(gap, &mut out);
+        prev = v;
+    }
+    out
+}
+
+/// Decodes `count` values from a gap-encoded buffer.
+pub fn decode(mut input: &[u8], count: usize) -> Option<Vec<u32>> {
+    let mut out = Vec::with_capacity(count);
+    let mut acc = 0u32;
+    for i in 0..count {
+        let gap = varint::decode_u32(&mut input)?;
+        acc = if i == 0 { gap } else { acc.checked_add(gap)? };
+        out.push(acc);
+    }
+    Some(out)
+}
+
+/// Iterator-based decoder that avoids materializing the neighborhood.
+pub struct GapDecoder<'a> {
+    input: &'a [u8],
+    remaining: usize,
+    acc: u32,
+    first: bool,
+}
+
+impl<'a> GapDecoder<'a> {
+    /// Starts decoding `count` values from `input`.
+    pub fn new(input: &'a [u8], count: usize) -> Self {
+        Self { input, remaining: count, acc: 0, first: true }
+    }
+}
+
+impl Iterator for GapDecoder<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let gap = varint::decode_u32(&mut self.input)?;
+        self.acc = if self.first { gap } else { self.acc + gap };
+        self.first = false;
+        self.remaining -= 1;
+        Some(self.acc)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let neigh = vec![3u32, 4, 9, 100, 101, 70_000];
+        let encoded = encode(&neigh);
+        assert_eq!(decode(&encoded, neigh.len()), Some(neigh.clone()));
+        let streamed: Vec<u32> = GapDecoder::new(&encoded, neigh.len()).collect();
+        assert_eq!(streamed, neigh);
+    }
+
+    #[test]
+    fn dense_ranges_compress_to_one_byte_per_entry() {
+        let neigh: Vec<u32> = (1000..2000).collect();
+        let encoded = encode(&neigh);
+        // First value takes 2 bytes; every following gap is 1.
+        assert_eq!(encoded.len(), 2 + 999);
+    }
+
+    #[test]
+    fn empty_neighborhood() {
+        assert!(encode(&[]).is_empty());
+        assert_eq!(decode(&[], 0), Some(vec![]));
+    }
+
+    #[test]
+    fn truncated_buffer_fails() {
+        let encoded = encode(&[1, 2, 3]);
+        assert_eq!(decode(&encoded[..1], 3), None);
+    }
+}

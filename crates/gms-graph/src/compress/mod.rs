@@ -1,0 +1,18 @@
+//! Graph compression schemes (Figure 3, Appendix B): fine-grained
+//! encodings (varint, bit packing), neighborhood transformations (gap,
+//! run-length, reference encoding), compact offset structures, and
+//! k²-trees. Each scheme trades storage for access cost differently;
+//! the platform exposes them all so those trade-offs can be measured.
+
+pub mod bitpack;
+pub mod gap;
+pub mod k2tree;
+pub mod offsets;
+pub mod reference;
+pub mod rle;
+pub mod varint;
+
+pub use bitpack::{width_for_universe, BitPacked};
+pub use k2tree::K2Tree;
+pub use offsets::CompactOffsets;
+pub use reference::ReferenceEncodedGraph;

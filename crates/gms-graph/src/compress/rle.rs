@@ -1,0 +1,86 @@
+//! Run-length encoding of sorted neighborhoods (§B.2): maximal runs
+//! of consecutive vertex IDs are stored as `(start, length)` pairs.
+//! Effective for graphs with locality after relabeling (e.g. meshes,
+//! road networks, recursive-bisection orders).
+
+use super::varint;
+
+/// Encodes a strictly increasing sequence as varint `(start-gap, run-length)`
+/// pairs; returns the buffer and the number of runs.
+pub fn encode(sorted: &[u32]) -> (Vec<u8>, usize) {
+    debug_assert!(sorted.windows(2).all(|w| w[0] < w[1]));
+    let mut out = Vec::new();
+    let mut runs = 0usize;
+    let mut i = 0;
+    let mut prev_end = 0u32;
+    while i < sorted.len() {
+        let start = sorted[i];
+        let mut j = i + 1;
+        while j < sorted.len() && sorted[j] == sorted[j - 1] + 1 {
+            j += 1;
+        }
+        let len = (j - i) as u32;
+        let gap = if runs == 0 { start } else { start - prev_end };
+        varint::encode_u32(gap, &mut out);
+        varint::encode_u32(len, &mut out);
+        prev_end = start + len - 1;
+        runs += 1;
+        i = j;
+    }
+    (out, runs)
+}
+
+/// Decodes `runs` run pairs back to the full sequence.
+pub fn decode(mut input: &[u8], runs: usize) -> Option<Vec<u32>> {
+    let mut out = Vec::new();
+    let mut prev_end = 0u32;
+    for r in 0..runs {
+        let gap = varint::decode_u32(&mut input)?;
+        let len = varint::decode_u32(&mut input)?;
+        if len == 0 {
+            return None;
+        }
+        let start = if r == 0 { gap } else { prev_end.checked_add(gap)? };
+        out.extend(start..start.checked_add(len)?);
+        prev_end = start + len - 1;
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_mixed_runs() {
+        let neigh = vec![1u32, 2, 3, 7, 10, 11, 12, 13, 100];
+        let (buf, runs) = encode(&neigh);
+        assert_eq!(runs, 4);
+        assert_eq!(decode(&buf, runs), Some(neigh));
+    }
+
+    #[test]
+    fn single_long_run_is_tiny() {
+        let neigh: Vec<u32> = (5000..15_000).collect();
+        let (buf, runs) = encode(&neigh);
+        assert_eq!(runs, 1);
+        assert!(buf.len() <= 4, "one gap + one length varint");
+        assert_eq!(decode(&buf, runs), Some(neigh));
+    }
+
+    #[test]
+    fn empty_is_empty() {
+        let (buf, runs) = encode(&[]);
+        assert!(buf.is_empty());
+        assert_eq!(runs, 0);
+        assert_eq!(decode(&buf, 0), Some(vec![]));
+    }
+
+    #[test]
+    fn zero_length_run_rejected() {
+        let mut buf = Vec::new();
+        varint::encode_u32(5, &mut buf);
+        varint::encode_u32(0, &mut buf);
+        assert_eq!(decode(&buf, 1), None);
+    }
+}

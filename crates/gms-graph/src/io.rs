@@ -1,0 +1,141 @@
+//! Edge-list text I/O — the "load graph into memory" stage ( pipeline
+//! step 1 in Figure 2). Supports the whitespace-separated `u v` format
+//! used by SNAP/KONECT/Network-Repository dumps, with `#` and `%`
+//! comment lines.
+
+use gms_core::{CsrGraph, Edge, NodeId};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Errors raised while reading an edge list.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line that is neither a comment nor `u v`.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// The offending text.
+        text: String,
+    },
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "I/O error: {e}"),
+            IoError::Parse { line, text } => {
+                write!(f, "cannot parse edge on line {line}: {text:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Parses a whitespace-separated edge list from a reader.
+/// Vertex IDs may be arbitrary `u32`s; the graph is sized by the
+/// largest ID seen.
+pub fn read_edge_list<R: Read>(reader: R) -> Result<Vec<Edge>, IoError> {
+    let mut edges = Vec::new();
+    let mut buf = String::new();
+    let mut reader = BufReader::new(reader);
+    let mut line_no = 0usize;
+    loop {
+        buf.clear();
+        if reader.read_line(&mut buf)? == 0 {
+            break;
+        }
+        line_no += 1;
+        let line = buf.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let parse = |s: Option<&str>| -> Option<NodeId> { s?.parse().ok() };
+        match (parse(parts.next()), parse(parts.next())) {
+            (Some(u), Some(v)) => edges.push((u, v)),
+            _ => {
+                return Err(IoError::Parse { line: line_no, text: line.to_string() });
+            }
+        }
+    }
+    Ok(edges)
+}
+
+/// Reads an undirected graph from an edge-list file.
+pub fn load_undirected<P: AsRef<Path>>(path: P) -> Result<CsrGraph, IoError> {
+    let file = std::fs::File::open(path)?;
+    let edges = read_edge_list(file)?;
+    let n = edges
+        .iter()
+        .map(|&(u, v)| u.max(v) as usize + 1)
+        .max()
+        .unwrap_or(0);
+    Ok(CsrGraph::from_undirected_edges(n, &edges))
+}
+
+/// Writes each undirected edge once as `u v` lines.
+pub fn write_edge_list<W: Write>(graph: &CsrGraph, mut writer: W) -> std::io::Result<()> {
+    for (u, v) in graph.edges_undirected() {
+        writeln!(writer, "{u} {v}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gms_core::Graph;
+
+    #[test]
+    fn parses_comments_and_blank_lines() {
+        let text = "# SNAP-style comment\n% KONECT-style comment\n\n0 1\n1 2\n  2   0 \n";
+        let edges = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(edges, vec![(0, 1), (1, 2), (2, 0)]);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        let err = read_edge_list("0 1\nnot an edge\n".as_bytes()).unwrap_err();
+        match err {
+            IoError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_text() {
+        let g = CsrGraph::from_undirected_edges(5, &[(0, 1), (1, 2), (3, 4), (0, 4)]);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let edges = read_edge_list(buf.as_slice()).unwrap();
+        let g2 = CsrGraph::from_undirected_edges(5, &edges);
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn extra_columns_are_ignored() {
+        // Weighted edge lists carry a third column; we keep topology.
+        let edges = read_edge_list("0 1 0.5\n1 2 3.7\n".as_bytes()).unwrap();
+        assert_eq!(edges, vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn load_undirected_sizes_by_max_id() {
+        let dir = std::env::temp_dir().join("gms_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.el");
+        std::fs::write(&path, "0 9\n1 2\n").unwrap();
+        let g = load_undirected(&path).unwrap();
+        assert_eq!(g.num_vertices(), 10);
+        assert_eq!(g.num_edges_undirected(), 2);
+    }
+}

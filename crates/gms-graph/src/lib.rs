@@ -1,0 +1,24 @@
+//! # gms-graph
+//!
+//! Graph storage utilities for GraphMineSuite-rs: transformations
+//! (relabeling, rank orientation, induced subgraphs), edge-list I/O,
+//! and the compression schemes of the paper's storage taxonomy
+//! (Figure 3): varint/gap/run-length/reference encodings, bit packing,
+//! compact offsets, k²-trees, and a compressed CSR that serves the
+//! standard [`Graph`](gms_core::Graph) interface.
+
+#![warn(missing_docs)]
+
+pub mod adjacency_matrix;
+pub mod bitpacked_csr;
+pub mod compress;
+pub mod compressed_csr;
+pub mod io;
+pub mod transform;
+pub mod traverse;
+
+pub use adjacency_matrix::AdjacencyMatrix;
+pub use bitpacked_csr::BitPackedCsr;
+pub use compressed_csr::CompressedCsr;
+pub use traverse::{bfs_distances, connected_components, largest_component_size, pseudo_diameter};
+pub use transform::{degrees, induced_subgraph, orient_by_rank, relabel, Rank};

@@ -1,0 +1,139 @@
+//! Traversal utilities: BFS, connected components, and diameter
+//! estimation. The paper excludes BFS-style algorithms from the GMS
+//! *benchmark* scope (§4.4) but its dataset methodology (§4.2) selects
+//! graphs by diameter, and several kernels (clustering, min-cut
+//! verification) need component structure — these helpers serve those
+//! roles.
+
+use gms_core::{CsrGraph, Graph, NodeId};
+use std::collections::VecDeque;
+
+/// BFS distances from `source`; unreachable vertices get `u32::MAX`.
+pub fn bfs_distances(graph: &CsrGraph, source: NodeId) -> Vec<u32> {
+    let n = graph.num_vertices();
+    assert!((source as usize) < n, "source out of range");
+    let mut dist = vec![u32::MAX; n];
+    dist[source as usize] = 0;
+    let mut queue = VecDeque::with_capacity(n / 4 + 1);
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v as usize];
+        for w in graph.neighbors(v) {
+            if dist[w as usize] == u32::MAX {
+                dist[w as usize] = d + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// Connected components: returns `(component_id per vertex, count)`,
+/// with IDs dense in `0..count` assigned in order of smallest member.
+pub fn connected_components(graph: &CsrGraph) -> (Vec<u32>, usize) {
+    let n = graph.num_vertices();
+    let mut component = vec![u32::MAX; n];
+    let mut next = 0u32;
+    let mut queue = VecDeque::new();
+    for start in 0..n as NodeId {
+        if component[start as usize] != u32::MAX {
+            continue;
+        }
+        component[start as usize] = next;
+        queue.push_back(start);
+        while let Some(v) = queue.pop_front() {
+            for w in graph.neighbors(v) {
+                if component[w as usize] == u32::MAX {
+                    component[w as usize] = next;
+                    queue.push_back(w);
+                }
+            }
+        }
+        next += 1;
+    }
+    (component, next as usize)
+}
+
+/// Size of the largest connected component.
+pub fn largest_component_size(graph: &CsrGraph) -> usize {
+    let (component, count) = connected_components(graph);
+    let mut sizes = vec![0usize; count];
+    for &c in &component {
+        sizes[c as usize] += 1;
+    }
+    sizes.into_iter().max().unwrap_or(0)
+}
+
+/// Pseudo-diameter by double-sweep BFS: a cheap lower bound on the
+/// diameter of the component containing `seed` (exact on trees, and
+/// the standard estimator the dataset table's "high/low diameter"
+/// classification needs).
+pub fn pseudo_diameter(graph: &CsrGraph, seed: NodeId) -> u32 {
+    let first = bfs_distances(graph, seed);
+    let (far, d1) = farthest(&first);
+    if d1 == 0 {
+        return 0;
+    }
+    let second = bfs_distances(graph, far);
+    farthest(&second).1
+}
+
+fn farthest(dist: &[u32]) -> (NodeId, u32) {
+    let mut best = (0 as NodeId, 0u32);
+    for (v, &d) in dist.iter().enumerate() {
+        if d != u32::MAX && d > best.1 {
+            best = (v as NodeId, d);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bfs_on_path() {
+        let g = CsrGraph::from_undirected_edges(5, &[(0, 1), (1, 2), (2, 3)]);
+        let dist = bfs_distances(&g, 0);
+        assert_eq!(dist, vec![0, 1, 2, 3, u32::MAX]);
+    }
+
+    #[test]
+    fn components_and_sizes() {
+        let g = CsrGraph::from_undirected_edges(6, &[(0, 1), (1, 2), (3, 4)]);
+        let (component, count) = connected_components(&g);
+        assert_eq!(count, 3);
+        assert_eq!(component[0], component[2]);
+        assert_eq!(component[3], component[4]);
+        assert_ne!(component[0], component[3]);
+        assert_ne!(component[3], component[5]);
+        assert_eq!(largest_component_size(&g), 3);
+    }
+
+    #[test]
+    fn pseudo_diameter_of_path_is_exact() {
+        let mut edges = Vec::new();
+        for v in 0..9u32 {
+            edges.push((v, v + 1));
+        }
+        let g = CsrGraph::from_undirected_edges(10, &edges);
+        // Start anywhere: double sweep finds the full path length.
+        assert_eq!(pseudo_diameter(&g, 4), 9);
+    }
+
+    #[test]
+    fn grid_diameter_far_exceeds_clique_diameter() {
+        // The §4.2 road-vs-social diameter contrast.
+        let grid = gms_gen::grid(12, 12);
+        let clique = gms_gen::complete(144);
+        assert!(pseudo_diameter(&grid, 0) >= 22);
+        assert_eq!(pseudo_diameter(&clique, 0), 1);
+    }
+
+    #[test]
+    fn isolated_vertex_diameter_zero() {
+        let g = CsrGraph::from_undirected_edges(3, &[]);
+        assert_eq!(pseudo_diameter(&g, 1), 0);
+    }
+}

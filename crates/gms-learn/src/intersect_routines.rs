@@ -1,0 +1,116 @@
+//! The two explicit ∩ routines of §6.5: *merge* (simultaneous scan,
+//! O(|A| + |B|)) and *galloping* (per-element binary search,
+//! O(|A| log |B|)). [`gms_core::SortedVecSet`] picks between them
+//! adaptively; this module exposes both directly so the similarity
+//! kernels can be pinned to either — the fine-tuning knob the paper
+//! describes — and so the crossover can be measured.
+
+use gms_core::NodeId;
+
+/// Merge-scan common-neighbor count over sorted slices.
+pub fn common_neighbors_merge(a: &[NodeId], b: &[NodeId]) -> usize {
+    let (mut i, mut j, mut count) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Galloping common-neighbor count: binary-search each element of the
+/// smaller slice in the larger one.
+pub fn common_neighbors_galloping(a: &[NodeId], b: &[NodeId]) -> usize {
+    let (small, big) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let mut count = 0;
+    let mut from = 0usize;
+    for &x in small {
+        let pos = from + big[from..].partition_point(|&y| y < x);
+        if pos < big.len() && big[pos] == x {
+            count += 1;
+            from = pos + 1;
+        } else {
+            from = pos;
+        }
+        if from >= big.len() {
+            break;
+        }
+    }
+    count
+}
+
+/// Which routine a size-adaptive policy would pick (the heuristic
+/// inside `SortedVecSet`): galloping when one side is ≥16× larger.
+pub fn adaptive_choice(len_a: usize, len_b: usize) -> &'static str {
+    let (small, big) = (len_a.min(len_b), len_a.max(len_b));
+    if small > 0 && big / small >= 16 {
+        "galloping"
+    } else {
+        "merge"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routines_agree_on_fixed_cases() {
+        let cases: Vec<(Vec<u32>, Vec<u32>)> = vec![
+            (vec![], vec![]),
+            (vec![1, 2, 3], vec![]),
+            (vec![1, 3, 5, 7], vec![2, 3, 4, 7]),
+            ((0..100).collect(), (50..150).collect()),
+            (vec![5], (0..10_000).collect()),
+        ];
+        for (a, b) in cases {
+            assert_eq!(
+                common_neighbors_merge(&a, &b),
+                common_neighbors_galloping(&a, &b),
+                "{a:?} ∩ {b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn routines_agree_on_random_neighborhoods() {
+        use gms_core::Graph as _;
+        let g = gms_gen::kronecker_default(9, 8, 11);
+        for u in (0..g.num_vertices() as u32).step_by(17) {
+            for v in (1..g.num_vertices() as u32).step_by(23) {
+                let a = g.neighbors_slice(u);
+                let b = g.neighbors_slice(v);
+                assert_eq!(
+                    common_neighbors_merge(a, b),
+                    common_neighbors_galloping(a, b)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_policy_switches_at_the_ratio() {
+        assert_eq!(adaptive_choice(100, 110), "merge");
+        assert_eq!(adaptive_choice(10, 100), "merge");
+        assert_eq!(adaptive_choice(10, 160), "galloping");
+        assert_eq!(adaptive_choice(160, 10), "galloping");
+        assert_eq!(adaptive_choice(0, 100), "merge");
+    }
+
+    #[test]
+    fn counts_match_set_interface() {
+        use gms_core::{Set, SortedVecSet};
+        let a: Vec<u32> = (0..500).step_by(3).collect();
+        let b: Vec<u32> = (0..500).step_by(5).collect();
+        let sa = SortedVecSet::from_sorted(&a);
+        let sb = SortedVecSet::from_sorted(&b);
+        assert_eq!(common_neighbors_merge(&a, &b), sa.intersect_count(&sb));
+        assert_eq!(common_neighbors_galloping(&a, &b), sa.intersect_count(&sb));
+    }
+}

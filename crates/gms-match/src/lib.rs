@@ -1,0 +1,19 @@
+//! # gms-match
+//!
+//! Subgraph isomorphism for GraphMineSuite-rs (§6.4): a VF2-style
+//! backtracking matcher over vertex-labeled graphs, in induced and
+//! non-induced variants, plus the parallel VF3-Light-style driver with
+//! the paper's work-splitting / work-stealing / galloping-membership /
+//! candidate-precompute optimizations.
+
+#![warn(missing_docs)]
+
+pub mod fsm;
+pub mod labeled;
+pub mod parallel;
+pub mod vf2;
+
+pub use labeled::LabeledGraph;
+pub use parallel::{count_embeddings_parallel, ParallelIsoConfig};
+pub use fsm::{frequent_subgraphs, mni_support, ExplorationStrategy, FrequentPattern, FsmConfig};
+pub use vf2::{count_embeddings, enumerate_embeddings, is_subgraph, IsoMode, IsoOptions};

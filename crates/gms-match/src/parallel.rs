@@ -1,0 +1,171 @@
+//! Parallel subgraph isomorphism (§6.4): the VF3-Light-style driver
+//! with the paper's two load-balancing features.
+//!
+//! * **Work splitting** — the root-candidate list (target vertices
+//!   from which backtracking starts) is split across threads.
+//! * **Work stealing** — idle threads take further root vertices from
+//!   a lock-free queue instead of a static chunk; the paper implements
+//!   this with a CAS-retrieved queue of vertex IDs, which maps exactly
+//!   onto `crossbeam`'s `Injector`.
+//!
+//! Diverse backtracking depths per root vertex make some threads
+//! finish early; stealing flattens that imbalance (the effect Fig. 7
+//! measures thread-by-thread).
+
+use crate::labeled::LabeledGraph;
+use crate::vf2::{build_plan, IsoOptions, MatchState};
+use crossbeam::deque::{Injector, Steal};
+use gms_core::NodeId;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Parallel driver configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ParallelIsoConfig {
+    /// Worker thread count.
+    pub threads: usize,
+    /// Dynamic work stealing (vs. static per-thread chunks).
+    pub work_stealing: bool,
+    /// Matching options (semantics + §6.4 optimizations). The `limit`
+    /// field is treated as a soft limit in parallel runs: the driver
+    /// stops spawning new roots once reached, but roots already in
+    /// flight complete.
+    pub options: IsoOptions,
+}
+
+impl Default for ParallelIsoConfig {
+    fn default() -> Self {
+        Self {
+            threads: std::thread::available_parallelism().map_or(4, |p| p.get()),
+            work_stealing: true,
+            options: IsoOptions::default(),
+        }
+    }
+}
+
+/// Counts embeddings of `query` in `target` with the parallel driver.
+pub fn count_embeddings_parallel(
+    query: &LabeledGraph,
+    target: &LabeledGraph,
+    config: &ParallelIsoConfig,
+) -> u64 {
+    if query.num_vertices() == 0 {
+        return 1;
+    }
+    if query.num_vertices() > target.num_vertices() {
+        return 0;
+    }
+    let plan = build_plan(query, target, &config.options);
+    let threads = config.threads.max(1);
+    let total = AtomicU64::new(0);
+
+    if config.work_stealing {
+        // Lock-free global queue of root vertices (the paper's
+        // CAS-based stealing queue).
+        let queue: Injector<NodeId> = Injector::new();
+        for &root in &plan.root_candidates {
+            queue.push(root);
+        }
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    let mut state = MatchState::new(query, target, &plan, &config.options);
+                    loop {
+                        if total.load(Ordering::Relaxed) >= config.options.limit {
+                            break;
+                        }
+                        match queue.steal() {
+                            Steal::Success(root) => {
+                                state.extend_from_root(root);
+                                let found = std::mem::take(&mut state.found);
+                                total.fetch_add(found, Ordering::Relaxed);
+                            }
+                            Steal::Empty => break,
+                            Steal::Retry => continue,
+                        }
+                    }
+                });
+            }
+        });
+    } else {
+        // Static work splitting: contiguous chunks of the root list.
+        let chunk = plan.root_candidates.len().div_ceil(threads).max(1);
+        std::thread::scope(|scope| {
+            for roots in plan.root_candidates.chunks(chunk) {
+                let plan = &plan;
+                let total = &total;
+                scope.spawn(move || {
+                    let mut state = MatchState::new(query, target, plan, &config.options);
+                    for &root in roots {
+                        if total.load(Ordering::Relaxed) >= config.options.limit {
+                            break;
+                        }
+                        state.extend_from_root(root);
+                    }
+                    total.fetch_add(state.found, Ordering::Relaxed);
+                });
+            }
+        });
+    }
+    total.load(Ordering::Relaxed).min(config.options.limit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vf2::count_embeddings;
+    use gms_core::CsrGraph;
+
+    fn triangle() -> LabeledGraph {
+        LabeledGraph::unlabeled(CsrGraph::from_undirected_edges(3, &[(0, 1), (1, 2), (0, 2)]))
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let target = LabeledGraph::random_labels(gms_gen::gnp(80, 0.15, 2), 2, 4);
+        let query = target.induced(&[0, 5, 11, 17]);
+        let sequential = count_embeddings(&query, &target, &IsoOptions::default());
+        for threads in [1, 2, 4, 8] {
+            for stealing in [false, true] {
+                let config = ParallelIsoConfig {
+                    threads,
+                    work_stealing: stealing,
+                    options: IsoOptions::default(),
+                };
+                assert_eq!(
+                    count_embeddings_parallel(&query, &target, &config),
+                    sequential,
+                    "threads {threads} stealing {stealing}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_in_k5() {
+        let target = LabeledGraph::unlabeled(gms_gen::complete(5));
+        let config = ParallelIsoConfig { threads: 3, ..ParallelIsoConfig::default() };
+        // C(5,3) × 3! = 60.
+        assert_eq!(count_embeddings_parallel(&triangle(), &target, &config), 60);
+    }
+
+    #[test]
+    fn soft_limit_caps_result() {
+        let target = LabeledGraph::unlabeled(gms_gen::complete(9));
+        let config = ParallelIsoConfig {
+            threads: 4,
+            work_stealing: true,
+            options: IsoOptions { limit: 10, ..IsoOptions::default() },
+        };
+        assert_eq!(count_embeddings_parallel(&triangle(), &target, &config), 10);
+    }
+
+    #[test]
+    fn degenerate_queries() {
+        let target = triangle();
+        let empty = LabeledGraph::unlabeled(CsrGraph::from_undirected_edges(0, &[]));
+        let config = ParallelIsoConfig::default();
+        assert_eq!(count_embeddings_parallel(&empty, &target, &config), 1);
+        let big = LabeledGraph::unlabeled(gms_gen::complete(10));
+        assert_eq!(count_embeddings_parallel(&big, &target, &config), 0);
+    }
+}

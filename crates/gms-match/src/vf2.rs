@@ -1,0 +1,404 @@
+//! VF2-style backtracking subgraph isomorphism (§4.1.1, §A). Finds
+//! embeddings of a query graph `H` in a target `G`, in both the
+//! *non-induced* variant (extra target edges among mapped vertices are
+//! allowed) and the *induced* variant (they are not) — the distinction
+//! the paper's appendix spells out.
+//!
+//! The search maps query vertices in a static connectivity-aware order
+//! (highest degree first among vertices adjacent to the mapped
+//! prefix), generating candidates from the target neighborhood of an
+//! already-mapped anchor. Two optional optimizations from §6.4 are
+//! modeled:
+//!
+//! * **precompute** — a per-label candidate table filtering by label
+//!   and degree before the search starts;
+//! * **galloping membership** ("GMS SIMD") — adjacency checks via
+//!   branch-light binary search instead of linear scans.
+
+use crate::labeled::LabeledGraph;
+use gms_core::{Graph, NodeId};
+
+/// Matching semantics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IsoMode {
+    /// Mapped query non-edges may be target edges.
+    NonInduced,
+    /// Mapped query non-edges must be target non-edges.
+    Induced,
+}
+
+/// Tuning knobs modeling the §6.4 optimizations.
+#[derive(Clone, Copy, Debug)]
+pub struct IsoOptions {
+    /// Matching semantics.
+    pub mode: IsoMode,
+    /// Build label/degree candidate tables before searching.
+    pub precompute: bool,
+    /// Use binary-search adjacency tests.
+    pub galloping: bool,
+    /// Stop after this many embeddings (`u64::MAX` = enumerate all).
+    pub limit: u64,
+}
+
+impl Default for IsoOptions {
+    fn default() -> Self {
+        Self {
+            mode: IsoMode::NonInduced,
+            precompute: true,
+            galloping: true,
+            limit: u64::MAX,
+        }
+    }
+}
+
+/// Plan shared by the sequential and parallel drivers: static query
+/// order plus optional per-query-vertex candidate lists.
+pub(crate) struct MatchPlan {
+    /// Query vertices in matching order; `order[0]` is the root.
+    pub order: Vec<NodeId>,
+    /// For `order[i]` (i > 0): an earlier query vertex adjacent to it,
+    /// used to anchor candidate generation.
+    pub anchor: Vec<Option<NodeId>>,
+    /// Precomputed target candidates for the root (label+degree
+    /// filtered when `precompute` is on).
+    pub root_candidates: Vec<NodeId>,
+}
+
+pub(crate) fn build_plan(
+    query: &LabeledGraph,
+    target: &LabeledGraph,
+    options: &IsoOptions,
+) -> MatchPlan {
+    let q = query.num_vertices();
+    // Root: maximum degree (most constrained first).
+    let root = (0..q as NodeId)
+        .max_by_key(|&v| query.graph.degree(v))
+        .unwrap_or(0);
+    let mut order = vec![root];
+    let mut anchor: Vec<Option<NodeId>> = vec![None];
+    let mut placed = vec![false; q];
+    placed[root as usize] = true;
+    while order.len() < q {
+        // Next: an unplaced vertex adjacent to the prefix, of maximum
+        // degree; fall back to any unplaced vertex (disconnected query).
+        let next = (0..q as NodeId)
+            .filter(|&v| !placed[v as usize])
+            .max_by_key(|&v| {
+                let adjacent = query
+                    .graph
+                    .neighbors(v)
+                    .filter(|&w| placed[w as usize])
+                    .count();
+                (adjacent.min(1), query.graph.degree(v))
+            })
+            .expect("unplaced vertex exists");
+        let anchor_vertex = query
+            .graph
+            .neighbors(next)
+            .find(|&w| placed[w as usize]);
+        order.push(next);
+        anchor.push(anchor_vertex);
+        placed[next as usize] = true;
+    }
+
+    let root_candidates: Vec<NodeId> = if options.precompute {
+        (0..target.num_vertices() as NodeId)
+            .filter(|&t| {
+                target.label(t) == query.label(root)
+                    && target.graph.degree(t) >= query.graph.degree(root)
+            })
+            .collect()
+    } else {
+        (0..target.num_vertices() as NodeId).collect()
+    };
+    MatchPlan { order, anchor, root_candidates }
+}
+
+pub(crate) struct MatchState<'a> {
+    pub query: &'a LabeledGraph,
+    pub target: &'a LabeledGraph,
+    pub plan: &'a MatchPlan,
+    pub options: &'a IsoOptions,
+    /// `mapping[q]` = target vertex or `u32::MAX`.
+    pub mapping: Vec<NodeId>,
+    /// Targets already used.
+    pub used: Vec<bool>,
+    pub found: u64,
+}
+
+const UNMAPPED: NodeId = u32::MAX;
+
+impl<'a> MatchState<'a> {
+    pub fn new(
+        query: &'a LabeledGraph,
+        target: &'a LabeledGraph,
+        plan: &'a MatchPlan,
+        options: &'a IsoOptions,
+    ) -> Self {
+        Self {
+            query,
+            target,
+            plan,
+            options,
+            mapping: vec![UNMAPPED; query.num_vertices()],
+            used: vec![false; target.num_vertices()],
+            found: 0,
+        }
+    }
+
+    #[inline]
+    fn adjacent(&self, u: NodeId, v: NodeId) -> bool {
+        if self.options.galloping {
+            self.target.graph.neighbors_slice(u).binary_search(&v).is_ok()
+        } else {
+            self.target.graph.neighbors_slice(u).contains(&v)
+        }
+    }
+
+    /// Checks mapping query vertex `qv` to target `tv` against all
+    /// previously mapped query vertices.
+    fn feasible(&self, qv: NodeId, tv: NodeId) -> bool {
+        if self.used[tv as usize] || self.target.label(tv) != self.query.label(qv) {
+            return false;
+        }
+        if self.target.graph.degree(tv) < self.query.graph.degree(qv) {
+            return false;
+        }
+        for prev_q in 0..self.query.num_vertices() as NodeId {
+            let prev_t = self.mapping[prev_q as usize];
+            if prev_t == UNMAPPED {
+                continue;
+            }
+            let q_edge = self.query.graph.has_edge(qv, prev_q);
+            if q_edge {
+                if !self.adjacent(tv, prev_t) {
+                    return false;
+                }
+            } else if self.options.mode == IsoMode::Induced && self.adjacent(tv, prev_t) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Recursive extension from position `depth` in the plan order.
+    pub fn extend(&mut self, depth: usize) {
+        if self.found >= self.options.limit {
+            return;
+        }
+        if depth == self.plan.order.len() {
+            self.found += 1;
+            return;
+        }
+        let qv = self.plan.order[depth];
+        match self.plan.anchor[depth] {
+            Some(anchor_q) => {
+                let anchor_t = self.mapping[anchor_q as usize];
+                debug_assert_ne!(anchor_t, UNMAPPED);
+                let neighbors: Vec<NodeId> =
+                    self.target.graph.neighbors_slice(anchor_t).to_vec();
+                for tv in neighbors {
+                    if self.feasible(qv, tv) {
+                        self.assign_and_recurse(qv, tv, depth);
+                    }
+                }
+            }
+            None => {
+                // Root of a (component of the) query: try the
+                // precomputed candidate list (only depth 0 in connected
+                // queries) or all target vertices.
+                let candidates: Vec<NodeId> = if depth == 0 {
+                    self.plan.root_candidates.clone()
+                } else {
+                    (0..self.target.num_vertices() as NodeId).collect()
+                };
+                for tv in candidates {
+                    if self.feasible(qv, tv) {
+                        self.assign_and_recurse(qv, tv, depth);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Seeds the root mapping and searches the rest; used by the
+    /// parallel driver to split the root candidates across workers.
+    pub fn extend_from_root(&mut self, root_target: NodeId) {
+        let root_q = self.plan.order[0];
+        if self.feasible(root_q, root_target) {
+            self.assign_and_recurse(root_q, root_target, 0);
+        }
+    }
+
+    #[inline]
+    fn assign_and_recurse(&mut self, qv: NodeId, tv: NodeId, depth: usize) {
+        self.mapping[qv as usize] = tv;
+        self.used[tv as usize] = true;
+        self.extend(depth + 1);
+        self.mapping[qv as usize] = UNMAPPED;
+        self.used[tv as usize] = false;
+    }
+}
+
+impl MatchState<'_> {
+    /// Visitor-driven extension: calls `visit` with the complete
+    /// query→target mapping for every embedding; `visit` returning
+    /// `false` aborts the traversal. Returns whether to continue.
+    fn extend_visit<F: FnMut(&[NodeId]) -> bool>(&mut self, depth: usize, visit: &mut F) -> bool {
+        if depth == self.plan.order.len() {
+            self.found += 1;
+            // Mapping is indexed by query vertex, fully populated here.
+            return visit(&self.mapping);
+        }
+        let qv = self.plan.order[depth];
+        let candidates: Vec<NodeId> = match self.plan.anchor[depth] {
+            Some(anchor_q) => {
+                let anchor_t = self.mapping[anchor_q as usize];
+                self.target.graph.neighbors_slice(anchor_t).to_vec()
+            }
+            None if depth == 0 => self.plan.root_candidates.clone(),
+            None => (0..self.target.num_vertices() as NodeId).collect(),
+        };
+        for tv in candidates {
+            if self.feasible(qv, tv) {
+                self.mapping[qv as usize] = tv;
+                self.used[tv as usize] = true;
+                let keep_going = self.extend_visit(depth + 1, visit);
+                self.mapping[qv as usize] = UNMAPPED;
+                self.used[tv as usize] = false;
+                if !keep_going {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Enumerates every embedding of `query` in `target`, invoking `visit`
+/// with the query-indexed mapping; `visit` returning `false` stops the
+/// search. Returns the number of embeddings visited.
+pub fn enumerate_embeddings(
+    query: &LabeledGraph,
+    target: &LabeledGraph,
+    options: &IsoOptions,
+    mut visit: impl FnMut(&[NodeId]) -> bool,
+) -> u64 {
+    if query.num_vertices() == 0 || query.num_vertices() > target.num_vertices() {
+        return 0;
+    }
+    let plan = build_plan(query, target, options);
+    let mut state = MatchState::new(query, target, &plan, options);
+    state.extend_visit(0, &mut visit);
+    state.found
+}
+
+/// Counts embeddings of `query` in `target` (sequential VF2).
+pub fn count_embeddings(
+    query: &LabeledGraph,
+    target: &LabeledGraph,
+    options: &IsoOptions,
+) -> u64 {
+    if query.num_vertices() == 0 || query.num_vertices() > target.num_vertices() {
+        return if query.num_vertices() == 0 { 1 } else { 0 };
+    }
+    let plan = build_plan(query, target, options);
+    let mut state = MatchState::new(query, target, &plan, options);
+    state.extend(0);
+    state.found
+}
+
+/// `true` iff at least one embedding exists.
+pub fn is_subgraph(query: &LabeledGraph, target: &LabeledGraph, mode: IsoMode) -> bool {
+    let options = IsoOptions { mode, limit: 1, ..IsoOptions::default() };
+    count_embeddings(query, target, &options) > 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gms_core::CsrGraph;
+
+    fn unlabeled(n: usize, edges: &[(u32, u32)]) -> LabeledGraph {
+        LabeledGraph::unlabeled(CsrGraph::from_undirected_edges(n, edges))
+    }
+
+    fn triangle() -> LabeledGraph {
+        unlabeled(3, &[(0, 1), (1, 2), (0, 2)])
+    }
+
+    #[test]
+    fn triangle_in_k4_has_24_embeddings() {
+        // 4 vertex subsets × 3! orderings.
+        let target = LabeledGraph::unlabeled(gms_gen::complete(4));
+        assert_eq!(count_embeddings(&triangle(), &target, &IsoOptions::default()), 24);
+    }
+
+    #[test]
+    fn induced_vs_non_induced() {
+        // Query: path on 3 vertices. Target: triangle.
+        let path = unlabeled(3, &[(0, 1), (1, 2)]);
+        let non_induced = IsoOptions::default();
+        assert_eq!(count_embeddings(&path, &triangle(), &non_induced), 6);
+        let induced = IsoOptions { mode: IsoMode::Induced, ..IsoOptions::default() };
+        // A triangle has no induced P3.
+        assert_eq!(count_embeddings(&path, &triangle(), &induced), 0);
+    }
+
+    #[test]
+    fn labels_constrain_matching() {
+        let target = LabeledGraph::new(
+            CsrGraph::from_undirected_edges(3, &[(0, 1), (1, 2), (0, 2)]),
+            vec![0, 0, 1],
+        );
+        let query = LabeledGraph::new(
+            CsrGraph::from_undirected_edges(2, &[(0, 1)]),
+            vec![0, 1],
+        );
+        // Ordered pairs with labels (0, 1): (0→2 edge? yes) and (1, 2).
+        assert_eq!(count_embeddings(&query, &target, &IsoOptions::default()), 2);
+    }
+
+    #[test]
+    fn sampled_subgraph_always_matches() {
+        let target = LabeledGraph::random_labels(gms_gen::gnp(60, 0.2, 3), 3, 1);
+        let query = target.induced(&[3, 7, 10, 21]);
+        assert!(is_subgraph(&query, &target, IsoMode::NonInduced));
+    }
+
+    #[test]
+    fn limit_short_circuits() {
+        let target = LabeledGraph::unlabeled(gms_gen::complete(8));
+        let options = IsoOptions { limit: 5, ..IsoOptions::default() };
+        assert_eq!(count_embeddings(&triangle(), &target, &options), 5);
+    }
+
+    #[test]
+    fn optimizations_do_not_change_counts() {
+        let target = LabeledGraph::random_labels(gms_gen::gnp(40, 0.25, 5), 2, 2);
+        let query = target.induced(&[1, 4, 9]);
+        let base = IsoOptions {
+            precompute: false,
+            galloping: false,
+            ..IsoOptions::default()
+        };
+        let opt = IsoOptions::default();
+        assert_eq!(
+            count_embeddings(&query, &target, &base),
+            count_embeddings(&query, &target, &opt)
+        );
+    }
+
+    #[test]
+    fn oversized_query_matches_nothing() {
+        let query = unlabeled(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let target = triangle();
+        assert_eq!(count_embeddings(&query, &target, &IsoOptions::default()), 0);
+    }
+
+    #[test]
+    fn empty_query_matches_once() {
+        let query = unlabeled(0, &[]);
+        assert_eq!(count_embeddings(&query, &triangle(), &IsoOptions::default()), 1);
+    }
+}

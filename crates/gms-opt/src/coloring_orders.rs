@@ -1,0 +1,164 @@
+//! The Hasenplaugh et al. ordering heuristics for parallel coloring
+//! (Table 4: "Hasenplaugh et al.'s (HS)" — vertex prioritization).
+//! Each heuristic produces a priority [`Rank`] for the Jones–Plassmann
+//! driver; the color count and round count vary with the heuristic,
+//! which is exactly the experimentation surface the paper's modularity
+//! (③/⑤) exposes.
+
+use gms_core::{CsrGraph, Graph, NodeId};
+use gms_graph::Rank;
+
+/// The classical priority heuristics (Hasenplaugh et al., SPAA'14).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ColoringOrder {
+    /// Largest-degree-first (LF): high-degree vertices color early.
+    LargestDegreeFirst,
+    /// Smallest-degree-last (SL): priorities from the degeneracy
+    /// peeling — vertices peeled last color first; guarantees at most
+    /// `d + 1` colors under sequential greedy.
+    SmallestDegreeLast,
+    /// Largest-log-degree-first (LLF): degrees bucketed by ⌈log₂⌉,
+    /// ties broken by ID — fewer priority levels, fewer JP rounds.
+    LargestLogDegreeFirst,
+    /// Smallest-log-degree-last (SLL): the log-bucketed SL variant.
+    SmallestLogDegreeLast,
+    /// Seeded pseudo-random priorities (the classic JP baseline).
+    Random(u64),
+}
+
+impl ColoringOrder {
+    /// All deterministic heuristics plus one random seed.
+    pub const ALL: [ColoringOrder; 5] = [
+        ColoringOrder::LargestDegreeFirst,
+        ColoringOrder::SmallestDegreeLast,
+        ColoringOrder::LargestLogDegreeFirst,
+        ColoringOrder::SmallestLogDegreeLast,
+        ColoringOrder::Random(7),
+    ];
+
+    /// Display label.
+    pub fn label(&self) -> String {
+        match self {
+            ColoringOrder::LargestDegreeFirst => "LF".into(),
+            ColoringOrder::SmallestDegreeLast => "SL".into(),
+            ColoringOrder::LargestLogDegreeFirst => "LLF".into(),
+            ColoringOrder::SmallestLogDegreeLast => "SLL".into(),
+            ColoringOrder::Random(seed) => format!("R({seed})"),
+        }
+    }
+
+    /// Computes the priority rank (position 0 = highest priority =
+    /// colors first).
+    pub fn compute(&self, graph: &CsrGraph) -> Rank {
+        let n = graph.num_vertices();
+        match *self {
+            ColoringOrder::LargestDegreeFirst => {
+                let mut vertices: Vec<NodeId> = graph.vertices().collect();
+                vertices.sort_unstable_by_key(|&v| (std::cmp::Reverse(graph.degree(v)), v));
+                Rank::from_order(&vertices)
+            }
+            ColoringOrder::LargestLogDegreeFirst => {
+                let mut vertices: Vec<NodeId> = graph.vertices().collect();
+                vertices.sort_unstable_by_key(|&v| {
+                    (std::cmp::Reverse(log_bucket(graph.degree(v))), v)
+                });
+                Rank::from_order(&vertices)
+            }
+            ColoringOrder::SmallestDegreeLast => {
+                // Degeneracy peeling order reversed: peeled-last first.
+                let peel = gms_order::degeneracy_order(graph).rank;
+                let mut order = peel.order();
+                order.reverse();
+                Rank::from_order(&order)
+            }
+            ColoringOrder::SmallestLogDegreeLast => {
+                // Batched peeling: every round removes the whole
+                // minimum log-degree bucket (the coarse SL variant with
+                // O(log Δ · log n)-ish round structure).
+                let mut degree: Vec<usize> =
+                    (0..n).map(|v| graph.degree(v as NodeId)).collect();
+                let mut removed = vec![false; n];
+                let mut order: Vec<NodeId> = Vec::with_capacity(n);
+                while order.len() < n {
+                    let min_bucket = (0..n)
+                        .filter(|&v| !removed[v])
+                        .map(|v| log_bucket(degree[v]))
+                        .min()
+                        .expect("vertices remain");
+                    let batch: Vec<NodeId> = (0..n as NodeId)
+                        .filter(|&v| {
+                            !removed[v as usize]
+                                && log_bucket(degree[v as usize]) == min_bucket
+                        })
+                        .collect();
+                    for &v in &batch {
+                        removed[v as usize] = true;
+                    }
+                    for &v in &batch {
+                        for w in graph.neighbors(v) {
+                            if !removed[w as usize] {
+                                degree[w as usize] -= 1;
+                            }
+                        }
+                    }
+                    order.extend(batch);
+                }
+                order.reverse();
+                Rank::from_order(&order)
+            }
+            ColoringOrder::Random(seed) => gms_order::random_order(n, seed),
+        }
+    }
+}
+
+/// ⌈log₂(d + 1)⌉ bucket of a degree.
+fn log_bucket(degree: usize) -> u32 {
+    usize::BITS - degree.leading_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coloring::{jones_plassmann, verify_coloring};
+
+    #[test]
+    fn every_heuristic_yields_a_proper_coloring() {
+        let g = gms_gen::kronecker_default(9, 8, 3);
+        for order in ColoringOrder::ALL {
+            let rank = order.compute(&g);
+            let (colors, rounds) = jones_plassmann(&g, &rank);
+            let used = verify_coloring(&g, &colors)
+                .unwrap_or_else(|e| panic!("{}: conflict {e:?}", order.label()));
+            assert!(used <= g.max_degree() + 1, "{}", order.label());
+            assert!(rounds >= 1);
+        }
+    }
+
+    #[test]
+    fn sl_respects_the_degeneracy_bound() {
+        let g = gms_gen::gnp(250, 0.05, 6);
+        let d = gms_order::degeneracy_order(&g).degeneracy;
+        let rank = ColoringOrder::SmallestDegreeLast.compute(&g);
+        // Sequential greedy in SL order is the classical d+1 coloring.
+        let colors = crate::coloring::greedy_coloring(&g, &rank);
+        let used = verify_coloring(&g, &colors).unwrap();
+        assert!(used <= d + 1, "SL greedy used {used} > d+1 = {}", d + 1);
+    }
+
+    #[test]
+    fn log_bucketing_coarsens_priorities() {
+        assert_eq!(log_bucket(0), 0);
+        assert_eq!(log_bucket(1), 1);
+        assert_eq!(log_bucket(2), 2);
+        assert_eq!(log_bucket(3), 2);
+        assert_eq!(log_bucket(4), 3);
+        assert_eq!(log_bucket(1000), 10);
+    }
+
+    #[test]
+    fn lf_prioritizes_hubs() {
+        let g = CsrGraph::from_undirected_edges(5, &[(0, 1), (0, 2), (0, 3), (3, 4)]);
+        let rank = ColoringOrder::LargestDegreeFirst.compute(&g);
+        assert_eq!(rank.rank_of(0), 0, "the degree-3 hub goes first");
+    }
+}

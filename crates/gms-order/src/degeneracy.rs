@@ -1,0 +1,163 @@
+//! Exact degeneracy ordering (DGR, §6.1): the Matula–Beck smallest-
+//! last peeling. Repeatedly removing a minimum-degree vertex yields an
+//! ordering in which every vertex has at most `d` (the degeneracy)
+//! neighbors ranked later — the property that bounds the candidate set
+//! `P` in Bron–Kerbosch and the out-degree after orientation.
+//!
+//! The bucket-queue implementation runs in O(n + m) but is inherently
+//! sequential (`O(n)` iterations even in parallel — the motivation for
+//! the approximate order in [`crate::adg`]).
+
+use gms_core::{CsrGraph, Graph, NodeId};
+use gms_graph::Rank;
+
+/// Result of the exact degeneracy peeling.
+#[derive(Clone, Debug)]
+pub struct Degeneracy {
+    /// The degeneracy ordering (peeling order).
+    pub rank: Rank,
+    /// The graph degeneracy `d`.
+    pub degeneracy: usize,
+    /// Core number of every vertex (the largest `k` such that the
+    /// vertex survives in the `k`-core).
+    pub core_numbers: Vec<u32>,
+}
+
+/// Computes the exact degeneracy ordering with an O(n + m) bucket queue.
+pub fn degeneracy_order(graph: &CsrGraph) -> Degeneracy {
+    let n = graph.num_vertices();
+    let mut degree: Vec<usize> = (0..n).map(|v| graph.degree(v as NodeId)).collect();
+    let max_degree = degree.iter().copied().max().unwrap_or(0);
+
+    // Bucket queue: vertices grouped by current degree, with a
+    // position index enabling O(1) moves between buckets.
+    let mut bucket_of: Vec<usize> = degree.clone();
+    let mut buckets: Vec<Vec<NodeId>> = vec![Vec::new(); max_degree + 1];
+    let mut position: Vec<usize> = vec![0; n];
+    for v in 0..n {
+        position[v] = buckets[degree[v]].len();
+        buckets[degree[v]].push(v as NodeId);
+    }
+
+    let mut order: Vec<NodeId> = Vec::with_capacity(n);
+    let mut removed = vec![false; n];
+    let mut core_numbers = vec![0u32; n];
+    let mut degeneracy = 0usize;
+    let mut current = 0usize;
+    for _ in 0..n {
+        // Find the lowest non-empty bucket. `current` only needs to
+        // back up by one per removal, keeping the scan O(n + m) total.
+        while current <= max_degree && buckets[current].is_empty() {
+            current += 1;
+        }
+        let v = buckets[current].pop().expect("non-empty bucket");
+        removed[v as usize] = true;
+        degeneracy = degeneracy.max(current);
+        core_numbers[v as usize] = degeneracy as u32;
+        order.push(v);
+        for w in graph.neighbors(v) {
+            let w = w as usize;
+            if removed[w] {
+                continue;
+            }
+            // Move w down one bucket.
+            let b = bucket_of[w];
+            let pos = position[w];
+            let last = buckets[b].pop().expect("w's bucket non-empty");
+            if last != w as NodeId {
+                buckets[b][pos] = last;
+                position[last as usize] = pos;
+            }
+            bucket_of[w] = b - 1;
+            position[w] = buckets[b - 1].len();
+            buckets[b - 1].push(w as NodeId);
+            degree[w] -= 1;
+            if b - 1 < current {
+                current = b - 1;
+            }
+        }
+    }
+    Degeneracy { rank: Rank::from_order(&order), degeneracy, core_numbers }
+}
+
+/// Checks the degeneracy-order invariant: every vertex has at most
+/// `bound` neighbors ranked later. Used by tests and the concurrency-
+/// analysis experiments (Table 5).
+pub fn later_neighbor_bound(graph: &CsrGraph, rank: &Rank) -> usize {
+    graph
+        .vertices()
+        .map(|v| graph.neighbors(v).filter(|&w| rank.precedes(v, w)).count())
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_has_degeneracy_one() {
+        let g = CsrGraph::from_undirected_edges(6, &[(0, 1), (1, 2), (1, 3), (3, 4), (3, 5)]);
+        let result = degeneracy_order(&g);
+        assert_eq!(result.degeneracy, 1);
+        assert_eq!(later_neighbor_bound(&g, &result.rank), 1);
+    }
+
+    #[test]
+    fn clique_has_degeneracy_k_minus_one() {
+        let g = gms_gen::complete(6);
+        let result = degeneracy_order(&g);
+        assert_eq!(result.degeneracy, 5);
+        assert!(result.core_numbers.iter().all(|&c| c == 5));
+    }
+
+    #[test]
+    fn clique_plus_tail() {
+        // K4 (0-3) with a pendant path 3-4-5.
+        let mut edges = vec![(3u32, 4u32), (4, 5)];
+        for i in 0..4u32 {
+            for j in i + 1..4 {
+                edges.push((i, j));
+            }
+        }
+        let g = CsrGraph::from_undirected_edges(6, &edges);
+        let result = degeneracy_order(&g);
+        assert_eq!(result.degeneracy, 3);
+        // Pendant vertices peel first at core 1.
+        assert_eq!(result.core_numbers[5], 1);
+        assert_eq!(result.core_numbers[4], 1);
+        for v in 0..4 {
+            assert_eq!(result.core_numbers[v], 3, "clique member {v}");
+        }
+        assert!(later_neighbor_bound(&g, &result.rank) <= 3);
+    }
+
+    #[test]
+    fn invariant_on_random_graph() {
+        let g = gms_gen::gnp(300, 0.05, 13);
+        let result = degeneracy_order(&g);
+        assert_eq!(
+            later_neighbor_bound(&g, &result.rank),
+            result.degeneracy,
+            "the peeling order achieves its own bound"
+        );
+    }
+
+    #[test]
+    fn core_numbers_monotone_under_peel() {
+        let g = gms_gen::gnp(200, 0.05, 3);
+        let result = degeneracy_order(&g);
+        // Core numbers never exceed degree.
+        for v in g.vertices() {
+            assert!(result.core_numbers[v as usize] as usize <= g.degree(v));
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::from_undirected_edges(0, &[]);
+        let result = degeneracy_order(&g);
+        assert_eq!(result.degeneracy, 0);
+        assert!(result.rank.is_empty());
+    }
+}

@@ -1,0 +1,115 @@
+//! `k`-clique-star listing (§6.6): a `k`-clique-star is a `k`-clique
+//! together with the satellite vertices adjacent to *all* clique
+//! members. The paper's observation: core ∪ {satellite} forms a
+//! (k+1)-clique, so mining (k+1)-cliques first and regrouping them by
+//! their `k`-subsets recovers every clique-star with set union,
+//! membership and difference operations.
+
+use crate::kclique::{k_clique_list, KcConfig};
+use gms_core::hash::FxHashMap;
+use gms_core::{CsrGraph, NodeId};
+
+/// A `k`-clique-star: the clique core plus its shared satellites.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CliqueStar {
+    /// The `k`-clique (sorted).
+    pub core: Vec<NodeId>,
+    /// Vertices adjacent to every core member (sorted); possibly empty
+    /// when the core extends to no (k+1)-clique.
+    pub satellites: Vec<NodeId>,
+}
+
+/// Lists every `k`-clique-star with at least `min_satellites`
+/// satellites. Implemented per §6.6: mine (k+1)-cliques, then for each
+/// of their `k`-subsets record the leftover vertex as a satellite.
+pub fn k_clique_stars(
+    graph: &CsrGraph,
+    k: usize,
+    min_satellites: usize,
+    config: &KcConfig,
+) -> Vec<CliqueStar> {
+    assert!(k >= 2, "clique-star cores need k >= 2");
+    let bigger = k_clique_list(graph, k + 1, config);
+    let mut stars: FxHashMap<Vec<NodeId>, Vec<NodeId>> = FxHashMap::default();
+    for clique in &bigger {
+        // Each k-subset of a (k+1)-clique is a core; the excluded
+        // member is one of its satellites (set difference of §6.6).
+        for skip in 0..clique.len() {
+            let mut core = clique.clone();
+            let satellite = core.remove(skip);
+            stars.entry(core).or_default().push(satellite);
+        }
+    }
+    let mut result: Vec<CliqueStar> = stars
+        .into_iter()
+        .filter_map(|(core, mut satellites)| {
+            satellites.sort_unstable();
+            satellites.dedup();
+            (satellites.len() >= min_satellites).then_some(CliqueStar { core, satellites })
+        })
+        .collect();
+    result.sort_by(|a, b| a.core.cmp(&b.core));
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gms_core::Graph as _;
+
+    #[test]
+    fn planted_star_is_recovered() {
+        let (g, mut core, mut satellites) = gms_gen::planted_clique_star(60, 0.0, 3, 4, 2);
+        core.sort_unstable();
+        satellites.sort_unstable();
+        let stars = k_clique_stars(&g, 3, 1, &KcConfig::default());
+        let found = stars
+            .iter()
+            .find(|s| s.core == core)
+            .expect("planted core present");
+        // Every planted satellite is adjacent to the whole core.
+        for s in &satellites {
+            assert!(found.satellites.contains(s), "satellite {s} missing");
+        }
+    }
+
+    #[test]
+    fn k4_stars_of_triangles() {
+        // In K4 every triangle (3-clique) has exactly one satellite:
+        // the remaining vertex.
+        let g = gms_gen::complete(4);
+        let stars = k_clique_stars(&g, 3, 1, &KcConfig::default());
+        assert_eq!(stars.len(), 4);
+        for star in &stars {
+            assert_eq!(star.satellites.len(), 1);
+            let all: Vec<NodeId> = (0..4).collect();
+            let missing: Vec<NodeId> = all
+                .into_iter()
+                .filter(|v| !star.core.contains(v))
+                .collect();
+            assert_eq!(star.satellites, missing);
+        }
+    }
+
+    #[test]
+    fn min_satellites_filters() {
+        let g = gms_gen::complete(6);
+        // In K6, each triangle has 3 satellites.
+        let all = k_clique_stars(&g, 3, 3, &KcConfig::default());
+        assert_eq!(all.len(), 20);
+        let none = k_clique_stars(&g, 3, 4, &KcConfig::default());
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn satellites_are_fully_connected_to_core() {
+        let g = gms_gen::gnp(40, 0.3, 14);
+        for star in k_clique_stars(&g, 3, 1, &KcConfig::default()) {
+            for &s in &star.satellites {
+                for &c in &star.core {
+                    assert!(g.has_edge(s, c));
+                }
+            }
+        }
+    }
+}

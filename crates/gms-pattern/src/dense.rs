@@ -1,0 +1,302 @@
+//! Dense (non-clique) subgraph discovery (§4.1.1, Table 4, §A): the
+//! relaxations of clique mining the paper's specification covers —
+//! densest subgraph (average-degree objective, Charikar-style peeling
+//! giving a 2-approximation), k-truss decomposition (edge-support
+//! peeling; every edge of a k-truss closes at least k−2 triangles),
+//! and γ-quasi-clique verification.
+
+use gms_core::hash::FxHashMap;
+use gms_core::{CsrGraph, Graph, NodeId, Set, SortedVecSet};
+use gms_graph::induced_subgraph;
+
+/// Result of the densest-subgraph peeling.
+#[derive(Clone, Debug)]
+pub struct DensestSubgraph {
+    /// Vertices of the best prefix found.
+    pub vertices: Vec<NodeId>,
+    /// Its density `|E(S)| / |S|` (half the average degree).
+    pub density: f64,
+}
+
+/// Charikar's greedy 2-approximation: repeatedly remove a minimum-
+/// degree vertex (the same peeling as the degeneracy order) and keep
+/// the intermediate subgraph maximizing `|E(S)| / |S|`.
+pub fn densest_subgraph(graph: &CsrGraph) -> DensestSubgraph {
+    let n = graph.num_vertices();
+    if n == 0 {
+        return DensestSubgraph { vertices: Vec::new(), density: 0.0 };
+    }
+    // Peel with a bucket queue, tracking density after each removal.
+    let mut degree: Vec<usize> = (0..n).map(|v| graph.degree(v as NodeId)).collect();
+    let max_degree = degree.iter().copied().max().unwrap_or(0);
+    let mut buckets: Vec<Vec<NodeId>> = vec![Vec::new(); max_degree + 1];
+    let mut position = vec![0usize; n];
+    let mut bucket_of = degree.clone();
+    for v in 0..n {
+        position[v] = buckets[degree[v]].len();
+        buckets[degree[v]].push(v as NodeId);
+    }
+    let mut removed = vec![false; n];
+    let mut removal_order = Vec::with_capacity(n);
+    let mut edges_left = graph.num_edges_undirected();
+    let mut vertices_left = n;
+    let mut current = 0usize;
+    // (density, removals made): start with the whole graph.
+    let mut best = (edges_left as f64 / n as f64, 0usize);
+
+    for step in 0..n {
+        while current <= max_degree && buckets[current].is_empty() {
+            current += 1;
+        }
+        let v = buckets[current].pop().expect("non-empty bucket");
+        removed[v as usize] = true;
+        removal_order.push(v);
+        edges_left -= degree[v as usize];
+        vertices_left -= 1;
+        for w in graph.neighbors(v) {
+            let w = w as usize;
+            if removed[w] {
+                continue;
+            }
+            let b = bucket_of[w];
+            let pos = position[w];
+            let last = buckets[b].pop().expect("bucket non-empty");
+            if last != w as NodeId {
+                buckets[b][pos] = last;
+                position[last as usize] = pos;
+            }
+            bucket_of[w] = b - 1;
+            position[w] = buckets[b - 1].len();
+            buckets[b - 1].push(w as NodeId);
+            degree[w] -= 1;
+            if b - 1 < current {
+                current = b - 1;
+            }
+        }
+        if vertices_left > 0 {
+            let density = edges_left as f64 / vertices_left as f64;
+            if density > best.0 {
+                best = (density, step + 1);
+            }
+        }
+    }
+
+    // The best subgraph = everything not yet removed after `best.1`
+    // removals.
+    let removed_set: std::collections::HashSet<NodeId> =
+        removal_order[..best.1].iter().copied().collect();
+    let vertices: Vec<NodeId> = graph
+        .vertices()
+        .filter(|v| !removed_set.contains(v))
+        .collect();
+    DensestSubgraph { vertices, density: best.0 }
+}
+
+/// Density `|E(S)| / |S|` of an induced subgraph.
+pub fn subgraph_density(graph: &CsrGraph, vertices: &[NodeId]) -> f64 {
+    if vertices.is_empty() {
+        return 0.0;
+    }
+    let (sub, _) = induced_subgraph(graph, vertices);
+    sub.num_edges_undirected() as f64 / vertices.len() as f64
+}
+
+/// `true` iff `vertices` induce a γ-quasi-clique: at least
+/// `γ · |S|·(|S|−1)/2` induced edges.
+pub fn is_quasi_clique(graph: &CsrGraph, vertices: &[NodeId], gamma: f64) -> bool {
+    assert!((0.0..=1.0).contains(&gamma));
+    let s = vertices.len();
+    if s < 2 {
+        return true;
+    }
+    let (sub, _) = induced_subgraph(graph, vertices);
+    sub.num_edges_undirected() as f64 >= gamma * (s * (s - 1)) as f64 / 2.0 - 1e-9
+}
+
+/// Truss decomposition: for every edge, the largest `k` such that the
+/// edge survives in the k-truss (the maximal subgraph where every edge
+/// participates in ≥ k−2 triangles). Returns a map from normalized
+/// edges to their truss numbers (≥ 2 for every edge).
+pub fn truss_decomposition(graph: &CsrGraph) -> FxHashMap<(NodeId, NodeId), u32> {
+    // Support = number of triangles through each edge.
+    let mut support: FxHashMap<(NodeId, NodeId), u32> = FxHashMap::default();
+    let neighborhoods: Vec<SortedVecSet> = graph
+        .vertices()
+        .map(|v| SortedVecSet::from_sorted(graph.neighbors_slice(v)))
+        .collect();
+    for (u, v) in graph.edges_undirected() {
+        let common = neighborhoods[u as usize].intersect_count(&neighborhoods[v as usize]);
+        support.insert((u, v), common as u32);
+    }
+    // Peel edges in increasing support (bucket queue over support).
+    let mut alive: FxHashMap<(NodeId, NodeId), bool> =
+        support.keys().map(|&e| (e, true)).collect();
+    let mut edges: Vec<(NodeId, NodeId)> = support.keys().copied().collect();
+    edges.sort_unstable();
+    let mut truss: FxHashMap<(NodeId, NodeId), u32> = FxHashMap::default();
+    let mut k = 2u32;
+    let mut remaining = edges.len();
+    while remaining > 0 {
+        // Peel all edges with support <= k - 2 at the current level.
+        loop {
+            let mut peel: Vec<(NodeId, NodeId)> = support
+                .iter()
+                .filter(|(e, &s)| alive[*e] && s + 2 <= k)
+                .map(|(&e, _)| e)
+                .collect();
+            if peel.is_empty() {
+                break;
+            }
+            peel.sort_unstable();
+            for e in peel {
+                if !alive[&e] {
+                    continue;
+                }
+                alive.insert(e, false);
+                truss.insert(e, k);
+                remaining -= 1;
+                let (u, v) = e;
+                // Each common alive neighbor w loses one triangle on
+                // edges (u,w) and (v,w).
+                let common =
+                    neighborhoods[u as usize].intersect(&neighborhoods[v as usize]);
+                for w in common.iter() {
+                    for other in [gms_core::normalize_edge(u, w), gms_core::normalize_edge(v, w)] {
+                        if alive.get(&other).copied().unwrap_or(false) {
+                            if let Some(s) = support.get_mut(&other) {
+                                *s = s.saturating_sub(1);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        k += 1;
+        debug_assert!(k < 100_000, "truss peeling failed to progress");
+    }
+    truss
+}
+
+/// Maximum truss number in the graph (0 on edgeless graphs).
+pub fn max_truss(graph: &CsrGraph) -> u32 {
+    truss_decomposition(graph).values().copied().max().unwrap_or(0)
+}
+
+/// Vertices of the `k`-truss (the subgraph of edges with truss ≥ k).
+pub fn k_truss_vertices(graph: &CsrGraph, k: u32) -> Vec<NodeId> {
+    let truss = truss_decomposition(graph);
+    let mut vertices: Vec<NodeId> = truss
+        .iter()
+        .filter(|(_, &t)| t >= k)
+        .flat_map(|(&(u, v), _)| [u, v])
+        .collect();
+    vertices.sort_unstable();
+    vertices.dedup();
+    vertices
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clique_with_tail(k: usize) -> CsrGraph {
+        let mut edges = vec![(k as u32 - 1, k as u32), (k as u32, k as u32 + 1)];
+        for i in 0..k as u32 {
+            for j in i + 1..k as u32 {
+                edges.push((i, j));
+            }
+        }
+        CsrGraph::from_undirected_edges(k + 2, &edges)
+    }
+
+    #[test]
+    fn densest_subgraph_finds_the_planted_clique() {
+        let (g, groups) = gms_gen::planted_cliques(300, 0.01, 1, 12, 5);
+        let result = densest_subgraph(&g);
+        // The 12-clique has density 11/2 = 5.5; the sparse background
+        // cannot reach that, so all planted members must survive.
+        let mut expected = groups[0].clone();
+        expected.sort_unstable();
+        for v in &expected {
+            assert!(result.vertices.contains(v), "clique member {v} peeled away");
+        }
+        assert!(result.density >= 5.5 - 1e9_f64.recip());
+    }
+
+    #[test]
+    fn densest_subgraph_density_matches_recount() {
+        let g = gms_gen::gnp(120, 0.08, 3);
+        let result = densest_subgraph(&g);
+        let recount = subgraph_density(&g, &result.vertices);
+        assert!(
+            (result.density - recount).abs() < 1e-9,
+            "{} vs {recount}",
+            result.density
+        );
+        // 2-approximation sanity: at least half the global density.
+        use gms_core::Graph as _;
+        let global = g.num_edges_undirected() as f64 / g.num_vertices() as f64;
+        assert!(result.density >= global / 2.0);
+    }
+
+    #[test]
+    fn quasi_clique_thresholds() {
+        let g = clique_with_tail(5);
+        let clique: Vec<NodeId> = (0..5).collect();
+        assert!(is_quasi_clique(&g, &clique, 1.0));
+        let with_tail: Vec<NodeId> = (0..6).collect();
+        assert!(!is_quasi_clique(&g, &with_tail, 1.0));
+        assert!(is_quasi_clique(&g, &with_tail, 0.7)); // 11 of 15 pairs
+        assert!(is_quasi_clique(&g, &[0], 1.0), "singletons are trivially dense");
+    }
+
+    #[test]
+    fn truss_of_clique_is_its_size() {
+        // In K5, every edge lies in 3 triangles → 5-truss.
+        let g = gms_gen::complete(5);
+        let truss = truss_decomposition(&g);
+        assert_eq!(truss.len(), 10);
+        assert!(truss.values().all(|&t| t == 5));
+        assert_eq!(max_truss(&g), 5);
+    }
+
+    #[test]
+    fn truss_separates_clique_from_tail() {
+        let g = clique_with_tail(5);
+        let truss = truss_decomposition(&g);
+        // Tail edges have no triangles → truss 2.
+        assert_eq!(truss[&(5, 6)], 2);
+        assert_eq!(truss[&(4, 5)], 2);
+        // Clique edges reach truss 5.
+        assert_eq!(truss[&(0, 1)], 5);
+        assert_eq!(k_truss_vertices(&g, 5), vec![0, 1, 2, 3, 4]);
+        assert_eq!(k_truss_vertices(&g, 2).len(), 7);
+    }
+
+    #[test]
+    fn triangle_free_graphs_are_two_trusses() {
+        let g = gms_gen::grid(6, 6);
+        let truss = truss_decomposition(&g);
+        assert!(truss.values().all(|&t| t == 2));
+    }
+
+    #[test]
+    fn truss_at_most_core_plus_one() {
+        // Known relation: truss(e) ≤ core(u) + 1 for e = (u, v).
+        let g = gms_gen::gnp(80, 0.12, 9);
+        let truss = truss_decomposition(&g);
+        let cores = gms_order::degeneracy_order(&g).core_numbers;
+        for (&(u, v), &t) in &truss {
+            let bound = cores[u as usize].min(cores[v as usize]) + 1;
+            assert!(t <= bound, "edge ({u},{v}): truss {t} > core bound {bound}");
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::from_undirected_edges(4, &[]);
+        assert_eq!(max_truss(&g), 0);
+        let result = densest_subgraph(&g);
+        assert_eq!(result.density, 0.0);
+    }
+}

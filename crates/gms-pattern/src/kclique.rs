@@ -1,0 +1,344 @@
+//! Parallel `k`-clique listing/counting (§6.3, Algorithm 7) after
+//! Danisch et al., reformulated over set algebra.
+//!
+//! Preprocessing (③) relabels vertices by a chosen order and orients
+//! the graph (`dir(G)`: an arc `u → v` iff `η(u) < η(v)`), so every
+//! clique is discovered exactly once, in rank order. The recursion
+//! then repeatedly intersects candidate sets with forward
+//! neighborhoods (⑤⁺):
+//!
+//! ```text
+//! count(i, C_i):  if i == k → |C_k|
+//!                 else      → Σ_{v ∈ C_i} count(i+1, N⁺(v) ∩ C_i)
+//! ```
+//!
+//! One formulation serves every `k ≥ 3` (the paper notes the original
+//! code needed a special case for `k = 3`). Both the *node-parallel*
+//! and the *edge-parallel* drivers of the paper's concurrency analysis
+//! (§7.2) are provided; the space per branch is bounded by the
+//! candidate set sizes, not by Δ².
+
+use gms_core::{CsrGraph, Graph, NodeId, Set, SortedVecSet};
+use gms_graph::{orient_by_rank, relabel, Rank};
+use gms_order::OrderingKind;
+use rayon::prelude::*;
+use std::time::{Duration, Instant};
+
+/// Parallelization driver (§7.2 trade-off).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KcParallel {
+    /// One task per vertex (lower space, higher depth).
+    Node,
+    /// One task per oriented edge (higher space, lower depth; the
+    /// practical winner in the paper).
+    Edge,
+}
+
+/// Configuration of a k-clique run.
+#[derive(Clone, Debug)]
+pub struct KcConfig {
+    /// Preprocessing order (DEG / DGR / ADG / ...).
+    pub ordering: OrderingKind,
+    /// Node- or edge-parallel driver.
+    pub parallel: KcParallel,
+}
+
+impl Default for KcConfig {
+    fn default() -> Self {
+        Self {
+            ordering: OrderingKind::ApproxDegeneracy(0.25),
+            parallel: KcParallel::Edge,
+        }
+    }
+}
+
+/// Result of a k-clique counting run.
+#[derive(Clone, Debug)]
+pub struct KcOutcome {
+    /// Number of `k`-cliques.
+    pub count: u64,
+    /// Time for ordering + relabeling + orientation.
+    pub preprocess: Duration,
+    /// Time for the counting kernel.
+    pub mine: Duration,
+}
+
+impl KcOutcome {
+    /// Algorithmic throughput (§4.3): k-cliques per second of mining.
+    pub fn throughput(&self) -> f64 {
+        self.count as f64 / self.mine.as_secs_f64().max(1e-12)
+    }
+}
+
+fn count_rec<S: Set>(dag: &CsrGraph, level: usize, k: usize, candidates: &S) -> u64 {
+    if level == k {
+        return candidates.cardinality() as u64;
+    }
+    let mut total = 0u64;
+    for v in candidates.iter() {
+        let forward = S::from_sorted(dag.neighbors_slice(v));
+        let next = forward.intersect(candidates);
+        total += count_rec(dag, level + 1, k, &next);
+    }
+    total
+}
+
+/// Counts `k`-cliques with representation `S` for the candidate sets.
+pub fn k_clique_count_with<S: Set>(graph: &CsrGraph, k: usize, config: &KcConfig) -> KcOutcome {
+    assert!(k >= 1, "k must be positive");
+    let t0 = Instant::now();
+    let rank = config.ordering.compute(graph);
+    let relabeled = relabel(graph, &rank);
+    let dag = orient_by_rank(&relabeled, &Rank::identity(relabeled.num_vertices()));
+    let preprocess = t0.elapsed();
+
+    let t1 = Instant::now();
+    let count = match k {
+        1 => graph.num_vertices() as u64,
+        2 => graph.num_edges_undirected() as u64,
+        _ => match config.parallel {
+            KcParallel::Node => (0..dag.num_vertices() as NodeId)
+                .into_par_iter()
+                .map(|u| {
+                    let c2 = S::from_sorted(dag.neighbors_slice(u));
+                    count_rec(&dag, 2, k, &c2)
+                })
+                .sum(),
+            KcParallel::Edge => (0..dag.num_vertices() as NodeId)
+                .into_par_iter()
+                .flat_map_iter(|u| {
+                    dag.neighbors_slice(u).iter().map(move |&v| (u, v))
+                })
+                .map(|(u, v)| {
+                    let nu = S::from_sorted(dag.neighbors_slice(u));
+                    let nv = S::from_sorted(dag.neighbors_slice(v));
+                    let c3 = nu.intersect(&nv);
+                    count_rec(&dag, 3, k, &c3)
+                })
+                .sum(),
+        },
+    };
+    let mine = t1.elapsed();
+    KcOutcome { count, preprocess, mine }
+}
+
+/// Counts `k`-cliques with the default sorted-array candidate sets.
+pub fn k_clique_count(graph: &CsrGraph, k: usize, config: &KcConfig) -> KcOutcome {
+    k_clique_count_with::<SortedVecSet>(graph, k, config)
+}
+
+/// Lists all `k`-cliques (original vertex IDs, each sorted; the whole
+/// list sorted). Intended for tests, examples and small graphs — the
+/// output itself can be exponential in size.
+pub fn k_clique_list(graph: &CsrGraph, k: usize, config: &KcConfig) -> Vec<Vec<NodeId>> {
+    assert!(k >= 2);
+    let rank = config.ordering.compute(graph);
+    let relabeled = relabel(graph, &rank);
+    let dag = orient_by_rank(&relabeled, &Rank::identity(relabeled.num_vertices()));
+    let order = rank.order();
+
+    fn list_rec(
+        dag: &CsrGraph,
+        k: usize,
+        prefix: &mut Vec<NodeId>,
+        candidates: &SortedVecSet,
+        out: &mut Vec<Vec<NodeId>>,
+    ) {
+        if prefix.len() == k {
+            out.push(prefix.clone());
+            return;
+        }
+        for v in candidates.iter() {
+            let forward = SortedVecSet::from_sorted(dag.neighbors_slice(v));
+            let next = forward.intersect(candidates);
+            prefix.push(v);
+            if prefix.len() == k {
+                out.push(prefix.clone());
+            } else {
+                list_rec(dag, k, prefix, &next, out);
+            }
+            prefix.pop();
+        }
+    }
+
+    let mut out = Vec::new();
+    for u in 0..dag.num_vertices() as NodeId {
+        let c = SortedVecSet::from_sorted(dag.neighbors_slice(u));
+        let mut prefix = vec![u];
+        list_rec(&dag, k, &mut prefix, &c, &mut out);
+    }
+    let mut mapped: Vec<Vec<NodeId>> = out
+        .into_iter()
+        .map(|clique| {
+            let mut original: Vec<NodeId> =
+                clique.into_iter().map(|v| order[v as usize]).collect();
+            original.sort_unstable();
+            original
+        })
+        .collect();
+    mapped.sort();
+    mapped
+}
+
+/// Named k-clique baselines compared in Fig. 9.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KcVariant {
+    /// GMS: edge-parallel + ADG (this paper).
+    Gms,
+    /// GBBS-style: node-parallel + exact degeneracy order.
+    GbbsStyle,
+    /// Danisch et al.-style: edge-parallel + exact degeneracy order.
+    DanischStyle,
+}
+
+impl KcVariant {
+    /// All variants in presentation order.
+    pub const ALL: [KcVariant; 3] = [KcVariant::DanischStyle, KcVariant::GbbsStyle, KcVariant::Gms];
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            KcVariant::Gms => "GMS",
+            KcVariant::GbbsStyle => "GBBS",
+            KcVariant::DanischStyle => "Danisch",
+        }
+    }
+
+    /// Runs the variant.
+    pub fn run(&self, graph: &CsrGraph, k: usize) -> KcOutcome {
+        let config = match self {
+            KcVariant::Gms => KcConfig {
+                ordering: OrderingKind::ApproxDegeneracy(0.25),
+                parallel: KcParallel::Edge,
+            },
+            KcVariant::GbbsStyle => KcConfig {
+                ordering: OrderingKind::Degeneracy,
+                parallel: KcParallel::Node,
+            },
+            KcVariant::DanischStyle => KcConfig {
+                ordering: OrderingKind::Degeneracy,
+                parallel: KcParallel::Edge,
+            },
+        };
+        k_clique_count(graph, k, &config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::count_k_cliques_brute;
+    use gms_core::RoaringSet;
+
+    fn binomial(n: u64, k: u64) -> u64 {
+        if k > n {
+            return 0;
+        }
+        let mut result = 1u64;
+        for i in 0..k {
+            result = result * (n - i) / (i + 1);
+        }
+        result
+    }
+
+    #[test]
+    fn complete_graph_counts_are_binomials() {
+        let g = gms_gen::complete(10);
+        for k in 1..=10 {
+            let outcome = k_clique_count(&g, k, &KcConfig::default());
+            assert_eq!(outcome.count, binomial(10, k as u64), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn node_and_edge_drivers_agree() {
+        let g = gms_gen::gnp(60, 0.25, 5);
+        for k in 3..=5 {
+            let node = k_clique_count(
+                &g,
+                k,
+                &KcConfig { ordering: OrderingKind::Degeneracy, parallel: KcParallel::Node },
+            );
+            let edge = k_clique_count(
+                &g,
+                k,
+                &KcConfig { ordering: OrderingKind::Degeneracy, parallel: KcParallel::Edge },
+            );
+            assert_eq!(node.count, edge.count, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn orderings_do_not_change_counts() {
+        let g = gms_gen::gnp(50, 0.3, 9);
+        let orderings = [
+            OrderingKind::Natural,
+            OrderingKind::Degree,
+            OrderingKind::Degeneracy,
+            OrderingKind::ApproxDegeneracy(0.5),
+        ];
+        let expected = count_k_cliques_brute(&g, 4);
+        for ordering in orderings {
+            let outcome = k_clique_count(
+                &g,
+                4,
+                &KcConfig { ordering, parallel: KcParallel::Edge },
+            );
+            assert_eq!(outcome.count, expected, "{}", ordering.label());
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_graphs() {
+        for seed in 0..4 {
+            let g = gms_gen::gnp(30, 0.35, seed);
+            for k in 3..=6 {
+                let fast = k_clique_count(&g, k, &KcConfig::default()).count;
+                assert_eq!(fast, count_k_cliques_brute(&g, k), "seed {seed} k {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn roaring_candidates_agree_with_sorted() {
+        let g = gms_gen::gnp(50, 0.3, 2);
+        let sorted = k_clique_count(&g, 4, &KcConfig::default()).count;
+        let roaring = k_clique_count_with::<RoaringSet>(&g, 4, &KcConfig::default()).count;
+        assert_eq!(sorted, roaring);
+    }
+
+    #[test]
+    fn listing_matches_counting() {
+        let g = gms_gen::gnp(25, 0.4, 8);
+        for k in 3..=4 {
+            let cliques = k_clique_list(&g, k, &KcConfig::default());
+            let count = k_clique_count(&g, k, &KcConfig::default()).count;
+            assert_eq!(cliques.len() as u64, count);
+            // Every listed clique is distinct and complete.
+            let unique: std::collections::HashSet<&Vec<NodeId>> = cliques.iter().collect();
+            assert_eq!(unique.len(), cliques.len());
+            for clique in &cliques {
+                assert!(crate::brute::is_clique(&g, clique));
+                assert_eq!(clique.len(), k);
+            }
+        }
+    }
+
+    #[test]
+    fn variants_agree() {
+        let (g, _) = gms_gen::planted_cliques(100, 0.05, 2, 7, 6);
+        let counts: Vec<u64> = KcVariant::ALL.iter().map(|v| v.run(&g, 5).count).collect();
+        assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
+        assert!(counts[0] >= 2 * binomial(7, 5), "planted cliques contribute");
+    }
+
+    #[test]
+    fn small_k_shortcuts() {
+        let g = gms_gen::gnp(40, 0.2, 3);
+        assert_eq!(k_clique_count(&g, 1, &KcConfig::default()).count, 40);
+        assert_eq!(
+            k_clique_count(&g, 2, &KcConfig::default()).count,
+            g.num_edges_undirected() as u64
+        );
+    }
+}

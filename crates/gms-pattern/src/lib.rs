@@ -1,0 +1,33 @@
+//! # gms-pattern
+//!
+//! Graph pattern matching kernels — the heart of the GMS use cases:
+//!
+//! * [`bk`] — parallel Bron–Kerbosch maximal clique listing with
+//!   pivoting (Algorithm 6) in five named variants, including the
+//!   paper's new BK-ADG and BK-ADG-S;
+//! * [`kclique`] — k-clique counting/listing (Algorithm 7) with node-
+//!   and edge-parallel drivers and swappable orderings;
+//! * [`triangles`] — node-iterator and rank-merge triangle counting;
+//! * [`clique_star`] — k-clique-star listing via (k+1)-cliques (§6.6);
+//! * [`brute`] — exponential oracles every kernel is tested against.
+//!
+//! All kernels are generic over the [`gms_core::Set`] layout (⑤⁺) and
+//! take an [`gms_order::OrderingKind`] preprocessing order (③).
+
+#![warn(missing_docs)]
+
+pub mod bk;
+pub mod brute;
+pub mod clique_star;
+pub mod dense;
+pub mod kclique;
+pub mod triangles;
+
+pub use bk::{bron_kerbosch, BkConfig, BkOutcome, BkVariant, SubgraphMode};
+pub use clique_star::{k_clique_stars, CliqueStar};
+pub use dense::{densest_subgraph, is_quasi_clique, k_truss_vertices, max_truss, truss_decomposition, DensestSubgraph};
+pub use kclique::{
+    k_clique_count, k_clique_count_with, k_clique_list, KcConfig, KcOutcome, KcParallel,
+    KcVariant,
+};
+pub use triangles::{triangle_count_node_iterator, triangle_count_rank_merge};

@@ -1,0 +1,211 @@
+//! Software performance counters — the reproduction's substitute for
+//! the paper's PAPI integration (§5.5, Listing 4).
+//!
+//! The original gathers hardware events (stalled cycles, cache misses)
+//! to show that graph mining is memory-bound. Without hardware
+//! counters we instrument the set-algebra layer itself: a
+//! [`CountingSet`] decorator wraps any [`Set`] implementation and
+//! counts operations and elements touched, globally and thread-safely.
+//! Bytes-touched per operation is the memory-pressure proxy reported
+//! by the Fig. 8b harness.
+//!
+//! The API mirrors the paper's `PAPIW::START()/STOP()` shape:
+//! [`CounterRegion`] snapshots the global counters around a measured
+//! region.
+
+use gms_core::{Set, SetElement};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static SET_OPS: AtomicU64 = AtomicU64::new(0);
+static ELEMENTS_TOUCHED: AtomicU64 = AtomicU64::new(0);
+static MEMBERSHIP_TESTS: AtomicU64 = AtomicU64::new(0);
+
+#[inline]
+fn bump(ops: u64, elements: u64) {
+    SET_OPS.fetch_add(ops, Ordering::Relaxed);
+    ELEMENTS_TOUCHED.fetch_add(elements, Ordering::Relaxed);
+}
+
+/// A snapshot of the global counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Binary set operations executed (∩, ∪, \ and their variants).
+    pub set_ops: u64,
+    /// Total elements read/written by those operations (the
+    /// bytes-touched proxy: multiply by the element width).
+    pub elements_touched: u64,
+    /// Point membership tests (`contains`).
+    pub membership_tests: u64,
+}
+
+impl CounterSnapshot {
+    fn now() -> Self {
+        Self {
+            set_ops: SET_OPS.load(Ordering::Relaxed),
+            elements_touched: ELEMENTS_TOUCHED.load(Ordering::Relaxed),
+            membership_tests: MEMBERSHIP_TESTS.load(Ordering::Relaxed),
+        }
+    }
+
+    fn delta(self, earlier: Self) -> Self {
+        Self {
+            set_ops: self.set_ops - earlier.set_ops,
+            elements_touched: self.elements_touched - earlier.elements_touched,
+            membership_tests: self.membership_tests - earlier.membership_tests,
+        }
+    }
+
+    /// Estimated bytes moved, assuming 4-byte vertex IDs.
+    pub fn bytes_touched(&self) -> u64 {
+        self.elements_touched * std::mem::size_of::<SetElement>() as u64
+    }
+}
+
+/// Measures the counter delta across a region, PAPI-wrapper style:
+///
+/// ```
+/// use gms_platform::counters::CounterRegion;
+/// let region = CounterRegion::start();
+/// // ... run instrumented code (CountingSet-backed kernels) ...
+/// let stats = region.stop();
+/// assert_eq!(stats.set_ops, 0);
+/// ```
+#[must_use = "call stop() to obtain the counter delta"]
+pub struct CounterRegion {
+    start: CounterSnapshot,
+}
+
+impl CounterRegion {
+    /// Begins a measured region (paper: `PAPIW::START`).
+    pub fn start() -> Self {
+        Self { start: CounterSnapshot::now() }
+    }
+
+    /// Ends the region and returns the delta (paper: `PAPIW::STOP`).
+    pub fn stop(self) -> CounterSnapshot {
+        CounterSnapshot::now().delta(self.start)
+    }
+}
+
+/// A [`Set`] decorator that feeds the global counters. Plugging
+/// `CountingSet<RoaringSet>` instead of `RoaringSet` into any kernel
+/// instruments it without touching the kernel — modularity ⑤⁺ applied
+/// to measurement itself.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CountingSet<S: Set> {
+    inner: S,
+}
+
+impl<S: Set> CountingSet<S> {
+    /// Unwraps the inner set.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: Set> Set for CountingSet<S> {
+    fn empty() -> Self {
+        Self { inner: S::empty() }
+    }
+
+    fn with_universe(universe_hint: usize) -> Self {
+        Self { inner: S::with_universe(universe_hint) }
+    }
+
+    fn from_sorted(elements: &[SetElement]) -> Self {
+        Self { inner: S::from_sorted(elements) }
+    }
+
+    fn cardinality(&self) -> usize {
+        self.inner.cardinality()
+    }
+
+    fn contains(&self, element: SetElement) -> bool {
+        MEMBERSHIP_TESTS.fetch_add(1, Ordering::Relaxed);
+        self.inner.contains(element)
+    }
+
+    fn add(&mut self, element: SetElement) {
+        bump(1, 1);
+        self.inner.add(element);
+    }
+
+    fn remove(&mut self, element: SetElement) {
+        bump(1, 1);
+        self.inner.remove(element);
+    }
+
+    fn intersect(&self, other: &Self) -> Self {
+        bump(1, (self.cardinality() + other.cardinality()) as u64);
+        Self { inner: self.inner.intersect(&other.inner) }
+    }
+
+    fn intersect_count(&self, other: &Self) -> usize {
+        bump(1, (self.cardinality() + other.cardinality()) as u64);
+        self.inner.intersect_count(&other.inner)
+    }
+
+    fn union(&self, other: &Self) -> Self {
+        bump(1, (self.cardinality() + other.cardinality()) as u64);
+        Self { inner: self.inner.union(&other.inner) }
+    }
+
+    fn diff(&self, other: &Self) -> Self {
+        bump(1, (self.cardinality() + other.cardinality()) as u64);
+        Self { inner: self.inner.diff(&other.inner) }
+    }
+
+    fn iter(&self) -> impl Iterator<Item = SetElement> + '_ {
+        self.inner.iter()
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.inner.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gms_core::SortedVecSet;
+
+    type CSet = CountingSet<SortedVecSet>;
+
+    #[test]
+    fn region_captures_operation_deltas() {
+        let a = CSet::from_sorted(&[1, 2, 3, 4]);
+        let b = CSet::from_sorted(&[3, 4, 5]);
+        let region = CounterRegion::start();
+        let c = a.intersect(&b);
+        let _ = a.union(&b);
+        let _ = a.diff(&b);
+        let stats = region.stop();
+        assert_eq!(c.to_vec(), vec![3, 4]);
+        assert!(stats.set_ops >= 3);
+        assert!(stats.elements_touched >= 21);
+        assert_eq!(stats.bytes_touched(), stats.elements_touched * 4);
+    }
+
+    #[test]
+    fn membership_counter() {
+        let a = CSet::from_sorted(&[10, 20]);
+        let region = CounterRegion::start();
+        assert!(a.contains(10));
+        assert!(!a.contains(11));
+        let stats = region.stop();
+        assert!(stats.membership_tests >= 2);
+    }
+
+    #[test]
+    fn decorated_set_behaves_identically() {
+        // The conformance relation: CountingSet<S> must mirror S.
+        let raw_a = SortedVecSet::from_sorted(&[1, 5, 9]);
+        let raw_b = SortedVecSet::from_sorted(&[5, 9, 11]);
+        let dec_a = CSet::from_sorted(&[1, 5, 9]);
+        let dec_b = CSet::from_sorted(&[5, 9, 11]);
+        assert_eq!(raw_a.intersect(&raw_b).to_vec(), dec_a.intersect(&dec_b).to_vec());
+        assert_eq!(raw_a.union(&raw_b).to_vec(), dec_a.union(&dec_b).to_vec());
+        assert_eq!(raw_a.diff(&raw_b).to_vec(), dec_a.diff(&dec_b).to_vec());
+        assert_eq!(raw_a.cardinality(), dec_a.cardinality());
+    }
+}

@@ -1,0 +1,25 @@
+//! # gms-platform
+//!
+//! The benchmarking platform of GraphMineSuite-rs (§5): the pipeline
+//! API with separately-timed stages, the §8.1 measurement methodology
+//! (warmup discard, mean + 95% non-parametric CI), the §4.3
+//! algorithmic-throughput metric, software performance counters as
+//! the PAPI substitute (§5.5 — see DESIGN.md for the substitution
+//! rationale), a thread-scaling harness, and Table 7-style dataset
+//! statistics.
+
+#![warn(missing_docs)]
+
+pub mod counters;
+pub mod metrics;
+pub mod pipeline;
+pub mod report;
+pub mod scaling;
+pub mod stats;
+
+pub use counters::{CounterRegion, CounterSnapshot, CountingSet};
+pub use metrics::{Measurement, Throughput};
+pub use pipeline::{run_pipeline, Pipeline, StageTimings};
+pub use report::ResultTable;
+pub use scaling::{efficiencies, run_scaling, ScalingPoint};
+pub use stats::GraphStats;

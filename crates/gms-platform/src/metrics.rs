@@ -1,0 +1,119 @@
+//! Measurement methodology (§8.1) and the algorithmic-throughput
+//! metric (§4.3).
+//!
+//! The paper's protocol: discard warmup, gather enough samples for a
+//! mean with 95% non-parametric confidence intervals, summarize with
+//! arithmetic means. `Measurement::collect` implements exactly that.
+//! Algorithmic throughput is "graph patterns mined per second" —
+//! maximal cliques/s, k-cliques/s, scored vertex pairs/s, ... — the
+//! metric that lets run-times be interpreted against graph structure
+//! (§8.10).
+
+use std::time::{Duration, Instant};
+
+/// Summary statistics of repeated timed runs.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// All retained samples (seconds), sorted ascending.
+    pub samples: Vec<f64>,
+    /// Arithmetic mean (seconds).
+    pub mean: f64,
+    /// 95% non-parametric CI (2.5th / 97.5th percentile of samples).
+    pub ci95: (f64, f64),
+}
+
+impl Measurement {
+    /// Times `run` `samples + warmup` times, discards the warmup runs
+    /// (the paper discards the first 1% of data; with small sample
+    /// counts we discard explicit warmup iterations), and summarizes.
+    pub fn collect<F: FnMut()>(samples: usize, warmup: usize, mut run: F) -> Self {
+        assert!(samples >= 1);
+        for _ in 0..warmup {
+            run();
+        }
+        let mut times = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let t = Instant::now();
+            run();
+            times.push(t.elapsed().as_secs_f64());
+        }
+        Self::from_samples(times)
+    }
+
+    /// Summarizes existing samples.
+    pub fn from_samples(mut samples: Vec<f64>) -> Self {
+        assert!(!samples.is_empty());
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let lo = percentile(&samples, 0.025);
+        let hi = percentile(&samples, 0.975);
+        Self { samples, mean, ci95: (lo, hi) }
+    }
+
+    /// Mean as a `Duration`.
+    pub fn mean_duration(&self) -> Duration {
+        Duration::from_secs_f64(self.mean)
+    }
+}
+
+/// Nearest-rank percentile of sorted samples.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Algorithmic throughput (§4.3): patterns mined per second.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Throughput {
+    /// Patterns found (cliques, pairs, clusters, ...).
+    pub patterns: u64,
+    /// Time taken.
+    pub elapsed: Duration,
+}
+
+impl Throughput {
+    /// Creates a throughput record.
+    pub fn new(patterns: u64, elapsed: Duration) -> Self {
+        Self { patterns, elapsed }
+    }
+
+    /// Patterns per second.
+    pub fn per_second(&self) -> f64 {
+        self.patterns as f64 / self.elapsed.as_secs_f64().max(1e-12)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collect_gathers_and_summarizes() {
+        let mut counter = 0u64;
+        let m = Measurement::collect(10, 2, || {
+            counter += 1;
+            std::hint::black_box(&counter);
+        });
+        assert_eq!(counter, 12, "warmup + samples executions");
+        assert_eq!(m.samples.len(), 10);
+        assert!(m.ci95.0 <= m.mean || m.samples.len() == 1);
+        assert!(m.mean >= 0.0);
+    }
+
+    #[test]
+    fn summary_of_known_samples() {
+        let m = Measurement::from_samples(vec![3.0, 1.0, 2.0]);
+        assert_eq!(m.samples, vec![1.0, 2.0, 3.0]);
+        assert!((m.mean - 2.0).abs() < 1e-12);
+        assert_eq!(m.ci95, (1.0, 3.0));
+    }
+
+    #[test]
+    fn throughput_rates() {
+        let t = Throughput::new(500, Duration::from_millis(250));
+        assert!((t.per_second() - 2000.0).abs() < 1e-6);
+        // Zero elapsed must not divide by zero.
+        let z = Throughput::new(5, Duration::ZERO);
+        assert!(z.per_second().is_finite());
+    }
+}

@@ -1,0 +1,176 @@
+//! Result reporting: CSV and aligned-table writers used by the
+//! experiment binaries — the "gather data" tail of the pipeline
+//! (Figure 2). Keeping serialization here lets every figure binary
+//! stay a thin workload description.
+
+use std::fmt::Write as _;
+
+/// An in-memory result table with a fixed header.
+#[derive(Clone, Debug)]
+pub struct ResultTable {
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl ResultTable {
+    /// Creates a table with the given column names.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(columns: I) -> Self {
+        Self {
+            columns: columns.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the cell count does not match the header.
+    pub fn push_row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.columns.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when no rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as CSV (header + rows). Cells containing commas or
+    /// quotes are quoted per RFC 4180.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                    out.push('"');
+                    out.push_str(&cell.replace('"', "\"\""));
+                    out.push('"');
+                } else {
+                    out.push_str(cell);
+                }
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.columns);
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders as an aligned plain-text table for terminals.
+    pub fn to_aligned(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String], widths: &[usize]| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:<width$}", width = widths[i]);
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.columns, &widths);
+        for row in &self.rows {
+            write_row(&mut out, row, &widths);
+        }
+        out
+    }
+
+    /// Renders as a GitHub-flavored markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push('|');
+        for c in &self.columns {
+            let _ = write!(out, " {c} |");
+        }
+        out.push_str("\n|");
+        for _ in &self.columns {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push('|');
+            for cell in row {
+                let _ = write!(out, " {cell} |");
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ResultTable {
+        let mut t = ResultTable::new(["graph", "variant", "time_s"]);
+        t.push_row(["orkut", "BK-ADG", "1.25"]);
+        t.push_row(["road, usa", "BK-DGR", "0.50"]);
+        t
+    }
+
+    #[test]
+    fn csv_quotes_commas() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "graph,variant,time_s");
+        assert_eq!(lines[2], "\"road, usa\",BK-DGR,0.50");
+    }
+
+    #[test]
+    fn csv_escapes_quotes() {
+        let mut t = ResultTable::new(["a"]);
+        t.push_row(["say \"hi\""]);
+        assert_eq!(t.to_csv().lines().nth(1), Some("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn aligned_pads_columns() {
+        let text = sample().to_aligned();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with("graph    "));
+        assert!(lines[1].contains("BK-ADG"));
+        // All rows equal width up to trailing cell.
+        assert_eq!(lines[1].find("BK-ADG"), lines[2].find("BK-DGR"));
+    }
+
+    #[test]
+    fn markdown_shape() {
+        let md = sample().to_markdown();
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines[0], "| graph | variant | time_s |");
+        assert_eq!(lines[1], "|---|---|---|");
+        assert_eq!(lines.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let mut t = ResultTable::new(["a", "b"]);
+        t.push_row(["only one"]);
+    }
+
+    #[test]
+    fn emptiness() {
+        let t = ResultTable::new(["x"]);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+}

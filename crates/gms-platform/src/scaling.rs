@@ -1,0 +1,101 @@
+//! Thread-scaling harness (§8.1.3 / Fig. 8b): runs a kernel under
+//! rayon pools of increasing size and reports the runtime series, so
+//! speedup curves and their flattening (the memory-bound signature)
+//! can be measured.
+
+use std::time::Duration;
+
+/// One point of a scaling series.
+#[derive(Clone, Copy, Debug)]
+pub struct ScalingPoint {
+    /// Threads used.
+    pub threads: usize,
+    /// Wall-clock runtime.
+    pub elapsed: Duration,
+}
+
+impl ScalingPoint {
+    /// Speedup relative to a baseline runtime.
+    pub fn speedup_vs(&self, baseline: Duration) -> f64 {
+        baseline.as_secs_f64() / self.elapsed.as_secs_f64().max(1e-12)
+    }
+}
+
+/// Runs `kernel` once per thread count in `thread_counts`, each inside
+/// a dedicated rayon pool, timing each run.
+///
+/// # Panics
+/// Panics if a pool cannot be built (e.g. 0 threads requested).
+pub fn run_scaling<F: Fn() + Sync>(thread_counts: &[usize], kernel: F) -> Vec<ScalingPoint> {
+    thread_counts
+        .iter()
+        .map(|&threads| {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("thread pool");
+            let start = std::time::Instant::now();
+            pool.install(&kernel);
+            ScalingPoint { threads, elapsed: start.elapsed() }
+        })
+        .collect()
+}
+
+/// Parallel efficiency of a series: speedup(p) / p per point, using
+/// the first point as the baseline.
+pub fn efficiencies(series: &[ScalingPoint]) -> Vec<f64> {
+    let Some(first) = series.first() else {
+        return Vec::new();
+    };
+    let base = first.elapsed.as_secs_f64() * first.threads as f64;
+    series
+        .iter()
+        .map(|p| base / (p.elapsed.as_secs_f64().max(1e-12) * p.threads as f64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn pools_actually_limit_threads() {
+        let series = run_scaling(&[1, 2], || {
+            let width = rayon::current_num_threads();
+            // Inside a pool of size p, current_num_threads reports p.
+            let observed: usize = (0..4).into_par_iter().map(|_| width).max().unwrap();
+            assert_eq!(observed, width);
+        });
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].threads, 1);
+        assert_eq!(series[1].threads, 2);
+    }
+
+    #[test]
+    fn parallel_work_speeds_up() {
+        // A compute-bound parallel loop must not be slower with 4
+        // threads than with 1 (allow generous noise margin).
+        let work = || {
+            let total: u64 = (0..4_000_000u64).into_par_iter().map(|x| x % 7).sum();
+            std::hint::black_box(total);
+        };
+        let series = run_scaling(&[1, 4], work);
+        let speedup = series[1].speedup_vs(series[0].elapsed);
+        assert!(speedup > 0.8, "speedup {speedup}");
+    }
+
+    #[test]
+    fn efficiency_math() {
+        let series = vec![
+            ScalingPoint { threads: 1, elapsed: Duration::from_secs(8) },
+            ScalingPoint { threads: 4, elapsed: Duration::from_secs(2) },
+            ScalingPoint { threads: 8, elapsed: Duration::from_secs(2) },
+        ];
+        let eff = efficiencies(&series);
+        assert!((eff[0] - 1.0).abs() < 1e-9);
+        assert!((eff[1] - 1.0).abs() < 1e-9, "perfect scaling to 4");
+        assert!((eff[2] - 0.5).abs() < 1e-9, "flattening halves efficiency");
+        assert!(efficiencies(&[]).is_empty());
+    }
+}

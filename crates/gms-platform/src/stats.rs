@@ -1,0 +1,127 @@
+//! Dataset characterization (Table 7): the structural features the
+//! paper uses to argue which graphs stress which algorithms — size,
+//! sparsity `m/n`, maximum degree, triangle count `T`, `T/n`, and the
+//! `T`-skew (maximum triangles per vertex), plus the §8.6 higher-order
+//! signal (4-clique density relative to triangle mass is computed by
+//! the experiment binaries on top of these).
+
+use gms_core::{CsrGraph, Graph};
+use gms_order::triangles_per_vertex;
+use serde::Serialize;
+
+/// Structural statistics of one dataset (one Table 7 row).
+#[derive(Clone, Debug, Serialize)]
+pub struct GraphStats {
+    /// Dataset label.
+    pub name: String,
+    /// Vertices `n`.
+    pub n: usize,
+    /// Undirected edges `m`.
+    pub m: usize,
+    /// Sparsity `m/n`.
+    pub sparsity: f64,
+    /// Maximum degree `Δ̂`.
+    pub max_degree: usize,
+    /// Triangle count `T`.
+    pub triangles: u64,
+    /// Average triangles per vertex `T/n`.
+    pub triangles_per_vertex: f64,
+    /// Maximum triangles on a single vertex `T̂` (the `T`-skew proxy:
+    /// the paper reports the spread between average and maximum).
+    pub max_triangles_per_vertex: u64,
+}
+
+impl GraphStats {
+    /// Computes all statistics for `graph`.
+    pub fn compute(name: &str, graph: &CsrGraph) -> Self {
+        let per_vertex = triangles_per_vertex(graph);
+        let triangles = per_vertex.iter().sum::<u64>() / 3;
+        let n = graph.num_vertices();
+        let m = graph.num_edges_undirected();
+        Self {
+            name: name.to_string(),
+            n,
+            m,
+            sparsity: if n == 0 { 0.0 } else { m as f64 / n as f64 },
+            max_degree: graph.max_degree(),
+            triangles,
+            triangles_per_vertex: if n == 0 { 0.0 } else { triangles as f64 / n as f64 },
+            max_triangles_per_vertex: per_vertex.iter().copied().max().unwrap_or(0),
+        }
+    }
+
+    /// `T`-skew: ratio of the maximum to the average per-vertex
+    /// triangle count (∞-free: 0 when there are no triangles).
+    pub fn t_skew(&self) -> f64 {
+        if self.triangles_per_vertex == 0.0 {
+            0.0
+        } else {
+            // Per-vertex counts triple-count each triangle corner-wise,
+            // so compare against 3T/n.
+            self.max_triangles_per_vertex as f64 / (3.0 * self.triangles_per_vertex)
+        }
+    }
+
+    /// Table 7-style row: name, n, m, m/n, Δ̂, T, T/n, T̂.
+    pub fn row(&self) -> String {
+        format!(
+            "{:<16} {:>8} {:>9} {:>8.2} {:>6} {:>10} {:>9.2} {:>8}",
+            self.name,
+            self.n,
+            self.m,
+            self.sparsity,
+            self.max_degree,
+            self.triangles,
+            self.triangles_per_vertex,
+            self.max_triangles_per_vertex,
+        )
+    }
+
+    /// Header matching [`GraphStats::row`].
+    pub fn header() -> String {
+        format!(
+            "{:<16} {:>8} {:>9} {:>8} {:>6} {:>10} {:>9} {:>8}",
+            "graph", "n", "m", "m/n", "maxΔ", "T", "T/n", "T̂"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_known_graph() {
+        // Paw graph: triangle + pendant.
+        let g = CsrGraph::from_undirected_edges(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]);
+        let stats = GraphStats::compute("paw", &g);
+        assert_eq!(stats.n, 4);
+        assert_eq!(stats.m, 4);
+        assert_eq!(stats.triangles, 1);
+        assert_eq!(stats.max_degree, 3);
+        assert_eq!(stats.max_triangles_per_vertex, 1);
+        assert!((stats.sparsity - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skew_separates_uniform_from_hub_graphs() {
+        // K6: every vertex in 10 triangles → skew ratio 1.
+        let k6 = gms_gen::complete(6);
+        let uniform = GraphStats::compute("k6", &k6);
+        assert!((uniform.t_skew() - 1.0).abs() < 1e-9);
+        // One planted clique in a sparse background: clique members
+        // hold nearly all triangles → skew far above 1.
+        let (g, _) = gms_gen::planted_cliques(300, 0.005, 1, 12, 3);
+        let skewed = GraphStats::compute("planted", &g);
+        assert!(skewed.t_skew() > 5.0, "skew {}", skewed.t_skew());
+    }
+
+    #[test]
+    fn rows_render() {
+        let g = gms_gen::grid(3, 3);
+        let stats = GraphStats::compute("grid", &g);
+        assert!(stats.row().contains("grid"));
+        assert!(GraphStats::header().contains("T/n"));
+        assert_eq!(stats.t_skew(), 0.0, "grids are triangle-free");
+    }
+}

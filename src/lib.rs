@@ -1,0 +1,75 @@
+//! # GraphMineSuite-rs (`gms`)
+//!
+//! A Rust reproduction of **GraphMineSuite** (Besta et al., VLDB
+//! 2021): a benchmarking suite for high-performance, programmable
+//! graph mining built on *set algebra*. Algorithms are written against
+//! a small [`Set`] interface; swapping the set layout (sorted arrays,
+//! roaring bitmaps, dense bitvectors, hash sets), the vertex order
+//! (degree, exact or approximate degeneracy, triangle rank), or the
+//! graph representation changes no algorithm code.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use gms::prelude::*;
+//!
+//! // A social-network-like graph with planted 8-cliques.
+//! let (graph, _) = gms::gen::planted_cliques(500, 0.01, 3, 8, 42);
+//!
+//! // Maximal clique listing: the paper's BK-GMS-ADG variant
+//! // (Bron-Kerbosch over roaring bitmaps + approximate degeneracy).
+//! let outcome = BkVariant::GmsAdg.run(&graph);
+//! assert!(outcome.largest >= 8);
+//! println!(
+//!     "{} maximal cliques at {:.0} cliques/s",
+//!     outcome.clique_count,
+//!     outcome.throughput()
+//! );
+//!
+//! // k-clique counting with a different ordering — one line to swap.
+//! let kc = k_clique_count(&graph, 4, &KcConfig::default());
+//! assert!(kc.count > 0);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | module | contents | paper section |
+//! |---|---|---|
+//! | [`core`] | `Set` trait + 4 layouts, CSR, set-centric graphs | §5.1–5.3 |
+//! | [`graph`] | transforms, I/O, compression (varint/gap/RLE/reference/bit-packing/k²-trees) | §5, App. B |
+//! | [`gen`] | ER, Kronecker, planted structures, grids | §4.2 |
+//! | [`order`] | DEG / DGR / ADG / triangle rank, k-cores | §6.1 |
+//! | [`pattern`] | Bron–Kerbosch, k-cliques, clique-stars, triangles | §6.2–6.3, 6.6 |
+//! | [`matching`] | VF2 + parallel VF3-Light-style isomorphism | §6.4 |
+//! | [`learn`] | similarity, link prediction, clustering, communities | §6.5, 6.7 |
+//! | [`opt`] | coloring, Borůvka MST, Karger–Stein min cut | §4.1.4 |
+//! | [`platform`] | pipeline, metrics, counters, scaling, stats | §4.3, 5.4–5.5 |
+
+#![warn(missing_docs)]
+
+pub use gms_core as core;
+pub use gms_gen as gen;
+pub use gms_graph as graph;
+pub use gms_learn as learn;
+pub use gms_match as matching;
+pub use gms_opt as opt;
+pub use gms_order as order;
+pub use gms_pattern as pattern;
+pub use gms_platform as platform;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use gms_core::{
+        CsrGraph, DenseBitSet, Graph, HashVertexSet, NodeId, RoaringSet, Set, SetGraph,
+        SetNeighborhoods, SortedVecSet,
+    };
+    pub use gms_graph::{orient_by_rank, relabel, Rank};
+    pub use gms_learn::SimilarityMeasure;
+    pub use gms_match::{IsoMode, IsoOptions, LabeledGraph};
+    pub use gms_order::OrderingKind;
+    pub use gms_pattern::{
+        bron_kerbosch, k_clique_count, BkConfig, BkVariant, KcConfig, KcParallel, KcVariant,
+        SubgraphMode,
+    };
+    pub use gms_platform::{GraphStats, Measurement, Pipeline, Throughput};
+}
