@@ -7,16 +7,21 @@ use std::hint::black_box;
 
 fn benches(c: &mut Criterion) {
     let graphs = [
-        ("tskew-huge", gms_gen::planted_cliques(800, 0.004, 1, 14, 105).0),
-        ("tskew-low", gms_gen::planted_cliques(800, 0.003, 30, 5, 106).0),
+        (
+            "tskew-huge",
+            gms_gen::planted_cliques(800, 0.004, 1, 14, 105).0,
+        ),
+        (
+            "tskew-low",
+            gms_gen::planted_cliques(800, 0.003, 30, 5, 106).0,
+        ),
     ];
     let mut group = c.benchmark_group("bron_kerbosch");
     for (name, graph) in &graphs {
         for variant in BkVariant::ALL {
-            group.bench_function(
-                BenchmarkId::new(variant.label(), name),
-                |b| b.iter(|| black_box(variant.run(black_box(graph)).clique_count)),
-            );
+            group.bench_function(BenchmarkId::new(variant.label(), name), |b| {
+                b.iter(|| black_box(variant.run(black_box(graph)).clique_count))
+            });
         }
     }
     group.finish();

@@ -25,7 +25,12 @@ fn benches(c: &mut Criterion) {
         b.iter(|| black_box(rle::encode(black_box(&neighborhood))))
     });
     group.bench_function(BenchmarkId::new("bitpack", "4096"), |b| {
-        b.iter(|| black_box(BitPacked::pack_for_universe(black_box(&neighborhood), 40_000)))
+        b.iter(|| {
+            black_box(BitPacked::pack_for_universe(
+                black_box(&neighborhood),
+                40_000,
+            ))
+        })
     });
     group.bench_function(BenchmarkId::new("compressed_csr_build", "kron12"), |b| {
         b.iter(|| black_box(CompressedCsr::from_csr(black_box(&graph))))

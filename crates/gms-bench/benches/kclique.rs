@@ -20,11 +20,17 @@ fn benches(c: &mut Criterion) {
             ),
             (
                 "edge+DGR",
-                KcConfig { ordering: OrderingKind::Degeneracy, parallel: KcParallel::Edge },
+                KcConfig {
+                    ordering: OrderingKind::Degeneracy,
+                    parallel: KcParallel::Edge,
+                },
             ),
             (
                 "node+DGR",
-                KcConfig { ordering: OrderingKind::Degeneracy, parallel: KcParallel::Node },
+                KcConfig {
+                    ordering: OrderingKind::Degeneracy,
+                    parallel: KcParallel::Node,
+                },
             ),
         ] {
             group.bench_function(BenchmarkId::new(label, format!("k{k}")), |b| {

@@ -10,7 +10,9 @@ use std::hint::black_box;
 fn benches(c: &mut Criterion) {
     let csr = gms_gen::kronecker_default(12, 10, 3);
     let graph: SetGraph<SortedVecSet> = SetGraph::from_csr(&csr);
-    let pairs: Vec<(u32, u32)> = (0..2_000u32).map(|i| (i * 2 % 4096, (i * 7 + 1) % 4096)).collect();
+    let pairs: Vec<(u32, u32)> = (0..2_000u32)
+        .map(|i| (i * 2 % 4096, (i * 7 + 1) % 4096))
+        .collect();
     let mut group = c.benchmark_group("similarity");
     for measure in SimilarityMeasure::ALL {
         group.bench_function(BenchmarkId::new(measure.label(), "kron12x2000"), |b| {

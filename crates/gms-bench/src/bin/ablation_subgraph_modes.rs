@@ -31,7 +31,11 @@ fn main() {
                 },
             );
             counts.push(outcome.clique_count);
-            println!("{name},{label},{},{:.4}", outcome.clique_count, outcome.mine.as_secs_f64());
+            println!(
+                "{name},{label},{},{:.4}",
+                outcome.clique_count,
+                outcome.mine.as_secs_f64()
+            );
         }
         assert!(counts.windows(2).all(|w| w[0] == w[1]), "modes disagree");
     }

@@ -25,7 +25,10 @@ fn main() {
     .0;
 
     let mut rows = Vec::new();
-    for (name, graph) in [("clique-rich", &clique_rich), ("cluster-rich", &cluster_rich)] {
+    for (name, graph) in [
+        ("clique-rich", &clique_rich),
+        ("cluster-rich", &cluster_rich),
+    ] {
         let stats = GraphStats::compute(name, graph);
         let outcome = k_clique_count(graph, 4, &KcConfig::default());
         rows.push(format!(
@@ -39,10 +42,19 @@ fn main() {
             (outcome.preprocess + outcome.mine).as_secs_f64(),
         ));
     }
-    print_csv("graph,n,m,m_over_n,max_degree,triangles,four_cliques,kclique_time_s", &rows);
+    print_csv(
+        "graph,n,m,m_over_n,max_degree,triangles,four_cliques,kclique_time_s",
+        &rows,
+    );
 
     let c1 = k_clique_count(&clique_rich, 4, &KcConfig::default()).count;
     let c2 = k_clique_count(&cluster_rich, 4, &KcConfig::default()).count;
-    println!("# 4-clique ratio (clique-rich / cluster-rich): {:.1}x", c1 as f64 / c2.max(1) as f64);
-    assert!(c1 > 10 * c2, "higher-order contrast must be order-of-magnitude");
+    println!(
+        "# 4-clique ratio (clique-rich / cluster-rich): {:.1}x",
+        c1 as f64 / c2.max(1) as f64
+    );
+    assert!(
+        c1 > 10 * c2,
+        "higher-order contrast must be order-of-magnitude"
+    );
 }

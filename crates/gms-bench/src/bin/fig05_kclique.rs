@@ -11,8 +11,14 @@ use gms_pattern::{k_clique_count, KcConfig, KcParallel};
 fn main() {
     let s = scale_from_env();
     let graphs = [
-        ("clique-rich", gms_gen::planted_cliques(1_500 * s, 0.004, 12, 11, 103).0),
-        ("social-kron", gms_gen::kronecker_default(10 + (s as u32 - 1).min(4), 12, 101)),
+        (
+            "clique-rich",
+            gms_gen::planted_cliques(1_500 * s, 0.004, 12, 11, 103).0,
+        ),
+        (
+            "social-kron",
+            gms_gen::kronecker_default(10 + (s as u32 - 1).min(4), 12, 101),
+        ),
     ];
     let orderings = [
         ("KC-DEG", OrderingKind::Degree),
@@ -26,7 +32,10 @@ fn main() {
                 let outcome = k_clique_count(
                     graph,
                     k,
-                    &KcConfig { ordering, parallel: KcParallel::Edge },
+                    &KcConfig {
+                        ordering,
+                        parallel: KcParallel::Edge,
+                    },
                 );
                 let total = outcome.preprocess + outcome.mine;
                 rows.push(format!(

@@ -33,7 +33,11 @@ fn main() {
         // ...and the downstream BK-E run using it (the right bars).
         let outcome = bron_kerbosch::<RoaringSet>(
             &graph,
-            &BkConfig { ordering, subgraph: SubgraphMode::None, collect: false },
+            &BkConfig {
+                ordering,
+                subgraph: SubgraphMode::None,
+                collect: false,
+            },
         );
         rows.push(format!(
             "{label},{:.4},{:.4},{}",

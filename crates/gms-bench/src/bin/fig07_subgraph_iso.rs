@@ -44,7 +44,10 @@ fn main() {
                 None => expected = Some(found),
                 Some(e) => assert_eq!(e, found, "configs must agree"),
             }
-            rows.push(format!("{threads},{label},{found},{:.4}", elapsed.as_secs_f64()));
+            rows.push(format!(
+                "{threads},{label},{found},{:.4}",
+                elapsed.as_secs_f64()
+            ));
         }
     }
     print_csv("threads,variant,embeddings,time_s", &rows);

@@ -17,7 +17,10 @@ use gms_platform::run_scaling;
 fn main() {
     let s = scale_from_env();
     let graphs = [
-        ("clique-rich", gms_gen::planted_cliques(1_200 * s, 0.004, 10, 9, 103).0),
+        (
+            "clique-rich",
+            gms_gen::planted_cliques(1_200 * s, 0.004, 10, 9, 103).0,
+        ),
         ("social-kron", gms_gen::kronecker_default(11, 10, 101)),
     ];
     let config = BkConfig {
@@ -34,8 +37,7 @@ fn main() {
             let region = CounterRegion::start();
             let series = run_scaling(&[t], || {
                 // Instrumented run: CountingSet feeds the counters.
-                let outcome =
-                    bron_kerbosch::<CountingSet<SortedVecSet>>(graph, &config);
+                let outcome = bron_kerbosch::<CountingSet<SortedVecSet>>(graph, &config);
                 std::hint::black_box(outcome.clique_count);
             });
             let stats = region.stop();

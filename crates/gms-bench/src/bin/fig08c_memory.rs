@@ -20,10 +20,22 @@ fn measure(graph: &CsrGraph) -> Vec<(&'static str, usize, usize)> {
     let hash: SetGraph<HashVertexSet> = SetGraph::from_csr(graph);
     let dense: SetGraph<DenseBitSet> = SetGraph::from_csr(graph);
     vec![
-        ("SortedSet", sorted.heap_bytes(), csr_bytes + sorted.heap_bytes()),
-        ("RoaringSet", roaring.heap_bytes(), csr_bytes + 2 * roaring.heap_bytes()),
+        (
+            "SortedSet",
+            sorted.heap_bytes(),
+            csr_bytes + sorted.heap_bytes(),
+        ),
+        (
+            "RoaringSet",
+            roaring.heap_bytes(),
+            csr_bytes + 2 * roaring.heap_bytes(),
+        ),
         ("HashSet", hash.heap_bytes(), csr_bytes + hash.heap_bytes()),
-        ("DasStyle(dense)", dense.heap_bytes(), csr_bytes + dense.heap_bytes()),
+        (
+            "DasStyle(dense)",
+            dense.heap_bytes(),
+            csr_bytes + dense.heap_bytes(),
+        ),
     ]
 }
 
@@ -33,7 +45,10 @@ fn main() {
     let mut rows = Vec::new();
     for dataset in datasets.iter().filter(|d| selected.contains(&d.name)) {
         for (repr, final_bytes, peak_bytes) in measure(&dataset.graph) {
-            rows.push(format!("{},{repr},{final_bytes},{peak_bytes}", dataset.name));
+            rows.push(format!(
+                "{},{repr},{final_bytes},{peak_bytes}",
+                dataset.name
+            ));
         }
     }
     print_csv("graph,representation,final_bytes,peak_bytes", &rows);

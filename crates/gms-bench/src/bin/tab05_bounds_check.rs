@@ -42,7 +42,10 @@ fn main() {
     println!();
     let mut rows = Vec::new();
     for (label, parallel) in [("node", KcParallel::Node), ("edge", KcParallel::Edge)] {
-        let config = KcConfig { ordering: OrderingKind::Degeneracy, parallel };
+        let config = KcConfig {
+            ordering: OrderingKind::Degeneracy,
+            parallel,
+        };
         let series = run_scaling(&[1, 4], || {
             std::hint::black_box(k_clique_count(&graph, 6, &config).count);
         });
@@ -67,5 +70,8 @@ fn assert_adg_rounds_logarithmic() {
         r_large <= r_small + 16,
         "rounds grew too fast: {r_small} -> {r_large}"
     );
-    println!("# ADG rounds: n*8 growth added {} rounds (logarithmic)", r_large - r_small);
+    println!(
+        "# ADG rounds: n*8 growth added {} rounds (logarithmic)",
+        r_large - r_small
+    );
 }

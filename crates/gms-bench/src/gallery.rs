@@ -84,7 +84,10 @@ pub fn fig1_subset(scale: usize) -> Vec<Dataset> {
     gallery(scale)
         .into_iter()
         .filter(|d| {
-            matches!(d.name, "tskew-low" | "social-kron" | "tskew-huge" | "econ-dense")
+            matches!(
+                d.name,
+                "tskew-low" | "social-kron" | "tskew-huge" | "econ-dense"
+            )
         })
         .collect()
 }
@@ -125,10 +128,14 @@ mod tests {
         };
         let rich = kc(&by_name("clique-rich").graph);
         let cluster = kc(&by_name("cluster-rich").graph);
-        assert!(rich > 5 * cluster, "4-cliques: rich {rich} vs cluster {cluster}");
+        assert!(
+            rich > 5 * cluster,
+            "4-cliques: rich {rich} vs cluster {cluster}"
+        );
         // Power-law graph has degree skew; ER does not.
         let skew = |g: &CsrGraph| {
-            g.max_degree() as f64 / (2.0 * g.num_edges_undirected() as f64 / g.num_vertices() as f64)
+            g.max_degree() as f64
+                / (2.0 * g.num_edges_undirected() as f64 / g.num_vertices() as f64)
         };
         assert!(skew(&by_name("social-kron").graph) > 2.0 * skew(&by_name("er-uniform").graph));
     }

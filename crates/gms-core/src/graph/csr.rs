@@ -71,9 +71,8 @@ impl CsrGraph {
 
     /// Returns each arc `(u, v)` exactly once as stored.
     pub fn arcs(&self) -> impl Iterator<Item = Edge> + '_ {
-        (0..self.num_vertices() as NodeId).flat_map(move |u| {
-            self.neighbors_slice(u).iter().map(move |&v| (u, v))
-        })
+        (0..self.num_vertices() as NodeId)
+            .flat_map(move |u| self.neighbors_slice(u).iter().map(move |&v| (u, v)))
     }
 
     /// Returns each undirected edge once (`u < v`), assuming symmetric
@@ -126,7 +125,10 @@ pub struct CsrBuilder {
 impl CsrBuilder {
     /// Creates a builder for a graph with `n` vertices.
     pub fn new(n: usize) -> Self {
-        Self { n, arcs: Vec::new() }
+        Self {
+            n,
+            arcs: Vec::new(),
+        }
     }
 
     /// Records the arc `u -> v`.
@@ -135,7 +137,10 @@ impl CsrBuilder {
     /// Panics if an endpoint is out of range.
     #[inline]
     pub fn push_arc(&mut self, u: NodeId, v: NodeId) {
-        assert!((u as usize) < self.n && (v as usize) < self.n, "arc out of range");
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "arc out of range"
+        );
         self.arcs.push((u, v));
     }
 

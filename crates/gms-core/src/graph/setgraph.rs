@@ -23,7 +23,10 @@ impl<S: Set> SetGraph<S> {
             .into_par_iter()
             .map(|v| S::from_sorted(csr.neighbors_slice(v)))
             .collect();
-        Self { neighborhoods, arcs: csr.num_arcs() }
+        Self {
+            neighborhoods,
+            arcs: csr.num_arcs(),
+        }
     }
 
     /// Builds directly from per-vertex sorted adjacency lists.
@@ -33,7 +36,10 @@ impl<S: Set> SetGraph<S> {
             .into_iter()
             .map(|neigh| S::from_sorted(&neigh))
             .collect();
-        Self { neighborhoods, arcs }
+        Self {
+            neighborhoods,
+            arcs,
+        }
     }
 
     /// Total heap bytes across all neighborhood sets (§8.9).

@@ -27,5 +27,7 @@ pub mod set;
 pub mod types;
 
 pub use graph::{CsrBuilder, CsrGraph, Graph, SetGraph, SetNeighborhoods};
-pub use set::{DenseBitSet, HashVertexSet, RoaringSet, Set, SetElement, SortedVecSet, SparseBitSet};
+pub use set::{
+    DenseBitSet, HashVertexSet, RoaringSet, Set, SetElement, SortedVecSet, SparseBitSet,
+};
 pub use types::{normalize_edge, Edge, EdgeId, NodeId};

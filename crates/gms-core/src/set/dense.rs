@@ -70,7 +70,10 @@ impl Eq for DenseBitSet {}
 
 impl Set for DenseBitSet {
     fn empty() -> Self {
-        Self { words: Vec::new(), len: 0 }
+        Self {
+            words: Vec::new(),
+            len: 0,
+        }
     }
 
     fn with_universe(universe_hint: usize) -> Self {
@@ -184,8 +187,14 @@ impl Set for DenseBitSet {
             .map(|(a, b)| (a | b).count_ones() as usize)
             .sum();
         let n = self.words.len().min(other.words.len());
-        let tail_self: usize = self.words[n..].iter().map(|w| w.count_ones() as usize).sum();
-        let tail_other: usize = other.words[n..].iter().map(|w| w.count_ones() as usize).sum();
+        let tail_self: usize = self.words[n..]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum();
+        let tail_other: usize = other.words[n..]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum();
         common + tail_self + tail_other
     }
 
@@ -226,9 +235,13 @@ impl Set for DenseBitSet {
     }
 
     fn iter(&self) -> impl Iterator<Item = SetElement> + '_ {
-        self.words.iter().enumerate().flat_map(|(wi, &word)| {
-            BitIter { word, base: (wi * WORD_BITS) as u32 }
-        })
+        self.words
+            .iter()
+            .enumerate()
+            .flat_map(|(wi, &word)| BitIter {
+                word,
+                base: (wi * WORD_BITS) as u32,
+            })
     }
 
     fn heap_bytes(&self) -> usize {

@@ -28,7 +28,9 @@ impl Eq for HashVertexSet {}
 
 impl Set for HashVertexSet {
     fn empty() -> Self {
-        Self { elements: FxHashSet::default() }
+        Self {
+            elements: FxHashSet::default(),
+        }
     }
 
     fn with_universe(universe_hint: usize) -> Self {
@@ -38,7 +40,9 @@ impl Set for HashVertexSet {
     }
 
     fn from_sorted(elements: &[SetElement]) -> Self {
-        Self { elements: elements.iter().copied().collect() }
+        Self {
+            elements: elements.iter().copied().collect(),
+        }
     }
 
     #[inline]
@@ -127,7 +131,9 @@ impl Set for HashVertexSet {
 
 impl FromIterator<SetElement> for HashVertexSet {
     fn from_iter<I: IntoIterator<Item = SetElement>>(iter: I) -> Self {
-        Self { elements: iter.into_iter().collect() }
+        Self {
+            elements: iter.into_iter().collect(),
+        }
     }
 }
 

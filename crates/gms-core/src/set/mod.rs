@@ -233,7 +233,10 @@ pub(crate) mod conformance {
             (vec![10, 20, 30], vec![10, 20, 30]),
             ((0..200).collect(), (100..300).collect()),
             (vec![1, 65_536, 131_072], vec![65_536, 200_000]),
-            ((0..5000).map(|x| x * 3).collect(), (0..5000).map(|x| x * 2).collect()),
+            (
+                (0..5000).map(|x| x * 3).collect(),
+                (0..5000).map(|x| x * 2).collect(),
+            ),
         ]
     }
 
@@ -317,11 +320,7 @@ pub(crate) mod conformance {
         let b = SortedVecSet::from_sorted(&[2]);
         let got = argmin_over_union(&a, &b, |x| (10 - x) as usize);
         assert_eq!(got, Some(3));
-        let none = argmin_over_union(
-            &SortedVecSet::empty(),
-            &SortedVecSet::empty(),
-            |_| 0,
-        );
+        let none = argmin_over_union(&SortedVecSet::empty(), &SortedVecSet::empty(), |_| 0);
         assert_eq!(none, None);
     }
 }

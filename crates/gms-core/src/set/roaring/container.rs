@@ -24,7 +24,10 @@ pub struct BitmapStore {
 impl BitmapStore {
     /// Creates an all-zero bitmap store.
     pub fn new() -> Self {
-        Self { words: Box::new([0u64; WORDS]), len: 0 }
+        Self {
+            words: Box::new([0u64; WORDS]),
+            len: 0,
+        }
     }
 
     /// Membership test on the low 16 bits.
@@ -294,9 +297,7 @@ impl Container {
             Container::Array(a) if a.len() > ARRAY_MAX => {
                 Container::Bitmap(BitmapStore::from_array(&a))
             }
-            Container::Bitmap(b) if (b.len as usize) <= ARRAY_MAX => {
-                Container::Array(b.to_array())
-            }
+            Container::Bitmap(b) if (b.len as usize) <= ARRAY_MAX => Container::Array(b.to_array()),
             other => other,
         }
     }
@@ -306,9 +307,7 @@ impl Container {
         let a = self.flat();
         let b = other.flat();
         let result = match (a.as_ref(), b.as_ref()) {
-            (Container::Array(x), Container::Array(y)) => {
-                Container::Array(intersect_arrays(x, y))
-            }
+            (Container::Array(x), Container::Array(y)) => Container::Array(intersect_arrays(x, y)),
             (Container::Array(x), Container::Bitmap(y)) => {
                 Container::Array(x.iter().copied().filter(|&v| y.contains(v)).collect())
             }
@@ -388,9 +387,7 @@ impl Container {
         let a = self.flat();
         let b = other.flat();
         let result = match (a.as_ref(), b.as_ref()) {
-            (Container::Array(x), Container::Array(y)) => {
-                Container::Array(diff_arrays(x, y))
-            }
+            (Container::Array(x), Container::Array(y)) => Container::Array(diff_arrays(x, y)),
             (Container::Array(x), Container::Bitmap(y)) => {
                 Container::Array(x.iter().copied().filter(|&v| !y.contains(v)).collect())
             }
@@ -421,10 +418,12 @@ impl Container {
     pub fn iter(&self) -> Box<dyn Iterator<Item = u16> + '_> {
         match self {
             Container::Array(a) => Box::new(a.iter().copied()),
-            Container::Bitmap(b) => Box::new(BitmapIter { store: b, word_index: 0, word: b.words[0] }),
-            Container::Run(runs) => {
-                Box::new(runs.iter().flat_map(|r| r.start..=r.end()))
-            }
+            Container::Bitmap(b) => Box::new(BitmapIter {
+                store: b,
+                word_index: 0,
+                word: b.words[0],
+            }),
+            Container::Run(runs) => Box::new(runs.iter().flat_map(|r| r.start..=r.end())),
         }
     }
 
@@ -463,7 +462,7 @@ impl Iterator for BitmapIter<'_> {
     }
 }
 
-fn intersect_arrays(a: &[u16], b: &[u16], ) -> Vec<u16> {
+fn intersect_arrays(a: &[u16], b: &[u16]) -> Vec<u16> {
     let mut out = Vec::with_capacity(a.len().min(b.len()));
     let (mut i, mut j) = (0, 0);
     while i < a.len() && j < b.len() {
@@ -636,7 +635,10 @@ mod tests {
 
     #[test]
     fn max_run_is_representable() {
-        let run = Run { start: 0, len: u16::MAX };
+        let run = Run {
+            start: 0,
+            len: u16::MAX,
+        };
         assert_eq!(run.count(), 65536);
         assert!(run.contains(u16::MAX));
     }

@@ -64,11 +64,7 @@ impl RoaringSet {
 
     /// Merges two roaring sets key-by-key with the given per-container
     /// operation, keeping only keys present in both (intersection-like).
-    fn zip_common<F: Fn(&Container, &Container) -> Container>(
-        &self,
-        other: &Self,
-        op: F,
-    ) -> Self {
+    fn zip_common<F: Fn(&Container, &Container) -> Container>(&self, other: &Self, op: F) -> Self {
         let mut keys = Vec::new();
         let mut containers = Vec::new();
         let (mut i, mut j) = (0, 0);
@@ -105,9 +101,7 @@ impl PartialEq for RoaringSet {
         self.containers
             .iter()
             .zip(&other.containers)
-            .all(|(a, b)| {
-                a.cardinality() == b.cardinality() && a.iter().eq(b.iter())
-            })
+            .all(|(a, b)| a.cardinality() == b.cardinality() && a.iter().eq(b.iter()))
     }
 }
 
@@ -124,7 +118,10 @@ impl std::fmt::Debug for RoaringSet {
 
 impl Set for RoaringSet {
     fn empty() -> Self {
-        Self { keys: Vec::new(), containers: Vec::new() }
+        Self {
+            keys: Vec::new(),
+            containers: Vec::new(),
+        }
     }
 
     fn from_sorted(elements: &[SetElement]) -> Self {
@@ -133,9 +130,8 @@ impl Set for RoaringSet {
         let mut chunk_start = 0;
         while chunk_start < elements.len() {
             let (key, _) = split(elements[chunk_start]);
-            let chunk_end = elements[chunk_start..]
-                .partition_point(|&e| split(e).0 == key)
-                + chunk_start;
+            let chunk_end =
+                elements[chunk_start..].partition_point(|&e| split(e).0 == key) + chunk_start;
             let lows: Vec<u16> = elements[chunk_start..chunk_end]
                 .iter()
                 .map(|&e| split(e).1)
@@ -266,15 +262,20 @@ impl Set for RoaringSet {
     }
 
     fn iter(&self) -> impl Iterator<Item = SetElement> + '_ {
-        self.keys.iter().zip(&self.containers).flat_map(|(&key, container)| {
-            container.iter().map(move |low| join(key, low))
-        })
+        self.keys
+            .iter()
+            .zip(&self.containers)
+            .flat_map(|(&key, container)| container.iter().map(move |low| join(key, low)))
     }
 
     fn heap_bytes(&self) -> usize {
         self.keys.capacity() * 2
             + self.containers.capacity() * std::mem::size_of::<Container>()
-            + self.containers.iter().map(Container::heap_bytes).sum::<usize>()
+            + self
+                .containers
+                .iter()
+                .map(Container::heap_bytes)
+                .sum::<usize>()
     }
 
     fn min(&self) -> Option<SetElement> {
@@ -357,7 +358,10 @@ mod tests {
         let bytes_before = s.heap_bytes();
         s.optimize();
         assert_eq!(s.to_vec(), before);
-        assert!(s.heap_bytes() < bytes_before, "runs should compress a dense range");
+        assert!(
+            s.heap_bytes() < bytes_before,
+            "runs should compress a dense range"
+        );
         // Operations still work on the run-encoded set.
         let probe: RoaringSet = [999u32, 1000, 59_999, 60_000].into_iter().collect();
         assert_eq!(s.intersect(&probe).to_vec(), vec![1000, 59_999]);

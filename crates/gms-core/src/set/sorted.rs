@@ -100,18 +100,24 @@ impl SortedVecSet {
 
 impl Set for SortedVecSet {
     fn empty() -> Self {
-        Self { elements: Vec::new() }
+        Self {
+            elements: Vec::new(),
+        }
     }
 
     fn with_universe(universe_hint: usize) -> Self {
         // Neighborhood-sized sets are usually far smaller than the
         // universe; reserve modestly.
-        Self { elements: Vec::with_capacity(universe_hint.min(64)) }
+        Self {
+            elements: Vec::with_capacity(universe_hint.min(64)),
+        }
     }
 
     fn from_sorted(elements: &[SetElement]) -> Self {
         debug_assert!(elements.windows(2).all(|w| w[0] < w[1]));
-        Self { elements: elements.to_vec() }
+        Self {
+            elements: elements.to_vec(),
+        }
     }
 
     #[inline]

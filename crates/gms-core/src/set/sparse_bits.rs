@@ -27,17 +27,17 @@ impl SparseBitSet {
     }
 
     fn recount(&mut self) {
-        self.len = self.pages.iter().map(|&(_, w)| w.count_ones() as usize).sum();
+        self.len = self
+            .pages
+            .iter()
+            .map(|&(_, w)| w.count_ones() as usize)
+            .sum();
     }
 
     /// Merges two page lists with a per-page word operation; pages
     /// missing on one side contribute `0` on that side. Zero results
     /// are dropped.
-    fn merge_pages(
-        &self,
-        other: &Self,
-        op: impl Fn(u64, u64) -> u64,
-    ) -> Self {
+    fn merge_pages(&self, other: &Self, op: impl Fn(u64, u64) -> u64) -> Self {
         let mut pages = Vec::with_capacity(self.pages.len().max(other.pages.len()));
         let (mut i, mut j) = (0, 0);
         while i < self.pages.len() || j < other.pages.len() {
@@ -80,7 +80,10 @@ impl SparseBitSet {
 
 impl Set for SparseBitSet {
     fn empty() -> Self {
-        Self { pages: Vec::new(), len: 0 }
+        Self {
+            pages: Vec::new(),
+            len: 0,
+        }
     }
 
     fn from_sorted(elements: &[SetElement]) -> Self {
@@ -93,7 +96,10 @@ impl Set for SparseBitSet {
                 _ => pages.push((page, bit)),
             }
         }
-        Self { pages, len: elements.len() }
+        Self {
+            pages,
+            len: elements.len(),
+        }
     }
 
     #[inline]
@@ -167,8 +173,9 @@ impl Set for SparseBitSet {
     }
 
     fn iter(&self) -> impl Iterator<Item = SetElement> + '_ {
-        self.pages.iter().flat_map(|&(page, word)| {
-            PageIter { word, base: page << 6 }
+        self.pages.iter().flat_map(|&(page, word)| PageIter {
+            word,
+            base: page << 6,
         })
     }
 

@@ -58,7 +58,11 @@ fn run_model<S: Set>(initial: &[u32], ops: &[Op]) {
             Op::UnionWith(other) => {
                 let rhs = S::from_sorted(other);
                 let fresh = subject.union(&rhs);
-                assert_eq!(subject.union_count(&rhs), fresh.cardinality(), "step {step}");
+                assert_eq!(
+                    subject.union_count(&rhs),
+                    fresh.cardinality(),
+                    "step {step}"
+                );
                 subject.union_inplace(&rhs);
                 assert_eq!(subject, fresh, "step {step}");
                 model.extend(other.iter().copied());
@@ -150,4 +154,108 @@ proptest! {
         prop_assert_eq!(plain.diff(&rhs).to_vec(), optimized.diff(&rhs).to_vec());
         prop_assert_eq!(plain, optimized);
     }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic five-layout equivalence: beyond the per-layout model
+// tests above, run one fixed workload over *all five* `Set`
+// implementations side by side and require that (a) each agrees with
+// the `BTreeSet` oracle and (b) all layouts agree with each other,
+// element for element. This is the paper's interchangeability claim
+// in its most literal form, and being seed-free it can never flake.
+
+/// A small deterministic LCG so the workload is identical on every
+/// run and platform (no dependence on any RNG crate).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next_below(&mut self, bound: u32) -> u32 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((self.0 >> 33) % u64::from(bound.max(1))) as u32
+    }
+}
+
+/// Sorted, de-duplicated operand drawn from `[0, universe)`.
+fn operand(rng: &mut Lcg, len: usize, universe: u32) -> Vec<u32> {
+    let set: BTreeSet<u32> = (0..len).map(|_| rng.next_below(universe)).collect();
+    set.into_iter().collect()
+}
+
+fn oracle_workload<S: Set>(pairs: &[(Vec<u32>, Vec<u32>)]) -> Vec<Vec<u32>> {
+    let mut outcomes = Vec::new();
+    for (a, b) in pairs {
+        let sa = S::from_sorted(a);
+        let sb = S::from_sorted(b);
+        let oracle_a: BTreeSet<u32> = a.iter().copied().collect();
+        let oracle_b: BTreeSet<u32> = b.iter().copied().collect();
+
+        let intersect = sa.intersect(&sb);
+        let union = sa.union(&sb);
+        let diff = sa.diff(&sb);
+
+        // Against the oracle.
+        let oracle_intersect: Vec<u32> = oracle_a.intersection(&oracle_b).copied().collect();
+        let oracle_union: Vec<u32> = oracle_a.union(&oracle_b).copied().collect();
+        let oracle_diff: Vec<u32> = oracle_a.difference(&oracle_b).copied().collect();
+        assert_eq!(intersect.to_vec(), oracle_intersect, "intersect vs oracle");
+        assert_eq!(union.to_vec(), oracle_union, "union vs oracle");
+        assert_eq!(diff.to_vec(), oracle_diff, "diff vs oracle");
+
+        // Count and in-place variants must match the fresh-set paths.
+        assert_eq!(sa.intersect_count(&sb), intersect.cardinality());
+        assert_eq!(sa.union_count(&sb), union.cardinality());
+        assert_eq!(sa.diff_count(&sb), diff.cardinality());
+        let mut inplace = S::from_sorted(a);
+        inplace.intersect_inplace(&sb);
+        assert_eq!(inplace.to_vec(), oracle_intersect, "intersect_inplace");
+        let mut inplace = S::from_sorted(a);
+        inplace.union_inplace(&sb);
+        assert_eq!(inplace.to_vec(), oracle_union, "union_inplace");
+        let mut inplace = S::from_sorted(a);
+        inplace.diff_inplace(&sb);
+        assert_eq!(inplace.to_vec(), oracle_diff, "diff_inplace");
+
+        outcomes.push(intersect.to_vec());
+        outcomes.push(union.to_vec());
+        outcomes.push(diff.to_vec());
+    }
+    outcomes
+}
+
+#[test]
+fn all_five_layouts_agree_on_a_fixed_workload() {
+    let mut rng = Lcg(0x6d73_2d67_6d73_2131); // fixed: workload never changes
+    let mut pairs: Vec<(Vec<u32>, Vec<u32>)> = Vec::new();
+    // Size regimes graph mining produces: balanced merges, skewed
+    // gallops, dense bit-parallel sweeps, tiny and empty edge cases.
+    for &(len_a, len_b, universe) in &[
+        (400usize, 400usize, 2_000u32), // balanced, moderately dense
+        (12, 4_000, 50_000),            // skewed: gallop territory
+        (4_000, 12, 50_000),            // skewed the other way
+        (800, 800, 1_000),              // dense: bitset territory
+        (60, 60, 1 << 20),              // sparse over a huge universe
+        (0, 300, 5_000),                // empty lhs
+        (300, 0, 5_000),                // empty rhs
+        (1, 1, 10),                     // singletons
+    ] {
+        pairs.push((
+            operand(&mut rng, len_a, universe),
+            operand(&mut rng, len_b, universe),
+        ));
+    }
+
+    let sorted = oracle_workload::<SortedVecSet>(&pairs);
+    let roaring = oracle_workload::<RoaringSet>(&pairs);
+    let dense = oracle_workload::<DenseBitSet>(&pairs);
+    let hash = oracle_workload::<HashVertexSet>(&pairs);
+    let sparse = oracle_workload::<SparseBitSet>(&pairs);
+
+    // Cross-layout: every layout produced the exact same results.
+    assert_eq!(sorted, roaring, "SortedVecSet vs RoaringSet");
+    assert_eq!(sorted, dense, "SortedVecSet vs DenseBitSet");
+    assert_eq!(sorted, hash, "SortedVecSet vs HashVertexSet");
+    assert_eq!(sorted, sparse, "SortedVecSet vs SparseBitSet");
 }

@@ -46,8 +46,15 @@ pub fn gnp(n: usize, p: f64, seed: u64) -> CsrGraph {
 
 /// Samples `G(n, m)`: exactly `m` distinct edges drawn uniformly.
 pub fn gnm(n: usize, m: usize, seed: u64) -> CsrGraph {
-    let total_pairs = if n < 2 { 0 } else { n as u64 * (n as u64 - 1) / 2 };
-    assert!(m as u64 <= total_pairs, "m exceeds the number of vertex pairs");
+    let total_pairs = if n < 2 {
+        0
+    } else {
+        n as u64 * (n as u64 - 1) / 2
+    };
+    assert!(
+        m as u64 <= total_pairs,
+        "m exceeds the number of vertex pairs"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut chosen = std::collections::HashSet::with_capacity(m * 2);
     let mut edges = Vec::with_capacity(m);
@@ -106,7 +113,10 @@ mod tests {
         assert_eq!(a, b);
         let expected = 0.02 * 500.0 * 499.0 / 2.0;
         let m = a.num_edges_undirected() as f64;
-        assert!((m - expected).abs() < expected * 0.25, "m = {m}, expected ≈ {expected}");
+        assert!(
+            (m - expected).abs() < expected * 0.25,
+            "m = {m}, expected ≈ {expected}"
+        );
         // Different seeds differ.
         assert_ne!(a, gnp(500, 0.02, 8));
     }

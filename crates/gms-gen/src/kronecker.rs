@@ -20,7 +20,11 @@ pub struct RmatParams {
 
 impl Default for RmatParams {
     fn default() -> Self {
-        Self { a: 0.57, b: 0.19, c: 0.19 }
+        Self {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+        }
     }
 }
 
@@ -93,15 +97,36 @@ mod tests {
             "power-law graphs have hubs: max {max}, avg {avg}"
         );
         // A uniform quadrant matrix gives an ER-like (low-skew) graph.
-        let uniform = kronecker(10, 8, RmatParams { a: 0.25, b: 0.25, c: 0.25 }, 5);
+        let uniform = kronecker(
+            10,
+            8,
+            RmatParams {
+                a: 0.25,
+                b: 0.25,
+                c: 0.25,
+            },
+            5,
+        );
         let umax = uniform.max_degree() as f64;
         let uavg = 2.0 * uniform.num_edges_undirected() as f64 / n as f64;
-        assert!(umax / uavg < max / avg, "uniform matrix must be less skewed");
+        assert!(
+            umax / uavg < max / avg,
+            "uniform matrix must be less skewed"
+        );
     }
 
     #[test]
     #[should_panic(expected = "probabilities exceed 1")]
     fn rejects_invalid_probabilities() {
-        kronecker(4, 2, RmatParams { a: 0.7, b: 0.3, c: 0.2 }, 0);
+        kronecker(
+            4,
+            2,
+            RmatParams {
+                a: 0.7,
+                b: 0.3,
+                c: 0.2,
+            },
+            0,
+        );
     }
 }

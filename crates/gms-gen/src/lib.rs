@@ -23,9 +23,9 @@ pub mod models;
 pub mod planted;
 
 pub use er::{gnm, gnp};
-pub use models::{barabasi_albert, bipartite, watts_strogatz};
 pub use kronecker::{kronecker, kronecker_default, RmatParams};
+pub use models::{barabasi_albert, bipartite, watts_strogatz};
 pub use planted::{
-    complete, grid, planted_clique_star, planted_cliques, planted_dense_groups,
-    planted_partition, PlantedConfig,
+    complete, grid, planted_clique_star, planted_cliques, planted_dense_groups, planted_partition,
+    PlantedConfig,
 };

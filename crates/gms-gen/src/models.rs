@@ -102,7 +102,10 @@ mod tests {
         let g = barabasi_albert(800, 3, 4);
         let n = g.num_vertices() as f64;
         let avg = 2.0 * g.num_edges_undirected() as f64 / n;
-        assert!((5.0..=7.0).contains(&avg), "avg degree ≈ 2m_per_vertex, got {avg}");
+        assert!(
+            (5.0..=7.0).contains(&avg),
+            "avg degree ≈ 2m_per_vertex, got {avg}"
+        );
         assert!(
             g.max_degree() as f64 > 5.0 * avg,
             "preferential attachment grows hubs: max {} avg {avg}",
@@ -133,7 +136,10 @@ mod tests {
         let small_world = watts_strogatz(400, 4, 0.3, 2);
         let d_lat = gms_graph::traverse::pseudo_diameter(&lattice, 0);
         let d_sw = gms_graph::traverse::pseudo_diameter(&small_world, 0);
-        assert!(d_sw * 2 < d_lat, "rewiring must shorten paths: {d_sw} vs {d_lat}");
+        assert!(
+            d_sw * 2 < d_lat,
+            "rewiring must shorten paths: {d_sw} vs {d_lat}"
+        );
     }
 
     #[test]
@@ -148,7 +154,10 @@ mod tests {
     #[test]
     fn deterministic_models() {
         assert_eq!(barabasi_albert(200, 2, 5), barabasi_albert(200, 2, 5));
-        assert_eq!(watts_strogatz(200, 6, 0.2, 5), watts_strogatz(200, 6, 0.2, 5));
+        assert_eq!(
+            watts_strogatz(200, 6, 0.2, 5),
+            watts_strogatz(200, 6, 0.2, 5)
+        );
         assert_eq!(bipartite(30, 30, 0.2, 5), bipartite(30, 30, 0.2, 5));
     }
 }

@@ -121,7 +121,11 @@ pub fn planted_partition(
     let mut edges: Vec<Edge> = Vec::new();
     for u in 0..n {
         for v in u + 1..n {
-            let p = if assignment[u] == assignment[v] { p_in } else { p_out };
+            let p = if assignment[u] == assignment[v] {
+                p_in
+            } else {
+                p_out
+            };
             if rng.gen::<f64>() < p {
                 edges.push((u as NodeId, v as NodeId));
             }

@@ -1,0 +1,96 @@
+//! Deterministic-seed smoke tests: every generator must produce an
+//! identical graph when called twice with the same seed, and a
+//! different one under a different seed. The cross-crate consistency
+//! suites at the workspace root compare mining results on generated
+//! graphs across runs, so any seed-instability here would surface
+//! there as flakes — this file pins the property down at its source.
+
+use gms_core::{CsrGraph, Graph};
+
+/// Degree sequence (sorted ascending): equal sequences plus equal
+/// edge sets is the fingerprint we compare between runs.
+fn degree_sequence(g: &CsrGraph) -> Vec<usize> {
+    let mut degrees: Vec<usize> = g.vertices().map(|v| g.degree(v)).collect();
+    degrees.sort_unstable();
+    degrees
+}
+
+fn assert_identical(a: &CsrGraph, b: &CsrGraph, label: &str) {
+    assert_eq!(a.num_vertices(), b.num_vertices(), "{label}: vertex count");
+    assert_eq!(a.num_arcs(), b.num_arcs(), "{label}: edge count");
+    assert_eq!(
+        degree_sequence(a),
+        degree_sequence(b),
+        "{label}: degree sequence"
+    );
+    // Strongest form: the exact same edge set, not just statistics.
+    assert_eq!(a, b, "{label}: edge set");
+}
+
+#[test]
+fn gnp_is_seed_deterministic() {
+    for seed in [0, 1, 42] {
+        let a = gms_gen::gnp(300, 0.03, seed);
+        let b = gms_gen::gnp(300, 0.03, seed);
+        assert_identical(&a, &b, &format!("gnp seed {seed}"));
+    }
+}
+
+#[test]
+fn gnp_seeds_differ() {
+    let a = gms_gen::gnp(300, 0.03, 1);
+    let b = gms_gen::gnp(300, 0.03, 2);
+    assert_ne!(a, b, "different seeds must give different graphs");
+}
+
+#[test]
+fn gnm_is_seed_deterministic_with_exact_edges() {
+    let a = gms_gen::gnm(250, 900, 7);
+    let b = gms_gen::gnm(250, 900, 7);
+    assert_identical(&a, &b, "gnm seed 7");
+    assert_eq!(
+        a.num_arcs(),
+        2 * 900,
+        "gnm places exactly m undirected edges"
+    );
+}
+
+#[test]
+fn kronecker_is_seed_deterministic() {
+    for seed in [3, 11] {
+        let a = gms_gen::kronecker_default(9, 7, seed);
+        let b = gms_gen::kronecker_default(9, 7, seed);
+        assert_identical(&a, &b, &format!("kronecker seed {seed}"));
+    }
+    let c = gms_gen::kronecker_default(9, 7, 3);
+    let d = gms_gen::kronecker_default(9, 7, 4);
+    assert_ne!(c, d);
+}
+
+#[test]
+fn planted_cliques_are_seed_deterministic_including_ground_truth() {
+    let (graph_a, planted_a) = gms_gen::planted_cliques(400, 0.01, 3, 8, 17);
+    let (graph_b, planted_b) = gms_gen::planted_cliques(400, 0.01, 3, 8, 17);
+    assert_identical(&graph_a, &graph_b, "planted_cliques seed 17");
+    assert_eq!(planted_a, planted_b, "planted ground truth must reproduce");
+    assert_eq!(planted_a.len(), 3, "requested number of planted cliques");
+    for clique in &planted_a {
+        assert_eq!(clique.len(), 8, "requested clique size");
+    }
+}
+
+#[test]
+fn planted_partition_is_seed_deterministic_including_ground_truth() {
+    let (graph_a, truth_a) = gms_gen::planted_partition(120, 3, 0.4, 0.02, 23);
+    let (graph_b, truth_b) = gms_gen::planted_partition(120, 3, 0.4, 0.02, 23);
+    assert_identical(&graph_a, &graph_b, "planted_partition seed 23");
+    assert_eq!(truth_a, truth_b, "community labels must reproduce");
+}
+
+#[test]
+fn structured_generators_are_input_deterministic() {
+    // grid and complete take no seed; identical inputs must still
+    // yield identical graphs (no hidden global state).
+    assert_identical(&gms_gen::grid(9, 13), &gms_gen::grid(9, 13), "grid");
+    assert_identical(&gms_gen::complete(25), &gms_gen::complete(25), "complete");
+}

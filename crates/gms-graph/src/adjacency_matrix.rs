@@ -29,7 +29,12 @@ impl AdjacencyMatrix {
                 bits[row + v as usize / WORD_BITS] |= 1u64 << (v as usize % WORD_BITS);
             }
         }
-        Self { n, words_per_row, bits, arcs: graph.num_arcs() }
+        Self {
+            n,
+            words_per_row,
+            bits,
+            arcs: graph.num_arcs(),
+        }
     }
 
     /// The bit row of vertex `u`.
@@ -84,7 +89,11 @@ impl Graph for AdjacencyMatrix {
         self.row(v).iter().enumerate().flat_map(|(wi, &word)| {
             let base = (wi * WORD_BITS) as u32;
             std::iter::successors(
-                if word == 0 { None } else { Some((word, base + word.trailing_zeros())) },
+                if word == 0 {
+                    None
+                } else {
+                    Some((word, base + word.trailing_zeros()))
+                },
                 move |&(w, _)| {
                     let w = w & (w - 1);
                     if w == 0 {

@@ -23,7 +23,11 @@ impl BitPackedCsr {
         let n = graph.num_vertices();
         let adjacency = BitPacked::pack_for_universe(graph.adjacency(), n.max(2));
         let offsets = CompactOffsets::from_offsets(graph.offsets());
-        Self { adjacency, offsets, arcs: graph.num_arcs() }
+        Self {
+            adjacency,
+            offsets,
+            arcs: graph.num_arcs(),
+        }
     }
 
     /// Random access to the `i`-th neighbor of `v` — O(1), the
@@ -36,10 +40,7 @@ impl BitPackedCsr {
 
     /// Unpacks to plain CSR.
     pub fn to_csr(&self) -> CsrGraph {
-        CsrGraph::from_parts(
-            self.offsets.to_offsets(),
-            self.adjacency.iter().collect(),
-        )
+        CsrGraph::from_parts(self.offsets.to_offsets(), self.adjacency.iter().collect())
     }
 
     /// Heap bytes of the packed structure.
@@ -148,8 +149,7 @@ mod tests {
             total / 3
         };
         let from_csr = count_with(&|v| SortedVecSet::from_sorted(g.neighbors_slice(v)));
-        let from_packed =
-            count_with(&|v| packed.neighbors(v).collect::<SortedVecSet>());
+        let from_packed = count_with(&|v| packed.neighbors(v).collect::<SortedVecSet>());
         assert_eq!(from_csr, from_packed);
         assert_eq!(from_csr, gms_order::triangle_count(&g));
     }

@@ -14,7 +14,11 @@ pub struct BitPacked {
 /// Bits needed to represent values `< universe` (at least 1).
 #[inline]
 pub fn width_for_universe(universe: usize) -> u32 {
-    usize::BITS - universe.saturating_sub(1).leading_zeros().min(usize::BITS - 1)
+    usize::BITS
+        - universe
+            .saturating_sub(1)
+            .leading_zeros()
+            .min(usize::BITS - 1)
 }
 
 impl BitPacked {
@@ -35,7 +39,11 @@ impl BitPacked {
                 words[word + 1] |= u64::from(v) >> (64 - shift);
             }
         }
-        Self { words, width, len: values.len() }
+        Self {
+            words,
+            width,
+            len: values.len(),
+        }
     }
 
     /// Packs with the minimal width for values `< universe`.
@@ -98,9 +106,14 @@ mod tests {
     #[test]
     fn roundtrip_various_widths() {
         for width in [1u32, 5, 7, 8, 13, 17, 31, 32] {
-            let mask = if width == 32 { u32::MAX } else { (1 << width) - 1 };
-            let values: Vec<u32> =
-                (0..257u32).map(|i| i.wrapping_mul(2_654_435_761) & mask).collect();
+            let mask = if width == 32 {
+                u32::MAX
+            } else {
+                (1 << width) - 1
+            };
+            let values: Vec<u32> = (0..257u32)
+                .map(|i| i.wrapping_mul(2_654_435_761) & mask)
+                .collect();
             let packed = BitPacked::pack(&values, width);
             assert_eq!(packed.len(), values.len());
             for (i, &v) in values.iter().enumerate() {

@@ -41,7 +41,12 @@ pub struct GapDecoder<'a> {
 impl<'a> GapDecoder<'a> {
     /// Starts decoding `count` values from `input`.
     pub fn new(input: &'a [u8], count: usize) -> Self {
-        Self { input, remaining: count, acc: 0, first: true }
+        Self {
+            input,
+            remaining: count,
+            acc: 0,
+            first: true,
+        }
     }
 }
 

@@ -67,7 +67,12 @@ impl K2Tree {
             frontier = next;
             level_side = child;
         }
-        Self { bits, level_starts, side, n }
+        Self {
+            bits,
+            level_starts,
+            side,
+            n,
+        }
     }
 
     /// Tests whether the arc `(u, v)` is present.

@@ -38,7 +38,13 @@ impl CompactOffsets {
             }
             varint::encode_u32((offsets[v + 1] - offsets[v]) as u32, &mut degrees);
         }
-        Self { anchors, degrees, block_starts, len: n, total: *offsets.last().unwrap() }
+        Self {
+            anchors,
+            degrees,
+            block_starts,
+            len: n,
+            total: *offsets.last().unwrap(),
+        }
     }
 
     /// Reconstructs `(start, end)` of vertex `v`'s neighborhood range.
@@ -77,9 +83,7 @@ impl CompactOffsets {
 
     /// Heap bytes used by the compressed structure.
     pub fn heap_bytes(&self) -> usize {
-        self.anchors.capacity() * 8
-            + self.degrees.capacity()
-            + self.block_starts.capacity() * 4
+        self.anchors.capacity() * 8 + self.degrees.capacity() + self.block_starts.capacity() * 4
     }
 
     /// Expands back to a plain offset array.

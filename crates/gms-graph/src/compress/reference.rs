@@ -38,7 +38,12 @@ impl ReferenceEncodedGraph {
             payloads.push(payload);
             shapes.push((copied, extras, reference.len() as u32));
         }
-        Self { payloads, shapes, n, arcs: graph.num_arcs() }
+        Self {
+            payloads,
+            shapes,
+            n,
+            arcs: graph.num_arcs(),
+        }
     }
 
     /// Decodes the neighborhood of `v` (requires decoding `v`'s chain
@@ -54,8 +59,7 @@ impl ReferenceEncodedGraph {
         while start > 0 && self.shapes[start].0 > 0 {
             start -= 1;
         }
-        let mut current =
-            decode_with_reference(&self.payloads[start], self.shapes[start], &[]);
+        let mut current = decode_with_reference(&self.payloads[start], self.shapes[start], &[]);
         for u in start + 1..=v as usize {
             current = decode_with_reference(&self.payloads[u], self.shapes[u], &current);
         }
@@ -128,8 +132,8 @@ fn decode_with_reference(
         }
     }
     if extras > 0 {
-        let extra_vals = gap::decode(&payload[mask_len..], extras as usize)
-            .expect("corrupt reference encoding");
+        let extra_vals =
+            gap::decode(&payload[mask_len..], extras as usize).expect("corrupt reference encoding");
         out.extend_from_slice(&extra_vals);
         out.sort_unstable();
     }
@@ -147,9 +151,17 @@ mod tests {
         let g = CsrGraph::from_undirected_edges(
             8,
             &[
-                (1, 3), (1, 4), (1, 6), (1, 7),
-                (2, 3), (2, 4), (2, 6), (2, 7), (2, 5),
-                (0, 7), (5, 6),
+                (1, 3),
+                (1, 4),
+                (1, 6),
+                (1, 7),
+                (2, 3),
+                (2, 4),
+                (2, 6),
+                (2, 7),
+                (2, 5),
+                (0, 7),
+                (5, 6),
             ],
         );
         let enc = ReferenceEncodedGraph::encode(&g);

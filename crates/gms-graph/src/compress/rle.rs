@@ -40,7 +40,11 @@ pub fn decode(mut input: &[u8], runs: usize) -> Option<Vec<u32>> {
         if len == 0 {
             return None;
         }
-        let start = if r == 0 { gap } else { prev_end.checked_add(gap)? };
+        let start = if r == 0 {
+            gap
+        } else {
+            prev_end.checked_add(gap)?
+        };
         out.extend(start..start.checked_add(len)?);
         prev_end = start + len - 1;
     }

@@ -63,7 +63,10 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<Vec<Edge>, IoError> {
         match (parse(parts.next()), parse(parts.next())) {
             (Some(u), Some(v)) => edges.push((u, v)),
             _ => {
-                return Err(IoError::Parse { line: line_no, text: line.to_string() });
+                return Err(IoError::Parse {
+                    line: line_no,
+                    text: line.to_string(),
+                });
             }
         }
     }

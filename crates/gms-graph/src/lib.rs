@@ -20,5 +20,5 @@ pub mod traverse;
 pub use adjacency_matrix::AdjacencyMatrix;
 pub use bitpacked_csr::BitPackedCsr;
 pub use compressed_csr::CompressedCsr;
-pub use traverse::{bfs_distances, connected_components, largest_component_size, pseudo_diameter};
 pub use transform::{degrees, induced_subgraph, orient_by_rank, relabel, Rank};
+pub use traverse::{bfs_distances, connected_components, largest_component_size, pseudo_diameter};

@@ -45,7 +45,9 @@ impl Rank {
 
     /// The identity ordering on `n` vertices.
     pub fn identity(n: usize) -> Self {
-        Self { rank: (0..n as u32).collect() }
+        Self {
+            rank: (0..n as u32).collect(),
+        }
     }
 
     /// Position of vertex `v`.
@@ -141,7 +143,10 @@ pub fn orient_by_rank(graph: &CsrGraph, rank: &Rank) -> CsrGraph {
 pub fn induced_subgraph(graph: &CsrGraph, vertices: &[NodeId]) -> (CsrGraph, Vec<NodeId>) {
     let mut local = vec![u32::MAX; graph.num_vertices()];
     for (i, &v) in vertices.iter().enumerate() {
-        assert!(local[v as usize] == u32::MAX, "duplicate vertex in selection");
+        assert!(
+            local[v as usize] == u32::MAX,
+            "duplicate vertex in selection"
+        );
         local[v as usize] = i as u32;
     }
     let mut builder = CsrBuilder::new(vertices.len());
@@ -225,10 +230,7 @@ mod tests {
 
     #[test]
     fn induced_subgraph_extracts_triangle() {
-        let g = CsrGraph::from_undirected_edges(
-            5,
-            &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)],
-        );
+        let g = CsrGraph::from_undirected_edges(5, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)]);
         let (sub, map) = induced_subgraph(&g, &[0, 1, 2]);
         assert_eq!(sub.num_vertices(), 3);
         assert_eq!(sub.num_edges_undirected(), 3);

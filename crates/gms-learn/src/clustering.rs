@@ -21,7 +21,11 @@ pub struct JarvisPatrickConfig {
 
 impl Default for JarvisPatrickConfig {
     fn default() -> Self {
-        Self { k: 6, min_shared: 2, measure: SimilarityMeasure::Jaccard }
+        Self {
+            k: 6,
+            min_shared: 2,
+            measure: SimilarityMeasure::Jaccard,
+        }
     }
 }
 
@@ -43,7 +47,9 @@ pub fn jarvis_patrick(graph: &CsrGraph, config: &JarvisPatrickConfig) -> Vec<u32
                 .map(|&v| (similarity(&sg, config.measure, u, v), v))
                 .collect();
             scored.sort_by(|a, b| {
-                b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal).then(a.1.cmp(&b.1))
+                b.0.partial_cmp(&a.0)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.1.cmp(&b.1))
             });
             scored.truncate(config.k);
             scored.into_iter().map(|(_, v)| v).collect()
@@ -118,12 +124,15 @@ mod tests {
         let g = CsrGraph::from_undirected_edges(10, &edges);
         let clusters = jarvis_patrick(
             &g,
-            &JarvisPatrickConfig { k: 4, min_shared: 2, measure: SimilarityMeasure::Jaccard },
+            &JarvisPatrickConfig {
+                k: 4,
+                min_shared: 2,
+                measure: SimilarityMeasure::Jaccard,
+            },
         );
         // Both cliques are internally merged...
         for group in [0..5u32, 5..10u32] {
-            let ids: std::collections::HashSet<u32> =
-                group.map(|v| clusters[v as usize]).collect();
+            let ids: std::collections::HashSet<u32> = group.map(|v| clusters[v as usize]).collect();
             assert_eq!(ids.len(), 1, "clique not merged: {clusters:?}");
         }
         // ...and the bridge does not join them (no shared neighbors).
@@ -137,7 +146,11 @@ mod tests {
         // the k-NN list must be wide enough to keep them mutual.
         let clusters = jarvis_patrick(
             &g,
-            &JarvisPatrickConfig { k: 12, min_shared: 2, measure: SimilarityMeasure::Jaccard },
+            &JarvisPatrickConfig {
+                k: 12,
+                min_shared: 2,
+                measure: SimilarityMeasure::Jaccard,
+            },
         );
         // Most same-community pairs must share a cluster; most
         // cross-community pairs must not.
@@ -156,8 +169,14 @@ mod tests {
                 }
             }
         }
-        assert!(same_ok as f64 / same_total as f64 > 0.7, "intra {same_ok}/{same_total}");
-        assert!(cross_ok as f64 / cross_total as f64 > 0.9, "inter {cross_ok}/{cross_total}");
+        assert!(
+            same_ok as f64 / same_total as f64 > 0.7,
+            "intra {same_ok}/{same_total}"
+        );
+        assert!(
+            cross_ok as f64 / cross_total as f64 > 0.9,
+            "inter {cross_ok}/{cross_total}"
+        );
     }
 
     #[test]

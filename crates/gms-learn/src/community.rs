@@ -78,16 +78,13 @@ pub fn louvain(graph: &CsrGraph) -> Vec<u32> {
     let mut level_graph = graph.clone();
     // Edge weights of the (aggregated) level graph; parallel edges
     // collapse into weights, self-loops hold intra-community mass.
-    let mut weights: FxHashMap<(NodeId, NodeId), f64> = level_graph
-        .arcs()
-        .map(|(u, v)| ((u, v), 1.0))
-        .collect();
+    let mut weights: FxHashMap<(NodeId, NodeId), f64> =
+        level_graph.arcs().map(|(u, v)| ((u, v), 1.0)).collect();
     let mut self_loops: FxHashMap<NodeId, f64> = FxHashMap::default();
 
     loop {
         let ln = level_graph.num_vertices();
-        let two_m: f64 = weights.values().sum::<f64>()
-            + 2.0 * self_loops.values().sum::<f64>();
+        let two_m: f64 = weights.values().sum::<f64>() + 2.0 * self_loops.values().sum::<f64>();
         if two_m == 0.0 {
             break;
         }
@@ -120,13 +117,11 @@ pub fn louvain(graph: &CsrGraph) -> Vec<u32> {
                 let k_v = vertex_degree[v as usize];
                 let base = to_community.get(&current).copied().unwrap_or(0.0);
                 let mut best = (current, 0.0f64);
-                let mut candidates: Vec<(u32, f64)> =
-                    to_community.into_iter().collect();
+                let mut candidates: Vec<(u32, f64)> = to_community.into_iter().collect();
                 candidates.sort_unstable_by_key(|&(c, _)| c);
                 for (c, w_vc) in candidates {
                     let gain = (w_vc - base)
-                        - k_v * (community_degree[c as usize]
-                            - community_degree[current as usize])
+                        - k_v * (community_degree[c as usize] - community_degree[current as usize])
                             / two_m;
                     if gain > best.1 + 1e-12 {
                         best = (c, gain);

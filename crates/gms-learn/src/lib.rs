@@ -22,7 +22,9 @@ pub mod linkpred;
 pub mod similarity;
 
 pub use clustering::{jarvis_patrick, num_clusters, JarvisPatrickConfig};
-pub use intersect_routines::{adaptive_choice, common_neighbors_galloping, common_neighbors_merge};
 pub use community::{label_propagation, louvain, modularity, rand_index};
-pub use linkpred::{evaluate_accuracy, score_candidates, split_edges, LinkPredictionSplit, ScoredPair};
+pub use intersect_routines::{adaptive_choice, common_neighbors_galloping, common_neighbors_merge};
+pub use linkpred::{
+    evaluate_accuracy, score_candidates, split_edges, LinkPredictionSplit, ScoredPair,
+};
 pub use similarity::{similarity, similarity_batch, similarity_batch_csr, SimilarityMeasure};

@@ -49,10 +49,7 @@ pub struct ScoredPair {
 /// (Pairs with no common neighbors score 0 under all
 /// neighborhood-based measures, so enumerating 2-hop pairs is exact
 /// for them while avoiding the full `V × V` sweep.)
-pub fn score_candidates(
-    graph: &CsrGraph,
-    measure: SimilarityMeasure,
-) -> Vec<ScoredPair> {
+pub fn score_candidates(graph: &CsrGraph, measure: SimilarityMeasure) -> Vec<ScoredPair> {
     let sg: SetGraph<SortedVecSet> = SetGraph::from_csr(graph);
     let n = graph.num_vertices();
     let mut candidates: Vec<Edge> = (0..n as NodeId)
@@ -73,7 +70,10 @@ pub fn score_candidates(
     candidates.par_sort_unstable();
     candidates
         .into_par_iter()
-        .map(|(u, v)| ScoredPair { pair: (u, v), score: similarity(&sg, measure, u, v) })
+        .map(|(u, v)| ScoredPair {
+            pair: (u, v),
+            score: similarity(&sg, measure, u, v),
+        })
         .collect()
 }
 

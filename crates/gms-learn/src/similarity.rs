@@ -144,10 +144,8 @@ mod tests {
 
     fn sample() -> SetGraph<SortedVecSet> {
         // 0 and 1 share neighbors {2, 3}; 0 also sees 4; 1 also sees 5.
-        let csr = CsrGraph::from_undirected_edges(
-            6,
-            &[(0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (1, 5)],
-        );
+        let csr =
+            CsrGraph::from_undirected_edges(6, &[(0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (1, 5)]);
         SetGraph::from_csr(&csr)
     }
 
@@ -157,7 +155,10 @@ mod tests {
         // N(0) = {2,3,4}, N(1) = {2,3,5}: common 2, union 4.
         assert_eq!(similarity(&g, SimilarityMeasure::Jaccard, 0, 1), 0.5);
         assert_eq!(similarity(&g, SimilarityMeasure::Overlap, 0, 1), 2.0 / 3.0);
-        assert_eq!(similarity(&g, SimilarityMeasure::CommonNeighbors, 0, 1), 2.0);
+        assert_eq!(
+            similarity(&g, SimilarityMeasure::CommonNeighbors, 0, 1),
+            2.0
+        );
         assert_eq!(similarity(&g, SimilarityMeasure::TotalNeighbors, 0, 1), 4.0);
         assert_eq!(
             similarity(&g, SimilarityMeasure::PreferentialAttachment, 0, 1),
@@ -192,7 +193,12 @@ mod tests {
         for measure in SimilarityMeasure::ALL {
             let batch = similarity_batch(&g, measure, &pairs);
             for (i, &(u, v)) in pairs.iter().enumerate() {
-                assert_eq!(batch[i], similarity(&g, measure, u, v), "{}", measure.label());
+                assert_eq!(
+                    batch[i],
+                    similarity(&g, measure, u, v),
+                    "{}",
+                    measure.label()
+                );
             }
         }
     }

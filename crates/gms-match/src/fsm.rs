@@ -39,7 +39,11 @@ pub struct FsmConfig {
 
 impl Default for FsmConfig {
     fn default() -> Self {
-        Self { min_support: 2, max_vertices: 4, strategy: ExplorationStrategy::Bfs }
+        Self {
+            min_support: 2,
+            max_vertices: 4,
+            strategy: ExplorationStrategy::Bfs,
+        }
     }
 }
 
@@ -168,7 +172,10 @@ pub fn mni_support(pattern: &LabeledGraph, target: &LabeledGraph) -> u64 {
 /// Both strategies return identical pattern sets (tested); they differ
 /// in traversal order and memory profile.
 pub fn frequent_subgraphs(target: &LabeledGraph, config: &FsmConfig) -> Vec<FrequentPattern> {
-    assert!(config.max_vertices >= 1 && config.max_vertices <= 6, "patterns must stay tiny");
+    assert!(
+        config.max_vertices >= 1 && config.max_vertices <= 6,
+        "patterns must stay tiny"
+    );
     // Seeds: single-vertex patterns for every frequent label.
     let mut label_count: FxHashMap<u32, u64> = FxHashMap::default();
     for v in 0..target.num_vertices() as NodeId {
@@ -186,7 +193,10 @@ pub fn frequent_subgraphs(target: &LabeledGraph, config: &FsmConfig) -> Vec<Freq
     let mut frontier: Vec<Pattern> = Vec::new();
 
     for &label in &frequent_labels {
-        let pattern = Pattern { labels: vec![label], edges: Vec::new() };
+        let pattern = Pattern {
+            labels: vec![label],
+            edges: Vec::new(),
+        };
         seen.insert(pattern.canonical_code());
         results.push(FrequentPattern {
             pattern: pattern.to_graph(),
@@ -210,7 +220,10 @@ pub fn frequent_subgraphs(target: &LabeledGraph, config: &FsmConfig) -> Vec<Freq
                         let graph = ext.to_graph();
                         let support = mni_support(&graph, target);
                         if support >= config.min_support {
-                            results.push(FrequentPattern { pattern: graph, support });
+                            results.push(FrequentPattern {
+                                pattern: graph,
+                                support,
+                            });
                             next.push(ext);
                         }
                     }
@@ -229,7 +242,10 @@ pub fn frequent_subgraphs(target: &LabeledGraph, config: &FsmConfig) -> Vec<Freq
                     let graph = ext.to_graph();
                     let support = mni_support(&graph, target);
                     if support >= config.min_support {
-                        results.push(FrequentPattern { pattern: graph, support });
+                        results.push(FrequentPattern {
+                            pattern: graph,
+                            support,
+                        });
                         stack.push(ext);
                     }
                 }
@@ -309,14 +325,22 @@ mod tests {
         // MNI = 1.
         assert_eq!(mni_support(&edge_pattern, &target), 1);
         let leaf_pair = labeled(2, &[(0, 1)], vec![1, 1]);
-        assert_eq!(mni_support(&leaf_pair, &target), 0, "leaves are not adjacent");
+        assert_eq!(
+            mni_support(&leaf_pair, &target),
+            0,
+            "leaves are not adjacent"
+        );
     }
 
     #[test]
     fn frequent_edges_in_path() {
         // Path A-B-A-B: pattern A-B occurs with both A's and both B's.
         let target = labeled(4, &[(0, 1), (1, 2), (2, 3)], vec![0, 1, 0, 1]);
-        let config = FsmConfig { min_support: 2, max_vertices: 2, ..Default::default() };
+        let config = FsmConfig {
+            min_support: 2,
+            max_vertices: 2,
+            ..Default::default()
+        };
         let frequent = frequent_subgraphs(&target, &config);
         // Singles: A (2), B (2). Edges: A-B (support 2). Not A-A or B-B.
         assert_eq!(frequent.len(), 3, "{frequent:?}");
@@ -335,11 +359,19 @@ mod tests {
         let target = LabeledGraph::random_labels(gms_gen::gnp(40, 0.12, 4), 2, 7);
         let bfs = frequent_subgraphs(
             &target,
-            &FsmConfig { min_support: 5, max_vertices: 3, strategy: ExplorationStrategy::Bfs },
+            &FsmConfig {
+                min_support: 5,
+                max_vertices: 3,
+                strategy: ExplorationStrategy::Bfs,
+            },
         );
         let dfs = frequent_subgraphs(
             &target,
-            &FsmConfig { min_support: 5, max_vertices: 3, strategy: ExplorationStrategy::Dfs },
+            &FsmConfig {
+                min_support: 5,
+                max_vertices: 3,
+                strategy: ExplorationStrategy::Dfs,
+            },
         );
         assert_eq!(bfs.len(), dfs.len());
         for (a, b) in bfs.iter().zip(&dfs) {
@@ -356,7 +388,11 @@ mod tests {
         let target = LabeledGraph::unlabeled(gms_gen::gnp(30, 0.2, 2));
         let frequent = frequent_subgraphs(
             &target,
-            &FsmConfig { min_support: 3, max_vertices: 4, ..Default::default() },
+            &FsmConfig {
+                min_support: 3,
+                max_vertices: 4,
+                ..Default::default()
+            },
         );
         let mut max_per_level: FxHashMap<usize, u64> = FxHashMap::default();
         for f in &frequent {
@@ -385,13 +421,15 @@ mod tests {
         );
         let frequent = frequent_subgraphs(
             &target,
-            &FsmConfig { min_support: 2, max_vertices: 3, ..Default::default() },
+            &FsmConfig {
+                min_support: 2,
+                max_vertices: 3,
+                ..Default::default()
+            },
         );
         let triangle = frequent
             .iter()
-            .find(|f| {
-                f.pattern.num_vertices() == 3 && f.pattern.graph.num_arcs() == 6
-            })
+            .find(|f| f.pattern.num_vertices() == 3 && f.pattern.graph.num_arcs() == 6)
             .expect("triangle pattern found");
         assert_eq!(triangle.support, 6);
     }
@@ -399,11 +437,20 @@ mod tests {
     #[test]
     fn canonical_code_deduplicates_isomorphic_patterns() {
         // The same path pattern built with two different vertex orders.
-        let a = Pattern { labels: vec![0, 1, 0], edges: vec![(0, 1), (1, 2)] };
-        let b = Pattern { labels: vec![1, 0, 0], edges: vec![(0, 1), (0, 2)] };
+        let a = Pattern {
+            labels: vec![0, 1, 0],
+            edges: vec![(0, 1), (1, 2)],
+        };
+        let b = Pattern {
+            labels: vec![1, 0, 0],
+            edges: vec![(0, 1), (0, 2)],
+        };
         assert_eq!(a.canonical_code(), b.canonical_code());
         // Different labels → different codes.
-        let c = Pattern { labels: vec![1, 1, 0], edges: vec![(0, 1), (0, 2)] };
+        let c = Pattern {
+            labels: vec![1, 1, 0],
+            edges: vec![(0, 1), (0, 2)],
+        };
         assert_ne!(a.canonical_code(), c.canonical_code());
     }
 }

@@ -33,7 +33,9 @@ impl LabeledGraph {
     /// Assigns uniform random labels from `0..alphabet`.
     pub fn random_labels(graph: CsrGraph, alphabet: u32, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
-        let labels = (0..graph.num_vertices()).map(|_| rng.gen_range(0..alphabet)).collect();
+        let labels = (0..graph.num_vertices())
+            .map(|_| rng.gen_range(0..alphabet))
+            .collect();
         Self { graph, labels }
     }
 

@@ -13,7 +13,7 @@ pub mod labeled;
 pub mod parallel;
 pub mod vf2;
 
+pub use fsm::{frequent_subgraphs, mni_support, ExplorationStrategy, FrequentPattern, FsmConfig};
 pub use labeled::LabeledGraph;
 pub use parallel::{count_embeddings_parallel, ParallelIsoConfig};
-pub use fsm::{frequent_subgraphs, mni_support, ExplorationStrategy, FrequentPattern, FsmConfig};
 pub use vf2::{count_embeddings, enumerate_embeddings, is_subgraph, IsoMode, IsoOptions};

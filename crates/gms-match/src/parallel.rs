@@ -116,7 +116,10 @@ mod tests {
     use gms_core::CsrGraph;
 
     fn triangle() -> LabeledGraph {
-        LabeledGraph::unlabeled(CsrGraph::from_undirected_edges(3, &[(0, 1), (1, 2), (0, 2)]))
+        LabeledGraph::unlabeled(CsrGraph::from_undirected_edges(
+            3,
+            &[(0, 1), (1, 2), (0, 2)],
+        ))
     }
 
     #[test]
@@ -143,7 +146,10 @@ mod tests {
     #[test]
     fn triangle_in_k5() {
         let target = LabeledGraph::unlabeled(gms_gen::complete(5));
-        let config = ParallelIsoConfig { threads: 3, ..ParallelIsoConfig::default() };
+        let config = ParallelIsoConfig {
+            threads: 3,
+            ..ParallelIsoConfig::default()
+        };
         // C(5,3) × 3! = 60.
         assert_eq!(count_embeddings_parallel(&triangle(), &target, &config), 60);
     }
@@ -154,7 +160,10 @@ mod tests {
         let config = ParallelIsoConfig {
             threads: 4,
             work_stealing: true,
-            options: IsoOptions { limit: 10, ..IsoOptions::default() },
+            options: IsoOptions {
+                limit: 10,
+                ..IsoOptions::default()
+            },
         };
         assert_eq!(count_embeddings_parallel(&triangle(), &target, &config), 10);
     }

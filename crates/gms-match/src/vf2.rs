@@ -92,10 +92,7 @@ pub(crate) fn build_plan(
                 (adjacent.min(1), query.graph.degree(v))
             })
             .expect("unplaced vertex exists");
-        let anchor_vertex = query
-            .graph
-            .neighbors(next)
-            .find(|&w| placed[w as usize]);
+        let anchor_vertex = query.graph.neighbors(next).find(|&w| placed[w as usize]);
         order.push(next);
         anchor.push(anchor_vertex);
         placed[next as usize] = true;
@@ -111,7 +108,11 @@ pub(crate) fn build_plan(
     } else {
         (0..target.num_vertices() as NodeId).collect()
     };
-    MatchPlan { order, anchor, root_candidates }
+    MatchPlan {
+        order,
+        anchor,
+        root_candidates,
+    }
 }
 
 pub(crate) struct MatchState<'a> {
@@ -149,7 +150,11 @@ impl<'a> MatchState<'a> {
     #[inline]
     fn adjacent(&self, u: NodeId, v: NodeId) -> bool {
         if self.options.galloping {
-            self.target.graph.neighbors_slice(u).binary_search(&v).is_ok()
+            self.target
+                .graph
+                .neighbors_slice(u)
+                .binary_search(&v)
+                .is_ok()
         } else {
             self.target.graph.neighbors_slice(u).contains(&v)
         }
@@ -195,8 +200,7 @@ impl<'a> MatchState<'a> {
             Some(anchor_q) => {
                 let anchor_t = self.mapping[anchor_q as usize];
                 debug_assert_ne!(anchor_t, UNMAPPED);
-                let neighbors: Vec<NodeId> =
-                    self.target.graph.neighbors_slice(anchor_t).to_vec();
+                let neighbors: Vec<NodeId> = self.target.graph.neighbors_slice(anchor_t).to_vec();
                 for tv in neighbors {
                     if self.feasible(qv, tv) {
                         self.assign_and_recurse(qv, tv, depth);
@@ -294,11 +298,7 @@ pub fn enumerate_embeddings(
 }
 
 /// Counts embeddings of `query` in `target` (sequential VF2).
-pub fn count_embeddings(
-    query: &LabeledGraph,
-    target: &LabeledGraph,
-    options: &IsoOptions,
-) -> u64 {
+pub fn count_embeddings(query: &LabeledGraph, target: &LabeledGraph, options: &IsoOptions) -> u64 {
     if query.num_vertices() == 0 || query.num_vertices() > target.num_vertices() {
         return if query.num_vertices() == 0 { 1 } else { 0 };
     }
@@ -310,7 +310,11 @@ pub fn count_embeddings(
 
 /// `true` iff at least one embedding exists.
 pub fn is_subgraph(query: &LabeledGraph, target: &LabeledGraph, mode: IsoMode) -> bool {
-    let options = IsoOptions { mode, limit: 1, ..IsoOptions::default() };
+    let options = IsoOptions {
+        mode,
+        limit: 1,
+        ..IsoOptions::default()
+    };
     count_embeddings(query, target, &options) > 0
 }
 
@@ -331,7 +335,10 @@ mod tests {
     fn triangle_in_k4_has_24_embeddings() {
         // 4 vertex subsets × 3! orderings.
         let target = LabeledGraph::unlabeled(gms_gen::complete(4));
-        assert_eq!(count_embeddings(&triangle(), &target, &IsoOptions::default()), 24);
+        assert_eq!(
+            count_embeddings(&triangle(), &target, &IsoOptions::default()),
+            24
+        );
     }
 
     #[test]
@@ -340,7 +347,10 @@ mod tests {
         let path = unlabeled(3, &[(0, 1), (1, 2)]);
         let non_induced = IsoOptions::default();
         assert_eq!(count_embeddings(&path, &triangle(), &non_induced), 6);
-        let induced = IsoOptions { mode: IsoMode::Induced, ..IsoOptions::default() };
+        let induced = IsoOptions {
+            mode: IsoMode::Induced,
+            ..IsoOptions::default()
+        };
         // A triangle has no induced P3.
         assert_eq!(count_embeddings(&path, &triangle(), &induced), 0);
     }
@@ -351,10 +361,7 @@ mod tests {
             CsrGraph::from_undirected_edges(3, &[(0, 1), (1, 2), (0, 2)]),
             vec![0, 0, 1],
         );
-        let query = LabeledGraph::new(
-            CsrGraph::from_undirected_edges(2, &[(0, 1)]),
-            vec![0, 1],
-        );
+        let query = LabeledGraph::new(CsrGraph::from_undirected_edges(2, &[(0, 1)]), vec![0, 1]);
         // Ordered pairs with labels (0, 1): (0→2 edge? yes) and (1, 2).
         assert_eq!(count_embeddings(&query, &target, &IsoOptions::default()), 2);
     }
@@ -369,7 +376,10 @@ mod tests {
     #[test]
     fn limit_short_circuits() {
         let target = LabeledGraph::unlabeled(gms_gen::complete(8));
-        let options = IsoOptions { limit: 5, ..IsoOptions::default() };
+        let options = IsoOptions {
+            limit: 5,
+            ..IsoOptions::default()
+        };
         assert_eq!(count_embeddings(&triangle(), &target, &options), 5);
     }
 
@@ -399,6 +409,9 @@ mod tests {
     #[test]
     fn empty_query_matches_once() {
         let query = unlabeled(0, &[]);
-        assert_eq!(count_embeddings(&query, &triangle(), &IsoOptions::default()), 1);
+        assert_eq!(
+            count_embeddings(&query, &triangle(), &IsoOptions::default()),
+            1
+        );
     }
 }

@@ -57,12 +57,11 @@ pub fn jones_plassmann(graph: &CsrGraph, priority: &Rank) -> (Vec<u32>, usize) {
         // has lower priority. Local maxima form an independent set in
         // the uncolored subgraph, so they can color simultaneously.
         let snapshot = colors.clone();
-        let (ready, waiting): (Vec<NodeId>, Vec<NodeId>) =
-            active.par_iter().partition(|&&v| {
-                graph.neighbors(v).all(|w| {
-                    snapshot[w as usize] != u32::MAX || priority.precedes(w, v)
-                })
-            });
+        let (ready, waiting): (Vec<NodeId>, Vec<NodeId>) = active.par_iter().partition(|&&v| {
+            graph
+                .neighbors(v)
+                .all(|w| snapshot[w as usize] != u32::MAX || priority.precedes(w, v))
+        });
         assert!(!ready.is_empty(), "priorities must be a total order");
         let assigned: Vec<(NodeId, u32)> = ready
             .par_iter()
@@ -112,14 +111,12 @@ pub fn johansson(graph: &CsrGraph, palette_factor: f64, seed: u64) -> (Vec<u32>,
             .iter()
             .map(|&v| (v, rng.gen_range(0..palette)))
             .collect();
-        let draw: std::collections::HashMap<NodeId, u32> =
-            tentative.iter().copied().collect();
+        let draw: std::collections::HashMap<NodeId, u32> = tentative.iter().copied().collect();
         let mut next_active = Vec::new();
         for &(v, c) in &tentative {
-            let conflict = graph.neighbors(v).any(|w| {
-                colors[w as usize] == c
-                    || (w > v && draw.get(&w) == Some(&c))
-            });
+            let conflict = graph
+                .neighbors(v)
+                .any(|w| colors[w as usize] == c || (w > v && draw.get(&w) == Some(&c)));
             if conflict {
                 next_active.push(v);
             } else {
@@ -158,7 +155,11 @@ mod tests {
         let rank = gms_graph::Rank::from_order(&reversed);
         let colors = greedy_coloring(&g, &rank);
         let used = verify_coloring(&g, &colors).expect("proper coloring");
-        assert!(used <= dgr.degeneracy + 1, "{used} > d+1 = {}", dgr.degeneracy + 1);
+        assert!(
+            used <= dgr.degeneracy + 1,
+            "{used} > d+1 = {}",
+            dgr.degeneracy + 1
+        );
     }
 
     #[test]

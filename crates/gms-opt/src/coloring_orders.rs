@@ -59,9 +59,8 @@ impl ColoringOrder {
             }
             ColoringOrder::LargestLogDegreeFirst => {
                 let mut vertices: Vec<NodeId> = graph.vertices().collect();
-                vertices.sort_unstable_by_key(|&v| {
-                    (std::cmp::Reverse(log_bucket(graph.degree(v))), v)
-                });
+                vertices
+                    .sort_unstable_by_key(|&v| (std::cmp::Reverse(log_bucket(graph.degree(v))), v));
                 Rank::from_order(&vertices)
             }
             ColoringOrder::SmallestDegreeLast => {
@@ -75,8 +74,7 @@ impl ColoringOrder {
                 // Batched peeling: every round removes the whole
                 // minimum log-degree bucket (the coarse SL variant with
                 // O(log Δ · log n)-ish round structure).
-                let mut degree: Vec<usize> =
-                    (0..n).map(|v| graph.degree(v as NodeId)).collect();
+                let mut degree: Vec<usize> = (0..n).map(|v| graph.degree(v as NodeId)).collect();
                 let mut removed = vec![false; n];
                 let mut order: Vec<NodeId> = Vec::with_capacity(n);
                 while order.len() < n {
@@ -87,8 +85,7 @@ impl ColoringOrder {
                         .expect("vertices remain");
                     let batch: Vec<NodeId> = (0..n as NodeId)
                         .filter(|&v| {
-                            !removed[v as usize]
-                                && log_bucket(degree[v as usize]) == min_bucket
+                            !removed[v as usize] && log_bucket(degree[v as usize]) == min_bucket
                         })
                         .collect();
                     for &v in &batch {

@@ -22,7 +22,11 @@ struct ContractState {
 
 impl ContractState {
     fn new(n: usize, edges: Vec<(u32, u32)>) -> Self {
-        Self { edges, parent: (0..n as u32).collect(), vertices: n }
+        Self {
+            edges,
+            parent: (0..n as u32).collect(),
+            vertices: n,
+        }
     }
 
     fn find(&mut self, v: u32) -> u32 {
@@ -117,7 +121,10 @@ pub fn min_cut_brute(graph: &CsrGraph) -> usize {
     // describes a non-trivial bipartition.
     for mask in 1..(1u32 << (n - 1)) {
         let side_b = |v: NodeId| -> bool { v != 0 && (mask >> (v - 1)) & 1 == 1 };
-        let cut = edges.iter().filter(|&&(u, v)| side_b(u) != side_b(v)).count();
+        let cut = edges
+            .iter()
+            .filter(|&&(u, v)| side_b(u) != side_b(v))
+            .count();
         best = best.min(cut);
     }
     best

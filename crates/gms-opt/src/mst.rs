@@ -25,7 +25,9 @@ struct UnionFind {
 
 impl UnionFind {
     fn new(n: usize) -> Self {
-        Self { parent: (0..n as u32).collect() }
+        Self {
+            parent: (0..n as u32).collect(),
+        }
     }
 
     fn find(&mut self, v: u32) -> u32 {
@@ -64,7 +66,9 @@ pub fn boruvka(n: usize, edges: &[WeightedEdge]) -> Vec<usize> {
         // Per-component lightest incident edge (parallel reduction by
         // chunk, then a sequential fold over candidates).
         let roots: Vec<u32> = {
-            let mut uf_snapshot = UnionFind { parent: uf.parent.clone() };
+            let mut uf_snapshot = UnionFind {
+                parent: uf.parent.clone(),
+            };
             (0..n as u32).map(|v| uf_snapshot.find(v)).collect()
         };
         let best_per_chunk: Vec<Vec<Option<usize>>> = edges
@@ -80,8 +84,7 @@ pub fn boruvka(n: usize, edges: &[WeightedEdge]) -> Vec<usize> {
                     }
                     for r in [ru, rv] {
                         match best[r as usize] {
-                            Some(prev)
-                                if (edges[prev].weight, prev) <= (e.weight, idx) => {}
+                            Some(prev) if (edges[prev].weight, prev) <= (e.weight, idx) => {}
                             _ => best[r as usize] = Some(idx),
                         }
                     }
@@ -154,7 +157,11 @@ mod tests {
         let g = gms_gen::gnp(n, p, seed);
         let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
         g.edges_undirected()
-            .map(|(u, v)| WeightedEdge { u, v, weight: rng.gen_range(0.0..100.0) })
+            .map(|(u, v)| WeightedEdge {
+                u,
+                v,
+                weight: rng.gen_range(0.0..100.0),
+            })
             .collect()
     }
 
@@ -175,11 +182,31 @@ mod tests {
     fn known_tiny_mst() {
         // Square with diagonal: MST = three cheapest non-cyclic edges.
         let edges = vec![
-            WeightedEdge { u: 0, v: 1, weight: 1.0 },
-            WeightedEdge { u: 1, v: 2, weight: 2.0 },
-            WeightedEdge { u: 2, v: 3, weight: 3.0 },
-            WeightedEdge { u: 3, v: 0, weight: 4.0 },
-            WeightedEdge { u: 0, v: 2, weight: 2.5 },
+            WeightedEdge {
+                u: 0,
+                v: 1,
+                weight: 1.0,
+            },
+            WeightedEdge {
+                u: 1,
+                v: 2,
+                weight: 2.0,
+            },
+            WeightedEdge {
+                u: 2,
+                v: 3,
+                weight: 3.0,
+            },
+            WeightedEdge {
+                u: 3,
+                v: 0,
+                weight: 4.0,
+            },
+            WeightedEdge {
+                u: 0,
+                v: 2,
+                weight: 2.5,
+            },
         ];
         let mst = boruvka(4, &edges);
         assert_eq!(mst, vec![0, 1, 2]);
@@ -189,8 +216,16 @@ mod tests {
     #[test]
     fn disconnected_graph_yields_forest() {
         let edges = vec![
-            WeightedEdge { u: 0, v: 1, weight: 1.0 },
-            WeightedEdge { u: 2, v: 3, weight: 1.0 },
+            WeightedEdge {
+                u: 0,
+                v: 1,
+                weight: 1.0,
+            },
+            WeightedEdge {
+                u: 2,
+                v: 3,
+                weight: 1.0,
+            },
         ];
         let forest = boruvka(5, &edges);
         assert_eq!(forest.len(), 2, "two trees, vertex 4 isolated");

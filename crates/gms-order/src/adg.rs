@@ -37,8 +37,9 @@ pub struct ApproxDegeneracy {
 pub fn approx_degeneracy_order(graph: &CsrGraph, epsilon: f64) -> ApproxDegeneracy {
     assert!(epsilon >= 0.0, "epsilon must be non-negative");
     let n = graph.num_vertices();
-    let degrees: Vec<AtomicU32> =
-        (0..n).map(|v| AtomicU32::new(graph.degree(v as NodeId) as u32)).collect();
+    let degrees: Vec<AtomicU32> = (0..n)
+        .map(|v| AtomicU32::new(graph.degree(v as NodeId) as u32))
+        .collect();
     let mut alive: Vec<NodeId> = (0..n as NodeId).collect();
     let mut round_of = vec![0u32; n];
     let mut round = 0u32;
@@ -57,9 +58,7 @@ pub fn approx_degeneracy_order(graph: &CsrGraph, epsilon: f64) -> ApproxDegenera
         // the snapshot degrees, so the partition is deterministic.
         let (removed, survivors): (Vec<NodeId>, Vec<NodeId>) = alive
             .par_iter()
-            .partition(|&&v| {
-                f64::from(degrees[v as usize].load(Ordering::Relaxed)) <= threshold
-            });
+            .partition(|&&v| f64::from(degrees[v as usize].load(Ordering::Relaxed)) <= threshold);
 
         // Batch degree update: decrement surviving neighbors of every
         // removed vertex (conflict-free via atomics).
@@ -84,7 +83,12 @@ pub fn approx_degeneracy_order(graph: &CsrGraph, epsilon: f64) -> ApproxDegenera
     order.par_sort_unstable_by_key(|&v| (round_of[v as usize], v));
     let rank = Rank::from_order(&order);
     let out_degree_bound = crate::degeneracy::later_neighbor_bound(graph, &rank);
-    ApproxDegeneracy { rank, round_of, rounds: round as usize, out_degree_bound }
+    ApproxDegeneracy {
+        rank,
+        round_of,
+        rounds: round as usize,
+        out_degree_bound,
+    }
 }
 
 #[cfg(test)]

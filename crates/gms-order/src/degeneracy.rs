@@ -77,7 +77,11 @@ pub fn degeneracy_order(graph: &CsrGraph) -> Degeneracy {
             }
         }
     }
-    Degeneracy { rank: Rank::from_order(&order), degeneracy, core_numbers }
+    Degeneracy {
+        rank: Rank::from_order(&order),
+        degeneracy,
+        core_numbers,
+    }
 }
 
 /// Checks the degeneracy-order invariant: every vertex has at most

@@ -15,8 +15,9 @@ pub fn triangles_per_vertex(graph: &CsrGraph) -> Vec<u64> {
     let rank = crate::degree::degree_order(graph);
     let dag = orient_by_rank(graph, &rank);
     let n = graph.num_vertices();
-    let counts: Vec<std::sync::atomic::AtomicU64> =
-        (0..n).map(|_| std::sync::atomic::AtomicU64::new(0)).collect();
+    let counts: Vec<std::sync::atomic::AtomicU64> = (0..n)
+        .map(|_| std::sync::atomic::AtomicU64::new(0))
+        .collect();
     (0..n as NodeId).into_par_iter().for_each(|u| {
         let nu = dag.neighbors_slice(u);
         for &v in nu {
@@ -32,8 +33,7 @@ pub fn triangles_per_vertex(graph: &CsrGraph) -> Vec<u64> {
                     std::cmp::Ordering::Equal => {
                         let w = nu[a];
                         for x in [u, v, w] {
-                            counts[x as usize]
-                                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            counts[x as usize].fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                         }
                         a += 1;
                         b += 1;

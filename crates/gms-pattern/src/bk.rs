@@ -227,13 +227,21 @@ pub fn bron_kerbosch<S: Set>(graph: &CsrGraph, config: &BkConfig) -> BkOutcome {
                 per_level: config.subgraph == SubgraphMode::PerLevel,
                 collect: config.collect,
             };
-            let mut out = LocalOut { count: 0, largest: 0, cliques: Vec::new() };
+            let mut out = LocalOut {
+                count: 0,
+                largest: 0,
+                cliques: Vec::new(),
+            };
             let mut r = vec![v];
             bk_pivot(&ctx, &mut p, &mut r, &mut x, &mut out);
             out
         })
         .reduce(
-            || LocalOut { count: 0, largest: 0, cliques: Vec::new() },
+            || LocalOut {
+                count: 0,
+                largest: 0,
+                cliques: Vec::new(),
+            },
             |mut a, mut b| {
                 a.count += b.count;
                 a.largest = a.largest.max(b.largest);
@@ -416,9 +424,9 @@ mod tests {
             let mut sorted = group.clone();
             sorted.sort_unstable();
             assert!(
-                cliques.iter().any(|c| {
-                    sorted.iter().all(|v| c.contains(v))
-                }),
+                cliques
+                    .iter()
+                    .any(|c| { sorted.iter().all(|v| c.contains(v)) }),
                 "planted clique {sorted:?} missing"
             );
         }

@@ -7,9 +7,10 @@ use gms_core::{CsrGraph, Graph, NodeId};
 
 /// `true` iff `vertices` induce a complete subgraph.
 pub fn is_clique(graph: &CsrGraph, vertices: &[NodeId]) -> bool {
-    vertices.iter().enumerate().all(|(i, &u)| {
-        vertices[i + 1..].iter().all(|&v| graph.has_edge(u, v))
-    })
+    vertices
+        .iter()
+        .enumerate()
+        .all(|(i, &u)| vertices[i + 1..].iter().all(|&v| graph.has_edge(u, v)))
 }
 
 /// `true` iff `vertices` form a clique no vertex can extend.
@@ -17,9 +18,9 @@ pub fn is_maximal_clique(graph: &CsrGraph, vertices: &[NodeId]) -> bool {
     if !is_clique(graph, vertices) {
         return false;
     }
-    graph.vertices().all(|w| {
-        vertices.contains(&w) || !vertices.iter().all(|&v| graph.has_edge(v, w))
-    })
+    graph
+        .vertices()
+        .all(|w| vertices.contains(&w) || !vertices.iter().all(|&v| graph.has_edge(v, w)))
 }
 
 /// Enumerates all maximal cliques by subset expansion — O(3^(n/3))
@@ -43,10 +44,16 @@ pub fn maximal_cliques_brute(graph: &CsrGraph) -> Vec<Vec<NodeId>> {
         let mut cands = candidates.to_vec();
         let mut excl = excluded.to_vec();
         while let Some(v) = cands.first().copied() {
-            let next_c: Vec<NodeId> =
-                cands.iter().copied().filter(|&w| graph.has_edge(v, w)).collect();
-            let next_x: Vec<NodeId> =
-                excl.iter().copied().filter(|&w| graph.has_edge(v, w)).collect();
+            let next_c: Vec<NodeId> = cands
+                .iter()
+                .copied()
+                .filter(|&w| graph.has_edge(v, w))
+                .collect();
+            let next_x: Vec<NodeId> = excl
+                .iter()
+                .copied()
+                .filter(|&w| graph.has_edge(v, w))
+                .collect();
             clique.push(v);
             expand(graph, clique, &next_c, &next_x, out);
             clique.pop();
@@ -131,9 +138,6 @@ mod tests {
     fn empty_graph_has_one_empty_maximal_clique_set() {
         let g = CsrGraph::from_undirected_edges(3, &[]);
         // Three isolated vertices: each is a maximal 1-clique.
-        assert_eq!(
-            maximal_cliques_brute(&g),
-            vec![vec![0], vec![1], vec![2]]
-        );
+        assert_eq!(maximal_cliques_brute(&g), vec![vec![0], vec![1], vec![2]]);
     }
 }

@@ -83,10 +83,7 @@ mod tests {
         for star in &stars {
             assert_eq!(star.satellites.len(), 1);
             let all: Vec<NodeId> = (0..4).collect();
-            let missing: Vec<NodeId> = all
-                .into_iter()
-                .filter(|v| !star.core.contains(v))
-                .collect();
+            let missing: Vec<NodeId> = all.into_iter().filter(|v| !star.core.contains(v)).collect();
             assert_eq!(star.satellites, missing);
         }
     }

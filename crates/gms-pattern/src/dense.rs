@@ -24,7 +24,10 @@ pub struct DensestSubgraph {
 pub fn densest_subgraph(graph: &CsrGraph) -> DensestSubgraph {
     let n = graph.num_vertices();
     if n == 0 {
-        return DensestSubgraph { vertices: Vec::new(), density: 0.0 };
+        return DensestSubgraph {
+            vertices: Vec::new(),
+            density: 0.0,
+        };
     }
     // Peel with a bucket queue, tracking density after each removal.
     let mut degree: Vec<usize> = (0..n).map(|v| graph.degree(v as NodeId)).collect();
@@ -89,7 +92,10 @@ pub fn densest_subgraph(graph: &CsrGraph) -> DensestSubgraph {
         .vertices()
         .filter(|v| !removed_set.contains(v))
         .collect();
-    DensestSubgraph { vertices, density: best.0 }
+    DensestSubgraph {
+        vertices,
+        density: best.0,
+    }
 }
 
 /// Density `|E(S)| / |S|` of an induced subgraph.
@@ -129,8 +135,7 @@ pub fn truss_decomposition(graph: &CsrGraph) -> FxHashMap<(NodeId, NodeId), u32>
         support.insert((u, v), common as u32);
     }
     // Peel edges in increasing support (bucket queue over support).
-    let mut alive: FxHashMap<(NodeId, NodeId), bool> =
-        support.keys().map(|&e| (e, true)).collect();
+    let mut alive: FxHashMap<(NodeId, NodeId), bool> = support.keys().map(|&e| (e, true)).collect();
     let mut edges: Vec<(NodeId, NodeId)> = support.keys().copied().collect();
     edges.sort_unstable();
     let mut truss: FxHashMap<(NodeId, NodeId), u32> = FxHashMap::default();
@@ -158,10 +163,12 @@ pub fn truss_decomposition(graph: &CsrGraph) -> FxHashMap<(NodeId, NodeId), u32>
                 let (u, v) = e;
                 // Each common alive neighbor w loses one triangle on
                 // edges (u,w) and (v,w).
-                let common =
-                    neighborhoods[u as usize].intersect(&neighborhoods[v as usize]);
+                let common = neighborhoods[u as usize].intersect(&neighborhoods[v as usize]);
                 for w in common.iter() {
-                    for other in [gms_core::normalize_edge(u, w), gms_core::normalize_edge(v, w)] {
+                    for other in [
+                        gms_core::normalize_edge(u, w),
+                        gms_core::normalize_edge(v, w),
+                    ] {
                         if alive.get(&other).copied().unwrap_or(false) {
                             if let Some(s) = support.get_mut(&other) {
                                 *s = s.saturating_sub(1);
@@ -179,7 +186,11 @@ pub fn truss_decomposition(graph: &CsrGraph) -> FxHashMap<(NodeId, NodeId), u32>
 
 /// Maximum truss number in the graph (0 on edgeless graphs).
 pub fn max_truss(graph: &CsrGraph) -> u32 {
-    truss_decomposition(graph).values().copied().max().unwrap_or(0)
+    truss_decomposition(graph)
+        .values()
+        .copied()
+        .max()
+        .unwrap_or(0)
 }
 
 /// Vertices of the `k`-truss (the subgraph of edges with truss ≥ k).
@@ -247,7 +258,10 @@ mod tests {
         let with_tail: Vec<NodeId> = (0..6).collect();
         assert!(!is_quasi_clique(&g, &with_tail, 1.0));
         assert!(is_quasi_clique(&g, &with_tail, 0.7)); // 11 of 15 pairs
-        assert!(is_quasi_clique(&g, &[0], 1.0), "singletons are trivially dense");
+        assert!(
+            is_quasi_clique(&g, &[0], 1.0),
+            "singletons are trivially dense"
+        );
     }
 
     #[test]

@@ -106,9 +106,7 @@ pub fn k_clique_count_with<S: Set>(graph: &CsrGraph, k: usize, config: &KcConfig
                 .sum(),
             KcParallel::Edge => (0..dag.num_vertices() as NodeId)
                 .into_par_iter()
-                .flat_map_iter(|u| {
-                    dag.neighbors_slice(u).iter().map(move |&v| (u, v))
-                })
+                .flat_map_iter(|u| dag.neighbors_slice(u).iter().map(move |&v| (u, v)))
                 .map(|(u, v)| {
                     let nu = S::from_sorted(dag.neighbors_slice(u));
                     let nv = S::from_sorted(dag.neighbors_slice(v));
@@ -119,7 +117,11 @@ pub fn k_clique_count_with<S: Set>(graph: &CsrGraph, k: usize, config: &KcConfig
         },
     };
     let mine = t1.elapsed();
-    KcOutcome { count, preprocess, mine }
+    KcOutcome {
+        count,
+        preprocess,
+        mine,
+    }
 }
 
 /// Counts `k`-cliques with the default sorted-array candidate sets.
@@ -170,8 +172,7 @@ pub fn k_clique_list(graph: &CsrGraph, k: usize, config: &KcConfig) -> Vec<Vec<N
     let mut mapped: Vec<Vec<NodeId>> = out
         .into_iter()
         .map(|clique| {
-            let mut original: Vec<NodeId> =
-                clique.into_iter().map(|v| order[v as usize]).collect();
+            let mut original: Vec<NodeId> = clique.into_iter().map(|v| order[v as usize]).collect();
             original.sort_unstable();
             original
         })
@@ -193,7 +194,11 @@ pub enum KcVariant {
 
 impl KcVariant {
     /// All variants in presentation order.
-    pub const ALL: [KcVariant; 3] = [KcVariant::DanischStyle, KcVariant::GbbsStyle, KcVariant::Gms];
+    pub const ALL: [KcVariant; 3] = [
+        KcVariant::DanischStyle,
+        KcVariant::GbbsStyle,
+        KcVariant::Gms,
+    ];
 
     /// Display label.
     pub fn label(&self) -> &'static str {
@@ -257,12 +262,18 @@ mod tests {
             let node = k_clique_count(
                 &g,
                 k,
-                &KcConfig { ordering: OrderingKind::Degeneracy, parallel: KcParallel::Node },
+                &KcConfig {
+                    ordering: OrderingKind::Degeneracy,
+                    parallel: KcParallel::Node,
+                },
             );
             let edge = k_clique_count(
                 &g,
                 k,
-                &KcConfig { ordering: OrderingKind::Degeneracy, parallel: KcParallel::Edge },
+                &KcConfig {
+                    ordering: OrderingKind::Degeneracy,
+                    parallel: KcParallel::Edge,
+                },
             );
             assert_eq!(node.count, edge.count, "k = {k}");
         }
@@ -282,7 +293,10 @@ mod tests {
             let outcome = k_clique_count(
                 &g,
                 4,
-                &KcConfig { ordering, parallel: KcParallel::Edge },
+                &KcConfig {
+                    ordering,
+                    parallel: KcParallel::Edge,
+                },
             );
             assert_eq!(outcome.count, expected, "{}", ordering.label());
         }
@@ -329,7 +343,10 @@ mod tests {
         let (g, _) = gms_gen::planted_cliques(100, 0.05, 2, 7, 6);
         let counts: Vec<u64> = KcVariant::ALL.iter().map(|v| v.run(&g, 5).count).collect();
         assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
-        assert!(counts[0] >= 2 * binomial(7, 5), "planted cliques contribute");
+        assert!(
+            counts[0] >= 2 * binomial(7, 5),
+            "planted cliques contribute"
+        );
     }
 
     #[test]

@@ -89,10 +89,8 @@ mod tests {
     #[test]
     fn triangle_free_graphs() {
         assert_eq!(triangle_count_rank_merge(&gms_gen::grid(8, 8)), 0);
-        let bipartite = CsrGraph::from_undirected_edges(
-            6,
-            &[(0, 3), (0, 4), (1, 3), (1, 5), (2, 4), (2, 5)],
-        );
+        let bipartite =
+            CsrGraph::from_undirected_edges(6, &[(0, 3), (0, 4), (1, 3), (1, 5), (2, 4), (2, 5)]);
         assert_eq!(node_iter_count(&bipartite), 0);
     }
 }

@@ -78,7 +78,9 @@ pub struct CounterRegion {
 impl CounterRegion {
     /// Begins a measured region (paper: `PAPIW::START`).
     pub fn start() -> Self {
-        Self { start: CounterSnapshot::now() }
+        Self {
+            start: CounterSnapshot::now(),
+        }
     }
 
     /// Ends the region and returns the delta (paper: `PAPIW::STOP`).
@@ -109,11 +111,15 @@ impl<S: Set> Set for CountingSet<S> {
     }
 
     fn with_universe(universe_hint: usize) -> Self {
-        Self { inner: S::with_universe(universe_hint) }
+        Self {
+            inner: S::with_universe(universe_hint),
+        }
     }
 
     fn from_sorted(elements: &[SetElement]) -> Self {
-        Self { inner: S::from_sorted(elements) }
+        Self {
+            inner: S::from_sorted(elements),
+        }
     }
 
     fn cardinality(&self) -> usize {
@@ -137,7 +143,9 @@ impl<S: Set> Set for CountingSet<S> {
 
     fn intersect(&self, other: &Self) -> Self {
         bump(1, (self.cardinality() + other.cardinality()) as u64);
-        Self { inner: self.inner.intersect(&other.inner) }
+        Self {
+            inner: self.inner.intersect(&other.inner),
+        }
     }
 
     fn intersect_count(&self, other: &Self) -> usize {
@@ -147,12 +155,16 @@ impl<S: Set> Set for CountingSet<S> {
 
     fn union(&self, other: &Self) -> Self {
         bump(1, (self.cardinality() + other.cardinality()) as u64);
-        Self { inner: self.inner.union(&other.inner) }
+        Self {
+            inner: self.inner.union(&other.inner),
+        }
     }
 
     fn diff(&self, other: &Self) -> Self {
         bump(1, (self.cardinality() + other.cardinality()) as u64);
-        Self { inner: self.inner.diff(&other.inner) }
+        Self {
+            inner: self.inner.diff(&other.inner),
+        }
     }
 
     fn iter(&self) -> impl Iterator<Item = SetElement> + '_ {
@@ -203,7 +215,10 @@ mod tests {
         let raw_b = SortedVecSet::from_sorted(&[5, 9, 11]);
         let dec_a = CSet::from_sorted(&[1, 5, 9]);
         let dec_b = CSet::from_sorted(&[5, 9, 11]);
-        assert_eq!(raw_a.intersect(&raw_b).to_vec(), dec_a.intersect(&dec_b).to_vec());
+        assert_eq!(
+            raw_a.intersect(&raw_b).to_vec(),
+            dec_a.intersect(&dec_b).to_vec()
+        );
         assert_eq!(raw_a.union(&raw_b).to_vec(), dec_a.union(&dec_b).to_vec());
         assert_eq!(raw_a.diff(&raw_b).to_vec(), dec_a.diff(&dec_b).to_vec());
         assert_eq!(raw_a.cardinality(), dec_a.cardinality());

@@ -47,7 +47,11 @@ impl Measurement {
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
         let lo = percentile(&samples, 0.025);
         let hi = percentile(&samples, 0.975);
-        Self { samples, mean, ci95: (lo, hi) }
+        Self {
+            samples,
+            mean,
+            ci95: (lo, hi),
+        }
     }
 
     /// Mean as a `Duration`.

@@ -67,7 +67,14 @@ pub fn run_pipeline<P: Pipeline>(pipeline: &mut P) -> (StageTimings, u64) {
     let t = Instant::now();
     pipeline.kernel();
     let kernel = t.elapsed();
-    (StageTimings { convert, preprocess, kernel }, pipeline.patterns_found())
+    (
+        StageTimings {
+            convert,
+            preprocess,
+            kernel,
+        },
+        pipeline.patterns_found(),
+    )
 }
 
 #[cfg(test)]
@@ -99,7 +106,11 @@ mod tests {
 
     #[test]
     fn stages_run_in_order_and_report() {
-        let mut p = Demo { converted: false, preprocessed: false, result: 0 };
+        let mut p = Demo {
+            converted: false,
+            preprocessed: false,
+            result: 0,
+        };
         let (timings, patterns) = run_pipeline(&mut p);
         assert_eq!(patterns, 42);
         assert!(timings.total() >= timings.kernel);

@@ -36,7 +36,10 @@ pub fn run_scaling<F: Fn() + Sync>(thread_counts: &[usize], kernel: F) -> Vec<Sc
                 .expect("thread pool");
             let start = std::time::Instant::now();
             pool.install(&kernel);
-            ScalingPoint { threads, elapsed: start.elapsed() }
+            ScalingPoint {
+                threads,
+                elapsed: start.elapsed(),
+            }
         })
         .collect()
 }
@@ -88,9 +91,18 @@ mod tests {
     #[test]
     fn efficiency_math() {
         let series = vec![
-            ScalingPoint { threads: 1, elapsed: Duration::from_secs(8) },
-            ScalingPoint { threads: 4, elapsed: Duration::from_secs(2) },
-            ScalingPoint { threads: 8, elapsed: Duration::from_secs(2) },
+            ScalingPoint {
+                threads: 1,
+                elapsed: Duration::from_secs(8),
+            },
+            ScalingPoint {
+                threads: 4,
+                elapsed: Duration::from_secs(2),
+            },
+            ScalingPoint {
+                threads: 8,
+                elapsed: Duration::from_secs(2),
+            },
         ];
         let eff = efficiencies(&series);
         assert!((eff[0] - 1.0).abs() < 1e-9);

@@ -45,7 +45,11 @@ impl GraphStats {
             sparsity: if n == 0 { 0.0 } else { m as f64 / n as f64 },
             max_degree: graph.max_degree(),
             triangles,
-            triangles_per_vertex: if n == 0 { 0.0 } else { triangles as f64 / n as f64 },
+            triangles_per_vertex: if n == 0 {
+                0.0
+            } else {
+                triangles as f64 / n as f64
+            },
             max_triangles_per_vertex: per_vertex.iter().copied().max().unwrap_or(0),
         }
     }

@@ -24,7 +24,11 @@ fn main() {
 
     // FSM with both exploration strategies (§A: BFS vs DFS).
     for strategy in [ExplorationStrategy::Bfs, ExplorationStrategy::Dfs] {
-        let config = FsmConfig { min_support: 8, max_vertices: 3, strategy };
+        let config = FsmConfig {
+            min_support: 8,
+            max_vertices: 3,
+            strategy,
+        };
         let start = std::time::Instant::now();
         let frequent = frequent_subgraphs(&target, &config);
         println!(

@@ -59,7 +59,11 @@ fn main() {
     // Jarvis–Patrick clustering (§4.1.2) on shared near-neighbors.
     let jp = jarvis_patrick(
         &graph,
-        &JarvisPatrickConfig { k: 12, min_shared: 2, measure: SimilarityMeasure::Jaccard },
+        &JarvisPatrickConfig {
+            k: 12,
+            min_shared: 2,
+            measure: SimilarityMeasure::Jaccard,
+        },
     );
     println!(
         "\nJarvis-Patrick: {} clusters, rand-index vs truth {:.3}",

@@ -17,7 +17,10 @@ fn main() {
     let stats = GraphStats::compute("quickstart", &graph);
     println!("{}", GraphStats::header());
     println!("{}", stats.row());
-    println!("T-skew (max/avg per-vertex triangles): {:.1}\n", stats.t_skew());
+    println!(
+        "T-skew (max/avg per-vertex triangles): {:.1}\n",
+        stats.t_skew()
+    );
 
     // 3. Maximal clique listing, all five variants (Fig. 4 shape).
     println!(
@@ -37,7 +40,10 @@ fn main() {
         );
         assert!(outcome.largest >= 9, "planted 9-cliques must be found");
     }
-    println!("\nplanted {} cliques of size 9 — all recovered", planted.len());
+    println!(
+        "\nplanted {} cliques of size 9 — all recovered",
+        planted.len()
+    );
 
     // 4. The same graph through the k-clique kernel (Fig. 5 shape).
     println!("\nk-clique counts (edge-parallel, ADG order):");

@@ -19,11 +19,21 @@ fn main() {
     // power-law tail.
     let (graph, _) = gms::gen::planted_cliques(3_000, 0.003, 10, 8, 21);
     let raw_bytes = graph.heap_bytes();
-    println!("graph: n={}, m={}\n", graph.num_vertices(), graph.num_edges_undirected());
-    println!("{:<24} {:>12} {:>9}", "representation", "heap bytes", "vs CSR");
+    println!(
+        "graph: n={}, m={}\n",
+        graph.num_vertices(),
+        graph.num_edges_undirected()
+    );
+    println!(
+        "{:<24} {:>12} {:>9}",
+        "representation", "heap bytes", "vs CSR"
+    );
 
     let report = |name: &str, bytes: usize| {
-        println!("{name:<24} {bytes:>12} {:>8.2}x", bytes as f64 / raw_bytes as f64);
+        println!(
+            "{name:<24} {bytes:>12} {:>8.2}x",
+            bytes as f64 / raw_bytes as f64
+        );
     };
     report("CSR (baseline)", raw_bytes);
 
@@ -50,13 +60,28 @@ fn main() {
     println!("\ntriangle counting over each set layout:");
     let t = Instant::now();
     let t_sorted = triangle_count_node_iterator(&sorted);
-    println!("  {:<22} {:>10} triangles in {:.2?}", "SortedVecSet", t_sorted, t.elapsed());
+    println!(
+        "  {:<22} {:>10} triangles in {:.2?}",
+        "SortedVecSet",
+        t_sorted,
+        t.elapsed()
+    );
     let t = Instant::now();
     let t_roaring = triangle_count_node_iterator(&roaring);
-    println!("  {:<22} {:>10} triangles in {:.2?}", "RoaringSet", t_roaring, t.elapsed());
+    println!(
+        "  {:<22} {:>10} triangles in {:.2?}",
+        "RoaringSet",
+        t_roaring,
+        t.elapsed()
+    );
     let t = Instant::now();
     let t_dense = triangle_count_node_iterator(&dense);
-    println!("  {:<22} {:>10} triangles in {:.2?}", "DenseBitSet", t_dense, t.elapsed());
+    println!(
+        "  {:<22} {:>10} triangles in {:.2?}",
+        "DenseBitSet",
+        t_dense,
+        t.elapsed()
+    );
     assert_eq!(t_sorted, t_roaring);
     assert_eq!(t_sorted, t_dense);
 

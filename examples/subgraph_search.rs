@@ -26,9 +26,16 @@ fn main() {
     );
 
     let t = Instant::now();
-    let options = IsoOptions { mode: IsoMode::Induced, ..IsoOptions::default() };
+    let options = IsoOptions {
+        mode: IsoMode::Induced,
+        ..IsoOptions::default()
+    };
     let expected = count_embeddings(&query, &target, &options);
-    println!("sequential VF2: {} embeddings in {:.2?}\n", expected, t.elapsed());
+    println!(
+        "sequential VF2: {} embeddings in {:.2?}\n",
+        expected,
+        t.elapsed()
+    );
 
     println!(
         "{:<34} {:>10} {:>12}",
@@ -37,22 +44,37 @@ fn main() {
     let configs: [(&str, ParallelIsoConfig); 4] = [
         (
             "1 thread (baseline)",
-            ParallelIsoConfig { threads: 1, work_stealing: false, options },
+            ParallelIsoConfig {
+                threads: 1,
+                work_stealing: false,
+                options,
+            },
         ),
         (
             "4 threads, work splitting",
-            ParallelIsoConfig { threads: 4, work_stealing: false, options },
+            ParallelIsoConfig {
+                threads: 4,
+                work_stealing: false,
+                options,
+            },
         ),
         (
             "4 threads, + work stealing",
-            ParallelIsoConfig { threads: 4, work_stealing: true, options },
+            ParallelIsoConfig {
+                threads: 4,
+                work_stealing: true,
+                options,
+            },
         ),
         (
             "4 threads, stealing, no precompute",
             ParallelIsoConfig {
                 threads: 4,
                 work_stealing: true,
-                options: IsoOptions { precompute: false, ..options },
+                options: IsoOptions {
+                    precompute: false,
+                    ..options
+                },
             },
         ),
     ];

@@ -1,0 +1,61 @@
+//! Offline stand-in for `bytes`.
+//!
+//! Only the [`Buf`] read-cursor trait is provided, implemented for
+//! `&[u8]` — enough for the varint decoder, which consumes a slice
+//! from the front.
+
+/// A readable cursor over bytes, advancing as values are taken.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Whether any bytes are left.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Reads one byte, advancing the cursor.
+    ///
+    /// # Panics
+    /// Panics if the buffer is exhausted.
+    fn get_u8(&mut self) -> u8;
+
+    /// Skips `count` bytes.
+    ///
+    /// # Panics
+    /// Panics if fewer than `count` bytes remain.
+    fn advance(&mut self, count: usize);
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let (&first, rest) = self.split_first().expect("buffer exhausted");
+        *self = rest;
+        first
+    }
+
+    fn advance(&mut self, count: usize) {
+        *self = &self[count..];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cursor_advances() {
+        let data = [1u8, 2, 3];
+        let mut buf: &[u8] = &data;
+        assert_eq!(buf.remaining(), 3);
+        assert_eq!(buf.get_u8(), 1);
+        assert_eq!(buf.get_u8(), 2);
+        assert!(buf.has_remaining());
+        buf.advance(1);
+        assert!(!buf.has_remaining());
+    }
+}

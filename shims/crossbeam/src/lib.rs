@@ -1,0 +1,99 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides `deque::{Injector, Steal}` — the global work-stealing
+//! queue the parallel isomorphism driver uses. The real crate is a
+//! lock-free CAS queue; this shim is a mutex-guarded `VecDeque`,
+//! which has identical semantics (each item stolen exactly once) at
+//! somewhat higher contention. Fine for correctness tests and
+//! moderate thread counts.
+
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// A FIFO injector queue shared between worker threads.
+    #[derive(Debug, Default)]
+    pub struct Injector<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    /// Result of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// Transient contention; try again.
+        Retry,
+    }
+
+    impl<T> Injector<T> {
+        /// Creates an empty queue.
+        pub fn new() -> Self {
+            Injector {
+                inner: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Enqueues a task.
+        pub fn push(&self, task: T) {
+            self.lock().push_back(task);
+        }
+
+        /// Attempts to take one task from the front.
+        pub fn steal(&self) -> Steal<T> {
+            match self.lock().pop_front() {
+                Some(task) => Steal::Success(task),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.lock().is_empty()
+        }
+
+        /// Number of queued tasks.
+        pub fn len(&self) -> usize {
+            self.lock().len()
+        }
+
+        fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+            // A worker panicking mid-push cannot leave the VecDeque in
+            // a torn state, so poisoning is safe to ignore.
+            self.inner
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn each_task_stolen_exactly_once() {
+            let queue: Injector<u32> = Injector::new();
+            for i in 0..1000 {
+                queue.push(i);
+            }
+            let stolen = std::sync::Mutex::new(Vec::new());
+            std::thread::scope(|scope| {
+                for _ in 0..4 {
+                    scope.spawn(|| loop {
+                        match queue.steal() {
+                            Steal::Success(task) => stolen.lock().unwrap().push(task),
+                            Steal::Empty => break,
+                            Steal::Retry => continue,
+                        }
+                    });
+                }
+            });
+            let mut stolen = stolen.into_inner().unwrap();
+            stolen.sort_unstable();
+            assert_eq!(stolen, (0..1000).collect::<Vec<_>>());
+            assert!(queue.is_empty());
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use crate::{Strategy, TestRng};
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+/// Strategy for `Vec`s with lengths drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+/// Strategy for `BTreeSet`s; `size` bounds the attempted insertions,
+/// so duplicates may make the set smaller (as in real proptest).
+pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy { element, size }
+}
+
+fn draw_len(size: &Range<usize>, rng: &mut TestRng) -> usize {
+    assert!(size.start < size.end, "empty size range");
+    size.start + rng.below((size.end - size.start) as u64) as usize
+}
+
+/// See [`vec`].
+#[derive(Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = draw_len(&self.size, rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// See [`btree_set`].
+#[derive(Clone)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let attempts = draw_len(&self.size, rng);
+        let mut set = BTreeSet::new();
+        for _ in 0..attempts {
+            set.insert(self.element.generate(rng));
+        }
+        set
+    }
+}

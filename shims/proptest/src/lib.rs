@@ -1,0 +1,400 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment cannot reach crates.io, so this workspace
+//! vendors a small property-testing engine with proptest's surface:
+//! the [`Strategy`] trait with `prop_map` / `prop_flat_map` /
+//! `boxed`, [`Just`], integer-range strategies, tuple strategies,
+//! [`collection::vec`] / [`collection::btree_set`], `prop_oneof!`,
+//! `prop_assert!` / `prop_assert_eq!`, [`ProptestConfig`] and the
+//! `proptest!` test macro.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case reports the case number; rerun
+//!   with the same build to reproduce (generation is deterministic,
+//!   seeded from the test name).
+//! * **No persisted regressions** (`proptest-regressions/` files).
+//! * Collection strategies treat the size range as an upper bound on
+//!   *attempted* insertions; sets may come out smaller on duplicates,
+//!   exactly like real proptest's `btree_set`.
+
+use std::ops::Range;
+use std::rc::Rc;
+
+pub mod collection;
+
+/// Everything a property test file usually imports.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy, Just,
+        ProptestConfig, Strategy, TestRng, Union,
+    };
+}
+
+/// Deterministic RNG driving generation: SplitMix64 seeded from the
+/// test name, so every test has a stable stream across runs.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG whose stream is a pure function of `test_name`.
+    pub fn for_test(test_name: &str) -> Self {
+        // FNV-1a over the name.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in test_name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: hash }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, bound)`; `bound` 0 yields 0.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next_u64() % bound
+        }
+    }
+}
+
+/// Run configuration for a `proptest!` block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Post-processes generated values with `map`.
+    fn prop_map<U, F>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, map }
+    }
+
+    /// Derives a second strategy from each generated value.
+    fn prop_flat_map<S, F>(self, flat_map: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap {
+            inner: self,
+            flat_map,
+        }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> std::fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// [`Strategy::prop_map`] combinator.
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    map: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.map)(self.inner.generate(rng))
+    }
+}
+
+/// [`Strategy::prop_flat_map`] combinator.
+#[derive(Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    flat_map: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        let intermediate = self.inner.generate(rng);
+        (self.flat_map)(intermediate).generate(rng)
+    }
+}
+
+/// Uniform choice between several strategies (`prop_oneof!`).
+#[derive(Clone)]
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union of the given arms; must be non-empty.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let arm = rng.below(self.arms.len() as u64) as usize;
+        self.arms[arm].generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + rng.below((self.end - self.start) as u64) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed_range_strategy {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as $wide - self.start as $wide) as u64;
+                (self.start as $wide + rng.below(span) as $wide) as $t
+            }
+        }
+    )*};
+}
+
+impl_signed_range_strategy!(i8 => i64, i16 => i64, i32 => i64, i64 => i128);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! { (A, B) (A, B, C) (A, B, C, D) }
+
+/// Uniform choice among strategies: `prop_oneof![s1, s2, ...]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Declares property tests: each `#[test] fn name(pat in strategy,
+/// ...) { body }` runs `body` against `config.cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr;
+     $( #[test] fn $name:ident( $($pat:pat in $strategy:expr),+ $(,)? ) $body:block )*
+    ) => {$(
+        #[test]
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                let run = || {
+                    $( let $pat = $crate::Strategy::generate(&($strategy), &mut rng); )+
+                    $body
+                };
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(run));
+                if let Err(payload) = outcome {
+                    eprintln!(
+                        "proptest case {}/{} of `{}` failed (deterministic seed; rerun reproduces it)",
+                        case + 1,
+                        config.cases,
+                        stringify!($name),
+                    );
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_and_tuples_stay_in_bounds() {
+        let mut rng = TestRng::for_test("bounds");
+        let strategy = (3usize..24, 0u32..200_000);
+        for _ in 0..500 {
+            let (n, x) = strategy.generate(&mut rng);
+            assert!((3..24).contains(&n));
+            assert!(x < 200_000);
+        }
+    }
+
+    #[test]
+    fn union_uses_every_arm() {
+        let mut rng = TestRng::for_test("union");
+        let strategy = prop_oneof![
+            (0u32..10).prop_map(|x| x as u64),
+            (100u32..110).prop_map(|x| x as u64),
+        ];
+        let mut low = false;
+        let mut high = false;
+        for _ in 0..200 {
+            match strategy.generate(&mut rng) {
+                x if x < 10 => low = true,
+                x if (100..110).contains(&x) => high = true,
+                other => panic!("out of range: {other}"),
+            }
+        }
+        assert!(low && high);
+    }
+
+    #[test]
+    fn flat_map_feeds_the_inner_strategy() {
+        let mut rng = TestRng::for_test("flat_map");
+        let strategy = (1usize..8).prop_flat_map(|n| crate::collection::vec(0u32..10, n..n + 1));
+        for _ in 0..100 {
+            let v = strategy.generate(&mut rng);
+            assert!((1..8).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_name() {
+        let strategy = crate::collection::btree_set(0u32..1000, 0..50);
+        let mut a = TestRng::for_test("determinism");
+        let mut b = TestRng::for_test("determinism");
+        for _ in 0..20 {
+            assert_eq!(strategy.generate(&mut a), strategy.generate(&mut b));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn the_macro_itself_works((a, b) in (0u32..50, 0u32..50), extra in 0usize..4) {
+            prop_assert!(a < 50 && b < 50);
+            prop_assert_eq!(extra.min(3), extra);
+        }
+    }
+}

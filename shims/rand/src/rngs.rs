@@ -1,0 +1,31 @@
+//! Concrete RNGs. Only [`StdRng`] is provided; it is a SplitMix64
+//! generator rather than the ChaCha12 of real `rand`, so streams are
+//! deterministic per seed but not identical to upstream `rand`.
+
+use crate::{RngCore, SeedableRng};
+
+/// The standard RNG of this shim: SplitMix64.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl RngCore for StdRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // Scramble the seed so that nearby seeds (0, 1, 2, ...) start
+        // in well-separated regions of the SplitMix64 sequence.
+        let state = (seed ^ 0xD1B5_4A32_D192_ED03).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        StdRng { state }
+    }
+}

@@ -1,0 +1,359 @@
+//! Eager parallel iterators. See the crate docs for the semantics.
+
+/// Items-per-worker threshold below which fan-out is not worth a
+/// thread spawn and work runs on the calling thread.
+const SEQUENTIAL_CUTOFF: usize = 256;
+
+/// An eager parallel iterator: the items are already materialized;
+/// `map`/`for_each` fan them out across scoped threads.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// The one fan-out primitive every parallel combinator uses: splits
+/// `items` into `width` contiguous chunks, runs `job` on each chunk
+/// in a scoped worker thread (propagating the installed pool width),
+/// and returns the per-chunk results in order.
+fn run_chunks<T, R, J>(items: Vec<T>, width: usize, job: J) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    J: Fn(Vec<T>) -> R + Sync,
+{
+    let inherited = crate::current_num_threads();
+    let chunks = split(items, width);
+    let job = &job;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                scope.spawn(move || {
+                    crate::set_inherited_width(inherited);
+                    job(chunk)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("parallel worker"))
+            .collect()
+    })
+}
+
+fn width_for(len: usize) -> usize {
+    // Cap the fan-out at the hardware parallelism even when a larger
+    // pool was installed: for eager chunked execution, oversubscribing
+    // cores only adds spawn and context-switch cost.
+    let hardware = std::thread::available_parallelism().map_or(1, |p| p.get());
+    crate::current_num_threads()
+        .min(hardware)
+        .clamp(1, len.max(1))
+}
+
+/// Splits `items` into at most `parts` contiguous chunks of
+/// near-equal size, preserving order.
+fn split<T>(mut items: Vec<T>, parts: usize) -> Vec<Vec<T>> {
+    let chunk = items.len().div_ceil(parts.max(1)).max(1);
+    let mut out = Vec::with_capacity(parts);
+    while items.len() > chunk {
+        let tail = items.split_off(items.len() - chunk);
+        out.push(tail);
+    }
+    out.push(items);
+    out.reverse();
+    out
+}
+
+impl<T: Send> ParIter<T> {
+    /// Applies `f` to every item in parallel, preserving order.
+    pub fn map<U, F>(self, f: F) -> ParIter<U>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        let width = width_for(self.items.len());
+        if width <= 1 || self.items.len() < SEQUENTIAL_CUTOFF {
+            return ParIter {
+                items: self.items.into_iter().map(&f).collect(),
+            };
+        }
+        let total = self.items.len();
+        let mapped = run_chunks(self.items, width, |chunk| {
+            chunk.into_iter().map(&f).collect::<Vec<U>>()
+        });
+        // Reassemble with `append` (a memcpy per chunk) rather than a
+        // per-element flatten, so the join cost stays negligible.
+        let mut items = Vec::with_capacity(total);
+        for mut chunk in mapped {
+            items.append(&mut chunk);
+        }
+        ParIter { items }
+    }
+
+    /// Runs `f` on every item in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        let width = width_for(self.items.len());
+        if width <= 1 || self.items.len() < SEQUENTIAL_CUTOFF {
+            self.items.into_iter().for_each(&f);
+            return;
+        }
+        run_chunks(self.items, width, |chunk| chunk.into_iter().for_each(&f));
+    }
+
+    /// Keeps the items matching `predicate`.
+    pub fn filter<P>(mut self, predicate: P) -> ParIter<T>
+    where
+        P: Fn(&T) -> bool + Sync,
+    {
+        self.items.retain(|item| predicate(item));
+        self
+    }
+
+    /// Maps and filters in one pass.
+    pub fn filter_map<U, F>(self, f: F) -> ParIter<U>
+    where
+        U: Send,
+        F: Fn(T) -> Option<U> + Sync,
+    {
+        ParIter {
+            items: self.items.into_iter().filter_map(f).collect(),
+        }
+    }
+
+    /// Maps each item to an iterator and flattens the results. The
+    /// per-item closure runs through the parallel `map`; only the
+    /// final reassembly is sequential (a memcpy per item).
+    pub fn flat_map<U, I, F>(self, f: F) -> ParIter<U>
+    where
+        U: Send,
+        I: IntoIterator<Item = U>,
+        F: Fn(T) -> I + Sync,
+    {
+        let nested = self.map(|item| f(item).into_iter().collect::<Vec<U>>());
+        let mut items = Vec::new();
+        for mut chunk in nested.items {
+            items.append(&mut chunk);
+        }
+        ParIter { items }
+    }
+
+    /// Maps each item to a serial iterator and flattens (rayon's
+    /// cheaper `flat_map` variant; identical here).
+    pub fn flat_map_iter<U, I, F>(self, f: F) -> ParIter<U>
+    where
+        U: Send,
+        I: IntoIterator<Item = U>,
+        F: Fn(T) -> I + Sync,
+    {
+        self.flat_map(f)
+    }
+
+    /// Pairs each item with its index.
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Sums the items (chunk-wise in parallel, then the partials).
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<T> + std::iter::Sum<S> + Send,
+    {
+        let width = width_for(self.items.len());
+        if width <= 1 || self.items.len() < SEQUENTIAL_CUTOFF {
+            return self.items.into_iter().sum();
+        }
+        run_chunks(self.items, width, |chunk| chunk.into_iter().sum::<S>())
+            .into_iter()
+            .sum()
+    }
+
+    /// Largest item.
+    pub fn max(self) -> Option<T>
+    where
+        T: Ord,
+    {
+        self.items.into_iter().max()
+    }
+
+    /// Smallest item.
+    pub fn min(self) -> Option<T>
+    where
+        T: Ord,
+    {
+        self.items.into_iter().min()
+    }
+
+    /// Number of items.
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+
+    /// Collects into any `FromIterator` container, preserving order.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<T>,
+    {
+        self.items.into_iter().collect()
+    }
+
+    /// Splits items into those matching the predicate and the rest.
+    /// The predicate is evaluated in parallel (it is the expensive
+    /// part in this workspace's peeling/coloring kernels); only the
+    /// split itself is sequential.
+    pub fn partition<A, B, P>(self, predicate: P) -> (A, B)
+    where
+        A: Default + Extend<T>,
+        B: Default + Extend<T>,
+        P: Fn(&T) -> bool + Sync,
+    {
+        let flagged = self.map(|item| (predicate(&item), item));
+        let mut yes = A::default();
+        let mut no = B::default();
+        for (keep, item) in flagged.items {
+            if keep {
+                yes.extend(std::iter::once(item));
+            } else {
+                no.extend(std::iter::once(item));
+            }
+        }
+        (yes, no)
+    }
+
+    /// Folds the items with `op`, starting from `identity()`.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> T
+    where
+        ID: Fn() -> T,
+        OP: Fn(T, T) -> T + Sync,
+    {
+        self.items.into_iter().fold(identity(), op)
+    }
+
+    /// Rayon tuning knob; a no-op here.
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+}
+
+/// Marker/extension trait so generic code can take `ParallelIterator`
+/// bounds; all combinators are inherent on [`ParIter`].
+pub trait ParallelIterator {}
+impl<T> ParallelIterator for ParIter<T> {}
+
+/// Conversion into a parallel iterator by value. Blanket-implemented
+/// for everything iterable (ranges, vectors, ...).
+pub trait IntoParallelIterator {
+    /// Item type produced.
+    type Item;
+    /// Materializes the source into a [`ParIter`].
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Item = I::Item;
+    fn into_par_iter(self) -> ParIter<I::Item> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+/// `par_iter` / `par_chunks` on slices (and through deref, vectors).
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over references.
+    fn par_iter(&self) -> ParIter<&T>;
+    /// Parallel iterator over contiguous chunks.
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParIter {
+            items: self.chunks(chunk_size).collect(),
+        }
+    }
+}
+
+/// `par_iter_mut` / `par_chunks_mut` / `par_sort_*` on slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over mutable references.
+    fn par_iter_mut(&mut self) -> ParIter<&mut T>;
+    /// Parallel iterator over mutable contiguous chunks.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+    /// Stable sort (sequential in this shim).
+    fn par_sort(&mut self)
+    where
+        T: Ord;
+    /// Unstable sort (sequential in this shim).
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+    /// Unstable sort by key (sequential in this shim).
+    fn par_sort_unstable_by_key<K: Ord, F: Fn(&T) -> K>(&mut self, key: F);
+    /// Unstable sort by comparator (sequential in this shim).
+    fn par_sort_unstable_by<F: Fn(&T, &T) -> std::cmp::Ordering>(&mut self, compare: F);
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIter<&mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParIter {
+            items: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+
+    fn par_sort(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort();
+    }
+
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort_unstable();
+    }
+
+    fn par_sort_unstable_by_key<K: Ord, F: Fn(&T) -> K>(&mut self, key: F) {
+        self.sort_unstable_by_key(key);
+    }
+
+    fn par_sort_unstable_by<F: Fn(&T, &T) -> std::cmp::Ordering>(&mut self, compare: F) {
+        self.sort_unstable_by(compare);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_covers_all_items_in_order() {
+        for n in [0usize, 1, 7, 256, 1000] {
+            for parts in [1usize, 2, 3, 8] {
+                let items: Vec<usize> = (0..n).collect();
+                let rejoined: Vec<usize> = split(items, parts).into_iter().flatten().collect();
+                assert_eq!(rejoined, (0..n).collect::<Vec<_>>(), "n={n} parts={parts}");
+            }
+        }
+    }
+}

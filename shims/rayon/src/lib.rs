@@ -1,0 +1,210 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build environment cannot reach crates.io, so this workspace
+//! vendors a minimal data-parallelism layer with rayon's surface
+//! syntax: `par_iter` / `into_par_iter` / `par_chunks`, the usual
+//! combinators, `ThreadPoolBuilder` + `ThreadPool::install`, and
+//! `current_num_threads`.
+//!
+//! Semantics differ from real rayon in one deliberate way: parallel
+//! iterators here are **eager**. `into_par_iter()` materializes the
+//! items; `map`, `for_each`, `sum`, `flat_map` and `partition`
+//! evaluate their closure across scoped `std::thread` workers in
+//! contiguous chunks (preserving order); the remaining cheap shaping
+//! combinators (`filter`, reductions) run sequentially on the
+//! materialized vector. For the mining kernels in this workspace the
+//! expensive closure always sits in one of the parallel combinators,
+//! so this recovers the bulk of the available speedup without a
+//! work-stealing scheduler. Replacing this shim with real rayon is a
+//! manifest-only change.
+
+use std::cell::Cell;
+use std::fmt;
+
+pub mod iter;
+
+/// The rayon-style prelude: import the traits that put `par_iter`
+/// and friends in scope.
+pub mod prelude {
+    pub use crate::iter::{
+        IntoParallelIterator, ParallelIterator, ParallelSlice, ParallelSliceMut,
+    };
+}
+
+thread_local! {
+    static POOL_WIDTH: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of threads parallel operations on this thread will use:
+/// the installed pool's size, or hardware parallelism outside a pool.
+pub fn current_num_threads() -> usize {
+    POOL_WIDTH
+        .with(Cell::get)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get()))
+}
+
+/// Propagates an installed pool width into a freshly spawned worker
+/// thread (thread-locals are not inherited), so parallel iterators
+/// nested inside a worker's closure still respect the pool.
+pub(crate) fn set_inherited_width(width: usize) {
+    POOL_WIDTH.with(|cell| cell.set(Some(width)));
+}
+
+/// Builder for a fixed-width [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with the default (hardware) width.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the pool width. Zero is rejected at `build` time.
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = Some(num_threads);
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let width = self
+            .num_threads
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get()));
+        if width == 0 {
+            return Err(ThreadPoolBuildError("pool width must be at least 1".into()));
+        }
+        Ok(ThreadPool { width })
+    }
+}
+
+/// Error building a [`ThreadPool`].
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(String);
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "failed to build thread pool: {}", self.0)
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A fixed-width scope for parallel operations. `install` bounds the
+/// width that parallel iterators invoked inside it will use.
+#[derive(Debug)]
+pub struct ThreadPool {
+    width: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's width governing parallel iterators
+    /// (and reported by [`current_num_threads`]) on this thread.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_WIDTH.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(POOL_WIDTH.with(|c| c.replace(Some(self.width))));
+        op()
+    }
+
+    /// The pool's width.
+    pub fn current_num_threads(&self) -> usize {
+        self.width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn install_scopes_the_width() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let outside = current_num_threads();
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 3);
+        assert_eq!(current_num_threads(), outside, "width restored");
+    }
+
+    #[test]
+    fn zero_width_pool_is_rejected() {
+        assert!(ThreadPoolBuilder::new().num_threads(0).build().is_err());
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let squares: Vec<u64> = (0..10_000u64).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squares.len(), 10_000);
+        assert!(squares
+            .iter()
+            .enumerate()
+            .all(|(i, &s)| s == (i as u64) * (i as u64)));
+    }
+
+    #[test]
+    fn for_each_visits_everything_once() {
+        let hits = AtomicUsize::new(0);
+        (0..5_000u32).into_par_iter().for_each(|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 5_000);
+    }
+
+    #[test]
+    fn workers_inherit_the_installed_width() {
+        // Code running inside map workers (including nested parallel
+        // iterators) must see the installed pool width, not the
+        // hardware width. On multi-core hosts this exercises real
+        // worker threads; on a 1-CPU host the sequential path must
+        // report the installed width too.
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let widths: Vec<usize> = pool.install(|| {
+            (0..2_000u32)
+                .into_par_iter()
+                .map(|_| current_num_threads())
+                .collect()
+        });
+        assert!(
+            widths.iter().all(|&w| w == 2),
+            "installed width not visible in workers"
+        );
+    }
+
+    #[test]
+    fn flat_map_matches_serial_flat_map() {
+        let par: Vec<u32> = (0..3_000u32)
+            .into_par_iter()
+            .flat_map(|x| (0..x % 4).map(move |i| x + i))
+            .collect();
+        let ser: Vec<u32> = (0..3_000u32)
+            .flat_map(|x| (0..x % 4).map(move |i| x + i))
+            .collect();
+        assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn slice_combinators_agree_with_serial() {
+        let data: Vec<u32> = (0..4_000).collect();
+        let par_sum: u32 = data.par_iter().map(|&x| x % 13).sum();
+        let ser_sum: u32 = data.iter().map(|&x| x % 13).sum();
+        assert_eq!(par_sum, ser_sum);
+        let chunk_max: Vec<u32> = data
+            .par_chunks(64)
+            .map(|c| *c.iter().max().unwrap())
+            .collect();
+        assert_eq!(chunk_max.len(), data.len().div_ceil(64));
+        let (even, odd): (Vec<u32>, Vec<u32>) = data.par_iter().partition(|&&x| x % 2 == 0);
+        assert_eq!(even.len() + odd.len(), data.len());
+    }
+}

@@ -1,0 +1,14 @@
+//! Offline stand-in for `serde`.
+//!
+//! Supplies the `Serialize` / `Deserialize` names — as marker traits
+//! and as re-exported no-op derive macros — so that types annotated
+//! for serialization compile without crates.io access. No data
+//! format is wired up; swapping in real serde is a manifest change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

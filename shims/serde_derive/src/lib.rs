@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The derives expand to nothing: nothing in this workspace performs
+//! actual serialization yet (stats/report emit CSV and markdown by
+//! hand), so `#[derive(Serialize, Deserialize)]` only needs to parse.
+//! When real serde is available the shim is swapped out in the
+//! workspace manifest and the annotations become live.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive (accepts and ignores `#[serde(...)]`).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive (accepts and ignores `#[serde(...)]`).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

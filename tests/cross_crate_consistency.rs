@@ -56,7 +56,10 @@ fn largest_maximal_clique_bounded_by_degeneracy() {
         // k-clique count.
         if bk.largest >= 2 {
             assert!(k_clique_count(&graph, bk.largest, &KcConfig::default()).count > 0);
-            assert_eq!(k_clique_count(&graph, bk.largest + 1, &KcConfig::default()).count, 0);
+            assert_eq!(
+                k_clique_count(&graph, bk.largest + 1, &KcConfig::default()).count,
+                0
+            );
         }
     }
 }
@@ -65,8 +68,9 @@ fn largest_maximal_clique_bounded_by_degeneracy() {
 fn kcore_contains_all_large_cliques() {
     let (graph, _) = gms::gen::planted_cliques(300, 0.01, 3, 7, 9);
     // Every 7-clique lives inside the 6-core.
-    let core: std::collections::HashSet<NodeId> =
-        gms::order::k_core_by_peeling(&graph, 6).into_iter().collect();
+    let core: std::collections::HashSet<NodeId> = gms::order::k_core_by_peeling(&graph, 6)
+        .into_iter()
+        .collect();
     let outcome = BkVariant::GmsDgr.run_with(&graph, true);
     for clique in outcome.cliques.unwrap() {
         if clique.len() >= 7 {
@@ -98,9 +102,7 @@ fn similarity_common_neighbors_equals_triangles_on_edges() {
     let sg: SetGraph<SortedVecSet> = SetGraph::from_csr(&graph);
     let total: f64 = graph
         .edges_undirected()
-        .map(|(u, v)| {
-            gms::learn::similarity(&sg, SimilarityMeasure::CommonNeighbors, u, v)
-        })
+        .map(|(u, v)| gms::learn::similarity(&sg, SimilarityMeasure::CommonNeighbors, u, v))
         .sum();
     assert_eq!(total as u64, 3 * triangle_count(&graph));
 }

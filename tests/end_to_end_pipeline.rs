@@ -24,7 +24,12 @@ fn generate_reorder_mine_verify() {
 
     // Mine: all BK variants agree and recover the planted cliques.
     let reference = BkVariant::Das.run_with(&graph, true);
-    for variant in [BkVariant::GmsDeg, BkVariant::GmsDgr, BkVariant::GmsAdg, BkVariant::GmsAdgS] {
+    for variant in [
+        BkVariant::GmsDeg,
+        BkVariant::GmsDgr,
+        BkVariant::GmsAdg,
+        BkVariant::GmsAdgS,
+    ] {
         let outcome = variant.run_with(&graph, true);
         assert_eq!(outcome.cliques, reference.cliques, "{}", variant.label());
     }
@@ -66,8 +71,7 @@ fn bk_through_the_pipeline_interface() {
                 collect: false,
             };
             self.cliques =
-                bron_kerbosch::<RoaringSet>(self.relabeled.as_ref().unwrap(), &config)
-                    .clique_count;
+                bron_kerbosch::<RoaringSet>(self.relabeled.as_ref().unwrap(), &config).clique_count;
         }
         fn patterns_found(&self) -> u64 {
             self.cliques
@@ -76,7 +80,12 @@ fn bk_through_the_pipeline_interface() {
 
     let graph = gms::gen::gnp(120, 0.08, 5);
     let expected = maximal_cliques_brute(&graph).len() as u64;
-    let mut pipeline = BkPipeline { graph, rank: None, relabeled: None, cliques: 0 };
+    let mut pipeline = BkPipeline {
+        graph,
+        rank: None,
+        relabeled: None,
+        cliques: 0,
+    };
     let (timings, patterns) = run_pipeline(&mut pipeline);
     assert_eq!(patterns, expected, "pipeline-run BK equals oracle");
     assert!(timings.total() > std::time::Duration::ZERO);
@@ -93,7 +102,10 @@ fn ordering_quality_ladder() {
     assert_eq!(dgr_bound, exact.degeneracy);
     for eps in [0.01, 0.1, 0.5] {
         let adg = approx_degeneracy_order(&graph, eps);
-        assert!(adg.out_degree_bound >= dgr_bound, "approximation cannot beat exact");
+        assert!(
+            adg.out_degree_bound >= dgr_bound,
+            "approximation cannot beat exact"
+        );
         assert!(
             adg.out_degree_bound as f64 <= (2.0 + eps) * exact.degeneracy as f64 + 1.0,
             "ε = {eps}"

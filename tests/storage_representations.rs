@@ -27,7 +27,11 @@ fn all_representations_agree_on_the_access_interface() {
         for v in g.vertices() {
             let expected: Vec<NodeId> = g.neighbors_slice(v).to_vec();
             assert_eq!(am.neighbors(v).collect::<Vec<_>>(), expected, "{name} AM");
-            assert_eq!(packed.neighbors(v).collect::<Vec<_>>(), expected, "{name} packed");
+            assert_eq!(
+                packed.neighbors(v).collect::<Vec<_>>(),
+                expected,
+                "{name} packed"
+            );
             assert_eq!(
                 compressed.neighbors(v).collect::<Vec<_>>(),
                 expected,
@@ -49,8 +53,12 @@ fn all_representations_agree_on_the_access_interface() {
 fn mining_results_are_representation_independent() {
     for (name, g) in gallery() {
         let direct = BkVariant::GmsDgr.run(&g).clique_count;
-        let via_packed = BkVariant::GmsDgr.run(&BitPackedCsr::from_csr(&g).to_csr()).clique_count;
-        let via_matrix = BkVariant::GmsDgr.run(&AdjacencyMatrix::from_csr(&g).to_csr()).clique_count;
+        let via_packed = BkVariant::GmsDgr
+            .run(&BitPackedCsr::from_csr(&g).to_csr())
+            .clique_count;
+        let via_matrix = BkVariant::GmsDgr
+            .run(&AdjacencyMatrix::from_csr(&g).to_csr())
+            .clique_count;
         assert_eq!(direct, via_packed, "{name}");
         assert_eq!(direct, via_matrix, "{name}");
     }
@@ -82,9 +90,8 @@ fn compression_sizes_track_structure() {
         use gms::order::random_order;
         gms::graph::relabel(&local, &random_order(900, 8))
     };
-    let ratio = |g: &CsrGraph| {
-        CompressedCsr::from_csr(g).heap_bytes() as f64 / g.heap_bytes() as f64
-    };
+    let ratio =
+        |g: &CsrGraph| CompressedCsr::from_csr(g).heap_bytes() as f64 / g.heap_bytes() as f64;
     assert!(
         ratio(&local) < ratio(&shuffled),
         "locality must compress better: {} vs {}",
