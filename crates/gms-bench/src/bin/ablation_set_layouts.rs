@@ -24,6 +24,7 @@ fn main() {
         ordering: OrderingKind::Degeneracy,
         subgraph: SubgraphMode::None,
         collect: false,
+        ..BkConfig::default()
     };
     println!("graph,layout,cliques,mine_s");
     for (name, graph) in &graphs {

@@ -28,6 +28,7 @@ fn main() {
                     ordering: OrderingKind::ApproxDegeneracy(0.25),
                     subgraph: mode,
                     collect: false,
+                    ..BkConfig::default()
                 },
             );
             counts.push(outcome.clique_count);

@@ -37,6 +37,7 @@ fn main() {
                 ordering,
                 subgraph: SubgraphMode::None,
                 collect: false,
+                ..BkConfig::default()
             },
         );
         rows.push(format!(

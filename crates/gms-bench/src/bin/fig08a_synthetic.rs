@@ -22,6 +22,7 @@ fn main() {
                     ordering: OrderingKind::Degeneracy,
                     subgraph: SubgraphMode::None,
                     collect: false,
+                    ..BkConfig::default()
                 },
             );
             let avg_degree =

@@ -1,58 +1,108 @@
-//! Figure 8b: machine-efficiency analysis — BK runtime vs thread
-//! count, alongside the memory-pressure proxy (bytes touched by set
-//! operations per second, from the software counters that substitute
-//! for PAPI stalled-cycle measurements; see DESIGN.md). Paper shape:
-//! speedups flatten as threads grow while the memory-traffic rate
-//! keeps climbing — the memory-bound signature of maximal clique
-//! listing.
+//! Figure 8b: machine-efficiency analysis, emitted as JSON.
+//!
+//! Runs the three load-imbalanced kernels — Bron–Kerbosch maximal
+//! clique listing, edge-parallel k-clique counting, and the parallel
+//! subgraph-isomorphism driver — through `gms_platform::run_scaling`
+//! at 1/2/4/8 threads and reports per-point runtime, speedup and
+//! parallel efficiency. The BK rows additionally carry the
+//! memory-pressure proxy (bytes touched by set operations per second,
+//! from the software counters that substitute for PAPI stalled-cycle
+//! measurements; see DESIGN.md). Paper shape: speedups flatten as
+//! threads grow while the memory-traffic rate keeps climbing — the
+//! memory-bound signature of maximal clique listing.
+//!
+//! The full thread series runs even when the machine has fewer cores:
+//! on an oversubscribed pool the curve goes flat, which is itself the
+//! saturation signal this figure reports.
 
-use gms_bench::{print_csv, scale_from_env};
+use gms_bench::scale_from_env;
 use gms_core::SortedVecSet;
-use gms_order::OrderingKind;
-use gms_pattern::bk::SubgraphMode;
-use gms_pattern::{bron_kerbosch, BkConfig};
+use gms_match::{count_embeddings_parallel, IsoOptions, LabeledGraph, ParallelIsoConfig};
+use gms_pattern::{bron_kerbosch, k_clique_count, BkConfig, KcConfig};
 use gms_platform::counters::{CounterRegion, CountingSet};
-use gms_platform::run_scaling;
+use gms_platform::{efficiencies, run_scaling, series_json_rows_with, ScalingPoint};
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Formats one kernel's series through the shared platform row
+/// builder, attaching efficiency plus any kernel-specific extra
+/// fields (aligned with the series).
+fn rows_for(kernel: &str, series: &[ScalingPoint], extras: &[String]) -> Vec<String> {
+    let with_eff: Vec<String> = efficiencies(series)
+        .iter()
+        .enumerate()
+        .map(|(i, eff)| {
+            format!(
+                ",\"efficiency\":{:.3}{}",
+                eff,
+                extras.get(i).map(String::as_str).unwrap_or("")
+            )
+        })
+        .collect();
+    series_json_rows_with(kernel, series, &with_eff)
+}
 
 fn main() {
     let s = scale_from_env();
-    let graphs = [
-        (
-            "clique-rich",
-            gms_gen::planted_cliques(1_200 * s, 0.004, 10, 9, 103).0,
-        ),
-        ("social-kron", gms_gen::kronecker_default(11, 10, 101)),
-    ];
-    let config = BkConfig {
-        ordering: OrderingKind::ApproxDegeneracy(0.25),
-        subgraph: SubgraphMode::None,
-        collect: false,
-    };
-    let mut rows = Vec::new();
-    for (name, graph) in &graphs {
-        // Run the full series even when the machine has fewer cores:
-        // on an oversubscribed pool the curve goes flat, which is
-        // itself the saturation signal this figure reports.
-        for t in [1usize, 2, 4, 8] {
+    let clique_rich = gms_gen::planted_cliques(1_200 * s, 0.004, 10, 9, 103).0;
+    let social = gms_gen::kronecker_default(11, 10, 101);
+
+    let mut rows: Vec<String> = Vec::new();
+
+    // Bron–Kerbosch, instrumented: CountingSet feeds the software
+    // counters so each point also reports set-op memory traffic.
+    for (name, graph) in [("clique-rich", &clique_rich), ("social-kron", &social)] {
+        let config = BkConfig::default();
+        let mut series = Vec::new();
+        let mut extras = Vec::new();
+        for &t in &THREADS {
             let region = CounterRegion::start();
-            let series = run_scaling(&[t], || {
-                // Instrumented run: CountingSet feeds the counters.
+            let point = run_scaling(&[t], || {
                 let outcome = bron_kerbosch::<CountingSet<SortedVecSet>>(graph, &config);
                 std::hint::black_box(outcome.clique_count);
-            });
+            })[0];
             let stats = region.stop();
-            let secs = series[0].elapsed.as_secs_f64();
-            rows.push(format!(
-                "{name},{t},{:.4},{},{},{:.3e}",
-                secs,
+            let secs = point.elapsed.as_secs_f64();
+            extras.push(format!(
+                ",\"set_ops\":{},\"bytes_touched\":{},\"bytes_per_second\":{:.3e}",
                 stats.set_ops,
                 stats.bytes_touched(),
                 stats.bytes_touched() as f64 / secs.max(1e-12),
             ));
+            series.push(point);
         }
+        rows.extend(rows_for(&format!("bk/{name}"), &series, &extras));
     }
-    print_csv(
-        "graph,threads,time_s,set_ops,bytes_touched,bytes_per_second",
-        &rows,
+
+    // Edge-parallel k-clique counting (recursive-split root edges).
+    let kc_config = KcConfig::default();
+    let kc_series = run_scaling(&THREADS, || {
+        let outcome = k_clique_count(&social, 4, &kc_config);
+        std::hint::black_box(outcome.count);
+    });
+    rows.extend(rows_for("kclique4/social-kron", &kc_series, &[]));
+
+    // Parallel subgraph isomorphism: the driver sizes its own pool,
+    // so each scaling point hands it the point's thread count.
+    let target = LabeledGraph::random_labels(gms_gen::gnp(600 * s, 0.02, 5), 3, 11);
+    let query = target.induced(&[0, 7, 19]);
+    let iso_series: Vec<ScalingPoint> = THREADS
+        .iter()
+        .map(|&t| {
+            let config = ParallelIsoConfig {
+                threads: t,
+                work_stealing: true,
+                options: IsoOptions::default(),
+            };
+            run_scaling(&[t], || {
+                std::hint::black_box(count_embeddings_parallel(&query, &target, &config));
+            })[0]
+        })
+        .collect();
+    rows.extend(rows_for("subgraph-iso/gnp", &iso_series, &[]));
+
+    println!(
+        "{{\"figure\":\"fig08b_machine_eff\",\"rows\":[\n  {}\n]}}",
+        rows.join(",\n  ")
     );
 }

@@ -20,9 +20,12 @@ pub use gallery::{fig1_subset, gallery, print_csv, Dataset};
 
 /// Scale factor for the figure binaries, read from `GMS_SCALE`
 /// (default 1). Raise it on beefier machines to stress the kernels.
+/// Garbage values — unparsable *or* zero — fall back to 1, so every
+/// bin (including those taking `ilog2` of the scale) stays total.
 pub fn scale_from_env() -> usize {
     std::env::var("GMS_SCALE")
         .ok()
         .and_then(|s| s.parse().ok())
+        .filter(|&s| s > 0)
         .unwrap_or(1)
 }

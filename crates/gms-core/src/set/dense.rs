@@ -12,10 +12,28 @@ use serde::{Deserialize, Serialize};
 const WORD_BITS: usize = 64;
 
 /// A set of vertex IDs backed by a growable dense bitvector.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Debug, Default, Serialize, Deserialize)]
 pub struct DenseBitSet {
     words: Vec<u64>,
     len: usize,
+}
+
+impl Clone for DenseBitSet {
+    fn clone(&self) -> Self {
+        Self {
+            words: self.words.clone(),
+            len: self.len,
+        }
+    }
+
+    /// Overwrites in place, reusing the existing word buffer — the
+    /// scratch-set recycling in the mining kernels (e.g. Bron–Kerbosch
+    /// child-set construction) relies on this being allocation-free
+    /// once capacity has grown.
+    fn clone_from(&mut self, source: &Self) {
+        self.words.clone_from(&source.words);
+        self.len = source.len;
+    }
 }
 
 impl DenseBitSet {

@@ -16,9 +16,23 @@ use serde::{Deserialize, Serialize};
 const GALLOP_RATIO: usize = 16;
 
 /// A set of vertex IDs backed by a sorted vector.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SortedVecSet {
     elements: Vec<SetElement>,
+}
+
+impl Clone for SortedVecSet {
+    fn clone(&self) -> Self {
+        Self {
+            elements: self.elements.clone(),
+        }
+    }
+
+    /// Overwrites in place, reusing the existing element buffer (see
+    /// `DenseBitSet::clone_from`; same scratch-recycling contract).
+    fn clone_from(&mut self, source: &Self) {
+        self.elements.clone_from(&source.elements);
+    }
 }
 
 impl SortedVecSet {

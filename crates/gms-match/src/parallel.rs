@@ -3,10 +3,13 @@
 //!
 //! * **Work splitting** — the root-candidate list (target vertices
 //!   from which backtracking starts) is split across threads.
-//! * **Work stealing** — idle threads take further root vertices from
-//!   a lock-free queue instead of a static chunk; the paper implements
-//!   this with a CAS-retrieved queue of vertex IDs, which maps exactly
-//!   onto `crossbeam`'s `Injector`.
+//! * **Work stealing** — idle workers steal further root chunks from
+//!   busy ones instead of being stuck with a static chunk; the paper
+//!   implements this with a CAS-retrieved queue of vertex IDs, which
+//!   maps directly onto the `rayon` scheduler's stealable range
+//!   tasks, so this driver is now just a parallel iterator over root
+//!   chunks inside a sized pool (the former hand-rolled
+//!   `thread::scope` + injector-queue loop is gone).
 //!
 //! Diverse backtracking depths per root vertex make some threads
 //! finish early; stealing flattens that imbalance (the effect Fig. 7
@@ -14,8 +17,7 @@
 
 use crate::labeled::LabeledGraph;
 use crate::vf2::{build_plan, IsoOptions, MatchState};
-use crossbeam::deque::{Injector, Steal};
-use gms_core::NodeId;
+use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Parallel driver configuration.
@@ -57,55 +59,36 @@ pub fn count_embeddings_parallel(
     let plan = build_plan(query, target, &config.options);
     let threads = config.threads.max(1);
     let total = AtomicU64::new(0);
+    let roots = &plan.root_candidates;
 
-    if config.work_stealing {
-        // Lock-free global queue of root vertices (the paper's
-        // CAS-based stealing queue).
-        let queue: Injector<NodeId> = Injector::new();
-        for &root in &plan.root_candidates {
-            queue.push(root);
-        }
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| {
-                    let mut state = MatchState::new(query, target, &plan, &config.options);
-                    loop {
-                        if total.load(Ordering::Relaxed) >= config.options.limit {
-                            break;
-                        }
-                        match queue.steal() {
-                            Steal::Success(root) => {
-                                state.extend_from_root(root);
-                                let found = std::mem::take(&mut state.found);
-                                total.fetch_add(found, Ordering::Relaxed);
-                            }
-                            Steal::Empty => break,
-                            Steal::Retry => continue,
-                        }
-                    }
-                });
-            }
-        });
+    // Chunk granularity is the splitting/stealing knob: with stealing
+    // on, roots fan out as many small stealable tasks (each chunk
+    // amortizes one `MatchState` allocation); with stealing off, one
+    // contiguous chunk per thread reproduces static work splitting.
+    let chunk = if config.work_stealing {
+        roots.len().div_ceil(threads * 8).max(1)
     } else {
-        // Static work splitting: contiguous chunks of the root list.
-        let chunk = plan.root_candidates.len().div_ceil(threads).max(1);
-        std::thread::scope(|scope| {
-            for roots in plan.root_candidates.chunks(chunk) {
-                let plan = &plan;
-                let total = &total;
-                scope.spawn(move || {
-                    let mut state = MatchState::new(query, target, plan, &config.options);
-                    for &root in roots {
-                        if total.load(Ordering::Relaxed) >= config.options.limit {
-                            break;
-                        }
-                        state.extend_from_root(root);
-                    }
-                    total.fetch_add(state.found, Ordering::Relaxed);
-                });
+        roots.len().div_ceil(threads).max(1)
+    };
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("threads >= 1");
+    pool.install(|| {
+        roots.par_chunks(chunk).for_each(|chunk_roots| {
+            if total.load(Ordering::Relaxed) >= config.options.limit {
+                return;
             }
+            let mut state = MatchState::new(query, target, &plan, &config.options);
+            for &root in chunk_roots {
+                if total.load(Ordering::Relaxed) >= config.options.limit {
+                    break;
+                }
+                state.extend_from_root(root);
+            }
+            total.fetch_add(state.found, Ordering::Relaxed);
         });
-    }
+    });
     total.load(Ordering::Relaxed).min(config.options.limit)
 }
 

@@ -57,6 +57,14 @@ pub struct BkConfig {
     pub subgraph: SubgraphMode,
     /// Materialize the cliques (otherwise only count them).
     pub collect: bool,
+    /// Pivot-branch depth down to which subtrees are spawned as
+    /// `rayon::join` tasks (stealable by idle workers). Depth is
+    /// counted from each root vertex; below it the subtree runs
+    /// sequentially on whichever worker owns it, reusing scratch
+    /// sets. `0` disables subtree parallelism entirely — with a
+    /// 1-thread pool the traversal is then byte-identical to the
+    /// purely sequential kernel.
+    pub par_depth: usize,
 }
 
 impl Default for BkConfig {
@@ -65,6 +73,7 @@ impl Default for BkConfig {
             ordering: OrderingKind::ApproxDegeneracy(0.25),
             subgraph: SubgraphMode::None,
             collect: false,
+            par_depth: 4,
         }
     }
 }
@@ -119,25 +128,48 @@ struct LocalOut {
     cliques: Vec<Vec<NodeId>>,
 }
 
-fn bk_pivot<S: Set>(
-    ctx: &SearchCtx<'_, S>,
-    p: &mut S,
-    r: &mut Vec<NodeId>,
-    x: &mut S,
-    out: &mut LocalOut,
-) {
-    if p.is_empty() {
-        // Line 19: R is maximal iff X is also empty.
-        if x.is_empty() {
-            out.count += 1;
-            out.largest = out.largest.max(r.len());
-            if ctx.collect {
-                out.cliques.push(r.clone());
-            }
+impl LocalOut {
+    fn empty() -> Self {
+        LocalOut {
+            count: 0,
+            largest: 0,
+            cliques: Vec::new(),
         }
-        return;
     }
-    // Pivot (line 20): u ∈ P ∪ X maximizing |P ∩ N(u)|.
+
+    fn absorb(&mut self, mut other: LocalOut) {
+        self.count += other.count;
+        self.largest = self.largest.max(other.largest);
+        self.cliques.append(&mut other.cliques);
+    }
+}
+
+/// Free list of `Set` buffers reused across the sequential recursion:
+/// child candidate/excluded sets are written into recycled buffers
+/// via `clone_from` + `*_inplace` instead of freshly allocated per
+/// recursive call. A leaf task's scratch never migrates — tasks run
+/// to completion on one worker — so this is per-worker storage for
+/// the subtree the worker owns.
+struct Scratch<S: Set> {
+    free: Vec<S>,
+}
+
+impl<S: Set> Scratch<S> {
+    fn new() -> Self {
+        Scratch { free: Vec::new() }
+    }
+
+    fn take(&mut self) -> S {
+        self.free.pop().unwrap_or_else(S::empty)
+    }
+
+    fn put(&mut self, set: S) {
+        self.free.push(set);
+    }
+}
+
+/// Tomita-style pivot (line 20): `u ∈ P ∪ X` maximizing `|P ∩ N(u)|`.
+fn select_pivot<S: Set>(ctx: &SearchCtx<'_, S>, p: &S, x: &S) -> NodeId {
     let mut pivot = None;
     let mut best = usize::MAX; // tracks |P \ N(u)| = |P| - |P ∩ N(u)|
     let p_size = p.cardinality();
@@ -152,35 +184,187 @@ fn bk_pivot<S: Set>(
             }
         }
     }
-    let u = pivot.expect("P non-empty implies a pivot exists");
-    // Lines 21-28: only P \ N(u) extends the clique.
-    let candidates = p.diff(ctx.neigh(u));
+    pivot.expect("P non-empty implies a pivot exists")
+}
+
+/// Eppstein-style per-level rebuild of `H` on the child's `P ∪ X`
+/// (the rebuild cost §6.2 argues against; kept as the baseline).
+fn per_level_subgraph<S: Set>(
+    ctx: &SearchCtx<'_, S>,
+    p_new: &S,
+    x_new: &S,
+) -> FxHashMap<NodeId, S> {
+    let px = p_new.union(x_new);
+    let mut h: FxHashMap<NodeId, S> = FxHashMap::default();
+    for w in px.iter() {
+        h.insert(w, ctx.neigh(w).intersect(&px));
+    }
+    h
+}
+
+fn bk_pivot<S: Set>(
+    ctx: &SearchCtx<'_, S>,
+    p: &mut S,
+    r: &mut Vec<NodeId>,
+    x: &mut S,
+    scratch: &mut Scratch<S>,
+    out: &mut LocalOut,
+) {
+    if p.is_empty() {
+        // Line 19: R is maximal iff X is also empty.
+        if x.is_empty() {
+            out.count += 1;
+            out.largest = out.largest.max(r.len());
+            if ctx.collect {
+                out.cliques.push(r.clone());
+            }
+        }
+        return;
+    }
+    let u = select_pivot(ctx, p, x);
+    // Lines 21-28: only P \ N(u) extends the clique. Child sets are
+    // built in recycled scratch buffers (`clone_from` + `_inplace`),
+    // not fresh allocations — the set layouts reuse buffer capacity.
+    let mut candidates = scratch.take();
+    candidates.clone_from(p);
+    candidates.diff_inplace(ctx.neigh(u));
     for v in candidates.iter() {
         let nv = ctx.neigh(v);
-        let mut p_new = p.intersect(nv);
-        let mut x_new = x.intersect(nv);
+        let mut p_new = scratch.take();
+        p_new.clone_from(p);
+        p_new.intersect_inplace(nv);
+        let mut x_new = scratch.take();
+        x_new.clone_from(x);
+        x_new.intersect_inplace(nv);
         r.push(v);
         if ctx.per_level {
-            // Eppstein-style: re-derive H on the child's P ∪ X before
-            // descending (the rebuild cost §6.2 argues against).
-            let px = p_new.union(&x_new);
-            let mut h: FxHashMap<NodeId, S> = FxHashMap::default();
-            for w in px.iter() {
-                h.insert(w, ctx.neigh(w).intersect(&px));
-            }
+            let h = per_level_subgraph(ctx, &p_new, &x_new);
             let child = SearchCtx {
                 graph: ctx.graph,
                 subgraph: Some(&h),
                 per_level: true,
                 collect: ctx.collect,
             };
-            bk_pivot(&child, &mut p_new, r, &mut x_new, out);
+            bk_pivot(&child, &mut p_new, r, &mut x_new, scratch, out);
         } else {
-            bk_pivot(ctx, &mut p_new, r, &mut x_new, out);
+            bk_pivot(ctx, &mut p_new, r, &mut x_new, scratch, out);
         }
         r.pop();
         p.remove(v);
         x.add(v);
+        scratch.put(p_new);
+        scratch.put(x_new);
+    }
+    scratch.put(candidates);
+}
+
+/// Parallel subtree expansion: above the remaining `depth_left`
+/// budget, pivot branches are spawned as `join` tasks so idle workers
+/// steal skewed subtrees; at the budget's edge (or on a 1-wide pool)
+/// each branch falls into the sequential scratch-reusing kernel.
+fn bk_pivot_par<S: Set>(
+    ctx: &SearchCtx<'_, S>,
+    p: &S,
+    r: &[NodeId],
+    x: &S,
+    depth_left: usize,
+) -> LocalOut {
+    if depth_left == 0 || rayon::current_num_threads() <= 1 {
+        // Each sequential subtree warms its own scratch free-list
+        // (`Scratch::new` itself allocates nothing); sharing buffers
+        // *across* subtrees would need type-erased worker-local
+        // storage for marginal gain, since a subtree's internal
+        // recursion is where the allocation volume is.
+        let mut p = p.clone();
+        let mut x = x.clone();
+        let mut r = r.to_vec();
+        let mut out = LocalOut::empty();
+        bk_pivot(ctx, &mut p, &mut r, &mut x, &mut Scratch::new(), &mut out);
+        return out;
+    }
+    if p.is_empty() {
+        let mut out = LocalOut::empty();
+        if x.is_empty() {
+            out.count = 1;
+            out.largest = r.len();
+            if ctx.collect {
+                out.cliques.push(r.to_vec());
+            }
+        }
+        return out;
+    }
+    let u = select_pivot(ctx, p, x);
+    let candidates: Vec<NodeId> = p.diff(ctx.neigh(u)).to_vec();
+    let range = 0..candidates.len();
+    bk_split_branches(ctx, p, x, r, &candidates, range, depth_left)
+}
+
+/// Processes the pivot branches `candidates[range]`, where `p`/`x`
+/// are already adjusted for `range.start` (earlier candidates moved
+/// from P to X). Ranges split via `join` — the right half (with its
+/// adjusted P/X) is published for stealing while the left half runs
+/// on the calling worker — down to single branches, which descend
+/// with one less level of parallel budget.
+fn bk_split_branches<S: Set>(
+    ctx: &SearchCtx<'_, S>,
+    p: &S,
+    x: &S,
+    r: &[NodeId],
+    candidates: &[NodeId],
+    range: std::ops::Range<usize>,
+    depth_left: usize,
+) -> LocalOut {
+    match range.len() {
+        0 => LocalOut::empty(),
+        1 => {
+            let v = candidates[range.start];
+            let nv = ctx.neigh(v);
+            let p_new = p.intersect(nv);
+            let x_new = x.intersect(nv);
+            let mut r_new = r.to_vec();
+            r_new.push(v);
+            if ctx.per_level {
+                let h = per_level_subgraph(ctx, &p_new, &x_new);
+                let child = SearchCtx {
+                    graph: ctx.graph,
+                    subgraph: Some(&h),
+                    per_level: true,
+                    collect: ctx.collect,
+                };
+                bk_pivot_par(&child, &p_new, &r_new, &x_new, depth_left - 1)
+            } else {
+                bk_pivot_par(ctx, &p_new, &r_new, &x_new, depth_left - 1)
+            }
+        }
+        len => {
+            let mid = range.start + len / 2;
+            // The right half sees the left half's candidates moved
+            // P → X (the sequential loop's post-iteration updates,
+            // applied in bulk).
+            let mut p_right = p.clone();
+            let mut x_right = x.clone();
+            for &w in &candidates[range.start..mid] {
+                p_right.remove(w);
+                x_right.add(w);
+            }
+            let (left_start, left_end) = (range.start, mid);
+            let (mut left, right) = rayon::join(
+                || bk_split_branches(ctx, p, x, r, candidates, left_start..left_end, depth_left),
+                || {
+                    bk_split_branches(
+                        ctx,
+                        &p_right,
+                        &x_right,
+                        r,
+                        candidates,
+                        mid..range.end,
+                        depth_left,
+                    )
+                },
+            );
+            left.absorb(right);
+            left
+        }
     }
 }
 
@@ -227,28 +411,22 @@ pub fn bron_kerbosch<S: Set>(graph: &CsrGraph, config: &BkConfig) -> BkOutcome {
                 per_level: config.subgraph == SubgraphMode::PerLevel,
                 collect: config.collect,
             };
-            let mut out = LocalOut {
-                count: 0,
-                largest: 0,
-                cliques: Vec::new(),
-            };
-            let mut r = vec![v];
-            bk_pivot(&ctx, &mut p, &mut r, &mut x, &mut out);
-            out
+            let r = vec![v];
+            if config.par_depth > 0 && rayon::current_num_threads() > 1 {
+                // Subtree tasks below the root: skewed branches are
+                // published for stealing down to `par_depth` levels.
+                bk_pivot_par(&ctx, &p, &r, &x, config.par_depth)
+            } else {
+                let mut out = LocalOut::empty();
+                let mut r = r;
+                bk_pivot(&ctx, &mut p, &mut r, &mut x, &mut Scratch::new(), &mut out);
+                out
+            }
         })
-        .reduce(
-            || LocalOut {
-                count: 0,
-                largest: 0,
-                cliques: Vec::new(),
-            },
-            |mut a, mut b| {
-                a.count += b.count;
-                a.largest = a.largest.max(b.largest);
-                a.cliques.append(&mut b.cliques);
-                a
-            },
-        );
+        .reduce(LocalOut::empty, |mut a, b| {
+            a.absorb(b);
+            a
+        });
     let mine = t1.elapsed();
 
     let cliques = config.collect.then(|| {
@@ -329,6 +507,7 @@ impl BkVariant {
                     ordering: OrderingKind::Degeneracy,
                     subgraph: SubgraphMode::PerLevel,
                     collect,
+                    ..BkConfig::default()
                 },
             ),
             BkVariant::GmsDeg => bron_kerbosch::<DenseBitSet>(
@@ -337,6 +516,7 @@ impl BkVariant {
                     ordering: OrderingKind::Degree,
                     subgraph: SubgraphMode::None,
                     collect,
+                    ..BkConfig::default()
                 },
             ),
             BkVariant::GmsDgr => bron_kerbosch::<DenseBitSet>(
@@ -345,6 +525,7 @@ impl BkVariant {
                     ordering: OrderingKind::Degeneracy,
                     subgraph: SubgraphMode::None,
                     collect,
+                    ..BkConfig::default()
                 },
             ),
             BkVariant::GmsAdg => bron_kerbosch::<DenseBitSet>(
@@ -353,6 +534,7 @@ impl BkVariant {
                     ordering: OrderingKind::ApproxDegeneracy(0.25),
                     subgraph: SubgraphMode::None,
                     collect,
+                    ..BkConfig::default()
                 },
             ),
             BkVariant::GmsAdgS => bron_kerbosch::<DenseBitSet>(
@@ -361,6 +543,7 @@ impl BkVariant {
                     ordering: OrderingKind::ApproxDegeneracy(0.25),
                     subgraph: SubgraphMode::Outermost,
                     collect,
+                    ..BkConfig::default()
                 },
             ),
         }
@@ -444,6 +627,7 @@ mod tests {
             ordering: OrderingKind::Degeneracy,
             subgraph: SubgraphMode::None,
             collect: true,
+            ..BkConfig::default()
         };
         let a = bron_kerbosch::<SortedVecSet>(&g, &config);
         let b = bron_kerbosch::<RoaringSet>(&g, &config);
@@ -463,6 +647,7 @@ mod tests {
                 ordering: OrderingKind::ApproxDegeneracy(0.1),
                 subgraph: SubgraphMode::None,
                 collect: true,
+                ..BkConfig::default()
             },
         );
         let opt = bron_kerbosch::<RoaringSet>(
@@ -471,6 +656,7 @@ mod tests {
                 ordering: OrderingKind::ApproxDegeneracy(0.1),
                 subgraph: SubgraphMode::Outermost,
                 collect: true,
+                ..BkConfig::default()
             },
         );
         assert_eq!(base.cliques, opt.cliques);

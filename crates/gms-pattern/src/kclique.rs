@@ -104,16 +104,27 @@ pub fn k_clique_count_with<S: Set>(graph: &CsrGraph, k: usize, config: &KcConfig
                     count_rec(&dag, 2, k, &c2)
                 })
                 .sum(),
-            KcParallel::Edge => (0..dag.num_vertices() as NodeId)
-                .into_par_iter()
-                .flat_map_iter(|u| dag.neighbors_slice(u).iter().map(move |&v| (u, v)))
-                .map(|(u, v)| {
-                    let nu = S::from_sorted(dag.neighbors_slice(u));
-                    let nv = S::from_sorted(dag.neighbors_slice(v));
-                    let c3 = nu.intersect(&nv);
-                    count_rec(&dag, 3, k, &c3)
-                })
-                .sum(),
+            KcParallel::Edge => {
+                // Edge-parallel root expansion with recursive split
+                // (§7.2): the oriented edge list is materialized once
+                // and fanned out as splittable range tasks, so the
+                // many cheap edges and the few edges whose candidate
+                // subtrees explode are balanced by work stealing
+                // rather than trapped in a static per-vertex chunk.
+                let roots: Vec<(NodeId, NodeId)> = (0..dag.num_vertices() as NodeId)
+                    .flat_map(|u| dag.neighbors_slice(u).iter().map(move |&v| (u, v)))
+                    .collect();
+                roots
+                    .into_par_iter()
+                    .with_min_len(16)
+                    .map(|(u, v)| {
+                        let nu = S::from_sorted(dag.neighbors_slice(u));
+                        let nv = S::from_sorted(dag.neighbors_slice(v));
+                        let c3 = nu.intersect(&nv);
+                        count_rec(&dag, 3, k, &c3)
+                    })
+                    .sum()
+            }
         },
     };
     let mine = t1.elapsed();

@@ -21,5 +21,7 @@ pub use counters::{CounterRegion, CounterSnapshot, CountingSet};
 pub use metrics::{Measurement, Throughput};
 pub use pipeline::{run_pipeline, Pipeline, StageTimings};
 pub use report::ResultTable;
-pub use scaling::{efficiencies, run_scaling, ScalingPoint};
+pub use scaling::{
+    efficiencies, run_scaling, series_json_rows, series_json_rows_with, ScalingPoint,
+};
 pub use stats::GraphStats;

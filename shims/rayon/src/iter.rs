@@ -1,93 +1,188 @@
-//! Eager parallel iterators. See the crate docs for the semantics.
+//! Parallel iterators over splittable range tasks.
+//!
+//! Sources are materialized into a vector (see the crate docs for the
+//! divergence list), but execution is *not* eager fixed chunks: the
+//! expensive combinators (`map`, `for_each`, `sum`, `reduce`, and the
+//! ones built on them) recursively split the index range via
+//! [`crate::join`], publishing the right half of every split for
+//! stealing. Idle workers peel off whole subranges, so skew in
+//! per-item cost — the norm for mining kernels, where one vertex's
+//! subtree can dwarf a thousand others — rebalances dynamically
+//! instead of serializing inside a pre-cut chunk.
+//!
+//! Ranges stop splitting at a grain of roughly `len / (4 × width)`
+//! items (floored by [`ParIter::with_min_len`]); leaves move items out
+//! of the source buffer by value and, for `map`, write results
+//! straight into the pre-sized output buffer, preserving order. If a
+//! closure panics, the panic propagates after in-flight leaves settle;
+//! items not yet processed (and results already produced) are leaked,
+//! never double-dropped.
 
-/// Items-per-worker threshold below which fan-out is not worth a
-/// thread spawn and work runs on the calling thread.
-const SEQUENTIAL_CUTOFF: usize = 256;
+use std::ops::Range;
 
-/// An eager parallel iterator: the items are already materialized;
-/// `map`/`for_each` fan them out across scoped threads.
+/// Below this many items parallel dispatch is never attempted; with a
+/// persistent pool the break-even is small.
+const SEQUENTIAL_CUTOFF: usize = 2;
+
+/// A parallel iterator: materialized items fanned out as splittable
+/// range tasks.
 pub struct ParIter<T> {
     items: Vec<T>,
+    min_len: usize,
 }
 
-/// The one fan-out primitive every parallel combinator uses: splits
-/// `items` into `width` contiguous chunks, runs `job` on each chunk
-/// in a scoped worker thread (propagating the installed pool width),
-/// and returns the per-chunk results in order.
-fn run_chunks<T, R, J>(items: Vec<T>, width: usize, job: J) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    J: Fn(Vec<T>) -> R + Sync,
-{
-    let inherited = crate::current_num_threads();
-    let chunks = split(items, width);
-    let job = &job;
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|chunk| {
-                scope.spawn(move || {
-                    crate::set_inherited_width(inherited);
-                    job(chunk)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|handle| handle.join().expect("parallel worker"))
-            .collect()
-    })
-}
+/// Raw-pointer handle that may cross worker threads. Soundness is
+/// established by the range protocol: every index in `0..len` is
+/// touched by exactly one leaf task.
+struct SendPtr<T>(*const T);
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
 
-fn width_for(len: usize) -> usize {
-    // Cap the fan-out at the hardware parallelism even when a larger
-    // pool was installed: for eager chunked execution, oversubscribing
-    // cores only adds spawn and context-switch cost.
-    let hardware = std::thread::available_parallelism().map_or(1, |p| p.get());
-    crate::current_num_threads()
-        .min(hardware)
-        .clamp(1, len.max(1))
-}
-
-/// Splits `items` into at most `parts` contiguous chunks of
-/// near-equal size, preserving order.
-fn split<T>(mut items: Vec<T>, parts: usize) -> Vec<Vec<T>> {
-    let chunk = items.len().div_ceil(parts.max(1)).max(1);
-    let mut out = Vec::with_capacity(parts);
-    while items.len() > chunk {
-        let tail = items.split_off(items.len() - chunk);
-        out.push(tail);
+impl<T> SendPtr<T> {
+    /// # Safety
+    /// `i` must be in bounds and each index moved out at most once.
+    #[inline(always)] // keep leaf loops call-free even in debug builds
+    unsafe fn read(&self, i: usize) -> T {
+        unsafe { self.0.add(i).read() }
     }
-    out.push(items);
-    out.reverse();
-    out
+}
+
+struct SendMutPtr<T>(*mut T);
+unsafe impl<T: Send> Send for SendMutPtr<T> {}
+unsafe impl<T: Send> Sync for SendMutPtr<T> {}
+
+impl<T> SendMutPtr<T> {
+    /// # Safety
+    /// `i` must be within the allocation and each index written at
+    /// most once.
+    #[inline(always)] // keep leaf loops call-free even in debug builds
+    unsafe fn write(&self, i: usize, value: T) {
+        unsafe { self.0.add(i).write(value) }
+    }
+}
+
+/// Splitting grain: aim for ~4 leaves per worker so stealing has
+/// slack without drowning in per-task overhead.
+fn grain_for(len: usize, width: usize, min_len: usize) -> usize {
+    len.div_ceil(width.saturating_mul(4).max(1))
+        .max(min_len)
+        .max(1)
+}
+
+/// Runs `leaf` over disjoint subranges covering `0..len`, splitting
+/// recursively via `join` down to `grain`.
+fn parallel_ranges<F>(len: usize, grain: usize, leaf: F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    fn recurse<F: Fn(Range<usize>) + Sync>(range: Range<usize>, grain: usize, leaf: &F) {
+        if range.len() <= grain {
+            leaf(range);
+            return;
+        }
+        let mid = range.start + range.len() / 2;
+        let (left, right) = (range.start..mid, mid..range.end);
+        crate::join(
+            || recurse(left, grain, leaf),
+            || recurse(right, grain, leaf),
+        );
+    }
+    recurse(0..len, grain.max(1), &leaf);
+}
+
+/// Range-splitting reduction: `leaf` folds one subrange, `combine`
+/// merges adjacent partials left-to-right (so the combine tree is
+/// deterministic for a given `len` and `grain`, independent of which
+/// worker ran what).
+fn parallel_reduce<R, F, C>(len: usize, grain: usize, leaf: &F, combine: &C) -> Option<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+    C: Fn(R, R) -> R + Sync,
+{
+    fn recurse<R, F, C>(range: Range<usize>, grain: usize, leaf: &F, combine: &C) -> R
+    where
+        R: Send,
+        F: Fn(Range<usize>) -> R + Sync,
+        C: Fn(R, R) -> R + Sync,
+    {
+        if range.len() <= grain {
+            return leaf(range);
+        }
+        let mid = range.start + range.len() / 2;
+        let (left, right) = (range.start..mid, mid..range.end);
+        let (a, b) = crate::join(
+            || recurse(left, grain, leaf, combine),
+            || recurse(right, grain, leaf, combine),
+        );
+        combine(a, b)
+    }
+    if len == 0 {
+        return None;
+    }
+    Some(recurse(0..len, grain.max(1), leaf, combine))
+}
+
+impl<T> ParIter<T> {
+    fn new(items: Vec<T>) -> Self {
+        ParIter { items, min_len: 1 }
+    }
 }
 
 impl<T: Send> ParIter<T> {
+    /// Whether to dispatch in parallel at all for `len` items.
+    fn parallel_width(len: usize) -> Option<usize> {
+        let width = crate::current_num_threads();
+        (width > 1 && len >= SEQUENTIAL_CUTOFF).then_some(width)
+    }
+
+    /// Disowns the items: the vector's length is zeroed while its
+    /// buffer stays alive and readable, so leaves can move items out
+    /// by `ptr::read` without any risk of double drops (a panic leaks
+    /// unprocessed items instead).
+    fn disown(items: &mut Vec<T>) -> (SendPtr<T>, usize) {
+        let len = items.len();
+        let ptr = SendPtr(items.as_ptr());
+        // SAFETY: shrinking only; the buffer remains allocated (and
+        // its contents untouched) for the caller's scope.
+        unsafe { items.set_len(0) };
+        (ptr, len)
+    }
+
     /// Applies `f` to every item in parallel, preserving order.
     pub fn map<U, F>(self, f: F) -> ParIter<U>
     where
         U: Send,
         F: Fn(T) -> U + Sync,
     {
-        let width = width_for(self.items.len());
-        if width <= 1 || self.items.len() < SEQUENTIAL_CUTOFF {
+        let len = self.items.len();
+        let Some(width) = Self::parallel_width(len) else {
             return ParIter {
-                items: self.items.into_iter().map(&f).collect(),
+                items: self.items.into_iter().map(f).collect(),
+                min_len: self.min_len,
             };
-        }
-        let total = self.items.len();
-        let mapped = run_chunks(self.items, width, |chunk| {
-            chunk.into_iter().map(&f).collect::<Vec<U>>()
+        };
+        let grain = grain_for(len, width, self.min_len);
+        let mut src = self.items;
+        let mut out: Vec<U> = Vec::with_capacity(len);
+        let (src_ptr, _) = Self::disown(&mut src);
+        let dst_ptr = SendMutPtr(out.as_mut_ptr());
+        parallel_ranges(len, grain, |range| {
+            for i in range {
+                // SAFETY: each index is visited by exactly one leaf;
+                // the source item is moved out once and the result
+                // written into uninitialized capacity once.
+                unsafe { dst_ptr.write(i, f(src_ptr.read(i))) };
+            }
         });
-        // Reassemble with `append` (a memcpy per chunk) rather than a
-        // per-element flatten, so the join cost stays negligible.
-        let mut items = Vec::with_capacity(total);
-        for mut chunk in mapped {
-            items.append(&mut chunk);
+        // SAFETY: all `len` slots were initialized above (a panic in
+        // `f` propagates out of `parallel_ranges` before this point).
+        unsafe { out.set_len(len) };
+        drop(src);
+        ParIter {
+            items: out,
+            min_len: self.min_len,
         }
-        ParIter { items }
     }
 
     /// Runs `f` on every item in parallel.
@@ -95,12 +190,21 @@ impl<T: Send> ParIter<T> {
     where
         F: Fn(T) + Sync,
     {
-        let width = width_for(self.items.len());
-        if width <= 1 || self.items.len() < SEQUENTIAL_CUTOFF {
-            self.items.into_iter().for_each(&f);
+        let len = self.items.len();
+        let Some(width) = Self::parallel_width(len) else {
+            self.items.into_iter().for_each(f);
             return;
-        }
-        run_chunks(self.items, width, |chunk| chunk.into_iter().for_each(&f));
+        };
+        let grain = grain_for(len, width, self.min_len);
+        let mut src = self.items;
+        let (src_ptr, _) = Self::disown(&mut src);
+        parallel_ranges(len, grain, |range| {
+            for i in range {
+                // SAFETY: see `map` — one move per index.
+                f(unsafe { src_ptr.read(i) });
+            }
+        });
+        drop(src);
     }
 
     /// Keeps the items matching `predicate`.
@@ -120,6 +224,7 @@ impl<T: Send> ParIter<T> {
     {
         ParIter {
             items: self.items.into_iter().filter_map(f).collect(),
+            min_len: self.min_len,
         }
     }
 
@@ -132,12 +237,13 @@ impl<T: Send> ParIter<T> {
         I: IntoIterator<Item = U>,
         F: Fn(T) -> I + Sync,
     {
+        let min_len = self.min_len;
         let nested = self.map(|item| f(item).into_iter().collect::<Vec<U>>());
         let mut items = Vec::new();
         for mut chunk in nested.items {
             items.append(&mut chunk);
         }
-        ParIter { items }
+        ParIter { items, min_len }
     }
 
     /// Maps each item to a serial iterator and flattens (rayon's
@@ -155,21 +261,32 @@ impl<T: Send> ParIter<T> {
     pub fn enumerate(self) -> ParIter<(usize, T)> {
         ParIter {
             items: self.items.into_iter().enumerate().collect(),
+            min_len: self.min_len,
         }
     }
 
-    /// Sums the items (chunk-wise in parallel, then the partials).
+    /// Sums the items (subrange partials in parallel, combined
+    /// left-to-right).
     pub fn sum<S>(self) -> S
     where
         S: std::iter::Sum<T> + std::iter::Sum<S> + Send,
     {
-        let width = width_for(self.items.len());
-        if width <= 1 || self.items.len() < SEQUENTIAL_CUTOFF {
+        let len = self.items.len();
+        let Some(width) = Self::parallel_width(len) else {
             return self.items.into_iter().sum();
-        }
-        run_chunks(self.items, width, |chunk| chunk.into_iter().sum::<S>())
-            .into_iter()
-            .sum()
+        };
+        let grain = grain_for(len, width, self.min_len);
+        let mut src = self.items;
+        let (src_ptr, _) = Self::disown(&mut src);
+        let total = parallel_reduce(
+            len,
+            grain,
+            // SAFETY: see `map` — one move per index.
+            &|range: Range<usize>| range.map(|i| unsafe { src_ptr.read(i) }).sum::<S>(),
+            &|a, b| [a, b].into_iter().sum::<S>(),
+        );
+        drop(src);
+        total.expect("len >= SEQUENTIAL_CUTOFF implies a partial")
     }
 
     /// Largest item.
@@ -224,17 +341,40 @@ impl<T: Send> ParIter<T> {
         (yes, no)
     }
 
-    /// Folds the items with `op`, starting from `identity()`.
+    /// Folds the items with `op`, starting from `identity()`. Partials
+    /// are folded per subrange and combined left-to-right, so for an
+    /// associative `op` the result matches the sequential fold.
     pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> T
     where
-        ID: Fn() -> T,
+        ID: Fn() -> T + Sync,
         OP: Fn(T, T) -> T + Sync,
     {
-        self.items.into_iter().fold(identity(), op)
+        let len = self.items.len();
+        let Some(width) = Self::parallel_width(len) else {
+            return self.items.into_iter().fold(identity(), &op);
+        };
+        let grain = grain_for(len, width, self.min_len);
+        let mut src = self.items;
+        let (src_ptr, _) = Self::disown(&mut src);
+        let total = parallel_reduce(
+            len,
+            grain,
+            &|range: Range<usize>| {
+                range
+                    // SAFETY: see `map` — one move per index.
+                    .map(|i| unsafe { src_ptr.read(i) })
+                    .fold(identity(), &op)
+            },
+            &op,
+        );
+        drop(src);
+        total.unwrap_or_else(identity)
     }
 
-    /// Rayon tuning knob; a no-op here.
-    pub fn with_min_len(self, _min: usize) -> Self {
+    /// Floors the splitting grain: subranges smaller than `min` are
+    /// never split further (rayon's task-granularity knob).
+    pub fn with_min_len(mut self, min: usize) -> Self {
+        self.min_len = min.max(1);
         self
     }
 }
@@ -256,9 +396,7 @@ pub trait IntoParallelIterator {
 impl<I: IntoIterator> IntoParallelIterator for I {
     type Item = I::Item;
     fn into_par_iter(self) -> ParIter<I::Item> {
-        ParIter {
-            items: self.into_iter().collect(),
-        }
+        ParIter::new(self.into_iter().collect())
     }
 }
 
@@ -272,16 +410,12 @@ pub trait ParallelSlice<T: Sync> {
 
 impl<T: Sync> ParallelSlice<T> for [T] {
     fn par_iter(&self) -> ParIter<&T> {
-        ParIter {
-            items: self.iter().collect(),
-        }
+        ParIter::new(self.iter().collect())
     }
 
     fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]> {
         assert!(chunk_size > 0, "chunk size must be positive");
-        ParIter {
-            items: self.chunks(chunk_size).collect(),
-        }
+        ParIter::new(self.chunks(chunk_size).collect())
     }
 }
 
@@ -307,16 +441,12 @@ pub trait ParallelSliceMut<T: Send> {
 
 impl<T: Send> ParallelSliceMut<T> for [T] {
     fn par_iter_mut(&mut self) -> ParIter<&mut T> {
-        ParIter {
-            items: self.iter_mut().collect(),
-        }
+        ParIter::new(self.iter_mut().collect())
     }
 
     fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
         assert!(chunk_size > 0, "chunk size must be positive");
-        ParIter {
-            items: self.chunks_mut(chunk_size).collect(),
-        }
+        ParIter::new(self.chunks_mut(chunk_size).collect())
     }
 
     fn par_sort(&mut self)
@@ -347,13 +477,79 @@ mod tests {
     use super::*;
 
     #[test]
-    fn split_covers_all_items_in_order() {
-        for n in [0usize, 1, 7, 256, 1000] {
-            for parts in [1usize, 2, 3, 8] {
-                let items: Vec<usize> = (0..n).collect();
-                let rejoined: Vec<usize> = split(items, parts).into_iter().flatten().collect();
-                assert_eq!(rejoined, (0..n).collect::<Vec<_>>(), "n={n} parts={parts}");
-            }
+    fn grain_targets_four_leaves_per_worker() {
+        assert_eq!(grain_for(4_000, 4, 1), 250);
+        assert_eq!(grain_for(10, 4, 1), 1);
+        assert_eq!(grain_for(10, 4, 8), 8, "min_len floors the grain");
+        assert_eq!(grain_for(0, 4, 1), 1);
+    }
+
+    #[test]
+    fn parallel_ranges_cover_exactly_once() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        let hits: Vec<std::sync::atomic::AtomicU32> = (0..10_000)
+            .map(|_| std::sync::atomic::AtomicU32::new(0))
+            .collect();
+        pool.install(|| {
+            parallel_ranges(hits.len(), 64, |range| {
+                for i in range {
+                    hits[i].fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+            });
+        });
+        assert!(hits
+            .iter()
+            .all(|h| h.load(std::sync::atomic::Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn parallel_reduce_is_deterministic_left_to_right() {
+        // Subtraction is not associative, so the result pins the
+        // combine-tree shape: it must depend only on len and grain,
+        // never on scheduling.
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        let reference = pool.install(|| {
+            parallel_reduce(
+                1_000,
+                7,
+                &|r: Range<usize>| r.sum::<usize>() as i64,
+                &|a, b| a - b,
+            )
+        });
+        for _ in 0..10 {
+            let again = pool.install(|| {
+                parallel_reduce(
+                    1_000,
+                    7,
+                    &|r: Range<usize>| r.sum::<usize>() as i64,
+                    &|a, b| a - b,
+                )
+            });
+            assert_eq!(again, reference);
         }
+    }
+
+    #[test]
+    fn map_moves_non_copy_items_exactly_once() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        let items: Vec<String> = (0..3_000).map(|i| i.to_string()).collect();
+        let lens: Vec<usize> = pool.install(|| {
+            items
+                .clone()
+                .into_par_iter()
+                .map(|s| s.len())
+                .collect::<Vec<_>>()
+        });
+        let expected: Vec<usize> = items.iter().map(|s| s.len()).collect();
+        assert_eq!(lens, expected);
     }
 }

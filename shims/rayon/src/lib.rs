@@ -1,27 +1,55 @@
-//! Offline stand-in for `rayon`.
+//! Offline stand-in for `rayon`, backed by a real work-stealing
+//! scheduler.
 //!
 //! The build environment cannot reach crates.io, so this workspace
-//! vendors a minimal data-parallelism layer with rayon's surface
-//! syntax: `par_iter` / `into_par_iter` / `par_chunks`, the usual
+//! vendors a data-parallelism layer with rayon's surface syntax:
+//! [`join`], `par_iter` / `into_par_iter` / `par_chunks`, the usual
 //! combinators, `ThreadPoolBuilder` + `ThreadPool::install`, and
 //! `current_num_threads`.
 //!
-//! Semantics differ from real rayon in one deliberate way: parallel
-//! iterators here are **eager**. `into_par_iter()` materializes the
-//! items; `map`, `for_each`, `sum`, `flat_map` and `partition`
-//! evaluate their closure across scoped `std::thread` workers in
-//! contiguous chunks (preserving order); the remaining cheap shaping
-//! combinators (`filter`, reductions) run sequentially on the
-//! materialized vector. For the mining kernels in this workspace the
-//! expensive closure always sits in one of the parallel combinators,
-//! so this recovers the bulk of the available speedup without a
-//! work-stealing scheduler. Replacing this shim with real rayon is a
-//! manifest-only change.
+//! Execution works like real rayon, not like the eager fixed-chunk
+//! fan-out this shim used before PR 2: there is a persistent pool of
+//! workers per width (lazily spawned, reused across calls), each with
+//! its own Chase–Lev-style deque (owner LIFO, thieves FIFO; see
+//! [`pool`]'s module docs). `join(a, b)` publishes `b` for stealing
+//! while `a` runs, and the parallel iterator combinators submit
+//! recursively *splittable range tasks* rather than pre-cut chunks,
+//! so skewed per-item costs rebalance dynamically — the execution
+//! substrate the GMS mining kernels (irregular subtree work) need.
+//!
+//! # Divergences from real rayon
+//!
+//! * **Materialized sources.** `into_par_iter()` collects the items
+//!   into a vector before fanning out; `filter` / `filter_map` /
+//!   `enumerate` and the `par_sort_*` family run sequentially on that
+//!   vector. The expensive closures in this workspace always sit in
+//!   `map` / `for_each` / `sum` / `reduce` / `flat_map` / `partition`,
+//!   which all execute as splittable parallel tasks.
+//! * **Mutex deques.** Worker deques are mutex-guarded `VecDeque`s,
+//!   not lock-free Chase–Lev buffers; identical scheduling semantics,
+//!   slightly higher constant cost per task.
+//! * **Pools share a registry per width.** `ThreadPoolBuilder::build`
+//!   returns a view onto a persistent per-width worker set instead of
+//!   spawning fresh threads, so scaling sweeps do not accumulate
+//!   threads. [`ThreadPool::steal_count`] consequently reports a
+//!   cumulative counter for that width.
+//! * **`install` runs the closure on the calling thread** and only
+//!   scopes the width that parallel operations dispatch with (real
+//!   rayon migrates the closure onto a worker). `join` called inside
+//!   a worker always schedules on that worker's own registry.
+//! * **`RAYON_NUM_THREADS`** is honored for the default width, and a
+//!   requested width may exceed the hardware width (useful for
+//!   exercising work-stealing paths on small CI machines).
+//!
+//! Replacing this shim with real rayon remains a manifest-only change.
 
 use std::cell::Cell;
 use std::fmt;
 
 pub mod iter;
+mod pool;
+
+pub use pool::join;
 
 /// The rayon-style prelude: import the traits that put `par_iter`
 /// and friends in scope.
@@ -36,16 +64,17 @@ thread_local! {
 }
 
 /// Number of threads parallel operations on this thread will use:
-/// the installed pool's size, or hardware parallelism outside a pool.
+/// the installed pool's size, or `RAYON_NUM_THREADS` / hardware
+/// parallelism outside a pool.
 pub fn current_num_threads() -> usize {
     POOL_WIDTH
         .with(Cell::get)
-        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get()))
+        .unwrap_or_else(pool::default_width)
 }
 
-/// Propagates an installed pool width into a freshly spawned worker
-/// thread (thread-locals are not inherited), so parallel iterators
-/// nested inside a worker's closure still respect the pool.
+/// Propagates a pool width into a worker thread (thread-locals are
+/// not inherited), so parallel iterators nested inside a worker's
+/// closure still respect the pool.
 pub(crate) fn set_inherited_width(width: usize) {
     POOL_WIDTH.with(|cell| cell.set(Some(width)));
 }
@@ -57,7 +86,8 @@ pub struct ThreadPoolBuilder {
 }
 
 impl ThreadPoolBuilder {
-    /// Creates a builder with the default (hardware) width.
+    /// Creates a builder with the default (`RAYON_NUM_THREADS` or
+    /// hardware) width.
     pub fn new() -> Self {
         Self::default()
     }
@@ -68,11 +98,10 @@ impl ThreadPoolBuilder {
         self
     }
 
-    /// Builds the pool.
+    /// Builds the pool (a view onto the persistent worker set for
+    /// this width; workers are spawned lazily on first parallel use).
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
-        let width = self
-            .num_threads
-            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get()));
+        let width = self.num_threads.unwrap_or_else(pool::default_width);
         if width == 0 {
             return Err(ThreadPoolBuildError("pool width must be at least 1".into()));
         }
@@ -93,14 +122,15 @@ impl fmt::Display for ThreadPoolBuildError {
 impl std::error::Error for ThreadPoolBuildError {}
 
 /// A fixed-width scope for parallel operations. `install` bounds the
-/// width that parallel iterators invoked inside it will use.
+/// width that parallel iterators and `join` invoked inside it will
+/// use.
 #[derive(Debug)]
 pub struct ThreadPool {
     width: usize,
 }
 
 impl ThreadPool {
-    /// Runs `op` with this pool's width governing parallel iterators
+    /// Runs `op` with this pool's width governing parallel operations
     /// (and reported by [`current_num_threads`]) on this thread.
     pub fn install<OP, R>(&self, op: OP) -> R
     where
@@ -120,6 +150,17 @@ impl ThreadPool {
     pub fn current_num_threads(&self) -> usize {
         self.width
     }
+
+    /// Cumulative number of cross-worker steals performed by the
+    /// persistent worker set backing this pool's width. Registries
+    /// are shared per width, so this counts all activity at this
+    /// width since process start; measure deltas around a workload.
+    pub fn steal_count(&self) -> u64 {
+        if self.width <= 1 {
+            return 0;
+        }
+        pool::registry_for(self.width).steal_count()
+    }
 }
 
 #[cfg(test)]
@@ -127,6 +168,8 @@ mod tests {
     use super::prelude::*;
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    use std::time::Duration;
 
     #[test]
     fn install_scopes_the_width() {
@@ -165,9 +208,7 @@ mod tests {
     fn workers_inherit_the_installed_width() {
         // Code running inside map workers (including nested parallel
         // iterators) must see the installed pool width, not the
-        // hardware width. On multi-core hosts this exercises real
-        // worker threads; on a 1-CPU host the sequential path must
-        // report the installed width too.
+        // default width — the old shim's inheritance semantics.
         let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
         let widths: Vec<usize> = pool.install(|| {
             (0..2_000u32)
@@ -206,5 +247,109 @@ mod tests {
         assert_eq!(chunk_max.len(), data.len().div_ceil(64));
         let (even, odd): (Vec<u32>, Vec<u32>) = data.par_iter().partition(|&&x| x % 2 == 0);
         assert_eq!(even.len() + odd.len(), data.len());
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn join_recursion_depth_stress() {
+        // A full binary join tree 14 levels deep (16384 leaves), run
+        // inside a 4-wide pool: exercises deep nesting of published
+        // stack jobs, reclaim-vs-steal races and the help-while-
+        // waiting loop.
+        fn sum_range(lo: u64, hi: u64) -> u64 {
+            if hi - lo <= 1 {
+                return lo;
+            }
+            let mid = lo + (hi - lo) / 2;
+            let (a, b) = join(|| sum_range(lo, mid), || sum_range(mid, hi));
+            a + b
+        }
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let n = 1u64 << 14;
+        let total = pool.install(|| sum_range(0, n));
+        assert_eq!(total, n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn join_steals_with_two_or_more_workers() {
+        // An imbalanced join (the left branch sleeps while further
+        // work sits published) must show cross-worker steals on a
+        // pool with >= 2 workers. Width 3 is reserved for this test
+        // so concurrent tests at other widths cannot mask the delta.
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let before = pool.steal_count();
+        let mut observed = 0;
+        for _ in 0..50 {
+            pool.install(|| {
+                join(
+                    || std::thread::sleep(Duration::from_millis(5)),
+                    || std::hint::black_box((0..50_000u64).sum::<u64>()),
+                )
+            });
+            observed = pool.steal_count() - before;
+            if observed > 0 {
+                break;
+            }
+        }
+        assert!(
+            observed > 0,
+            "no steals observed across 50 imbalanced joins"
+        );
+    }
+
+    #[test]
+    fn join_propagates_panics() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let result = std::panic::catch_unwind(|| {
+            pool.install(|| {
+                join(
+                    || std::thread::sleep(Duration::from_millis(1)),
+                    || panic!("boom from b"),
+                )
+            })
+        });
+        assert!(result.is_err(), "panic in stolen-side closure must surface");
+    }
+
+    #[test]
+    fn single_thread_pool_is_deterministic() {
+        // With width 1 nothing is published for stealing: join runs
+        // (a, then b) inline and for_each visits items in order.
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let log = Mutex::new(Vec::new());
+        pool.install(|| {
+            join(
+                || log.lock().unwrap().push("a"),
+                || log.lock().unwrap().push("b"),
+            );
+            (0..100u32).into_par_iter().for_each(|i| {
+                log.lock()
+                    .unwrap()
+                    .push(if i % 2 == 0 { "even" } else { "odd" })
+            });
+        });
+        let log = log.into_inner().unwrap();
+        assert_eq!(&log[..2], &["a", "b"]);
+        assert_eq!(log.len(), 102);
+        assert!(log[2..].chunks(2).all(|w| w == ["even", "odd"]));
+    }
+
+    #[test]
+    fn reduce_matches_sequential_fold() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let par: u64 = pool.install(|| {
+            (0..20_000u64)
+                .into_par_iter()
+                .map(|x| x % 97)
+                .reduce(|| 0, |a, b| a + b)
+        });
+        let seq: u64 = (0..20_000u64).map(|x| x % 97).sum();
+        assert_eq!(par, seq);
     }
 }

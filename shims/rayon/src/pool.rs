@@ -1,0 +1,537 @@
+//! The work-stealing scheduler behind the `rayon` shim.
+//!
+//! One persistent [`Registry`] exists per pool width, created lazily
+//! on first use and reused for the rest of the process ([`ThreadPool`]
+//! handles are cheap views onto the shared registry, so repeated
+//! `ThreadPoolBuilder::build` calls — e.g. a scaling sweep — do not
+//! leak threads). Each worker owns a Chase–Lev-style deque, realized
+//! as a mutex-guarded `VecDeque`: the owner pushes and pops at the
+//! back (LIFO, for locality down a `join` spine), thieves take from
+//! the front (FIFO, stealing the largest remaining subtrees first).
+//!
+//! [`join`] is the one scheduling primitive: the caller publishes the
+//! second closure on its own deque, runs the first inline, then either
+//! pops the second back (nobody wanted it) or — if it was stolen —
+//! helps with other queued work until the thief's latch flips. All
+//! parallel iterator combinators reduce to recursive range splits over
+//! `join`, so any imbalance in one half of a split is rebalanced by
+//! idle workers stealing from the other.
+//!
+//! # Safety model
+//!
+//! Jobs waiting in a deque are type-erased raw pointers to
+//! [`StackJob`]s living on the stack of the thread that called `join`
+//! (or [`in_worker`]). That frame never unwinds — by return *or* by
+//! panic — until the job's latch is set or the job has been reclaimed
+//! unexecuted, which keeps every published pointer valid for exactly
+//! as long as another thread can observe it. The latch store is the
+//! final access a thief performs on the job.
+
+use std::any::Any;
+use std::cell::{RefCell, UnsafeCell};
+use std::collections::{HashMap, VecDeque};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+/// How long a parked worker sleeps before rechecking for work on its
+/// own; a pure backstop — pushes notify the condvar under the sleep
+/// lock, so wakeups are not normally lost.
+const PARK_TIMEOUT: Duration = Duration::from_millis(100);
+
+// ---------------------------------------------------------------- jobs
+
+/// A type-erased pointer to a job published in a deque.
+#[derive(Clone, Copy)]
+pub(crate) struct JobRef {
+    pointer: *const (),
+    execute_fn: unsafe fn(*const ()),
+}
+
+// SAFETY: a `JobRef` is only ever dereferenced via `execute`, and the
+// owning stack frame keeps the pointee alive until the job's latch is
+// set (see the module-level safety model).
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    /// # Safety
+    /// `job` must stay valid until its latch is set or the ref is
+    /// reclaimed via [`Registry::pop_local_if`] without executing.
+    unsafe fn new<J: Job>(job: *const J) -> Self {
+        JobRef {
+            pointer: job as *const (),
+            execute_fn: execute_erased::<J>,
+        }
+    }
+
+    fn execute(self) {
+        unsafe { (self.execute_fn)(self.pointer) }
+    }
+}
+
+trait Job {
+    /// # Safety
+    /// `this` must point to a live job; called at most once.
+    unsafe fn execute(this: *const Self);
+}
+
+unsafe fn execute_erased<J: Job>(ptr: *const ()) {
+    unsafe { J::execute(ptr as *const J) }
+}
+
+// -------------------------------------------------------------- latches
+
+trait Latch {
+    /// Marks the job complete. Must be the *last* access to the job's
+    /// memory by the executing thread.
+    fn set(&self);
+}
+
+/// Latch polled by a worker that stays busy while waiting. Once the
+/// waiter runs out of work it parks on the registry's condvar, so
+/// `set` wakes sleepers through the registry — read *before* the
+/// `done` store, because the store releases the job's memory to the
+/// owner while the registry outlives every job.
+struct SpinLatch<'r> {
+    done: AtomicBool,
+    registry: &'r Registry,
+}
+
+impl<'r> SpinLatch<'r> {
+    fn new(registry: &'r Registry) -> Self {
+        SpinLatch {
+            done: AtomicBool::new(false),
+            registry,
+        }
+    }
+
+    fn probe(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+}
+
+impl Latch for SpinLatch<'_> {
+    fn set(&self) {
+        let registry: *const Registry = self.registry;
+        self.done.store(true, Ordering::Release);
+        // SAFETY: `self` may already be gone (the owner observed the
+        // store and unwound its frame); the registry is persistent.
+        unsafe { (*registry).notify() };
+    }
+}
+
+/// Latch an external (non-worker) thread blocks on.
+struct LockLatch {
+    done: Mutex<bool>,
+    cond: Condvar,
+}
+
+impl LockLatch {
+    fn new() -> Self {
+        LockLatch {
+            done: Mutex::new(false),
+            cond: Condvar::new(),
+        }
+    }
+
+    fn wait(&self) {
+        let mut done = lock(&self.done);
+        while !*done {
+            done = self
+                .cond
+                .wait(done)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+}
+
+impl Latch for LockLatch {
+    fn set(&self) {
+        // The guard must be held across the notify: if the mutex were
+        // released first, the waiter could wake spuriously, observe
+        // `done`, and pop the stack frame holding this latch before
+        // `notify_all` touches the freed condvar.
+        let mut done = lock(&self.done);
+        *done = true;
+        self.cond.notify_all();
+    }
+}
+
+enum JobResult<R> {
+    None,
+    Ok(R),
+    Panicked(Box<dyn Any + Send>),
+}
+
+/// A job allocated on the publishing thread's stack.
+struct StackJob<L: Latch, F, R> {
+    latch: L,
+    func: UnsafeCell<Option<F>>,
+    result: UnsafeCell<JobResult<R>>,
+}
+
+impl<L: Latch, F, R> StackJob<L, F, R>
+where
+    F: FnOnce() -> R,
+{
+    fn new(latch: L, func: F) -> Self {
+        StackJob {
+            latch,
+            func: UnsafeCell::new(Some(func)),
+            result: UnsafeCell::new(JobResult::None),
+        }
+    }
+
+    /// # Safety
+    /// See [`JobRef::new`].
+    unsafe fn as_job_ref(&self) -> JobRef {
+        unsafe { JobRef::new(self) }
+    }
+
+    /// Takes the closure back out, for inline execution after the
+    /// job was reclaimed unexecuted.
+    fn take_func(&self) -> F {
+        unsafe {
+            (*self.func.get())
+                .take()
+                .expect("job function already taken")
+        }
+    }
+
+    /// Consumes the completed job, yielding its result or resuming
+    /// the panic the job captured.
+    fn into_result(mut self) -> R {
+        match std::mem::replace(self.result.get_mut(), JobResult::None) {
+            JobResult::Ok(r) => r,
+            JobResult::Panicked(payload) => panic::resume_unwind(payload),
+            JobResult::None => unreachable!("latch set without a result"),
+        }
+    }
+}
+
+impl<L: Latch, F, R> Job for StackJob<L, F, R>
+where
+    F: FnOnce() -> R,
+{
+    unsafe fn execute(this: *const Self) {
+        let this = unsafe { &*this };
+        let func = this.take_func();
+        let result = match panic::catch_unwind(AssertUnwindSafe(func)) {
+            Ok(r) => JobResult::Ok(r),
+            Err(payload) => JobResult::Panicked(payload),
+        };
+        unsafe { *this.result.get() = result };
+        // The latch store is the final touch: the instant it lands,
+        // the owning stack frame is free to go away.
+        this.latch.set();
+    }
+}
+
+// ------------------------------------------------------------- registry
+
+/// The shared state of one pool width: per-worker deques, the
+/// injection queue for external submitters, and the sleep machinery.
+pub(crate) struct Registry {
+    width: usize,
+    deques: Vec<Mutex<VecDeque<JobRef>>>,
+    injected: Mutex<VecDeque<JobRef>>,
+    steals: AtomicU64,
+    /// Number of parked (or about-to-park) workers. Publications read
+    /// this first and skip the sleep lock entirely when nobody is
+    /// parked, keeping the per-task hot path to one deque lock plus
+    /// one relaxed load.
+    sleeper_count: AtomicUsize,
+    /// Parking lock: a worker re-checks for work (and its latch)
+    /// *after* raising `sleeper_count` while holding this lock, so a
+    /// publication that saw the raised count notifies under the same
+    /// lock and a publication that saw zero happened early enough for
+    /// the re-check to see its job. Either way no wakeup is lost; the
+    /// park timeout is a pure backstop.
+    sleep: Mutex<()>,
+    wake: Condvar,
+}
+
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    // Jobs catch panics before they can poison scheduler state.
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl Registry {
+    fn new(width: usize) -> Arc<Registry> {
+        let registry = Arc::new(Registry {
+            width,
+            deques: (0..width).map(|_| Mutex::new(VecDeque::new())).collect(),
+            injected: Mutex::new(VecDeque::new()),
+            steals: AtomicU64::new(0),
+            sleeper_count: AtomicUsize::new(0),
+            sleep: Mutex::new(()),
+            wake: Condvar::new(),
+        });
+        if width >= 2 {
+            for index in 0..width {
+                let registry = Arc::clone(&registry);
+                std::thread::Builder::new()
+                    .name(format!("gms-rayon-{width}-{index}"))
+                    .stack_size(8 * 1024 * 1024)
+                    .spawn(move || worker_main(registry, index))
+                    .expect("spawn worker thread");
+            }
+        }
+        registry
+    }
+
+    /// Cumulative cross-worker steals since the registry was created.
+    pub(crate) fn steal_count(&self) -> u64 {
+        self.steals.load(Ordering::Relaxed)
+    }
+
+    fn notify(&self) {
+        if self.sleeper_count.load(Ordering::SeqCst) > 0 {
+            let _guard = lock(&self.sleep);
+            self.wake.notify_all();
+        }
+    }
+
+    fn push_local(&self, index: usize, job: JobRef) {
+        lock(&self.deques[index]).push_back(job);
+        self.notify();
+    }
+
+    fn inject(&self, job: JobRef) {
+        lock(&self.injected).push_back(job);
+        self.notify();
+    }
+
+    /// Pops the caller's newest task iff it is still `job` (it may
+    /// have been stolen in the meantime).
+    fn pop_local_if(&self, index: usize, job: JobRef) -> bool {
+        let mut deque = lock(&self.deques[index]);
+        // Identity is the data pointer: a published job's stack slot
+        // is unique among live jobs (fn pointers may be merged by the
+        // compiler, so they are deliberately not compared).
+        if deque.back().map(|j| j.pointer) == Some(job.pointer) {
+            deque.pop_back();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// One scheduling round for worker `index`: own deque LIFO, then
+    /// steal FIFO round-robin from siblings, then the injection queue.
+    fn find_work(&self, index: usize) -> Option<JobRef> {
+        if let Some(job) = lock(&self.deques[index]).pop_back() {
+            return Some(job);
+        }
+        for offset in 1..self.width {
+            let victim = (index + offset) % self.width;
+            if let Some(job) = lock(&self.deques[victim]).pop_front() {
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                return Some(job);
+            }
+        }
+        lock(&self.injected).pop_front()
+    }
+
+    fn has_visible_work(&self) -> bool {
+        if !lock(&self.injected).is_empty() {
+            return true;
+        }
+        self.deques.iter().any(|deque| !lock(deque).is_empty())
+    }
+
+    /// Parks the calling thread until work may be available (see the
+    /// `sleep` field for why no wakeup can be lost). `still_idle` is
+    /// re-checked with the raised sleeper count visible; waiters on a
+    /// stolen join pass a probe of their latch so the thief's `set`
+    /// (which routes through `notify`) wakes them. Without parking,
+    /// waiters polling with short sleeps serialize an oversubscribed
+    /// pool through context-switch storms.
+    fn park_while(&self, still_idle: impl Fn() -> bool) {
+        let guard = lock(&self.sleep);
+        self.sleeper_count.fetch_add(1, Ordering::SeqCst);
+        if still_idle() {
+            let (_guard, _timeout) = self
+                .wake
+                .wait_timeout(guard, PARK_TIMEOUT)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+        self.sleeper_count.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    fn park(&self) {
+        self.park_while(|| !self.has_visible_work());
+    }
+
+    fn park_waiter(&self, latch: &SpinLatch<'_>) {
+        self.park_while(|| !latch.probe() && !self.has_visible_work());
+    }
+}
+
+fn worker_main(registry: Arc<Registry>, index: usize) {
+    WORKER.with(|cell| {
+        *cell.borrow_mut() = Some(WorkerCtx {
+            registry: Arc::clone(&registry),
+            index,
+        })
+    });
+    crate::set_inherited_width(registry.width);
+    loop {
+        match registry.find_work(index) {
+            Some(job) => job.execute(),
+            None => registry.park(),
+        }
+    }
+}
+
+// --------------------------------------------------- thread-local state
+
+#[derive(Clone)]
+struct WorkerCtx {
+    registry: Arc<Registry>,
+    index: usize,
+}
+
+thread_local! {
+    static WORKER: RefCell<Option<WorkerCtx>> = const { RefCell::new(None) };
+}
+
+fn current_worker() -> Option<WorkerCtx> {
+    WORKER.with(|cell| cell.borrow().clone())
+}
+
+// ------------------------------------------------- registry acquisition
+
+static REGISTRIES: OnceLock<Mutex<HashMap<usize, Arc<Registry>>>> = OnceLock::new();
+
+/// The persistent registry for `width`, created (and its workers
+/// spawned) on first request.
+pub(crate) fn registry_for(width: usize) -> Arc<Registry> {
+    let registries = REGISTRIES.get_or_init(Default::default);
+    Arc::clone(
+        lock(registries)
+            .entry(width)
+            .or_insert_with(|| Registry::new(width)),
+    )
+}
+
+/// Pool width used outside any installed pool: `RAYON_NUM_THREADS`
+/// when set to a positive integer, the hardware width otherwise.
+pub(crate) fn default_width() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|value| value.parse::<usize>().ok())
+            .filter(|&width| width > 0)
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get()))
+    })
+}
+
+/// Runs `op` inside a worker of `registry`, blocking the calling
+/// thread until it completes. Entry point for parallel work submitted
+/// from outside the pool.
+pub(crate) fn in_worker<OP, R>(registry: &Arc<Registry>, op: OP) -> R
+where
+    OP: FnOnce() -> R + Send,
+    R: Send,
+{
+    if registry.width <= 1 {
+        return op();
+    }
+    let job = StackJob::new(LockLatch::new(), op);
+    // SAFETY: `job` lives on this stack frame and we block on its
+    // latch below before the frame can unwind.
+    registry.inject(unsafe { job.as_job_ref() });
+    job.latch.wait();
+    job.into_result()
+}
+
+// ----------------------------------------------------------------- join
+
+/// Runs `oper_a` and `oper_b`, potentially in parallel, returning both
+/// results. The second closure is published for stealing while the
+/// first runs on the calling thread; if nobody stole it, it runs
+/// inline (so a 1-thread pool degrades to exactly `(a(), b())`, in
+/// that order). Panics from either closure propagate after both
+/// operations have been fully resolved.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    match current_worker() {
+        Some(ctx) => join_on_worker(&ctx, oper_a, oper_b),
+        None => {
+            let width = crate::current_num_threads();
+            if width <= 1 {
+                let ra = oper_a();
+                let rb = oper_b();
+                return (ra, rb);
+            }
+            let registry = registry_for(width);
+            in_worker(&registry, move || join(oper_a, oper_b))
+        }
+    }
+}
+
+fn join_on_worker<A, B, RA, RB>(ctx: &WorkerCtx, oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let registry = &ctx.registry;
+    let job_b = StackJob::new(SpinLatch::new(registry), oper_b);
+    // SAFETY: `job_b` lives on this frame; every path below either
+    // reclaims it from the deque unexecuted or waits for its latch
+    // before the frame can unwind (including the panic path).
+    let job_b_ref = unsafe { job_b.as_job_ref() };
+    registry.push_local(ctx.index, job_b_ref);
+
+    let result_a = panic::catch_unwind(AssertUnwindSafe(oper_a));
+
+    let reclaimed = registry.pop_local_if(ctx.index, job_b_ref);
+    if !reclaimed {
+        // Stolen: help with other queued work until the thief is done
+        // (child stealing — the waiting worker keeps mining). When no
+        // work is available, yield briefly, then park on the registry
+        // condvar (woken by the thief's latch set), so an
+        // oversubscribed pool hands the CPU to the thief instead of
+        // burning timeslices polling.
+        let mut misses = 0u32;
+        while !job_b.latch.probe() {
+            match registry.find_work(ctx.index) {
+                Some(job) => {
+                    misses = 0;
+                    job.execute();
+                }
+                None => {
+                    misses += 1;
+                    if misses < 8 {
+                        std::thread::yield_now();
+                    } else {
+                        registry.park_waiter(&job_b.latch);
+                    }
+                }
+            }
+        }
+    }
+    let ra = match result_a {
+        Ok(ra) => ra,
+        // `job_b` is resolved (reclaimed or completed): safe to unwind.
+        Err(payload) => panic::resume_unwind(payload),
+    };
+    let rb = if reclaimed {
+        job_b.take_func()()
+    } else {
+        job_b.into_result()
+    };
+    (ra, rb)
+}

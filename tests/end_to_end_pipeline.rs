@@ -69,6 +69,7 @@ fn bk_through_the_pipeline_interface() {
                 ordering: OrderingKind::Natural,
                 subgraph: SubgraphMode::None,
                 collect: false,
+                ..BkConfig::default()
             };
             self.cliques =
                 bron_kerbosch::<RoaringSet>(self.relabeled.as_ref().unwrap(), &config).clique_count;

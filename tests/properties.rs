@@ -34,7 +34,12 @@ proptest! {
             .map(|&ordering| {
                 bron_kerbosch::<SortedVecSet>(
                     &graph,
-                    &BkConfig { ordering, subgraph: SubgraphMode::None, collect: false },
+                    &BkConfig {
+                        ordering,
+                        subgraph: SubgraphMode::None,
+                        collect: false,
+                        ..BkConfig::default()
+                    },
                 )
                 .clique_count
             })
@@ -49,6 +54,7 @@ proptest! {
             ordering: OrderingKind::Degeneracy,
             subgraph: SubgraphMode::None,
             collect: true,
+            ..BkConfig::default()
         };
         let sorted = bron_kerbosch::<SortedVecSet>(&graph, &config);
         let roaring = bron_kerbosch::<RoaringSet>(&graph, &config);
