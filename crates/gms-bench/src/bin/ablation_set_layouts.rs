@@ -2,6 +2,13 @@
 //! which graph density? (The design choice DESIGN.md §5.2 calls out;
 //! the paper picks roaring bitmaps on million-vertex graphs.)
 //!
+//! The sweep is driven by the unified kernel API: the `bk` kernel
+//! declares its `layout` parameter's admissible values in its
+//! [`ParamSpec`](gms_platform::kernel::ParamSpec) schema, and this binary enumerates that schema —
+//! registering a new set layout automatically adds a column here.
+//! The instrumented `counting` layout is skipped (it measures the
+//! sorted layout, with counter overhead on top).
+//!
 //! Expected shape at laptop scale (n < 65536): sorted u32 arrays and
 //! roaring track each other (roaring's chunks stay in sorted-u16
 //! array form below 4096 entries, so it cannot engage its bitmap
@@ -10,9 +17,7 @@
 //! bitvectors pull ahead as density grows (word-parallel ops over a
 //! small universe); hash sets trail throughout.
 
-use gms_core::{DenseBitSet, HashVertexSet, RoaringSet, SortedVecSet};
-use gms_order::OrderingKind;
-use gms_pattern::{bron_kerbosch, BkConfig, SubgraphMode};
+use gms_platform::kernel::{Params, Registry};
 
 fn main() {
     let graphs = [
@@ -20,33 +25,39 @@ fn main() {
         ("medium(er-800-0.10)", gms_gen::gnp(800, 0.10, 1)),
         ("dense(er-500-0.25)", gms_gen::gnp(500, 0.25, 1)),
     ];
-    let config = BkConfig {
-        ordering: OrderingKind::Degeneracy,
-        subgraph: SubgraphMode::None,
-        collect: false,
-        ..BkConfig::default()
-    };
+    let registry = Registry::with_builtins();
+    let bk = registry.get("bk").expect("bk is registered");
+    let layouts: Vec<&str> = bk
+        .params()
+        .iter()
+        .find(|spec| spec.name == "layout")
+        .expect("bk declares a layout parameter")
+        .choices
+        .iter()
+        .copied()
+        .filter(|&layout| layout != "counting")
+        .collect();
+
     println!("graph,layout,cliques,mine_s");
     for (name, graph) in &graphs {
-        let runs: Vec<(&str, u64, f64)> = vec![
-            run::<SortedVecSet>("sorted", graph, &config),
-            run::<RoaringSet>("roaring", graph, &config),
-            run::<DenseBitSet>("dense", graph, &config),
-            run::<HashVertexSet>("hash", graph, &config),
-        ];
+        let runs: Vec<(&str, u64, f64)> = layouts
+            .iter()
+            .map(|&layout| {
+                let params = Params::new()
+                    .with("layout", layout)
+                    .with("ordering", "degeneracy");
+                let outcome = registry.run("bk", graph, &params).expect("valid layout");
+                (
+                    layout,
+                    outcome.patterns,
+                    outcome.timings.kernel.as_secs_f64(),
+                )
+            })
+            .collect();
         let counts: Vec<u64> = runs.iter().map(|r| r.1).collect();
         assert!(counts.windows(2).all(|w| w[0] == w[1]), "layouts disagree");
         for (layout, cliques, secs) in runs {
             println!("{name},{layout},{cliques},{secs:.4}");
         }
     }
-}
-
-fn run<S: gms_core::Set>(
-    label: &'static str,
-    graph: &gms_core::CsrGraph,
-    config: &BkConfig,
-) -> (&'static str, u64, f64) {
-    let outcome = bron_kerbosch::<S>(graph, config);
-    (label, outcome.clique_count, outcome.mine.as_secs_f64())
 }

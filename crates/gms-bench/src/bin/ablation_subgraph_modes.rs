@@ -3,10 +3,13 @@
 //! Expected shape (and the paper's stated finding): per-level rebuild
 //! overheads outweigh its gains; outermost helps on dense graphs and
 //! can hurt on very sparse ones.
+//!
+//! Like `ablation_set_layouts`, the sweep enumerates the `bk`
+//! kernel's own parameter schema through the unified kernel API: the
+//! policies tested are exactly the `subgraph` choices the kernel
+//! declares.
 
-use gms_core::DenseBitSet;
-use gms_order::OrderingKind;
-use gms_pattern::{bron_kerbosch, BkConfig, SubgraphMode};
+use gms_platform::kernel::{Params, Registry};
 
 fn main() {
     let graphs = [
@@ -14,28 +17,28 @@ fn main() {
         ("medium(er-800-0.10)", gms_gen::gnp(800, 0.10, 1)),
         ("dense(er-500-0.25)", gms_gen::gnp(500, 0.25, 1)),
     ];
+    let registry = Registry::with_builtins();
+    let modes = registry
+        .get("bk")
+        .expect("bk is registered")
+        .params()
+        .into_iter()
+        .find(|spec| spec.name == "subgraph")
+        .expect("bk declares a subgraph parameter")
+        .choices;
+
     println!("graph,subgraph_mode,cliques,mine_s");
     for (name, graph) in &graphs {
         let mut counts = Vec::new();
-        for (label, mode) in [
-            ("none", SubgraphMode::None),
-            ("outermost", SubgraphMode::Outermost),
-            ("per-level", SubgraphMode::PerLevel),
-        ] {
-            let outcome = bron_kerbosch::<DenseBitSet>(
-                graph,
-                &BkConfig {
-                    ordering: OrderingKind::ApproxDegeneracy(0.25),
-                    subgraph: mode,
-                    collect: false,
-                    ..BkConfig::default()
-                },
-            );
-            counts.push(outcome.clique_count);
+        for &mode in modes {
+            let outcome = registry
+                .run("bk", graph, &Params::new().with("subgraph", mode))
+                .expect("valid subgraph mode");
+            counts.push(outcome.patterns);
             println!(
-                "{name},{label},{},{:.4}",
-                outcome.clique_count,
-                outcome.mine.as_secs_f64()
+                "{name},{mode},{},{:.4}",
+                outcome.patterns,
+                outcome.timings.kernel.as_secs_f64()
             );
         }
         assert!(counts.windows(2).all(|w| w[0] == w[1]), "modes disagree");

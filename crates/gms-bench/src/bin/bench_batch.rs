@@ -1,0 +1,97 @@
+//! Batch-serving smoke and throughput probe: pushes a mixed batch —
+//! **every** registered kernel at default parameters on two graphs,
+//! plus deliberate duplicates — through [`BatchRunner`] and the
+//! session's fingerprint-keyed cache, then replays the batch to show
+//! the all-hit path. This is the service-layer shape of the ROADMAP
+//! north star exercised end to end; CI runs it in release under
+//! `RAYON_NUM_THREADS=2`.
+//!
+//! Output: one `{kernel, graph, patterns, ms, cached}` JSON row per
+//! request, then a summary line with batch wall time, pool width,
+//! and cache hit/miss counts.
+//!
+//! ```sh
+//! cargo run --release -p gms-bench --bin bench_batch
+//! ```
+
+use gms_bench::scale_from_env;
+use gms_platform::kernel::{BatchRequest, BatchRunner, Params, Session};
+use std::time::Instant;
+
+fn main() {
+    let s = scale_from_env();
+    let mut session = Session::new();
+    let clique_rich = session.add_graph(gms_gen::planted_cliques(400 * s, 0.008, 4, 8, 42).0);
+    let social = session.add_graph(gms_gen::kronecker_default(10, 8, 7));
+    let graph_names = [(clique_rich, "clique-rich"), (social, "social-kron")];
+
+    // Every registered kernel once per graph, plus duplicated
+    // requests the runner must serve without re-running.
+    let mut requests: Vec<BatchRequest> = Vec::new();
+    for &(handle, _) in &graph_names {
+        for kernel in session.registry().iter() {
+            requests.push(BatchRequest::new(kernel.name(), handle, Params::new()));
+        }
+    }
+    requests.push(BatchRequest::new("bk-gms-adg", clique_rich, Params::new()));
+    requests.push(BatchRequest::new("triangle-count", social, Params::new()));
+
+    let threads = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0usize);
+    let runner = BatchRunner::new(threads);
+
+    let t = Instant::now();
+    let outcomes = runner.run(&mut session, &requests);
+    let cold = t.elapsed();
+
+    let mut rows = Vec::new();
+    for (request, outcome) in requests.iter().zip(&outcomes) {
+        let outcome = outcome
+            .as_ref()
+            .unwrap_or_else(|e| panic!("{} failed: {e}", request.kernel));
+        let graph = graph_names
+            .iter()
+            .find(|(h, _)| *h == request.graph)
+            .map(|(_, n)| *n)
+            .unwrap_or("?");
+        rows.push(format!(
+            "{{\"kernel\":\"{}\",\"graph\":\"{}\",\"patterns\":{},\"ms\":{:.3},\"cached\":{}}}",
+            request.kernel,
+            graph,
+            outcome.patterns,
+            outcome.timings.total().as_secs_f64() * 1e3,
+            outcome.cached,
+        ));
+    }
+
+    // Replay: the whole batch must now come out of the result cache.
+    let t = Instant::now();
+    let replay = runner.run(&mut session, &requests);
+    let warm = t.elapsed();
+    let replay_hits = replay
+        .iter()
+        .filter(|r| r.as_ref().is_ok_and(|o| o.cached))
+        .count();
+    assert_eq!(
+        replay_hits,
+        requests.len(),
+        "replayed batch must be all hits"
+    );
+
+    println!(
+        "{{\"bench\":\"batch\",\"rows\":[\n  {}\n]}}",
+        rows.join(",\n  ")
+    );
+    let stats = session.stats();
+    eprintln!(
+        "{} requests ({} unique misses, {} hits) | cold {:.1} ms, warm replay {:.1} ms | threads={}",
+        2 * requests.len(),
+        stats.misses,
+        stats.hits,
+        cold.as_secs_f64() * 1e3,
+        warm.as_secs_f64() * 1e3,
+        if threads == 0 { "default".to_string() } else { threads.to_string() },
+    );
+}

@@ -1,44 +1,46 @@
-//! Writes `BENCH_scaling.json`: thread-scaling rows for the two
-//! hottest mining kernels — Bron–Kerbosch maximal clique listing and
-//! k-clique counting — on a seeded Kronecker graph at 1/2/4 threads,
-//! each row `{kernel, threads, ms, speedup}`.
+//! Writes `BENCH_scaling.json`: thread-scaling rows for every
+//! registered pattern-mining kernel on a seeded Kronecker graph at
+//! 1/2/4 threads, each row `{kernel, threads, ms, speedup}`.
 //!
-//! The artifact is a perf trajectory: future PRs rerun this binary on
-//! the same machine and diff the JSON to see whether the scheduler or
-//! the kernels regressed. On a single-core container the speedups
-//! hover around 1.0 (the work-stealing paths still execute — workers
-//! are real threads — there is just no extra hardware to win with);
-//! on a multi-core box the curve should rise until memory bandwidth
-//! flattens it (§8.1.3).
+//! The kernels come from the unified [`Registry`], not from
+//! hand-wired calls: registering a new pattern kernel adds it to
+//! this trajectory automatically. The artifact is a perf history:
+//! future PRs rerun this binary on the same machine and diff the
+//! JSON to see whether the scheduler or the kernels regressed. On a
+//! single-core container the speedups hover around 1.0 (the
+//! work-stealing paths still execute — workers are real threads —
+//! there is just no extra hardware to win with); on a multi-core box
+//! the curve should rise until memory bandwidth flattens it (§8.1.3).
 //!
 //! ```sh
 //! cargo run --release -p gms-bench --bin bench_scaling
 //! ```
 
 use gms_bench::scale_from_env;
-use gms_pattern::{bron_kerbosch, k_clique_count, BkConfig, KcConfig};
+use gms_platform::kernel::{Category, Params, Registry};
 use gms_platform::{run_scaling, series_json_rows};
 
 fn main() {
     let s = scale_from_env() as u32;
     // Seeded Kronecker graph (deterministic across runs/machines).
-    let graph = gms_gen::kronecker_default(11 + s.ilog2(), 14, 7);
+    let graph = gms_gen::kronecker_default(10 + s.ilog2(), 12, 7);
     let thread_counts = [1usize, 2, 4];
+    let registry = Registry::with_builtins();
     let mut rows: Vec<String> = Vec::new();
 
-    let bk_config = BkConfig::default();
-    let bk_series = run_scaling(&thread_counts, || {
-        let outcome = bron_kerbosch::<gms_core::DenseBitSet>(&graph, &bk_config);
-        std::hint::black_box(outcome.clique_count);
-    });
-    rows.extend(series_json_rows("bron_kerbosch", &bk_series));
-
-    let kc_config = KcConfig::default();
-    let kc_series = run_scaling(&thread_counts, || {
-        let outcome = k_clique_count(&graph, 4, &kc_config);
-        std::hint::black_box(outcome.count);
-    });
-    rows.extend(series_json_rows("k_clique_4", &kc_series));
+    // Every pattern kernel at its default parameters: the paper's BK
+    // variants, the parameterized BK, k-cliques, triangles,
+    // clique-stars — and whatever the registry gains next.
+    for kernel in registry.by_category(Category::Pattern) {
+        let params = Params::new();
+        let series = run_scaling(&thread_counts, || {
+            let outcome = registry
+                .run(kernel.name(), &graph, &params)
+                .expect("default params are valid");
+            std::hint::black_box(outcome.patterns);
+        });
+        rows.extend(series_json_rows(kernel.name(), &series));
+    }
 
     let json = format!("[\n  {}\n]\n", rows.join(",\n  "));
     let path = "BENCH_scaling.json";

@@ -9,7 +9,7 @@
 //! # ...
 //! ```
 //!
-//! plus criterion microbenches (`cargo bench`). The [`gallery`] module
+//! plus criterion microbenches (`cargo bench`). The [`mod@gallery`] module
 //! holds the synthetic stand-ins for the Table 7 dataset archetypes.
 
 #![warn(missing_docs)]

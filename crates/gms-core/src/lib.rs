@@ -5,15 +5,15 @@
 //!
 //! This crate provides the two foundations everything else builds on:
 //!
-//! * the [`Set`](set::Set) trait (paper Listing 1) with four
-//!   interchangeable implementations — [`SortedVecSet`](set::SortedVecSet),
-//!   [`RoaringSet`](set::RoaringSet) (a from-scratch roaring bitmap),
-//!   [`DenseBitSet`](set::DenseBitSet) and
-//!   [`HashVertexSet`](set::HashVertexSet);
-//! * graph representations — [`CsrGraph`](graph::CsrGraph) (the default
+//! * the [`Set`] trait (paper Listing 1) with four
+//!   interchangeable implementations — [`SortedVecSet`],
+//!   [`RoaringSet`] (a from-scratch roaring bitmap),
+//!   [`DenseBitSet`] and
+//!   [`HashVertexSet`];
+//! * graph representations — [`CsrGraph`] (the default
 //!   CSR/adjacency-array layout) and the set-centric
-//!   [`SetGraph`](graph::SetGraph) (paper Listing 2), tied together by
-//!   the [`Graph`](graph::Graph) access interface.
+//!   [`SetGraph`] (paper Listing 2), tied together by
+//!   the [`Graph`] access interface.
 //!
 //! Graph mining algorithms written against these traits can swap set
 //! layouts and graph representations freely — the paper's key

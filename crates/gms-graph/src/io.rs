@@ -1,88 +1,182 @@
-//! Edge-list text I/O — the "load graph into memory" stage ( pipeline
+//! Edge-list text I/O — the "load graph into memory" stage (pipeline
 //! step 1 in Figure 2). Supports the whitespace-separated `u v` format
-//! used by SNAP/KONECT/Network-Repository dumps, with `#` and `%`
-//! comment lines.
+//! used by SNAP/KONECT/Network-Repository dumps — `#` and `%` comment
+//! lines, tab or space separation, CRLF line endings, trailing weight
+//! columns — streamed line by line over any [`BufRead`] source, so a
+//! multi-gigabyte dump is never materialized as one `String`.
+//!
+//! All loaders report failures through the single [`GraphIoError`]
+//! type: the 1-based line number where reading stopped plus a
+//! [`GraphIoCause`] saying why.
 
 use gms_core::{CsrGraph, Edge, NodeId};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::path::Path;
 
-/// Errors raised while reading an edge list.
+/// Why an edge-list read failed (the cause half of [`GraphIoError`]).
 #[derive(Debug)]
-pub enum IoError {
+pub enum GraphIoCause {
     /// Underlying I/O failure.
     Io(std::io::Error),
-    /// A line that is neither a comment nor `u v`.
-    Parse {
-        /// 1-based line number.
-        line: usize,
-        /// The offending text.
-        text: String,
-    },
+    /// A data line with fewer than two whitespace-separated fields.
+    MissingEndpoint,
+    /// A field that should be a vertex ID but does not parse as one.
+    InvalidVertexId(String),
 }
 
-impl std::fmt::Display for IoError {
+/// The unified error type of every `gms_graph::io` loader: where the
+/// read stopped and why.
+#[derive(Debug)]
+pub struct GraphIoError {
+    /// 1-based line number of the offending line; `None` when the
+    /// failure is not attributable to a line (e.g. opening the file).
+    pub line: Option<usize>,
+    /// What went wrong.
+    pub cause: GraphIoCause,
+}
+
+impl GraphIoError {
+    fn at(line: usize, cause: GraphIoCause) -> Self {
+        Self {
+            line: Some(line),
+            cause,
+        }
+    }
+}
+
+impl std::fmt::Display for GraphIoError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            IoError::Io(e) => write!(f, "I/O error: {e}"),
-            IoError::Parse { line, text } => {
-                write!(f, "cannot parse edge on line {line}: {text:?}")
+        if let Some(line) = self.line {
+            write!(f, "line {line}: ")?;
+        }
+        match &self.cause {
+            GraphIoCause::Io(e) => write!(f, "I/O error: {e}"),
+            GraphIoCause::MissingEndpoint => {
+                write!(f, "edge line needs two vertex IDs")
+            }
+            GraphIoCause::InvalidVertexId(field) => {
+                write!(f, "invalid vertex ID {field:?}")
             }
         }
     }
 }
 
-impl std::error::Error for IoError {}
+impl std::error::Error for GraphIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match &self.cause {
+            GraphIoCause::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
-impl From<std::io::Error> for IoError {
+impl From<std::io::Error> for GraphIoError {
     fn from(e: std::io::Error) -> Self {
-        IoError::Io(e)
+        Self {
+            line: None,
+            cause: GraphIoCause::Io(e),
+        }
     }
 }
 
-/// Parses a whitespace-separated edge list from a reader.
-/// Vertex IDs may be arbitrary `u32`s; the graph is sized by the
-/// largest ID seen.
-pub fn read_edge_list<R: Read>(reader: R) -> Result<Vec<Edge>, IoError> {
-    let mut edges = Vec::new();
-    let mut buf = String::new();
-    let mut reader = BufReader::new(reader);
-    let mut line_no = 0usize;
-    loop {
-        buf.clear();
-        if reader.read_line(&mut buf)? == 0 {
-            break;
+/// A streaming edge-list parser: an iterator of edges over any
+/// [`BufRead`] source. One line buffer is reused for the whole read,
+/// so memory stays O(longest line) regardless of file size.
+pub struct EdgeListStream<R: BufRead> {
+    reader: R,
+    buf: String,
+    line: usize,
+}
+
+impl<R: BufRead> EdgeListStream<R> {
+    /// Wraps a buffered reader positioned at the start of an edge
+    /// list.
+    pub fn new(reader: R) -> Self {
+        Self {
+            reader,
+            buf: String::new(),
+            line: 0,
         }
-        line_no += 1;
-        let line = buf.trim();
-        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
-            continue;
+    }
+
+    /// 1-based number of the last line read.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    fn parse_line(&self) -> Option<Result<Edge, GraphIoError>> {
+        let text = self.buf.trim();
+        if text.is_empty() || text.starts_with('#') || text.starts_with('%') {
+            return None;
         }
-        let mut parts = line.split_whitespace();
-        let parse = |s: Option<&str>| -> Option<NodeId> { s?.parse().ok() };
-        match (parse(parts.next()), parse(parts.next())) {
-            (Some(u), Some(v)) => edges.push((u, v)),
-            _ => {
-                return Err(IoError::Parse {
-                    line: line_no,
-                    text: line.to_string(),
-                });
+        // Fields split on any whitespace run: spaces, tabs, or both.
+        let mut fields = text.split_whitespace();
+        let endpoint = |field: Option<&str>| -> Result<NodeId, GraphIoError> {
+            match field {
+                None => Err(GraphIoError::at(self.line, GraphIoCause::MissingEndpoint)),
+                Some(s) => s.parse().map_err(|_| {
+                    GraphIoError::at(self.line, GraphIoCause::InvalidVertexId(s.to_string()))
+                }),
+            }
+        };
+        let u = endpoint(fields.next());
+        let v = endpoint(fields.next());
+        // Extra fields (weights, timestamps) are tolerated: we keep
+        // the topology, as the SNAP loaders of the original suite do.
+        Some(u.and_then(|u| v.map(|v| (u, v))))
+    }
+}
+
+impl<R: BufRead> Iterator for EdgeListStream<R> {
+    type Item = Result<Edge, GraphIoError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            self.buf.clear();
+            match self.reader.read_line(&mut self.buf) {
+                Err(e) => {
+                    return Some(Err(GraphIoError {
+                        line: Some(self.line + 1),
+                        cause: GraphIoCause::Io(e),
+                    }))
+                }
+                Ok(0) => return None,
+                Ok(_) => {
+                    self.line += 1;
+                    if let Some(item) = self.parse_line() {
+                        return Some(item);
+                    }
+                }
             }
         }
     }
-    Ok(edges)
 }
 
-/// Reads an undirected graph from an edge-list file.
-pub fn load_undirected<P: AsRef<Path>>(path: P) -> Result<CsrGraph, IoError> {
-    let file = std::fs::File::open(path)?;
-    let edges = read_edge_list(file)?;
-    let n = edges
-        .iter()
-        .map(|&(u, v)| u.max(v) as usize + 1)
-        .max()
-        .unwrap_or(0);
+/// Parses a whitespace-separated edge list from a reader into memory.
+/// Vertex IDs may be arbitrary `u32`s; see [`EdgeListStream`] for the
+/// line-streaming form this collects from.
+pub fn read_edge_list<R: Read>(reader: R) -> Result<Vec<Edge>, GraphIoError> {
+    EdgeListStream::new(BufReader::new(reader)).collect()
+}
+
+/// Streams an undirected graph out of any [`BufRead`] source: edges
+/// are consumed line by line (never a whole-file string) and the
+/// graph is sized by the largest vertex ID seen.
+pub fn load_undirected_from<R: BufRead>(reader: R) -> Result<CsrGraph, GraphIoError> {
+    let mut edges = Vec::new();
+    let mut n = 0usize;
+    for edge in EdgeListStream::new(reader) {
+        let (u, v) = edge?;
+        n = n.max(u.max(v) as usize + 1);
+        edges.push((u, v));
+    }
     Ok(CsrGraph::from_undirected_edges(n, &edges))
+}
+
+/// Reads an undirected graph from an edge-list file (SNAP style).
+pub fn load_undirected<P: AsRef<Path>>(path: P) -> Result<CsrGraph, GraphIoError> {
+    let file = std::fs::File::open(path)?;
+    load_undirected_from(BufReader::new(file))
 }
 
 /// Writes each undirected edge once as `u v` lines.
@@ -106,12 +200,40 @@ mod tests {
     }
 
     #[test]
-    fn rejects_malformed_lines() {
-        let err = read_edge_list("0 1\nnot an edge\n".as_bytes()).unwrap_err();
-        match err {
-            IoError::Parse { line, .. } => assert_eq!(line, 2),
-            other => panic!("unexpected error: {other}"),
+    fn tolerates_tabs_and_crlf() {
+        // SNAP dumps are tab-separated and often carry CRLF endings.
+        let text = "# Nodes: 3 Edges: 2\r\n0\t1\r\n1\t\t2\r\n";
+        let edges = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(edges, vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn missing_endpoint_reports_line_and_cause() {
+        let err = read_edge_list("0 1\n7\n".as_bytes()).unwrap_err();
+        assert_eq!(err.line, Some(2));
+        assert!(matches!(err.cause, GraphIoCause::MissingEndpoint));
+    }
+
+    #[test]
+    fn invalid_id_reports_offending_field() {
+        let err = read_edge_list("0 1\n2 x\n".as_bytes()).unwrap_err();
+        assert_eq!(err.line, Some(2));
+        assert!(err.to_string().contains("line 2"));
+        match err.cause {
+            GraphIoCause::InvalidVertexId(field) => assert_eq!(field, "x"),
+            other => panic!("unexpected cause: {other:?}"),
         }
+    }
+
+    #[test]
+    fn stream_resumes_after_comments_and_tracks_lines() {
+        let text = "# header\n0 1\n% midway\n1 2\n";
+        let mut stream = EdgeListStream::new(text.as_bytes());
+        assert_eq!(stream.next().unwrap().unwrap(), (0, 1));
+        assert_eq!(stream.line(), 2);
+        assert_eq!(stream.next().unwrap().unwrap(), (1, 2));
+        assert_eq!(stream.line(), 4);
+        assert!(stream.next().is_none());
     }
 
     #[test]

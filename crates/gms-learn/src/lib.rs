@@ -2,7 +2,7 @@
 //!
 //! Graph learning problems of the GMS specification (§4.1.2):
 //!
-//! * [`similarity`] — the seven vertex-similarity measures of Table 4
+//! * [`mod@similarity`] — the seven vertex-similarity measures of Table 4
 //!   (Jaccard, Overlap, Adamic-Adar, Resource Allocation, Common /
 //!   Total Neighbors, Preferential Attachment), all expressed over
 //!   neighborhood set intersections (⑤⁺);

@@ -76,6 +76,13 @@ impl ContractState {
 
 fn karger_stein_rec(state: &mut ContractState, rng: &mut StdRng) -> usize {
     let n = state.vertices;
+    if state.edges.is_empty() {
+        // The surviving super-vertices are mutually disconnected
+        // components: the empty cut separates them. Without this base
+        // case a graph with more than 6 components recurses forever,
+        // since contraction can never reduce `vertices` further.
+        return 0;
+    }
     if n <= 6 {
         state.contract_to(2, rng);
         return state.cut_value();
@@ -147,6 +154,16 @@ mod tests {
             edges.push((b, 6 + b));
         }
         CsrGraph::from_undirected_edges(12, &edges)
+    }
+
+    #[test]
+    fn many_components_terminate_with_empty_cut() {
+        // Regression: >6 mutually disconnected components used to
+        // recurse forever (contraction runs out of edges before the
+        // n <= 6 base case can be reached).
+        let edges: Vec<(u32, u32)> = (0..8u32).map(|t| (3 * t, 3 * t + 1)).collect();
+        let g = CsrGraph::from_undirected_edges(24, &edges);
+        assert_eq!(min_cut(&g, 8, 1), 0);
     }
 
     #[test]

@@ -42,7 +42,7 @@ pub enum SubgraphMode {
     /// search tree — the GMS improvement (BK-ADG-S).
     Outermost,
     /// Rebuild `H` at every recursion level, as originally advocated
-    /// by Eppstein et al. [92]; the paper observes the rebuild
+    /// by Eppstein et al. \[92\]; the paper observes the rebuild
     /// overheads often outweigh the gains — this is the baseline
     /// behavior BK-GMS improves on.
     PerLevel,

@@ -1,0 +1,894 @@
+//! Adapters wrapping every public mining entry point of the suite in
+//! the [`Kernel`] trait — the migration of the legacy signature zoo
+//! (`BkVariant::run`, `k_clique_count`, bespoke VF2/learn/opt
+//! functions) onto the one typed entry point. The legacy functions
+//! remain public in their crates; these adapters are how the
+//! registry, the session cache, the batch runner, and the benchmark
+//! harness reach them.
+
+use super::{Category, Kernel, KernelError, Outcome, ParamSpec, Params, Payload};
+use crate::counters::CountingSet;
+use crate::pipeline::StageTimings;
+use gms_core::hash::FxHasher;
+use gms_core::{
+    CsrGraph, DenseBitSet, Graph, HashVertexSet, NodeId, RoaringSet, SetGraph, SortedVecSet,
+};
+use gms_learn::{
+    evaluate_accuracy, jarvis_patrick, label_propagation, louvain, num_clusters,
+    similarity_batch_csr, JarvisPatrickConfig, SimilarityMeasure,
+};
+use gms_match::{
+    count_embeddings, count_embeddings_parallel, IsoMode, IsoOptions, LabeledGraph,
+    ParallelIsoConfig,
+};
+use gms_opt::{
+    boruvka, forest_weight, greedy_coloring, johansson, jones_plassmann, min_cut, verify_coloring,
+    WeightedEdge,
+};
+use gms_order::{bfs_order, random_order, OrderingKind};
+use gms_pattern::{
+    bron_kerbosch, k_clique_count, k_clique_stars, triangle_count_node_iterator,
+    triangle_count_rank_merge, BkConfig, BkVariant, KcConfig, KcParallel, SubgraphMode,
+};
+use std::hash::Hasher;
+use std::time::Instant;
+
+/// Registers the whole built-in suite.
+pub(super) fn register_all(registry: &mut super::Registry) {
+    // Pattern mining (§4.1.1): the fully parameterized BK kernel, the
+    // five named paper variants, k-cliques, triangles, clique-stars.
+    registry.register(Box::new(BkKernel));
+    for variant in BkVariant::ALL {
+        registry.register(Box::new(BkVariantKernel(variant)));
+    }
+    registry.register(Box::new(KCliqueKernel));
+    registry.register(Box::new(TriangleKernel));
+    registry.register(Box::new(CliqueStarKernel));
+    // Subgraph matching (§4.1.3).
+    registry.register(Box::new(SubgraphIsoKernel));
+    registry.register(Box::new(ParallelIsoKernel));
+    // Learning (§4.1.2).
+    registry.register(Box::new(SimilarityKernel));
+    registry.register(Box::new(LinkPredictionKernel));
+    registry.register(Box::new(JarvisPatrickKernel));
+    registry.register(Box::new(LabelPropagationKernel));
+    registry.register(Box::new(LouvainKernel));
+    // Optimization (§4.1.4).
+    registry.register(Box::new(ColoringKernel));
+    registry.register(Box::new(MstKernel));
+    registry.register(Box::new(MinCutKernel));
+    // Reorderings (③) as runnable preprocessing stages.
+    for which in OrderWhich::ALL {
+        registry.register(Box::new(OrderKernel(which)));
+    }
+}
+
+// ---------------------------------------------------------------- shared
+
+const ORDERING_CHOICES: &[&str] = &["adg", "natural", "degree", "degeneracy", "triangle"];
+
+fn ordering_specs() -> [ParamSpec; 2] {
+    [
+        ParamSpec::choice(
+            "ordering",
+            "adg",
+            ORDERING_CHOICES,
+            "preprocessing vertex order (③)",
+        ),
+        ParamSpec::float(
+            "eps",
+            0.25,
+            "epsilon of the (2+ε)-approximate degeneracy order",
+        ),
+    ]
+}
+
+fn ordering_from(params: &Params) -> OrderingKind {
+    match params.get_str("ordering", "adg") {
+        "natural" => OrderingKind::Natural,
+        "degree" => OrderingKind::Degree,
+        "degeneracy" => OrderingKind::Degeneracy,
+        "triangle" => OrderingKind::TriangleCount,
+        _ => OrderingKind::ApproxDegeneracy(params.get_float("eps", 0.25)),
+    }
+}
+
+fn stage(preprocess: std::time::Duration, kernel: std::time::Duration) -> StageTimings {
+    StageTimings {
+        convert: std::time::Duration::ZERO,
+        preprocess,
+        kernel,
+    }
+}
+
+// ---------------------------------------------------------------- pattern
+
+/// Bron–Kerbosch with every §6.2 design axis as a typed parameter:
+/// set layout, vertex order, H-subgraph policy, task depth.
+struct BkKernel;
+
+impl Kernel for BkKernel {
+    fn name(&self) -> &'static str {
+        "bk"
+    }
+    fn category(&self) -> Category {
+        Category::Pattern
+    }
+    fn about(&self) -> &'static str {
+        "maximal clique listing (Bron-Kerbosch, Algorithm 6), all design axes parameterized"
+    }
+    fn params(&self) -> Vec<ParamSpec> {
+        let [ordering, eps] = ordering_specs();
+        vec![
+            ParamSpec::choice(
+                "layout",
+                "dense",
+                &["dense", "sorted", "roaring", "hash", "counting"],
+                "set layout backing P/X and the neighborhoods (⑤⁺); `counting` \
+                 instruments sorted sets through the software counters",
+            ),
+            ordering,
+            eps,
+            ParamSpec::choice(
+                "subgraph",
+                "none",
+                &["none", "outermost", "per-level"],
+                "induced-subgraph policy of §6.2",
+            ),
+            ParamSpec::int("par-depth", 4, "task-spawn depth of the parallel search"),
+            ParamSpec::bool("collect", false, "materialize the cliques in the payload"),
+        ]
+    }
+    fn run(&self, graph: &CsrGraph, params: &Params) -> Result<Outcome, KernelError> {
+        let config = BkConfig {
+            ordering: ordering_from(params),
+            subgraph: match params.get_str("subgraph", "none") {
+                "outermost" => SubgraphMode::Outermost,
+                "per-level" => SubgraphMode::PerLevel,
+                _ => SubgraphMode::None,
+            },
+            collect: params.get_bool("collect", false),
+            par_depth: params.get_int("par-depth", 4).max(0) as usize,
+        };
+        let out = match params.get_str("layout", "dense") {
+            "sorted" => bron_kerbosch::<SortedVecSet>(graph, &config),
+            "roaring" => bron_kerbosch::<RoaringSet>(graph, &config),
+            "hash" => bron_kerbosch::<HashVertexSet>(graph, &config),
+            "counting" => bron_kerbosch::<CountingSet<SortedVecSet>>(graph, &config),
+            _ => bron_kerbosch::<DenseBitSet>(graph, &config),
+        };
+        Ok(Outcome::new(self.name(), out.clique_count)
+            .with_timings(stage(out.preprocess, out.mine))
+            .with_payload(match out.cliques {
+                Some(cliques) => Payload::VertexGroups(cliques),
+                None => Payload::None,
+            }))
+    }
+}
+
+/// One of the paper's five named BK variants, pinned to its layout and
+/// order (Fig. 1 / Fig. 11 presentation names).
+struct BkVariantKernel(BkVariant);
+
+impl Kernel for BkVariantKernel {
+    fn name(&self) -> &'static str {
+        match self.0 {
+            BkVariant::Das => "bk-das",
+            BkVariant::GmsDeg => "bk-gms-deg",
+            BkVariant::GmsDgr => "bk-gms-dgr",
+            BkVariant::GmsAdg => "bk-gms-adg",
+            BkVariant::GmsAdgS => "bk-gms-adg-s",
+        }
+    }
+    fn category(&self) -> Category {
+        Category::Pattern
+    }
+    fn about(&self) -> &'static str {
+        "a named paper variant of Bron-Kerbosch maximal clique listing"
+    }
+    fn params(&self) -> Vec<ParamSpec> {
+        vec![ParamSpec::bool(
+            "collect",
+            false,
+            "materialize the cliques in the payload",
+        )]
+    }
+    fn run(&self, graph: &CsrGraph, params: &Params) -> Result<Outcome, KernelError> {
+        let out = self.0.run_with(graph, params.get_bool("collect", false));
+        Ok(Outcome::new(self.name(), out.clique_count)
+            .with_timings(stage(out.preprocess, out.mine))
+            .with_payload(match out.cliques {
+                Some(cliques) => Payload::VertexGroups(cliques),
+                None => Payload::None,
+            }))
+    }
+}
+
+/// k-clique counting (Algorithm 7).
+struct KCliqueKernel;
+
+impl Kernel for KCliqueKernel {
+    fn name(&self) -> &'static str {
+        "k-clique"
+    }
+    fn category(&self) -> Category {
+        Category::Pattern
+    }
+    fn about(&self) -> &'static str {
+        "k-clique counting (Algorithm 7) with node- or edge-parallel driver"
+    }
+    fn params(&self) -> Vec<ParamSpec> {
+        let [ordering, eps] = ordering_specs();
+        vec![
+            ParamSpec::int("k", 4, "clique size to count"),
+            ordering,
+            eps,
+            ParamSpec::choice(
+                "parallel",
+                "edge",
+                &["edge", "node"],
+                "parallelization driver (§7.2)",
+            ),
+        ]
+    }
+    fn run(&self, graph: &CsrGraph, params: &Params) -> Result<Outcome, KernelError> {
+        let k = params.get_int("k", 4);
+        if k < 1 {
+            return Err(KernelError::BadParam {
+                kernel: self.name().to_string(),
+                param: "k".to_string(),
+                message: format!("k must be >= 1, got {k}"),
+            });
+        }
+        let config = KcConfig {
+            ordering: ordering_from(params),
+            parallel: match params.get_str("parallel", "edge") {
+                "node" => KcParallel::Node,
+                _ => KcParallel::Edge,
+            },
+        };
+        let out = k_clique_count(graph, k as usize, &config);
+        Ok(Outcome::new(self.name(), out.count).with_timings(stage(out.preprocess, out.mine)))
+    }
+}
+
+/// Triangle counting in both §6.3 shapes.
+struct TriangleKernel;
+
+impl Kernel for TriangleKernel {
+    fn name(&self) -> &'static str {
+        "triangle-count"
+    }
+    fn category(&self) -> Category {
+        Category::Pattern
+    }
+    fn about(&self) -> &'static str {
+        "triangle counting (rank-merge over the oriented CSR, or the node iterator)"
+    }
+    fn params(&self) -> Vec<ParamSpec> {
+        vec![ParamSpec::choice(
+            "method",
+            "rank-merge",
+            &["rank-merge", "node-iterator"],
+            "counting strategy",
+        )]
+    }
+    fn run(&self, graph: &CsrGraph, params: &Params) -> Result<Outcome, KernelError> {
+        let mut timings = StageTimings::default();
+        let count = match params.get_str("method", "rank-merge") {
+            "node-iterator" => {
+                let t = Instant::now();
+                let sg: SetGraph<SortedVecSet> = SetGraph::from_csr(graph);
+                timings.convert = t.elapsed();
+                let t = Instant::now();
+                let count = triangle_count_node_iterator(&sg);
+                timings.kernel = t.elapsed();
+                count
+            }
+            _ => {
+                let t = Instant::now();
+                let count = triangle_count_rank_merge(graph);
+                timings.kernel = t.elapsed();
+                count
+            }
+        };
+        Ok(Outcome::new(self.name(), count).with_timings(timings))
+    }
+}
+
+/// k-clique-star listing via (k+1)-cliques (§6.6).
+struct CliqueStarKernel;
+
+impl Kernel for CliqueStarKernel {
+    fn name(&self) -> &'static str {
+        "clique-star"
+    }
+    fn category(&self) -> Category {
+        Category::Pattern
+    }
+    fn about(&self) -> &'static str {
+        "k-clique-star listing via (k+1)-cliques (§6.6)"
+    }
+    fn params(&self) -> Vec<ParamSpec> {
+        let [ordering, eps] = ordering_specs();
+        vec![
+            ParamSpec::int("k", 3, "size of the clique core"),
+            ParamSpec::int("min-satellites", 1, "minimum satellites per reported star"),
+            ordering,
+            eps,
+            ParamSpec::bool(
+                "collect",
+                false,
+                "materialize the star cores in the payload",
+            ),
+        ]
+    }
+    fn run(&self, graph: &CsrGraph, params: &Params) -> Result<Outcome, KernelError> {
+        let k = params.get_int("k", 3).max(2) as usize;
+        let min_satellites = params.get_int("min-satellites", 1).max(0) as usize;
+        let config = KcConfig {
+            ordering: ordering_from(params),
+            parallel: KcParallel::Edge,
+        };
+        let t = Instant::now();
+        let stars = k_clique_stars(graph, k, min_satellites, &config);
+        let kernel = t.elapsed();
+        let payload = if params.get_bool("collect", false) {
+            Payload::VertexGroups(stars.iter().map(|s| s.core.clone()).collect())
+        } else {
+            Payload::None
+        };
+        Ok(Outcome::new(self.name(), stars.len() as u64)
+            .with_timings(stage(std::time::Duration::ZERO, kernel))
+            .with_payload(payload))
+    }
+}
+
+// ---------------------------------------------------------------- matching
+
+const QUERY_CHOICES: &[&str] = &["triangle", "clique4", "clique5", "path3", "path4", "star4"];
+
+fn query_graph(name: &str) -> CsrGraph {
+    match name {
+        "clique4" => gms_gen::complete(4),
+        "clique5" => gms_gen::complete(5),
+        "path3" => CsrGraph::from_undirected_edges(3, &[(0, 1), (1, 2)]),
+        "path4" => CsrGraph::from_undirected_edges(4, &[(0, 1), (1, 2), (2, 3)]),
+        "star4" => CsrGraph::from_undirected_edges(4, &[(0, 1), (0, 2), (0, 3)]),
+        _ => gms_gen::complete(3),
+    }
+}
+
+fn iso_options(params: &Params) -> IsoOptions {
+    let limit = params.get_int("limit", 0);
+    IsoOptions {
+        mode: match params.get_str("mode", "non-induced") {
+            "induced" => IsoMode::Induced,
+            _ => IsoMode::NonInduced,
+        },
+        limit: if limit <= 0 { u64::MAX } else { limit as u64 },
+        ..IsoOptions::default()
+    }
+}
+
+fn iso_specs() -> Vec<ParamSpec> {
+    vec![
+        ParamSpec::choice(
+            "query",
+            "triangle",
+            QUERY_CHOICES,
+            "query pattern matched against the loaded graph",
+        ),
+        ParamSpec::choice(
+            "mode",
+            "non-induced",
+            &["non-induced", "induced"],
+            "matching semantics",
+        ),
+        ParamSpec::int(
+            "limit",
+            0,
+            "stop after this many embeddings (0 = enumerate all)",
+        ),
+    ]
+}
+
+/// Sequential VF2-style subgraph isomorphism counting a named query
+/// pattern in the loaded (unlabeled) graph.
+struct SubgraphIsoKernel;
+
+impl Kernel for SubgraphIsoKernel {
+    fn name(&self) -> &'static str {
+        "subgraph-iso"
+    }
+    fn category(&self) -> Category {
+        Category::Matching
+    }
+    fn about(&self) -> &'static str {
+        "VF2-style embedding counting of a named query pattern (§6.4)"
+    }
+    fn params(&self) -> Vec<ParamSpec> {
+        iso_specs()
+    }
+    fn run(&self, graph: &CsrGraph, params: &Params) -> Result<Outcome, KernelError> {
+        let t = Instant::now();
+        let query = LabeledGraph::unlabeled(query_graph(params.get_str("query", "triangle")));
+        let target = LabeledGraph::unlabeled(graph.clone());
+        let convert = t.elapsed();
+        let t = Instant::now();
+        let count = count_embeddings(&query, &target, &iso_options(params));
+        let kernel = t.elapsed();
+        Ok(Outcome::new(self.name(), count).with_timings(StageTimings {
+            convert,
+            preprocess: std::time::Duration::ZERO,
+            kernel,
+        }))
+    }
+}
+
+/// The parallel VF3-Light-style driver over the same named queries.
+struct ParallelIsoKernel;
+
+impl Kernel for ParallelIsoKernel {
+    fn name(&self) -> &'static str {
+        "subgraph-iso-par"
+    }
+    fn category(&self) -> Category {
+        Category::Matching
+    }
+    fn about(&self) -> &'static str {
+        "parallel subgraph isomorphism with work splitting/stealing (§6.4)"
+    }
+    fn params(&self) -> Vec<ParamSpec> {
+        let mut specs = iso_specs();
+        specs.push(ParamSpec::int(
+            "threads",
+            0,
+            "worker threads (0 = the machine default)",
+        ));
+        specs.push(ParamSpec::bool(
+            "stealing",
+            true,
+            "dynamic work stealing vs. static chunks",
+        ));
+        specs
+    }
+    fn run(&self, graph: &CsrGraph, params: &Params) -> Result<Outcome, KernelError> {
+        let t = Instant::now();
+        let query = LabeledGraph::unlabeled(query_graph(params.get_str("query", "triangle")));
+        let target = LabeledGraph::unlabeled(graph.clone());
+        let convert = t.elapsed();
+        let threads = params.get_int("threads", 0);
+        let config = ParallelIsoConfig {
+            threads: if threads <= 0 {
+                ParallelIsoConfig::default().threads
+            } else {
+                threads as usize
+            },
+            work_stealing: params.get_bool("stealing", true),
+            options: iso_options(params),
+        };
+        let t = Instant::now();
+        let count = count_embeddings_parallel(&query, &target, &config);
+        let kernel = t.elapsed();
+        Ok(Outcome::new(self.name(), count).with_timings(StageTimings {
+            convert,
+            preprocess: std::time::Duration::ZERO,
+            kernel,
+        }))
+    }
+}
+
+// ---------------------------------------------------------------- learn
+
+const MEASURE_CHOICES: &[&str] = &[
+    "jaccard",
+    "overlap",
+    "adamic-adar",
+    "resource-allocation",
+    "common-neighbors",
+    "total-neighbors",
+    "preferential-attachment",
+];
+
+fn measure_spec() -> ParamSpec {
+    ParamSpec::choice(
+        "measure",
+        "jaccard",
+        MEASURE_CHOICES,
+        "vertex-similarity measure (Table 4)",
+    )
+}
+
+fn measure_from(params: &Params) -> SimilarityMeasure {
+    match params.get_str("measure", "jaccard") {
+        "overlap" => SimilarityMeasure::Overlap,
+        "adamic-adar" => SimilarityMeasure::AdamicAdar,
+        "resource-allocation" => SimilarityMeasure::ResourceAllocation,
+        "common-neighbors" => SimilarityMeasure::CommonNeighbors,
+        "total-neighbors" => SimilarityMeasure::TotalNeighbors,
+        "preferential-attachment" => SimilarityMeasure::PreferentialAttachment,
+        _ => SimilarityMeasure::Jaccard,
+    }
+}
+
+/// Bulk vertex similarity over every edge of the graph.
+struct SimilarityKernel;
+
+impl Kernel for SimilarityKernel {
+    fn name(&self) -> &'static str {
+        "similarity"
+    }
+    fn category(&self) -> Category {
+        Category::Learn
+    }
+    fn about(&self) -> &'static str {
+        "bulk vertex similarity scored over every edge (§6.5)"
+    }
+    fn params(&self) -> Vec<ParamSpec> {
+        vec![measure_spec()]
+    }
+    fn run(&self, graph: &CsrGraph, params: &Params) -> Result<Outcome, KernelError> {
+        let t = Instant::now();
+        let pairs: Vec<(NodeId, NodeId)> = graph.edges_undirected().collect();
+        let convert = t.elapsed();
+        let t = Instant::now();
+        let scores = similarity_batch_csr(graph, measure_from(params), &pairs);
+        let kernel = t.elapsed();
+        let mean = if scores.is_empty() {
+            0.0
+        } else {
+            scores.iter().sum::<f64>() / scores.len() as f64
+        };
+        Ok(Outcome::new(self.name(), scores.len() as u64)
+            .with_timings(StageTimings {
+                convert,
+                preprocess: std::time::Duration::ZERO,
+                kernel,
+            })
+            .with_payload(Payload::Scalar(mean)))
+    }
+}
+
+/// The §6.7 link-prediction accuracy protocol.
+struct LinkPredictionKernel;
+
+impl Kernel for LinkPredictionKernel {
+    fn name(&self) -> &'static str {
+        "link-prediction"
+    }
+    fn category(&self) -> Category {
+        Category::Learn
+    }
+    fn about(&self) -> &'static str {
+        "similarity-based link prediction, §6.7 protocol (patterns = recovered edges)"
+    }
+    fn params(&self) -> Vec<ParamSpec> {
+        vec![
+            measure_spec(),
+            ParamSpec::float("fraction", 0.1, "fraction of edges held out"),
+            ParamSpec::int("seed", 7, "hold-out sampling seed"),
+        ]
+    }
+    fn run(&self, graph: &CsrGraph, params: &Params) -> Result<Outcome, KernelError> {
+        let t = Instant::now();
+        let (hits, held_out) = evaluate_accuracy(
+            graph,
+            measure_from(params),
+            params.get_float("fraction", 0.1).clamp(0.0, 0.99),
+            params.get_int("seed", 7) as u64,
+        );
+        let kernel = t.elapsed();
+        let accuracy = if held_out == 0 {
+            0.0
+        } else {
+            hits as f64 / held_out as f64
+        };
+        Ok(Outcome::new(self.name(), hits as u64)
+            .with_timings(stage(std::time::Duration::ZERO, kernel))
+            .with_payload(Payload::Scalar(accuracy)))
+    }
+}
+
+/// Jarvis–Patrick overlapping clustering.
+struct JarvisPatrickKernel;
+
+impl Kernel for JarvisPatrickKernel {
+    fn name(&self) -> &'static str {
+        "jarvis-patrick"
+    }
+    fn category(&self) -> Category {
+        Category::Learn
+    }
+    fn about(&self) -> &'static str {
+        "Jarvis-Patrick clustering on a similarity measure (§4.1.2)"
+    }
+    fn params(&self) -> Vec<ParamSpec> {
+        vec![
+            ParamSpec::int("k", 6, "nearest-neighbor list size"),
+            ParamSpec::int("min-shared", 2, "shared near-neighbors required to merge"),
+            measure_spec(),
+        ]
+    }
+    fn run(&self, graph: &CsrGraph, params: &Params) -> Result<Outcome, KernelError> {
+        let config = JarvisPatrickConfig {
+            k: params.get_int("k", 6).max(1) as usize,
+            min_shared: params.get_int("min-shared", 2).max(0) as usize,
+            measure: measure_from(params),
+        };
+        let t = Instant::now();
+        let assignment = jarvis_patrick(graph, &config);
+        let kernel = t.elapsed();
+        Ok(Outcome::new(self.name(), num_clusters(&assignment) as u64)
+            .with_timings(stage(std::time::Duration::ZERO, kernel))
+            .with_payload(Payload::Assignment(assignment)))
+    }
+}
+
+/// Label-propagation community detection.
+struct LabelPropagationKernel;
+
+impl Kernel for LabelPropagationKernel {
+    fn name(&self) -> &'static str {
+        "label-propagation"
+    }
+    fn category(&self) -> Category {
+        Category::Learn
+    }
+    fn about(&self) -> &'static str {
+        "label-propagation community detection (patterns = communities)"
+    }
+    fn params(&self) -> Vec<ParamSpec> {
+        vec![ParamSpec::int("max-iters", 50, "propagation round limit")]
+    }
+    fn run(&self, graph: &CsrGraph, params: &Params) -> Result<Outcome, KernelError> {
+        let t = Instant::now();
+        let assignment = label_propagation(graph, params.get_int("max-iters", 50).max(1) as usize);
+        let kernel = t.elapsed();
+        Ok(Outcome::new(self.name(), num_clusters(&assignment) as u64)
+            .with_timings(stage(std::time::Duration::ZERO, kernel))
+            .with_payload(Payload::Assignment(assignment)))
+    }
+}
+
+/// Louvain community detection.
+struct LouvainKernel;
+
+impl Kernel for LouvainKernel {
+    fn name(&self) -> &'static str {
+        "louvain"
+    }
+    fn category(&self) -> Category {
+        Category::Learn
+    }
+    fn about(&self) -> &'static str {
+        "Louvain modularity-maximizing community detection"
+    }
+    fn params(&self) -> Vec<ParamSpec> {
+        Vec::new()
+    }
+    fn run(&self, graph: &CsrGraph, _params: &Params) -> Result<Outcome, KernelError> {
+        let t = Instant::now();
+        let assignment = louvain(graph);
+        let kernel = t.elapsed();
+        Ok(Outcome::new(self.name(), num_clusters(&assignment) as u64)
+            .with_timings(stage(std::time::Duration::ZERO, kernel))
+            .with_payload(Payload::Assignment(assignment)))
+    }
+}
+
+// ---------------------------------------------------------------- opt
+
+/// Graph coloring in the three §4.1.4 algorithm shapes.
+struct ColoringKernel;
+
+impl Kernel for ColoringKernel {
+    fn name(&self) -> &'static str {
+        "coloring"
+    }
+    fn category(&self) -> Category {
+        Category::Opt
+    }
+    fn about(&self) -> &'static str {
+        "graph coloring: greedy, Jones-Plassmann, or Johansson (patterns = colors used)"
+    }
+    fn params(&self) -> Vec<ParamSpec> {
+        let [ordering, eps] = ordering_specs();
+        vec![
+            ParamSpec::choice(
+                "algo",
+                "greedy",
+                &["greedy", "jones-plassmann", "johansson"],
+                "coloring algorithm",
+            ),
+            ordering,
+            eps,
+            ParamSpec::float("palette-factor", 2.0, "Johansson palette size multiplier"),
+            ParamSpec::int("seed", 1, "Johansson randomness seed"),
+        ]
+    }
+    fn run(&self, graph: &CsrGraph, params: &Params) -> Result<Outcome, KernelError> {
+        let t0 = Instant::now();
+        let rank = ordering_from(params).compute(graph);
+        let preprocess = t0.elapsed();
+        let t = Instant::now();
+        let colors = match params.get_str("algo", "greedy") {
+            "jones-plassmann" => jones_plassmann(graph, &rank).0,
+            "johansson" => {
+                johansson(
+                    graph,
+                    params.get_float("palette-factor", 2.0).max(1.0),
+                    params.get_int("seed", 1) as u64,
+                )
+                .0
+            }
+            _ => greedy_coloring(graph, &rank),
+        };
+        let kernel = t.elapsed();
+        let used = verify_coloring(graph, &colors).expect("builtin coloring must be proper");
+        Ok(Outcome::new(self.name(), used as u64)
+            .with_timings(stage(preprocess, kernel))
+            .with_payload(Payload::Assignment(colors)))
+    }
+}
+
+/// Deterministic pseudo-random edge weight in [0, 1).
+fn edge_weight(u: NodeId, v: NodeId, seed: u64) -> f64 {
+    let mut h = FxHasher::default();
+    h.write_u64(seed);
+    h.write_u32(u.min(v));
+    h.write_u32(u.max(v));
+    (h.finish() >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Borůvka minimum spanning forest over seeded pseudo-random weights.
+struct MstKernel;
+
+impl Kernel for MstKernel {
+    fn name(&self) -> &'static str {
+        "mst-boruvka"
+    }
+    fn category(&self) -> Category {
+        Category::Opt
+    }
+    fn about(&self) -> &'static str {
+        "Boruvka minimum spanning forest over seeded edge weights (patterns = forest edges)"
+    }
+    fn params(&self) -> Vec<ParamSpec> {
+        vec![ParamSpec::int("seed", 1, "edge-weight seed")]
+    }
+    fn run(&self, graph: &CsrGraph, params: &Params) -> Result<Outcome, KernelError> {
+        let seed = params.get_int("seed", 1) as u64;
+        let t = Instant::now();
+        let edges: Vec<WeightedEdge> = graph
+            .edges_undirected()
+            .map(|(u, v)| WeightedEdge {
+                u,
+                v,
+                weight: edge_weight(u, v, seed),
+            })
+            .collect();
+        let convert = t.elapsed();
+        let t = Instant::now();
+        let forest = boruvka(graph.num_vertices(), &edges);
+        let kernel = t.elapsed();
+        let weight = forest_weight(&edges, &forest);
+        Ok(Outcome::new(self.name(), forest.len() as u64)
+            .with_timings(StageTimings {
+                convert,
+                preprocess: std::time::Duration::ZERO,
+                kernel,
+            })
+            .with_payload(Payload::Scalar(weight)))
+    }
+}
+
+/// Karger–Stein randomized minimum cut.
+struct MinCutKernel;
+
+impl Kernel for MinCutKernel {
+    fn name(&self) -> &'static str {
+        "min-cut"
+    }
+    fn category(&self) -> Category {
+        Category::Opt
+    }
+    fn about(&self) -> &'static str {
+        "Karger-Stein randomized minimum cut (patterns = cut size)"
+    }
+    fn params(&self) -> Vec<ParamSpec> {
+        vec![
+            ParamSpec::int("trials", 32, "independent contraction trials"),
+            ParamSpec::int("seed", 7, "contraction randomness seed"),
+        ]
+    }
+    fn run(&self, graph: &CsrGraph, params: &Params) -> Result<Outcome, KernelError> {
+        let t = Instant::now();
+        let cut = min_cut(
+            graph,
+            params.get_int("trials", 32).max(1) as usize,
+            params.get_int("seed", 7) as u64,
+        );
+        let kernel = t.elapsed();
+        Ok(Outcome::new(self.name(), cut as u64)
+            .with_timings(stage(std::time::Duration::ZERO, kernel)))
+    }
+}
+
+// ---------------------------------------------------------------- order
+
+/// Which reordering an [`OrderKernel`] computes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum OrderWhich {
+    Degree,
+    Degeneracy,
+    Adg,
+    TriangleCount,
+    Bfs,
+    Random,
+}
+
+impl OrderWhich {
+    const ALL: [OrderWhich; 6] = [
+        OrderWhich::Degree,
+        OrderWhich::Degeneracy,
+        OrderWhich::Adg,
+        OrderWhich::TriangleCount,
+        OrderWhich::Bfs,
+        OrderWhich::Random,
+    ];
+}
+
+/// A vertex reordering exposed as a runnable preprocessing stage: the
+/// outcome's payload is the computed [`Payload::Rank`], its time is
+/// booked under `timings.preprocess` (it *is* stage ③), and the
+/// pattern count is the number of ranked vertices.
+struct OrderKernel(OrderWhich);
+
+impl Kernel for OrderKernel {
+    fn name(&self) -> &'static str {
+        match self.0 {
+            OrderWhich::Degree => "order-degree",
+            OrderWhich::Degeneracy => "order-degeneracy",
+            OrderWhich::Adg => "order-adg",
+            OrderWhich::TriangleCount => "order-triangle",
+            OrderWhich::Bfs => "order-bfs",
+            OrderWhich::Random => "order-random",
+        }
+    }
+    fn category(&self) -> Category {
+        Category::Order
+    }
+    fn about(&self) -> &'static str {
+        "a vertex reordering (preprocessing stage ③) run standalone"
+    }
+    fn params(&self) -> Vec<ParamSpec> {
+        match self.0 {
+            OrderWhich::Adg => vec![ParamSpec::float("eps", 0.25, "approximation epsilon")],
+            OrderWhich::Bfs => vec![ParamSpec::int("root", 0, "BFS start vertex")],
+            OrderWhich::Random => vec![ParamSpec::int("seed", 1, "shuffle seed")],
+            _ => Vec::new(),
+        }
+    }
+    fn run(&self, graph: &CsrGraph, params: &Params) -> Result<Outcome, KernelError> {
+        let n = graph.num_vertices();
+        let t = Instant::now();
+        let rank = match self.0 {
+            OrderWhich::Degree => OrderingKind::Degree.compute(graph),
+            OrderWhich::Degeneracy => OrderingKind::Degeneracy.compute(graph),
+            OrderWhich::Adg => {
+                OrderingKind::ApproxDegeneracy(params.get_float("eps", 0.25)).compute(graph)
+            }
+            OrderWhich::TriangleCount => OrderingKind::TriangleCount.compute(graph),
+            OrderWhich::Bfs => {
+                let root = params.get_int("root", 0).max(0) as usize % n.max(1);
+                bfs_order(graph, root as NodeId)
+            }
+            OrderWhich::Random => random_order(n, params.get_int("seed", 1) as u64),
+        };
+        let preprocess = t.elapsed();
+        Ok(Outcome::new(self.name(), n as u64)
+            .with_timings(stage(preprocess, std::time::Duration::ZERO))
+            .with_payload(Payload::Rank(rank.ranks().to_vec())))
+    }
+}

@@ -1,0 +1,161 @@
+//! The unified kernel API — one typed entry point for every mining
+//! kernel in the suite.
+//!
+//! GMS pitches graph mining as *one* programmable pipeline (load →
+//! represent → preprocess → kernel), yet the crates below expose a
+//! zoo of ad-hoc signatures (`BkVariant::run`, `k_clique_count`,
+//! bespoke VF2/learn/opt functions). This module is the uniform
+//! surface a service layer can sit on:
+//!
+//! * [`Kernel`] — the trait every mining entry point adapts to:
+//!   `name()`, a typed parameter schema ([`ParamSpec`]), and
+//!   `run(&CsrGraph, &Params) -> Outcome`;
+//! * [`Registry`] — enumerates all kernels by name and [`Category`]
+//!   (pattern / matching / learn / opt / order); the benchmark
+//!   binaries iterate it, so registering a kernel automatically adds
+//!   it to the benchmarks;
+//! * [`Session`] — owns loaded graphs behind [`GraphHandle`]s,
+//!   fingerprints their CSR arrays, and memoizes
+//!   `(fingerprint, kernel, params)` → [`Outcome`] in an LRU cache;
+//! * [`BatchRunner`] — pushes a slice of [`BatchRequest`]s through
+//!   the work-stealing pool, deduplicating identical requests.
+//!
+//! ```
+//! use gms_platform::kernel::{Params, Session};
+//!
+//! let mut session = Session::new();
+//! let g = session.add_graph(gms_gen::planted_cliques(200, 0.02, 2, 6, 7).0);
+//! let out = session.run("k-clique", g, &Params::new().with("k", 3)).unwrap();
+//! assert!(out.patterns > 0 && !out.cached);
+//! let hit = session.run("k-clique", g, &Params::new().with("k", 3)).unwrap();
+//! assert!(hit.cached && hit.same_result(&out));
+//! ```
+
+mod batch;
+mod builtin;
+mod outcome;
+mod params;
+mod registry;
+mod session;
+
+pub use batch::{BatchRequest, BatchRunner};
+pub use outcome::{Outcome, Payload};
+pub use params::{ParamSpec, Params, Value, ValueKind};
+pub use registry::Registry;
+pub use session::{GraphHandle, Session, SessionStats};
+
+use gms_core::CsrGraph;
+
+/// The kernel families of the GMS specification (§4.1), plus the
+/// reorderings of the preprocessing stage (③) exposed as runnable
+/// kernels in their own right.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// Pattern mining: cliques, triangles, clique-stars (§4.1.1).
+    Pattern,
+    /// Subgraph matching / isomorphism (§4.1.3).
+    Matching,
+    /// Graph learning: similarity, link prediction, clustering,
+    /// communities (§4.1.2).
+    Learn,
+    /// Optimization: coloring, MST, min cut (§4.1.4).
+    Opt,
+    /// Vertex reorderings as preprocessing stages (③).
+    Order,
+}
+
+impl Category {
+    /// All categories, in presentation order.
+    pub const ALL: [Category; 5] = [
+        Category::Pattern,
+        Category::Matching,
+        Category::Learn,
+        Category::Opt,
+        Category::Order,
+    ];
+
+    /// Lowercase label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Category::Pattern => "pattern",
+            Category::Matching => "matching",
+            Category::Learn => "learn",
+            Category::Opt => "opt",
+            Category::Order => "order",
+        }
+    }
+}
+
+/// A uniformly-invocable mining kernel: the adapter trait every
+/// public entry point of gms-pattern / gms-match / gms-learn /
+/// gms-opt / gms-order is wrapped in.
+pub trait Kernel: Send + Sync {
+    /// Stable kebab-case name the kernel is requested by.
+    fn name(&self) -> &'static str;
+
+    /// Which family the kernel belongs to.
+    fn category(&self) -> Category;
+
+    /// One-line description for listings.
+    fn about(&self) -> &'static str;
+
+    /// The parameter schema: every accepted parameter with its type
+    /// and default. Requests are validated against this before the
+    /// kernel runs, and the schema's defaults complete the cache key.
+    fn params(&self) -> Vec<ParamSpec>;
+
+    /// Runs the kernel on `graph` with validated parameters.
+    ///
+    /// Implementations may assume `params` passed
+    /// [`Params::validate`] against [`Kernel::params`]; they read
+    /// values through the typed accessors with the same defaults the
+    /// schema declares.
+    fn run(&self, graph: &CsrGraph, params: &Params) -> Result<Outcome, KernelError>;
+}
+
+/// Everything that can go wrong between a request and an [`Outcome`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum KernelError {
+    /// No kernel registered under the requested name.
+    UnknownKernel(String),
+    /// A parameter name the kernel's schema does not declare.
+    UnknownParam {
+        /// The kernel the request addressed.
+        kernel: String,
+        /// The undeclared parameter name.
+        param: String,
+    },
+    /// A parameter with the wrong type or an inadmissible value.
+    BadParam {
+        /// The kernel the request addressed.
+        kernel: String,
+        /// The offending parameter name.
+        param: String,
+        /// What was wrong.
+        message: String,
+    },
+    /// A [`GraphHandle`] that does not belong to the session.
+    InvalidHandle,
+}
+
+impl std::fmt::Display for KernelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KernelError::UnknownKernel(name) => write!(f, "unknown kernel {name:?}"),
+            KernelError::UnknownParam { kernel, param } => {
+                write!(f, "kernel {kernel:?} has no parameter {param:?}")
+            }
+            KernelError::BadParam {
+                kernel,
+                param,
+                message,
+            } => write!(
+                f,
+                "bad parameter {param:?} for kernel {kernel:?}: {message}"
+            ),
+            KernelError::InvalidHandle => write!(f, "graph handle not owned by this session"),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}

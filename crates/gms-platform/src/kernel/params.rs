@@ -1,0 +1,403 @@
+//! Typed kernel parameters: a small serde-style key/value bag
+//! ([`Params`]) plus the per-kernel parameter schema ([`ParamSpec`])
+//! that the [`Registry`](super::Registry) validates requests against.
+//!
+//! Every parameter a kernel accepts is declared once in its
+//! [`Kernel::params`](super::Kernel::params) schema — name, type,
+//! default, and (for string parameters) the closed set of choices.
+//! Callers pass only the keys they want to override; the schema
+//! supplies the rest. Because the schema is data, the benchmark
+//! harness can *enumerate* it: the ablation binaries sweep a
+//! parameter's `choices` instead of hard-coding the variants.
+
+use super::KernelError;
+use std::collections::BTreeMap;
+
+/// A parameter value: the four primitive shapes kernels configure
+/// themselves with.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// Integer knob (`k`, `par-depth`, `seed`, ...).
+    Int(i64),
+    /// Floating-point knob (`eps`, `fraction`, ...).
+    Float(f64),
+    /// Boolean switch (`collect`, ...).
+    Bool(bool),
+    /// Enumerated choice (`ordering`, `layout`, ...).
+    Str(String),
+}
+
+impl Value {
+    /// The kind of this value, for schema checks and error messages.
+    pub fn kind(&self) -> ValueKind {
+        match self {
+            Value::Int(_) => ValueKind::Int,
+            Value::Float(_) => ValueKind::Float,
+            Value::Bool(_) => ValueKind::Bool,
+            Value::Str(_) => ValueKind::Str,
+        }
+    }
+
+    /// Canonical text form, used in cache keys and reports.
+    pub fn render(&self) -> String {
+        match self {
+            Value::Int(i) => i.to_string(),
+            Value::Float(x) => format!("{x:?}"),
+            Value::Bool(b) => b.to_string(),
+            Value::Str(s) => s.clone(),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// The type of a parameter, as declared by a [`ParamSpec`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ValueKind {
+    /// [`Value::Int`].
+    Int,
+    /// [`Value::Float`].
+    Float,
+    /// [`Value::Bool`].
+    Bool,
+    /// [`Value::Str`].
+    Str,
+}
+
+impl std::fmt::Display for ValueKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            ValueKind::Int => "int",
+            ValueKind::Float => "float",
+            ValueKind::Bool => "bool",
+            ValueKind::Str => "str",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Declaration of one kernel parameter: its name, type, default and
+/// (for enumerated string parameters) the admissible choices.
+#[derive(Clone, Debug)]
+pub struct ParamSpec {
+    /// Parameter name (kebab-case).
+    pub name: &'static str,
+    /// Expected value type.
+    pub kind: ValueKind,
+    /// Value used when the caller does not set the parameter.
+    pub default: Value,
+    /// One-line description for `--help`-style listings.
+    pub help: &'static str,
+    /// Closed set of admissible values for [`ValueKind::Str`]
+    /// parameters; empty means free-form. Sweepable by harnesses.
+    pub choices: &'static [&'static str],
+}
+
+impl ParamSpec {
+    /// An integer parameter.
+    pub fn int(name: &'static str, default: i64, help: &'static str) -> Self {
+        Self {
+            name,
+            kind: ValueKind::Int,
+            default: Value::Int(default),
+            help,
+            choices: &[],
+        }
+    }
+
+    /// A float parameter.
+    pub fn float(name: &'static str, default: f64, help: &'static str) -> Self {
+        Self {
+            name,
+            kind: ValueKind::Float,
+            default: Value::Float(default),
+            help,
+            choices: &[],
+        }
+    }
+
+    /// A boolean parameter.
+    pub fn bool(name: &'static str, default: bool, help: &'static str) -> Self {
+        Self {
+            name,
+            kind: ValueKind::Bool,
+            default: Value::Bool(default),
+            help,
+            choices: &[],
+        }
+    }
+
+    /// An enumerated string parameter; `choices[0]` should be the
+    /// default unless stated otherwise.
+    pub fn choice(
+        name: &'static str,
+        default: &'static str,
+        choices: &'static [&'static str],
+        help: &'static str,
+    ) -> Self {
+        debug_assert!(choices.contains(&default));
+        Self {
+            name,
+            kind: ValueKind::Str,
+            default: Value::Str(default.to_string()),
+            help,
+            choices,
+        }
+    }
+}
+
+/// A set of parameter overrides for one kernel request. Keys not set
+/// here take the defaults from the kernel's [`ParamSpec`] schema.
+///
+/// Built fluently:
+///
+/// ```
+/// use gms_platform::kernel::Params;
+/// let p = Params::new().with("k", 5).with("ordering", "degeneracy");
+/// assert_eq!(p.get_int("k", 4), 5);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Params {
+    values: BTreeMap<String, Value>,
+}
+
+impl Params {
+    /// No overrides: every parameter at its declared default.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets a parameter (builder style).
+    pub fn with(mut self, name: &str, value: impl Into<Value>) -> Self {
+        self.values.insert(name.to_string(), value.into());
+        self
+    }
+
+    /// Sets a parameter in place.
+    pub fn set(&mut self, name: &str, value: impl Into<Value>) {
+        self.values.insert(name.to_string(), value.into());
+    }
+
+    /// The raw override, if set.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.values.get(name)
+    }
+
+    /// Iterates the overrides in sorted key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Integer accessor with a default. Integers are the only
+    /// accepted shape; schema validation rejects others up front.
+    pub fn get_int(&self, name: &str, default: i64) -> i64 {
+        match self.values.get(name) {
+            Some(Value::Int(i)) => *i,
+            _ => default,
+        }
+    }
+
+    /// Float accessor with a default; integer overrides coerce.
+    pub fn get_float(&self, name: &str, default: f64) -> f64 {
+        match self.values.get(name) {
+            Some(Value::Float(x)) => *x,
+            Some(Value::Int(i)) => *i as f64,
+            _ => default,
+        }
+    }
+
+    /// Boolean accessor with a default.
+    pub fn get_bool(&self, name: &str, default: bool) -> bool {
+        match self.values.get(name) {
+            Some(Value::Bool(b)) => *b,
+            _ => default,
+        }
+    }
+
+    /// String accessor with a default.
+    pub fn get_str<'a>(&'a self, name: &str, default: &'a str) -> &'a str {
+        match self.values.get(name) {
+            Some(Value::Str(s)) => s.as_str(),
+            _ => default,
+        }
+    }
+
+    /// Checks the overrides against a kernel's schema: unknown names,
+    /// type mismatches, and out-of-choice strings are errors (floats
+    /// additionally accept integer literals).
+    pub fn validate(&self, kernel: &str, specs: &[ParamSpec]) -> Result<(), KernelError> {
+        for (name, value) in self.iter() {
+            let spec =
+                specs
+                    .iter()
+                    .find(|s| s.name == name)
+                    .ok_or_else(|| KernelError::UnknownParam {
+                        kernel: kernel.to_string(),
+                        param: name.to_string(),
+                    })?;
+            let kind_ok = value.kind() == spec.kind
+                || (spec.kind == ValueKind::Float && value.kind() == ValueKind::Int);
+            if !kind_ok {
+                return Err(KernelError::BadParam {
+                    kernel: kernel.to_string(),
+                    param: name.to_string(),
+                    message: format!("expected {}, got {}", spec.kind, value.kind()),
+                });
+            }
+            if let Value::Str(s) = value {
+                if !spec.choices.is_empty() && !spec.choices.contains(&s.as_str()) {
+                    return Err(KernelError::BadParam {
+                        kernel: kernel.to_string(),
+                        param: name.to_string(),
+                        message: format!("{s:?} is not one of {:?}", spec.choices),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Canonical `name=value` rendering with defaults filled in —
+    /// the params half of the result-cache key, and the label the
+    /// harness prints. Two `Params` that resolve to the same
+    /// effective configuration render identically.
+    pub fn canonical(&self, specs: &[ParamSpec]) -> String {
+        let mut parts: Vec<String> = specs
+            .iter()
+            .map(|spec| {
+                let value = self.values.get(spec.name).unwrap_or(&spec.default);
+                // An integer override of a float parameter is the
+                // same effective configuration as its float spelling
+                // (`eps=1` ≡ `eps=1.0`): render through the declared
+                // kind so both share one cache line.
+                let rendered = match value {
+                    Value::Int(i) if spec.kind == ValueKind::Float => {
+                        Value::Float(*i as f64).render()
+                    }
+                    other => other.render(),
+                };
+                format!("{}={}", spec.name, rendered)
+            })
+            .collect();
+        // Free-form overrides outside the schema (only possible when
+        // validation is skipped) still need to key the cache.
+        for (name, value) in self.iter() {
+            if !specs.iter().any(|s| s.name == name) {
+                parts.push(format!("{}={}", name, value.render()));
+            }
+        }
+        parts.join(",")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn specs() -> Vec<ParamSpec> {
+        vec![
+            ParamSpec::int("k", 4, "clique size"),
+            ParamSpec::float("eps", 0.25, "ADG epsilon"),
+            ParamSpec::choice("ordering", "adg", &["adg", "degree"], "order"),
+            ParamSpec::bool("collect", false, "materialize"),
+        ]
+    }
+
+    #[test]
+    fn typed_accessors_and_defaults() {
+        let p = Params::new().with("k", 7).with("ordering", "degree");
+        assert_eq!(p.get_int("k", 4), 7);
+        assert_eq!(p.get_float("eps", 0.25), 0.25);
+        assert_eq!(p.get_str("ordering", "adg"), "degree");
+        assert!(!p.get_bool("collect", false));
+    }
+
+    #[test]
+    fn float_accepts_int_override() {
+        let p = Params::new().with("eps", 1);
+        assert!(p.validate("t", &specs()).is_ok());
+        assert_eq!(p.get_float("eps", 0.25), 1.0);
+    }
+
+    #[test]
+    fn validation_rejects_unknown_and_mistyped() {
+        let specs = specs();
+        assert!(Params::new().with("zz", 1).validate("t", &specs).is_err());
+        assert!(Params::new().with("k", "x").validate("t", &specs).is_err());
+        assert!(Params::new()
+            .with("ordering", "zzz")
+            .validate("t", &specs)
+            .is_err());
+        assert!(Params::new().with("k", 9).validate("t", &specs).is_ok());
+    }
+
+    #[test]
+    fn canonical_fills_defaults_and_is_order_free() {
+        let specs = specs();
+        let a = Params::new().with("ordering", "degree").with("k", 5);
+        let b = Params::new().with("k", 5).with("ordering", "degree");
+        assert_eq!(a.canonical(&specs), b.canonical(&specs));
+        assert_eq!(
+            a.canonical(&specs),
+            "k=5,eps=0.25,ordering=degree,collect=false"
+        );
+        // Equal effective configs render the same even when one side
+        // spells the default explicitly.
+        let c = Params::new().with("k", 5).with("ordering", "degree");
+        let d = c.clone().with("eps", 0.25);
+        assert_eq!(c.canonical(&specs), d.canonical(&specs));
+    }
+
+    #[test]
+    fn canonical_coerces_int_overrides_of_float_params() {
+        // `eps=1` and `eps=1.0` are the same effective config and
+        // must share one cache line.
+        let specs = specs();
+        let int_spelling = Params::new().with("eps", 1);
+        let float_spelling = Params::new().with("eps", 1.0);
+        assert_eq!(
+            int_spelling.canonical(&specs),
+            float_spelling.canonical(&specs)
+        );
+    }
+}

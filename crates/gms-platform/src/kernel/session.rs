@@ -1,0 +1,377 @@
+//! A serving session: loaded graphs behind handles, CSR
+//! fingerprinting, and a fingerprint-keyed LRU result cache — the
+//! state a long-running mining service keeps between requests.
+
+use super::{KernelError, Outcome, Params, Registry};
+use gms_core::hash::{FxHashMap, FxHasher};
+use gms_core::CsrGraph;
+use gms_graph::io::GraphIoError;
+use std::hash::Hasher;
+use std::io::BufRead;
+use std::path::Path;
+
+/// An opaque ticket for a graph loaded into a [`Session`]. Cheap to
+/// copy; valid only for the session that issued it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct GraphHandle(usize);
+
+/// Content fingerprint of a CSR graph: a fast hash over the offset
+/// and target arrays. Two graphs with identical adjacency structure
+/// fingerprint identically however they were loaded, so cached
+/// results survive reloading the same dataset.
+pub fn fingerprint(graph: &CsrGraph) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_usize(graph.offsets().len());
+    for &offset in graph.offsets() {
+        h.write_usize(offset);
+    }
+    for &target in graph.adjacency() {
+        h.write_u32(target);
+    }
+    h.finish()
+}
+
+/// Cache bookkeeping of a session.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Requests answered from the cache.
+    pub hits: u64,
+    /// Requests that ran a kernel.
+    pub misses: u64,
+}
+
+/// `(fingerprint, vertex count, adjacency length, kernel, canonical
+/// params)`. The exact sizes ride along with the 64-bit content hash
+/// so a fingerprint collision between structurally different graphs
+/// cannot silently share cache lines unless their dimensions also
+/// match.
+pub(super) type CacheKey = (u64, usize, usize, &'static str, String);
+
+/// A bounded memo of `(graph fingerprint, kernel, canonical params)`
+/// → [`Outcome`], evicting the least-recently-used entry when full.
+struct LruCache {
+    capacity: usize,
+    tick: u64,
+    entries: FxHashMap<CacheKey, (Outcome, u64)>,
+}
+
+impl LruCache {
+    fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            tick: 0,
+            entries: FxHashMap::default(),
+        }
+    }
+
+    fn get(&mut self, key: &CacheKey) -> Option<Outcome> {
+        self.tick += 1;
+        let tick = self.tick;
+        let (outcome, stamp) = self.entries.get_mut(key)?;
+        *stamp = tick;
+        Some(outcome.clone())
+    }
+
+    fn insert(&mut self, key: CacheKey, outcome: Outcome) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
+            self.evict_oldest();
+        }
+        let tick = self.tick;
+        self.entries.insert(key, (outcome, tick));
+    }
+
+    /// Removes the least-recently-used entry, if any.
+    fn evict_oldest(&mut self) {
+        if let Some(oldest) = self
+            .entries
+            .iter()
+            .min_by_key(|(_, (_, stamp))| *stamp)
+            .map(|(k, _)| k.clone())
+        {
+            self.entries.remove(&oldest);
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// A long-running mining session: owns loaded graphs, a kernel
+/// [`Registry`], and the fingerprint-keyed result cache. This is the
+/// typed entry point the facade quick start demonstrates and the
+/// north-star service layer will wrap.
+pub struct Session {
+    registry: Registry,
+    graphs: Vec<(CsrGraph, u64)>,
+    cache: LruCache,
+    stats: SessionStats,
+}
+
+impl Session {
+    /// A session over the full built-in kernel suite with the default
+    /// cache size (128 outcomes).
+    pub fn new() -> Self {
+        Self::with_registry(Registry::with_builtins())
+    }
+
+    /// A session over a custom registry.
+    pub fn with_registry(registry: Registry) -> Self {
+        Self {
+            registry,
+            graphs: Vec::new(),
+            cache: LruCache::new(128),
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// Caps the result cache at `capacity` outcomes (0 disables
+    /// caching). Existing entries are kept up to the new capacity.
+    pub fn set_cache_capacity(&mut self, capacity: usize) {
+        self.cache.capacity = capacity;
+        while self.cache.len() > capacity {
+            self.cache.evict_oldest();
+        }
+    }
+
+    /// The kernels this session can run.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Registers an additional kernel on this session.
+    pub fn registry_mut(&mut self) -> &mut Registry {
+        &mut self.registry
+    }
+
+    /// Cache hit/miss counts so far.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// Number of cached outcomes.
+    pub fn cached_outcomes(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Adopts an in-memory graph; returns its handle.
+    pub fn add_graph(&mut self, graph: CsrGraph) -> GraphHandle {
+        let fp = fingerprint(&graph);
+        self.graphs.push((graph, fp));
+        GraphHandle(self.graphs.len() - 1)
+    }
+
+    /// Streams an undirected SNAP-style edge list from disk into the
+    /// session (pipeline step 1).
+    pub fn load_edge_list<P: AsRef<Path>>(&mut self, path: P) -> Result<GraphHandle, GraphIoError> {
+        let graph = gms_graph::io::load_undirected(path)?;
+        Ok(self.add_graph(graph))
+    }
+
+    /// Streams an undirected edge list out of any buffered reader.
+    pub fn load_edge_list_from<R: BufRead>(
+        &mut self,
+        reader: R,
+    ) -> Result<GraphHandle, GraphIoError> {
+        let graph = gms_graph::io::load_undirected_from(reader)?;
+        Ok(self.add_graph(graph))
+    }
+
+    /// The graph behind a handle.
+    pub fn graph(&self, handle: GraphHandle) -> Result<&CsrGraph, KernelError> {
+        self.graphs
+            .get(handle.0)
+            .map(|(g, _)| g)
+            .ok_or(KernelError::InvalidHandle)
+    }
+
+    /// The CSR fingerprint of a loaded graph — the graph half of the
+    /// result-cache key.
+    pub fn graph_fingerprint(&self, handle: GraphHandle) -> Result<u64, KernelError> {
+        self.graphs
+            .get(handle.0)
+            .map(|&(_, fp)| fp)
+            .ok_or(KernelError::InvalidHandle)
+    }
+
+    /// Handles of all loaded graphs, in load order.
+    pub fn handles(&self) -> Vec<GraphHandle> {
+        (0..self.graphs.len()).map(GraphHandle).collect()
+    }
+
+    pub(super) fn cache_key(
+        &self,
+        kernel: &str,
+        handle: GraphHandle,
+        params: &Params,
+    ) -> Result<CacheKey, KernelError> {
+        let k = self
+            .registry
+            .get(kernel)
+            .ok_or_else(|| KernelError::UnknownKernel(kernel.to_string()))?;
+        let specs = k.params();
+        params.validate(kernel, &specs)?;
+        let fp = self.graph_fingerprint(handle)?;
+        let graph = self.graph(handle)?;
+        Ok((
+            fp,
+            graph.offsets().len(),
+            graph.adjacency().len(),
+            k.name(),
+            params.canonical(&specs),
+        ))
+    }
+
+    pub(super) fn cache_get(&mut self, key: &CacheKey) -> Option<Outcome> {
+        let mut outcome = self.cache.get(key)?;
+        self.stats.hits += 1;
+        // A hit does no kernel work: report the result with zeroed
+        // per-request timings and the cache flag set.
+        outcome.cached = true;
+        outcome.timings = crate::pipeline::StageTimings::default();
+        Some(outcome)
+    }
+
+    pub(super) fn cache_put(&mut self, key: CacheKey, outcome: &Outcome) {
+        self.stats.misses += 1;
+        self.cache.insert(key, outcome.clone());
+    }
+
+    /// Runs a kernel by name on a loaded graph: validates the
+    /// parameters against the kernel's schema, serves a memoized
+    /// outcome when `(fingerprint, kernel, params)` was already
+    /// computed, and caches fresh results.
+    pub fn run(
+        &mut self,
+        kernel: &str,
+        handle: GraphHandle,
+        params: &Params,
+    ) -> Result<Outcome, KernelError> {
+        let key = self.cache_key(kernel, handle, params)?;
+        if let Some(hit) = self.cache_get(&key) {
+            return Ok(hit);
+        }
+        // Key construction validated the name; unwrap is safe.
+        let k = self.registry.get(kernel).expect("validated kernel name");
+        let outcome = k.run(self.graph(handle)?, params)?;
+        self.cache_put(key, &outcome);
+        Ok(outcome)
+    }
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CsrGraph {
+        gms_gen::planted_cliques(120, 0.03, 2, 6, 9).0
+    }
+
+    #[test]
+    fn fingerprint_is_content_based() {
+        let g1 = small();
+        let g2 = small();
+        assert_eq!(fingerprint(&g1), fingerprint(&g2));
+        let other = gms_gen::gnp(120, 0.03, 10);
+        assert_ne!(fingerprint(&g1), fingerprint(&other));
+    }
+
+    #[test]
+    fn identical_requests_hit_the_cache() {
+        let mut session = Session::new();
+        let g = session.add_graph(small());
+        let params = Params::new().with("k", 3);
+        let first = session.run("k-clique", g, &params).unwrap();
+        assert!(!first.cached);
+        let second = session.run("k-clique", g, &params).unwrap();
+        assert!(second.cached);
+        assert!(second.same_result(&first));
+        assert_eq!(second.timings.kernel, std::time::Duration::ZERO);
+        assert_eq!(session.stats(), SessionStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn default_spelling_and_omission_share_a_cache_line() {
+        let mut session = Session::new();
+        let g = session.add_graph(small());
+        session.run("k-clique", g, &Params::new()).unwrap();
+        // `k=4` is the declared default: spelling it out is the same
+        // request.
+        let hit = session
+            .run("k-clique", g, &Params::new().with("k", 4))
+            .unwrap();
+        assert!(hit.cached);
+        // A different k is a different request.
+        let miss = session
+            .run("k-clique", g, &Params::new().with("k", 5))
+            .unwrap();
+        assert!(!miss.cached);
+    }
+
+    #[test]
+    fn same_content_different_handle_still_hits() {
+        let mut session = Session::new();
+        let a = session.add_graph(small());
+        let b = session.add_graph(small());
+        session.run("triangle-count", a, &Params::new()).unwrap();
+        let hit = session.run("triangle-count", b, &Params::new()).unwrap();
+        assert!(hit.cached, "cache keys on content, not handle identity");
+    }
+
+    #[test]
+    fn lru_evicts_oldest_and_capacity_zero_disables() {
+        let mut session = Session::new();
+        session.set_cache_capacity(2);
+        let g = session.add_graph(small());
+        for k in [3i64, 4, 5] {
+            session
+                .run("k-clique", g, &Params::new().with("k", k))
+                .unwrap();
+        }
+        assert_eq!(session.cached_outcomes(), 2);
+        // k=3 was least recently used; rerunning it must miss.
+        let again = session
+            .run("k-clique", g, &Params::new().with("k", 3))
+            .unwrap();
+        assert!(!again.cached);
+
+        session.set_cache_capacity(0);
+        assert_eq!(session.cached_outcomes(), 0);
+        let uncached = session
+            .run("k-clique", g, &Params::new().with("k", 3))
+            .unwrap();
+        assert!(!uncached.cached);
+    }
+
+    #[test]
+    fn loads_edge_lists_through_the_streaming_loader() {
+        let mut session = Session::new();
+        let text = "# toy triangle plus tail\n0\t1\n1\t2\n2 0\n2 3\n";
+        let g = session.load_edge_list_from(text.as_bytes()).unwrap();
+        let out = session.run("triangle-count", g, &Params::new()).unwrap();
+        assert_eq!(out.patterns, 1);
+    }
+
+    #[test]
+    fn invalid_handles_are_rejected() {
+        let mut empty = Session::new();
+        let mut other = Session::new();
+        let foreign = other.add_graph(small());
+        assert_eq!(
+            empty
+                .run("triangle-count", foreign, &Params::new())
+                .unwrap_err(),
+            KernelError::InvalidHandle
+        );
+    }
+}

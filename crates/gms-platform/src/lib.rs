@@ -6,11 +6,16 @@
 //! algorithmic-throughput metric, software performance counters as
 //! the PAPI substitute (§5.5 — see DESIGN.md for the substitution
 //! rationale), a thread-scaling harness, and Table 7-style dataset
-//! statistics.
+//! statistics — plus the [`kernel`] subsystem: the unified typed
+//! entry point ([`kernel::Kernel`]), the name/category
+//! [`kernel::Registry`] over every mining kernel in the suite, the
+//! graph-owning [`kernel::Session`] with its fingerprint-keyed
+//! result cache, and the pool-driven [`kernel::BatchRunner`].
 
 #![warn(missing_docs)]
 
 pub mod counters;
+pub mod kernel;
 pub mod metrics;
 pub mod pipeline;
 pub mod report;
@@ -18,6 +23,10 @@ pub mod scaling;
 pub mod stats;
 
 pub use counters::{CounterRegion, CounterSnapshot, CountingSet};
+pub use kernel::{
+    BatchRequest, BatchRunner, Category, GraphHandle, Kernel, KernelError, Outcome, ParamSpec,
+    Params, Payload, Registry, Session, SessionStats, Value, ValueKind,
+};
 pub use metrics::{Measurement, Throughput};
 pub use pipeline::{run_pipeline, Pipeline, StageTimings};
 pub use report::ResultTable;

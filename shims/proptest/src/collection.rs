@@ -24,7 +24,7 @@ fn draw_len(size: &Range<usize>, rng: &mut TestRng) -> usize {
     size.start + rng.below((size.end - size.start) as u64) as usize
 }
 
-/// See [`vec`].
+/// See [`vec()`].
 #[derive(Clone)]
 pub struct VecStrategy<S> {
     element: S,

@@ -11,7 +11,7 @@
 //! fan-out this shim used before PR 2: there is a persistent pool of
 //! workers per width (lazily spawned, reused across calls), each with
 //! its own Chase–Lev-style deque (owner LIFO, thieves FIFO; see
-//! [`pool`]'s module docs). `join(a, b)` publishes `b` for stealing
+//! the `pool` module docs). `join(a, b)` publishes `b` for stealing
 //! while `a` runs, and the parallel iterator combinators submit
 //! recursively *splittable range tasks* rather than pre-cut chunks,
 //! so skewed per-item costs rebalance dynamically — the execution

@@ -3,40 +3,75 @@
 //! A Rust reproduction of **GraphMineSuite** (Besta et al., VLDB
 //! 2021): a benchmarking suite for high-performance, programmable
 //! graph mining built on *set algebra*. Algorithms are written against
-//! a small [`Set`] interface; swapping the set layout (sorted arrays,
+//! a small [`Set`](gms_core::Set) interface; swapping the set layout (sorted arrays,
 //! roaring bitmaps, dense bitvectors, hash sets), the vertex order
 //! (degree, exact or approximate degeneracy, triangle rank), or the
 //! graph representation changes no algorithm code.
 //!
 //! ## Quick start
 //!
+//! Every mining kernel is served through one typed entry point: a
+//! [`Session`](gms_platform::kernel::Session) owns loaded graphs, a
+//! [`Registry`](gms_platform::kernel::Registry) maps kernel names
+//! to implementations, and results are memoized by
+//! `(graph fingerprint, kernel, params)`.
+//!
 //! ```
 //! use gms::prelude::*;
 //!
-//! // A social-network-like graph with planted 8-cliques.
+//! // A social-network-like graph with planted 8-cliques, loaded
+//! // into a serving session (pipeline step 1).
 //! let (graph, _) = gms::gen::planted_cliques(500, 0.01, 3, 8, 42);
+//! let mut session = Session::new();
+//! let g = session.add_graph(graph);
 //!
-//! // Maximal clique listing: the paper's BK-GMS-ADG variant
-//! // (Bron-Kerbosch over roaring bitmaps + approximate degeneracy).
-//! let outcome = BkVariant::GmsAdg.run(&graph);
-//! assert!(outcome.largest >= 8);
-//! println!(
-//!     "{} maximal cliques at {:.0} cliques/s",
-//!     outcome.clique_count,
-//!     outcome.throughput()
-//! );
+//! // Maximal clique listing — the paper's BK-GMS-ADG variant — by
+//! // name, through the same API as every other kernel.
+//! let bk = session.run("bk-gms-adg", g, &Params::new()).unwrap();
+//! assert!(bk.patterns >= 3);
+//! println!("{} maximal cliques at {:.0}/s", bk.patterns, bk.throughput());
 //!
-//! // k-clique counting with a different ordering — one line to swap.
-//! let kc = k_clique_count(&graph, 4, &KcConfig::default());
-//! assert!(kc.count > 0);
+//! // k-clique counting with typed parameters — swapping k or the
+//! // preprocessing order is one `with` away.
+//! let params = Params::new().with("k", 4).with("ordering", "degeneracy");
+//! let kc = session.run("k-clique", g, &params).unwrap();
+//! assert!(kc.patterns > 0);
+//!
+//! // The same request again is a cache hit: same result, no kernel
+//! // time spent.
+//! let hit = session.run("k-clique", g, &params).unwrap();
+//! assert!(hit.cached && hit.same_result(&kc));
+//!
+//! // The registry enumerates the whole suite by category.
+//! let pattern_kernels = session.registry().by_category(Category::Pattern);
+//! assert!(pattern_kernels.iter().any(|k| k.name() == "triangle-count"));
 //! ```
+//!
+//! Batches ride the work-stealing pool and share the same cache:
+//!
+//! ```
+//! use gms::prelude::*;
+//!
+//! let mut session = Session::new();
+//! let g = session.add_graph(gms::gen::gnp(300, 0.03, 7));
+//! let batch: Vec<BatchRequest> = ["triangle-count", "order-degree", "coloring"]
+//!     .iter()
+//!     .map(|name| BatchRequest::new(name, g, Params::new()))
+//!     .collect();
+//! let outcomes = BatchRunner::new(2).run(&mut session, &batch);
+//! assert!(outcomes.iter().all(|r| r.is_ok()));
+//! ```
+//!
+//! The legacy per-crate entry points (`BkVariant::run`,
+//! `k_clique_count`, ...) remain available for direct use; the
+//! kernel API wraps them.
 //!
 //! ## Crate map
 //!
 //! | module | contents | paper section |
 //! |---|---|---|
 //! | [`core`] | `Set` trait + 4 layouts, CSR, set-centric graphs | §5.1–5.3 |
-//! | [`graph`] | transforms, I/O, compression (varint/gap/RLE/reference/bit-packing/k²-trees) | §5, App. B |
+//! | [`graph`] | transforms, streaming I/O, compression (varint/gap/RLE/reference/bit-packing/k²-trees) | §5, App. B |
 //! | [`gen`] | ER, Kronecker, planted structures, grids | §4.2 |
 //! | [`order`] | DEG / DGR / ADG / triangle rank, k-cores | §6.1 |
 //! | [`pattern`] | Bron–Kerbosch, k-cliques, clique-stars, triangles | §6.2–6.3, 6.6 |
@@ -44,6 +79,7 @@
 //! | [`learn`] | similarity, link prediction, clustering, communities | §6.5, 6.7 |
 //! | [`opt`] | coloring, Borůvka MST, Karger–Stein min cut | §4.1.4 |
 //! | [`platform`] | pipeline, metrics, counters, scaling, stats | §4.3, 5.4–5.5 |
+//! | [`platform::kernel`] | unified kernel API: registry, session + result cache, batch runner | §5 (service layer) |
 
 #![warn(missing_docs)]
 
@@ -63,6 +99,7 @@ pub mod prelude {
         CsrGraph, DenseBitSet, Graph, HashVertexSet, NodeId, RoaringSet, Set, SetGraph,
         SetNeighborhoods, SortedVecSet,
     };
+    pub use gms_graph::io::{GraphIoCause, GraphIoError};
     pub use gms_graph::{orient_by_rank, relabel, Rank};
     pub use gms_learn::SimilarityMeasure;
     pub use gms_match::{IsoMode, IsoOptions, LabeledGraph};
@@ -70,6 +107,10 @@ pub mod prelude {
     pub use gms_pattern::{
         bron_kerbosch, k_clique_count, BkConfig, BkVariant, KcConfig, KcParallel, KcVariant,
         SubgraphMode,
+    };
+    pub use gms_platform::kernel::{
+        BatchRequest, BatchRunner, Category, GraphHandle, Kernel, KernelError, Outcome, ParamSpec,
+        Params, Payload, Registry, Session, SessionStats, Value, ValueKind,
     };
     pub use gms_platform::{GraphStats, Measurement, Pipeline, Throughput};
 }

@@ -1,0 +1,158 @@
+//! Integration suite for the unified kernel API (tier 1).
+//!
+//! The contract under test: **every** public mining kernel is
+//! runnable by string name through the [`Registry`] with typed
+//! [`Params`], produces a non-trivial [`Outcome`] on a seeded
+//! planted-clique graph at default parameters, and a second
+//! identical request is a cache hit — same result, no kernel time.
+//! Because the suite *enumerates* the registry, a newly registered
+//! kernel is covered automatically (and fails fast if it returns
+//! trivial outcomes).
+
+use gms::prelude::*;
+
+/// A seeded planted-clique graph with a Hamiltonian ring stitched
+/// through it, so it is connected (min-cut must find a real cut and
+/// every component-based kernel sees one structure).
+fn planted_connected() -> CsrGraph {
+    let n = 160usize;
+    let (g, _) = gms::gen::planted_cliques(n, 0.02, 3, 8, 11);
+    let mut edges: Vec<(NodeId, NodeId)> = g.edges_undirected().collect();
+    for v in 0..n as NodeId {
+        edges.push((v, (v + 1) % n as NodeId));
+    }
+    CsrGraph::from_undirected_edges(n, &edges)
+}
+
+#[test]
+fn every_registered_kernel_runs_and_caches() {
+    let mut session = Session::new();
+    let g = session.add_graph(planted_connected());
+    let names: Vec<&'static str> = session.registry().names();
+    assert!(names.len() >= 20, "expected the full built-in suite");
+
+    for name in names {
+        let first = session
+            .run(name, g, &Params::new())
+            .unwrap_or_else(|e| panic!("{name} failed: {e}"));
+        assert!(!first.cached, "{name}: first request must not be cached");
+        assert!(
+            first.patterns > 0,
+            "{name}: trivial outcome (0 patterns) on the planted graph"
+        );
+
+        // The identical request again: a hit with the same mined
+        // result and ~zero kernel time (nothing ran).
+        let second = session.run(name, g, &Params::new()).unwrap();
+        assert!(second.cached, "{name}: second request must hit the cache");
+        assert!(
+            second.same_result(&first),
+            "{name}: cache returned a different result"
+        );
+        assert_eq!(
+            second.timings.total(),
+            std::time::Duration::ZERO,
+            "{name}: cache hit reported kernel time"
+        );
+    }
+
+    let stats = session.stats();
+    assert_eq!(stats.hits, stats.misses, "one hit per miss");
+}
+
+#[test]
+fn registry_results_match_legacy_entry_points() {
+    let graph = planted_connected();
+    let registry = Registry::with_builtins();
+
+    // Maximal cliques: named variant vs. the legacy BkVariant call.
+    let via_registry = registry.run("bk-gms-adg", &graph, &Params::new()).unwrap();
+    let legacy = BkVariant::GmsAdg.run(&graph);
+    assert_eq!(via_registry.patterns, legacy.clique_count);
+
+    // k-cliques: typed params vs. the legacy config struct.
+    let via_registry = registry
+        .run("k-clique", &graph, &Params::new().with("k", 5))
+        .unwrap();
+    let legacy = k_clique_count(&graph, 5, &KcConfig::default());
+    assert_eq!(via_registry.patterns, legacy.count);
+
+    // Triangles: the registry's default method vs. the direct call.
+    let via_registry = registry
+        .run("triangle-count", &graph, &Params::new())
+        .unwrap();
+    let legacy = gms::pattern::triangle_count_rank_merge(&graph);
+    assert_eq!(via_registry.patterns, legacy);
+}
+
+#[test]
+fn categories_partition_the_suite() {
+    let registry = Registry::with_builtins();
+    let mut total = 0;
+    for category in Category::ALL {
+        let kernels = registry.by_category(category);
+        assert!(!kernels.is_empty(), "{category:?} has no kernels");
+        total += kernels.len();
+    }
+    assert_eq!(total, registry.len(), "every kernel has one category");
+}
+
+#[test]
+fn bad_requests_fail_with_typed_errors() {
+    let mut session = Session::new();
+    let g = session.add_graph(planted_connected());
+    assert!(matches!(
+        session.run("bron-kerbosch-typo", g, &Params::new()),
+        Err(KernelError::UnknownKernel(_))
+    ));
+    assert!(matches!(
+        session.run("bk", g, &Params::new().with("layoutt", "dense")),
+        Err(KernelError::UnknownParam { .. })
+    ));
+    assert!(matches!(
+        session.run("bk", g, &Params::new().with("layout", "cuckoo")),
+        Err(KernelError::BadParam { .. })
+    ));
+}
+
+#[test]
+fn reloading_the_same_dataset_reuses_cached_results() {
+    // Serialize a graph as a SNAP-style edge list, load it twice
+    // through the streaming loader: the CSR fingerprint makes the
+    // second handle hit the first handle's cached outcomes.
+    let graph = planted_connected();
+    let mut text = Vec::new();
+    gms::graph::io::write_edge_list(&graph, &mut text).unwrap();
+
+    let mut session = Session::new();
+    let a = session.load_edge_list_from(text.as_slice()).unwrap();
+    let b = session.load_edge_list_from(text.as_slice()).unwrap();
+    assert_ne!(a, b, "distinct handles");
+
+    let miss = session.run("triangle-count", a, &Params::new()).unwrap();
+    let hit = session.run("triangle-count", b, &Params::new()).unwrap();
+    assert!(!miss.cached);
+    assert!(hit.cached, "same content must share cache lines");
+    assert!(hit.same_result(&miss));
+}
+
+#[test]
+fn batch_runner_serves_mixed_requests_through_the_facade() {
+    let mut session = Session::new();
+    let g = session.add_graph(planted_connected());
+    let batch: Vec<BatchRequest> = ["bk-gms-adg", "k-clique", "triangle-count", "bk-gms-adg"]
+        .iter()
+        .map(|name| BatchRequest::new(name, g, Params::new()))
+        .collect();
+    let outcomes = BatchRunner::new(2).run(&mut session, &batch);
+    assert_eq!(outcomes.len(), 4);
+    for outcome in &outcomes {
+        assert!(outcome.as_ref().unwrap().patterns > 0);
+    }
+    // The duplicate bk request was deduplicated, not re-run.
+    assert!(outcomes[3].as_ref().unwrap().cached);
+    assert!(outcomes[3]
+        .as_ref()
+        .unwrap()
+        .same_result(outcomes[0].as_ref().unwrap()));
+}
