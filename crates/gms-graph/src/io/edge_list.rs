@@ -1,0 +1,347 @@
+//! Whitespace-separated `u v` edge lists — the format of
+//! SNAP/KONECT/Network-Repository dumps. `#` and `%` comment lines,
+//! any mix of tabs and spaces between fields, CRLF line endings and
+//! trailing weight/timestamp columns are all tolerated, streamed line
+//! by line over any [`BufRead`] source.
+
+use super::{GraphIoCause, GraphIoError};
+use gms_core::{CsrGraph, Edge, Graph, NodeId};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// A streaming edge-list parser: an iterator of edges over any
+/// [`BufRead`] source. One line buffer is reused for the whole read,
+/// so memory stays O(longest line) regardless of file size.
+///
+/// Two normalizations are applied while streaming, keeping the
+/// stream's output consistent with [`CsrGraph::from_undirected_edges`]:
+///
+/// * any run of field separators — spaces, tabs, or a mix — counts
+///   as one separator;
+/// * self-loop lines (`7 7`) are skipped, exactly as the CSR builder
+///   drops self-loop edges.
+///
+/// SNAP-style `# Nodes: <n> Edges: <m>` comment headers are
+/// recognized on the fly: the declared vertex count is surfaced via
+/// [`EdgeListStream::declared_nodes`] so loaders can size the graph
+/// even when trailing vertices are isolated (no edge mentions them).
+pub struct EdgeListStream<R: BufRead> {
+    reader: R,
+    buf: String,
+    line: usize,
+    declared_nodes: Option<usize>,
+    max_node_id: Option<NodeId>,
+}
+
+impl<R: BufRead> EdgeListStream<R> {
+    /// Wraps a buffered reader positioned at the start of an edge
+    /// list.
+    pub fn new(reader: R) -> Self {
+        Self {
+            reader,
+            buf: String::new(),
+            line: 0,
+            declared_nodes: None,
+            max_node_id: None,
+        }
+    }
+
+    /// 1-based number of the last line read.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// The largest vertex ID on any data line read so far —
+    /// **including** skipped self-loop lines, so a loader sizing a
+    /// graph by ID sees every mentioned vertex (a `5 5` line keeps
+    /// contributing vertex 5, exactly as the pre-streaming loader
+    /// behaved: the builder drops the loop edge, not the vertex).
+    pub fn max_node_id(&self) -> Option<NodeId> {
+        self.max_node_id
+    }
+
+    /// The vertex count declared by a `# Nodes: <n> ...` comment, if
+    /// one has been seen so far. Declarations beyond what a
+    /// [`NodeId`] can address are ignored, bounding what a hostile
+    /// comment can request to the same worst-case allocation a
+    /// 13-byte data line (`0 4294967295`) can already demand — the
+    /// header adds no allocation surface the format itself lacks.
+    pub fn declared_nodes(&self) -> Option<usize> {
+        self.declared_nodes
+    }
+
+    /// Records `Nodes: <n>` from a SNAP-style comment line, if
+    /// present. The first declaration wins; an unparsable or
+    /// unrepresentable count (more vertices than `NodeId` spans) is
+    /// ignored rather than trusted with an allocation.
+    fn scan_comment(&mut self) {
+        if self.declared_nodes.is_some() {
+            return;
+        }
+        let mut fields = self.buf.split_whitespace();
+        while let Some(field) = fields.next() {
+            if field == "Nodes:" {
+                if let Some(n) = fields.next().and_then(|v| v.parse::<usize>().ok()) {
+                    if n as u64 <= u64::from(NodeId::MAX) + 1 {
+                        self.declared_nodes = Some(n);
+                    }
+                }
+                return;
+            }
+        }
+    }
+
+    /// Parses the current line; `None` means "nothing to emit" (a
+    /// comment, a blank line, or a skipped self-loop).
+    fn parse_line(&self) -> Option<Result<Edge, GraphIoError>> {
+        let text = self.buf.trim();
+        if text.is_empty() || text.starts_with('#') || text.starts_with('%') {
+            return None;
+        }
+        // Fields split on any whitespace run: spaces, tabs, or both.
+        let mut fields = text.split_whitespace();
+        let endpoint = |field: Option<&str>| -> Result<NodeId, GraphIoError> {
+            match field {
+                None => Err(GraphIoError::at(self.line, GraphIoCause::MissingEndpoint)),
+                Some(s) => s.parse().map_err(|_| {
+                    GraphIoError::at(self.line, GraphIoCause::InvalidVertexId(s.to_string()))
+                }),
+            }
+        };
+        let u = match endpoint(fields.next()) {
+            Ok(u) => u,
+            Err(e) => return Some(Err(e)),
+        };
+        let v = match endpoint(fields.next()) {
+            Ok(v) => v,
+            Err(e) => return Some(Err(e)),
+        };
+        // Extra fields (weights, timestamps) are tolerated: we keep
+        // the topology, as the SNAP loaders of the original suite do.
+        // Self-loops are yielded here and filtered in `next`, where
+        // their endpoint can still be recorded for graph sizing.
+        Some(Ok((u, v)))
+    }
+}
+
+impl<R: BufRead> Iterator for EdgeListStream<R> {
+    type Item = Result<Edge, GraphIoError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            self.buf.clear();
+            match self.reader.read_line(&mut self.buf) {
+                Err(e) => {
+                    return Some(Err(GraphIoError {
+                        line: Some(self.line + 1),
+                        cause: GraphIoCause::Io(e),
+                    }))
+                }
+                Ok(0) => return None,
+                Ok(_) => {
+                    self.line += 1;
+                    let trimmed = self.buf.trim_start();
+                    if trimmed.starts_with('#') || trimmed.starts_with('%') {
+                        self.scan_comment();
+                    }
+                    match self.parse_line() {
+                        None => {}
+                        Some(Err(e)) => return Some(Err(e)),
+                        Some(Ok((u, v))) => {
+                            let line_max = u.max(v);
+                            self.max_node_id =
+                                Some(self.max_node_id.map_or(line_max, |m| m.max(line_max)));
+                            // Self-loop edges are dropped, matching
+                            // the CSR builder's policy; the vertex
+                            // itself was recorded above.
+                            if u != v {
+                                return Some(Ok((u, v)));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Parses a whitespace-separated edge list from a reader into memory.
+/// Vertex IDs may be arbitrary `u32`s; see [`EdgeListStream`] for the
+/// line-streaming form this collects from (self-loops are skipped,
+/// like the CSR builder drops them).
+pub fn read_edge_list<R: Read>(reader: R) -> Result<Vec<Edge>, GraphIoError> {
+    EdgeListStream::new(BufReader::new(reader)).collect()
+}
+
+/// Streams an undirected graph out of any [`BufRead`] source: edges
+/// are consumed line by line (never a whole-file string) and the
+/// graph is sized by the largest vertex ID seen — or by a SNAP-style
+/// `# Nodes: <n>` header when that declares more (so isolated
+/// trailing vertices survive a round trip).
+pub fn load_undirected_from<R: BufRead>(reader: R) -> Result<CsrGraph, GraphIoError> {
+    let mut edges = Vec::new();
+    let mut stream = EdgeListStream::new(reader);
+    for edge in &mut stream {
+        edges.push(edge?);
+    }
+    // Size by every vertex mentioned (self-loop lines included), or
+    // by the SNAP header when that declares more.
+    let mut n = stream.max_node_id().map_or(0, |m| m as usize + 1);
+    if let Some(declared) = stream.declared_nodes() {
+        n = n.max(declared);
+    }
+    Ok(CsrGraph::from_undirected_edges(n, &edges))
+}
+
+/// Reads an undirected graph from an edge-list file (SNAP style).
+pub fn load_undirected<P: AsRef<Path>>(path: P) -> Result<CsrGraph, GraphIoError> {
+    let file = std::fs::File::open(path)?;
+    load_undirected_from(BufReader::new(file))
+}
+
+/// Writes a SNAP-style `# Nodes: n Edges: m` header, then each
+/// undirected edge once as a `u v` line. The header lets
+/// [`load_undirected`] restore the exact vertex count even when
+/// trailing vertices are isolated.
+pub fn write_edge_list<W: Write>(graph: &CsrGraph, mut writer: W) -> std::io::Result<()> {
+    writeln!(
+        writer,
+        "# Nodes: {} Edges: {}",
+        graph.num_vertices(),
+        graph.num_edges_undirected()
+    )?;
+    for (u, v) in graph.edges_undirected() {
+        writeln!(writer, "{u} {v}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_comments_and_blank_lines() {
+        let text = "# SNAP-style comment\n% KONECT-style comment\n\n0 1\n1 2\n  2   0 \n";
+        let edges = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(edges, vec![(0, 1), (1, 2), (2, 0)]);
+    }
+
+    #[test]
+    fn tolerates_tabs_and_crlf() {
+        // SNAP dumps are tab-separated and often carry CRLF endings.
+        let text = "# Nodes: 3 Edges: 2\r\n0\t1\r\n1\t\t2\r\n";
+        let edges = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(edges, vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn mixed_space_and_tab_runs_are_one_separator() {
+        // Regression: a run mixing spaces and tabs must separate
+        // exactly two fields, not produce phantom empties.
+        let text = "0 \t 1\n1\t \t2\n2  \t\t  3\n";
+        let edges = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(edges, vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn self_loops_are_skipped_like_the_builder() {
+        // Regression: the stream must apply the same self-loop policy
+        // as `CsrGraph::from_undirected_edges`, so collecting it and
+        // building directly agree.
+        let text = "0 1\n1 1\n1 2\n2\t2\n";
+        let edges = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(edges, vec![(0, 1), (1, 2)]);
+        let g = load_undirected_from(text.as_bytes()).unwrap();
+        assert_eq!(g, CsrGraph::from_undirected_edges(3, &[(0, 1), (1, 2)]));
+    }
+
+    #[test]
+    fn self_loop_on_the_max_id_still_sizes_the_graph() {
+        // The loop *edge* is dropped but vertex 5 stays, exactly as
+        // the builder treats an explicit (5, 5) edge.
+        let g = load_undirected_from("0 1\n5 5\n".as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 6);
+        assert_eq!(g.num_edges_undirected(), 1);
+        assert_eq!(g, CsrGraph::from_undirected_edges(6, &[(0, 1), (5, 5)]));
+
+        let mut stream = EdgeListStream::new("3 3\n".as_bytes());
+        assert!(stream.next().is_none(), "loop edges are not yielded");
+        assert_eq!(stream.max_node_id(), Some(3), "but their vertex is seen");
+    }
+
+    #[test]
+    fn missing_endpoint_reports_line_and_cause() {
+        let err = read_edge_list("0 1\n7\n".as_bytes()).unwrap_err();
+        assert_eq!(err.line, Some(2));
+        assert!(matches!(err.cause, GraphIoCause::MissingEndpoint));
+    }
+
+    #[test]
+    fn invalid_id_reports_offending_field() {
+        let err = read_edge_list("0 1\n2 x\n".as_bytes()).unwrap_err();
+        assert_eq!(err.line, Some(2));
+        assert!(err.to_string().contains("line 2"));
+        match err.cause {
+            GraphIoCause::InvalidVertexId(field) => assert_eq!(field, "x"),
+            other => panic!("unexpected cause: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stream_resumes_after_comments_and_tracks_lines() {
+        let text = "# header\n0 1\n% midway\n1 2\n";
+        let mut stream = EdgeListStream::new(text.as_bytes());
+        assert_eq!(stream.next().unwrap().unwrap(), (0, 1));
+        assert_eq!(stream.line(), 2);
+        assert_eq!(stream.next().unwrap().unwrap(), (1, 2));
+        assert_eq!(stream.line(), 4);
+        assert!(stream.next().is_none());
+    }
+
+    #[test]
+    fn roundtrip_through_text() {
+        let g = CsrGraph::from_undirected_edges(5, &[(0, 1), (1, 2), (3, 4), (0, 4)]);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let edges = read_edge_list(buf.as_slice()).unwrap();
+        let g2 = CsrGraph::from_undirected_edges(5, &edges);
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn nodes_header_preserves_isolated_vertices() {
+        // Vertices 5..8 have no edges; only the header mentions them.
+        let g = CsrGraph::from_undirected_edges(8, &[(0, 1), (2, 4)]);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("# Nodes: 8 Edges: 2\n"));
+        let reloaded = load_undirected_from(text.as_bytes()).unwrap();
+        assert_eq!(reloaded, g);
+    }
+
+    #[test]
+    fn larger_ids_override_a_smaller_nodes_header() {
+        let g = load_undirected_from("# Nodes: 2 Edges: 1\n0 9\n".as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 10);
+    }
+
+    #[test]
+    fn extra_columns_are_ignored() {
+        // Weighted edge lists carry a third column; we keep topology.
+        let edges = read_edge_list("0 1 0.5\n1 2 3.7\n".as_bytes()).unwrap();
+        assert_eq!(edges, vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn load_undirected_sizes_by_max_id() {
+        let dir = std::env::temp_dir().join("gms_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.el");
+        std::fs::write(&path, "0 9\n1 2\n").unwrap();
+        let g = load_undirected(&path).unwrap();
+        assert_eq!(g.num_vertices(), 10);
+        assert_eq!(g.num_edges_undirected(), 2);
+    }
+}

@@ -1,0 +1,370 @@
+//! METIS graph format — the `n m [fmt [ncon]]` header followed by one
+//! 1-indexed adjacency line per vertex, used across the
+//! DIMACS/METIS/KaHIP partitioning ecosystems.
+//!
+//! The parser is comment tolerant (`%` lines anywhere), accepts blank
+//! lines as degree-0 vertices, understands the optional `fmt` flags
+//! (vertex sizes / vertex weights / edge weights) and the optional
+//! `ncon` vertex-weight multiplicity, and validates both declared
+//! counts: the body must contain exactly `n` vertex lines and the
+//! adjacency lists exactly `2m` entries. Weights are parsed (and
+//! type-checked) but not kept — the suite mines topology, as the
+//! original GMS loaders do.
+
+use super::{GraphIoCause, GraphIoError};
+use gms_core::{CsrGraph, Edge, Graph, NodeId};
+use std::io::{BufRead, BufReader};
+use std::path::Path;
+
+/// The `fmt` field of a METIS header: three binary digits declaring
+/// which optional sections each vertex line carries.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MetisFmt {
+    /// Hundreds digit: each vertex line starts with a vertex size.
+    pub vertex_sizes: bool,
+    /// Tens digit: vertex weights (`ncon` of them) follow the size.
+    pub vertex_weights: bool,
+    /// Units digit: every adjacency entry is followed by an edge
+    /// weight.
+    pub edge_weights: bool,
+}
+
+/// A parsed METIS header line: `n m [fmt [ncon]]`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MetisHeader {
+    /// Number of vertices.
+    pub n: usize,
+    /// Number of undirected edges (each appears twice in the body).
+    pub m: usize,
+    /// Which optional per-line sections are present.
+    pub fmt: MetisFmt,
+    /// Number of vertex weights per vertex (meaningful only with
+    /// `fmt.vertex_weights`; defaults to 1).
+    pub ncon: usize,
+}
+
+impl MetisHeader {
+    /// Whether adjacency entries carry edge weights.
+    pub fn edge_weighted(&self) -> bool {
+        self.fmt.edge_weights
+    }
+}
+
+fn header_error(line: usize, detail: &str) -> GraphIoError {
+    GraphIoError::at(line, GraphIoCause::MetisHeader(detail.to_string()))
+}
+
+/// Parses a METIS header line (without comments) into its parts.
+pub fn read_metis_header(text: &str, line: usize) -> Result<MetisHeader, GraphIoError> {
+    let fields: Vec<&str> = text.split_whitespace().collect();
+    if fields.len() < 2 || fields.len() > 4 {
+        return Err(header_error(
+            line,
+            "expected `n m [fmt [ncon]]` (2 to 4 fields)",
+        ));
+    }
+    let count = |s: &str| -> Result<usize, GraphIoError> {
+        s.parse()
+            .map_err(|_| header_error(line, "vertex/edge counts must be non-negative integers"))
+    };
+    let n = count(fields[0])?;
+    let m = count(fields[1])?;
+    let mut fmt = MetisFmt::default();
+    if let Some(&flags) = fields.get(2) {
+        if flags.is_empty() || flags.len() > 3 || !flags.bytes().all(|b| b == b'0' || b == b'1') {
+            return Err(header_error(line, "fmt must be 1-3 binary digits"));
+        }
+        let mut digits = [false; 3];
+        for (slot, byte) in digits[3 - flags.len()..].iter_mut().zip(flags.bytes()) {
+            *slot = byte == b'1';
+        }
+        fmt = MetisFmt {
+            vertex_sizes: digits[0],
+            vertex_weights: digits[1],
+            edge_weights: digits[2],
+        };
+    }
+    let ncon = match fields.get(3) {
+        Some(&s) => {
+            let ncon = count(s)?;
+            if ncon == 0 {
+                return Err(header_error(line, "ncon must be at least 1"));
+            }
+            ncon
+        }
+        None => 1,
+    };
+    Ok(MetisHeader { n, m, fmt, ncon })
+}
+
+/// Streams a METIS graph out of any [`BufRead`] source.
+pub fn load_metis_from<R: BufRead>(reader: R) -> Result<CsrGraph, GraphIoError> {
+    let mut lines = MetisLines::new(reader);
+
+    // Header: the first non-comment, non-blank line.
+    let header = loop {
+        match lines.next_line()? {
+            None => return Err(header_error(lines.line, "file has no header line")),
+            Some((_, text)) if text.trim().is_empty() => continue,
+            Some((line, text)) => break read_metis_header(text, line)?,
+        }
+    };
+
+    // Capacity is a hint only — a corrupt header must not be able to
+    // trigger a huge allocation before the body disproves it.
+    let mut edges: Vec<Edge> = Vec::with_capacity(header.m.saturating_mul(2).min(1 << 20));
+    let mut entries = 0usize;
+    let mut vertices_seen = 0usize;
+
+    // Body: exactly `n` vertex lines (blank line = degree-0 vertex).
+    while vertices_seen < header.n {
+        let Some((line, text)) = lines.next_line()? else {
+            return Err(GraphIoError::at(
+                lines.line,
+                GraphIoCause::MetisVertexCount {
+                    declared: header.n,
+                    actual: vertices_seen,
+                },
+            ));
+        };
+        let u = vertices_seen as NodeId;
+        vertices_seen += 1;
+        let mut fields = text.split_whitespace();
+
+        let weight = |field: Option<&str>| -> Result<(), GraphIoError> {
+            match field {
+                None => Err(GraphIoError::at(
+                    line,
+                    GraphIoCause::InvalidWeight("<missing>".to_string()),
+                )),
+                Some(s) => s.parse::<f64>().map(|_| ()).map_err(|_| {
+                    GraphIoError::at(line, GraphIoCause::InvalidWeight(s.to_string()))
+                }),
+            }
+        };
+        if header.fmt.vertex_sizes {
+            weight(fields.next())?;
+        }
+        if header.fmt.vertex_weights {
+            for _ in 0..header.ncon {
+                weight(fields.next())?;
+            }
+        }
+        while let Some(field) = fields.next() {
+            let id: u64 = field.parse().map_err(|_| {
+                GraphIoError::at(line, GraphIoCause::InvalidVertexId(field.to_string()))
+            })?;
+            if !(1..=header.n as u64).contains(&id) {
+                return Err(GraphIoError::at(
+                    line,
+                    GraphIoCause::VertexOutOfRange { id, n: header.n },
+                ));
+            }
+            if id == u as u64 + 1 {
+                // The format forbids self-loops; accepting one would
+                // let a file pass the edge-count check while the
+                // builder silently drops the loop.
+                return Err(GraphIoError::at(
+                    line,
+                    GraphIoCause::MetisSelfLoop { vertex: id },
+                ));
+            }
+            if header.fmt.edge_weights {
+                weight(fields.next())?;
+            }
+            entries += 1;
+            // 1-indexed on disk, 0-indexed in memory. The builder
+            // symmetrizes and deduplicates, so the mirrored entry a
+            // valid file carries folds back into one edge.
+            edges.push((u, (id - 1) as NodeId));
+        }
+    }
+
+    // Anything but comments or blank padding after the last vertex
+    // line means the header undercounted.
+    while let Some((line, text)) = lines.next_line()? {
+        if !text.trim().is_empty() {
+            return Err(GraphIoError::at(
+                line,
+                GraphIoCause::MetisVertexCount {
+                    declared: header.n,
+                    actual: header.n + 1,
+                },
+            ));
+        }
+    }
+
+    if entries != header.m.saturating_mul(2) {
+        return Err(GraphIoError::new(GraphIoCause::MetisEdgeCount {
+            declared: header.m,
+            entries,
+        }));
+    }
+
+    // The raw count matching `2m` is not enough: duplicate entries
+    // can compensate for a missing mirror entry. Each undirected
+    // edge must appear exactly once in each endpoint's list —
+    // distinct arcs, each with its mirror present.
+    let mut arcs = edges.clone();
+    arcs.sort_unstable();
+    let distinct = {
+        arcs.dedup();
+        arcs.len()
+    };
+    let symmetric = arcs
+        .iter()
+        .all(|&(u, v)| arcs.binary_search(&(v, u)).is_ok());
+    if distinct != entries || !symmetric {
+        return Err(GraphIoError::new(GraphIoCause::MetisEdgeCount {
+            declared: header.m,
+            entries: distinct,
+        }));
+    }
+
+    Ok(CsrGraph::from_undirected_edges(header.n, &edges))
+}
+
+/// Reads a METIS graph file.
+pub fn load_metis<P: AsRef<Path>>(path: P) -> Result<CsrGraph, GraphIoError> {
+    let file = std::fs::File::open(path)?;
+    load_metis_from(BufReader::new(file))
+}
+
+/// Writes a graph in METIS format: an `n m` header, then one
+/// 1-indexed adjacency line per vertex (weights are never written —
+/// the suite stores topology only).
+pub fn write_metis<W: std::io::Write>(graph: &CsrGraph, mut writer: W) -> std::io::Result<()> {
+    writeln!(
+        writer,
+        "{} {}",
+        graph.num_vertices(),
+        graph.num_edges_undirected()
+    )?;
+    for v in graph.vertices() {
+        // Tokens go straight to the (buffered) writer: no per-vertex
+        // or per-neighbor string allocations at Table 7 scale.
+        for (i, &w) in graph.neighbors_slice(v).iter().enumerate() {
+            if i > 0 {
+                write!(writer, " ")?;
+            }
+            write!(writer, "{}", w + 1)?;
+        }
+        writeln!(writer)?;
+    }
+    Ok(())
+}
+
+/// Line reader over a METIS body: skips `%` comments, counts every
+/// physical line, and reuses one buffer.
+struct MetisLines<R: BufRead> {
+    reader: R,
+    buf: String,
+    line: usize,
+}
+
+impl<R: BufRead> MetisLines<R> {
+    fn new(reader: R) -> Self {
+        Self {
+            reader,
+            buf: String::new(),
+            line: 0,
+        }
+    }
+
+    /// The next non-comment line (blank lines included — they are
+    /// meaningful in a METIS body) with its 1-based number, or `None`
+    /// at end of input.
+    fn next_line(&mut self) -> Result<Option<(usize, &str)>, GraphIoError> {
+        loop {
+            self.buf.clear();
+            match self.reader.read_line(&mut self.buf) {
+                Err(e) => {
+                    return Err(GraphIoError::at(self.line + 1, GraphIoCause::Io(e)));
+                }
+                Ok(0) => return Ok(None),
+                Ok(_) => {
+                    self.line += 1;
+                    if !self.buf.trim_start().starts_with('%') {
+                        return Ok(Some((self.line, self.buf.as_str())));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gms_core::Graph;
+
+    fn reload(text: &str) -> CsrGraph {
+        load_metis_from(text.as_bytes()).unwrap()
+    }
+
+    #[test]
+    fn parses_the_metis_manual_example_shape() {
+        // A triangle plus a pendant vertex, written the METIS way.
+        let g = reload("4 4\n2 3\n1 3\n1 2 4\n3\n");
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges_undirected(), 4);
+        assert!(g.has_edge(0, 1) && g.has_edge(0, 2) && g.has_edge(1, 2) && g.has_edge(2, 3));
+    }
+
+    #[test]
+    fn blank_lines_are_degree_zero_vertices() {
+        let g = reload("3 1\n2\n1\n\n");
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.degree(2), 0);
+        assert!(g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn comments_are_tolerated_anywhere() {
+        let g = reload("% a comment before the header\n2 1\n% between lines\n2\n1\n% after\n");
+        assert_eq!(g.num_edges_undirected(), 1);
+    }
+
+    #[test]
+    fn weights_are_parsed_and_dropped() {
+        // fmt=111: vertex size, one vertex weight, edge weights.
+        let with_weights = "3 2 111 1\n5 10 2 7 3 9\n4 20 1 7\n3 30 1 9\n";
+        let g = reload(with_weights);
+        assert_eq!(g, reload("3 2\n2 3\n1\n1\n"));
+    }
+
+    #[test]
+    fn multi_constraint_vertex_weights() {
+        // fmt=010 with ncon=2: two weights per vertex, no sizes.
+        let g = reload("2 1 010 2\n10 11 2\n20 21 1\n");
+        assert_eq!(g.num_edges_undirected(), 1);
+    }
+
+    #[test]
+    fn header_variants_parse() {
+        let h = read_metis_header("10 20", 1).unwrap();
+        assert_eq!((h.n, h.m), (10, 20));
+        assert_eq!(h.fmt, MetisFmt::default());
+        let h = read_metis_header("10 20 1", 1).unwrap();
+        assert!(h.edge_weighted());
+        let h = read_metis_header("10 20 011 3", 1).unwrap();
+        assert!(h.fmt.vertex_weights && h.fmt.edge_weights && !h.fmt.vertex_sizes);
+        assert_eq!(h.ncon, 3);
+    }
+
+    #[test]
+    fn roundtrips_through_write_metis() {
+        let g = CsrGraph::from_undirected_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4)]);
+        let mut buf = Vec::new();
+        write_metis(&g, &mut buf).unwrap();
+        assert_eq!(load_metis_from(buf.as_slice()).unwrap(), g);
+    }
+
+    #[test]
+    fn empty_graph_roundtrips() {
+        let g = CsrGraph::from_undirected_edges(0, &[]);
+        let mut buf = Vec::new();
+        write_metis(&g, &mut buf).unwrap();
+        assert_eq!(load_metis_from(buf.as_slice()).unwrap(), g);
+    }
+}

@@ -1,0 +1,263 @@
+//! Dataset I/O — the "load graph into memory" stage (pipeline step 1
+//! in Figure 2), grown into a multi-format ingestion subsystem so the
+//! suite can ingest real SNAP/KONECT-scale datasets (Table 7).
+//!
+//! Three interchangeable on-disk formats, all converging on the same
+//! [`CsrGraph`](gms_core::CsrGraph): whichever format a dataset arrives in, the loaded
+//! CSR is byte-identical (same offsets, same targets), so downstream
+//! fingerprint-keyed result caches treat the loads as one graph.
+//!
+//! | format | module | shape | typical source |
+//! |---|---|---|---|
+//! | edge list | [`edge_list`] | `u v` text lines | SNAP / KONECT / Network-Repository dumps |
+//! | METIS | [`metis`] | header + 1-indexed adjacency lines | DIMACS / METIS / KaHIP ecosystems |
+//! | `.gcsr` snapshot | [`snapshot`] | versioned, checksummed binary CSR | this suite's own save path |
+//!
+//! Text loaders stream line by line over any [`std::io::BufRead`]
+//! source (a multi-gigabyte dump is never materialized as one
+//! `String`); the binary snapshot has both a copying reader and an
+//! mmap-backed zero-copy view ([`MmapSnapshot`]).
+//!
+//! # The `.gcsr` snapshot layout, byte for byte
+//!
+//! All integers are **little-endian**. With `n` vertices and `a`
+//! stored arcs (`a = 2m` for an undirected graph saved from its
+//! symmetric CSR):
+//!
+//! ```text
+//! offset            size       field
+//! ------            ----       -----
+//! 0                 4          magic, the ASCII bytes "GCSR"
+//! 4                 4          format version, u32 (currently 1)
+//! 8                 8          n  — vertex count, u64
+//! 16                8          a  — stored arc count, u64
+//! 24                8          checksum of the offsets section, u64
+//! 32                8          checksum of the targets section, u64
+//! 40                8*(n+1)    offsets section: n+1 × u64
+//! 40 + 8*(n+1)      4*a        targets section: a × u32
+//! ```
+//!
+//! The file ends exactly after the targets section; a shorter *or*
+//! longer file is rejected ([`GraphIoCause::SnapshotSize`]). Each
+//! section checksum is FNV-1a 64 ([`section_checksum`]) over the
+//! section's encoded bytes. The offsets must start at 0, be
+//! monotonically non-decreasing, and end at `a`; every target must
+//! be `< n` and every neighborhood sorted ascending — exactly the
+//! [`CsrGraph`](gms_core::CsrGraph) invariants, verified before a graph is handed out.
+//! The header is 40 bytes, so the offsets section starts 8-byte
+//! aligned and the targets section 4-byte aligned: a page-aligned
+//! mmap of the file can serve both sections in place.
+//!
+//! # Errors
+//!
+//! Every loader reports failures through the single [`GraphIoError`]
+//! type: the 1-based line number where reading stopped (for the text
+//! formats) plus a [`GraphIoCause`] saying why. Corrupt input of any
+//! kind — truncated files, checksum mismatches, malformed headers,
+//! non-numeric tokens — returns a typed error; parsers never panic.
+
+pub mod edge_list;
+pub mod metis;
+pub mod snapshot;
+
+pub use edge_list::{
+    load_undirected, load_undirected_from, read_edge_list, write_edge_list, EdgeListStream,
+};
+pub use metis::{
+    load_metis, load_metis_from, read_metis_header, write_metis, MetisFmt, MetisHeader,
+};
+pub use snapshot::{
+    load_snapshot, read_snapshot, save_snapshot, section_checksum, write_snapshot, MmapSnapshot,
+    GCSR_HEADER_BYTES, GCSR_MAGIC, GCSR_VERSION,
+};
+
+/// Why a graph read failed (the cause half of [`GraphIoError`]).
+#[derive(Debug)]
+pub enum GraphIoCause {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A data line with fewer than two whitespace-separated fields.
+    MissingEndpoint,
+    /// A field that should be a vertex ID but does not parse as one.
+    InvalidVertexId(String),
+    /// A field that should be a (vertex or edge) weight but does not
+    /// parse as a number, or a neighbor token whose declared edge
+    /// weight is missing.
+    InvalidWeight(String),
+    /// A missing or malformed METIS header line (`n m [fmt [ncon]]`).
+    MetisHeader(String),
+    /// The METIS body does not contain the declared number of vertex
+    /// lines.
+    MetisVertexCount {
+        /// Vertex count declared by the header.
+        declared: usize,
+        /// Vertex lines actually present.
+        actual: usize,
+    },
+    /// The METIS adjacency lists do not encode the declared edge
+    /// count `m`: the entry count is not `2m`, or duplicate entries
+    /// stand in for a missing mirror entry (each edge must appear
+    /// exactly once in each endpoint's list).
+    MetisEdgeCount {
+        /// Edge count `m` declared by the header.
+        declared: usize,
+        /// Adjacency entries actually present (expected `2m`; the
+        /// *distinct* entry count when the raw count matches but
+        /// duplicates or missing mirrors were detected).
+        entries: usize,
+    },
+    /// A METIS adjacency line lists the vertex itself — self-loops
+    /// are forbidden by the format.
+    MetisSelfLoop {
+        /// The 1-indexed vertex, as written.
+        vertex: u64,
+    },
+    /// A vertex reference outside the graph: a METIS adjacency entry
+    /// outside `1..=n`, or a snapshot target `>= n`.
+    VertexOutOfRange {
+        /// The offending vertex reference, as written.
+        id: u64,
+        /// Number of vertices in the graph.
+        n: usize,
+    },
+    /// The first four bytes are not the `.gcsr` magic.
+    BadMagic {
+        /// The bytes actually found.
+        found: [u8; 4],
+    },
+    /// A `.gcsr` version this build does not understand.
+    UnsupportedVersion {
+        /// The version actually found.
+        found: u32,
+    },
+    /// The snapshot's byte length disagrees with its header: the file
+    /// is truncated or carries trailing garbage.
+    SnapshotSize {
+        /// Length implied by the header (or the minimum header size).
+        expected: u64,
+        /// Length actually present.
+        actual: u64,
+    },
+    /// A section's stored checksum does not match its contents.
+    ChecksumMismatch {
+        /// Which section (`"offsets"` or `"targets"`).
+        section: &'static str,
+        /// Checksum stored in the header.
+        stored: u64,
+        /// Checksum computed over the section bytes.
+        computed: u64,
+    },
+    /// The snapshot decodes but violates a CSR structural invariant
+    /// (offsets not starting at 0, non-monotone offsets, offsets not
+    /// spanning the targets, an unsorted or duplicated neighborhood).
+    SnapshotFormat {
+        /// Which invariant broke.
+        detail: &'static str,
+    },
+}
+
+/// The unified error type of every `gms_graph::io` loader: where the
+/// read stopped and why.
+#[derive(Debug)]
+pub struct GraphIoError {
+    /// 1-based line number of the offending line; `None` when the
+    /// failure is not attributable to a line (e.g. opening the file,
+    /// or any binary-snapshot failure).
+    pub line: Option<usize>,
+    /// What went wrong.
+    pub cause: GraphIoCause,
+}
+
+impl GraphIoError {
+    pub(crate) fn at(line: usize, cause: GraphIoCause) -> Self {
+        Self {
+            line: Some(line),
+            cause,
+        }
+    }
+
+    pub(crate) fn new(cause: GraphIoCause) -> Self {
+        Self { line: None, cause }
+    }
+}
+
+impl std::fmt::Display for GraphIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if let Some(line) = self.line {
+            write!(f, "line {line}: ")?;
+        }
+        match &self.cause {
+            GraphIoCause::Io(e) => write!(f, "I/O error: {e}"),
+            GraphIoCause::MissingEndpoint => {
+                write!(f, "edge line needs two vertex IDs")
+            }
+            GraphIoCause::InvalidVertexId(field) => {
+                write!(f, "invalid vertex ID {field:?}")
+            }
+            GraphIoCause::InvalidWeight(field) => {
+                write!(f, "invalid weight {field:?}")
+            }
+            GraphIoCause::MetisHeader(detail) => {
+                write!(f, "malformed METIS header: {detail}")
+            }
+            GraphIoCause::MetisVertexCount { declared, actual } => write!(
+                f,
+                "METIS header declares {declared} vertices but the body has {actual} vertex lines"
+            ),
+            GraphIoCause::MetisEdgeCount { declared, entries } => write!(
+                f,
+                "METIS header declares {declared} edges but the adjacency lists hold \
+                 {entries} entries (expected twice the edge count)"
+            ),
+            GraphIoCause::MetisSelfLoop { vertex } => {
+                write!(
+                    f,
+                    "METIS adjacency lists a self-loop on vertex {vertex} (forbidden by the format)"
+                )
+            }
+            GraphIoCause::VertexOutOfRange { id, n } => {
+                write!(f, "vertex reference {id} outside a graph of {n} vertices")
+            }
+            GraphIoCause::BadMagic { found } => {
+                write!(f, "not a .gcsr snapshot (magic bytes {found:?})")
+            }
+            GraphIoCause::UnsupportedVersion { found } => write!(
+                f,
+                "unsupported .gcsr version {found} (this build reads version {GCSR_VERSION})"
+            ),
+            GraphIoCause::SnapshotSize { expected, actual } => write!(
+                f,
+                "snapshot is {actual} bytes but its header implies {expected}"
+            ),
+            GraphIoCause::ChecksumMismatch {
+                section,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "{section} section checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            ),
+            GraphIoCause::SnapshotFormat { detail } => {
+                write!(f, "snapshot violates a CSR invariant: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match &self.cause {
+            GraphIoCause::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphIoError {
+    fn from(e: std::io::Error) -> Self {
+        Self {
+            line: None,
+            cause: GraphIoCause::Io(e),
+        }
+    }
+}

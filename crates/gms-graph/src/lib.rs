@@ -1,8 +1,10 @@
 //! # gms-graph
 //!
 //! Graph storage utilities for GraphMineSuite-rs: transformations
-//! (relabeling, rank orientation, induced subgraphs), edge-list I/O,
-//! and the compression schemes of the paper's storage taxonomy
+//! (relabeling, rank orientation, induced subgraphs), multi-format
+//! dataset I/O ([`io`]: SNAP edge lists, METIS files, and versioned
+//! `.gcsr` binary CSR snapshots with an mmap-backed zero-copy read
+//! path), and the compression schemes of the paper's storage taxonomy
 //! (Figure 3): varint/gap/run-length/reference encodings, bit packing,
 //! compact offsets, k²-trees, and a compressed CSR that serves the
 //! standard [`Graph`](gms_core::Graph) interface.

@@ -1,0 +1,146 @@
+//! Format-roundtrip battery: any graph, written to **any** on-disk
+//! format and reloaded, must come back as a byte-identical CSR
+//! (equal offsets and targets — the precondition for the platform's
+//! fingerprint-keyed result cache to treat the loads as one graph).
+//!
+//! Two layers: property-based roundtrips over arbitrary edge sets
+//! (proptest shim — deterministic per test name, no shrinking), and a
+//! deterministic sweep over **every** generator in `gms-gen`, so a
+//! new generator or format quirk (isolated vertices, empty graphs,
+//! hubs, bipartite halves) is caught automatically.
+
+use gms_core::{CsrGraph, Edge, Graph, NodeId};
+use gms_graph::io;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Writes and reloads `g` through one format, returning the reload.
+fn through_edge_list(g: &CsrGraph) -> CsrGraph {
+    let mut buf = Vec::new();
+    io::write_edge_list(g, &mut buf).unwrap();
+    io::load_undirected_from(buf.as_slice()).unwrap()
+}
+
+fn through_metis(g: &CsrGraph) -> CsrGraph {
+    let mut buf = Vec::new();
+    io::write_metis(g, &mut buf).unwrap();
+    io::load_metis_from(buf.as_slice()).unwrap()
+}
+
+fn through_snapshot(g: &CsrGraph) -> CsrGraph {
+    let mut buf = Vec::new();
+    io::write_snapshot(g, &mut buf).unwrap();
+    io::read_snapshot(&buf).unwrap()
+}
+
+fn through_mmap(g: &CsrGraph, tag: &str) -> CsrGraph {
+    let path =
+        std::env::temp_dir().join(format!("gms_roundtrip_{}_{tag}.gcsr", std::process::id()));
+    io::save_snapshot(g, &path).unwrap();
+    let reloaded = io::load_snapshot(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    reloaded
+}
+
+/// The cross-format oracle: every format reproduces `g` exactly.
+fn assert_all_formats_roundtrip(g: &CsrGraph, tag: &str) {
+    assert_eq!(&through_edge_list(g), g, "{tag}: edge list");
+    assert_eq!(&through_metis(g), g, "{tag}: METIS");
+    assert_eq!(&through_snapshot(g), g, "{tag}: snapshot (buffered)");
+    assert_eq!(&through_mmap(g, tag), g, "{tag}: snapshot (mmap)");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn arbitrary_graphs_roundtrip_through_every_format(
+        n in 1usize..48,
+        raw in vec((0u32..48, 0u32..48), 0..160),
+    ) {
+        // Clamp endpoints into range; duplicates and self-loops are
+        // deliberately kept in the input — the builder canonicalizes.
+        let edges: Vec<Edge> = raw
+            .iter()
+            .map(|&(u, v)| (u % n as NodeId, v % n as NodeId))
+            .collect();
+        let g = CsrGraph::from_undirected_edges(n, &edges);
+        assert_all_formats_roundtrip(&g, "arbitrary");
+    }
+
+    #[test]
+    fn sparse_graphs_with_isolated_tails_roundtrip(
+        n in 2usize..64,
+        raw in vec((0u32..16, 0u32..16), 0..24),
+    ) {
+        // Edges confined to the first 16 vertices: everything above
+        // is isolated, the case only an explicit vertex count (METIS
+        // header, snapshot count, SNAP `# Nodes:` comment) preserves.
+        let edges: Vec<Edge> = raw
+            .iter()
+            .map(|&(u, v)| (u.min(n as NodeId - 1), v.min(n as NodeId - 1)))
+            .collect();
+        let g = CsrGraph::from_undirected_edges(n, &edges);
+        assert_all_formats_roundtrip(&g, "isolated-tail");
+    }
+}
+
+#[test]
+fn every_generator_roundtrips_through_every_format() {
+    let gallery: Vec<(&str, CsrGraph)> = vec![
+        ("gnp", gms_gen::gnp(130, 0.05, 7)),
+        ("gnm", gms_gen::gnm(120, 400, 8)),
+        ("kronecker", gms_gen::kronecker_default(8, 6, 9)),
+        ("barabasi-albert", gms_gen::barabasi_albert(150, 4, 10)),
+        ("watts-strogatz", gms_gen::watts_strogatz(140, 6, 0.1, 11)),
+        ("bipartite", gms_gen::bipartite(40, 50, 0.08, 12)),
+        ("complete", gms_gen::complete(24)),
+        ("grid", gms_gen::grid(9, 13)),
+        (
+            "planted-cliques",
+            gms_gen::planted_cliques(140, 0.02, 3, 7, 13).0,
+        ),
+        (
+            "planted-partition",
+            gms_gen::planted_partition(120, 4, 0.25, 0.01, 14).0,
+        ),
+        (
+            "planted-clique-star",
+            gms_gen::planted_clique_star(130, 0.02, 6, 4, 15).0,
+        ),
+        (
+            "planted-dense-groups",
+            gms_gen::planted_dense_groups(&gms_gen::PlantedConfig {
+                n: 130,
+                background_p: 0.02,
+                sizes: vec![8, 8, 8],
+                density: 0.85,
+                seed: 16,
+            })
+            .0,
+        ),
+        ("empty", CsrGraph::from_undirected_edges(0, &[])),
+        ("edgeless", CsrGraph::from_undirected_edges(17, &[])),
+    ];
+    for (name, g) in &gallery {
+        assert_all_formats_roundtrip(g, name);
+    }
+}
+
+#[test]
+fn mmap_view_equals_owned_graph_without_copying_targets() {
+    // The zero-copy view must serve the same access interface as the
+    // owned CSR it snapshots.
+    let g = gms_gen::kronecker_default(8, 7, 31);
+    let path = std::env::temp_dir().join(format!("gms_view_eq_{}.gcsr", std::process::id()));
+    io::save_snapshot(&g, &path).unwrap();
+    let snap = io::MmapSnapshot::open(&path).unwrap();
+    assert_eq!(snap.num_vertices(), g.num_vertices());
+    assert_eq!(snap.num_arcs(), g.num_arcs());
+    assert_eq!(snap.offsets(), g.offsets());
+    assert_eq!(snap.targets(), g.adjacency());
+    for v in g.vertices() {
+        assert_eq!(snap.neighbors_slice(v), g.neighbors_slice(v));
+    }
+    std::fs::remove_file(&path).ok();
+}

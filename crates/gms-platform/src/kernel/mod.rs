@@ -42,7 +42,7 @@ pub use batch::{BatchRequest, BatchRunner};
 pub use outcome::{Outcome, Payload};
 pub use params::{ParamSpec, Params, Value, ValueKind};
 pub use registry::Registry;
-pub use session::{GraphHandle, Session, SessionStats};
+pub use session::{fingerprint, GraphHandle, Session, SessionStats};
 
 use gms_core::CsrGraph;
 

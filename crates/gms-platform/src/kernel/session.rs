@@ -181,6 +181,46 @@ impl Session {
         Ok(self.add_graph(graph))
     }
 
+    /// Reads a METIS graph file into the session. The loaded CSR is
+    /// byte-identical to the same graph arriving as an edge list or
+    /// snapshot, so cached outcomes are shared across formats.
+    pub fn load_metis<P: AsRef<Path>>(&mut self, path: P) -> Result<GraphHandle, GraphIoError> {
+        let graph = gms_graph::io::load_metis(path)?;
+        Ok(self.add_graph(graph))
+    }
+
+    /// Streams a METIS graph out of any buffered reader.
+    pub fn load_metis_from<R: BufRead>(&mut self, reader: R) -> Result<GraphHandle, GraphIoError> {
+        let graph = gms_graph::io::load_metis_from(reader)?;
+        Ok(self.add_graph(graph))
+    }
+
+    /// Loads a `.gcsr` binary snapshot through the mmap-backed,
+    /// checksum-validated path. Fingerprints — and therefore cached
+    /// outcomes — match the text-format loads of the same graph.
+    pub fn load_snapshot<P: AsRef<Path>>(&mut self, path: P) -> Result<GraphHandle, GraphIoError> {
+        let graph = gms_graph::io::load_snapshot(path)?;
+        Ok(self.add_graph(graph))
+    }
+
+    /// Saves a loaded graph as a `.gcsr` binary snapshot, the fastest
+    /// format to load it back from. A handle foreign to this session
+    /// reports [`GraphIoCause::Io`](gms_graph::io::GraphIoCause) with
+    /// `InvalidInput` (nothing is written).
+    pub fn save_snapshot<P: AsRef<Path>>(
+        &self,
+        handle: GraphHandle,
+        path: P,
+    ) -> Result<(), GraphIoError> {
+        let graph = self.graph(handle).map_err(|_| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "graph handle not owned by this session",
+            )
+        })?;
+        gms_graph::io::save_snapshot(graph, path)
+    }
+
     /// The graph behind a handle.
     pub fn graph(&self, handle: GraphHandle) -> Result<&CsrGraph, KernelError> {
         self.graphs
@@ -360,6 +400,58 @@ mod tests {
         let g = session.load_edge_list_from(text.as_bytes()).unwrap();
         let out = session.run("triangle-count", g, &Params::new()).unwrap();
         assert_eq!(out.patterns, 1);
+    }
+
+    #[test]
+    fn all_formats_load_the_same_fingerprint_and_share_the_cache() {
+        let graph = small();
+        let dir = std::env::temp_dir().join(format!("gms_session_io_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let snapshot = dir.join("g.gcsr");
+
+        let mut session = Session::new();
+        let a = session.add_graph(graph.clone());
+        session.save_snapshot(a, &snapshot).unwrap();
+
+        let mut edge_list = Vec::new();
+        gms_graph::io::write_edge_list(&graph, &mut edge_list).unwrap();
+        let mut metis = Vec::new();
+        gms_graph::io::write_metis(&graph, &mut metis).unwrap();
+
+        let b = session.load_edge_list_from(edge_list.as_slice()).unwrap();
+        let c = session.load_metis_from(metis.as_slice()).unwrap();
+        let d = session.load_snapshot(&snapshot).unwrap();
+        let fp = session.graph_fingerprint(a).unwrap();
+        for handle in [b, c, d] {
+            assert_eq!(session.graph_fingerprint(handle).unwrap(), fp);
+        }
+
+        // One kernel run serves all four handles from the cache.
+        let miss = session.run("triangle-count", a, &Params::new()).unwrap();
+        for handle in [b, c, d] {
+            let hit = session
+                .run("triangle-count", handle, &Params::new())
+                .unwrap();
+            assert!(hit.cached, "format-specific handle missed the cache");
+            assert!(hit.same_result(&miss));
+        }
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn save_snapshot_rejects_foreign_handles() {
+        let mut other = Session::new();
+        let foreign = other.add_graph(small());
+        let session = Session::new();
+        let path =
+            std::env::temp_dir().join(format!("gms_session_foreign_{}.gcsr", std::process::id()));
+        let err = session.save_snapshot(foreign, &path).unwrap_err();
+        assert!(matches!(
+            err.cause,
+            gms_graph::io::GraphIoCause::Io(ref e)
+                if e.kind() == std::io::ErrorKind::InvalidInput
+        ));
+        assert!(!path.exists(), "nothing must be written for a bad handle");
     }
 
     #[test]

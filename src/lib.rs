@@ -71,7 +71,7 @@
 //! | module | contents | paper section |
 //! |---|---|---|
 //! | [`core`] | `Set` trait + 4 layouts, CSR, set-centric graphs | §5.1–5.3 |
-//! | [`graph`] | transforms, streaming I/O, compression (varint/gap/RLE/reference/bit-packing/k²-trees) | §5, App. B |
+//! | [`graph`] | transforms, dataset I/O (edge list / METIS / `.gcsr` snapshots + mmap), compression (varint/gap/RLE/reference/bit-packing/k²-trees) | §5, App. B |
 //! | [`gen`] | ER, Kronecker, planted structures, grids | §4.2 |
 //! | [`order`] | DEG / DGR / ADG / triangle rank, k-cores | §6.1 |
 //! | [`pattern`] | Bron–Kerbosch, k-cliques, clique-stars, triangles | §6.2–6.3, 6.6 |

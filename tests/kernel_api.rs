@@ -137,6 +137,63 @@ fn reloading_the_same_dataset_reuses_cached_results() {
 }
 
 #[test]
+fn kernel_results_are_format_independent() {
+    // The same graph written as a SNAP edge list, a METIS file, and a
+    // .gcsr binary snapshot, then loaded back through each format's
+    // Session entry point: every registry kernel must produce an
+    // identical Outcome, and — because all three loads fingerprint
+    // identically — only the first format actually runs a kernel; the
+    // others are cache hits.
+    let graph = planted_connected();
+    let dir = std::env::temp_dir().join(format!("gms_kernel_api_io_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let mut session = Session::new();
+    let seed = session.add_graph(graph.clone());
+    session.save_snapshot(seed, dir.join("g.gcsr")).unwrap();
+    let mut edge_list = Vec::new();
+    gms::graph::io::write_edge_list(&graph, &mut edge_list).unwrap();
+    std::fs::write(dir.join("g.el"), &edge_list).unwrap();
+    let mut metis = Vec::new();
+    gms::graph::io::write_metis(&graph, &mut metis).unwrap();
+    std::fs::write(dir.join("g.metis"), &metis).unwrap();
+
+    let from_text = session.load_edge_list(dir.join("g.el")).unwrap();
+    let from_metis = session.load_metis(dir.join("g.metis")).unwrap();
+    let from_snapshot = session.load_snapshot(dir.join("g.gcsr")).unwrap();
+
+    let fp = session.graph_fingerprint(seed).unwrap();
+    for (name, handle) in [
+        ("edge list", from_text),
+        ("METIS", from_metis),
+        ("snapshot", from_snapshot),
+    ] {
+        assert_eq!(
+            session.graph_fingerprint(handle).unwrap(),
+            fp,
+            "{name}: loaded CSR fingerprint differs"
+        );
+    }
+
+    for kernel in ["triangle-count", "k-clique", "bk-gms-adg"] {
+        let baseline = session.run(kernel, from_text, &Params::new()).unwrap();
+        assert!(!baseline.cached, "{kernel}: fresh session state expected");
+        for (name, handle) in [("METIS", from_metis), ("snapshot", from_snapshot)] {
+            let other = session.run(kernel, handle, &Params::new()).unwrap();
+            assert!(
+                other.cached,
+                "{kernel} via {name}: same content must be a cache hit"
+            );
+            assert!(
+                other.same_result(&baseline),
+                "{kernel} via {name}: outcome differs across formats"
+            );
+        }
+    }
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
 fn batch_runner_serves_mixed_requests_through_the_facade() {
     let mut session = Session::new();
     let g = session.add_graph(planted_connected());
