@@ -7,8 +7,9 @@
 //! `RAYON_NUM_THREADS=2`.
 //!
 //! Output: one `{kernel, graph, patterns, ms, cached}` JSON row per
-//! request, then a summary line with batch wall time, pool width,
-//! and cache hit/miss counts.
+//! request plus the result cache's counter block
+//! (hit/miss/eviction/coalescing totals), then a summary line with
+//! batch wall time, pool width, and cache hit/miss counts.
 //!
 //! ```sh
 //! cargo run --release -p gms-bench --bin bench_batch
@@ -80,9 +81,17 @@ fn main() {
         "replayed batch must be all hits"
     );
 
+    let cache = session.cache_stats();
     println!(
-        "{{\"bench\":\"batch\",\"rows\":[\n  {}\n]}}",
-        rows.join(",\n  ")
+        "{{\"bench\":\"batch\",\"rows\":[\n  {}\n],\n\"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"coalesced\":{},\"cross_hits\":{},\"entries\":{},\"capacity\":{}}}}}",
+        rows.join(",\n  "),
+        cache.hits,
+        cache.misses,
+        cache.evictions,
+        cache.coalesced,
+        cache.cross_hits,
+        cache.entries,
+        cache.capacity,
     );
     let stats = session.stats();
     eprintln!(

@@ -1,0 +1,354 @@
+//! `gms-client`: the load generator for `gms-serve`, and the CI
+//! serving smoke. Drives a server through four phases and writes a
+//! latency/throughput report to `BENCH_serve.json`:
+//!
+//! 1. **setup** — load two synthetic graphs (inline edge lists over
+//!    the wire) and probe the typed error surface with a malformed
+//!    request;
+//! 2. **burst** — fire simultaneous distinct heavy requests from
+//!    many connections to exercise admission control until at least
+//!    one `queue-full` rejection is observed;
+//! 3. **open loop** — dispatch a mixed kernel stream (with deliberate
+//!    duplicates) on a fixed arrival schedule over a connection pool,
+//!    recording per-request latency percentiles and throughput;
+//! 4. **verify** — read the stats endpoint and assert the run proved
+//!    what CI needs: ≥1 queue-full rejection, ≥1 cross-session cache
+//!    hit, the malformed request answered with a typed error — then
+//!    shut the server down gracefully.
+//!
+//! Standalone it starts an in-process server; with `GMS_SERVE_ADDR`
+//! set it drives an external one (CI starts the `gms-serve` binary
+//! on an ephemeral port first), and `GMS_SERVE_SHUTDOWN=1` makes it
+//! send the final `shutdown` op so the external process exits.
+//!
+//! ```sh
+//! cargo run --release -p gms-bench --bin bench_serve
+//! ```
+
+use gms_serve::{Client, Json, ServeConfig, Server, ServerHandle};
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::{Duration, Instant};
+
+/// Queue bound used for the in-process server: small enough that the
+/// burst phase reliably trips admission control with two workers.
+const QUEUE_CAPACITY: usize = 2;
+
+fn edge_list(graph: &gms_core::CsrGraph) -> String {
+    let mut bytes = Vec::new();
+    gms_graph::io::write_edge_list(graph, &mut bytes).unwrap();
+    String::from_utf8(bytes).unwrap()
+}
+
+fn assert_ok(response: &Json, what: &str) {
+    assert_eq!(
+        response.get("ok"),
+        Some(&Json::Bool(true)),
+        "{what} failed: {}",
+        response.render()
+    );
+}
+
+fn error_code<'a>(response: &'a Json, what: &str) -> &'a str {
+    response
+        .get("error")
+        .and_then(|e| e.get("code"))
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| panic!("{what}: expected a typed error, got {}", response.render()))
+}
+
+/// A tiny reusable connection pool: open-loop arrivals pop an idle
+/// connection or dial a new one, so concurrency follows the offered
+/// load instead of being fixed up front.
+struct ConnPool {
+    addr: std::net::SocketAddr,
+    idle: Mutex<Vec<Client>>,
+}
+
+impl ConnPool {
+    fn take(&self) -> Client {
+        if let Some(client) = self.idle.lock().unwrap().pop() {
+            return client;
+        }
+        Client::connect(self.addr).expect("dial server")
+    }
+
+    fn put(&self, client: Client) {
+        self.idle.lock().unwrap().push(client);
+    }
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = (p / 100.0 * (sorted_ms.len() - 1) as f64).round() as usize;
+    sorted_ms[rank.min(sorted_ms.len() - 1)]
+}
+
+fn main() {
+    let external = std::env::var("GMS_SERVE_ADDR").ok();
+    let in_process: Option<ServerHandle> = if external.is_none() {
+        Some(
+            Server::start(ServeConfig {
+                workers: 2,
+                queue_capacity: QUEUE_CAPACITY,
+                ..ServeConfig::default()
+            })
+            .expect("start in-process server"),
+        )
+    } else {
+        None
+    };
+    let addr: std::net::SocketAddr = match (&external, &in_process) {
+        (Some(text), _) => text.parse().expect("GMS_SERVE_ADDR must be host:port"),
+        (None, Some(handle)) => handle.addr(),
+        _ => unreachable!(),
+    };
+    let mut control = Client::connect(addr).expect("connect to server");
+    let health = control.health().expect("health probe");
+    assert_ok(&health, "health");
+    let queue_capacity = health
+        .get("queue_capacity")
+        .and_then(Json::as_i64)
+        .expect("health reports queue capacity");
+
+    // ---- Phase 1: setup -------------------------------------------------
+    let clique_rich = gms_gen::planted_cliques(500, 0.01, 3, 8, 42).0;
+    let mesh = gms_gen::kronecker_default(9, 6, 5);
+    assert_ok(
+        &control
+            .load_inline("clique-rich", "edge-list", &edge_list(&clique_rich))
+            .unwrap(),
+        "load clique-rich",
+    );
+    assert_ok(
+        &control
+            .load_inline("mesh", "edge-list", &edge_list(&mesh))
+            .unwrap(),
+        "load mesh",
+    );
+
+    // One deliberately malformed request: the server must answer a
+    // typed error on the same connection, which stays usable.
+    let malformed = control.request_raw("{\"op\": nonsense").unwrap();
+    assert_eq!(
+        error_code(&malformed, "malformed request"),
+        "bad-json",
+        "malformed request must be answered with a typed error"
+    );
+    assert_ok(&control.health().unwrap(), "connection survives bad-json");
+
+    // ---- Phase 2: burst (admission control) -----------------------------
+    // Simultaneous distinct heavy requests from more connections than
+    // worker slots + queue depth: admission control must reject some.
+    let mut queue_full_seen = 0usize;
+    let mut burst_rounds = 0usize;
+    for round in 0..6 {
+        burst_rounds = round + 1;
+        let n = (queue_capacity as usize + 2) * 3;
+        let barrier = Arc::new(Barrier::new(n));
+        let threads: Vec<_> = (0..n)
+            .map(|i| {
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    let mut client = Client::connect(addr).expect("burst dial");
+                    barrier.wait();
+                    let response = client
+                        .run(
+                            "bk",
+                            "clique-rich",
+                            &[("par-depth", Json::Int((round * n + i) as i64 + 1))],
+                        )
+                        .unwrap();
+                    response
+                        .get("error")
+                        .and_then(|e| e.get("code"))
+                        .and_then(Json::as_str)
+                        == Some("queue-full")
+                })
+            })
+            .collect();
+        queue_full_seen += threads
+            .into_iter()
+            .map(|t| t.join().unwrap())
+            .filter(|&rejected| rejected)
+            .count();
+        if queue_full_seen > 0 {
+            break;
+        }
+    }
+    assert!(
+        queue_full_seen > 0,
+        "burst phase never tripped admission control"
+    );
+
+    // ---- Phase 3: open-loop load ----------------------------------------
+    // Fixed arrival schedule: requests are dispatched on time whether
+    // or not earlier ones finished (open loop), each on a pooled
+    // connection. The mix repeats every 8 requests, so 7/8 of the
+    // steady state are cache hits landing on both workers.
+    let requests_total = 240usize;
+    let rate_per_sec = 300.0;
+    type MixEntry = (&'static str, &'static str, Vec<(&'static str, Json)>);
+    let mix: Vec<MixEntry> = vec![
+        ("triangle-count", "clique-rich", vec![]),
+        ("k-clique", "clique-rich", vec![("k", Json::Int(4))]),
+        ("order-degree", "mesh", vec![]),
+        ("triangle-count", "mesh", vec![]),
+        ("k-clique", "clique-rich", vec![("k", Json::Int(4))]),
+        ("coloring", "mesh", vec![]),
+        ("triangle-count", "clique-rich", vec![]),
+        ("similarity", "mesh", vec![]),
+    ];
+    let pool = Arc::new(ConnPool {
+        addr,
+        idle: Mutex::new(Vec::new()),
+    });
+    let latencies: Arc<Mutex<Vec<f64>>> = Arc::new(Mutex::new(Vec::new()));
+    let open_loop_rejected = Arc::new(Mutex::new(0usize));
+    let started = Instant::now();
+    let interval = Duration::from_secs_f64(1.0 / rate_per_sec);
+    let mut workers = Vec::new();
+    for i in 0..requests_total {
+        let due = started + interval * i as u32;
+        if let Some(wait) = due.checked_duration_since(Instant::now()) {
+            std::thread::sleep(wait);
+        }
+        let (kernel, graph, params) = mix[i % mix.len()].clone();
+        let (pool, latencies, rejected) = (
+            Arc::clone(&pool),
+            Arc::clone(&latencies),
+            Arc::clone(&open_loop_rejected),
+        );
+        workers.push(std::thread::spawn(move || {
+            let mut client = pool.take();
+            let sent = Instant::now();
+            let response = client.run(kernel, graph, &params).unwrap();
+            let elapsed_ms = sent.elapsed().as_secs_f64() * 1e3;
+            if response.get("ok") == Some(&Json::Bool(true)) {
+                latencies.lock().unwrap().push(elapsed_ms);
+            } else {
+                assert_eq!(
+                    response
+                        .get("error")
+                        .and_then(|e| e.get("code"))
+                        .and_then(Json::as_str),
+                    Some("queue-full"),
+                    "only backpressure may fail the open loop: {}",
+                    response.render()
+                );
+                *rejected.lock().unwrap() += 1;
+            }
+            pool.put(client);
+        }));
+    }
+    for worker in workers {
+        worker.join().unwrap();
+    }
+    let wall = started.elapsed();
+    let mut latencies = Arc::try_unwrap(latencies).unwrap().into_inner().unwrap();
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let open_loop_rejected = *open_loop_rejected.lock().unwrap();
+    let completed = latencies.len();
+
+    // ---- Phase 4: verify + report ---------------------------------------
+    let stats = control.stats().expect("stats endpoint");
+    assert_ok(&stats, "stats");
+    let cache = stats.get("cache").expect("cache stats");
+    let server = stats.get("server").expect("server stats");
+    let get = |obj: &Json, key: &str| obj.get(key).and_then(Json::as_i64).unwrap_or(0);
+    assert!(
+        get(server, "rejected") as usize >= queue_full_seen,
+        "server counted every rejection"
+    );
+    assert!(get(server, "malformed") >= 1, "typed-error probe counted");
+    assert!(get(cache, "hits") >= 1, "duplicate requests must hit");
+    assert!(
+        get(cache, "cross_hits") >= 1,
+        "≥1 hit must cross worker sessions: {}",
+        stats.render()
+    );
+
+    let mean = if completed > 0 {
+        latencies.iter().sum::<f64>() / completed as f64
+    } else {
+        0.0
+    };
+    let report = Json::object([
+        ("bench", Json::from("serve")),
+        (
+            "server",
+            Json::from(if external.is_some() {
+                "external"
+            } else {
+                "in-process"
+            }),
+        ),
+        ("workers", stats_path(&stats, "server", "workers")),
+        ("queue_capacity", Json::from(queue_capacity)),
+        ("burst_rounds", Json::from(burst_rounds)),
+        (
+            "queue_full_rejections",
+            Json::from(queue_full_seen + open_loop_rejected),
+        ),
+        (
+            "open_loop",
+            Json::object([
+                ("offered", Json::from(requests_total)),
+                ("completed", Json::from(completed)),
+                ("rejected", Json::from(open_loop_rejected)),
+                ("offered_rate_rps", Json::from(rate_per_sec)),
+                (
+                    "throughput_rps",
+                    Json::from(completed as f64 / wall.as_secs_f64()),
+                ),
+                ("wall_ms", Json::from(wall.as_secs_f64() * 1e3)),
+                (
+                    "latency_ms",
+                    Json::object([
+                        ("p50", Json::from(percentile(&latencies, 50.0))),
+                        ("p90", Json::from(percentile(&latencies, 90.0))),
+                        ("p99", Json::from(percentile(&latencies, 99.0))),
+                        ("max", Json::from(percentile(&latencies, 100.0))),
+                        ("mean", Json::from(mean)),
+                    ]),
+                ),
+            ]),
+        ),
+        ("cache", cache.clone()),
+    ]);
+    let rendered = report.render();
+    std::fs::write("BENCH_serve.json", format!("{rendered}\n")).expect("write BENCH_serve.json");
+    println!("{rendered}");
+
+    // Graceful shutdown: always for the in-process server; for an
+    // external one only when CI asks (it owns the process).
+    let drive_shutdown =
+        in_process.is_some() || std::env::var("GMS_SERVE_SHUTDOWN").as_deref() == Ok("1");
+    if drive_shutdown {
+        let ack = control.shutdown().expect("shutdown ack");
+        assert_eq!(
+            ack.get("status").and_then(Json::as_str),
+            Some("shutting-down"),
+            "graceful shutdown must be acknowledged"
+        );
+    }
+    if let Some(handle) = in_process {
+        handle.join();
+    }
+    eprintln!(
+        "bench_serve: {completed}/{requests_total} served, {} rejected, p50 {:.2} ms, p99 {:.2} ms{}",
+        queue_full_seen + open_loop_rejected,
+        percentile(&latencies, 50.0),
+        percentile(&latencies, 99.0),
+        if drive_shutdown { ", server shut down cleanly" } else { "" },
+    );
+}
+
+fn stats_path(stats: &Json, section: &str, key: &str) -> Json {
+    stats
+        .get(section)
+        .and_then(|s| s.get(key))
+        .cloned()
+        .unwrap_or(Json::Null)
+}

@@ -65,7 +65,7 @@ impl BatchRunner {
             Ready(Result<Outcome, KernelError>),
             Job { index: usize, duplicate: bool },
         }
-        let mut jobs: Vec<(super::session::CacheKey, &BatchRequest)> = Vec::new();
+        let mut jobs: Vec<(super::cache::CacheKey, &BatchRequest)> = Vec::new();
         let mut slots: Vec<Slot> = Vec::with_capacity(requests.len());
         for request in requests {
             match session.cache_key(&request.kernel, request.graph, &request.params) {
@@ -90,8 +90,12 @@ impl BatchRunner {
         }
 
         // Phase 2 (parallel): the unique misses fan out on the pool.
-        // Kernels only need `&Session` (graphs + registry); the
-        // mutable cache is touched before and after this phase.
+        // Kernels only need `&Session` (graphs + registry); each job
+        // goes through the shared cache's single-flight entry point,
+        // which inserts fresh outcomes itself and coalesces with any
+        // identical request another session has in flight.
+        let owner = session.owner_tag();
+        let cache = session.shared_cache();
         let frozen: &Session = session;
         let mut builder = rayon::ThreadPoolBuilder::new();
         if self.threads > 0 {
@@ -100,22 +104,21 @@ impl BatchRunner {
         let pool = builder.build().expect("batch pool");
         let computed: Vec<Result<Outcome, KernelError>> = pool.install(|| {
             jobs.par_iter()
-                .map(|(_, request)| {
+                .map(|(key, request)| {
                     let kernel = frozen
                         .registry()
                         .get(&request.kernel)
                         .expect("validated kernel name");
-                    kernel.run(frozen.graph(request.graph)?, &request.params)
+                    let graph = frozen.graph(request.graph)?;
+                    cache.run_or_wait(key, owner, || kernel.run(graph, &request.params))
                 })
                 .collect()
         });
 
-        // Phase 3 (sequential): memoize fresh outcomes and assemble
-        // responses in request order.
-        for ((key, _), result) in jobs.iter().zip(&computed) {
-            if let Ok(outcome) = result {
-                session.cache_put(key.clone(), outcome);
-            }
+        // Phase 3 (sequential): fold the unique jobs into this
+        // session's stats and assemble responses in request order.
+        for outcome in computed.iter().flatten() {
+            session.note_outcome(outcome.cached);
         }
         slots
             .into_iter()

@@ -17,6 +17,11 @@
 //! * [`Session`] — owns loaded graphs behind [`GraphHandle`]s,
 //!   fingerprints their CSR arrays, and memoizes
 //!   `(fingerprint, kernel, params)` → [`Outcome`] in an LRU cache;
+//! * [`ResultCache`] — that cache as a thread-safe, `Arc`-shareable
+//!   object in its own right: hit/miss/eviction/coalescing counters,
+//!   single-flight deduplication of identical in-flight requests,
+//!   and fingerprint invalidation for replaced graphs — the piece N
+//!   concurrent serving sessions share;
 //! * [`BatchRunner`] — pushes a slice of [`BatchRequest`]s through
 //!   the work-stealing pool, deduplicating identical requests.
 //!
@@ -33,12 +38,14 @@
 
 mod batch;
 mod builtin;
+mod cache;
 mod outcome;
 mod params;
 mod registry;
 mod session;
 
 pub use batch::{BatchRequest, BatchRunner};
+pub use cache::{next_owner, CacheKey, CacheStats, ResultCache};
 pub use outcome::{Outcome, Payload};
 pub use params::{ParamSpec, Params, Value, ValueKind};
 pub use registry::Registry;

@@ -1,14 +1,24 @@
 //! A serving session: loaded graphs behind handles, CSR
-//! fingerprinting, and a fingerprint-keyed LRU result cache — the
-//! state a long-running mining service keeps between requests.
+//! fingerprinting, and a fingerprint-keyed result cache — the state a
+//! long-running mining service keeps between requests.
+//!
+//! The cache lives behind an [`Arc`]: a session constructed with
+//! [`Session::new`] gets a private one, while
+//! [`Session::with_registry_and_cache`] lets any number of concurrent
+//! sessions (server worker threads, one session each) share a single
+//! [`ResultCache`], so work one session pays for is served to all of
+//! them — with single-flight deduplication for identical requests
+//! that are in flight at the same time.
 
+use super::cache::{next_owner, CacheKey, CacheStats, ResultCache};
 use super::{KernelError, Outcome, Params, Registry};
-use gms_core::hash::{FxHashMap, FxHasher};
+use gms_core::hash::FxHasher;
 use gms_core::CsrGraph;
 use gms_graph::io::GraphIoError;
 use std::hash::Hasher;
 use std::io::BufRead;
 use std::path::Path;
+use std::sync::Arc;
 
 /// An opaque ticket for a graph loaded into a [`Session`]. Cheap to
 /// copy; valid only for the session that issued it.
@@ -31,111 +41,69 @@ pub fn fingerprint(graph: &CsrGraph) -> u64 {
     h.finish()
 }
 
-/// Cache bookkeeping of a session.
+/// This session's own view of the shared cache: how many of *its*
+/// successful requests were answered from cache vs ran a kernel.
+/// (The cache-wide counters, including eviction and cross-session
+/// numbers, are [`Session::cache_stats`].)
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SessionStats {
-    /// Requests answered from the cache.
+    /// Requests answered from the cache (including requests coalesced
+    /// onto another session's in-flight computation).
     pub hits: u64,
     /// Requests that ran a kernel.
     pub misses: u64,
 }
 
-/// `(fingerprint, vertex count, adjacency length, kernel, canonical
-/// params)`. The exact sizes ride along with the 64-bit content hash
-/// so a fingerprint collision between structurally different graphs
-/// cannot silently share cache lines unless their dimensions also
-/// match.
-pub(super) type CacheKey = (u64, usize, usize, &'static str, String);
-
-/// A bounded memo of `(graph fingerprint, kernel, canonical params)`
-/// → [`Outcome`], evicting the least-recently-used entry when full.
-struct LruCache {
-    capacity: usize,
-    tick: u64,
-    entries: FxHashMap<CacheKey, (Outcome, u64)>,
-}
-
-impl LruCache {
-    fn new(capacity: usize) -> Self {
-        Self {
-            capacity,
-            tick: 0,
-            entries: FxHashMap::default(),
-        }
-    }
-
-    fn get(&mut self, key: &CacheKey) -> Option<Outcome> {
-        self.tick += 1;
-        let tick = self.tick;
-        let (outcome, stamp) = self.entries.get_mut(key)?;
-        *stamp = tick;
-        Some(outcome.clone())
-    }
-
-    fn insert(&mut self, key: CacheKey, outcome: Outcome) {
-        if self.capacity == 0 {
-            return;
-        }
-        self.tick += 1;
-        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
-            self.evict_oldest();
-        }
-        let tick = self.tick;
-        self.entries.insert(key, (outcome, tick));
-    }
-
-    /// Removes the least-recently-used entry, if any.
-    fn evict_oldest(&mut self) {
-        if let Some(oldest) = self
-            .entries
-            .iter()
-            .min_by_key(|(_, (_, stamp))| *stamp)
-            .map(|(k, _)| k.clone())
-        {
-            self.entries.remove(&oldest);
-        }
-    }
-
-    fn len(&self) -> usize {
-        self.entries.len()
-    }
-}
-
 /// A long-running mining session: owns loaded graphs, a kernel
-/// [`Registry`], and the fingerprint-keyed result cache. This is the
-/// typed entry point the facade quick start demonstrates and the
-/// north-star service layer will wrap.
+/// [`Registry`], and sits on a fingerprint-keyed [`ResultCache`] —
+/// private by default, shareable across sessions. This is the typed
+/// entry point the facade quick start demonstrates and `gms-serve`
+/// wraps with a network front end.
 pub struct Session {
     registry: Registry,
     graphs: Vec<(CsrGraph, u64)>,
-    cache: LruCache,
+    cache: Arc<ResultCache>,
     stats: SessionStats,
+    owner: u64,
 }
 
 impl Session {
-    /// A session over the full built-in kernel suite with the default
-    /// cache size (128 outcomes).
+    /// A session over the full built-in kernel suite with a private
+    /// default-size cache (128 outcomes).
     pub fn new() -> Self {
         Self::with_registry(Registry::with_builtins())
     }
 
-    /// A session over a custom registry.
+    /// A session over a custom registry and a private cache.
     pub fn with_registry(registry: Registry) -> Self {
+        Self::with_registry_and_cache(registry, Arc::new(ResultCache::new(128)))
+    }
+
+    /// A session over a custom registry and an existing — possibly
+    /// shared — result cache. Sessions built over clones of one
+    /// `Arc<ResultCache>` serve each other's cached outcomes and
+    /// deduplicate identical in-flight requests across threads.
+    pub fn with_registry_and_cache(registry: Registry, cache: Arc<ResultCache>) -> Self {
         Self {
             registry,
             graphs: Vec::new(),
-            cache: LruCache::new(128),
+            cache,
             stats: SessionStats::default(),
+            owner: next_owner(),
         }
+    }
+
+    /// The result cache this session runs against; clone the `Arc`
+    /// into [`Session::with_registry_and_cache`] to share it.
+    pub fn shared_cache(&self) -> Arc<ResultCache> {
+        Arc::clone(&self.cache)
     }
 
     /// Caps the result cache at `capacity` outcomes (0 disables
     /// caching). Existing entries are kept up to the new capacity.
+    /// On a shared cache this resizes it for every session.
     pub fn set_cache_capacity(&mut self, capacity: usize) {
-        self.cache.capacity = capacity;
-        while self.cache.len() > capacity {
-            self.cache.evict_oldest();
-        }
+        self.cache.set_capacity(capacity);
     }
 
     /// The kernels this session can run.
@@ -148,9 +116,16 @@ impl Session {
         &mut self.registry
     }
 
-    /// Cache hit/miss counts so far.
+    /// This session's own hit/miss counts (see [`SessionStats`]).
     pub fn stats(&self) -> SessionStats {
         self.stats
+    }
+
+    /// Counters of the underlying cache — hit/miss/eviction/
+    /// coalescing/cross-session/invalidation totals across *all*
+    /// sessions sharing it, plus current size and capacity.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
     }
 
     /// Number of cached outcomes.
@@ -163,6 +138,28 @@ impl Session {
         let fp = fingerprint(&graph);
         self.graphs.push((graph, fp));
         GraphHandle(self.graphs.len() - 1)
+    }
+
+    /// Replaces the graph behind an existing handle and invalidates
+    /// the cached outcomes of the old content, unless the old content
+    /// is still reachable through another handle of this session (or
+    /// the new graph has identical content). Returns the new
+    /// fingerprint.
+    pub fn replace_graph(
+        &mut self,
+        handle: GraphHandle,
+        graph: CsrGraph,
+    ) -> Result<u64, KernelError> {
+        if handle.0 >= self.graphs.len() {
+            return Err(KernelError::InvalidHandle);
+        }
+        let old_fp = self.graphs[handle.0].1;
+        let fp = fingerprint(&graph);
+        self.graphs[handle.0] = (graph, fp);
+        if old_fp != fp && !self.graphs.iter().any(|&(_, f)| f == old_fp) {
+            self.cache.invalidate_fingerprint(old_fp);
+        }
+        Ok(fp)
     }
 
     /// Streams an undirected SNAP-style edge list from disk into the
@@ -253,38 +250,39 @@ impl Session {
             .registry
             .get(kernel)
             .ok_or_else(|| KernelError::UnknownKernel(kernel.to_string()))?;
-        let specs = k.params();
-        params.validate(kernel, &specs)?;
         let fp = self.graph_fingerprint(handle)?;
-        let graph = self.graph(handle)?;
-        Ok((
-            fp,
-            graph.offsets().len(),
-            graph.adjacency().len(),
-            k.name(),
-            params.canonical(&specs),
-        ))
+        CacheKey::build(k, self.graph(handle)?, fp, params)
     }
 
+    /// This session's owner tag on the shared cache (cross-session
+    /// hit attribution).
+    pub(super) fn owner_tag(&self) -> u64 {
+        self.owner
+    }
+
+    /// Cache lookup counting toward this session's stats on a hit
+    /// (the batch runner's admission phase).
     pub(super) fn cache_get(&mut self, key: &CacheKey) -> Option<Outcome> {
-        let mut outcome = self.cache.get(key)?;
+        let hit = self.cache.get(key, self.owner)?;
         self.stats.hits += 1;
-        // A hit does no kernel work: report the result with zeroed
-        // per-request timings and the cache flag set.
-        outcome.cached = true;
-        outcome.timings = crate::pipeline::StageTimings::default();
-        Some(outcome)
+        Some(hit)
     }
 
-    pub(super) fn cache_put(&mut self, key: CacheKey, outcome: &Outcome) {
-        self.stats.misses += 1;
-        self.cache.insert(key, outcome.clone());
+    /// Folds a completed (non-duplicate) request into this session's
+    /// stats.
+    pub(super) fn note_outcome(&mut self, cached: bool) {
+        if cached {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+        }
     }
 
     /// Runs a kernel by name on a loaded graph: validates the
     /// parameters against the kernel's schema, serves a memoized
     /// outcome when `(fingerprint, kernel, params)` was already
-    /// computed, and caches fresh results.
+    /// computed — waiting for an identical in-flight computation
+    /// instead of duplicating it — and caches fresh results.
     pub fn run(
         &mut self,
         kernel: &str,
@@ -292,14 +290,17 @@ impl Session {
         params: &Params,
     ) -> Result<Outcome, KernelError> {
         let key = self.cache_key(kernel, handle, params)?;
-        if let Some(hit) = self.cache_get(&key) {
-            return Ok(hit);
+        let cache = Arc::clone(&self.cache);
+        let result = {
+            // Key construction validated the name; unwrap is safe.
+            let k = self.registry.get(kernel).expect("validated kernel name");
+            let graph = self.graph(handle)?;
+            cache.run_or_wait(&key, self.owner, || k.run(graph, params))
+        };
+        if let Ok(outcome) = &result {
+            self.note_outcome(outcome.cached);
         }
-        // Key construction validated the name; unwrap is safe.
-        let k = self.registry.get(kernel).expect("validated kernel name");
-        let outcome = k.run(self.graph(handle)?, params)?;
-        self.cache_put(key, &outcome);
-        Ok(outcome)
+        result
     }
 }
 
@@ -338,6 +339,8 @@ mod tests {
         assert!(second.same_result(&first));
         assert_eq!(second.timings.kernel, std::time::Duration::ZERO);
         assert_eq!(session.stats(), SessionStats { hits: 1, misses: 1 });
+        let cache = session.cache_stats();
+        assert_eq!((cache.hits, cache.misses, cache.entries), (1, 1, 1));
     }
 
     #[test]
@@ -369,6 +372,56 @@ mod tests {
     }
 
     #[test]
+    fn sessions_sharing_a_cache_serve_each_other() {
+        let cache = Arc::new(ResultCache::new(64));
+        let mut a = Session::with_registry_and_cache(Registry::with_builtins(), cache.clone());
+        let mut b = Session::with_registry_and_cache(Registry::with_builtins(), cache.clone());
+        let ga = a.add_graph(small());
+        let gb = b.add_graph(small());
+        let paid = a.run("triangle-count", ga, &Params::new()).unwrap();
+        let served = b.run("triangle-count", gb, &Params::new()).unwrap();
+        assert!(!paid.cached);
+        assert!(served.cached, "session B reuses session A's work");
+        assert!(served.same_result(&paid));
+        assert_eq!(cache.stats().cross_hits, 1);
+        assert_eq!(a.stats(), SessionStats { hits: 0, misses: 1 });
+        assert_eq!(b.stats(), SessionStats { hits: 1, misses: 0 });
+    }
+
+    #[test]
+    fn replace_graph_invalidates_unless_content_still_referenced() {
+        let mut session = Session::new();
+        let g = session.add_graph(small());
+        session.run("triangle-count", g, &Params::new()).unwrap();
+        assert_eq!(session.cached_outcomes(), 1);
+
+        // Same content: nothing to invalidate.
+        session.replace_graph(g, small()).unwrap();
+        assert_eq!(session.cached_outcomes(), 1);
+
+        // New content: the old outcome is dropped.
+        session.replace_graph(g, gms_gen::gnp(90, 0.05, 3)).unwrap();
+        assert_eq!(session.cached_outcomes(), 0);
+        assert_eq!(session.cache_stats().invalidated, 1);
+        let fresh = session.run("triangle-count", g, &Params::new()).unwrap();
+        assert!(!fresh.cached);
+
+        // Old content still reachable through another handle: its
+        // cache lines survive the replace.
+        let mut two = Session::new();
+        let h1 = two.add_graph(small());
+        let h2 = two.add_graph(small());
+        two.run("triangle-count", h1, &Params::new()).unwrap();
+        two.replace_graph(h1, gms_gen::gnp(90, 0.05, 3)).unwrap();
+        let hit = two.run("triangle-count", h2, &Params::new()).unwrap();
+        assert!(hit.cached, "content still referenced by h2");
+
+        assert!(two
+            .replace_graph(GraphHandle(99), small())
+            .is_err_and(|e| e == KernelError::InvalidHandle));
+    }
+
+    #[test]
     fn lru_evicts_oldest_and_capacity_zero_disables() {
         let mut session = Session::new();
         session.set_cache_capacity(2);
@@ -379,6 +432,7 @@ mod tests {
                 .unwrap();
         }
         assert_eq!(session.cached_outcomes(), 2);
+        assert_eq!(session.cache_stats().evictions, 1);
         // k=3 was least recently used; rerunning it must miss.
         let again = session
             .run("k-clique", g, &Params::new().with("k", 3))

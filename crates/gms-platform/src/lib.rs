@@ -24,8 +24,9 @@ pub mod stats;
 
 pub use counters::{CounterRegion, CounterSnapshot, CountingSet};
 pub use kernel::{
-    BatchRequest, BatchRunner, Category, GraphHandle, Kernel, KernelError, Outcome, ParamSpec,
-    Params, Payload, Registry, Session, SessionStats, Value, ValueKind,
+    BatchRequest, BatchRunner, CacheKey, CacheStats, Category, GraphHandle, Kernel, KernelError,
+    Outcome, ParamSpec, Params, Payload, Registry, ResultCache, Session, SessionStats, Value,
+    ValueKind,
 };
 pub use metrics::{Measurement, Throughput};
 pub use pipeline::{run_pipeline, Pipeline, StageTimings};

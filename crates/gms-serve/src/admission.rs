@@ -1,0 +1,153 @@
+//! Admission control: a bounded MPMC queue between the connection
+//! threads (producers) and the worker sessions (consumers).
+//!
+//! The queue is the server's backpressure valve. Connection threads
+//! *never block* on it: [`AdmissionQueue::try_submit`] either admits
+//! the request or returns [`SubmitError::Full`] immediately, which
+//! the wire layer turns into a `queue-full` error response — the
+//! HTTP 429 of the newline-delimited protocol. Worker threads block
+//! on [`AdmissionQueue::dequeue`] until work arrives or the queue is
+//! closed; closing drains — jobs admitted before
+//! [`AdmissionQueue::close`] are still handed out, so a graceful
+//! shutdown answers everything it admitted.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a submission was not admitted.
+#[derive(Debug)]
+pub enum SubmitError<T> {
+    /// The queue is at capacity; the rejected item is handed back.
+    Full(T),
+    /// The queue was closed (server shutting down).
+    Closed(T),
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer / multi-consumer FIFO with non-blocking
+/// submission and blocking, drain-on-close consumption.
+pub struct AdmissionQueue<T> {
+    inner: Mutex<Inner<T>>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl<T> AdmissionQueue<T> {
+    /// A queue admitting at most `capacity` pending items.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            capacity,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Admits `item` if there is room; never blocks.
+    pub fn try_submit(&self, item: T) -> Result<(), SubmitError<T>> {
+        let mut inner = self.lock();
+        if inner.closed {
+            return Err(SubmitError::Closed(item));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(SubmitError::Full(item));
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item is available and pops it. Returns `None`
+    /// only when the queue is closed *and* drained.
+    pub fn dequeue(&self) -> Option<T> {
+        let mut inner = self.lock();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self
+                .available
+                .wait(inner)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Rejects all future submissions and wakes every waiting
+    /// consumer; already-admitted items are still dequeued.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.available.notify_all();
+    }
+
+    /// Items currently waiting.
+    pub fn depth(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// The admission bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn rejects_above_capacity_without_blocking() {
+        let q = AdmissionQueue::new(2);
+        q.try_submit(1).unwrap();
+        q.try_submit(2).unwrap();
+        assert!(matches!(q.try_submit(3), Err(SubmitError::Full(3))));
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.dequeue(), Some(1));
+        q.try_submit(3).unwrap();
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn close_drains_then_returns_none() {
+        let q = AdmissionQueue::new(4);
+        q.try_submit("a").unwrap();
+        q.try_submit("b").unwrap();
+        q.close();
+        assert!(matches!(q.try_submit("c"), Err(SubmitError::Closed("c"))));
+        assert_eq!(q.dequeue(), Some("a"));
+        assert_eq!(q.dequeue(), Some("b"));
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn blocking_consumers_wake_on_submit_and_close() {
+        let q = Arc::new(AdmissionQueue::new(4));
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = q.clone();
+                std::thread::spawn(move || q.dequeue())
+            })
+            .collect();
+        // Two get items, one is released by close.
+        q.try_submit(10).unwrap();
+        q.try_submit(20).unwrap();
+        q.close();
+        let mut got: Vec<_> = consumers.into_iter().map(|h| h.join().unwrap()).collect();
+        got.sort();
+        assert_eq!(got, vec![None, Some(10), Some(20)]);
+    }
+}

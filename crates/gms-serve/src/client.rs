@@ -1,0 +1,119 @@
+//! A small synchronous client for the newline-delimited protocol:
+//! one request in flight per connection, used by the `bench_serve`
+//! load generator, the integration tests, and the facade quick
+//! start.
+
+use crate::json::Json;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One protocol connection. Each call sends a line and blocks for
+/// the one-line response; drop the client to close the connection.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self {
+            reader,
+            writer: stream,
+        })
+    }
+
+    /// Sends raw bytes as one line and reads one response line. The
+    /// raw entry point exists so tests and load generators can send
+    /// deliberately malformed requests.
+    pub fn request_raw(&mut self, line: &str) -> std::io::Result<Json> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Json::parse(response.trim()).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("unparsable response: {e}"),
+            )
+        })
+    }
+
+    /// Sends a request value and reads the response.
+    pub fn request(&mut self, request: &Json) -> std::io::Result<Json> {
+        self.request_raw(&request.render())
+    }
+
+    /// `{"op":"health"}`.
+    pub fn health(&mut self) -> std::io::Result<Json> {
+        self.request(&Json::object([("op", Json::from("health"))]))
+    }
+
+    /// `{"op":"stats"}`.
+    pub fn stats(&mut self) -> std::io::Result<Json> {
+        self.request(&Json::object([("op", Json::from("stats"))]))
+    }
+
+    /// `{"op":"kernels"}`.
+    pub fn kernels(&mut self) -> std::io::Result<Json> {
+        self.request(&Json::object([("op", Json::from("kernels"))]))
+    }
+
+    /// Loads a graph from text sent inline with the request.
+    pub fn load_inline(&mut self, name: &str, format: &str, data: &str) -> std::io::Result<Json> {
+        self.request(&Json::object([
+            ("op", Json::from("load")),
+            ("graph", Json::from(name)),
+            ("format", Json::from(format)),
+            ("data", Json::from(data)),
+        ]))
+    }
+
+    /// Loads a graph from a path on the server's filesystem.
+    pub fn load_path(&mut self, name: &str, format: &str, path: &str) -> std::io::Result<Json> {
+        self.request(&Json::object([
+            ("op", Json::from("load")),
+            ("graph", Json::from(name)),
+            ("format", Json::from(format)),
+            ("path", Json::from(path)),
+        ]))
+    }
+
+    /// Runs a kernel on a loaded graph with parameter overrides.
+    pub fn run(
+        &mut self,
+        kernel: &str,
+        graph: &str,
+        params: &[(&str, Json)],
+    ) -> std::io::Result<Json> {
+        self.request(&Json::object([
+            ("op", Json::from("run")),
+            ("kernel", Json::from(kernel)),
+            ("graph", Json::from(graph)),
+            (
+                "params",
+                Json::Object(
+                    params
+                        .iter()
+                        .map(|(k, v)| (k.to_string(), v.clone()))
+                        .collect(),
+                ),
+            ),
+        ]))
+    }
+
+    /// Requests a graceful shutdown and returns the acknowledgment.
+    pub fn shutdown(&mut self) -> std::io::Result<Json> {
+        self.request(&Json::object([("op", Json::from("shutdown"))]))
+    }
+}

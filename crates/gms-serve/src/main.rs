@@ -1,0 +1,73 @@
+//! The `gms-serve` binary: bind, print the bound address, serve
+//! until a client sends `{"op":"shutdown"}`.
+//!
+//! Flags (each also readable from the environment):
+//!
+//! | flag | env | default | meaning |
+//! |---|---|---|---|
+//! | `--addr` | `GMS_SERVE_ADDR` | `127.0.0.1:0` | bind address (port 0 = ephemeral) |
+//! | `--workers` | `GMS_SERVE_WORKERS` | 2 | worker sessions |
+//! | `--queue` | `GMS_SERVE_QUEUE` | 64 | admission-queue capacity |
+//! | `--cache` | `GMS_SERVE_CACHE` | 256 | result-cache capacity |
+//! | `--addr-file` | `GMS_SERVE_ADDR_FILE` | — | write the bound address to this file (CI reads the ephemeral port from it) |
+
+use gms_serve::{ServeConfig, Server};
+
+fn arg_or_env(args: &[String], flag: &str, env: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+        .or_else(|| std::env::var(env).ok())
+}
+
+fn parse_or<T: std::str::FromStr>(value: Option<String>, default: T, flag: &str) -> T {
+    match value {
+        None => default,
+        Some(text) => text.parse().unwrap_or_else(|_| {
+            eprintln!("gms-serve: unparsable value {text:?} for {flag}");
+            std::process::exit(2);
+        }),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let config = ServeConfig {
+        addr: arg_or_env(&args, "--addr", "GMS_SERVE_ADDR")
+            .unwrap_or_else(|| "127.0.0.1:0".to_string()),
+        workers: parse_or(
+            arg_or_env(&args, "--workers", "GMS_SERVE_WORKERS"),
+            2,
+            "--workers",
+        ),
+        queue_capacity: parse_or(
+            arg_or_env(&args, "--queue", "GMS_SERVE_QUEUE"),
+            64,
+            "--queue",
+        ),
+        cache_capacity: parse_or(
+            arg_or_env(&args, "--cache", "GMS_SERVE_CACHE"),
+            256,
+            "--cache",
+        ),
+    };
+    let addr_file = arg_or_env(&args, "--addr-file", "GMS_SERVE_ADDR_FILE");
+
+    let handle = Server::start(config).unwrap_or_else(|e| {
+        eprintln!("gms-serve: failed to start: {e}");
+        std::process::exit(1);
+    });
+    println!("gms-serve listening on {}", handle.addr());
+    // Line-buffered stdout may sit on the banner otherwise.
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    if let Some(path) = addr_file {
+        if let Err(e) = std::fs::write(&path, handle.addr().to_string()) {
+            eprintln!("gms-serve: cannot write {path:?}: {e}");
+            std::process::exit(1);
+        }
+    }
+    // Serve until a client drives a graceful shutdown over the wire.
+    handle.join();
+    println!("gms-serve: shut down cleanly");
+}

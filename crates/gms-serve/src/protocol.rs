@@ -1,0 +1,516 @@
+//! The wire protocol: newline-delimited JSON requests and responses.
+//!
+//! One request is one JSON object on one line; the server answers
+//! with exactly one JSON object on one line. Every request may carry
+//! an `"id"` member (any scalar), echoed verbatim in the response so
+//! clients that pipeline requests over one connection can match
+//! answers to questions. The full format, endpoint by endpoint, is
+//! documented in `crates/gms-serve/README.md`.
+//!
+//! Errors are typed: `{"ok":false,"error":{"code":...,"message":...}}`
+//! with the closed set of codes in [`ErrorCode`]. `queue-full` is the
+//! backpressure signal (the HTTP 429 analog): the request was parsed
+//! but not admitted, and the client should retry later or slow down.
+
+use crate::json::Json;
+use gms_platform::kernel::{KernelError, Outcome, Params, Payload, Value};
+
+/// The closed set of error codes a response can carry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The line was not valid JSON.
+    BadJson,
+    /// Valid JSON, but not a well-formed request (unknown `op`,
+    /// missing or mistyped members).
+    BadRequest,
+    /// The admission queue is at capacity; retry later (HTTP 429
+    /// analog).
+    QueueFull,
+    /// No kernel registered under the requested name.
+    UnknownKernel,
+    /// A parameter name the kernel's schema does not declare.
+    UnknownParam,
+    /// A parameter with the wrong type or an inadmissible value.
+    BadParam,
+    /// No graph loaded under the requested name.
+    UnknownGraph,
+    /// Loading a graph failed (file missing, parse error, checksum
+    /// mismatch, ...).
+    Io,
+    /// The server is shutting down and no longer admits work.
+    ShuttingDown,
+}
+
+impl ErrorCode {
+    /// The wire spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ErrorCode::BadJson => "bad-json",
+            ErrorCode::BadRequest => "bad-request",
+            ErrorCode::QueueFull => "queue-full",
+            ErrorCode::UnknownKernel => "unknown-kernel",
+            ErrorCode::UnknownParam => "unknown-param",
+            ErrorCode::BadParam => "bad-param",
+            ErrorCode::UnknownGraph => "unknown-graph",
+            ErrorCode::Io => "io-error",
+            ErrorCode::ShuttingDown => "shutting-down",
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A typed wire-level failure: code plus human-readable message.
+#[derive(Clone, Debug)]
+pub struct WireError {
+    /// Which of the closed error codes.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl WireError {
+    /// Convenience constructor.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        Self {
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// Maps a kernel-API error onto the wire codes.
+    pub fn from_kernel(e: &KernelError) -> Self {
+        let code = match e {
+            KernelError::UnknownKernel(_) => ErrorCode::UnknownKernel,
+            KernelError::UnknownParam { .. } => ErrorCode::UnknownParam,
+            KernelError::BadParam { .. } => ErrorCode::BadParam,
+            KernelError::InvalidHandle => ErrorCode::UnknownGraph,
+        };
+        Self::new(code, e.to_string())
+    }
+}
+
+/// On-disk / inline source of a graph to load.
+#[derive(Clone, Debug)]
+pub enum LoadSource {
+    /// Load from a path on the server's filesystem.
+    Path(String),
+    /// Parse the graph text sent inline in the request.
+    Data(String),
+}
+
+/// The graph formats the `load` endpoint accepts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LoadFormat {
+    /// SNAP-style whitespace-separated edge list.
+    EdgeList,
+    /// METIS adjacency format.
+    Metis,
+    /// `.gcsr` binary CSR snapshot (path only — the binary format
+    /// does not survive a JSON string).
+    Gcsr,
+}
+
+impl LoadFormat {
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "edge-list" => Some(LoadFormat::EdgeList),
+            "metis" => Some(LoadFormat::Metis),
+            "gcsr" => Some(LoadFormat::Gcsr),
+            _ => None,
+        }
+    }
+}
+
+/// A parsed `load` request.
+#[derive(Clone, Debug)]
+pub struct LoadSpec {
+    /// Server-side name to register the graph under; loading onto an
+    /// existing name replaces that graph and invalidates its cached
+    /// outcomes.
+    pub name: String,
+    /// Input format.
+    pub format: LoadFormat,
+    /// Where the bytes come from.
+    pub source: LoadSource,
+}
+
+/// One kernel invocation inside a `run` or `batch` request.
+#[derive(Clone, Debug)]
+pub struct RunSpec {
+    /// Registered kernel name.
+    pub kernel: String,
+    /// Server-side graph name.
+    pub graph: String,
+    /// Parameter overrides.
+    pub params: Params,
+}
+
+/// A fully parsed request.
+#[derive(Clone, Debug)]
+pub enum Request {
+    /// Liveness and capacity probe (answered inline).
+    Health,
+    /// Kernel listing with parameter schemas (answered inline).
+    Kernels,
+    /// Cache / server / graph statistics (answered inline).
+    Stats,
+    /// Graceful shutdown (acknowledged inline, then the server
+    /// drains and exits).
+    Shutdown,
+    /// Load or replace a graph (admitted through the queue).
+    Load(LoadSpec),
+    /// Run one kernel (admitted through the queue).
+    Run(RunSpec),
+    /// Run several kernels as one admitted unit.
+    Batch(Vec<RunSpec>),
+}
+
+impl Request {
+    /// Control-plane requests are answered by the connection thread
+    /// itself; data-plane requests go through admission control.
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            Request::Health | Request::Kernels | Request::Stats | Request::Shutdown
+        )
+    }
+}
+
+fn required_str(obj: &Json, key: &str, op: &str) -> Result<String, WireError> {
+    obj.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| {
+            WireError::new(
+                ErrorCode::BadRequest,
+                format!("op {op:?} requires a string {key:?} member"),
+            )
+        })
+}
+
+/// Converts a JSON `params` object into typed kernel [`Params`].
+/// Only scalar members are admissible; `null`, arrays and nested
+/// objects are rejected up front.
+pub fn params_from_json(value: &Json) -> Result<Params, WireError> {
+    let Some(fields) = value.as_object() else {
+        return Err(WireError::new(
+            ErrorCode::BadRequest,
+            "\"params\" must be an object",
+        ));
+    };
+    let mut params = Params::new();
+    for (key, v) in fields {
+        let value = match v {
+            Json::Int(i) => Value::Int(*i),
+            Json::Float(x) => Value::Float(*x),
+            Json::Bool(b) => Value::Bool(*b),
+            Json::Str(s) => Value::Str(s.clone()),
+            _ => {
+                return Err(WireError::new(
+                    ErrorCode::BadRequest,
+                    format!("parameter {key:?} must be a scalar"),
+                ))
+            }
+        };
+        params.set(key, value);
+    }
+    Ok(params)
+}
+
+fn run_spec(obj: &Json, op: &str) -> Result<RunSpec, WireError> {
+    let params = match obj.get("params") {
+        None => Params::new(),
+        Some(v) => params_from_json(v)?,
+    };
+    Ok(RunSpec {
+        kernel: required_str(obj, "kernel", op)?,
+        graph: required_str(obj, "graph", op)?,
+        params,
+    })
+}
+
+fn load_spec(obj: &Json) -> Result<LoadSpec, WireError> {
+    let name = required_str(obj, "graph", "load")?;
+    let format_name = required_str(obj, "format", "load")?;
+    let format = LoadFormat::parse(&format_name).ok_or_else(|| {
+        WireError::new(
+            ErrorCode::BadRequest,
+            format!("unknown format {format_name:?} (expected edge-list, metis, or gcsr)"),
+        )
+    })?;
+    let source = match (obj.get("path"), obj.get("data")) {
+        (Some(p), None) => LoadSource::Path(
+            p.as_str()
+                .ok_or_else(|| WireError::new(ErrorCode::BadRequest, "\"path\" must be a string"))?
+                .to_string(),
+        ),
+        (None, Some(d)) => {
+            if format == LoadFormat::Gcsr {
+                return Err(WireError::new(
+                    ErrorCode::BadRequest,
+                    "gcsr is a binary format: send a \"path\", not inline \"data\"",
+                ));
+            }
+            LoadSource::Data(
+                d.as_str()
+                    .ok_or_else(|| {
+                        WireError::new(ErrorCode::BadRequest, "\"data\" must be a string")
+                    })?
+                    .to_string(),
+            )
+        }
+        _ => {
+            return Err(WireError::new(
+                ErrorCode::BadRequest,
+                "op \"load\" requires exactly one of \"path\" or \"data\"",
+            ))
+        }
+    };
+    Ok(LoadSpec {
+        name,
+        format,
+        source,
+    })
+}
+
+/// Parses one request line. On success returns the request plus the
+/// echoed `id`; on failure the error still carries whatever `id`
+/// could be recovered, so even malformed requests get a matchable
+/// response.
+#[allow(clippy::type_complexity)]
+pub fn parse_request(line: &str) -> Result<(Request, Option<Json>), (WireError, Option<Json>)> {
+    let value =
+        Json::parse(line).map_err(|e| (WireError::new(ErrorCode::BadJson, e.to_string()), None))?;
+    let id = value.get("id").cloned();
+    let fail = |e: WireError| (e, id.clone());
+    if value.as_object().is_none() {
+        return Err(fail(WireError::new(
+            ErrorCode::BadRequest,
+            "a request is a JSON object",
+        )));
+    }
+    let op = value.get("op").and_then(Json::as_str).ok_or_else(|| {
+        fail(WireError::new(
+            ErrorCode::BadRequest,
+            "missing string \"op\"",
+        ))
+    })?;
+    let request = match op {
+        "health" => Request::Health,
+        "kernels" => Request::Kernels,
+        "stats" => Request::Stats,
+        "shutdown" => Request::Shutdown,
+        "load" => Request::Load(load_spec(&value).map_err(&fail)?),
+        "run" => Request::Run(run_spec(&value, "run").map_err(&fail)?),
+        "batch" => {
+            let items = value
+                .get("requests")
+                .and_then(Json::as_array)
+                .ok_or_else(|| {
+                    fail(WireError::new(
+                        ErrorCode::BadRequest,
+                        "op \"batch\" requires a \"requests\" array",
+                    ))
+                })?;
+            let specs = items
+                .iter()
+                .map(|item| run_spec(item, "batch"))
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(&fail)?;
+            Request::Batch(specs)
+        }
+        other => {
+            return Err(fail(WireError::new(
+                ErrorCode::BadRequest,
+                format!("unknown op {other:?}"),
+            )))
+        }
+    };
+    Ok((request, id))
+}
+
+/// Assembles a response object, echoing the request's `id` (when one
+/// was sent) as the last member — the one id-echo implementation
+/// every response goes through.
+pub(crate) fn with_id(mut fields: Vec<(&'static str, Json)>, id: Option<&Json>) -> Json {
+    if let Some(id) = id {
+        fields.push(("id", id.clone()));
+    }
+    Json::object(fields)
+}
+
+/// Renders a typed error response.
+pub fn error_json(error: &WireError, id: Option<&Json>) -> Json {
+    with_id(
+        vec![
+            ("ok", Json::Bool(false)),
+            (
+                "error",
+                Json::object([
+                    ("code", Json::from(error.code.as_str())),
+                    ("message", Json::from(error.message.clone())),
+                ]),
+            ),
+        ],
+        id,
+    )
+}
+
+fn payload_json(payload: &Payload) -> Json {
+    match payload {
+        Payload::None => Json::object([("type", Json::from("none"))]),
+        Payload::VertexGroups(groups) => Json::object([
+            ("type", Json::from("vertex-groups")),
+            ("groups", Json::from(groups.len())),
+        ]),
+        Payload::Assignment(a) => Json::object([
+            ("type", Json::from("assignment")),
+            ("len", Json::from(a.len())),
+        ]),
+        Payload::Rank(r) => {
+            Json::object([("type", Json::from("rank")), ("len", Json::from(r.len()))])
+        }
+        Payload::Scalar(x) => {
+            Json::object([("type", Json::from("scalar")), ("value", Json::from(*x))])
+        }
+    }
+}
+
+/// Renders a successful `run` response (also one element of a
+/// `batch` response's `results` array).
+pub fn outcome_json(spec: &RunSpec, outcome: &Outcome, id: Option<&Json>) -> Json {
+    with_id(
+        vec![
+            ("ok", Json::Bool(true)),
+            ("kernel", Json::from(outcome.kernel)),
+            ("graph", Json::from(spec.graph.clone())),
+            ("patterns", Json::from(outcome.patterns)),
+            ("cached", Json::from(outcome.cached)),
+            (
+                "kernel_ms",
+                Json::from(outcome.timings.kernel.as_secs_f64() * 1e3),
+            ),
+            (
+                "total_ms",
+                Json::from(outcome.timings.total().as_secs_f64() * 1e3),
+            ),
+            ("payload", payload_json(&outcome.payload)),
+        ],
+        id,
+    )
+}
+
+/// Renders a hexadecimal graph fingerprint the way every endpoint
+/// spells it.
+pub fn fingerprint_json(fingerprint: u64) -> Json {
+    Json::from(format!("{fingerprint:#018x}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_op() {
+        for (line, control) in [
+            (r#"{"op":"health"}"#, true),
+            (r#"{"op":"kernels"}"#, true),
+            (r#"{"op":"stats"}"#, true),
+            (r#"{"op":"shutdown"}"#, true),
+            (
+                r#"{"op":"load","graph":"g","format":"metis","path":"/x"}"#,
+                false,
+            ),
+            (
+                r#"{"op":"run","kernel":"k-clique","graph":"g","params":{"k":3}}"#,
+                false,
+            ),
+            (
+                r#"{"op":"batch","requests":[{"kernel":"t","graph":"g"}]}"#,
+                false,
+            ),
+        ] {
+            let (request, _) = parse_request(line).unwrap();
+            assert_eq!(request.is_control(), control, "{line}");
+        }
+    }
+
+    #[test]
+    fn run_params_convert_and_reject_non_scalars() {
+        let (request, id) = parse_request(
+            r#"{"op":"run","id":7,"kernel":"k-clique","graph":"g","params":{"k":5,"eps":0.5,"ordering":"adg","collect":true}}"#,
+        )
+        .unwrap();
+        assert_eq!(id, Some(Json::Int(7)));
+        let Request::Run(spec) = request else {
+            panic!("expected run")
+        };
+        assert_eq!(spec.params.get_int("k", 0), 5);
+        assert_eq!(spec.params.get_float("eps", 0.0), 0.5);
+        assert_eq!(spec.params.get_str("ordering", ""), "adg");
+        assert!(spec.params.get_bool("collect", false));
+
+        let err = parse_request(r#"{"op":"run","kernel":"k","graph":"g","params":{"k":[1]}}"#)
+            .unwrap_err();
+        assert_eq!(err.0.code, ErrorCode::BadRequest);
+    }
+
+    #[test]
+    fn malformed_lines_carry_typed_codes_and_recovered_ids() {
+        let (err, id) = parse_request("{nope").unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadJson);
+        assert!(id.is_none());
+
+        let (err, id) = parse_request(r#"{"op":"warp","id":"x"}"#).unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadRequest);
+        assert_eq!(id, Some(Json::Str("x".into())), "id survives a bad op");
+
+        let (err, _) =
+            parse_request(r#"{"op":"load","graph":"g","format":"xml","path":"p"}"#).unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadRequest);
+
+        let (err, _) =
+            parse_request(r#"{"op":"load","graph":"g","format":"gcsr","data":"x"}"#).unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadRequest, "inline gcsr is rejected");
+
+        let (err, _) =
+            parse_request(r#"{"op":"load","graph":"g","format":"metis","path":"a","data":"b"}"#)
+                .unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadRequest);
+    }
+
+    #[test]
+    fn error_and_outcome_rendering() {
+        let rendered = error_json(
+            &WireError::new(ErrorCode::QueueFull, "admission queue at capacity (4)"),
+            Some(&Json::Int(3)),
+        )
+        .render();
+        assert_eq!(
+            rendered,
+            r#"{"ok":false,"error":{"code":"queue-full","message":"admission queue at capacity (4)"},"id":3}"#
+        );
+
+        let spec = RunSpec {
+            kernel: "triangle-count".into(),
+            graph: "g".into(),
+            params: Params::new(),
+        };
+        let outcome = Outcome::new("triangle-count", 12);
+        let v = outcome_json(&spec, &outcome, None);
+        assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(v.get("patterns"), Some(&Json::Int(12)));
+        assert_eq!(v.get("cached"), Some(&Json::Bool(false)));
+        assert_eq!(
+            v.get("payload")
+                .and_then(|p| p.get("type"))
+                .and_then(Json::as_str),
+            Some("none")
+        );
+    }
+}

@@ -1,0 +1,677 @@
+//! The server: acceptor, connection readers, admission queue, and a
+//! fixed pool of worker sessions over one shared [`ResultCache`].
+//!
+//! ```text
+//!            ┌─ conn thread ─┐   try_submit   ┌─ worker 0 ─┐
+//!  TCP ──────┤ parse, answer ├───────────────►│  session   │──► response
+//!  accept ───┤ control plane │  bounded queue └─ worker 1 ─┘    (writer
+//!            └───────────────┘  (queue-full ⇒ shared cache       mutex)
+//!                                429 analog)   + single-flight
+//! ```
+//!
+//! The split mirrors the admission/execution separation of HTAP
+//! serving systems: connection threads only parse and answer cheap
+//! control-plane requests (`health`, `stats`, `kernels`,
+//! `shutdown`); everything that costs kernel or I/O time (`load`,
+//! `run`, `batch`) must pass the bounded [`AdmissionQueue`] first,
+//! so a traffic spike degrades into fast `queue-full` rejections
+//! instead of oversubscribing the compute pool. The worker count is
+//! fixed at startup; each worker is one serving session with its own
+//! owner tag on the shared result cache, so duplicate requests
+//! landing on different workers still resolve to one kernel
+//! execution (single-flight) and show up as cross-session hits in
+//! the stats endpoint.
+
+use crate::admission::{AdmissionQueue, SubmitError};
+use crate::json::Json;
+use crate::protocol::{
+    error_json, fingerprint_json, outcome_json, with_id, ErrorCode, LoadFormat, LoadSource,
+    LoadSpec, Request, RunSpec, WireError,
+};
+use gms_core::CsrGraph;
+use gms_platform::kernel::{fingerprint, next_owner, CacheKey, Registry, ResultCache};
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long a blocked connection read may go unanswered before the
+/// thread re-checks the shutdown flag. Bounds shutdown latency for
+/// idle connections.
+const READ_POLL: Duration = Duration::from_millis(100);
+
+/// Server construction parameters.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port (read it back
+    /// from [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Worker sessions executing admitted requests.
+    pub workers: usize,
+    /// Admission-queue bound: pending requests beyond this are
+    /// rejected with `queue-full`.
+    pub queue_capacity: usize,
+    /// Shared result-cache capacity in outcomes.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_capacity: 64,
+            cache_capacity: 256,
+        }
+    }
+}
+
+struct GraphEntry {
+    graph: Arc<CsrGraph>,
+    fingerprint: u64,
+    vertices: usize,
+    edges: usize,
+}
+
+#[derive(Default)]
+struct Counters {
+    connections: AtomicU64,
+    requests: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    malformed: AtomicU64,
+}
+
+struct Shared {
+    registry: Registry,
+    cache: Arc<ResultCache>,
+    graphs: RwLock<BTreeMap<String, GraphEntry>>,
+    queue: AdmissionQueue<Job>,
+    running: AtomicBool,
+    counters: Counters,
+    worker_served: Vec<AtomicU64>,
+    addr: SocketAddr,
+}
+
+impl Shared {
+    fn running(&self) -> bool {
+        self.running.load(Ordering::SeqCst)
+    }
+
+    /// Idempotent: stop admitting, drain the queue, wake the
+    /// acceptor.
+    fn begin_shutdown(&self) {
+        if self.running.swap(false, Ordering::SeqCst) {
+            self.queue.close();
+            // Unblock the acceptor's `accept()` with a throwaway
+            // connection; if that fails the acceptor still exits on
+            // its next successful accept.
+            let _ = TcpStream::connect(self.addr);
+        }
+    }
+}
+
+/// A shared, mutex-guarded handle on one connection's write half.
+/// Workers serving requests from the same connection serialize their
+/// response lines through it.
+#[derive(Clone)]
+struct ResponseWriter {
+    stream: Arc<Mutex<TcpStream>>,
+}
+
+impl ResponseWriter {
+    fn send(&self, response: &Json) {
+        let mut line = response.render();
+        line.push('\n');
+        let mut stream = self.stream.lock().unwrap_or_else(|e| e.into_inner());
+        // The client may have hung up; nothing useful to do then.
+        let _ = stream.write_all(line.as_bytes());
+        let _ = stream.flush();
+    }
+}
+
+enum DataOp {
+    Load(LoadSpec),
+    Run(RunSpec),
+    Batch(Vec<RunSpec>),
+}
+
+struct Job {
+    op: DataOp,
+    id: Option<Json>,
+    out: ResponseWriter,
+}
+
+/// The serving front end. [`Server::start`] binds, spawns the
+/// acceptor and worker threads, and returns a [`ServerHandle`].
+pub struct Server;
+
+impl Server {
+    /// Starts a server per `config`. Fails only on bind errors; after
+    /// this returns the server is accepting connections.
+    pub fn start(config: ServeConfig) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let workers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            registry: Registry::with_builtins(),
+            cache: Arc::new(ResultCache::new(config.cache_capacity)),
+            graphs: RwLock::new(BTreeMap::new()),
+            queue: AdmissionQueue::new(config.queue_capacity),
+            running: AtomicBool::new(true),
+            counters: Counters::default(),
+            worker_served: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            addr,
+        });
+
+        let worker_threads: Vec<JoinHandle<()>> = (0..workers)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("gms-serve-worker-{index}"))
+                    .spawn(move || worker_loop(&shared, index))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("gms-serve-acceptor".to_string())
+                .spawn(move || accept_loop(listener, &shared))
+                .expect("spawn acceptor thread")
+        };
+
+        Ok(ServerHandle {
+            addr,
+            shared,
+            acceptor,
+            workers: worker_threads,
+        })
+    }
+}
+
+/// A running server: its bound address plus shutdown/join control.
+/// Dropping the handle without calling [`ServerHandle::join`] leaves
+/// the server running detached until a client sends `shutdown`.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Initiates a graceful shutdown: stop accepting, answer
+    /// everything already admitted, exit. Idempotent; also triggered
+    /// by the protocol's `shutdown` op.
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Waits for the server to finish (after [`ServerHandle::shutdown`]
+    /// or a client-driven `shutdown` op).
+    pub fn join(self) {
+        let _ = self.acceptor.join();
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    let mut connections: Vec<JoinHandle<()>> = Vec::new();
+    while shared.running() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if !shared.running() {
+                    break;
+                }
+                shared.counters.connections.fetch_add(1, Ordering::Relaxed);
+                let shared = Arc::clone(shared);
+                if let Ok(handle) = std::thread::Builder::new()
+                    .name("gms-serve-conn".to_string())
+                    .spawn(move || connection_loop(stream, &shared))
+                {
+                    connections.push(handle);
+                }
+                // Opportunistically reap finished connection threads
+                // so a long-lived server does not accumulate handles.
+                connections.retain(|h| !h.is_finished());
+            }
+            Err(_) => {
+                if !shared.running() {
+                    break;
+                }
+            }
+        }
+    }
+    for handle in connections {
+        let _ = handle.join();
+    }
+}
+
+fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
+    // Responses are short: send them as soon as they are written.
+    let _ = stream.set_nodelay(true);
+    // Poll reads so an idle connection notices shutdown.
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let writer = ResponseWriter {
+        stream: Arc::new(Mutex::new(stream)),
+    };
+    let mut reader = BufReader::new(read_half);
+    // Byte-oriented line assembly: unlike `read_line`, `read_until`
+    // keeps everything read so far in the buffer when a call ends in
+    // a timeout, even mid-multibyte-character — the poll below
+    // depends on partial lines surviving intact.
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        match reader.read_until(b'\n', &mut line) {
+            Ok(0) => break, // client closed
+            Ok(_) => {
+                let keep_going = match std::str::from_utf8(&line) {
+                    Ok(text) => handle_line(text.trim(), shared, &writer),
+                    Err(_) => {
+                        shared.counters.malformed.fetch_add(1, Ordering::Relaxed);
+                        writer.send(&error_json(
+                            &WireError::new(ErrorCode::BadJson, "request line is not valid UTF-8"),
+                            None,
+                        ));
+                        true
+                    }
+                };
+                line.clear();
+                if !keep_going {
+                    break;
+                }
+            }
+            // Timeout poll: `line` keeps any partial read; loop
+            // appends the rest once it arrives.
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if !shared.running() {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Processes one request line; returns `false` when the connection
+/// should close (shutdown acknowledged).
+fn handle_line(line: &str, shared: &Arc<Shared>, writer: &ResponseWriter) -> bool {
+    if line.is_empty() {
+        return true; // tolerate blank keep-alive lines
+    }
+    let (request, id) = match crate::protocol::parse_request(line) {
+        Ok(parsed) => parsed,
+        Err((error, id)) => {
+            shared.counters.malformed.fetch_add(1, Ordering::Relaxed);
+            writer.send(&error_json(&error, id.as_ref()));
+            return true;
+        }
+    };
+    shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+    // `Request::is_control` is the single source of truth for the
+    // plane split; the matches below panic loudly if it drifts.
+    if request.is_control() {
+        return answer_control(request, shared, writer, id);
+    }
+    let op = match request {
+        Request::Load(spec) => DataOp::Load(spec),
+        Request::Run(spec) => DataOp::Run(spec),
+        Request::Batch(specs) => DataOp::Batch(specs),
+        control => unreachable!("control op routed to the data plane: {control:?}"),
+    };
+    submit(shared, writer, op, id)
+}
+
+/// Answers a control-plane request inline on the connection thread;
+/// returns `false` when the connection should close (shutdown).
+fn answer_control(
+    request: Request,
+    shared: &Arc<Shared>,
+    writer: &ResponseWriter,
+    id: Option<Json>,
+) -> bool {
+    match request {
+        Request::Health => {
+            writer.send(&health_json(shared, id.as_ref()));
+            true
+        }
+        Request::Kernels => {
+            writer.send(&kernels_json(shared, id.as_ref()));
+            true
+        }
+        Request::Stats => {
+            writer.send(&stats_json(shared, id.as_ref()));
+            true
+        }
+        Request::Shutdown => {
+            writer.send(&Json::object(
+                [
+                    ("ok", Json::Bool(true)),
+                    ("status", Json::from("shutting-down")),
+                ]
+                .into_iter()
+                .chain(id.as_ref().map(|v| ("id", v.clone()))),
+            ));
+            shared.begin_shutdown();
+            false
+        }
+        data => unreachable!("data-plane op answered inline: {data:?}"),
+    }
+}
+
+/// Admission control: data-plane requests either enter the bounded
+/// queue or are rejected right here, on the connection thread.
+fn submit(shared: &Arc<Shared>, writer: &ResponseWriter, op: DataOp, id: Option<Json>) -> bool {
+    if !shared.running() {
+        writer.send(&error_json(
+            &WireError::new(ErrorCode::ShuttingDown, "server is shutting down"),
+            id.as_ref(),
+        ));
+        return true;
+    }
+    let job = Job {
+        op,
+        id,
+        out: writer.clone(),
+    };
+    match shared.queue.try_submit(job) {
+        Ok(()) => true,
+        Err(SubmitError::Full(job)) => {
+            shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            job.out.send(&error_json(
+                &WireError::new(
+                    ErrorCode::QueueFull,
+                    format!(
+                        "admission queue at capacity ({}); retry later",
+                        shared.queue.capacity()
+                    ),
+                ),
+                job.id.as_ref(),
+            ));
+            true
+        }
+        Err(SubmitError::Closed(job)) => {
+            job.out.send(&error_json(
+                &WireError::new(ErrorCode::ShuttingDown, "server is shutting down"),
+                job.id.as_ref(),
+            ));
+            true
+        }
+    }
+}
+
+/// One worker session: drains the admission queue until the server
+/// shuts down. The owner tag attributes this worker's cache traffic,
+/// so hits on entries another worker paid for count as cross-session.
+fn worker_loop(shared: &Arc<Shared>, index: usize) {
+    let owner = next_owner();
+    while let Some(job) = shared.queue.dequeue() {
+        let response = match job.op {
+            DataOp::Load(spec) => match execute_load(shared, &spec) {
+                Ok(body) => with_id(body, job.id.as_ref()),
+                Err(e) => error_json(&e, job.id.as_ref()),
+            },
+            DataOp::Run(spec) => match execute_run(shared, owner, &spec) {
+                Ok(outcome) => outcome_json(&spec, &outcome, job.id.as_ref()),
+                Err(e) => error_json(&e, job.id.as_ref()),
+            },
+            DataOp::Batch(specs) => {
+                let results: Vec<Json> = specs
+                    .iter()
+                    .map(|spec| match execute_run(shared, owner, spec) {
+                        Ok(outcome) => outcome_json(spec, &outcome, None),
+                        Err(e) => error_json(&e, None),
+                    })
+                    .collect();
+                with_id(
+                    vec![("ok", Json::Bool(true)), ("results", Json::Array(results))],
+                    job.id.as_ref(),
+                )
+            }
+        };
+        job.out.send(&response);
+        shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+        shared.worker_served[index].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+fn execute_load(
+    shared: &Arc<Shared>,
+    spec: &LoadSpec,
+) -> Result<Vec<(&'static str, Json)>, WireError> {
+    let io_err = |e: gms_graph::io::GraphIoError| WireError::new(ErrorCode::Io, e.to_string());
+    let graph = match (&spec.format, &spec.source) {
+        (LoadFormat::EdgeList, LoadSource::Path(p)) => {
+            gms_graph::io::load_undirected(p).map_err(io_err)?
+        }
+        (LoadFormat::EdgeList, LoadSource::Data(d)) => {
+            gms_graph::io::load_undirected_from(d.as_bytes()).map_err(io_err)?
+        }
+        (LoadFormat::Metis, LoadSource::Path(p)) => gms_graph::io::load_metis(p).map_err(io_err)?,
+        (LoadFormat::Metis, LoadSource::Data(d)) => {
+            gms_graph::io::load_metis_from(d.as_bytes()).map_err(io_err)?
+        }
+        (LoadFormat::Gcsr, LoadSource::Path(p)) => {
+            gms_graph::io::load_snapshot(p).map_err(io_err)?
+        }
+        // The parser rejects inline gcsr before a job is built.
+        (LoadFormat::Gcsr, LoadSource::Data(_)) => {
+            return Err(WireError::new(
+                ErrorCode::BadRequest,
+                "gcsr is a binary format: send a \"path\", not inline \"data\"",
+            ))
+        }
+    };
+    let fp = fingerprint(&graph);
+    let vertices = graph.offsets().len().saturating_sub(1);
+    let edges = graph.adjacency().len() / 2;
+    let entry = GraphEntry {
+        graph: Arc::new(graph),
+        fingerprint: fp,
+        vertices,
+        edges,
+    };
+    let (replaced, invalidated) = {
+        let mut graphs = shared.graphs.write().unwrap_or_else(|e| e.into_inner());
+        let old = graphs.insert(spec.name.clone(), entry);
+        match old {
+            None => (false, 0),
+            Some(old) => {
+                // Replacing a graph drops the old content's cached
+                // outcomes — unless the content is still reachable
+                // under another name (or unchanged).
+                let still_referenced = old.fingerprint == fp
+                    || graphs.values().any(|e| e.fingerprint == old.fingerprint);
+                let invalidated = if still_referenced {
+                    0
+                } else {
+                    shared.cache.invalidate_fingerprint(old.fingerprint)
+                };
+                (true, invalidated)
+            }
+        }
+    };
+    Ok(vec![
+        ("ok", Json::Bool(true)),
+        ("graph", Json::from(spec.name.clone())),
+        ("vertices", Json::from(vertices)),
+        ("edges", Json::from(edges)),
+        ("fingerprint", fingerprint_json(fp)),
+        ("replaced", Json::from(replaced)),
+        ("invalidated", Json::from(invalidated)),
+    ])
+}
+
+fn execute_run(
+    shared: &Arc<Shared>,
+    owner: u64,
+    spec: &RunSpec,
+) -> Result<gms_platform::kernel::Outcome, WireError> {
+    let (graph, fp) = {
+        let graphs = shared.graphs.read().unwrap_or_else(|e| e.into_inner());
+        let entry = graphs.get(&spec.graph).ok_or_else(|| {
+            WireError::new(
+                ErrorCode::UnknownGraph,
+                format!("no graph loaded under {:?}", spec.graph),
+            )
+        })?;
+        (Arc::clone(&entry.graph), entry.fingerprint)
+    };
+    let kernel = shared.registry.get(&spec.kernel).ok_or_else(|| {
+        WireError::new(
+            ErrorCode::UnknownKernel,
+            format!("unknown kernel {:?}", spec.kernel),
+        )
+    })?;
+    let key = CacheKey::build(kernel, &graph, fp, &spec.params)
+        .map_err(|e| WireError::from_kernel(&e))?;
+    shared
+        .cache
+        .run_or_wait(&key, owner, || kernel.run(&graph, &spec.params))
+        .map_err(|e| WireError::from_kernel(&e))
+}
+
+fn health_json(shared: &Arc<Shared>, id: Option<&Json>) -> Json {
+    let graphs = shared.graphs.read().unwrap_or_else(|e| e.into_inner());
+    with_id(
+        vec![
+            ("ok", Json::Bool(true)),
+            (
+                "status",
+                Json::from(if shared.running() {
+                    "serving"
+                } else {
+                    "shutting-down"
+                }),
+            ),
+            ("kernels", Json::from(shared.registry.len())),
+            ("graphs", Json::from(graphs.len())),
+            ("workers", Json::from(shared.worker_served.len())),
+            ("queue_depth", Json::from(shared.queue.depth())),
+            ("queue_capacity", Json::from(shared.queue.capacity())),
+        ],
+        id,
+    )
+}
+
+fn kernels_json(shared: &Arc<Shared>, id: Option<&Json>) -> Json {
+    let kernels: Vec<Json> = shared
+        .registry
+        .iter()
+        .map(|k| {
+            let params: Vec<Json> = k
+                .params()
+                .iter()
+                .map(|spec| {
+                    Json::object([
+                        ("name", Json::from(spec.name)),
+                        ("kind", Json::from(spec.kind.to_string())),
+                        ("default", Json::from(spec.default.render())),
+                        (
+                            "choices",
+                            Json::Array(spec.choices.iter().map(|&c| Json::from(c)).collect()),
+                        ),
+                    ])
+                })
+                .collect();
+            Json::object([
+                ("name", Json::from(k.name())),
+                ("category", Json::from(k.category().label())),
+                ("about", Json::from(k.about())),
+                ("params", Json::Array(params)),
+            ])
+        })
+        .collect();
+    with_id(
+        vec![("ok", Json::Bool(true)), ("kernels", Json::Array(kernels))],
+        id,
+    )
+}
+
+fn stats_json(shared: &Arc<Shared>, id: Option<&Json>) -> Json {
+    let cache = shared.cache.stats();
+    let counters = &shared.counters;
+    let graphs: Vec<Json> = {
+        let graphs = shared.graphs.read().unwrap_or_else(|e| e.into_inner());
+        graphs
+            .iter()
+            .map(|(name, entry)| {
+                Json::object([
+                    ("name", Json::from(name.clone())),
+                    ("vertices", Json::from(entry.vertices)),
+                    ("edges", Json::from(entry.edges)),
+                    ("fingerprint", fingerprint_json(entry.fingerprint)),
+                ])
+            })
+            .collect()
+    };
+    let worker_served: Vec<Json> = shared
+        .worker_served
+        .iter()
+        .map(|count| Json::from(count.load(Ordering::Relaxed)))
+        .collect();
+    with_id(
+        vec![
+            ("ok", Json::Bool(true)),
+            (
+                "cache",
+                Json::object([
+                    ("hits", Json::from(cache.hits)),
+                    ("misses", Json::from(cache.misses)),
+                    ("evictions", Json::from(cache.evictions)),
+                    ("coalesced", Json::from(cache.coalesced)),
+                    ("cross_hits", Json::from(cache.cross_hits)),
+                    ("invalidated", Json::from(cache.invalidated)),
+                    ("entries", Json::from(cache.entries)),
+                    ("capacity", Json::from(cache.capacity)),
+                ]),
+            ),
+            (
+                "server",
+                Json::object([
+                    ("workers", Json::from(shared.worker_served.len())),
+                    (
+                        "connections",
+                        Json::from(counters.connections.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "requests",
+                        Json::from(counters.requests.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "completed",
+                        Json::from(counters.completed.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "rejected",
+                        Json::from(counters.rejected.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "malformed",
+                        Json::from(counters.malformed.load(Ordering::Relaxed)),
+                    ),
+                    ("queue_depth", Json::from(shared.queue.depth())),
+                    ("queue_capacity", Json::from(shared.queue.capacity())),
+                    ("worker_served", Json::Array(worker_served)),
+                ]),
+            ),
+            ("graphs", Json::Array(graphs)),
+        ],
+        id,
+    )
+}

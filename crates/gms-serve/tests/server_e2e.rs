@@ -1,0 +1,389 @@
+//! End-to-end protocol tests: a real server on an ephemeral port,
+//! driven over real sockets — every endpoint, the typed error
+//! surface, cross-worker cache behavior, invalidation on reload,
+//! queue-full backpressure, and graceful shutdown.
+
+use gms_serve::{Client, Json, ServeConfig, Server};
+
+fn start(workers: usize, queue: usize) -> (gms_serve::ServerHandle, Client) {
+    let handle = Server::start(ServeConfig {
+        workers,
+        queue_capacity: queue,
+        ..ServeConfig::default()
+    })
+    .expect("server start");
+    let client = Client::connect(handle.addr()).expect("client connect");
+    (handle, client)
+}
+
+fn edge_list(graph: &gms_core::CsrGraph) -> String {
+    let mut bytes = Vec::new();
+    gms_graph::io::write_edge_list(graph, &mut bytes).unwrap();
+    String::from_utf8(bytes).unwrap()
+}
+
+fn assert_ok(v: &Json) {
+    assert_eq!(
+        v.get("ok"),
+        Some(&Json::Bool(true)),
+        "expected ok: {}",
+        v.render()
+    );
+}
+
+fn error_code(v: &Json) -> &str {
+    assert_eq!(
+        v.get("ok"),
+        Some(&Json::Bool(false)),
+        "expected error: {}",
+        v.render()
+    );
+    v.get("error")
+        .and_then(|e| e.get("code"))
+        .and_then(Json::as_str)
+        .expect("typed error code")
+}
+
+#[test]
+fn full_protocol_round_trip() {
+    let (handle, mut client) = start(2, 16);
+
+    // Health before any graph is loaded.
+    let health = client.health().unwrap();
+    assert_ok(&health);
+    assert_eq!(health.get("status").and_then(Json::as_str), Some("serving"));
+    assert_eq!(health.get("graphs"), Some(&Json::Int(0)));
+    assert!(health.get("kernels").and_then(Json::as_i64).unwrap() >= 15);
+
+    // Kernel introspection carries schemas.
+    let kernels = client.kernels().unwrap();
+    assert_ok(&kernels);
+    let list = kernels.get("kernels").and_then(Json::as_array).unwrap();
+    let kclique = list
+        .iter()
+        .find(|k| k.get("name").and_then(Json::as_str) == Some("k-clique"))
+        .expect("k-clique registered");
+    assert!(kclique
+        .get("params")
+        .and_then(Json::as_array)
+        .unwrap()
+        .iter()
+        .any(|p| p.get("name").and_then(Json::as_str) == Some("k")));
+
+    // Load a triangle + tail inline; degenerate but exact.
+    let loaded = client
+        .load_inline("toy", "edge-list", "0 1\n1 2\n2 0\n2 3\n")
+        .unwrap();
+    assert_ok(&loaded);
+    assert_eq!(loaded.get("vertices"), Some(&Json::Int(4)));
+    assert_eq!(loaded.get("edges"), Some(&Json::Int(4)));
+    assert_eq!(loaded.get("replaced"), Some(&Json::Bool(false)));
+
+    // Run with typed params; then the identical request hits.
+    let first = client.run("triangle-count", "toy", &[]).unwrap();
+    assert_ok(&first);
+    assert_eq!(first.get("patterns"), Some(&Json::Int(1)));
+    assert_eq!(first.get("cached"), Some(&Json::Bool(false)));
+    let second = client.run("triangle-count", "toy", &[]).unwrap();
+    assert_ok(&second);
+    assert_eq!(second.get("cached"), Some(&Json::Bool(true)));
+
+    // The id member is echoed, including on errors.
+    let tagged = client
+        .request(&Json::object([
+            ("op", Json::from("health")),
+            ("id", Json::from("probe-1")),
+        ]))
+        .unwrap();
+    assert_eq!(tagged.get("id").and_then(Json::as_str), Some("probe-1"));
+
+    // Typed error surface.
+    assert_eq!(
+        error_code(&client.request_raw("{not json").unwrap()),
+        "bad-json"
+    );
+    assert_eq!(
+        error_code(&client.request_raw(r#"{"op":"warp"}"#).unwrap()),
+        "bad-request"
+    );
+    assert_eq!(
+        error_code(&client.run("no-such-kernel", "toy", &[]).unwrap()),
+        "unknown-kernel"
+    );
+    assert_eq!(
+        error_code(&client.run("triangle-count", "nope", &[]).unwrap()),
+        "unknown-graph"
+    );
+    assert_eq!(
+        error_code(
+            &client
+                .run("k-clique", "toy", &[("bogus", Json::Int(1))])
+                .unwrap()
+        ),
+        "unknown-param"
+    );
+    assert_eq!(
+        error_code(
+            &client
+                .run("k-clique", "toy", &[("k", Json::from("three"))])
+                .unwrap()
+        ),
+        "bad-param"
+    );
+    assert_eq!(
+        error_code(
+            &client
+                .load_path("bad", "gcsr", "/no/such/file.gcsr")
+                .unwrap()
+        ),
+        "io-error"
+    );
+
+    // Batch: two fresh, one duplicate, one error — one response.
+    let batch = client
+        .request(&Json::object([
+            ("op", Json::from("batch")),
+            (
+                "requests",
+                Json::Array(vec![
+                    Json::object([
+                        ("kernel", Json::from("k-clique")),
+                        ("graph", Json::from("toy")),
+                        ("params", Json::object([("k", Json::Int(3))])),
+                    ]),
+                    Json::object([
+                        ("kernel", Json::from("triangle-count")),
+                        ("graph", Json::from("toy")),
+                    ]),
+                    Json::object([
+                        ("kernel", Json::from("triangle-count")),
+                        ("graph", Json::from("missing")),
+                    ]),
+                ]),
+            ),
+        ]))
+        .unwrap();
+    assert_ok(&batch);
+    let results = batch.get("results").and_then(Json::as_array).unwrap();
+    assert_eq!(results.len(), 3);
+    assert_eq!(results[0].get("patterns"), Some(&Json::Int(1)));
+    assert_eq!(results[1].get("cached"), Some(&Json::Bool(true)));
+    assert_eq!(error_code(&results[2]), "unknown-graph");
+
+    // Stats reflect all of the above.
+    let stats = client.stats().unwrap();
+    assert_ok(&stats);
+    let cache = stats.get("cache").unwrap();
+    assert!(cache.get("hits").and_then(Json::as_i64).unwrap() >= 2);
+    assert!(cache.get("misses").and_then(Json::as_i64).unwrap() >= 2);
+    let server = stats.get("server").unwrap();
+    assert!(server.get("malformed").and_then(Json::as_i64).unwrap() >= 1);
+    assert_eq!(server.get("workers"), Some(&Json::Int(2)));
+    let graphs = stats.get("graphs").and_then(Json::as_array).unwrap();
+    assert_eq!(graphs.len(), 1);
+    assert_eq!(graphs[0].get("name").and_then(Json::as_str), Some("toy"));
+
+    // Graceful shutdown: acknowledged, then the process winds down.
+    let ack = client.shutdown().unwrap();
+    assert_eq!(
+        ack.get("status").and_then(Json::as_str),
+        Some("shutting-down")
+    );
+    handle.join();
+}
+
+#[test]
+fn reload_invalidates_replaced_content() {
+    let (handle, mut client) = start(2, 16);
+    let g1 = gms_gen::planted_cliques(80, 0.04, 2, 5, 11).0;
+    let g2 = gms_gen::gnp(70, 0.06, 5);
+
+    client
+        .load_inline("g", "edge-list", &edge_list(&g1))
+        .unwrap();
+    let fresh = client.run("triangle-count", "g", &[]).unwrap();
+    assert_eq!(fresh.get("cached"), Some(&Json::Bool(false)));
+
+    // Same content again: replaced but nothing invalidated, and the
+    // cached outcome survives.
+    let same = client
+        .load_inline("g", "edge-list", &edge_list(&g1))
+        .unwrap();
+    assert_eq!(same.get("replaced"), Some(&Json::Bool(true)));
+    assert_eq!(same.get("invalidated"), Some(&Json::Int(0)));
+    let hit = client.run("triangle-count", "g", &[]).unwrap();
+    assert_eq!(hit.get("cached"), Some(&Json::Bool(true)));
+
+    // New content: the old outcome is dropped and the rerun is fresh.
+    let replaced = client
+        .load_inline("g", "edge-list", &edge_list(&g2))
+        .unwrap();
+    assert_eq!(replaced.get("replaced"), Some(&Json::Bool(true)));
+    assert_eq!(replaced.get("invalidated"), Some(&Json::Int(1)));
+    let recomputed = client.run("triangle-count", "g", &[]).unwrap();
+    assert_eq!(recomputed.get("cached"), Some(&Json::Bool(false)));
+
+    let stats = client.stats().unwrap();
+    assert_eq!(
+        stats.get("cache").and_then(|c| c.get("invalidated")),
+        Some(&Json::Int(1))
+    );
+
+    client.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn duplicate_requests_across_connections_share_one_execution() {
+    let (handle, mut setup) = start(2, 16);
+    let graph = gms_gen::planted_cliques(150, 0.03, 3, 6, 7).0;
+    setup
+        .load_inline("g", "edge-list", &edge_list(&graph))
+        .unwrap();
+
+    // The same request from several fresh connections: exactly one
+    // kernel execution (misses == 1) however the requests interleave,
+    // and at least one hit is served by a different worker session
+    // than the one that computed it.
+    let threads: Vec<_> = (0..4)
+        .map(|_| {
+            let addr = handle.addr();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                let out = client.run("k-clique", "g", &[("k", Json::Int(4))]).unwrap();
+                assert_eq!(out.get("ok"), Some(&Json::Bool(true)));
+                out.get("patterns").and_then(Json::as_i64).unwrap()
+            })
+        })
+        .collect();
+    let counts: Vec<i64> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+    assert!(counts.windows(2).all(|w| w[0] == w[1]), "all answers agree");
+
+    let stats = setup.stats().unwrap();
+    let cache = stats.get("cache").unwrap();
+    assert_eq!(
+        cache.get("misses"),
+        Some(&Json::Int(1)),
+        "{}",
+        stats.render()
+    );
+    assert_eq!(cache.get("hits"), Some(&Json::Int(3)));
+
+    setup.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn queue_full_rejections_under_burst() {
+    // One worker, queue bound 1: while the worker grinds a slow
+    // request, at most one more fits; the rest of the burst must be
+    // answered `queue-full` immediately.
+    let (handle, mut setup) = start(1, 1);
+    let graph = gms_gen::planted_cliques(700, 0.015, 4, 9, 3).0;
+    setup
+        .load_inline("g", "edge-list", &edge_list(&graph))
+        .unwrap();
+
+    let mut rejected = 0;
+    for round in 0..5 {
+        let burst = 8;
+        let threads: Vec<_> = (0..burst)
+            .map(|i| {
+                let addr = handle.addr();
+                std::thread::spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    // Distinct params per request so nothing dedups.
+                    let response = client
+                        .run("bk", "g", &[("par-depth", Json::Int(i + 10 * round))])
+                        .unwrap();
+                    match response.get("ok") {
+                        Some(&Json::Bool(true)) => false,
+                        _ => {
+                            assert_eq!(
+                                response
+                                    .get("error")
+                                    .and_then(|e| e.get("code"))
+                                    .and_then(Json::as_str),
+                                Some("queue-full"),
+                                "{}",
+                                response.render()
+                            );
+                            true
+                        }
+                    }
+                })
+            })
+            .collect();
+        rejected += threads
+            .into_iter()
+            .map(|t| t.join().unwrap())
+            .filter(|&was_rejected| was_rejected)
+            .count();
+        if rejected > 0 {
+            break;
+        }
+    }
+    assert!(rejected > 0, "a burst against a 1-deep queue must reject");
+
+    let stats = setup.stats().unwrap();
+    assert!(
+        stats
+            .get("server")
+            .and_then(|s| s.get("rejected"))
+            .and_then(Json::as_i64)
+            .unwrap()
+            >= rejected as i64
+    );
+
+    setup.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn invalid_utf8_line_gets_a_typed_error_and_framing_survives() {
+    use std::io::{BufRead, BufReader, Write};
+    let (handle, mut client) = start(1, 4);
+
+    // Raw socket: a line that is not valid UTF-8 (lone 0xFF bytes),
+    // then a well-formed request on the same connection.
+    let mut stream = std::net::TcpStream::connect(handle.addr()).unwrap();
+    stream.write_all(b"\xff\xfe garbage \xff\n").unwrap();
+    stream.write_all(b"{\"op\":\"health\",\"id\":9}\n").unwrap();
+    stream.flush().unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let first = Json::parse(line.trim()).unwrap();
+    assert_eq!(error_code(&first), "bad-json");
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    let second = Json::parse(line.trim()).unwrap();
+    assert_ok(&second);
+    assert_eq!(second.get("id"), Some(&Json::Int(9)), "framing intact");
+
+    let stats = client.stats().unwrap();
+    assert!(
+        stats
+            .get("server")
+            .and_then(|s| s.get("malformed"))
+            .and_then(Json::as_i64)
+            .unwrap()
+            >= 1
+    );
+    client.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn requests_after_shutdown_are_answered_shutting_down() {
+    let (handle, mut client) = start(1, 4);
+    client
+        .load_inline("g", "edge-list", "0 1\n1 2\n2 0\n")
+        .unwrap();
+    handle.shutdown();
+    // The existing connection stays readable until it closes; a
+    // data-plane request is now refused with a typed error.
+    let response = client.run("triangle-count", "g", &[]).unwrap();
+    assert_eq!(error_code(&response), "shutting-down");
+    handle.join();
+}

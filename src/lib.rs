@@ -62,6 +62,37 @@
 //! assert!(outcomes.iter().all(|r| r.is_ok()));
 //! ```
 //!
+//! And the whole platform serves over the network: [`serve`] wraps
+//! the session machinery in a TCP front end speaking
+//! newline-delimited JSON, with a bounded admission queue in front of
+//! a fixed pool of worker sessions that share one result cache.
+//!
+//! ```
+//! use gms::serve::{Client, Json, ServeConfig, Server};
+//!
+//! // An ephemeral-port server with two worker sessions.
+//! let handle = Server::start(ServeConfig::default()).unwrap();
+//! let mut client = Client::connect(handle.addr()).unwrap();
+//!
+//! // Ship a graph inline and mine it by name.
+//! let mut text = Vec::new();
+//! gms::graph::io::write_edge_list(&gms::gen::gnp(120, 0.06, 3), &mut text).unwrap();
+//! let loaded = client
+//!     .load_inline("demo", "edge-list", std::str::from_utf8(&text).unwrap())
+//!     .unwrap();
+//! assert_eq!(loaded.get("ok"), Some(&Json::Bool(true)));
+//!
+//! // Identical requests are served from the shared result cache.
+//! let first = client.run("triangle-count", "demo", &[]).unwrap();
+//! let again = client.run("triangle-count", "demo", &[]).unwrap();
+//! assert_eq!(first.get("cached").and_then(Json::as_bool), Some(false));
+//! assert_eq!(again.get("cached").and_then(Json::as_bool), Some(true));
+//!
+//! // Graceful shutdown over the wire.
+//! client.shutdown().unwrap();
+//! handle.join();
+//! ```
+//!
 //! The legacy per-crate entry points (`BkVariant::run`,
 //! `k_clique_count`, ...) remain available for direct use; the
 //! kernel API wraps them.
@@ -79,7 +110,8 @@
 //! | [`learn`] | similarity, link prediction, clustering, communities | §6.5, 6.7 |
 //! | [`opt`] | coloring, Borůvka MST, Karger–Stein min cut | §4.1.4 |
 //! | [`platform`] | pipeline, metrics, counters, scaling, stats | §4.3, 5.4–5.5 |
-//! | [`platform::kernel`] | unified kernel API: registry, session + result cache, batch runner | §5 (service layer) |
+//! | [`platform::kernel`] | unified kernel API: registry, session + shared result cache, batch runner | §5 (service layer) |
+//! | [`serve`] | TCP front end: NDJSON protocol, admission control, concurrent worker sessions | north star |
 
 #![warn(missing_docs)]
 
@@ -92,6 +124,7 @@ pub use gms_opt as opt;
 pub use gms_order as order;
 pub use gms_pattern as pattern;
 pub use gms_platform as platform;
+pub use gms_serve as serve;
 
 /// The most common imports in one place.
 pub mod prelude {
@@ -109,8 +142,10 @@ pub mod prelude {
         SubgraphMode,
     };
     pub use gms_platform::kernel::{
-        BatchRequest, BatchRunner, Category, GraphHandle, Kernel, KernelError, Outcome, ParamSpec,
-        Params, Payload, Registry, Session, SessionStats, Value, ValueKind,
+        BatchRequest, BatchRunner, CacheKey, CacheStats, Category, GraphHandle, Kernel,
+        KernelError, Outcome, ParamSpec, Params, Payload, Registry, ResultCache, Session,
+        SessionStats, Value, ValueKind,
     };
     pub use gms_platform::{GraphStats, Measurement, Pipeline, Throughput};
+    pub use gms_serve::{Client, ServeConfig, Server, ServerHandle};
 }

@@ -1,0 +1,231 @@
+//! Serving-layer integration: N concurrent sessions hammering one
+//! shared [`ResultCache`] — single-flight deduplication of identical
+//! in-flight requests, cross-session hits, invalidation on reload —
+//! plus one facade-level round trip through the `gms-serve` TCP
+//! front end.
+
+use gms::prelude::*;
+use gms::serve::Json;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+/// A kernel that counts its own executions and is deliberately slow,
+/// so concurrently arriving identical requests overlap reliably.
+struct CountingKernel {
+    executions: Arc<AtomicUsize>,
+    delay: Duration,
+}
+
+impl Kernel for CountingKernel {
+    fn name(&self) -> &'static str {
+        "counting"
+    }
+
+    fn category(&self) -> Category {
+        Category::Pattern
+    }
+
+    fn about(&self) -> &'static str {
+        "execution-counting test kernel"
+    }
+
+    fn params(&self) -> Vec<ParamSpec> {
+        vec![ParamSpec::int("x", 0, "distinguishes requests")]
+    }
+
+    fn run(&self, _graph: &CsrGraph, params: &Params) -> Result<Outcome, KernelError> {
+        self.executions.fetch_add(1, Ordering::SeqCst);
+        std::thread::sleep(self.delay);
+        Ok(Outcome::new(
+            "counting",
+            100 + params.get_int("x", 0) as u64,
+        ))
+    }
+}
+
+fn counting_registry(executions: &Arc<AtomicUsize>, delay: Duration) -> Registry {
+    let mut registry = Registry::empty();
+    registry.register(Box::new(CountingKernel {
+        executions: Arc::clone(executions),
+        delay,
+    }));
+    registry
+}
+
+fn small_graph() -> CsrGraph {
+    gms::gen::planted_cliques(100, 0.04, 2, 5, 13).0
+}
+
+#[test]
+fn identical_inflight_requests_execute_once_across_sessions() {
+    let executions = Arc::new(AtomicUsize::new(0));
+    let cache = Arc::new(ResultCache::new(64));
+    let n = 8;
+    let barrier = Arc::new(Barrier::new(n));
+    let threads: Vec<_> = (0..n)
+        .map(|_| {
+            let executions = Arc::clone(&executions);
+            let cache = Arc::clone(&cache);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut session = Session::with_registry_and_cache(
+                    counting_registry(&executions, Duration::from_millis(60)),
+                    cache,
+                );
+                let g = session.add_graph(small_graph());
+                barrier.wait();
+                session.run("counting", g, &Params::new()).unwrap()
+            })
+        })
+        .collect();
+    let outcomes: Vec<Outcome> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+
+    assert_eq!(
+        executions.load(Ordering::SeqCst),
+        1,
+        "single-flight: one leader, everyone else coalesces"
+    );
+    assert_eq!(outcomes.iter().filter(|o| !o.cached).count(), 1);
+    assert!(outcomes.iter().all(|o| o.patterns == 100));
+    let stats = cache.stats();
+    assert_eq!(stats.misses, 1);
+    assert_eq!(stats.hits as usize, n - 1);
+    assert!(
+        stats.cross_hits >= 1,
+        "hits landed on sessions that did not pay: {stats:?}"
+    );
+    assert!(
+        stats.coalesced >= 1,
+        "at least one request waited for the in-flight leader: {stats:?}"
+    );
+}
+
+#[test]
+fn distinct_requests_all_execute() {
+    let executions = Arc::new(AtomicUsize::new(0));
+    let cache = Arc::new(ResultCache::new(64));
+    let n = 6;
+    let barrier = Arc::new(Barrier::new(n));
+    let threads: Vec<_> = (0..n)
+        .map(|i| {
+            let executions = Arc::clone(&executions);
+            let cache = Arc::clone(&cache);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut session = Session::with_registry_and_cache(
+                    counting_registry(&executions, Duration::from_millis(5)),
+                    cache,
+                );
+                let g = session.add_graph(small_graph());
+                barrier.wait();
+                session
+                    .run("counting", g, &Params::new().with("x", i as i64))
+                    .unwrap()
+            })
+        })
+        .collect();
+    let outcomes: Vec<Outcome> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+
+    assert_eq!(executions.load(Ordering::SeqCst), n, "no false sharing");
+    assert!(outcomes.iter().all(|o| !o.cached));
+    let mut patterns: Vec<u64> = outcomes.iter().map(|o| o.patterns).collect();
+    patterns.sort_unstable();
+    assert_eq!(patterns, (100..100 + n as u64).collect::<Vec<_>>());
+    assert_eq!(cache.stats().entries, n);
+}
+
+#[test]
+fn sequential_cross_session_hits_and_per_session_stats() {
+    let cache = Arc::new(ResultCache::new(64));
+    let mut payer = Session::with_registry_and_cache(Registry::with_builtins(), Arc::clone(&cache));
+    let mut rider = Session::with_registry_and_cache(Registry::with_builtins(), Arc::clone(&cache));
+    let pg = payer.add_graph(small_graph());
+    let rg = rider.add_graph(small_graph());
+
+    let paid = payer.run("triangle-count", pg, &Params::new()).unwrap();
+    let served = rider.run("triangle-count", rg, &Params::new()).unwrap();
+    assert!(!paid.cached && served.cached);
+    assert!(served.same_result(&paid));
+    assert_eq!(payer.stats(), SessionStats { hits: 0, misses: 1 });
+    assert_eq!(rider.stats(), SessionStats { hits: 1, misses: 0 });
+    assert_eq!(cache.stats().cross_hits, 1);
+}
+
+#[test]
+fn invalidation_on_reload_forces_recomputation() {
+    let executions = Arc::new(AtomicUsize::new(0));
+    let mut session = Session::with_registry_and_cache(
+        counting_registry(&executions, Duration::ZERO),
+        Arc::new(ResultCache::new(64)),
+    );
+    let g = session.add_graph(small_graph());
+    session.run("counting", g, &Params::new()).unwrap();
+    assert_eq!(executions.load(Ordering::SeqCst), 1);
+
+    // Reload with different content: cached outcome is invalidated.
+    session
+        .replace_graph(g, gms::gen::gnp(80, 0.05, 21))
+        .unwrap();
+    assert_eq!(session.cached_outcomes(), 0);
+    assert_eq!(session.cache_stats().invalidated, 1);
+    let after = session.run("counting", g, &Params::new()).unwrap();
+    assert!(!after.cached);
+    assert_eq!(executions.load(Ordering::SeqCst), 2);
+
+    // Reload with identical content: nothing invalidated, still hot.
+    session
+        .replace_graph(g, gms::gen::gnp(80, 0.05, 21))
+        .unwrap();
+    let hit = session.run("counting", g, &Params::new()).unwrap();
+    assert!(hit.cached);
+    assert_eq!(executions.load(Ordering::SeqCst), 2);
+}
+
+#[test]
+fn batch_runner_rides_the_shared_cache() {
+    let cache = Arc::new(ResultCache::new(64));
+    let mut a = Session::with_registry_and_cache(Registry::with_builtins(), Arc::clone(&cache));
+    let mut b = Session::with_registry_and_cache(Registry::with_builtins(), Arc::clone(&cache));
+    let ga = a.add_graph(small_graph());
+    let gb = b.add_graph(small_graph());
+
+    let requests = |g: GraphHandle| vec![BatchRequest::new("triangle-count", g, Params::new())];
+    let first = BatchRunner::new(2).run(&mut a, &requests(ga));
+    let second = BatchRunner::new(2).run(&mut b, &requests(gb));
+    assert!(!first[0].as_ref().unwrap().cached);
+    assert!(
+        second[0].as_ref().unwrap().cached,
+        "a batch on session B reuses session A's batch results"
+    );
+    assert!(cache.stats().cross_hits >= 1);
+}
+
+#[test]
+fn facade_serves_over_tcp() {
+    let handle = Server::start(ServeConfig::default()).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    let mut text = Vec::new();
+    gms::graph::io::write_edge_list(&small_graph(), &mut text).unwrap();
+    let loaded = client
+        .load_inline("g", "edge-list", std::str::from_utf8(&text).unwrap())
+        .unwrap();
+    assert_eq!(loaded.get("ok"), Some(&Json::Bool(true)));
+
+    // The server answer matches the in-process session answer.
+    let mut session = Session::new();
+    let local = session.add_graph(small_graph());
+    let expected = session
+        .run("triangle-count", local, &Params::new())
+        .unwrap();
+    let remote = client.run("triangle-count", "g", &[]).unwrap();
+    assert_eq!(
+        remote.get("patterns").and_then(Json::as_i64),
+        Some(expected.patterns as i64),
+        "wire answers equal in-process answers"
+    );
+
+    client.shutdown().unwrap();
+    handle.join();
+}
