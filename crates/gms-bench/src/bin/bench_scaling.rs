@@ -1,6 +1,8 @@
 //! Writes `BENCH_scaling.json`: thread-scaling rows for every
 //! registered pattern-mining kernel on a seeded Kronecker graph at
-//! 1/2/4 threads, each row `{kernel, threads, ms, speedup}`.
+//! 1/2/4 threads (each point the median of repeated runs after a
+//! warmup — see `run_scaling`), plus a set-algebra microbenchmark
+//! lane reporting count-kernel throughput per set layout.
 //!
 //! The kernels come from the unified [`Registry`], not from
 //! hand-wired calls: registering a new pattern kernel adds it to
@@ -12,13 +14,66 @@
 //! there is just no extra hardware to win with); on a multi-core box
 //! the curve should rise until memory bandwidth flattens it (§8.1.3).
 //!
+//! Set-op lane rows look like ordinary rows with kernel
+//! `setops_<layout>` and an extra `"ops_per_s"` field: the number of
+//! `intersect_count`/`union_count`/`diff_count` calls per second over
+//! Kronecker neighborhood pairs. These pin the u64-block and
+//! galloping count kernels against accidental deoptimization.
+//!
+//! With `GMS_ENFORCE_SPEEDUP_FLOOR=1` (the CI release-smoke setting)
+//! the binary exits nonzero if the `bk` kernel's 4-thread speedup
+//! falls below 1.0 — parallel mining must never be slower than
+//! sequential on a multi-core runner.
+//!
 //! ```sh
 //! cargo run --release -p gms-bench --bin bench_scaling
 //! ```
 
 use gms_bench::scale_from_env;
+use gms_core::{
+    CsrGraph, DenseBitSet, Graph, HashVertexSet, NodeId, RoaringSet, Set, SortedVecSet,
+    SparseBitSet,
+};
 use gms_platform::kernel::{Category, Params, Registry};
-use gms_platform::{run_scaling, series_json_rows};
+use gms_platform::{run_scaling, series_json_rows_with};
+use std::time::Instant;
+
+/// Times `intersect_count` + `union_count` + `diff_count` over every
+/// adjacent neighborhood pair of the graph, returning a JSON row with
+/// ops/s. Median of three timed passes after one warmup pass, same
+/// discipline as the kernel lane.
+fn setop_lane_row<S: Set>(layout: &str, graph: &CsrGraph) -> String {
+    let sets: Vec<S> = (0..graph.num_vertices() as NodeId)
+        .map(|v| S::from_sorted(graph.neighbors_slice(v)))
+        .collect();
+    let pairs: Vec<(&S, &S)> = sets.windows(2).map(|w| (&w[0], &w[1])).collect();
+    let pass = || {
+        let mut acc = 0usize;
+        for (a, b) in &pairs {
+            acc += a.intersect_count(b);
+            acc += a.union_count(b);
+            acc += a.diff_count(b);
+        }
+        std::hint::black_box(acc);
+    };
+    pass(); // warmup
+    let mut samples: Vec<f64> = (0..3)
+        .map(|_| {
+            let start = Instant::now();
+            pass();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_unstable_by(f64::total_cmp);
+    let secs = samples[1].max(1e-12);
+    let ops = (pairs.len() * 3) as f64;
+    format!(
+        "{{\"kernel\":\"setops_{}\",\"threads\":1,\"ms\":{:.3},\"speedup\":1.000,\"ops_per_s\":{:.0}}}",
+        layout,
+        secs * 1e3,
+        ops / secs,
+    )
+}
 
 fn main() {
     let s = scale_from_env() as u32;
@@ -27,6 +82,8 @@ fn main() {
     let thread_counts = [1usize, 2, 4];
     let registry = Registry::with_builtins();
     let mut rows: Vec<String> = Vec::new();
+    // (kernel, threads, speedup) points for the floor check.
+    let mut speedups: Vec<(String, usize, f64)> = Vec::new();
 
     // Every pattern kernel at its default parameters: the paper's BK
     // variants, the parameterized BK, k-cliques, triangles,
@@ -39,12 +96,41 @@ fn main() {
                 .expect("default params are valid");
             std::hint::black_box(outcome.patterns);
         });
-        rows.extend(series_json_rows(kernel.name(), &series));
+        if let Some(first) = series.first() {
+            for point in &series {
+                speedups.push((
+                    kernel.name().to_string(),
+                    point.threads,
+                    point.speedup_vs(first.elapsed),
+                ));
+            }
+        }
+        rows.extend(series_json_rows_with(kernel.name(), &series, &[]));
     }
+
+    // Set-algebra lane: count-kernel throughput per layout.
+    rows.push(setop_lane_row::<SortedVecSet>("sorted", &graph));
+    rows.push(setop_lane_row::<DenseBitSet>("dense", &graph));
+    rows.push(setop_lane_row::<HashVertexSet>("hash", &graph));
+    rows.push(setop_lane_row::<SparseBitSet>("sparse_bits", &graph));
+    rows.push(setop_lane_row::<RoaringSet>("roaring", &graph));
 
     let json = format!("[\n  {}\n]\n", rows.join(",\n  "));
     let path = "BENCH_scaling.json";
     std::fs::write(path, &json).expect("write BENCH_scaling.json");
     println!("{json}");
     eprintln!("wrote {path}");
+
+    if std::env::var("GMS_ENFORCE_SPEEDUP_FLOOR").is_ok_and(|v| v == "1") {
+        let bk_4t = speedups
+            .iter()
+            .find(|(k, t, _)| k == "bk" && *t == 4)
+            .map(|&(_, _, s)| s)
+            .expect("bk kernel present in registry");
+        eprintln!("speedup floor check: bk @4T = {bk_4t:.3}");
+        if bk_4t < 1.0 {
+            eprintln!("FAIL: bk 4-thread speedup {bk_4t:.3} < 1.0 — parallel slowdown");
+            std::process::exit(1);
+        }
+    }
 }

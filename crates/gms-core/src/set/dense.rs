@@ -4,9 +4,11 @@
 //! space-efficient than a sparse array when the set is very large
 //! relative to the universe, and that it enables O(1) insertion,
 //! deletion and membership — useful in algorithms with dynamic sets
-//! such as Bron–Kerbosch. Binary operations are word-parallel.
+//! such as Bron–Kerbosch. Binary operations are word-parallel and
+//! route through the u64-block kernels in [`super::word_ops`], whose
+//! four-lane loops the autovectorizer turns into SIMD.
 
-use super::{Set, SetElement};
+use super::{word_ops, Set, SetElement};
 use serde::{Deserialize, Serialize};
 
 const WORD_BITS: usize = 64;
@@ -57,7 +59,7 @@ impl DenseBitSet {
     }
 
     fn recount(&mut self) {
-        self.len = self.words.iter().map(|w| w.count_ones() as usize).sum();
+        self.len = word_ops::popcount(&self.words);
     }
 
     /// Word-level view, for word-parallel consumers.
@@ -118,6 +120,19 @@ impl Set for DenseBitSet {
         set
     }
 
+    fn assign_sorted(&mut self, elements: &[SetElement]) {
+        debug_assert!(elements.windows(2).all(|w| w[0] < w[1]));
+        self.words.clear();
+        if let Some(&max) = elements.last() {
+            self.words.resize((max as usize) / WORD_BITS + 1, 0);
+            for &e in elements {
+                let (w, bit) = Self::locate(e);
+                self.words[w] |= bit;
+            }
+        }
+        self.len = elements.len();
+    }
+
     #[inline]
     fn cardinality(&self) -> usize {
         self.len
@@ -150,26 +165,13 @@ impl Set for DenseBitSet {
     }
 
     fn intersect(&self, other: &Self) -> Self {
-        let n = self.words.len().min(other.words.len());
-        let mut words: Vec<u64> = self.words[..n]
-            .iter()
-            .zip(&other.words[..n])
-            .map(|(a, b)| a & b)
-            .collect();
-        while words.last() == Some(&0) {
-            words.pop();
-        }
-        let mut out = Self { words, len: 0 };
-        out.recount();
-        out
+        let mut words = Vec::new();
+        let len = word_ops::and_into(&self.words, &other.words, &mut words);
+        Self { words, len }
     }
 
     fn intersect_count(&self, other: &Self) -> usize {
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a & b).count_ones() as usize)
-            .sum()
+        word_ops::and_count(&self.words, &other.words)
     }
 
     fn intersect_inplace(&mut self, other: &Self) {
@@ -198,22 +200,7 @@ impl Set for DenseBitSet {
     }
 
     fn union_count(&self, other: &Self) -> usize {
-        let common: usize = self
-            .words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a | b).count_ones() as usize)
-            .sum();
-        let n = self.words.len().min(other.words.len());
-        let tail_self: usize = self.words[n..]
-            .iter()
-            .map(|w| w.count_ones() as usize)
-            .sum();
-        let tail_other: usize = other.words[n..]
-            .iter()
-            .map(|w| w.count_ones() as usize)
-            .sum();
-        common + tail_self + tail_other
+        word_ops::or_count(&self.words, &other.words)
     }
 
     fn union_inplace(&mut self, other: &Self) {
@@ -227,20 +214,13 @@ impl Set for DenseBitSet {
     }
 
     fn diff(&self, other: &Self) -> Self {
-        let mut words = self.words.clone();
-        for (w, o) in words.iter_mut().zip(&other.words) {
-            *w &= !o;
-        }
-        while words.last() == Some(&0) {
-            words.pop();
-        }
-        let mut out = Self { words, len: 0 };
-        out.recount();
-        out
+        let mut words = Vec::new();
+        let len = word_ops::andnot_into(&self.words, &other.words, &mut words);
+        Self { words, len }
     }
 
     fn diff_count(&self, other: &Self) -> usize {
-        self.len - self.intersect_count(other)
+        word_ops::andnot_count(&self.words, &other.words)
     }
 
     fn diff_inplace(&mut self, other: &Self) {

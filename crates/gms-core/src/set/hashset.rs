@@ -93,6 +93,12 @@ impl Set for HashVertexSet {
         Self { elements }
     }
 
+    fn union_count(&self, other: &Self) -> usize {
+        // Inclusion-exclusion over the probe-based intersection count:
+        // no table is built, unlike the materializing default.
+        self.elements.len() + other.elements.len() - self.intersect_count(other)
+    }
+
     fn union_inplace(&mut self, other: &Self) {
         self.elements.extend(other.elements.iter().copied());
     }

@@ -17,11 +17,12 @@ mod hashset;
 pub mod roaring;
 mod sorted;
 mod sparse_bits;
+pub mod word_ops;
 
 pub use dense::DenseBitSet;
 pub use hashset::HashVertexSet;
 pub use roaring::RoaringSet;
-pub use sorted::SortedVecSet;
+pub use sorted::{intersect_count_sorted_slices, SortedVecSet};
 pub use sparse_bits::SparseBitSet;
 
 use crate::types::NodeId;
@@ -43,7 +44,17 @@ pub type SetElement = NodeId;
 /// * `FromIterator`/`from_sorted` build a set from any element source.
 /// * Binary operations never require `self` and `other` to share
 ///   capacity or universe bounds.
-pub trait Set: Clone + PartialEq + std::fmt::Debug + Send + Sync + Sized {
+/// * The `_count` variants (`intersect_count` / `union_count` /
+///   `diff_count`) must not allocate: every provided layout overrides
+///   the materializing defaults with count-only paths (pinned by
+///   `tests/count_paths_allocation_free.rs`), because the mining
+///   kernels' hottest loops — BK pivot selection, triangle counting —
+///   are pure counts.
+///
+/// The `'static` bound lets schedulers stash per-worker scratch sets
+/// in type-erased thread-local storage; all set layouts own their
+/// storage, so this costs nothing.
+pub trait Set: Clone + PartialEq + std::fmt::Debug + Send + Sync + Sized + 'static {
     /// Creates an empty set.
     fn empty() -> Self;
 
@@ -56,6 +67,15 @@ pub trait Set: Clone + PartialEq + std::fmt::Debug + Send + Sync + Sized {
 
     /// Builds a set from a strictly increasing slice of elements.
     fn from_sorted(elements: &[SetElement]) -> Self;
+
+    /// Overwrites `self` with the given strictly increasing elements.
+    /// Semantically `*self = Self::from_sorted(elements)`; layouts
+    /// override it to reuse `self`'s internal buffers, which lets the
+    /// mining kernels refill a recycled scratch set from a CSR
+    /// neighborhood slice without allocating.
+    fn assign_sorted(&mut self, elements: &[SetElement]) {
+        *self = Self::from_sorted(elements);
+    }
 
     /// Builds a set from arbitrary (unsorted, possibly duplicated) elements.
     fn from_unsorted(elements: &[SetElement]) -> Self {
@@ -100,6 +120,16 @@ pub trait Set: Clone + PartialEq + std::fmt::Debug + Send + Sync + Sized {
     /// Returns `|A ∩ B|` without materializing the intersection.
     fn intersect_count(&self, other: &Self) -> usize {
         self.intersect(other).cardinality()
+    }
+
+    /// Returns `|A ∩ B|` where `B` is a strictly increasing element
+    /// slice (e.g. a CSR neighborhood), without materializing or
+    /// converting anything. The default probes membership per
+    /// element — already allocation-free for every layout; sorted
+    /// arrays override it with a slice-to-slice merge.
+    fn intersect_count_sorted(&self, sorted: &[SetElement]) -> usize {
+        debug_assert!(sorted.windows(2).all(|w| w[0] < w[1]));
+        sorted.iter().filter(|&&x| self.contains(x)).count()
     }
 
     /// Updates `A = A ∩ B`.
@@ -194,6 +224,7 @@ pub(crate) mod conformance {
         binary_ops_match_model::<S>();
         count_variants_match::<S>();
         inplace_variants_match::<S>();
+        assign_sorted_matches_from_sorted::<S>();
         range_and_iteration_sorted::<S>();
         equality_is_structural::<S>();
     }
@@ -291,6 +322,17 @@ pub(crate) mod conformance {
             let mut t = sa.clone();
             t.diff_inplace(&sb);
             assert_eq!(t, sa.diff(&sb));
+        }
+    }
+
+    fn assign_sorted_matches_from_sorted<S: Set>() {
+        // Reassigning a dirty set must behave exactly like building a
+        // fresh one — including shrinking from larger prior contents.
+        let mut recycled = S::from_sorted(&(0..1000).collect::<Vec<_>>());
+        for (a, _) in sample_pairs() {
+            recycled.assign_sorted(&a);
+            assert_eq!(recycled, S::from_sorted(&a), "assign_sorted {a:?}");
+            assert_eq!(recycled.cardinality(), a.len());
         }
     }
 

@@ -7,6 +7,8 @@
 //! 4096 elements: below it a sorted array is smaller, above it the
 //! fixed 8 KiB bitmap is smaller.
 
+use crate::set::word_ops;
+
 /// Migration threshold between array and bitmap containers.
 pub const ARRAY_MAX: usize = 4096;
 
@@ -62,6 +64,20 @@ impl BitmapStore {
         } else {
             false
         }
+    }
+
+    /// Number of set bits in the inclusive value range `start..=end`.
+    pub fn count_range(&self, start: u16, end: u16) -> usize {
+        debug_assert!(start <= end);
+        let (ws, we) = ((start >> 6) as usize, (end >> 6) as usize);
+        let start_mask = !0u64 << (start & 63);
+        let end_mask = !0u64 >> (63 - (end & 63));
+        if ws == we {
+            return (self.words[ws] & start_mask & end_mask).count_ones() as usize;
+        }
+        (self.words[ws] & start_mask).count_ones() as usize
+            + word_ops::popcount(&self.words[ws + 1..we])
+            + (self.words[we] & end_mask).count_ones() as usize
     }
 
     /// Extracts the set bits as a sorted array.
@@ -332,20 +348,28 @@ impl Container {
 
     /// Intersection cardinality without materialization.
     pub fn and_count(&self, other: &Container) -> usize {
-        let a = self.flat();
-        let b = other.flat();
-        match (a.as_ref(), b.as_ref()) {
+        // Every encoding pair is handled directly — unlike the
+        // materializing operations this never goes through `flat()`,
+        // so run-encoded containers are counted without cloning and
+        // the whole path is allocation-free.
+        match (self, other) {
             (Container::Array(x), Container::Array(y)) => intersect_count_arrays(x, y),
-            (Container::Array(x), Container::Bitmap(y)) => {
+            (Container::Array(x), Container::Bitmap(y))
+            | (Container::Bitmap(y), Container::Array(x)) => {
                 x.iter().filter(|&&v| y.contains(v)).count()
             }
-            (Container::Bitmap(x), Container::Array(y)) => {
-                y.iter().filter(|&&v| x.contains(v)).count()
+            (Container::Bitmap(x), Container::Bitmap(y)) => {
+                word_ops::and_count(&x.words[..], &y.words[..])
             }
-            (Container::Bitmap(x), Container::Bitmap(y)) => (0..WORDS)
-                .map(|i| (x.words[i] & y.words[i]).count_ones() as usize)
+            (Container::Run(r), Container::Array(a)) | (Container::Array(a), Container::Run(r)) => {
+                run_array_and_count(r, a)
+            }
+            (Container::Run(r), Container::Bitmap(b))
+            | (Container::Bitmap(b), Container::Run(r)) => r
+                .iter()
+                .map(|run| b.count_range(run.start, run.end()))
                 .sum(),
-            _ => unreachable!("flat() removes run containers"),
+            (Container::Run(x), Container::Run(y)) => run_run_and_count(x, y),
         }
     }
 
@@ -477,6 +501,40 @@ fn intersect_arrays(a: &[u16], b: &[u16]) -> Vec<u16> {
         }
     }
     out
+}
+
+/// `|runs ∩ array|`: for each run, count the array elements inside it
+/// with two partition-point searches. Both inputs are sorted, so each
+/// search resumes where the previous run left off.
+fn run_array_and_count(runs: &[Run], array: &[u16]) -> usize {
+    let mut total = 0;
+    let mut lo = 0;
+    for r in runs {
+        let from = lo + array[lo..].partition_point(|&v| v < r.start);
+        let to = from + array[from..].partition_point(|&v| v <= r.end());
+        total += to - from;
+        lo = to;
+    }
+    total
+}
+
+/// `|a ∩ b|` for two sorted run lists: overlap length of each pair of
+/// intersecting runs, advancing whichever run ends first.
+fn run_run_and_count(a: &[Run], b: &[Run]) -> usize {
+    let (mut i, mut j, mut total) = (0, 0, 0usize);
+    while i < a.len() && j < b.len() {
+        let lo = a[i].start.max(b[j].start);
+        let hi = a[i].end().min(b[j].end());
+        if lo <= hi {
+            total += (hi - lo) as usize + 1;
+        }
+        if a[i].end() <= b[j].end() {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    total
 }
 
 fn intersect_count_arrays(a: &[u16], b: &[u16]) -> usize {
@@ -631,6 +689,39 @@ mod tests {
         assert_eq!(and.iter().collect::<Vec<_>>(), vec![4998, 4999]);
         let or = a.or(&b);
         assert_eq!(or.cardinality(), 5002);
+    }
+
+    #[test]
+    fn and_count_handles_every_encoding_pair() {
+        let a_vals: Vec<u16> = (100..3000).collect();
+        let b_vals: Vec<u16> = (0..6000).step_by(3).collect();
+        let expected = b_vals.iter().filter(|&&v| (100..3000).contains(&v)).count();
+
+        let mut run_a = array_container(&a_vals);
+        run_a.optimize();
+        assert!(matches!(run_a, Container::Run(_)));
+        // Single-value runs exercise the run-vs-run overlap walk hard.
+        let run_b = Container::Run(b_vals.iter().map(|&v| Run { start: v, len: 0 }).collect());
+
+        let layouts_a = [array_container(&a_vals), bitmap_container(&a_vals), run_a];
+        let layouts_b = [array_container(&b_vals), bitmap_container(&b_vals), run_b];
+        for a in &layouts_a {
+            for b in &layouts_b {
+                assert_eq!(a.and_count(b), expected);
+                assert_eq!(b.and_count(a), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn bitmap_count_range_masks_boundaries() {
+        let store = BitmapStore::from_array(&(0..=u16::MAX).step_by(2).collect::<Vec<_>>());
+        assert_eq!(store.count_range(0, u16::MAX), 32768);
+        assert_eq!(store.count_range(0, 0), 1);
+        assert_eq!(store.count_range(1, 1), 0);
+        assert_eq!(store.count_range(62, 66), 3); // 62, 64, 66
+        assert_eq!(store.count_range(63, 65), 1); // just 64
+        assert_eq!(store.count_range(100, 300), 101);
     }
 
     #[test]

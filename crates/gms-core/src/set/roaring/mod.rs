@@ -204,6 +204,17 @@ impl Set for RoaringSet {
         count
     }
 
+    fn union_count(&self, other: &Self) -> usize {
+        // Inclusion-exclusion: cardinality() is an O(#containers) sum
+        // of cached per-container counts, and intersect_count merges
+        // keys without materializing containers — nothing allocates.
+        self.cardinality() + other.cardinality() - self.intersect_count(other)
+    }
+
+    fn diff_count(&self, other: &Self) -> usize {
+        self.cardinality() - self.intersect_count(other)
+    }
+
     fn union(&self, other: &Self) -> Self {
         let mut keys = Vec::with_capacity(self.keys.len() + other.keys.len());
         let mut containers = Vec::with_capacity(keys.capacity());

@@ -15,6 +15,84 @@ use serde::{Deserialize, Serialize};
 /// O(|A| + |B|) for the merge.
 const GALLOP_RATIO: usize = 16;
 
+/// Elements skipped at a time by the block-skipping merge: when the
+/// current block of one side ends below the other side's cursor, the
+/// whole block is discarded with a single comparison. Disjoint-ish
+/// regions of the operands cost |len| / BLOCK comparisons instead of
+/// |len|.
+const MERGE_BLOCK: usize = 8;
+
+/// `|a ∩ b|` for two strictly increasing slices, without
+/// materializing anything: galloping when one side is much smaller
+/// (size ratio ≥ `GALLOP_RATIO`), block-skipping merge otherwise.
+/// This is
+/// the slice-level kernel behind [`SortedVecSet::intersect_count`]
+/// and the CSR-neighborhood counting in the triangle and k-clique
+/// kernels.
+pub fn intersect_count_sorted_slices(a: &[SetElement], b: &[SetElement]) -> usize {
+    debug_assert!(a.windows(2).all(|w| w[0] < w[1]));
+    debug_assert!(b.windows(2).all(|w| w[0] < w[1]));
+    let (small, big) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if small.is_empty() {
+        return 0;
+    }
+    if big.len() / small.len() >= GALLOP_RATIO {
+        gallop_count(small, big)
+    } else {
+        merge_count(a, b)
+    }
+}
+
+fn gallop_count(small: &[SetElement], big: &[SetElement]) -> usize {
+    let mut count = 0;
+    let mut from = 0;
+    for &x in small {
+        let pos = SortedVecSet::gallop(big, from, x);
+        if pos < big.len() && big[pos] == x {
+            count += 1;
+            from = pos + 1;
+        } else {
+            from = pos;
+        }
+        if from >= big.len() {
+            break;
+        }
+    }
+    count
+}
+
+fn merge_count(a: &[SetElement], b: &[SetElement]) -> usize {
+    let (mut i, mut j, mut count) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        // Block skip: discard MERGE_BLOCK elements per comparison
+        // while one side's whole next block sits below the other's
+        // cursor (cheap for locally disjoint regions, free for
+        // overlapping ones).
+        while i + MERGE_BLOCK <= a.len() && a[i + MERGE_BLOCK - 1] < b[j] {
+            i += MERGE_BLOCK;
+        }
+        if i >= a.len() {
+            break;
+        }
+        while j + MERGE_BLOCK <= b.len() && b[j + MERGE_BLOCK - 1] < a[i] {
+            j += MERGE_BLOCK;
+        }
+        if j >= b.len() {
+            break;
+        }
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
 /// A set of vertex IDs backed by a sorted vector.
 #[derive(Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SortedVecSet {
@@ -134,6 +212,12 @@ impl Set for SortedVecSet {
         }
     }
 
+    fn assign_sorted(&mut self, elements: &[SetElement]) {
+        debug_assert!(elements.windows(2).all(|w| w[0] < w[1]));
+        self.elements.clear();
+        self.elements.extend_from_slice(elements);
+    }
+
     #[inline]
     fn cardinality(&self) -> usize {
         self.elements.len()
@@ -170,43 +254,11 @@ impl Set for SortedVecSet {
     }
 
     fn intersect_count(&self, other: &Self) -> usize {
-        let a = &self.elements;
-        let b = &other.elements;
-        let (small, big) = if a.len() <= b.len() { (a, b) } else { (b, a) };
-        if small.is_empty() {
-            return 0;
-        }
-        if big.len() / small.len().max(1) >= GALLOP_RATIO {
-            let mut count = 0;
-            let mut from = 0;
-            for &x in small.iter() {
-                let pos = Self::gallop(big, from, x);
-                if pos < big.len() && big[pos] == x {
-                    count += 1;
-                    from = pos + 1;
-                } else {
-                    from = pos;
-                }
-                if from >= big.len() {
-                    break;
-                }
-            }
-            count
-        } else {
-            let (mut i, mut j, mut count) = (0, 0, 0);
-            while i < a.len() && j < b.len() {
-                match a[i].cmp(&b[j]) {
-                    std::cmp::Ordering::Less => i += 1,
-                    std::cmp::Ordering::Greater => j += 1,
-                    std::cmp::Ordering::Equal => {
-                        count += 1;
-                        i += 1;
-                        j += 1;
-                    }
-                }
-            }
-            count
-        }
+        intersect_count_sorted_slices(&self.elements, &other.elements)
+    }
+
+    fn intersect_count_sorted(&self, sorted: &[SetElement]) -> usize {
+        intersect_count_sorted_slices(&self.elements, sorted)
     }
 
     fn intersect_inplace(&mut self, other: &Self) {
@@ -366,5 +418,40 @@ mod tests {
         let a = SortedVecSet::from_sorted(&[1, 2, 3]);
         let b = SortedVecSet::from_sorted(&[3, 4]);
         assert_eq!(a.union_count(&b), 4);
+    }
+
+    #[test]
+    fn slice_count_matches_naive_across_shapes() {
+        fn naive(a: &[SetElement], b: &[SetElement]) -> usize {
+            a.iter().filter(|x| b.contains(x)).count()
+        }
+        let shapes: Vec<(Vec<SetElement>, Vec<SetElement>)> = vec![
+            (vec![], vec![]),
+            (vec![], (0..100).collect()),
+            ((0..100).collect(), (100..200).collect()), // disjoint
+            // One side exactly MERGE_BLOCK long and entirely below the
+            // other: the block skip must not run the cursor past `len`.
+            ((0..8).collect(), vec![100]),
+            ((0..100).collect(), (0..100).collect()), // identical
+            // Interleaved runs longer than MERGE_BLOCK so block
+            // skipping actually fires on both sides.
+            (
+                (0..200).collect(),
+                (0..400).filter(|x| x % 97 < 3).collect(),
+            ),
+            (
+                (0..1000).step_by(3).collect(),
+                (0..1000).step_by(7).collect(),
+            ),
+            // Skewed sizes to drive the galloping path.
+            (vec![5, 500, 50_000], (0..100_000).collect()),
+        ];
+        for (a, b) in shapes {
+            let expected = naive(&a, &b);
+            assert_eq!(intersect_count_sorted_slices(&a, &b), expected);
+            assert_eq!(intersect_count_sorted_slices(&b, &a), expected);
+            let sa = SortedVecSet::from_sorted(&a);
+            assert_eq!(sa.intersect_count_sorted(&b), expected);
+        }
     }
 }

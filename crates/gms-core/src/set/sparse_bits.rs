@@ -102,6 +102,19 @@ impl Set for SparseBitSet {
         }
     }
 
+    fn assign_sorted(&mut self, elements: &[SetElement]) {
+        debug_assert!(elements.windows(2).all(|w| w[0] < w[1]));
+        self.pages.clear();
+        for &e in elements {
+            let (page, bit) = locate(e);
+            match self.pages.last_mut() {
+                Some((p, w)) if *p == page => *w |= bit,
+                _ => self.pages.push((page, bit)),
+            }
+        }
+        self.len = elements.len();
+    }
+
     #[inline]
     fn cardinality(&self) -> usize {
         self.len
@@ -168,8 +181,18 @@ impl Set for SparseBitSet {
         self.merge_pages(other, |a, b| a | b)
     }
 
+    fn union_count(&self, other: &Self) -> usize {
+        // Inclusion-exclusion over the page-merge intersection count:
+        // cardinalities are stored, so no page list is materialized.
+        self.len + other.len - self.intersect_count(other)
+    }
+
     fn diff(&self, other: &Self) -> Self {
         self.merge_pages(other, |a, b| a & !b)
+    }
+
+    fn diff_count(&self, other: &Self) -> usize {
+        self.len - self.intersect_count(other)
     }
 
     fn iter(&self) -> impl Iterator<Item = SetElement> + '_ {

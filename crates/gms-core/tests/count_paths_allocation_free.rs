@@ -1,0 +1,113 @@
+//! Pins the no-allocation contract of the `_count` set operations.
+//!
+//! The `Set` trait ships allocating defaults for `intersect_count`,
+//! `union_count` and `diff_count` (materialize, then measure). Every
+//! layout is expected to override them with count-only paths; a layout
+//! that silently falls back to the default would still be *correct*,
+//! so only an allocation counter can catch the regression. This test
+//! swaps in a counting global allocator and asserts that zero
+//! allocations happen while the `_count` family runs on every layout —
+//! including `intersect_count_sorted` against a raw CSR-style slice,
+//! and run-encoded roaring containers (whose `and_count` must not
+//! round-trip through `flat()`).
+//!
+//! Everything runs in a single `#[test]` because the allocator is
+//! process-global: concurrent tests would pollute the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use gms_core::set::{DenseBitSet, HashVertexSet, RoaringSet, Set, SortedVecSet, SparseBitSet};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// Runs `f` and returns how many allocations it performed.
+fn allocations_during(f: impl FnOnce()) -> usize {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    f();
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+fn assert_count_paths_allocation_free<S: Set>(layout: &str) {
+    // Overlapping mid-size sets; built BEFORE measurement starts.
+    let a_vals: Vec<u32> = (0..4000).step_by(2).collect();
+    let b_vals: Vec<u32> = (1000..5000).step_by(3).collect();
+    let a = S::from_sorted(&a_vals);
+    let b = S::from_sorted(&b_vals);
+    let expected_and = a_vals.iter().filter(|v| b_vals.contains(v)).count();
+
+    let mut results = [0usize; 4];
+    let allocs = allocations_during(|| {
+        results[0] = a.intersect_count(&b);
+        results[1] = a.union_count(&b);
+        results[2] = a.diff_count(&b);
+        results[3] = a.intersect_count_sorted(&b_vals);
+    });
+
+    assert_eq!(results[0], expected_and, "{layout}: intersect_count");
+    assert_eq!(
+        results[1],
+        a_vals.len() + b_vals.len() - expected_and,
+        "{layout}: union_count"
+    );
+    assert_eq!(
+        results[2],
+        a_vals.len() - expected_and,
+        "{layout}: diff_count"
+    );
+    assert_eq!(results[3], expected_and, "{layout}: intersect_count_sorted");
+    assert_eq!(
+        allocs, 0,
+        "{layout}: a _count operation allocated — it fell through to a \
+         materializing default instead of a count-only override"
+    );
+}
+
+#[test]
+fn count_operations_never_allocate_on_any_layout() {
+    assert_count_paths_allocation_free::<SortedVecSet>("SortedVecSet");
+    assert_count_paths_allocation_free::<DenseBitSet>("DenseBitSet");
+    assert_count_paths_allocation_free::<HashVertexSet>("HashVertexSet");
+    assert_count_paths_allocation_free::<SparseBitSet>("SparseBitSet");
+    assert_count_paths_allocation_free::<RoaringSet>("RoaringSet");
+
+    // Run-encoded roaring containers have their own and_count paths;
+    // make sure optimize() doesn't reintroduce a flat()-style clone.
+    let a: RoaringSet = {
+        let mut s = RoaringSet::from_sorted(&(0..40_000).collect::<Vec<u32>>());
+        s.optimize();
+        s
+    };
+    let b: RoaringSet = {
+        let mut s = RoaringSet::from_sorted(&(20_000..60_000).collect::<Vec<u32>>());
+        s.optimize();
+        s
+    };
+    let mut counts = (0usize, 0usize, 0usize);
+    let allocs = allocations_during(|| {
+        counts = (a.intersect_count(&b), a.union_count(&b), a.diff_count(&b));
+    });
+    assert_eq!(counts, (20_000, 60_000, 20_000));
+    assert_eq!(allocs, 0, "run-encoded roaring _count paths allocated");
+}

@@ -1,0 +1,137 @@
+//! Pins the u64-block and galloping count kernels to a naive scalar
+//! oracle.
+//!
+//! The `_count` fast paths (blockwise `word_ops` kernels behind
+//! `DenseBitSet`, the block-skipping/galloping merge behind
+//! `SortedVecSet::intersect_count`, the run-aware roaring container
+//! counts) all have word- or block-granular control flow whose bugs
+//! cluster at boundaries: sets that end exactly at a word edge, blocks
+//! that skip precisely to `len`, one side empty. Everything here is
+//! checked against the one implementation that cannot be clever — an
+//! element-by-element scalar filter.
+
+use gms_core::set::word_ops;
+use gms_core::set::{intersect_count_sorted_slices, SparseBitSet};
+use gms_core::{DenseBitSet, HashVertexSet, RoaringSet, Set, SortedVecSet};
+use proptest::prelude::*;
+
+/// The scalar oracle: counts by probing, no merging, no blocks.
+fn oracle_counts(a: &[u32], b: &[u32]) -> (usize, usize, usize) {
+    let and = a.iter().filter(|x| b.contains(x)).count();
+    (and, a.len() + b.len() - and, a.len() - and)
+}
+
+fn check_layout<S: Set>(layout: &str, a: &[u32], b: &[u32]) {
+    let (and, or, diff) = oracle_counts(a, b);
+    let sa = S::from_sorted(a);
+    let sb = S::from_sorted(b);
+    assert_eq!(sa.intersect_count(&sb), and, "{layout}: intersect_count");
+    assert_eq!(sa.union_count(&sb), or, "{layout}: union_count");
+    assert_eq!(sa.diff_count(&sb), diff, "{layout}: diff_count");
+    assert_eq!(
+        sa.intersect_count_sorted(b),
+        and,
+        "{layout}: intersect_count_sorted"
+    );
+    // Symmetric operations must count the same in both directions.
+    assert_eq!(sb.intersect_count(&sa), and, "{layout}: and symmetry");
+    assert_eq!(sb.union_count(&sa), or, "{layout}: or symmetry");
+}
+
+fn check_all_layouts(a: &[u32], b: &[u32]) {
+    check_layout::<SortedVecSet>("SortedVecSet", a, b);
+    check_layout::<DenseBitSet>("DenseBitSet", a, b);
+    check_layout::<HashVertexSet>("HashVertexSet", a, b);
+    check_layout::<SparseBitSet>("SparseBitSet", a, b);
+    check_layout::<RoaringSet>("RoaringSet", a, b);
+
+    // The slice-level kernel used by CSR neighborhood counting.
+    let (and, _, _) = oracle_counts(a, b);
+    assert_eq!(intersect_count_sorted_slices(a, b), and);
+    assert_eq!(intersect_count_sorted_slices(b, a), and);
+}
+
+/// Contiguous run of `len` values starting at `start` — `len` chosen
+/// around 63/64/65 exercises sets whose bit representation ends one
+/// short of, exactly at, and one past a u64 word boundary.
+fn run(start: u32, len: usize) -> Vec<u32> {
+    (start..start + len as u32).collect()
+}
+
+#[test]
+fn word_boundary_sizes_match_oracle() {
+    for &len_a in &[0usize, 1, 63, 64, 65, 127, 128, 129] {
+        for &len_b in &[0usize, 63, 64, 65] {
+            for &offset in &[0u32, 32, 63, 64, 100] {
+                check_all_layouts(&run(0, len_a), &run(offset, len_b));
+            }
+        }
+    }
+}
+
+#[test]
+fn disjoint_and_identical_inputs_match_oracle() {
+    let a = run(0, 64);
+    let far = run(1 << 20, 64);
+    check_all_layouts(&a, &far); // disjoint, far apart
+    check_all_layouts(&a, &run(64, 64)); // disjoint, adjacent at a word edge
+    check_all_layouts(&a, &a.clone()); // identical
+    check_all_layouts(&[], &[]); // both empty
+}
+
+/// Strictly increasing vector whose length lands in a configurable
+/// band, mixing dense runs and sparse strides so both the merge and
+/// gallop paths fire.
+fn sorted_vec(max_len: usize) -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::btree_set(0u32..10_000, 0..max_len)
+        .prop_map(|s| s.into_iter().collect::<Vec<u32>>())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn arbitrary_inputs_match_oracle(
+        a in sorted_vec(300),
+        b in sorted_vec(300),
+    ) {
+        check_all_layouts(&a, &b);
+    }
+
+    #[test]
+    fn skewed_inputs_drive_gallop_and_block_skip(
+        small in sorted_vec(8),
+        big in sorted_vec(2000),
+    ) {
+        // |big| / |small| usually exceeds GALLOP_RATIO, so this leans
+        // on the galloping path; the dense big side also makes the
+        // block-skip loops take full-block strides.
+        check_all_layouts(&small, &big);
+    }
+
+    #[test]
+    fn word_kernels_match_naive_bit_loops(
+        a in proptest::collection::vec(0u64..u64::MAX, 0..40),
+        b in proptest::collection::vec(0u64..u64::MAX, 0..40),
+    ) {
+        fn naive(a: &[u64], b: &[u64], op: fn(u64, u64) -> u64) -> usize {
+            let n = a.len().max(b.len());
+            (0..n)
+                .map(|i| {
+                    let (x, y) = (
+                        a.get(i).copied().unwrap_or(0),
+                        b.get(i).copied().unwrap_or(0),
+                    );
+                    op(x, y).count_ones() as usize
+                })
+                .sum()
+        }
+        prop_assert_eq!(word_ops::and_count(&a, &b), naive(&a, &b, |x, y| x & y));
+        prop_assert_eq!(word_ops::andnot_count(&a, &b), naive(&a, &b, |x, y| x & !y));
+        prop_assert_eq!(word_ops::or_count(&a, &b), naive(&a, &b, |x, y| x | y));
+        prop_assert_eq!(
+            word_ops::popcount(&a),
+            a.iter().map(|w| w.count_ones() as usize).sum::<usize>()
+        );
+    }
+}

@@ -24,6 +24,7 @@
 //! Pivoting follows Tomita et al.: choose `u ∈ P ∪ X` maximizing
 //! `|P ∩ N(u)|`, then only `P \ N(u)` spawns recursive calls.
 
+use crate::scratch::{with_worker_scratch, SetPool};
 use gms_core::hash::FxHashMap;
 use gms_core::{
     CsrGraph, DenseBitSet, Graph, HashVertexSet, NodeId, Set, SetGraph, SetNeighborhoods,
@@ -144,30 +145,6 @@ impl LocalOut {
     }
 }
 
-/// Free list of `Set` buffers reused across the sequential recursion:
-/// child candidate/excluded sets are written into recycled buffers
-/// via `clone_from` + `*_inplace` instead of freshly allocated per
-/// recursive call. A leaf task's scratch never migrates — tasks run
-/// to completion on one worker — so this is per-worker storage for
-/// the subtree the worker owns.
-struct Scratch<S: Set> {
-    free: Vec<S>,
-}
-
-impl<S: Set> Scratch<S> {
-    fn new() -> Self {
-        Scratch { free: Vec::new() }
-    }
-
-    fn take(&mut self) -> S {
-        self.free.pop().unwrap_or_else(S::empty)
-    }
-
-    fn put(&mut self, set: S) {
-        self.free.push(set);
-    }
-}
-
 /// Tomita-style pivot (line 20): `u ∈ P ∪ X` maximizing `|P ∩ N(u)|`.
 fn select_pivot<S: Set>(ctx: &SearchCtx<'_, S>, p: &S, x: &S) -> NodeId {
     let mut pivot = None;
@@ -207,7 +184,7 @@ fn bk_pivot<S: Set>(
     p: &mut S,
     r: &mut Vec<NodeId>,
     x: &mut S,
-    scratch: &mut Scratch<S>,
+    scratch: &mut SetPool<S>,
     out: &mut LocalOut,
 ) {
     if p.is_empty() {
@@ -270,16 +247,17 @@ fn bk_pivot_par<S: Set>(
     depth_left: usize,
 ) -> LocalOut {
     if depth_left == 0 || rayon::current_num_threads() <= 1 {
-        // Each sequential subtree warms its own scratch free-list
-        // (`Scratch::new` itself allocates nothing); sharing buffers
-        // *across* subtrees would need type-erased worker-local
-        // storage for marginal gain, since a subtree's internal
-        // recursion is where the allocation volume is.
+        // Sequential subtree: borrow the calling worker's scratch
+        // pool instead of growing a fresh one per task — stolen
+        // subtrees land on a worker whose previous tasks already grew
+        // the buffers, so the leaf runs allocation-free.
         let mut p = p.clone();
         let mut x = x.clone();
         let mut r = r.to_vec();
         let mut out = LocalOut::empty();
-        bk_pivot(ctx, &mut p, &mut r, &mut x, &mut Scratch::new(), &mut out);
+        with_worker_scratch::<SetPool<S>, _>(|scratch| {
+            bk_pivot(ctx, &mut p, &mut r, &mut x, scratch, &mut out);
+        });
         return out;
     }
     if p.is_empty() {
@@ -419,7 +397,9 @@ pub fn bron_kerbosch<S: Set>(graph: &CsrGraph, config: &BkConfig) -> BkOutcome {
             } else {
                 let mut out = LocalOut::empty();
                 let mut r = r;
-                bk_pivot(&ctx, &mut p, &mut r, &mut x, &mut Scratch::new(), &mut out);
+                with_worker_scratch::<SetPool<S>, _>(|scratch| {
+                    bk_pivot(&ctx, &mut p, &mut r, &mut x, scratch, &mut out);
+                });
                 out
             }
         })

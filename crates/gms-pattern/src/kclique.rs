@@ -18,6 +18,7 @@
 //! (§7.2) are provided; the space per branch is bounded by the
 //! candidate set sizes, not by Δ².
 
+use crate::scratch::{with_worker_scratch, SetPool};
 use gms_core::{CsrGraph, Graph, NodeId, Set, SortedVecSet};
 use gms_graph::{orient_by_rank, relabel, Rank};
 use gms_order::OrderingKind;
@@ -70,16 +71,36 @@ impl KcOutcome {
     }
 }
 
-fn count_rec<S: Set>(dag: &CsrGraph, level: usize, k: usize, candidates: &S) -> u64 {
+fn count_rec<S: Set>(
+    dag: &CsrGraph,
+    level: usize,
+    k: usize,
+    candidates: &S,
+    pool: &mut SetPool<S>,
+) -> u64 {
     if level == k {
         return candidates.cardinality() as u64;
     }
-    let mut total = 0u64;
-    for v in candidates.iter() {
-        let forward = S::from_sorted(dag.neighbors_slice(v));
-        let next = forward.intersect(candidates);
-        total += count_rec(dag, level + 1, k, &next);
+    if level + 1 == k {
+        // Deepest expansion — the bulk of the recursion's volume.
+        // `|N⁺(v) ∩ C|` is counted straight against the CSR slice:
+        // nothing is materialized at the level that runs most often.
+        return candidates
+            .iter()
+            .map(|v| candidates.intersect_count_sorted(dag.neighbors_slice(v)) as u64)
+            .sum();
     }
+    let mut total = 0u64;
+    let mut forward = pool.take();
+    let mut next = pool.take();
+    for v in candidates.iter() {
+        forward.assign_sorted(dag.neighbors_slice(v));
+        next.clone_from(candidates);
+        next.intersect_inplace(&forward);
+        total += count_rec(dag, level + 1, k, &next, pool);
+    }
+    pool.put(next);
+    pool.put(forward);
     total
 }
 
@@ -100,8 +121,13 @@ pub fn k_clique_count_with<S: Set>(graph: &CsrGraph, k: usize, config: &KcConfig
             KcParallel::Node => (0..dag.num_vertices() as NodeId)
                 .into_par_iter()
                 .map(|u| {
-                    let c2 = S::from_sorted(dag.neighbors_slice(u));
-                    count_rec(&dag, 2, k, &c2)
+                    with_worker_scratch::<SetPool<S>, _>(|pool| {
+                        let mut c2 = pool.take();
+                        c2.assign_sorted(dag.neighbors_slice(u));
+                        let total = count_rec(&dag, 2, k, &c2, pool);
+                        pool.put(c2);
+                        total
+                    })
                 })
                 .sum(),
             KcParallel::Edge => {
@@ -118,10 +144,23 @@ pub fn k_clique_count_with<S: Set>(graph: &CsrGraph, k: usize, config: &KcConfig
                     .into_par_iter()
                     .with_min_len(16)
                     .map(|(u, v)| {
-                        let nu = S::from_sorted(dag.neighbors_slice(u));
-                        let nv = S::from_sorted(dag.neighbors_slice(v));
-                        let c3 = nu.intersect(&nv);
-                        count_rec(&dag, 3, k, &c3)
+                        with_worker_scratch::<SetPool<S>, _>(|pool| {
+                            let mut nu = pool.take();
+                            nu.assign_sorted(dag.neighbors_slice(u));
+                            let total = if k == 3 {
+                                // Triangle base case: one slice count,
+                                // nothing materialized per edge.
+                                nu.intersect_count_sorted(dag.neighbors_slice(v)) as u64
+                            } else {
+                                let mut nv = pool.take();
+                                nv.assign_sorted(dag.neighbors_slice(v));
+                                nu.intersect_inplace(&nv);
+                                pool.put(nv);
+                                count_rec(&dag, 3, k, &nu, pool)
+                            };
+                            pool.put(nu);
+                            total
+                        })
                     })
                     .sum()
             }

@@ -21,6 +21,7 @@ pub mod brute;
 pub mod clique_star;
 pub mod dense;
 pub mod kclique;
+pub mod scratch;
 pub mod triangles;
 
 pub use bk::{bron_kerbosch, BkConfig, BkOutcome, BkVariant, SubgraphMode};

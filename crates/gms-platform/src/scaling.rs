@@ -21,12 +21,33 @@ impl ScalingPoint {
     }
 }
 
-/// Runs `kernel` once per thread count in `thread_counts`, each inside
-/// a dedicated rayon pool, timing each run.
+/// Default number of timed repeats per point (see [`run_scaling`]).
+/// Overridable via the `GMS_SCALING_REPEATS` environment variable;
+/// values below 3 are clamped up so the median is always a real
+/// middle element.
+const DEFAULT_REPEATS: usize = 3;
+
+fn configured_repeats() -> usize {
+    std::env::var("GMS_SCALING_REPEATS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(DEFAULT_REPEATS)
+        .max(3)
+}
+
+/// Runs `kernel` under a dedicated rayon pool per thread count and
+/// reports, for each point, the **median of at least three timed
+/// repeats after one untimed warmup run**. The warmup pays the
+/// one-time costs (worker spawn, scratch-buffer growth, page faults on
+/// freshly touched data) and the median discards the stray outlier an
+/// arithmetic mean would smear into the curve — scaling artifacts were
+/// previously single-shot and visibly noisy run to run. Repeat count:
+/// `GMS_SCALING_REPEATS` (default 3, floor 3).
 ///
 /// # Panics
 /// Panics if a pool cannot be built (e.g. 0 threads requested).
 pub fn run_scaling<F: Fn() + Sync>(thread_counts: &[usize], kernel: F) -> Vec<ScalingPoint> {
+    let repeats = configured_repeats();
     thread_counts
         .iter()
         .map(|&threads| {
@@ -34,11 +55,18 @@ pub fn run_scaling<F: Fn() + Sync>(thread_counts: &[usize], kernel: F) -> Vec<Sc
                 .num_threads(threads)
                 .build()
                 .expect("thread pool");
-            let start = std::time::Instant::now();
-            pool.install(&kernel);
+            pool.install(&kernel); // warmup: untimed
+            let mut samples: Vec<Duration> = (0..repeats)
+                .map(|_| {
+                    let start = std::time::Instant::now();
+                    pool.install(&kernel);
+                    start.elapsed()
+                })
+                .collect();
+            samples.sort_unstable();
             ScalingPoint {
                 threads,
-                elapsed: start.elapsed(),
+                elapsed: samples[samples.len() / 2],
             }
         })
         .collect()
@@ -133,6 +161,20 @@ mod tests {
         let series = run_scaling(&[1, 4], work);
         let speedup = series[1].speedup_vs(series[0].elapsed);
         assert!(speedup > 0.6, "speedup {speedup}");
+    }
+
+    #[test]
+    fn each_point_runs_warmup_plus_repeats() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let calls = AtomicUsize::new(0);
+        let series = run_scaling(&[1, 2], || {
+            calls.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(series.len(), 2);
+        // One untimed warmup plus `repeats` timed runs per point.
+        let expected = 2 * (configured_repeats() + 1);
+        assert_eq!(calls.load(Ordering::Relaxed), expected);
+        assert!(configured_repeats() >= 3, "median needs >= 3 samples");
     }
 
     #[test]

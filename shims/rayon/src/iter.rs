@@ -10,13 +10,19 @@
 //! subtree can dwarf a thousand others — rebalances dynamically
 //! instead of serializing inside a pre-cut chunk.
 //!
-//! Ranges stop splitting at a grain of roughly `len / (4 × width)`
-//! items (floored by [`ParIter::with_min_len`]); leaves move items out
-//! of the source buffer by value and, for `map`, write results
-//! straight into the pre-sized output buffer, preserving order. If a
-//! closure panics, the panic propagates after in-flight leaves settle;
-//! items not yet processed (and results already produced) are leaked,
-//! never double-dropped.
+//! The splitter is driven by a *task count*, not a length grain: a
+//! dispatch aims for `4 × width` leaves (capped by the item count and
+//! raised-floor via [`ParIter::with_min_len`]) and splits the range
+//! proportionally until exactly that many leaves exist. Deriving the
+//! grain from the task budget — instead of halving lengths down to a
+//! fixed floor — means small inputs produce few tasks (a 10-item
+//! range never fans out into 10 single-item jobs) and large inputs
+//! never overshoot the budget by the up-to-2× that length-halving
+//! allowed. Leaves move items out of the source buffer by value and,
+//! for `map`, write results straight into the pre-sized output
+//! buffer, preserving order. If a closure panics, the panic
+//! propagates after in-flight leaves settle; items not yet processed
+//! (and results already produced) are leaked, never double-dropped.
 
 use std::ops::Range;
 
@@ -61,66 +67,87 @@ impl<T> SendMutPtr<T> {
     }
 }
 
-/// Splitting grain: aim for ~4 leaves per worker so stealing has
-/// slack without drowning in per-task overhead.
-fn grain_for(len: usize, width: usize, min_len: usize) -> usize {
-    len.div_ceil(width.saturating_mul(4).max(1))
-        .max(min_len)
+/// Leaf-task budget per worker: enough slack for stealing to
+/// rebalance skew without drowning in per-task overhead.
+const TASKS_PER_WORKER: usize = 4;
+
+/// How many leaf tasks a dispatch of `len` items should fan out
+/// into: `TASKS_PER_WORKER × width`, never more tasks than `min_len`
+/// allows (the caller's granularity knob) nor than there are items.
+/// The task count is the primary quantity and the per-leaf grain
+/// falls out of it — not the other way round — so small inputs
+/// produce proportionally few tasks instead of splitting down to a
+/// fixed length floor.
+fn task_count_for(len: usize, width: usize, min_len: usize) -> usize {
+    width
+        .saturating_mul(TASKS_PER_WORKER)
+        .min(len.div_ceil(min_len.max(1)))
         .max(1)
 }
 
+/// Splits `range` into exactly `tasks` near-equal leaves (sizes
+/// differ by at most one item), recursing via `join`. The split
+/// points depend only on `(range, tasks)`, never on scheduling.
+fn split_point(range: &Range<usize>, left_tasks: usize, tasks: usize) -> usize {
+    let per = range.len() / tasks;
+    let extra = range.len() % tasks;
+    range.start + per * left_tasks + left_tasks.min(extra)
+}
+
 /// Runs `leaf` over disjoint subranges covering `0..len`, splitting
-/// recursively via `join` down to `grain`.
-fn parallel_ranges<F>(len: usize, grain: usize, leaf: F)
+/// recursively via `join` into (at most) `tasks` leaves.
+fn parallel_ranges<F>(len: usize, tasks: usize, leaf: F)
 where
     F: Fn(Range<usize>) + Sync,
 {
-    fn recurse<F: Fn(Range<usize>) + Sync>(range: Range<usize>, grain: usize, leaf: &F) {
-        if range.len() <= grain {
+    fn recurse<F: Fn(Range<usize>) + Sync>(range: Range<usize>, tasks: usize, leaf: &F) {
+        if tasks <= 1 || range.len() <= 1 {
             leaf(range);
             return;
         }
-        let mid = range.start + range.len() / 2;
+        let left_tasks = tasks / 2;
+        let mid = split_point(&range, left_tasks, tasks);
         let (left, right) = (range.start..mid, mid..range.end);
         crate::join(
-            || recurse(left, grain, leaf),
-            || recurse(right, grain, leaf),
+            || recurse(left, left_tasks, leaf),
+            || recurse(right, tasks - left_tasks, leaf),
         );
     }
-    recurse(0..len, grain.max(1), &leaf);
+    recurse(0..len, tasks.clamp(1, len.max(1)), &leaf);
 }
 
 /// Range-splitting reduction: `leaf` folds one subrange, `combine`
 /// merges adjacent partials left-to-right (so the combine tree is
-/// deterministic for a given `len` and `grain`, independent of which
+/// deterministic for a given `len` and `tasks`, independent of which
 /// worker ran what).
-fn parallel_reduce<R, F, C>(len: usize, grain: usize, leaf: &F, combine: &C) -> Option<R>
+fn parallel_reduce<R, F, C>(len: usize, tasks: usize, leaf: &F, combine: &C) -> Option<R>
 where
     R: Send,
     F: Fn(Range<usize>) -> R + Sync,
     C: Fn(R, R) -> R + Sync,
 {
-    fn recurse<R, F, C>(range: Range<usize>, grain: usize, leaf: &F, combine: &C) -> R
+    fn recurse<R, F, C>(range: Range<usize>, tasks: usize, leaf: &F, combine: &C) -> R
     where
         R: Send,
         F: Fn(Range<usize>) -> R + Sync,
         C: Fn(R, R) -> R + Sync,
     {
-        if range.len() <= grain {
+        if tasks <= 1 || range.len() <= 1 {
             return leaf(range);
         }
-        let mid = range.start + range.len() / 2;
+        let left_tasks = tasks / 2;
+        let mid = split_point(&range, left_tasks, tasks);
         let (left, right) = (range.start..mid, mid..range.end);
         let (a, b) = crate::join(
-            || recurse(left, grain, leaf, combine),
-            || recurse(right, grain, leaf, combine),
+            || recurse(left, left_tasks, leaf, combine),
+            || recurse(right, tasks - left_tasks, leaf, combine),
         );
         combine(a, b)
     }
     if len == 0 {
         return None;
     }
-    Some(recurse(0..len, grain.max(1), leaf, combine))
+    Some(recurse(0..len, tasks.clamp(1, len), leaf, combine))
 }
 
 impl<T> ParIter<T> {
@@ -162,12 +189,12 @@ impl<T: Send> ParIter<T> {
                 min_len: self.min_len,
             };
         };
-        let grain = grain_for(len, width, self.min_len);
+        let tasks = task_count_for(len, width, self.min_len);
         let mut src = self.items;
         let mut out: Vec<U> = Vec::with_capacity(len);
         let (src_ptr, _) = Self::disown(&mut src);
         let dst_ptr = SendMutPtr(out.as_mut_ptr());
-        parallel_ranges(len, grain, |range| {
+        parallel_ranges(len, tasks, |range| {
             for i in range {
                 // SAFETY: each index is visited by exactly one leaf;
                 // the source item is moved out once and the result
@@ -195,10 +222,10 @@ impl<T: Send> ParIter<T> {
             self.items.into_iter().for_each(f);
             return;
         };
-        let grain = grain_for(len, width, self.min_len);
+        let tasks = task_count_for(len, width, self.min_len);
         let mut src = self.items;
         let (src_ptr, _) = Self::disown(&mut src);
-        parallel_ranges(len, grain, |range| {
+        parallel_ranges(len, tasks, |range| {
             for i in range {
                 // SAFETY: see `map` — one move per index.
                 f(unsafe { src_ptr.read(i) });
@@ -275,12 +302,12 @@ impl<T: Send> ParIter<T> {
         let Some(width) = Self::parallel_width(len) else {
             return self.items.into_iter().sum();
         };
-        let grain = grain_for(len, width, self.min_len);
+        let tasks = task_count_for(len, width, self.min_len);
         let mut src = self.items;
         let (src_ptr, _) = Self::disown(&mut src);
         let total = parallel_reduce(
             len,
-            grain,
+            tasks,
             // SAFETY: see `map` — one move per index.
             &|range: Range<usize>| range.map(|i| unsafe { src_ptr.read(i) }).sum::<S>(),
             &|a, b| [a, b].into_iter().sum::<S>(),
@@ -353,12 +380,12 @@ impl<T: Send> ParIter<T> {
         let Some(width) = Self::parallel_width(len) else {
             return self.items.into_iter().fold(identity(), &op);
         };
-        let grain = grain_for(len, width, self.min_len);
+        let tasks = task_count_for(len, width, self.min_len);
         let mut src = self.items;
         let (src_ptr, _) = Self::disown(&mut src);
         let total = parallel_reduce(
             len,
-            grain,
+            tasks,
             &|range: Range<usize>| {
                 range
                     // SAFETY: see `map` — one move per index.
@@ -371,8 +398,9 @@ impl<T: Send> ParIter<T> {
         total.unwrap_or_else(identity)
     }
 
-    /// Floors the splitting grain: subranges smaller than `min` are
-    /// never split further (rayon's task-granularity knob).
+    /// Floors the per-leaf grain: the task count is capped so no
+    /// leaf receives fewer than `min` items (rayon's task-granularity
+    /// knob).
     pub fn with_min_len(mut self, min: usize) -> Self {
         self.min_len = min.max(1);
         self
@@ -477,11 +505,32 @@ mod tests {
     use super::*;
 
     #[test]
-    fn grain_targets_four_leaves_per_worker() {
-        assert_eq!(grain_for(4_000, 4, 1), 250);
-        assert_eq!(grain_for(10, 4, 1), 1);
-        assert_eq!(grain_for(10, 4, 8), 8, "min_len floors the grain");
-        assert_eq!(grain_for(0, 4, 1), 1);
+    fn task_count_targets_four_leaves_per_worker() {
+        assert_eq!(task_count_for(4_000, 4, 1), 16, "4 leaves per worker");
+        assert_eq!(task_count_for(10, 4, 1), 10, "never more tasks than items");
+        assert_eq!(task_count_for(10, 4, 8), 2, "min_len caps the task count");
+        assert_eq!(task_count_for(0, 4, 1), 1);
+        assert_eq!(task_count_for(1_000_000, 1, 1), 4, "width 1 still bounded");
+    }
+
+    #[test]
+    fn split_produces_exactly_the_requested_leaves() {
+        // The task-count splitter must cover the range with exactly
+        // `tasks` leaves whose sizes differ by at most one item.
+        for (len, tasks) in [(10usize, 3usize), (1_000, 16), (17, 17), (64, 5)] {
+            let leaves = std::sync::Mutex::new(Vec::new());
+            parallel_ranges(len, tasks, |range| {
+                leaves.lock().unwrap().push(range);
+            });
+            let mut leaves = leaves.into_inner().unwrap();
+            leaves.sort_by_key(|r| r.start);
+            assert_eq!(leaves.len(), tasks, "len={len} tasks={tasks}");
+            assert_eq!(leaves.first().unwrap().start, 0);
+            assert_eq!(leaves.last().unwrap().end, len);
+            assert!(leaves.windows(2).all(|w| w[0].end == w[1].start));
+            let (lo, hi) = (len / tasks, len.div_ceil(tasks));
+            assert!(leaves.iter().all(|r| r.len() == lo || r.len() == hi));
+        }
     }
 
     #[test]
@@ -508,8 +557,8 @@ mod tests {
     #[test]
     fn parallel_reduce_is_deterministic_left_to_right() {
         // Subtraction is not associative, so the result pins the
-        // combine-tree shape: it must depend only on len and grain,
-        // never on scheduling.
+        // combine-tree shape: it must depend only on len and the
+        // task count, never on scheduling.
         let pool = crate::ThreadPoolBuilder::new()
             .num_threads(4)
             .build()

@@ -25,14 +25,18 @@
 //!   vector. The expensive closures in this workspace always sit in
 //!   `map` / `for_each` / `sum` / `reduce` / `flat_map` / `partition`,
 //!   which all execute as splittable parallel tasks.
-//! * **Mutex deques.** Worker deques are mutex-guarded `VecDeque`s,
-//!   not lock-free Chase–Lev buffers; identical scheduling semantics,
-//!   slightly higher constant cost per task.
+//! * **Fixed-capacity deques.** Worker deques are lock-free
+//!   Chase–Lev buffers (owner pushes/pops with plain stores and one
+//!   fence, thieves CAS — see the `pool` module docs) with a fixed
+//!   capacity; a `join` spine deeper than the capacity degrades to
+//!   inline execution instead of growing the buffer.
 //! * **Pools share a registry per width.** `ThreadPoolBuilder::build`
 //!   returns a view onto a persistent per-width worker set instead of
 //!   spawning fresh threads, so scaling sweeps do not accumulate
-//!   threads. [`ThreadPool::steal_count`] consequently reports a
-//!   cumulative counter for that width.
+//!   threads. [`ThreadPool::steal_count`] (and the companion
+//!   [`ThreadPool::park_count`] / [`ThreadPool::notify_count`]
+//!   scheduler-overhead counters) consequently report cumulative
+//!   counters for that width; measure deltas around a workload.
 //! * **`install` runs the closure on the calling thread** and only
 //!   scopes the width that parallel operations dispatch with (real
 //!   rayon migrates the closure onto a worker). `join` called inside
@@ -160,6 +164,28 @@ impl ThreadPool {
             return 0;
         }
         pool::registry_for(self.width).steal_count()
+    }
+
+    /// Cumulative number of condvar parks (timed waits actually
+    /// entered) by this width's workers and join waiters. High park
+    /// traffic on a busy workload means workers are starving; see
+    /// the `pool` module docs for the sleep protocol.
+    pub fn park_count(&self) -> u64 {
+        if self.width <= 1 {
+            return 0;
+        }
+        pool::registry_for(self.width).park_count()
+    }
+
+    /// Cumulative number of condvar notifications issued by
+    /// publishers and latch sets at this width. Publishes that found
+    /// every worker awake skip the condvar and are not counted, so
+    /// this directly measures park/notify churn.
+    pub fn notify_count(&self) -> u64 {
+        if self.width <= 1 {
+            return 0;
+        }
+        pool::registry_for(self.width).notify_count()
     }
 }
 
@@ -301,6 +327,31 @@ mod tests {
             observed > 0,
             "no steals observed across 50 imbalanced joins"
         );
+    }
+
+    #[test]
+    fn overhead_counters_are_observable_and_monotone() {
+        // A width-1 pool never publishes, steals, parks or notifies.
+        let solo = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        assert_eq!(solo.steal_count(), 0);
+        assert_eq!(solo.park_count(), 0);
+        assert_eq!(solo.notify_count(), 0);
+
+        // Wider pools expose cumulative (monotone) scheduler-overhead
+        // counters; exact values depend on timing, so only
+        // monotonicity across a workload is pinned.
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let before = (pool.steal_count(), pool.park_count(), pool.notify_count());
+        let sum: u64 = pool.install(|| {
+            (0..10_000u64)
+                .into_par_iter()
+                .map(|x| x.wrapping_mul(x) % 1_000)
+                .sum()
+        });
+        assert_eq!(sum, (0..10_000u64).map(|x| x.wrapping_mul(x) % 1_000).sum());
+        assert!(pool.steal_count() >= before.0);
+        assert!(pool.park_count() >= before.1);
+        assert!(pool.notify_count() >= before.2);
     }
 
     #[test]
