@@ -6,9 +6,17 @@
 //! shape: final sizes are similar across layouts; peak construction
 //! memory is visibly highest for RoaringSet, and the Das baseline's
 //! peak tops everything.
+//!
+//! Two extra rows per graph report the compressed serving backend:
+//! `Gap(compressed)` is the gap+varint [`CompressedCsr`] in the
+//! original vertex order, `GapReorder(compressed)` the same after a
+//! BFS locality reordering — the representations the platform can now
+//! hold resident instead of the raw CSR, sitting well below every
+//! set-centric layout.
 
 use gms_bench::{gallery, print_csv, scale_from_env};
 use gms_core::{CsrGraph, DenseBitSet, HashVertexSet, RoaringSet, SetGraph, SortedVecSet};
+use gms_graph::CompressedCsr;
 
 fn measure(graph: &CsrGraph) -> Vec<(&'static str, usize, usize)> {
     // Peak ≈ CSR (still alive during conversion) + final size; the
@@ -19,6 +27,9 @@ fn measure(graph: &CsrGraph) -> Vec<(&'static str, usize, usize)> {
     let roaring: SetGraph<RoaringSet> = SetGraph::from_csr(graph);
     let hash: SetGraph<HashVertexSet> = SetGraph::from_csr(graph);
     let dense: SetGraph<DenseBitSet> = SetGraph::from_csr(graph);
+    let gap = CompressedCsr::from_csr(graph);
+    let rank = gms_order::bfs_order(graph, 0);
+    let reordered = CompressedCsr::from_csr_ordered(graph, &rank);
     vec![
         (
             "SortedSet",
@@ -35,6 +46,18 @@ fn measure(graph: &CsrGraph) -> Vec<(&'static str, usize, usize)> {
             "DasStyle(dense)",
             dense.heap_bytes(),
             csr_bytes + dense.heap_bytes(),
+        ),
+        (
+            "Gap(compressed)",
+            gap.heap_bytes(),
+            csr_bytes + gap.heap_bytes(),
+        ),
+        (
+            "GapReorder(compressed)",
+            reordered.heap_bytes(),
+            // The reordering rank (one NodeId per vertex) is alive
+            // while the recompressed payload is built.
+            csr_bytes + rank.len() * std::mem::size_of::<u32>() + reordered.heap_bytes(),
         ),
     ]
 }

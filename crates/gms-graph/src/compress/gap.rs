@@ -21,13 +21,54 @@ pub fn encode(sorted: &[u32]) -> Vec<u8> {
 /// Decodes `count` values from a gap-encoded buffer.
 pub fn decode(mut input: &[u8], count: usize) -> Option<Vec<u32>> {
     let mut out = Vec::with_capacity(count);
+    decode_append(&mut input, count, &mut out)?;
+    Some(out)
+}
+
+/// Decodes `count` values into `out`, clearing it first — the
+/// allocation-free neighborhood decode: once `out` has grown to the
+/// maximum degree it is reused without touching the allocator.
+/// Returns the number of payload bytes consumed, or `None` on
+/// truncated/over-long varints or a prefix-sum overflow.
+#[inline]
+pub fn decode_into(mut input: &[u8], count: usize, out: &mut Vec<u32>) -> Option<usize> {
+    out.clear();
+    decode_append(&mut input, count, out)
+}
+
+/// Decodes `count` values, appending to `out` (the [`decode_into`]
+/// body, exposed separately so a full-graph decode can fill one big
+/// buffer). Advances `input` past the consumed bytes and returns
+/// their number. Four gaps are decoded per step through
+/// [`varint::decode4_u32`], so dense single-byte runs — the common
+/// case after a locality reordering — move four entries per 32-bit
+/// load instead of one per byte-test loop.
+pub fn decode_append(input: &mut &[u8], count: usize, out: &mut Vec<u32>) -> Option<usize> {
+    let start_len = input.len();
+    out.reserve(count);
+    let mut remaining = count;
     let mut acc = 0u32;
-    for i in 0..count {
-        let gap = varint::decode_u32(&mut input)?;
-        acc = if i == 0 { gap } else { acc.checked_add(gap)? };
+    if remaining > 0 {
+        // The first entry is absolute, not a gap.
+        acc = varint::decode_u32(input)?;
+        out.push(acc);
+        remaining -= 1;
+    }
+    let mut quad = [0u32; 4];
+    while remaining >= 4 {
+        varint::decode4_u32(input, &mut quad)?;
+        for gap in quad {
+            acc = acc.checked_add(gap)?;
+            out.push(acc);
+        }
+        remaining -= 4;
+    }
+    for _ in 0..remaining {
+        let gap = varint::decode_u32(input)?;
+        acc = acc.checked_add(gap)?;
         out.push(acc);
     }
-    Some(out)
+    Some(start_len - input.len())
 }
 
 /// Iterator-based decoder that avoids materializing the neighborhood.
@@ -100,5 +141,48 @@ mod tests {
     fn truncated_buffer_fails() {
         let encoded = encode(&[1, 2, 3]);
         assert_eq!(decode(&encoded[..1], 3), None);
+        let mut out = Vec::new();
+        assert_eq!(decode_into(&encoded[..1], 3, &mut out), None);
+    }
+
+    #[test]
+    fn decode_into_reuses_capacity_and_reports_bytes() {
+        let neigh: Vec<u32> = (0..533u32).map(|i| i * 3 + 1).collect();
+        let encoded = encode(&neigh);
+        let mut out = Vec::new();
+        let consumed = decode_into(&encoded, neigh.len(), &mut out).unwrap();
+        assert_eq!(consumed, encoded.len());
+        assert_eq!(out, neigh);
+        let cap = out.capacity();
+        let ptr = out.as_ptr();
+        // A second decode of a same-size neighborhood must reuse the
+        // buffer in place.
+        decode_into(&encoded, neigh.len(), &mut out).unwrap();
+        assert_eq!(out, neigh);
+        assert_eq!((out.capacity(), out.as_ptr()), (cap, ptr));
+    }
+
+    #[test]
+    fn decode_into_agrees_with_iterator_on_awkward_counts() {
+        // Counts around the quad width exercise the head/quad/tail
+        // split: 0..=9 covers empty, 1 (absolute only), 4, 5, 8, 9.
+        for count in 0..10usize {
+            let neigh: Vec<u32> = (0..count as u32).map(|i| i * 1000 + 7).collect();
+            let encoded = encode(&neigh);
+            let mut out = Vec::new();
+            decode_into(&encoded, count, &mut out).unwrap();
+            let streamed: Vec<u32> = GapDecoder::new(&encoded, count).collect();
+            assert_eq!(out, neigh);
+            assert_eq!(streamed, neigh);
+        }
+    }
+
+    #[test]
+    fn overflowing_prefix_sum_is_rejected() {
+        // Two max-size gaps overflow u32 on the second add.
+        let mut encoded = Vec::new();
+        varint::encode_u32(u32::MAX, &mut encoded);
+        varint::encode_u32(u32::MAX, &mut encoded);
+        assert_eq!(decode(&encoded, 2), None);
     }
 }

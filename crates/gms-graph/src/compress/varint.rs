@@ -40,6 +40,31 @@ pub fn decode_u32(input: &mut &[u8]) -> Option<u32> {
     None
 }
 
+/// Decodes four varints from the front of `input` at once, advancing
+/// it. The fast path fires when all four are single-byte — one 32-bit
+/// load, one continuation-bit test, four shifts — which is the common
+/// case for gap streams after a locality reordering (most gaps fit in
+/// 7 bits). Mixed-width quads fall back to the scalar decoder.
+/// Returns `None` on truncated or over-long input.
+#[inline]
+pub fn decode4_u32(input: &mut &[u8], out: &mut [u32; 4]) -> Option<()> {
+    if input.len() >= 4 {
+        let word = u32::from_le_bytes(input[..4].try_into().expect("4-byte slice"));
+        if word & 0x8080_8080 == 0 {
+            out[0] = word & 0x7F;
+            out[1] = (word >> 8) & 0x7F;
+            out[2] = (word >> 16) & 0x7F;
+            out[3] = (word >> 24) & 0x7F;
+            *input = &input[4..];
+            return Some(());
+        }
+    }
+    for slot in out.iter_mut() {
+        *slot = decode_u32(input)?;
+    }
+    Some(())
+}
+
 /// Encodes a whole slice.
 pub fn encode_slice(values: &[u32]) -> Vec<u8> {
     let mut out = Vec::with_capacity(values.len());
@@ -91,6 +116,47 @@ mod tests {
         let values: Vec<u32> = (0..1000).map(|i| i * 37).collect();
         let encoded = encode_slice(&values);
         assert_eq!(decode_slice(&encoded, values.len()), Some(values));
+    }
+
+    #[test]
+    fn quad_decode_matches_scalar() {
+        // Mix of single-byte runs (fast path) and wide values
+        // (fallback path), plus a tail shorter than 4.
+        let values: Vec<u32> = (0..1003u32)
+            .map(|i| match i % 7 {
+                0 => i % 128,
+                1 => 127,
+                2 => 128,
+                3 => 16_384,
+                4 => u32::MAX - i,
+                _ => i % 90,
+            })
+            .collect();
+        let encoded = encode_slice(&values);
+        let mut cursor = encoded.as_slice();
+        let mut decoded = Vec::new();
+        let mut quad = [0u32; 4];
+        while decoded.len() + 4 <= values.len() {
+            decode4_u32(&mut cursor, &mut quad).unwrap();
+            decoded.extend_from_slice(&quad);
+        }
+        while decoded.len() < values.len() {
+            decoded.push(decode_u32(&mut cursor).unwrap());
+        }
+        assert_eq!(decoded, values);
+        assert!(cursor.is_empty());
+    }
+
+    #[test]
+    fn quad_decode_detects_truncation() {
+        let mut buf = Vec::new();
+        for v in [1u32, 2, 3, 300] {
+            encode_u32(v, &mut buf);
+        }
+        // 300 needs 2 bytes; cut its last byte off.
+        let mut short = &buf[..buf.len() - 1];
+        let mut quad = [0u32; 4];
+        assert_eq!(decode4_u32(&mut short, &mut quad), None);
     }
 
     #[test]

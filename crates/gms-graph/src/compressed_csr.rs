@@ -1,85 +1,389 @@
 //! `CompressedCsr`: a Log(Graph)-style compressed graph representation
-//! (§5, §B.1.3) combining gap+varint adjacency encoding with compact
-//! offsets. It implements the same [`Graph`] access interface as plain
-//! CSR, so every GMS algorithm runs on it unchanged — the paper's
-//! representation modularity (①–②) in action.
+//! (§5, §B.1.3) combining gap+varint adjacency encoding with a compact
+//! block index. It implements the same [`Graph`] access interface as
+//! plain CSR, so every GMS algorithm runs on it unchanged — the
+//! paper's representation modularity (①–②) in action — and it is the
+//! in-memory form of the `.gcsr` v2 snapshot payload
+//! (see [`crate::io::snapshot`]).
+//!
+//! This is a *serving* structure, not just a storage study, so the
+//! access paths are built for the kernel hot loop:
+//!
+//! * [`CompressedCsr::decode_into`] decodes a whole neighborhood into
+//!   a caller-owned buffer — allocation-free once the buffer has grown
+//!   to the maximum degree — four varints per step on single-byte gap
+//!   runs ([`crate::compress::varint::decode4_u32`]);
+//! * [`Graph::has_edge`] is skip-sampled: every 32nd neighbor of a
+//!   high-degree vertex is recorded with its payload byte position at
+//!   build time, so a membership probe jumps to the right 32-entry
+//!   window instead of walking the whole neighborhood;
+//! * [`CompressedCsr::from_csr_ordered`] relabels the graph by a
+//!   locality ordering (e.g. [BFS](https://en.wikipedia.org/wiki/Breadth-first_search)
+//!   order from `gms-order`) before gap-encoding — neighbors get
+//!   nearby IDs, gaps shrink, varints shorten — and
+//!   [`CompressedCsr::bytes_per_arc`] reports the achieved size.
 
-use crate::compress::{gap, offsets::CompactOffsets};
+use crate::compress::{gap, varint};
+use crate::transform::{relabel, Rank};
 use gms_core::{CsrGraph, Graph, NodeId};
 
-/// A compressed CSR with varint-gap adjacency and sampled offsets.
+/// Vertices per index block: one absolute payload anchor every
+/// `INDEX_BLOCK` vertices, varint `(byte_len, degree)` pairs in
+/// between. Part of the `.gcsr` v2 on-disk contract.
+pub const INDEX_BLOCK: usize = 64;
+
+/// `has_edge` sampling stride: every `SAMPLE_EVERY`-th decoded
+/// neighbor of a hub vertex is recorded as a skip sample.
+const SAMPLE_EVERY: usize = 32;
+
+/// Minimum degree for a vertex to get skip samples; below this a
+/// linear early-exit scan wins anyway.
+const HUB_MIN_DEGREE: usize = 2 * SAMPLE_EVERY;
+
+/// The per-vertex index of a compressed adjacency payload: absolute
+/// 64-bit payload anchors every [`INDEX_BLOCK`] vertices plus a varint
+/// stream of `(byte_len, degree)` pairs, one pair per vertex. Both the
+/// byte range *and* the degree of a vertex come out of one bounded
+/// decode walk (≤ [`INDEX_BLOCK`] pairs).
+#[derive(Clone, Debug, Default)]
+pub(crate) struct NbrIndex {
+    n: usize,
+    /// Absolute payload byte offset of each block's first vertex.
+    pub(crate) anchors: Vec<u64>,
+    /// Byte position in `pairs` where each block's pair run starts.
+    pub(crate) block_starts: Vec<u32>,
+    /// Varint `(byte_len, degree)` pairs, concatenated per vertex.
+    pub(crate) pairs: Vec<u8>,
+}
+
+impl NbrIndex {
+    pub(crate) fn with_capacity(n: usize) -> Self {
+        Self {
+            n: 0,
+            anchors: Vec::with_capacity(n.div_ceil(INDEX_BLOCK)),
+            block_starts: Vec::with_capacity(n.div_ceil(INDEX_BLOCK)),
+            pairs: Vec::new(),
+        }
+    }
+
+    /// Reassembles an index from its decoded sections (the `.gcsr` v2
+    /// read path). The caller has validated consistency already.
+    pub(crate) fn from_parts(
+        n: usize,
+        anchors: Vec<u64>,
+        block_starts: Vec<u32>,
+        pairs: Vec<u8>,
+    ) -> Self {
+        Self {
+            n,
+            anchors,
+            block_starts,
+            pairs,
+        }
+    }
+
+    /// Appends the next vertex's `(byte_len, degree)` entry. Vertices
+    /// must be pushed in ID order; `payload_offset` is the absolute
+    /// byte offset where this vertex's payload starts.
+    pub(crate) fn push(&mut self, payload_offset: u64, byte_len: usize, degree: usize) {
+        assert!(byte_len <= u32::MAX as usize && degree <= u32::MAX as usize);
+        if self.n.is_multiple_of(INDEX_BLOCK) {
+            self.anchors.push(payload_offset);
+            self.block_starts.push(self.pairs.len() as u32);
+        }
+        varint::encode_u32(byte_len as u32, &mut self.pairs);
+        varint::encode_u32(degree as u32, &mut self.pairs);
+        self.n += 1;
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `(payload_start, payload_end, degree)` of vertex `v`: jump to
+    /// the block anchor, walk at most `INDEX_BLOCK - 1` preceding
+    /// pairs, read `v`'s pair.
+    #[inline]
+    pub(crate) fn locate(&self, v: usize) -> (usize, usize, usize) {
+        assert!(v < self.n, "vertex {v} out of range ({n})", n = self.n);
+        let block = v / INDEX_BLOCK;
+        let mut cursor = &self.pairs[self.block_starts[block] as usize..];
+        let mut offset = self.anchors[block];
+        for _ in block * INDEX_BLOCK..v {
+            let len = varint::decode_u32(&mut cursor).expect("pair stream");
+            varint::decode_u32(&mut cursor).expect("pair stream");
+            offset += u64::from(len);
+        }
+        let len = varint::decode_u32(&mut cursor).expect("pair stream");
+        let degree = varint::decode_u32(&mut cursor).expect("pair stream");
+        (
+            offset as usize,
+            (offset + u64::from(len)) as usize,
+            degree as usize,
+        )
+    }
+
+    /// Sequential walk over all vertices in ID order, calling
+    /// `f(v, payload_start, payload_end, degree)` — one linear pass
+    /// over the pair stream, no per-vertex block walk.
+    pub(crate) fn for_each(&self, mut f: impl FnMut(usize, usize, usize, usize)) {
+        let mut cursor = self.pairs.as_slice();
+        let mut offset = 0usize;
+        for v in 0..self.n {
+            let len = varint::decode_u32(&mut cursor).expect("pair stream") as usize;
+            let degree = varint::decode_u32(&mut cursor).expect("pair stream") as usize;
+            f(v, offset, offset + len, degree);
+            offset += len;
+        }
+    }
+
+    /// Heap bytes actually used (lengths, not capacities).
+    pub(crate) fn heap_bytes(&self) -> usize {
+        self.anchors.len() * 8 + self.block_starts.len() * 4 + self.pairs.len()
+    }
+
+    pub(crate) fn shrink_to_fit(&mut self) {
+        self.anchors.shrink_to_fit();
+        self.block_starts.shrink_to_fit();
+        self.pairs.shrink_to_fit();
+    }
+}
+
+/// Skip samples for [`Graph::has_edge`] on high-degree vertices:
+/// for every hub (degree ≥ `HUB_MIN_DEGREE`), the neighbor value and
+/// payload byte position after every `SAMPLE_EVERY`-th entry. A
+/// membership probe binary-searches the samples and decodes at most
+/// one `SAMPLE_EVERY`-entry window.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct SkipIndex {
+    /// Sampled vertices, ascending.
+    hubs: Vec<NodeId>,
+    /// Start of each hub's samples in `values`/`positions`
+    /// (`hubs.len() + 1` entries).
+    starts: Vec<u32>,
+    /// Neighbor value at sampled entry `(j+1) * SAMPLE_EVERY - 1`.
+    values: Vec<u32>,
+    /// Payload byte offset (relative to the hub's payload start)
+    /// just *after* the sampled entry — the decode resume point.
+    positions: Vec<u32>,
+}
+
+impl SkipIndex {
+    /// Builds the samples by decoding every hub neighborhood once.
+    pub(crate) fn build(index: &NbrIndex, payload: &[u8]) -> Self {
+        let mut skips = SkipIndex {
+            starts: vec![0],
+            ..SkipIndex::default()
+        };
+        index.for_each(|v, start, end, degree| {
+            if degree < HUB_MIN_DEGREE {
+                return;
+            }
+            let section = &payload[start..end];
+            let mut cursor = section;
+            let mut acc = 0u32;
+            for i in 0..degree {
+                let gapv = varint::decode_u32(&mut cursor).expect("validated payload");
+                acc = if i == 0 { gapv } else { acc + gapv };
+                if (i + 1) % SAMPLE_EVERY == 0 {
+                    skips.values.push(acc);
+                    skips.positions.push((section.len() - cursor.len()) as u32);
+                }
+            }
+            skips.hubs.push(v as NodeId);
+            skips.starts.push(skips.values.len() as u32);
+        });
+        skips.hubs.shrink_to_fit();
+        skips.starts.shrink_to_fit();
+        skips.values.shrink_to_fit();
+        skips.positions.shrink_to_fit();
+        skips
+    }
+
+    /// The `(values, positions)` sample slices of `v`, if sampled.
+    #[inline]
+    fn samples_of(&self, v: NodeId) -> Option<(&[u32], &[u32])> {
+        let i = self.hubs.binary_search(&v).ok()?;
+        let range = self.starts[i] as usize..self.starts[i + 1] as usize;
+        Some((&self.values[range.clone()], &self.positions[range]))
+    }
+
+    pub(crate) fn heap_bytes(&self) -> usize {
+        self.hubs.len() * 4
+            + self.starts.len() * 4
+            + self.values.len() * 4
+            + self.positions.len() * 4
+    }
+}
+
+/// A compressed CSR with varint-gap adjacency, a block-sampled
+/// `(byte_len, degree)` index, and `has_edge` skip samples.
 #[derive(Clone, Debug)]
 pub struct CompressedCsr {
     /// Gap-encoded adjacency payload, concatenated per vertex.
     payload: Vec<u8>,
-    /// Byte range of each vertex's payload plus its degree.
-    index: CompressedIndex,
+    /// Byte range + degree of each vertex's payload.
+    index: NbrIndex,
+    /// `has_edge` acceleration samples for hub vertices.
+    skips: SkipIndex,
     arcs: usize,
-}
-
-#[derive(Clone, Debug)]
-struct CompressedIndex {
-    /// Byte offsets into `payload` (n + 1 entries), themselves
-    /// compressed with the sampled-degree scheme.
-    byte_offsets: CompactOffsets,
-    /// Degrees, compressed the same way (as "offsets" of a prefix sum).
-    degree_prefix: CompactOffsets,
+    /// Whether a locality reordering was applied before encoding.
+    reordered: bool,
 }
 
 impl CompressedCsr {
-    /// Compresses a CSR graph.
+    /// Compresses a CSR graph, preserving vertex IDs (the compressed
+    /// graph is byte-for-byte the same adjacency structure, so content
+    /// fingerprints — and cached kernel outcomes — carry over).
     pub fn from_csr(csr: &CsrGraph) -> Self {
+        Self::build(csr, false)
+    }
+
+    /// Compresses a CSR graph after relabeling it by `rank` — the
+    /// §B.2 recompression pipeline: a locality ordering (BFS order
+    /// from `gms-order` is the prescribed choice) gives neighbors
+    /// nearby IDs, shrinking the stored gaps and therefore the
+    /// varints. The result is the *relabeled isomorph*: counts and
+    /// structure match, vertex IDs are permuted (and the content
+    /// fingerprint differs — callers that need ID stability use
+    /// [`CompressedCsr::from_csr`]).
+    pub fn from_csr_ordered(csr: &CsrGraph, rank: &Rank) -> Self {
+        Self::build(&relabel(csr, rank), true)
+    }
+
+    fn build(csr: &CsrGraph, reordered: bool) -> Self {
         let n = csr.num_vertices();
         let mut payload = Vec::new();
-        let mut byte_offsets = Vec::with_capacity(n + 1);
-        let mut degree_prefix = Vec::with_capacity(n + 1);
-        byte_offsets.push(0usize);
-        degree_prefix.push(0usize);
+        let mut index = NbrIndex::with_capacity(n);
         for v in 0..n as NodeId {
-            let encoded = gap::encode(csr.neighbors_slice(v));
-            payload.extend_from_slice(&encoded);
-            byte_offsets.push(payload.len());
-            degree_prefix.push(degree_prefix[v as usize] + csr.degree(v));
+            let neigh = csr.neighbors_slice(v);
+            let before = payload.len();
+            encode_neighborhood(neigh, &mut payload);
+            index.push(before as u64, payload.len() - before, neigh.len());
         }
+        payload.shrink_to_fit();
+        index.shrink_to_fit();
+        let skips = SkipIndex::build(&index, &payload);
         Self {
             payload,
-            index: CompressedIndex {
-                byte_offsets: CompactOffsets::from_offsets(&byte_offsets),
-                degree_prefix: CompactOffsets::from_offsets(&degree_prefix),
-            },
+            index,
+            skips,
             arcs: csr.num_arcs(),
+            reordered,
         }
     }
 
-    /// Decompresses back to plain CSR.
+    /// Reassembles a compressed graph from validated `.gcsr` v2
+    /// sections; skip samples are rebuilt from the payload.
+    pub(crate) fn from_validated_parts(
+        index: NbrIndex,
+        payload: Vec<u8>,
+        arcs: usize,
+        reordered: bool,
+    ) -> Self {
+        let skips = SkipIndex::build(&index, &payload);
+        Self::assemble(index, skips, payload, arcs, reordered)
+    }
+
+    /// Assembles a compressed graph from parts that already include
+    /// the skip samples (the mmap-to-owned conversion path).
+    pub(crate) fn assemble(
+        index: NbrIndex,
+        skips: SkipIndex,
+        payload: Vec<u8>,
+        arcs: usize,
+        reordered: bool,
+    ) -> Self {
+        Self {
+            payload,
+            index,
+            skips,
+            arcs,
+            reordered,
+        }
+    }
+
+    /// The gap-encoded payload bytes (the `.gcsr` v2 payload section).
+    pub(crate) fn payload(&self) -> &[u8] {
+        &self.payload
+    }
+
+    /// The per-vertex index (the `.gcsr` v2 index section).
+    pub(crate) fn index(&self) -> &NbrIndex {
+        &self.index
+    }
+
+    /// Whether this graph was relabeled by a locality ordering before
+    /// encoding (recorded in the `.gcsr` v2 header flags).
+    pub fn is_reordered(&self) -> bool {
+        self.reordered
+    }
+
+    /// Decompresses back to plain CSR in two linear passes: the
+    /// offsets come straight from the index walk, the adjacency is
+    /// decoded once into a single preallocated buffer — no per-vertex
+    /// collection.
     pub fn to_csr(&self) -> CsrGraph {
         let n = self.num_vertices();
         let mut offsets = Vec::with_capacity(n + 1);
         offsets.push(0usize);
-        let mut neighbors = Vec::with_capacity(self.arcs);
-        for v in 0..n as NodeId {
-            neighbors.extend(self.neighbors(v));
+        let mut neighbors: Vec<NodeId> = Vec::with_capacity(self.arcs);
+        self.index.for_each(|_, start, end, degree| {
+            let mut section = &self.payload[start..end];
+            gap::decode_append(&mut section, degree, &mut neighbors).expect("validated payload");
             offsets.push(neighbors.len());
-        }
+        });
         CsrGraph::from_parts(offsets, neighbors)
     }
 
-    /// Decodes the neighborhood of `v` into a vector.
-    pub fn neighborhood_vec(&self, v: NodeId) -> Vec<NodeId> {
-        self.neighbors(v).collect()
+    /// Decodes the neighborhood of `v` into `out`, clearing it first.
+    /// Allocation-free once `out`'s capacity has reached the maximum
+    /// degree — the kernel-loop decode path (pair it with a per-worker
+    /// scratch buffer, e.g. `gms-pattern`'s `with_worker_scratch`).
+    #[inline]
+    pub fn decode_into(&self, v: NodeId, out: &mut Vec<NodeId>) {
+        let (start, end, degree) = self.index.locate(v as usize);
+        let consumed =
+            gap::decode_into(&self.payload[start..end], degree, out).expect("validated payload");
+        debug_assert_eq!(consumed, end - start);
     }
 
-    /// Compressed heap bytes (payload + both offset structures).
+    /// Decodes the neighborhood of `v` into a fresh vector.
+    pub fn neighborhood_vec(&self, v: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        self.decode_into(v, &mut out);
+        out
+    }
+
+    /// Compressed heap bytes actually used (payload + index + skip
+    /// samples; lengths, not capacities — the honest bytes-per-edge
+    /// numerator).
     pub fn heap_bytes(&self) -> usize {
-        self.payload.capacity()
-            + self.index.byte_offsets.heap_bytes()
-            + self.index.degree_prefix.heap_bytes()
+        self.payload.len() + self.index.heap_bytes() + self.skips.heap_bytes()
+    }
+
+    /// Achieved compression: heap bytes per stored arc (for an
+    /// undirected graph stored symmetrically, per half-edge). Raw CSR
+    /// costs `4 + 8(n+1)/a` bytes per arc for comparison.
+    pub fn bytes_per_arc(&self) -> f64 {
+        self.heap_bytes() as f64 / self.arcs.max(1) as f64
+    }
+}
+
+/// Gap+varint-encodes one sorted neighborhood, appending to `payload`.
+fn encode_neighborhood(sorted: &[NodeId], payload: &mut Vec<u8>) {
+    debug_assert!(sorted.windows(2).all(|w| w[0] < w[1]));
+    let mut prev = 0u32;
+    for (i, &v) in sorted.iter().enumerate() {
+        let gapv = if i == 0 { v } else { v - prev };
+        varint::encode_u32(gapv, payload);
+        prev = v;
     }
 }
 
 impl Graph for CompressedCsr {
     fn num_vertices(&self) -> usize {
-        self.index.byte_offsets.len()
+        self.index.len()
     }
 
     fn num_arcs(&self) -> usize {
@@ -87,19 +391,65 @@ impl Graph for CompressedCsr {
     }
 
     fn degree(&self, v: NodeId) -> usize {
-        self.index.degree_prefix.degree(v as usize)
+        self.index.locate(v as usize).2
     }
 
     fn neighbors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
-        let (start, end) = self.index.byte_offsets.bounds(v as usize);
-        let count = self.degree(v);
-        gap::GapDecoder::new(&self.payload[start..end], count)
+        let (start, end, degree) = self.index.locate(v as usize);
+        gap::GapDecoder::new(&self.payload[start..end], degree)
     }
 
     fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
-        // Decode-and-scan; gaps must be walked linearly.
-        self.neighbors(u).take_while(|&w| w <= v).any(|w| w == v)
+        probe_edge(&self.index, &self.skips, &self.payload, u, v)
     }
+}
+
+/// The skip-sampled membership probe, shared between [`CompressedCsr`]
+/// and the mmap-served compressed snapshot: jump to the right
+/// `SAMPLE_EVERY`-entry window via the hub samples, then scan with
+/// early exit.
+pub(crate) fn probe_edge(
+    index: &NbrIndex,
+    skips: &SkipIndex,
+    payload: &[u8],
+    u: NodeId,
+    v: NodeId,
+) -> bool {
+    let (start, end, degree) = index.locate(u as usize);
+    let mut cursor = &payload[start..end];
+    let mut skipped = 0usize;
+    let mut acc: Option<u32> = None;
+    if degree >= HUB_MIN_DEGREE {
+        if let Some((values, positions)) = skips.samples_of(u) {
+            // Greatest sample strictly below `v` is the resume
+            // point; an exact sample match is already the answer.
+            let j = values.partition_point(|&x| x < v);
+            if j < values.len() && values[j] == v {
+                return true;
+            }
+            if j > 0 {
+                acc = Some(values[j - 1]);
+                cursor = &payload[start + positions[j - 1] as usize..end];
+                skipped = j * SAMPLE_EVERY;
+            }
+        }
+    }
+    // Scan forward (≤ SAMPLE_EVERY entries when resumed from a
+    // sample: the next sample is ≥ v) with early exit.
+    for _ in skipped..degree {
+        let Some(gapv) = varint::decode_u32(&mut cursor) else {
+            return false;
+        };
+        let value = match acc {
+            None => gapv,
+            Some(a) => a + gapv,
+        };
+        if value >= v {
+            return value == v;
+        }
+        acc = Some(value);
+    }
+    false
 }
 
 #[cfg(test)]
@@ -116,28 +466,109 @@ mod tests {
         CsrGraph::from_undirected_edges(200, &edges)
     }
 
+    /// A graph with hub vertices well past the skip-sampling
+    /// threshold (vertex 0 connects to everyone, and a planted-ish
+    /// block keeps mid-degree vertices interesting).
+    fn hubby() -> CsrGraph {
+        let n = 400u32;
+        let mut edges = Vec::new();
+        for v in 1..n {
+            edges.push((0, v));
+            if v % 3 == 0 {
+                edges.push((1, v));
+            }
+            edges.push((v, (v + 13) % n));
+        }
+        CsrGraph::from_undirected_edges(n as usize, &edges)
+    }
+
     #[test]
     fn roundtrip_preserves_graph() {
-        let csr = sample();
-        let compressed = CompressedCsr::from_csr(&csr);
-        assert_eq!(compressed.to_csr(), csr);
-        assert_eq!(compressed.num_vertices(), csr.num_vertices());
-        assert_eq!(compressed.num_arcs(), csr.num_arcs());
+        for csr in [sample(), hubby()] {
+            let compressed = CompressedCsr::from_csr(&csr);
+            assert_eq!(compressed.to_csr(), csr);
+            assert_eq!(compressed.num_vertices(), csr.num_vertices());
+            assert_eq!(compressed.num_arcs(), csr.num_arcs());
+            assert!(!compressed.is_reordered());
+        }
     }
 
     #[test]
     fn access_interface_matches_csr() {
-        let csr = sample();
-        let compressed = CompressedCsr::from_csr(&csr);
-        for v in csr.vertices() {
-            assert_eq!(compressed.degree(v), csr.degree(v));
-            assert_eq!(
-                compressed.neighborhood_vec(v),
-                csr.neighbors_slice(v).to_vec()
-            );
+        for csr in [sample(), hubby()] {
+            let compressed = CompressedCsr::from_csr(&csr);
+            let mut scratch = Vec::new();
+            for v in csr.vertices() {
+                assert_eq!(compressed.degree(v), csr.degree(v));
+                assert_eq!(
+                    compressed.neighborhood_vec(v),
+                    csr.neighbors_slice(v).to_vec()
+                );
+                compressed.decode_into(v, &mut scratch);
+                assert_eq!(scratch.as_slice(), csr.neighbors_slice(v));
+                let streamed: Vec<NodeId> = compressed.neighbors(v).collect();
+                assert_eq!(streamed.as_slice(), csr.neighbors_slice(v));
+            }
         }
-        assert_eq!(compressed.has_edge(0, 1), csr.has_edge(0, 1));
-        assert_eq!(compressed.has_edge(0, 100), csr.has_edge(0, 100));
+    }
+
+    #[test]
+    fn has_edge_agrees_with_csr_including_hubs() {
+        let csr = hubby();
+        let compressed = CompressedCsr::from_csr(&csr);
+        // Exhaustive over a vertex sample, covering hub vertex 0
+        // (degree ~400, several skip windows), the mid hub 1, and
+        // ordinary vertices.
+        for u in [0u32, 1, 2, 57, 200, 399] {
+            for v in 0..csr.num_vertices() as NodeId {
+                assert_eq!(
+                    compressed.has_edge(u, v),
+                    csr.has_edge(u, v),
+                    "has_edge({u}, {v})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn decode_into_is_allocation_free_after_warmup() {
+        let csr = hubby();
+        let compressed = CompressedCsr::from_csr(&csr);
+        let mut scratch = Vec::with_capacity(csr.max_degree());
+        let ptr = scratch.as_ptr();
+        for v in csr.vertices() {
+            compressed.decode_into(v, &mut scratch);
+        }
+        assert_eq!(scratch.as_ptr(), ptr, "scratch buffer must be reused");
+    }
+
+    #[test]
+    fn ordered_compression_shrinks_scrambled_graphs() {
+        // A grid whose IDs were scrambled: terrible gaps raw, tiny
+        // gaps after a BFS-style relabel. Use the inverse of the
+        // scramble as the locality rank (a perfect order here).
+        let grid = gms_gen::grid(30, 30);
+        let scramble = crate::transform::Rank::from_order(
+            &(0..900u32).map(|v| (v * 541) % 900).collect::<Vec<_>>(),
+        );
+        let scrambled = relabel(&grid, &scramble);
+        let plain = CompressedCsr::from_csr(&scrambled);
+        // Invert: rank_of(v) in `scramble` maps new → old position.
+        let unscramble = crate::transform::Rank::from_ranks(
+            (0..900u32).map(|v| (v * 541) % 900).collect::<Vec<_>>(),
+        );
+        let ordered = CompressedCsr::from_csr_ordered(&scrambled, &unscramble);
+        assert!(ordered.is_reordered());
+        assert_eq!(ordered.num_arcs(), plain.num_arcs());
+        assert!(
+            ordered.heap_bytes() < plain.heap_bytes(),
+            "ordered {} vs plain {}",
+            ordered.heap_bytes(),
+            plain.heap_bytes()
+        );
+        // The relabeled isomorph still decodes to a valid CSR with
+        // the same arc count.
+        assert_eq!(ordered.to_csr().num_arcs(), scrambled.num_arcs());
     }
 
     #[test]
@@ -150,6 +581,20 @@ mod tests {
             compressed.heap_bytes(),
             csr.heap_bytes()
         );
+        let per_arc = compressed.bytes_per_arc();
+        assert!(per_arc > 0.0 && per_arc < 4.0, "bytes/arc {per_arc}");
+    }
+
+    #[test]
+    fn heap_bytes_counts_lengths_not_capacities() {
+        let csr = sample();
+        let compressed = CompressedCsr::from_csr(&csr);
+        let expected = compressed.payload.len()
+            + compressed.index.heap_bytes()
+            + compressed.skips.heap_bytes();
+        assert_eq!(compressed.heap_bytes(), expected);
+        // The build shrinks the payload, so len == capacity.
+        assert_eq!(compressed.payload.len(), compressed.payload.capacity());
     }
 
     #[test]
@@ -159,5 +604,9 @@ mod tests {
         assert_eq!(compressed.to_csr(), csr);
         assert_eq!(compressed.degree(3), 0);
         assert!(!compressed.has_edge(0, 1));
+        let zero = CsrGraph::from_undirected_edges(0, &[]);
+        let compressed = CompressedCsr::from_csr(&zero);
+        assert_eq!(compressed.num_vertices(), 0);
+        assert_eq!(compressed.to_csr(), zero);
     }
 }

@@ -20,15 +20,18 @@
 //!
 //! # The `.gcsr` snapshot layout, byte for byte
 //!
+//! Two body versions share the magic and differ in the version field:
+//! **v1** stores the raw CSR arrays, **v2** stores a gap+varint
+//! compressed body (see [`snapshot`] for the v2 section internals).
 //! All integers are **little-endian**. With `n` vertices and `a`
 //! stored arcs (`a = 2m` for an undirected graph saved from its
-//! symmetric CSR):
+//! symmetric CSR), a **v1** file is:
 //!
 //! ```text
 //! offset            size       field
 //! ------            ----       -----
 //! 0                 4          magic, the ASCII bytes "GCSR"
-//! 4                 4          format version, u32 (currently 1)
+//! 4                 4          format version, u32 (1)
 //! 8                 8          n  — vertex count, u64
 //! 16                8          a  — stored arc count, u64
 //! 24                8          checksum of the offsets section, u64
@@ -37,16 +40,47 @@
 //! 40 + 8*(n+1)      4*a        targets section: a × u32
 //! ```
 //!
-//! The file ends exactly after the targets section; a shorter *or*
+//! and a **v2** file, with `b = ceil(n/64)` index blocks, `i` index
+//! section bytes and `p` payload section bytes, is:
+//!
+//! ```text
+//! offset            size       field
+//! ------            ----       -----
+//! 0                 4          magic, the ASCII bytes "GCSR"
+//! 4                 4          format version, u32 (2)
+//! 8                 4          payload scheme, u32 (1 = varint gap)
+//! 12                4          flags, u32 (bit 0: locality-reordered)
+//! 16                8          n  — vertex count, u64
+//! 24                8          a  — stored arc count, u64
+//! 32                8          i  — index section length, u64
+//! 40                8          p  — payload section length, u64
+//! 48                8          checksum of the index section, u64
+//! 56                8          checksum of the payload section, u64
+//! 64                i          index section:
+//!                                b × u64   block payload anchors
+//!                                b × u32   block pair-stream starts
+//!                                i - 12b   varint (byte_len, degree)
+//!                                          pairs, one per vertex
+//! 64 + i            p          payload section: gap+varint encoded
+//!                              neighborhoods, concatenated per vertex
+//! ```
+//!
+//! The file ends exactly after its last section; a shorter *or*
 //! longer file is rejected ([`GraphIoCause::SnapshotSize`]). Each
 //! section checksum is FNV-1a 64 ([`section_checksum`]) over the
-//! section's encoded bytes. The offsets must start at 0, be
-//! monotonically non-decreasing, and end at `a`; every target must
-//! be `< n` and every neighborhood sorted ascending — exactly the
-//! [`CsrGraph`](gms_core::CsrGraph) invariants, verified before a graph is handed out.
-//! The header is 40 bytes, so the offsets section starts 8-byte
-//! aligned and the targets section 4-byte aligned: a page-aligned
-//! mmap of the file can serve both sections in place.
+//! section's encoded bytes. A v1 body must satisfy the
+//! [`CsrGraph`](gms_core::CsrGraph) invariants: offsets starting at 0, monotonically
+//! non-decreasing, ending at `a`; every target `< n` and every
+//! neighborhood sorted ascending. A v2 body is decoded end to end at
+//! validation time: every block anchor and block start must agree
+//! with the pair stream, every neighborhood must decode to strictly
+//! ascending in-range vertices in exactly its declared byte length,
+//! and the byte lengths and degrees must sum to `p` and `a`. The v1
+//! header is 40 bytes, so the offsets section starts 8-byte aligned
+//! and the targets section 4-byte aligned: a page-aligned mmap of the
+//! file can serve both sections in place. The v2 payload is a byte
+//! stream with no alignment requirement, served from the mapping
+//! as-is and decompressed per neighborhood on demand.
 //!
 //! # Errors
 //!
@@ -67,8 +101,10 @@ pub use metis::{
     load_metis, load_metis_from, read_metis_header, write_metis, MetisFmt, MetisHeader,
 };
 pub use snapshot::{
-    load_snapshot, read_snapshot, save_snapshot, section_checksum, write_snapshot, MmapSnapshot,
-    GCSR_HEADER_BYTES, GCSR_MAGIC, GCSR_VERSION,
+    load_snapshot, load_snapshot_auto, read_snapshot, read_snapshot_auto, save_snapshot,
+    save_snapshot_compressed, section_checksum, write_snapshot, write_snapshot_compressed,
+    MmapSnapshot, SnapshotGraph, SnapshotNeighbors, GCSR_FLAG_REORDERED, GCSR_HEADER_BYTES,
+    GCSR_MAGIC, GCSR_SCHEME_GAP, GCSR_V2_HEADER_BYTES, GCSR_VERSION, GCSR_VERSION_COMPRESSED,
 };
 
 /// Why a graph read failed (the cause half of [`GraphIoError`]).
@@ -140,7 +176,8 @@ pub enum GraphIoCause {
     },
     /// A section's stored checksum does not match its contents.
     ChecksumMismatch {
-        /// Which section (`"offsets"` or `"targets"`).
+        /// Which section (`"offsets"`/`"targets"` for v1,
+        /// `"index"`/`"payload"` for v2).
         section: &'static str,
         /// Checksum stored in the header.
         stored: u64,
@@ -223,7 +260,8 @@ impl std::fmt::Display for GraphIoError {
             }
             GraphIoCause::UnsupportedVersion { found } => write!(
                 f,
-                "unsupported .gcsr version {found} (this build reads version {GCSR_VERSION})"
+                "unsupported .gcsr version {found} (this build reads versions \
+                 {GCSR_VERSION} and {GCSR_VERSION_COMPRESSED})"
             ),
             GraphIoCause::SnapshotSize { expected, actual } => write!(
                 f,

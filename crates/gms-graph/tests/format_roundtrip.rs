@@ -10,7 +10,8 @@
 //! hubs, bipartite halves) is caught automatically.
 
 use gms_core::{CsrGraph, Edge, Graph, NodeId};
-use gms_graph::io;
+use gms_graph::io::{self, SnapshotGraph};
+use gms_graph::CompressedCsr;
 use proptest::collection::vec;
 use proptest::prelude::*;
 
@@ -42,12 +43,45 @@ fn through_mmap(g: &CsrGraph, tag: &str) -> CsrGraph {
     reloaded
 }
 
-/// The cross-format oracle: every format reproduces `g` exactly.
+fn through_compressed(g: &CsrGraph) -> CsrGraph {
+    CompressedCsr::from_csr(g).to_csr()
+}
+
+/// CsrGraph → CompressedCsr → v2 snapshot bytes → CompressedCsr →
+/// CsrGraph, checking the auto-detecting reader keeps the body
+/// compressed.
+fn through_v2_snapshot(g: &CsrGraph, tag: &str) -> CsrGraph {
+    let mut buf = Vec::new();
+    io::write_snapshot_compressed(&CompressedCsr::from_csr(g), &mut buf).unwrap();
+    match io::read_snapshot_auto(&buf).unwrap() {
+        SnapshotGraph::Compressed(c) => c.to_csr(),
+        SnapshotGraph::Raw(_) => panic!("{tag}: v2 snapshot must reload compressed"),
+    }
+}
+
+fn through_v2_mmap(g: &CsrGraph, tag: &str) -> CsrGraph {
+    let path = std::env::temp_dir().join(format!(
+        "gms_roundtrip_v2_{}_{tag}.gcsr",
+        std::process::id()
+    ));
+    io::save_snapshot_compressed(&CompressedCsr::from_csr(g), &path).unwrap();
+    let snap = io::MmapSnapshot::open(&path).unwrap();
+    assert!(snap.is_compressed(), "{tag}: v2 file must open compressed");
+    let reloaded = snap.to_csr();
+    std::fs::remove_file(&path).ok();
+    reloaded
+}
+
+/// The cross-format oracle: every format — text, raw binary, and
+/// compressed binary — reproduces `g` exactly.
 fn assert_all_formats_roundtrip(g: &CsrGraph, tag: &str) {
     assert_eq!(&through_edge_list(g), g, "{tag}: edge list");
     assert_eq!(&through_metis(g), g, "{tag}: METIS");
     assert_eq!(&through_snapshot(g), g, "{tag}: snapshot (buffered)");
     assert_eq!(&through_mmap(g, tag), g, "{tag}: snapshot (mmap)");
+    assert_eq!(&through_compressed(g), g, "{tag}: compressed CSR");
+    assert_eq!(&through_v2_snapshot(g, tag), g, "{tag}: v2 snapshot");
+    assert_eq!(&through_v2_mmap(g, tag), g, "{tag}: v2 snapshot (mmap)");
 }
 
 proptest! {

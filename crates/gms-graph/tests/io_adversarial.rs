@@ -10,9 +10,10 @@
 use gms_core::{CsrGraph, Graph};
 use gms_graph::io::{
     load_metis_from, load_undirected, load_undirected_from, read_edge_list, read_snapshot,
-    section_checksum, write_snapshot, GraphIoCause, GraphIoError, MmapSnapshot, GCSR_HEADER_BYTES,
-    GCSR_VERSION,
+    section_checksum, write_snapshot, write_snapshot_compressed, GraphIoCause, GraphIoError,
+    MmapSnapshot, GCSR_HEADER_BYTES, GCSR_V2_HEADER_BYTES, GCSR_VERSION, GCSR_VERSION_COMPRESSED,
 };
+use gms_graph::CompressedCsr;
 
 // ---------------------------------------------------------------- edge list
 
@@ -423,6 +424,188 @@ fn snapshot_csr_invariants_hold_even_with_valid_checksums() {
         ),
         "{err:?}"
     );
+}
+
+// ------------------------------------------------------ snapshot v2
+
+fn v2_sample_bytes() -> Vec<u8> {
+    let g = CsrGraph::from_undirected_edges(5, &[(0, 1), (1, 2), (2, 0), (3, 4)]);
+    let mut buf = Vec::new();
+    write_snapshot_compressed(&CompressedCsr::from_csr(&g), &mut buf).unwrap();
+    buf
+}
+
+/// Rewrites both v2 section checksums so corruption *past* the
+/// checksum check can be tested in isolation.
+fn fix_v2_checksums(bytes: &mut [u8]) {
+    let index_len = u64::from_le_bytes(bytes[32..40].try_into().unwrap()) as usize;
+    let payload_start = GCSR_V2_HEADER_BYTES + index_len;
+    let index_sum = section_checksum(&bytes[GCSR_V2_HEADER_BYTES..payload_start]);
+    let payload_sum = section_checksum(&bytes[payload_start..]);
+    bytes[48..56].copy_from_slice(&index_sum.to_le_bytes());
+    bytes[56..64].copy_from_slice(&payload_sum.to_le_bytes());
+}
+
+#[test]
+fn v2_truncation_at_every_section() {
+    let bytes = v2_sample_bytes();
+    let index_len = u64::from_le_bytes(bytes[32..40].try_into().unwrap()) as usize;
+    // Mid-header, mid-index, mid-payload, one byte shy.
+    for cut in [
+        10,
+        GCSR_V2_HEADER_BYTES - 1,
+        GCSR_V2_HEADER_BYTES + index_len / 2,
+        bytes.len() - 3,
+        bytes.len() - 1,
+    ] {
+        let err = snapshot_err(&bytes[..cut], "v2truncated");
+        assert!(
+            matches!(err.cause, GraphIoCause::SnapshotSize { .. }),
+            "cut at {cut}: {err:?}"
+        );
+    }
+}
+
+#[test]
+fn v2_corrupt_sections_fail_their_checksum() {
+    let pristine = v2_sample_bytes();
+    let index_len = u64::from_le_bytes(pristine[32..40].try_into().unwrap()) as usize;
+
+    let mut bytes = pristine.clone();
+    bytes[GCSR_V2_HEADER_BYTES + 1] ^= 0xff; // inside the index
+    let err = snapshot_err(&bytes, "v2index");
+    assert!(matches!(
+        err.cause,
+        GraphIoCause::ChecksumMismatch {
+            section: "index",
+            ..
+        }
+    ));
+
+    let mut bytes = pristine.clone();
+    bytes[GCSR_V2_HEADER_BYTES + index_len + 1] ^= 0x01; // inside the payload
+    let err = snapshot_err(&bytes, "v2payload");
+    assert!(matches!(
+        err.cause,
+        GraphIoCause::ChecksumMismatch {
+            section: "payload",
+            ..
+        }
+    ));
+
+    // Corrupting a stored checksum itself is also a mismatch.
+    let mut bytes = pristine;
+    bytes[50] ^= 0x10;
+    let err = snapshot_err(&bytes, "v2storedsum");
+    assert!(matches!(
+        err.cause,
+        GraphIoCause::ChecksumMismatch {
+            section: "index",
+            ..
+        }
+    ));
+}
+
+#[test]
+fn v2_header_on_a_v1_body_is_rejected() {
+    // Flip a valid v1 file's version field to 2: the reinterpreted
+    // header must fail validation, never serve garbage. (With the v1
+    // geometry, the bytes under the v2 scheme field are the vertex
+    // count — not a defined scheme.)
+    let mut bytes = sample_bytes();
+    bytes[4..8].copy_from_slice(&GCSR_VERSION_COMPRESSED.to_le_bytes());
+    let err = snapshot_err(&bytes, "v2headerv1body");
+    assert!(
+        matches!(
+            err.cause,
+            GraphIoCause::SnapshotFormat { .. } | GraphIoCause::SnapshotSize { .. }
+        ),
+        "{err:?}"
+    );
+
+    // And the reverse: a v1 version field on a v2 body.
+    let mut bytes = v2_sample_bytes();
+    bytes[4..8].copy_from_slice(&GCSR_VERSION.to_le_bytes());
+    let err = snapshot_err(&bytes, "v1headerv2body");
+    assert!(
+        matches!(
+            err.cause,
+            GraphIoCause::SnapshotFormat { .. }
+                | GraphIoCause::SnapshotSize { .. }
+                | GraphIoCause::ChecksumMismatch { .. }
+        ),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn v2_unknown_scheme_and_flags_are_rejected() {
+    let mut bytes = v2_sample_bytes();
+    bytes[8..12].copy_from_slice(&7u32.to_le_bytes());
+    let err = snapshot_err(&bytes, "v2scheme");
+    assert!(matches!(
+        err.cause,
+        GraphIoCause::SnapshotFormat { detail } if detail.contains("scheme")
+    ));
+
+    let mut bytes = v2_sample_bytes();
+    bytes[12..16].copy_from_slice(&0x8000_0000u32.to_le_bytes());
+    let err = snapshot_err(&bytes, "v2flags");
+    assert!(matches!(
+        err.cause,
+        GraphIoCause::SnapshotFormat { detail } if detail.contains("flags")
+    ));
+}
+
+#[test]
+fn v2_structural_corruption_holds_even_with_valid_checksums() {
+    // A payload gap of zero decodes as a duplicate neighbor. In the
+    // sample, vertex 0's neighborhood is [1, 2]: its payload bytes
+    // are the varints [1, 1] — zero the second gap.
+    let pristine = v2_sample_bytes();
+    let index_len = u64::from_le_bytes(pristine[32..40].try_into().unwrap()) as usize;
+    let payload_start = GCSR_V2_HEADER_BYTES + index_len;
+
+    let mut bytes = pristine.clone();
+    bytes[payload_start + 1] = 0;
+    fix_v2_checksums(&mut bytes);
+    let err = snapshot_err(&bytes, "v2duplicate");
+    assert!(
+        matches!(
+            err.cause,
+            GraphIoCause::SnapshotFormat { detail } if detail.contains("sorted")
+        ),
+        "{err:?}"
+    );
+
+    // A gap pushing the prefix sum past n.
+    let mut bytes = pristine.clone();
+    bytes[payload_start + 1] = 0x7f;
+    fix_v2_checksums(&mut bytes);
+    let err = snapshot_err(&bytes, "v2range");
+    assert!(
+        matches!(err.cause, GraphIoCause::VertexOutOfRange { .. }),
+        "{err:?}"
+    );
+
+    // An arc count disagreeing with the degree sum.
+    let mut bytes = pristine.clone();
+    bytes[24..32].copy_from_slice(&1234u64.to_le_bytes());
+    let err = snapshot_err(&bytes, "v2arcs");
+    assert!(
+        matches!(
+            err.cause,
+            GraphIoCause::SnapshotFormat { detail } if detail.contains("arc count")
+        ),
+        "{err:?}"
+    );
+
+    // A corrupt header length implying an absurd file must fail the
+    // size check without any allocation.
+    let mut bytes = pristine;
+    bytes[32..40].copy_from_slice(&u64::MAX.to_le_bytes());
+    let err = snapshot_err(&bytes, "v2hugeindex");
+    assert!(matches!(err.cause, GraphIoCause::SnapshotSize { .. }));
 }
 
 #[test]

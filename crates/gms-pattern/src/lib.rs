@@ -33,4 +33,6 @@ pub use dense::{
 pub use kclique::{
     k_clique_count, k_clique_count_with, k_clique_list, KcConfig, KcOutcome, KcParallel, KcVariant,
 };
-pub use triangles::{triangle_count_node_iterator, triangle_count_rank_merge};
+pub use triangles::{
+    triangle_count_compressed, triangle_count_node_iterator, triangle_count_rank_merge,
+};

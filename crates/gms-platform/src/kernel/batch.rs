@@ -109,8 +109,16 @@ impl BatchRunner {
                         .registry()
                         .get(&request.kernel)
                         .expect("validated kernel name");
-                    let graph = frozen.graph(request.graph)?;
-                    cache.run_or_wait(key, owner, || kernel.run(graph, &request.params))
+                    match frozen.store(request.graph)? {
+                        super::GraphStore::Csr(graph) => {
+                            cache.run_or_wait(key, owner, || kernel.run(graph, &request.params))
+                        }
+                        super::GraphStore::Compressed(graph) => {
+                            cache.run_or_wait(key, owner, || {
+                                kernel.run_compressed(graph, &request.params)
+                            })
+                        }
+                    }
                 })
                 .collect()
         });

@@ -294,6 +294,25 @@ impl Kernel for TriangleKernel {
         };
         Ok(Outcome::new(self.name(), count).with_timings(timings))
     }
+
+    /// Decode-native override: counts triangles directly over the
+    /// compressed neighborhoods through per-worker decode scratch —
+    /// no materialized CSR, no per-vertex allocation. Both `method`
+    /// choices produce the same count, so one compressed path serves
+    /// them.
+    fn run_compressed(
+        &self,
+        graph: &gms_graph::CompressedCsr,
+        _params: &Params,
+    ) -> Result<Outcome, KernelError> {
+        let t = Instant::now();
+        let count = gms_pattern::triangle_count_compressed(graph);
+        let timings = StageTimings {
+            kernel: t.elapsed(),
+            ..StageTimings::default()
+        };
+        Ok(Outcome::new(self.name(), count).with_timings(timings))
+    }
 }
 
 /// k-clique-star listing via (k+1)-cliques (§6.6).

@@ -21,7 +21,6 @@
 use super::{Kernel, KernelError, Outcome, Params};
 use crate::pipeline::StageTimings;
 use gms_core::hash::FxHashMap;
-use gms_core::CsrGraph;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
 
@@ -58,12 +57,16 @@ pub struct CacheKey {
 }
 
 impl CacheKey {
-    /// Builds the key for running `kernel` on `graph` (whose content
-    /// hash is `fingerprint`) with `params`, validating the
-    /// parameters against the kernel's schema on the way.
+    /// Builds the key for running `kernel` on a graph of the given
+    /// CSR dimensions (`vertices` = offsets length = n+1, `arcs` =
+    /// stored arc count) whose content hash is `fingerprint`,
+    /// validating the parameters against the kernel's schema on the
+    /// way. Taking the dimensions rather than the graph lets raw and
+    /// compressed backends of the same content share one key.
     pub fn build(
         kernel: &dyn Kernel,
-        graph: &CsrGraph,
+        vertices: usize,
+        arcs: usize,
         fingerprint: u64,
         params: &Params,
     ) -> Result<Self, KernelError> {
@@ -71,8 +74,8 @@ impl CacheKey {
         params.validate(kernel.name(), &specs)?;
         Ok(Self {
             fingerprint,
-            vertices: graph.offsets().len(),
-            arcs: graph.adjacency().len(),
+            vertices,
+            arcs,
             kernel: kernel.name(),
             params: params.canonical(&specs),
         })

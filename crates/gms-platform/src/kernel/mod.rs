@@ -49,9 +49,13 @@ pub use cache::{next_owner, CacheKey, CacheStats, ResultCache};
 pub use outcome::{Outcome, Payload};
 pub use params::{ParamSpec, Params, Value, ValueKind};
 pub use registry::Registry;
-pub use session::{fingerprint, GraphHandle, Session, SessionStats};
+pub use session::{
+    fingerprint, fingerprint_graph, GraphHandle, GraphStore, Session, SessionStats,
+    SnapshotCompression,
+};
 
 use gms_core::CsrGraph;
+use gms_graph::CompressedCsr;
 
 /// The kernel families of the GMS specification (§4.1), plus the
 /// reorderings of the preprocessing stage (③) exposed as runnable
@@ -118,6 +122,27 @@ pub trait Kernel: Send + Sync {
     /// values through the typed accessors with the same defaults the
     /// schema declares.
     fn run(&self, graph: &CsrGraph, params: &Params) -> Result<Outcome, KernelError>;
+
+    /// Runs the kernel on a gap-compressed graph.
+    ///
+    /// The default decodes the whole graph once and delegates to
+    /// [`Kernel::run`], charging the decode to the `convert` stage of
+    /// the outcome's timings — always correct, never resident-memory
+    /// free. Kernels with a decode-native hot path (e.g. triangle
+    /// counting) override this to mine the compressed representation
+    /// directly.
+    fn run_compressed(
+        &self,
+        graph: &CompressedCsr,
+        params: &Params,
+    ) -> Result<Outcome, KernelError> {
+        let start = std::time::Instant::now();
+        let csr = graph.to_csr();
+        let decode = start.elapsed();
+        let mut outcome = self.run(&csr, params)?;
+        outcome.timings.convert += decode;
+        Ok(outcome)
+    }
 }
 
 /// Everything that can go wrong between a request and an [`Outcome`].
@@ -143,6 +168,9 @@ pub enum KernelError {
     },
     /// A [`GraphHandle`] that does not belong to the session.
     InvalidHandle,
+    /// A raw-CSR view was requested from a handle whose graph is
+    /// resident only in compressed form.
+    NotMaterialized,
 }
 
 impl std::fmt::Display for KernelError {
@@ -161,6 +189,9 @@ impl std::fmt::Display for KernelError {
                 "bad parameter {param:?} for kernel {kernel:?}: {message}"
             ),
             KernelError::InvalidHandle => write!(f, "graph handle not owned by this session"),
+            KernelError::NotMaterialized => {
+                write!(f, "graph is stored compressed; no raw CSR view exists")
+            }
         }
     }
 }

@@ -13,8 +13,9 @@
 use super::cache::{next_owner, CacheKey, CacheStats, ResultCache};
 use super::{KernelError, Outcome, Params, Registry};
 use gms_core::hash::FxHasher;
-use gms_core::CsrGraph;
-use gms_graph::io::GraphIoError;
+use gms_core::{CsrGraph, Graph, NodeId};
+use gms_graph::io::{GraphIoError, SnapshotGraph};
+use gms_graph::CompressedCsr;
 use std::hash::Hasher;
 use std::io::BufRead;
 use std::path::Path;
@@ -41,6 +42,118 @@ pub fn fingerprint(graph: &CsrGraph) -> u64 {
     h.finish()
 }
 
+/// [`fingerprint`] generalized to any [`Graph`] implementation. Feeds
+/// the hasher the exact byte sequence [`fingerprint`] derives from
+/// the CSR arrays — the virtual offsets are the running degree prefix
+/// sums — so a [`CompressedCsr`] fingerprints identically to the raw
+/// CSR it encodes, and a kernel outcome computed on either backend is
+/// served from the cache to both.
+pub fn fingerprint_graph<G: Graph>(graph: &G) -> u64 {
+    let n = graph.num_vertices();
+    let mut h = FxHasher::default();
+    h.write_usize(n + 1);
+    let mut offset = 0usize;
+    h.write_usize(offset);
+    for v in 0..n as NodeId {
+        offset += graph.degree(v);
+        h.write_usize(offset);
+    }
+    for v in 0..n as NodeId {
+        for target in graph.neighbors(v) {
+            h.write_u32(target);
+        }
+    }
+    h.finish()
+}
+
+/// How [`Session::save_snapshot_with`] encodes the `.gcsr` body.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SnapshotCompression {
+    /// Version 1: the raw CSR arrays, mmap-servable in place.
+    Raw,
+    /// Version 2: gap+varint compressed neighborhoods in the original
+    /// vertex order — same fingerprint as the raw graph.
+    Gap,
+    /// Version 2 after a BFS locality reordering: smallest on disk,
+    /// but a *relabeled isomorph* — the fingerprint changes, so cached
+    /// outcomes do not carry over (pattern counts do).
+    GapReorder,
+}
+
+/// One resident graph: either a materialized CSR or a gap-compressed
+/// CSR serving kernels directly through its decode hot path. Which
+/// one a handle holds depends on how it was loaded ([`Session::add_graph`]
+/// vs [`Session::add_compressed`] / a v2 snapshot).
+pub enum GraphStore {
+    /// Raw CSR arrays.
+    Csr(CsrGraph),
+    /// Gap+varint compressed adjacency ([`CompressedCsr`]).
+    Compressed(CompressedCsr),
+}
+
+impl GraphStore {
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        match self {
+            GraphStore::Csr(g) => g.num_vertices(),
+            GraphStore::Compressed(c) => c.num_vertices(),
+        }
+    }
+
+    /// Number of stored directed arcs.
+    pub fn num_arcs(&self) -> usize {
+        match self {
+            GraphStore::Csr(g) => g.num_arcs(),
+            GraphStore::Compressed(c) => c.num_arcs(),
+        }
+    }
+
+    /// Heap bytes resident for the adjacency structure.
+    pub fn resident_bytes(&self) -> usize {
+        match self {
+            GraphStore::Csr(g) => {
+                std::mem::size_of_val(g.offsets()) + std::mem::size_of_val(g.adjacency())
+            }
+            GraphStore::Compressed(c) => c.heap_bytes(),
+        }
+    }
+
+    /// Label of the resident representation: `"raw"`, `"gap"`, or
+    /// `"gap+reorder"`.
+    pub fn compression(&self) -> &'static str {
+        match self {
+            GraphStore::Csr(_) => "raw",
+            GraphStore::Compressed(c) if c.is_reordered() => "gap+reorder",
+            GraphStore::Compressed(_) => "gap",
+        }
+    }
+
+    /// The raw CSR view, if this store is materialized.
+    pub fn as_csr(&self) -> Option<&CsrGraph> {
+        match self {
+            GraphStore::Csr(g) => Some(g),
+            GraphStore::Compressed(_) => None,
+        }
+    }
+
+    /// Content fingerprint — identical across the two backends for
+    /// the same adjacency structure.
+    pub fn fingerprint(&self) -> u64 {
+        match self {
+            GraphStore::Csr(g) => fingerprint(g),
+            GraphStore::Compressed(c) => fingerprint_graph(c),
+        }
+    }
+
+    /// Decodes (or clones) into an owned CSR.
+    pub fn to_csr(&self) -> CsrGraph {
+        match self {
+            GraphStore::Csr(g) => g.clone(),
+            GraphStore::Compressed(c) => c.to_csr(),
+        }
+    }
+}
+
 /// This session's own view of the shared cache: how many of *its*
 /// successful requests were answered from cache vs ran a kernel.
 /// (The cache-wide counters, including eviction and cross-session
@@ -61,7 +174,7 @@ pub struct SessionStats {
 /// wraps with a network front end.
 pub struct Session {
     registry: Registry,
-    graphs: Vec<(CsrGraph, u64)>,
+    graphs: Vec<(GraphStore, u64)>,
     cache: Arc<ResultCache>,
     stats: SessionStats,
     owner: u64,
@@ -135,8 +248,20 @@ impl Session {
 
     /// Adopts an in-memory graph; returns its handle.
     pub fn add_graph(&mut self, graph: CsrGraph) -> GraphHandle {
-        let fp = fingerprint(&graph);
-        self.graphs.push((graph, fp));
+        self.add_store(GraphStore::Csr(graph))
+    }
+
+    /// Adopts a gap-compressed graph, served through the decode hot
+    /// path without ever materializing the CSR arrays. Fingerprints
+    /// — and therefore cached outcomes — match the raw CSR of the
+    /// same adjacency structure.
+    pub fn add_compressed(&mut self, graph: CompressedCsr) -> GraphHandle {
+        self.add_store(GraphStore::Compressed(graph))
+    }
+
+    fn add_store(&mut self, store: GraphStore) -> GraphHandle {
+        let fp = store.fingerprint();
+        self.graphs.push((store, fp));
         GraphHandle(self.graphs.len() - 1)
     }
 
@@ -155,7 +280,7 @@ impl Session {
         }
         let old_fp = self.graphs[handle.0].1;
         let fp = fingerprint(&graph);
-        self.graphs[handle.0] = (graph, fp);
+        self.graphs[handle.0] = (GraphStore::Csr(graph), fp);
         if old_fp != fp && !self.graphs.iter().any(|&(_, f)| f == old_fp) {
             self.cache.invalidate_fingerprint(old_fp);
         }
@@ -193,36 +318,89 @@ impl Session {
     }
 
     /// Loads a `.gcsr` binary snapshot through the mmap-backed,
-    /// checksum-validated path. Fingerprints — and therefore cached
-    /// outcomes — match the text-format loads of the same graph.
+    /// checksum-validated path, auto-detecting the body version: a v1
+    /// file materializes the CSR arrays, a v2 file stays compressed
+    /// and serves kernels through the decode hot path. Fingerprints —
+    /// and therefore cached outcomes — match the text-format loads of
+    /// the same graph either way.
     pub fn load_snapshot<P: AsRef<Path>>(&mut self, path: P) -> Result<GraphHandle, GraphIoError> {
-        let graph = gms_graph::io::load_snapshot(path)?;
-        Ok(self.add_graph(graph))
+        let store = match gms_graph::io::load_snapshot_auto(path)? {
+            SnapshotGraph::Raw(g) => GraphStore::Csr(g),
+            SnapshotGraph::Compressed(c) => GraphStore::Compressed(c),
+        };
+        Ok(self.add_store(store))
     }
 
-    /// Saves a loaded graph as a `.gcsr` binary snapshot, the fastest
-    /// format to load it back from. A handle foreign to this session
-    /// reports [`GraphIoCause::Io`](gms_graph::io::GraphIoCause) with
+    /// Saves a loaded graph as a raw (v1) `.gcsr` binary snapshot,
+    /// the fastest format to load it back from. A handle foreign to
+    /// this session reports
+    /// [`GraphIoCause::Io`](gms_graph::io::GraphIoCause) with
     /// `InvalidInput` (nothing is written).
     pub fn save_snapshot<P: AsRef<Path>>(
         &self,
         handle: GraphHandle,
         path: P,
     ) -> Result<(), GraphIoError> {
-        let graph = self.graph(handle).map_err(|_| {
+        self.save_snapshot_with(handle, path, SnapshotCompression::Raw)
+    }
+
+    /// Saves a loaded graph as a `.gcsr` snapshot with an explicit
+    /// body encoding (see [`SnapshotCompression`]). `GapReorder`
+    /// writes a BFS-relabeled isomorph — smaller gaps, different
+    /// fingerprint. A foreign handle reports
+    /// [`GraphIoCause::Io`](gms_graph::io::GraphIoCause) with
+    /// `InvalidInput` (nothing is written).
+    pub fn save_snapshot_with<P: AsRef<Path>>(
+        &self,
+        handle: GraphHandle,
+        path: P,
+        compression: SnapshotCompression,
+    ) -> Result<(), GraphIoError> {
+        let store = self.store(handle).map_err(|_| {
             std::io::Error::new(
                 std::io::ErrorKind::InvalidInput,
                 "graph handle not owned by this session",
             )
         })?;
-        gms_graph::io::save_snapshot(graph, path)
+        match (compression, store) {
+            (SnapshotCompression::Raw, GraphStore::Csr(g)) => gms_graph::io::save_snapshot(g, path),
+            (SnapshotCompression::Raw, GraphStore::Compressed(c)) => {
+                gms_graph::io::save_snapshot(&c.to_csr(), path)
+            }
+            (SnapshotCompression::Gap, GraphStore::Csr(g)) => {
+                gms_graph::io::save_snapshot_compressed(&CompressedCsr::from_csr(g), path)
+            }
+            (SnapshotCompression::Gap, GraphStore::Compressed(c)) => {
+                gms_graph::io::save_snapshot_compressed(c, path)
+            }
+            (SnapshotCompression::GapReorder, store) => {
+                let csr = store.to_csr();
+                let rank = gms_order::bfs_order(&csr, 0);
+                gms_graph::io::save_snapshot_compressed(
+                    &CompressedCsr::from_csr_ordered(&csr, &rank),
+                    path,
+                )
+            }
+        }
     }
 
-    /// The graph behind a handle.
+    /// The raw CSR behind a handle. A handle backed by a compressed
+    /// store has no materialized CSR arrays and reports
+    /// [`KernelError::NotMaterialized`]; use [`Session::store`] to
+    /// reach either backend.
     pub fn graph(&self, handle: GraphHandle) -> Result<&CsrGraph, KernelError> {
+        match self.store(handle)? {
+            GraphStore::Csr(g) => Ok(g),
+            GraphStore::Compressed(_) => Err(KernelError::NotMaterialized),
+        }
+    }
+
+    /// The resident representation behind a handle — raw or
+    /// compressed.
+    pub fn store(&self, handle: GraphHandle) -> Result<&GraphStore, KernelError> {
         self.graphs
             .get(handle.0)
-            .map(|(g, _)| g)
+            .map(|(store, _)| store)
             .ok_or(KernelError::InvalidHandle)
     }
 
@@ -251,7 +429,8 @@ impl Session {
             .get(kernel)
             .ok_or_else(|| KernelError::UnknownKernel(kernel.to_string()))?;
         let fp = self.graph_fingerprint(handle)?;
-        CacheKey::build(k, self.graph(handle)?, fp, params)
+        let store = self.store(handle)?;
+        CacheKey::build(k, store.num_vertices() + 1, store.num_arcs(), fp, params)
     }
 
     /// This session's owner tag on the shared cache (cross-session
@@ -294,8 +473,14 @@ impl Session {
         let result = {
             // Key construction validated the name; unwrap is safe.
             let k = self.registry.get(kernel).expect("validated kernel name");
-            let graph = self.graph(handle)?;
-            cache.run_or_wait(&key, self.owner, || k.run(graph, params))
+            match self.store(handle)? {
+                GraphStore::Csr(graph) => {
+                    cache.run_or_wait(&key, self.owner, || k.run(graph, params))
+                }
+                GraphStore::Compressed(graph) => {
+                    cache.run_or_wait(&key, self.owner, || k.run_compressed(graph, params))
+                }
+            }
         };
         if let Ok(outcome) = &result {
             self.note_outcome(outcome.cached);
@@ -325,6 +510,100 @@ mod tests {
         assert_eq!(fingerprint(&g1), fingerprint(&g2));
         let other = gms_gen::gnp(120, 0.03, 10);
         assert_ne!(fingerprint(&g1), fingerprint(&other));
+    }
+
+    #[test]
+    fn generic_fingerprint_matches_the_csr_fingerprint_byte_for_byte() {
+        for g in [
+            small(),
+            gms_gen::grid(7, 9),
+            CsrGraph::from_undirected_edges(5, &[]),
+        ] {
+            assert_eq!(fingerprint_graph(&g), fingerprint(&g), "CSR backend");
+            let compressed = CompressedCsr::from_csr(&g);
+            assert_eq!(
+                fingerprint_graph(&compressed),
+                fingerprint(&g),
+                "gap backend"
+            );
+        }
+    }
+
+    #[test]
+    fn compressed_store_serves_kernels_and_shares_the_cache_with_raw() {
+        let mut session = Session::new();
+        let raw = session.add_graph(small());
+        let gap = session.add_compressed(CompressedCsr::from_csr(&small()));
+        assert_eq!(
+            session.graph_fingerprint(raw).unwrap(),
+            session.graph_fingerprint(gap).unwrap(),
+            "backends of the same content must fingerprint identically"
+        );
+        assert_eq!(session.store(gap).unwrap().compression(), "gap");
+        assert!(session.store(gap).unwrap().resident_bytes() > 0);
+        assert!(matches!(
+            session.graph(gap),
+            Err(KernelError::NotMaterialized)
+        ));
+
+        // Decode-native kernel on the compressed store…
+        let mined = session.run("triangle-count", gap, &Params::new()).unwrap();
+        assert!(!mined.cached);
+        // …serves the raw handle from the cache, and vice versa.
+        let hit = session.run("triangle-count", raw, &Params::new()).unwrap();
+        assert!(hit.cached, "raw handle must hit the compressed result");
+        assert!(hit.same_result(&mined));
+
+        // A kernel without a decode-native override still runs via
+        // the decode-once default.
+        let bk = session.run("bk", gap, &Params::new()).unwrap();
+        assert!(bk.patterns > 0);
+    }
+
+    #[test]
+    fn snapshot_compression_options_roundtrip_through_load() {
+        let dir = std::env::temp_dir().join(format!("gms_session_v2_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut session = Session::new();
+        let raw = session.add_graph(small());
+        let fp = session.graph_fingerprint(raw).unwrap();
+
+        // Gap keeps the fingerprint; the reload stays compressed.
+        let gap_path = dir.join("gap.gcsr");
+        session
+            .save_snapshot_with(raw, &gap_path, SnapshotCompression::Gap)
+            .unwrap();
+        let gap = session.load_snapshot(&gap_path).unwrap();
+        assert_eq!(session.graph_fingerprint(gap).unwrap(), fp);
+        assert_eq!(session.store(gap).unwrap().compression(), "gap");
+
+        // GapReorder is a relabeled isomorph: same pattern counts,
+        // different fingerprint.
+        let reordered_path = dir.join("reordered.gcsr");
+        session
+            .save_snapshot_with(raw, &reordered_path, SnapshotCompression::GapReorder)
+            .unwrap();
+        let reordered = session.load_snapshot(&reordered_path).unwrap();
+        assert_eq!(
+            session.store(reordered).unwrap().compression(),
+            "gap+reorder"
+        );
+        assert_ne!(session.graph_fingerprint(reordered).unwrap(), fp);
+        let a = session.run("triangle-count", raw, &Params::new()).unwrap();
+        let b = session
+            .run("triangle-count", reordered, &Params::new())
+            .unwrap();
+        assert_eq!(a.patterns, b.patterns);
+
+        // Raw from a compressed store materializes on the way out.
+        let back_path = dir.join("back.gcsr");
+        session
+            .save_snapshot_with(gap, &back_path, SnapshotCompression::Raw)
+            .unwrap();
+        let back = session.load_snapshot(&back_path).unwrap();
+        assert_eq!(session.graph_fingerprint(back).unwrap(), fp);
+        assert_eq!(session.store(back).unwrap().compression(), "raw");
+        std::fs::remove_dir_all(dir).ok();
     }
 
     #[test]

@@ -43,5 +43,7 @@ pub mod server;
 
 pub use client::Client;
 pub use json::{Json, JsonError};
-pub use protocol::{ErrorCode, LoadFormat, LoadSource, LoadSpec, Request, RunSpec, WireError};
+pub use protocol::{
+    ErrorCode, LoadCompression, LoadFormat, LoadSource, LoadSpec, Request, RunSpec, WireError,
+};
 pub use server::{ServeConfig, Server, ServerHandle};

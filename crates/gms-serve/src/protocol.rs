@@ -89,6 +89,7 @@ impl WireError {
             KernelError::UnknownParam { .. } => ErrorCode::UnknownParam,
             KernelError::BadParam { .. } => ErrorCode::BadParam,
             KernelError::InvalidHandle => ErrorCode::UnknownGraph,
+            KernelError::NotMaterialized => ErrorCode::BadRequest,
         };
         Self::new(code, e.to_string())
     }
@@ -126,6 +127,32 @@ impl LoadFormat {
     }
 }
 
+/// How a loaded graph is held resident, per the request's optional
+/// `"compression"` member.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum LoadCompression {
+    /// Raw CSR arrays (the default; also `"compression":"none"`).
+    /// A v2 `.gcsr` file still loads compressed — the file's own
+    /// encoding wins.
+    #[default]
+    None,
+    /// `"compression":"gap"`: recompress into a gap+varint
+    /// [`CompressedCsr`](gms_graph::CompressedCsr) after loading and
+    /// serve kernels through the decode hot path. The fingerprint —
+    /// and therefore the result cache — is unchanged.
+    Gap,
+}
+
+impl LoadCompression {
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "none" => Some(LoadCompression::None),
+            "gap" => Some(LoadCompression::Gap),
+            _ => None,
+        }
+    }
+}
+
 /// A parsed `load` request.
 #[derive(Clone, Debug)]
 pub struct LoadSpec {
@@ -137,6 +164,8 @@ pub struct LoadSpec {
     pub format: LoadFormat,
     /// Where the bytes come from.
     pub source: LoadSource,
+    /// Resident representation to hold the graph in.
+    pub compression: LoadCompression,
 }
 
 /// One kernel invocation inside a `run` or `batch` request.
@@ -271,10 +300,25 @@ fn load_spec(obj: &Json) -> Result<LoadSpec, WireError> {
             ))
         }
     };
+    let compression = match obj.get("compression") {
+        None => LoadCompression::default(),
+        Some(v) => {
+            let text = v.as_str().ok_or_else(|| {
+                WireError::new(ErrorCode::BadRequest, "\"compression\" must be a string")
+            })?;
+            LoadCompression::parse(text).ok_or_else(|| {
+                WireError::new(
+                    ErrorCode::BadRequest,
+                    format!("unknown compression {text:?} (expected none or gap)"),
+                )
+            })?
+        }
+    };
     Ok(LoadSpec {
         name,
         format,
         source,
+        compression,
     })
 }
 
@@ -427,6 +471,10 @@ mod tests {
                 false,
             ),
             (
+                r#"{"op":"load","graph":"g","format":"gcsr","path":"/x","compression":"gap"}"#,
+                false,
+            ),
+            (
                 r#"{"op":"run","kernel":"k-clique","graph":"g","params":{"k":3}}"#,
                 false,
             ),
@@ -477,6 +525,12 @@ mod tests {
         let (err, _) =
             parse_request(r#"{"op":"load","graph":"g","format":"gcsr","data":"x"}"#).unwrap_err();
         assert_eq!(err.code, ErrorCode::BadRequest, "inline gcsr is rejected");
+
+        let (err, _) = parse_request(
+            r#"{"op":"load","graph":"g","format":"metis","path":"p","compression":"zip"}"#,
+        )
+        .unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadRequest, "unknown compression");
 
         let (err, _) =
             parse_request(r#"{"op":"load","graph":"g","format":"metis","path":"a","data":"b"}"#)

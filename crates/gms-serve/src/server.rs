@@ -25,11 +25,12 @@
 use crate::admission::{AdmissionQueue, SubmitError};
 use crate::json::Json;
 use crate::protocol::{
-    error_json, fingerprint_json, outcome_json, with_id, ErrorCode, LoadFormat, LoadSource,
-    LoadSpec, Request, RunSpec, WireError,
+    error_json, fingerprint_json, outcome_json, with_id, ErrorCode, LoadCompression, LoadFormat,
+    LoadSource, LoadSpec, Request, RunSpec, WireError,
 };
-use gms_core::CsrGraph;
-use gms_platform::kernel::{fingerprint, next_owner, CacheKey, Registry, ResultCache};
+use gms_graph::io::SnapshotGraph;
+use gms_graph::CompressedCsr;
+use gms_platform::kernel::{next_owner, CacheKey, GraphStore, Registry, ResultCache};
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -70,7 +71,7 @@ impl Default for ServeConfig {
 }
 
 struct GraphEntry {
-    graph: Arc<CsrGraph>,
+    store: Arc<GraphStore>,
     fingerprint: u64,
     vertices: usize,
     edges: usize,
@@ -455,19 +456,25 @@ fn execute_load(
     spec: &LoadSpec,
 ) -> Result<Vec<(&'static str, Json)>, WireError> {
     let io_err = |e: gms_graph::io::GraphIoError| WireError::new(ErrorCode::Io, e.to_string());
-    let graph = match (&spec.format, &spec.source) {
+    let store = match (&spec.format, &spec.source) {
         (LoadFormat::EdgeList, LoadSource::Path(p)) => {
-            gms_graph::io::load_undirected(p).map_err(io_err)?
+            GraphStore::Csr(gms_graph::io::load_undirected(p).map_err(io_err)?)
         }
         (LoadFormat::EdgeList, LoadSource::Data(d)) => {
-            gms_graph::io::load_undirected_from(d.as_bytes()).map_err(io_err)?
+            GraphStore::Csr(gms_graph::io::load_undirected_from(d.as_bytes()).map_err(io_err)?)
         }
-        (LoadFormat::Metis, LoadSource::Path(p)) => gms_graph::io::load_metis(p).map_err(io_err)?,
+        (LoadFormat::Metis, LoadSource::Path(p)) => {
+            GraphStore::Csr(gms_graph::io::load_metis(p).map_err(io_err)?)
+        }
         (LoadFormat::Metis, LoadSource::Data(d)) => {
-            gms_graph::io::load_metis_from(d.as_bytes()).map_err(io_err)?
+            GraphStore::Csr(gms_graph::io::load_metis_from(d.as_bytes()).map_err(io_err)?)
         }
+        // A v2 snapshot stays compressed; a v1 snapshot materializes.
         (LoadFormat::Gcsr, LoadSource::Path(p)) => {
-            gms_graph::io::load_snapshot(p).map_err(io_err)?
+            match gms_graph::io::load_snapshot_auto(p).map_err(io_err)? {
+                SnapshotGraph::Raw(g) => GraphStore::Csr(g),
+                SnapshotGraph::Compressed(c) => GraphStore::Compressed(c),
+            }
         }
         // The parser rejects inline gcsr before a job is built.
         (LoadFormat::Gcsr, LoadSource::Data(_)) => {
@@ -477,11 +484,21 @@ fn execute_load(
             ))
         }
     };
-    let fp = fingerprint(&graph);
-    let vertices = graph.offsets().len().saturating_sub(1);
-    let edges = graph.adjacency().len() / 2;
+    // `compression: "gap"` recompresses whatever arrived raw; the
+    // fingerprint is order-preserving, so cached outcomes carry over.
+    let store = match (spec.compression, store) {
+        (LoadCompression::Gap, GraphStore::Csr(g)) => {
+            GraphStore::Compressed(CompressedCsr::from_csr(&g))
+        }
+        (_, store) => store,
+    };
+    let fp = store.fingerprint();
+    let vertices = store.num_vertices();
+    let edges = store.num_arcs() / 2;
+    let compression = store.compression();
+    let resident_bytes = store.resident_bytes();
     let entry = GraphEntry {
-        graph: Arc::new(graph),
+        store: Arc::new(store),
         fingerprint: fp,
         vertices,
         edges,
@@ -512,6 +529,8 @@ fn execute_load(
         ("vertices", Json::from(vertices)),
         ("edges", Json::from(edges)),
         ("fingerprint", fingerprint_json(fp)),
+        ("compression", Json::from(compression)),
+        ("resident_bytes", Json::from(resident_bytes)),
         ("replaced", Json::from(replaced)),
         ("invalidated", Json::from(invalidated)),
     ])
@@ -522,7 +541,7 @@ fn execute_run(
     owner: u64,
     spec: &RunSpec,
 ) -> Result<gms_platform::kernel::Outcome, WireError> {
-    let (graph, fp) = {
+    let (store, fp) = {
         let graphs = shared.graphs.read().unwrap_or_else(|e| e.into_inner());
         let entry = graphs.get(&spec.graph).ok_or_else(|| {
             WireError::new(
@@ -530,7 +549,7 @@ fn execute_run(
                 format!("no graph loaded under {:?}", spec.graph),
             )
         })?;
-        (Arc::clone(&entry.graph), entry.fingerprint)
+        (Arc::clone(&entry.store), entry.fingerprint)
     };
     let kernel = shared.registry.get(&spec.kernel).ok_or_else(|| {
         WireError::new(
@@ -538,11 +557,20 @@ fn execute_run(
             format!("unknown kernel {:?}", spec.kernel),
         )
     })?;
-    let key = CacheKey::build(kernel, &graph, fp, &spec.params)
-        .map_err(|e| WireError::from_kernel(&e))?;
+    let key = CacheKey::build(
+        kernel,
+        store.num_vertices() + 1,
+        store.num_arcs(),
+        fp,
+        &spec.params,
+    )
+    .map_err(|e| WireError::from_kernel(&e))?;
     shared
         .cache
-        .run_or_wait(&key, owner, || kernel.run(&graph, &spec.params))
+        .run_or_wait(&key, owner, || match &*store {
+            GraphStore::Csr(graph) => kernel.run(graph, &spec.params),
+            GraphStore::Compressed(graph) => kernel.run_compressed(graph, &spec.params),
+        })
         .map_err(|e| WireError::from_kernel(&e))
 }
 
@@ -616,6 +644,8 @@ fn stats_json(shared: &Arc<Shared>, id: Option<&Json>) -> Json {
                     ("vertices", Json::from(entry.vertices)),
                     ("edges", Json::from(entry.edges)),
                     ("fingerprint", fingerprint_json(entry.fingerprint)),
+                    ("compression", Json::from(entry.store.compression())),
+                    ("resident_bytes", Json::from(entry.store.resident_bytes())),
                 ])
             })
             .collect()

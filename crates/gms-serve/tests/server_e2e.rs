@@ -193,6 +193,85 @@ fn full_protocol_round_trip() {
 }
 
 #[test]
+fn compressed_snapshots_serve_kernels_and_share_the_cache_with_raw() {
+    let (handle, mut client) = start(2, 16);
+    let graph = gms_gen::planted_cliques(200, 0.03, 3, 6, 7).0;
+    let expected = gms_pattern::triangle_count_rank_merge(&graph) as i64;
+
+    // A v2 (gap-compressed) snapshot on disk, loaded by path: the
+    // server keeps it compressed and says so.
+    let path = std::env::temp_dir().join(format!("gms_serve_v2_{}.gcsr", std::process::id()));
+    gms_graph::io::save_snapshot_compressed(&gms_graph::CompressedCsr::from_csr(&graph), &path)
+        .unwrap();
+    let loaded = client
+        .load_path("gz", "gcsr", path.to_str().unwrap())
+        .unwrap();
+    assert_ok(&loaded);
+    assert_eq!(
+        loaded.get("compression").and_then(Json::as_str),
+        Some("gap")
+    );
+    let gap_resident = loaded.get("resident_bytes").and_then(Json::as_i64).unwrap();
+    assert!(gap_resident > 0);
+
+    // A pattern kernel end-to-end over the compressed backend.
+    let mined = client.run("triangle-count", "gz", &[]).unwrap();
+    assert_ok(&mined);
+    assert_eq!(mined.get("patterns"), Some(&Json::Int(expected)));
+    assert_eq!(mined.get("cached"), Some(&Json::Bool(false)));
+
+    // The same graph loaded raw fingerprints identically, so the
+    // compressed run is served from the cache to the raw backend.
+    let raw = client
+        .load_inline("graw", "edge-list", &edge_list(&graph))
+        .unwrap();
+    assert_ok(&raw);
+    assert_eq!(raw.get("compression").and_then(Json::as_str), Some("raw"));
+    assert_eq!(raw.get("fingerprint"), loaded.get("fingerprint"));
+    let hit = client.run("triangle-count", "graw", &[]).unwrap();
+    assert_eq!(hit.get("cached"), Some(&Json::Bool(true)));
+    assert_eq!(hit.get("patterns"), Some(&Json::Int(expected)));
+
+    // `compression: "gap"` on load recompresses a text-format arrival.
+    let recompressed = client
+        .request(&Json::object([
+            ("op", Json::from("load")),
+            ("graph", Json::from("gz2")),
+            ("format", Json::from("edge-list")),
+            ("data", Json::from(edge_list(&graph))),
+            ("compression", Json::from("gap")),
+        ]))
+        .unwrap();
+    assert_ok(&recompressed);
+    assert_eq!(
+        recompressed.get("compression").and_then(Json::as_str),
+        Some("gap")
+    );
+    assert_eq!(recompressed.get("fingerprint"), loaded.get("fingerprint"));
+    let hit2 = client.run("triangle-count", "gz2", &[]).unwrap();
+    assert_eq!(hit2.get("cached"), Some(&Json::Bool(true)));
+
+    // Stats report per-graph residency; the compressed copies are
+    // smaller than the raw CSR.
+    let stats = client.stats().unwrap();
+    let graphs = stats.get("graphs").and_then(Json::as_array).unwrap();
+    let resident = |name: &str| {
+        graphs
+            .iter()
+            .find(|g| g.get("name").and_then(Json::as_str) == Some(name))
+            .and_then(|g| g.get("resident_bytes"))
+            .and_then(Json::as_i64)
+            .unwrap()
+    };
+    assert!(resident("gz") < resident("graw"));
+    assert_eq!(resident("gz"), gap_resident);
+
+    std::fs::remove_file(&path).ok();
+    client.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
 fn reload_invalidates_replaced_content() {
     let (handle, mut client) = start(2, 16);
     let g1 = gms_gen::planted_cliques(80, 0.04, 2, 5, 11).0;

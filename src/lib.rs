@@ -133,7 +133,7 @@ pub mod prelude {
         SetNeighborhoods, SortedVecSet,
     };
     pub use gms_graph::io::{GraphIoCause, GraphIoError};
-    pub use gms_graph::{orient_by_rank, relabel, Rank};
+    pub use gms_graph::{orient_by_rank, relabel, CompressedCsr, Rank};
     pub use gms_learn::SimilarityMeasure;
     pub use gms_match::{IsoMode, IsoOptions, LabeledGraph};
     pub use gms_order::OrderingKind;
@@ -142,9 +142,9 @@ pub mod prelude {
         SubgraphMode,
     };
     pub use gms_platform::kernel::{
-        BatchRequest, BatchRunner, CacheKey, CacheStats, Category, GraphHandle, Kernel,
+        BatchRequest, BatchRunner, CacheKey, CacheStats, Category, GraphHandle, GraphStore, Kernel,
         KernelError, Outcome, ParamSpec, Params, Payload, Registry, ResultCache, Session,
-        SessionStats, Value, ValueKind,
+        SessionStats, SnapshotCompression, Value, ValueKind,
     };
     pub use gms_platform::{GraphStats, Measurement, Pipeline, Throughput};
     pub use gms_serve::{Client, ServeConfig, Server, ServerHandle};

@@ -194,6 +194,62 @@ fn kernel_results_are_format_independent() {
 }
 
 #[test]
+fn compressed_backend_shares_cache_lines_with_the_raw_csr() {
+    // The same content resident two ways — raw CSR arrays and the
+    // gap+varint compressed backend loaded from a v2 .gcsr snapshot —
+    // must fingerprint identically, so a kernel computed on one
+    // representation is a cache hit on the other. This is the
+    // cross-format guarantee of `kernel_results_are_format_independent`
+    // extended across *representations*, not just file formats.
+    let graph = planted_connected();
+    let dir = std::env::temp_dir().join(format!("gms_kernel_api_gcsr2_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let mut session = Session::new();
+    let raw = session.add_graph(graph.clone());
+    session
+        .save_snapshot_with(raw, dir.join("g2.gcsr"), SnapshotCompression::Gap)
+        .unwrap();
+    let compressed = session.load_snapshot(dir.join("g2.gcsr")).unwrap();
+
+    // The v2 snapshot stays compressed in the session...
+    let store = session.store(compressed).unwrap();
+    assert!(
+        matches!(store, GraphStore::Compressed(_)),
+        "v2 snapshot should load into the compressed backend"
+    );
+    assert!(store.resident_bytes() > 0);
+    // ...and gap encoding (no reordering) preserves the fingerprint.
+    assert_eq!(
+        session.graph_fingerprint(compressed).unwrap(),
+        session.graph_fingerprint(raw).unwrap(),
+        "compression must not change the content fingerprint"
+    );
+
+    for kernel in ["triangle-count", "k-clique", "bk-gms-adg"] {
+        let miss = session.run(kernel, raw, &Params::new()).unwrap();
+        assert!(!miss.cached, "{kernel}: fresh session state expected");
+        let hit = session.run(kernel, compressed, &Params::new()).unwrap();
+        assert!(
+            hit.cached,
+            "{kernel}: compressed backend must reuse the raw run's cache line"
+        );
+        assert!(hit.same_result(&miss));
+    }
+
+    // And the other direction: a kernel computed *on* the compressed
+    // backend serves a later raw-handle request.
+    let params = Params::new().with("k", 3);
+    let miss = session.run("k-clique", compressed, &params).unwrap();
+    assert!(!miss.cached);
+    let hit = session.run("k-clique", raw, &params).unwrap();
+    assert!(hit.cached, "raw handle must hit the compressed run's line");
+    assert!(hit.same_result(&miss));
+
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
 fn batch_runner_serves_mixed_requests_through_the_facade() {
     let mut session = Session::new();
     let g = session.add_graph(planted_connected());
