@@ -1,0 +1,115 @@
+//! One backend shard as the router sees it: an address, a capacity
+//! weight, a health flag, and a pool of reusable protocol
+//! connections.
+//!
+//! Pooled requests go through
+//! [`Client::request_idempotent`](gms_serve::Client::request_idempotent),
+//! so a single stale pooled connection (the server restarted, an
+//! idle socket timed out) heals transparently with one reconnect —
+//! while a backend that is actually gone surfaces as an I/O error
+//! the router turns into failover.
+
+use gms_serve::{Client, ClientConfig, Json};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// A registered shard.
+pub struct Backend {
+    /// The shard's address (also its ring identity).
+    pub addr: SocketAddr,
+    /// Ring weight — the backend's worker count from its `health`
+    /// response at registration.
+    pub weight: usize,
+    healthy: AtomicBool,
+    idle: Mutex<Vec<Client>>,
+    config: ClientConfig,
+    /// Requests this shard served through the router.
+    pub served: AtomicU64,
+}
+
+impl Backend {
+    /// Registers a backend: dials it, probes `health` to learn its
+    /// capacity (worker count), and starts with an empty pool.
+    pub fn register(addr: SocketAddr, config: ClientConfig) -> std::io::Result<Self> {
+        let mut client = Client::connect_with(addr, config)?;
+        let health = client.health()?;
+        let weight = health
+            .get("workers")
+            .and_then(Json::as_i64)
+            .unwrap_or(1)
+            .max(1) as usize;
+        let backend = Self {
+            addr,
+            weight,
+            healthy: AtomicBool::new(true),
+            idle: Mutex::new(Vec::new()),
+            config,
+            served: AtomicU64::new(0),
+        };
+        backend.put(client);
+        Ok(backend)
+    }
+
+    /// Whether the router currently considers this shard alive.
+    pub fn healthy(&self) -> bool {
+        self.healthy.load(Ordering::SeqCst)
+    }
+
+    /// Marks the shard dead; returns `true` on the transition (the
+    /// caller that wins the race runs failover exactly once). The
+    /// pool is drained — every pooled connection is to a dead peer.
+    pub fn mark_down(&self) -> bool {
+        let transitioned = self.healthy.swap(false, Ordering::SeqCst);
+        if transitioned {
+            self.idle.lock().unwrap_or_else(|e| e.into_inner()).clear();
+        }
+        transitioned
+    }
+
+    fn take(&self) -> std::io::Result<Client> {
+        if let Some(client) = self.idle.lock().unwrap_or_else(|e| e.into_inner()).pop() {
+            return Ok(client);
+        }
+        Client::connect_with(self.addr, self.config)
+    }
+
+    fn put(&self, client: Client) {
+        self.idle
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(client);
+    }
+
+    /// Sends one idempotent request through a pooled connection. On
+    /// success the connection returns to the pool; on failure it is
+    /// dropped (the caller decides whether the backend is dead).
+    pub fn request(&self, request: &Json) -> std::io::Result<Json> {
+        let mut client = self.take()?;
+        match client.request_idempotent(request) {
+            Ok(response) => {
+                self.served.fetch_add(1, Ordering::Relaxed);
+                self.put(client);
+                Ok(response)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// A liveness probe with its own (short) deadline, independent of
+    /// the pool: `true` iff the backend answers `health` in time.
+    pub fn probe(&self, timeout: Duration) -> bool {
+        let config = ClientConfig {
+            connect_timeout: Some(timeout),
+            read_timeout: Some(timeout),
+        };
+        match Client::connect_with(self.addr, config) {
+            Ok(mut client) => matches!(
+                client.health(),
+                Ok(ref h) if h.get("ok") == Some(&Json::Bool(true))
+            ),
+            Err(_) => false,
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! The `gms-router` binary: front a fleet of `gms-serve` backends
+//! behind one address speaking the same protocol.
+//!
+//! Two ways to name the fleet:
+//!
+//! - `--backends host:port,host:port,...` — join already-running
+//!   backends (the operator owns their lifecycle).
+//! - `--spawn N` — self-managed mode: fork N local `gms-serve`
+//!   children on ephemeral ports, front them, and shut them down
+//!   with the router. The `gms-serve` binary is found next to the
+//!   `gms-router` executable, or via `GMS_ROUTER_SERVE_BIN`.
+//!
+//! Flags (each also readable from the environment):
+//!
+//! | flag | env | default | meaning |
+//! |---|---|---|---|
+//! | `--addr` | `GMS_ROUTER_ADDR_BIND` | `127.0.0.1:0` | bind address (port 0 = ephemeral) |
+//! | `--addr-file` | `GMS_ROUTER_ADDR_FILE` | — | write the bound address to this file |
+//! | `--backends` | `GMS_ROUTER_BACKENDS` | — | comma-separated backend addresses |
+//! | `--spawn` | `GMS_ROUTER_SPAWN` | 0 | fork this many local gms-serve children instead |
+//! | `--spawn-workers` | `GMS_ROUTER_SPAWN_WORKERS` | 2 | `--workers` for each child |
+//! | `--spawn-queue` | `GMS_ROUTER_SPAWN_QUEUE` | 64 | `--queue` for each child |
+
+use gms_router::{Router, RouterConfig};
+use std::path::PathBuf;
+use std::process::{Child, Command};
+use std::time::{Duration, Instant};
+
+fn arg_or_env(args: &[String], flag: &str, env: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+        .or_else(|| std::env::var(env).ok())
+}
+
+fn parse_or<T: std::str::FromStr>(value: Option<String>, default: T, flag: &str) -> T {
+    match value {
+        None => default,
+        Some(text) => text.parse().unwrap_or_else(|_| {
+            eprintln!("gms-router: unparsable value {text:?} for {flag}");
+            std::process::exit(2);
+        }),
+    }
+}
+
+/// Locates the `gms-serve` binary for `--spawn`: the env override,
+/// else a sibling of the running `gms-router` executable.
+fn serve_binary() -> PathBuf {
+    if let Ok(path) = std::env::var("GMS_ROUTER_SERVE_BIN") {
+        return PathBuf::from(path);
+    }
+    let sibling = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(|d| d.join("gms-serve")));
+    match sibling {
+        Some(path) if path.exists() => path,
+        _ => {
+            eprintln!(
+                "gms-router: cannot locate the gms-serve binary for --spawn \
+                 (set GMS_ROUTER_SERVE_BIN or place it next to gms-router)"
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Forks one `gms-serve` child on an ephemeral port and waits for it
+/// to publish its address through `--addr-file`.
+fn spawn_backend(bin: &PathBuf, index: usize, workers: usize, queue: usize) -> (Child, String) {
+    let addr_file = std::env::temp_dir().join(format!(
+        "gms-router-{}-backend-{index}.addr",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&addr_file);
+    let child = Command::new(bin)
+        .args([
+            "--addr",
+            "127.0.0.1:0",
+            "--addr-file",
+            &addr_file.display().to_string(),
+            "--workers",
+            &workers.to_string(),
+            "--queue",
+            &queue.to_string(),
+        ])
+        .spawn()
+        .unwrap_or_else(|e| {
+            eprintln!("gms-router: cannot spawn {}: {e}", bin.display());
+            std::process::exit(1);
+        });
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let addr = loop {
+        if let Ok(text) = std::fs::read_to_string(&addr_file) {
+            let text = text.trim().to_string();
+            if !text.is_empty() {
+                break text;
+            }
+        }
+        if Instant::now() >= deadline {
+            eprintln!("gms-router: backend {index} never published its address");
+            std::process::exit(1);
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    let _ = std::fs::remove_file(&addr_file);
+    (child, addr)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let spawn_count: usize = parse_or(
+        arg_or_env(&args, "--spawn", "GMS_ROUTER_SPAWN"),
+        0,
+        "--spawn",
+    );
+    let backends_flag = arg_or_env(&args, "--backends", "GMS_ROUTER_BACKENDS");
+    let addr_file = arg_or_env(&args, "--addr-file", "GMS_ROUTER_ADDR_FILE");
+
+    let mut children: Vec<Child> = Vec::new();
+    let backends: Vec<String> = if spawn_count > 0 {
+        let bin = serve_binary();
+        let workers = parse_or(
+            arg_or_env(&args, "--spawn-workers", "GMS_ROUTER_SPAWN_WORKERS"),
+            2,
+            "--spawn-workers",
+        );
+        let queue = parse_or(
+            arg_or_env(&args, "--spawn-queue", "GMS_ROUTER_SPAWN_QUEUE"),
+            64,
+            "--spawn-queue",
+        );
+        (0..spawn_count)
+            .map(|index| {
+                let (child, addr) = spawn_backend(&bin, index, workers, queue);
+                children.push(child);
+                addr
+            })
+            .collect()
+    } else {
+        backends_flag
+            .as_deref()
+            .unwrap_or("")
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .collect()
+    };
+    if backends.is_empty() {
+        eprintln!("gms-router: pass --backends host:port,... or --spawn N");
+        std::process::exit(2);
+    }
+
+    let config = RouterConfig {
+        addr: arg_or_env(&args, "--addr", "GMS_ROUTER_ADDR_BIND")
+            .unwrap_or_else(|| "127.0.0.1:0".to_string()),
+        backends,
+        // Spawned children belong to this process: take them down
+        // with the router.
+        shutdown_backends: spawn_count > 0,
+        ..RouterConfig::default()
+    };
+    let handle = Router::start(config).unwrap_or_else(|e| {
+        eprintln!("gms-router: failed to start: {e}");
+        for child in &mut children {
+            let _ = child.kill();
+        }
+        std::process::exit(1);
+    });
+    println!("gms-router listening on {}", handle.addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    if let Some(path) = addr_file {
+        if let Err(e) = std::fs::write(&path, handle.addr().to_string()) {
+            eprintln!("gms-router: cannot write {path:?}: {e}");
+            std::process::exit(1);
+        }
+    }
+    handle.join();
+    for mut child in children {
+        let _ = child.wait();
+    }
+    println!("gms-router: shut down cleanly");
+}

@@ -1,0 +1,179 @@
+//! Capacity-aware consistent hashing: the placement function that
+//! maps a graph fingerprint to the backend shard owning it.
+//!
+//! Each backend contributes `replicas × weight` points on a `u64`
+//! ring, where `weight` is its worker count (read from the backend's
+//! `health` response at registration) — a 4-worker shard attracts
+//! about twice the graphs of a 2-worker shard. A fingerprint's owner
+//! is the first point clockwise from the fingerprint's (remixed)
+//! position. Removing a backend only re-places the graphs it owned;
+//! everything else keeps its shard — the property that makes
+//! failover re-place **one** shard's graphs instead of reshuffling
+//! the fleet.
+//!
+//! The ring is a pure function of the `(name, weight)` membership
+//! set: two routers configured with the same fleet place every
+//! fingerprint identically, so placement survives a router restart
+//! without any persisted state.
+
+/// FNV-1a 64 over arbitrary bytes — the same hash family the
+/// snapshot checksums use; no external crates.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// SplitMix64 finalizer: disperses consecutive point indices and
+/// structured fingerprints uniformly around the ring.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// One member of the ring: a stable identity plus a capacity weight.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RingMember {
+    /// Stable identity the ring hashes (a backend address).
+    pub name: String,
+    /// Capacity weight — ring points are proportional to it.
+    pub weight: usize,
+}
+
+/// A consistent-hash ring over backend indices.
+#[derive(Clone, Debug, Default)]
+pub struct HashRing {
+    /// `(ring position, member index)`, sorted by position.
+    points: Vec<(u64, usize)>,
+}
+
+/// Ring points contributed per unit of member weight. High enough
+/// that load spreads within a few percent of the weight ratio, low
+/// enough that rebuilding on membership change is trivial.
+pub const POINTS_PER_WEIGHT: usize = 32;
+
+impl HashRing {
+    /// Builds a ring over `members`; entries with `None` are absent
+    /// (an unhealthy backend keeps its index but contributes no
+    /// points). Weights are clamped to `1..=64`.
+    pub fn build<'a, I>(members: I) -> Self
+    where
+        I: IntoIterator<Item = Option<&'a RingMember>>,
+    {
+        let mut points = Vec::new();
+        for (index, member) in members.into_iter().enumerate() {
+            let Some(member) = member else { continue };
+            let base = fnv1a(member.name.as_bytes());
+            let count = member.weight.clamp(1, 64) * POINTS_PER_WEIGHT;
+            for point in 0..count {
+                points.push((mix(base ^ (point as u64)), index));
+            }
+        }
+        points.sort_unstable();
+        Self { points }
+    }
+
+    /// The member index owning `key`, or `None` on an empty ring.
+    pub fn owner(&self, key: u64) -> Option<usize> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let position = mix(key);
+        let at = self.points.partition_point(|&(p, _)| p < position);
+        let (_, index) = self.points[at % self.points.len()];
+        Some(index)
+    }
+
+    /// Total points on the ring (for diagnostics).
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the ring has no members.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fleet(weights: &[usize]) -> Vec<RingMember> {
+        weights
+            .iter()
+            .enumerate()
+            .map(|(i, &weight)| RingMember {
+                name: format!("10.0.0.{i}:7000"),
+                weight,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn placement_is_deterministic_across_ring_instances() {
+        let members = fleet(&[2, 2, 4]);
+        let a = HashRing::build(members.iter().map(Some));
+        let b = HashRing::build(members.iter().map(Some));
+        for key in 0..10_000u64 {
+            assert_eq!(a.owner(key), b.owner(key));
+        }
+    }
+
+    #[test]
+    fn removal_only_moves_the_removed_members_keys() {
+        let members = fleet(&[2, 2, 2, 2]);
+        let full = HashRing::build(members.iter().map(Some));
+        let without_2 =
+            HashRing::build(
+                members
+                    .iter()
+                    .enumerate()
+                    .map(|(i, m)| if i == 2 { None } else { Some(m) }),
+            );
+        let mut moved_off_survivors = 0;
+        for key in 0..10_000u64 {
+            let before = full.owner(key).unwrap();
+            let after = without_2.owner(key).unwrap();
+            assert_ne!(after, 2, "removed member still owns key {key}");
+            if before != 2 && before != after {
+                moved_off_survivors += 1;
+            }
+        }
+        assert_eq!(
+            moved_off_survivors, 0,
+            "consistent hashing must only re-place the dead member's keys"
+        );
+    }
+
+    #[test]
+    fn weights_shift_load_proportionally() {
+        let members = fleet(&[2, 2, 8]);
+        let ring = HashRing::build(members.iter().map(Some));
+        let mut owned = [0usize; 3];
+        let keys = 40_000u64;
+        for key in 0..keys {
+            owned[ring.owner(key).unwrap()] += 1;
+        }
+        // Member 2 carries 8/12 of the weight; allow generous slack
+        // around the expected 2/3 share.
+        let share = owned[2] as f64 / keys as f64;
+        assert!(
+            (0.55..0.80).contains(&share),
+            "weight-8 member owns {share:.3} of keys (expected ≈ 0.67): {owned:?}"
+        );
+        assert!(owned[0] > 0 && owned[1] > 0, "light members still serve");
+    }
+
+    #[test]
+    fn empty_ring_owns_nothing() {
+        let ring = HashRing::build(std::iter::empty());
+        assert!(ring.is_empty());
+        assert_eq!(ring.owner(42), None);
+    }
+}

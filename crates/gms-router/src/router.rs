@@ -1,0 +1,1228 @@
+//! The router: a front-end process speaking the same
+//! newline-delimited JSON protocol as `gms-serve`, owning the
+//! fleet-wide graph table and fanning work across N backend shards.
+//!
+//! ```text
+//!                      ┌────────────── gms-router ──────────────┐
+//!  clients ── TCP ────►│ graph table   consistent-hash ring     │
+//!  (same NDJSON        │ name → shard  fingerprint → shard      │
+//!   protocol as        │ spill dir     health probes, failover  │
+//!   gms-serve)         └───┬──────────────┬──────────────┬──────┘
+//!                    pooled│        pooled│        pooled│
+//!                          ▼              ▼              ▼
+//!                    gms-serve 0    gms-serve 1    gms-serve 2
+//!                    (workers,      (workers,      (workers,
+//!                     queue,         queue,         queue,
+//!                     cache)         cache)         cache)
+//! ```
+//!
+//! Placement: `load` is materialized once at the router to compute
+//! the content fingerprint, then forwarded to the shard the
+//! capacity-weighted [`HashRing`] assigns that fingerprint. Inline
+//! graphs are spilled to a router-side `.gcsr` snapshot; path-loaded
+//! graphs keep their client-supplied path — either way every graph
+//! has a reload source, which is what makes failover possible.
+//!
+//! Failover: when a shard stops answering (a pooled request fails
+//! after the client's own one-reconnect retry, or the background
+//! health probe misses), the router marks it down, rebuilds the ring
+//! without it, and re-places **only that shard's graphs** on the
+//! survivors by reloading them from their reload sources. In-flight
+//! requests for those graphs retry once transparently on the new
+//! owner; requests that asked for `"redirect":true` are answered
+//! with a typed `moved` error carrying the new shard's address
+//! instead. A graph with no reachable shard answers
+//! `backend-unavailable` — never a hang.
+
+use crate::backend::Backend;
+use crate::ring::{HashRing, RingMember};
+use gms_serve::protocol::{
+    error_json, error_json_with, parse_request, with_id, ErrorCode, LoadFormat, LoadSource,
+    LoadSpec, Request, RunSpec, WireError,
+};
+use gms_serve::{ClientConfig, Json};
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long a blocked connection read may go unanswered before the
+/// thread re-checks the shutdown flag (same poll the backends use).
+const READ_POLL: Duration = Duration::from_millis(100);
+
+/// Router construction parameters.
+#[derive(Clone, Debug)]
+pub struct RouterConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Backend shard addresses. Every backend must answer a `health`
+    /// probe at startup — a fleet that cannot form does not start.
+    pub backends: Vec<String>,
+    /// Dial deadline for backend connections.
+    pub connect_timeout: Duration,
+    /// Response deadline for backend requests: a dead shard costs at
+    /// most this long before failover kicks in, instead of hanging
+    /// the routing thread forever.
+    pub read_timeout: Duration,
+    /// Background liveness-probe period; `Duration::ZERO` disables
+    /// the probe thread (deaths are then only detected on request).
+    pub probe_interval: Duration,
+    /// Deadline for one liveness probe.
+    pub probe_timeout: Duration,
+    /// Where inline-loaded graphs are spilled as `.gcsr` snapshots
+    /// for failover reloads; default is a per-process temp dir.
+    pub spill_dir: Option<PathBuf>,
+    /// Propagate a router `shutdown` to the backends (the self-managed
+    /// `--spawn` mode owns its children and sets this).
+    pub shutdown_backends: bool,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            backends: Vec::new(),
+            connect_timeout: Duration::from_secs(2),
+            read_timeout: Duration::from_secs(30),
+            probe_interval: Duration::from_millis(250),
+            probe_timeout: Duration::from_secs(1),
+            spill_dir: None,
+            shutdown_backends: false,
+        }
+    }
+}
+
+/// Where a graph can be reloaded from when its shard dies.
+enum ReloadSource {
+    /// Router-side `.gcsr` spill (inline-loaded graphs).
+    Spill(PathBuf),
+    /// The client-supplied path, reloaded in its original format.
+    ClientPath { path: String, format: LoadFormat },
+}
+
+struct GraphRecord {
+    /// Owning backend index; `None` while orphaned (owner died and
+    /// re-placement has not succeeded yet).
+    owner: Option<usize>,
+    fingerprint: u64,
+    vertices: usize,
+    edges: usize,
+    reload: ReloadSource,
+    /// Forward `"compression":"gap"` on reloads.
+    gap: bool,
+}
+
+#[derive(Default)]
+struct Counters {
+    connections: AtomicU64,
+    requests: AtomicU64,
+    malformed: AtomicU64,
+    routed: AtomicU64,
+    failovers: AtomicU64,
+    replaced: AtomicU64,
+    moved: AtomicU64,
+    unavailable: AtomicU64,
+    not_found: AtomicU64,
+}
+
+struct Core {
+    backends: Vec<Backend>,
+    ring: RwLock<HashRing>,
+    graphs: RwLock<BTreeMap<String, GraphRecord>>,
+    /// Serializes failover and re-placement: one thread re-places a
+    /// dead shard's graphs while others wait, then see the healed
+    /// table instead of racing duplicate reloads.
+    placement: Mutex<()>,
+    running: AtomicBool,
+    counters: Counters,
+    addr: SocketAddr,
+    spill_dir: PathBuf,
+    shutdown_backends: bool,
+}
+
+impl Core {
+    fn running(&self) -> bool {
+        self.running.load(Ordering::SeqCst)
+    }
+
+    fn rebuild_ring(&self) {
+        let members: Vec<Option<RingMember>> = self
+            .backends
+            .iter()
+            .map(|b| {
+                b.healthy().then(|| RingMember {
+                    name: b.addr.to_string(),
+                    weight: b.weight,
+                })
+            })
+            .collect();
+        let ring = HashRing::build(members.iter().map(|m| m.as_ref()));
+        *self.ring.write().unwrap_or_else(|e| e.into_inner()) = ring;
+    }
+
+    fn ring_owner(&self, fingerprint: u64) -> Option<usize> {
+        self.ring
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .owner(fingerprint)
+    }
+
+    /// Marks a backend dead and re-places every graph it owned on
+    /// the survivors. Only the thread that wins the down-transition
+    /// does the re-placement; latecomers return immediately and find
+    /// the healed table.
+    fn on_backend_death(&self, index: usize) {
+        if !self.backends[index].mark_down() {
+            return;
+        }
+        self.counters.failovers.fetch_add(1, Ordering::Relaxed);
+        self.rebuild_ring();
+        {
+            let mut graphs = self.graphs.write().unwrap_or_else(|e| e.into_inner());
+            for record in graphs.values_mut() {
+                if record.owner == Some(index) {
+                    record.owner = None;
+                }
+            }
+        }
+        self.heal_orphans();
+    }
+
+    /// Ensures `name` is resident on a healthy shard and returns its
+    /// owner. Takes the placement lock; cheap when already placed.
+    fn ensure_placed(&self, name: &str) -> Option<usize> {
+        {
+            let graphs = self.graphs.read().unwrap_or_else(|e| e.into_inner());
+            let record = graphs.get(name)?;
+            if let Some(owner) = record.owner {
+                if self.backends[owner].healthy() {
+                    return Some(owner);
+                }
+            }
+        }
+        let _guard = self.placement.lock().unwrap_or_else(|e| e.into_inner());
+        self.place_locked(name)
+    }
+
+    /// Re-places one graph (placement lock held): reloads it from
+    /// its reload source onto the ring owner of its fingerprint,
+    /// walking the ring as further shards die. Returns the new owner
+    /// or `None` when the fleet has no shard that can take it.
+    fn place_locked(&self, name: &str) -> Option<usize> {
+        let (fingerprint, load_request, current) = {
+            let graphs = self.graphs.read().unwrap_or_else(|e| e.into_inner());
+            let record = graphs.get(name)?;
+            if let Some(owner) = record.owner {
+                if self.backends[owner].healthy() {
+                    return Some(owner); // another thread healed it first
+                }
+            }
+            (
+                record.fingerprint,
+                reload_request(name, record),
+                record.owner,
+            )
+        };
+        debug_assert!(current.is_none() || !self.backends[current.unwrap()].healthy());
+        loop {
+            let owner = self.ring_owner(fingerprint)?;
+            match self.backends[owner].request(&load_request) {
+                Ok(response) => {
+                    if response.get("ok") != Some(&Json::Bool(true)) {
+                        // The shard is alive but the reload failed
+                        // (spill deleted, client path gone): the
+                        // graph stays orphaned.
+                        return None;
+                    }
+                    let mut graphs = self.graphs.write().unwrap_or_else(|e| e.into_inner());
+                    if let Some(record) = graphs.get_mut(name) {
+                        record.owner = Some(owner);
+                    }
+                    self.counters.replaced.fetch_add(1, Ordering::Relaxed);
+                    return Some(owner);
+                }
+                Err(_) => {
+                    // This shard is dead too: fail it (without
+                    // recursing into re-placement — we hold the
+                    // placement lock) and try the next ring owner.
+                    if self.backends[owner].mark_down() {
+                        self.counters.failovers.fetch_add(1, Ordering::Relaxed);
+                        self.rebuild_ring();
+                        let mut graphs = self.graphs.write().unwrap_or_else(|e| e.into_inner());
+                        for record in graphs.values_mut() {
+                            if record.owner == Some(owner) {
+                                record.owner = None;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Re-places every orphaned graph, looping because
+    /// `place_locked` can mark further shards down (and orphan their
+    /// graphs) mid-pass. Terminates: each pass either places
+    /// something or proves the rest unplaceable right now.
+    fn heal_orphans(&self) {
+        let _guard = self.placement.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            let orphaned: Vec<String> = {
+                let graphs = self.graphs.read().unwrap_or_else(|e| e.into_inner());
+                graphs
+                    .iter()
+                    .filter(|(_, r)| r.owner.is_none())
+                    .map(|(n, _)| n.clone())
+                    .collect()
+            };
+            if orphaned.is_empty() {
+                return;
+            }
+            let mut progress = false;
+            for name in orphaned {
+                progress |= self.place_locked(&name).is_some();
+            }
+            if !progress {
+                return;
+            }
+        }
+    }
+
+    fn begin_shutdown(&self) {
+        if !self.running.swap(false, Ordering::SeqCst) {
+            return;
+        }
+        if self.shutdown_backends {
+            let shutdown = Json::object([("op", Json::from("shutdown"))]);
+            for backend in &self.backends {
+                if backend.healthy() {
+                    let _ = backend.request(&shutdown);
+                }
+            }
+        }
+        // Unblock the acceptor.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// Builds the load request that re-creates `name` on a shard.
+fn reload_request(name: &str, record: &GraphRecord) -> Json {
+    let (format, path) = match &record.reload {
+        ReloadSource::Spill(path) => ("gcsr", path.display().to_string()),
+        ReloadSource::ClientPath { path, format } => {
+            let format = match format {
+                LoadFormat::EdgeList => "edge-list",
+                LoadFormat::Metis => "metis",
+                LoadFormat::Gcsr => "gcsr",
+            };
+            (format, path.clone())
+        }
+    };
+    let mut fields = vec![
+        ("op", Json::from("load")),
+        ("graph", Json::from(name)),
+        ("format", Json::from(format)),
+        ("path", Json::from(path)),
+    ];
+    if record.gap {
+        fields.push(("compression", Json::from("gap")));
+    }
+    Json::object(fields)
+}
+
+/// The raw request minus its `id`: what the router forwards (the
+/// router matches backend responses itself; ids are echoed to the
+/// client by the router alone).
+fn without_id(value: &Json) -> Json {
+    match value {
+        Json::Object(fields) => Json::Object(
+            fields
+                .iter()
+                .filter(|(key, _)| key != "id")
+                .cloned()
+                .collect(),
+        ),
+        other => other.clone(),
+    }
+}
+
+/// Appends router-added members (shard address, id echo) to a
+/// backend response.
+fn annotate(response: Json, shard: SocketAddr, failover: bool, id: Option<&Json>) -> Json {
+    let Json::Object(mut fields) = response else {
+        return response;
+    };
+    fields.push(("shard".to_string(), Json::from(shard.to_string())));
+    if failover {
+        fields.push(("failover".to_string(), Json::Bool(true)));
+    }
+    if let Some(id) = id {
+        fields.push(("id".to_string(), id.clone()));
+    }
+    Json::Object(fields)
+}
+
+fn error_code_of(response: &Json) -> Option<&str> {
+    response
+        .get("error")
+        .and_then(|e| e.get("code"))
+        .and_then(Json::as_str)
+}
+
+/// The routing front end. [`Router::start`] probes every backend,
+/// builds the placement ring, binds, and returns a [`RouterHandle`].
+pub struct Router;
+
+impl Router {
+    /// Starts a router per `config`. Fails on bind errors, an empty
+    /// backend list, or any backend not answering its registration
+    /// probe.
+    pub fn start(config: RouterConfig) -> std::io::Result<RouterHandle> {
+        if config.backends.is_empty() {
+            return Err(std::io::Error::new(
+                ErrorKind::InvalidInput,
+                "a router needs at least one backend",
+            ));
+        }
+        let client_config = ClientConfig {
+            connect_timeout: Some(config.connect_timeout),
+            read_timeout: Some(config.read_timeout),
+        };
+        let mut backends = Vec::new();
+        for text in &config.backends {
+            let addr = text
+                .to_socket_addrs()?
+                .next()
+                .ok_or_else(|| std::io::Error::new(ErrorKind::InvalidInput, "bad backend addr"))?;
+            let backend = Backend::register(addr, client_config).map_err(|e| {
+                std::io::Error::new(e.kind(), format!("backend {text} failed registration: {e}"))
+            })?;
+            backends.push(backend);
+        }
+        let (spill_dir, owns_spill_dir) = match &config.spill_dir {
+            Some(dir) => (dir.clone(), false),
+            None => (
+                std::env::temp_dir().join(format!("gms-router-spill-{}", std::process::id())),
+                true,
+            ),
+        };
+        std::fs::create_dir_all(&spill_dir)?;
+
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let core = Arc::new(Core {
+            backends,
+            ring: RwLock::new(HashRing::default()),
+            graphs: RwLock::new(BTreeMap::new()),
+            placement: Mutex::new(()),
+            running: AtomicBool::new(true),
+            counters: Counters::default(),
+            addr,
+            spill_dir,
+            shutdown_backends: config.shutdown_backends,
+        });
+        core.rebuild_ring();
+
+        let acceptor = {
+            let core = Arc::clone(&core);
+            std::thread::Builder::new()
+                .name("gms-router-acceptor".to_string())
+                .spawn(move || accept_loop(listener, &core))
+                .expect("spawn acceptor thread")
+        };
+        let prober = (config.probe_interval > Duration::ZERO).then(|| {
+            let core = Arc::clone(&core);
+            let interval = config.probe_interval;
+            let timeout = config.probe_timeout;
+            std::thread::Builder::new()
+                .name("gms-router-probe".to_string())
+                .spawn(move || probe_loop(&core, interval, timeout))
+                .expect("spawn probe thread")
+        });
+
+        Ok(RouterHandle {
+            addr,
+            core,
+            acceptor,
+            prober,
+            owns_spill_dir,
+        })
+    }
+}
+
+/// A running router: its bound address plus shutdown/join control.
+pub struct RouterHandle {
+    addr: SocketAddr,
+    core: Arc<Core>,
+    acceptor: JoinHandle<()>,
+    prober: Option<JoinHandle<()>>,
+    owns_spill_dir: bool,
+}
+
+impl RouterHandle {
+    /// The address the router actually bound (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Initiates a graceful shutdown (also triggered by the
+    /// protocol's `shutdown` op). Idempotent.
+    pub fn shutdown(&self) {
+        self.core.begin_shutdown();
+    }
+
+    /// Waits for the router to finish and removes the default spill
+    /// directory (an explicitly configured one is left alone).
+    pub fn join(self) {
+        let _ = self.acceptor.join();
+        if let Some(prober) = self.prober {
+            let _ = prober.join();
+        }
+        if self.owns_spill_dir {
+            let _ = std::fs::remove_dir_all(&self.core.spill_dir);
+        }
+    }
+}
+
+fn probe_loop(core: &Arc<Core>, interval: Duration, timeout: Duration) {
+    while core.running() {
+        std::thread::sleep(interval);
+        for index in 0..core.backends.len() {
+            if !core.running() {
+                return;
+            }
+            let backend = &core.backends[index];
+            if backend.healthy() && !backend.probe(timeout) {
+                core.on_backend_death(index);
+            }
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, core: &Arc<Core>) {
+    let mut connections: Vec<JoinHandle<()>> = Vec::new();
+    while core.running() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if !core.running() {
+                    break;
+                }
+                core.counters.connections.fetch_add(1, Ordering::Relaxed);
+                let core = Arc::clone(core);
+                if let Ok(handle) = std::thread::Builder::new()
+                    .name("gms-router-conn".to_string())
+                    .spawn(move || connection_loop(stream, &core))
+                {
+                    connections.push(handle);
+                }
+                connections.retain(|h| !h.is_finished());
+            }
+            Err(_) => {
+                if !core.running() {
+                    break;
+                }
+            }
+        }
+    }
+    for handle in connections {
+        let _ = handle.join();
+    }
+}
+
+fn connection_loop(stream: TcpStream, core: &Arc<Core>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut send = |response: &Json| {
+        let mut line = response.render();
+        line.push('\n');
+        let _ = writer.write_all(line.as_bytes());
+        let _ = writer.flush();
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        match reader.read_until(b'\n', &mut line) {
+            Ok(0) => break,
+            Ok(_) => {
+                let keep_going = match std::str::from_utf8(&line) {
+                    Ok(text) => {
+                        let trimmed = text.trim();
+                        if trimmed.is_empty() {
+                            true
+                        } else {
+                            let (response, keep_going) = handle_line(trimmed, core);
+                            send(&response);
+                            keep_going
+                        }
+                    }
+                    Err(_) => {
+                        core.counters.malformed.fetch_add(1, Ordering::Relaxed);
+                        send(&error_json(
+                            &WireError::new(ErrorCode::BadJson, "request line is not valid UTF-8"),
+                            None,
+                        ));
+                        true
+                    }
+                };
+                line.clear();
+                if !keep_going {
+                    break;
+                }
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if !core.running() {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Handles one request line; returns the response and whether the
+/// connection stays open.
+fn handle_line(line: &str, core: &Arc<Core>) -> (Json, bool) {
+    let (request, id) = match parse_request(line) {
+        Ok(parsed) => parsed,
+        Err((error, id)) => {
+            core.counters.malformed.fetch_add(1, Ordering::Relaxed);
+            return (error_json(&error, id.as_ref()), true);
+        }
+    };
+    core.counters.requests.fetch_add(1, Ordering::Relaxed);
+    // The raw value re-parsed once: forwarded bodies keep exactly
+    // what the client sent (params, compression, ...), id excluded.
+    let raw = Json::parse(line).expect("parse_request accepted the line");
+    if !core.running() && !matches!(request, Request::Health | Request::Stats) {
+        return (
+            error_json(
+                &WireError::new(ErrorCode::ShuttingDown, "router is shutting down"),
+                id.as_ref(),
+            ),
+            true,
+        );
+    }
+    match request {
+        Request::Health => (health_json(core, id.as_ref()), true),
+        Request::Stats => (stats_json(core, id.as_ref()), true),
+        Request::Kernels => (proxy_kernels(core, id.as_ref()), true),
+        Request::Shutdown => {
+            let ack = with_id(
+                vec![
+                    ("ok", Json::Bool(true)),
+                    ("status", Json::from("shutting-down")),
+                ],
+                id.as_ref(),
+            );
+            core.begin_shutdown();
+            (ack, false)
+        }
+        Request::Load(spec) => {
+            core.counters.routed.fetch_add(1, Ordering::Relaxed);
+            (handle_load(core, &raw, &spec, id.as_ref()), true)
+        }
+        Request::Run(spec) => {
+            core.counters.routed.fetch_add(1, Ordering::Relaxed);
+            let redirect = raw.get("redirect").and_then(Json::as_bool).unwrap_or(false);
+            (handle_run(core, &raw, &spec, redirect, id.as_ref()), true)
+        }
+        Request::Batch(specs) => {
+            core.counters.routed.fetch_add(1, Ordering::Relaxed);
+            (handle_batch(core, &raw, &specs, id.as_ref()), true)
+        }
+    }
+}
+
+/// Materializes the graph once at the router (for the placement
+/// fingerprint and the failover spill), then forwards the original
+/// load to the owning shard.
+fn handle_load(core: &Arc<Core>, raw: &Json, spec: &LoadSpec, id: Option<&Json>) -> Json {
+    let io_error = |e: gms_graph::io::GraphIoError| {
+        error_json(&WireError::new(ErrorCode::Io, e.to_string()), id)
+    };
+    // (fingerprint, vertices, edges)
+    let summary = match (&spec.format, &spec.source) {
+        (LoadFormat::EdgeList, LoadSource::Data(d)) => {
+            match gms_graph::io::load_undirected_from(d.as_bytes()) {
+                Ok(g) => (gms_platform::kernel::fingerprint(&g), Some(g)),
+                Err(e) => return io_error(e),
+            }
+        }
+        (LoadFormat::EdgeList, LoadSource::Path(p)) => match gms_graph::io::load_undirected(p) {
+            Ok(g) => (gms_platform::kernel::fingerprint(&g), Some(g)),
+            Err(e) => return io_error(e),
+        },
+        (LoadFormat::Metis, LoadSource::Data(d)) => {
+            match gms_graph::io::load_metis_from(d.as_bytes()) {
+                Ok(g) => (gms_platform::kernel::fingerprint(&g), Some(g)),
+                Err(e) => return io_error(e),
+            }
+        }
+        (LoadFormat::Metis, LoadSource::Path(p)) => match gms_graph::io::load_metis(p) {
+            Ok(g) => (gms_platform::kernel::fingerprint(&g), Some(g)),
+            Err(e) => return io_error(e),
+        },
+        (LoadFormat::Gcsr, LoadSource::Path(p)) => match gms_graph::io::load_snapshot_auto(p) {
+            Ok(gms_graph::io::SnapshotGraph::Raw(g)) => {
+                (gms_platform::kernel::fingerprint(&g), Some(g))
+            }
+            Ok(gms_graph::io::SnapshotGraph::Compressed(c)) => {
+                use gms_core::Graph as _;
+                let fp = gms_platform::kernel::fingerprint_graph(&c);
+                let record = build_record(core, spec, fp, c.num_vertices(), c.num_arcs() / 2, None);
+                return forward_load(core, raw, spec, record, id);
+            }
+            Err(e) => return io_error(e),
+        },
+        (LoadFormat::Gcsr, LoadSource::Data(_)) => {
+            // parse_request rejects this before routing.
+            return error_json(
+                &WireError::new(ErrorCode::BadRequest, "gcsr loads require a path"),
+                id,
+            );
+        }
+    };
+    let (fingerprint, graph) = summary;
+    let graph = graph.expect("non-compressed loads materialize a CSR");
+    use gms_core::Graph as _;
+    let record = build_record(
+        core,
+        spec,
+        fingerprint,
+        graph.num_vertices(),
+        graph.num_arcs() / 2,
+        Some(&graph),
+    );
+    forward_load(core, raw, spec, record, id)
+}
+
+/// Builds the router-side record for a load: reload source (spilling
+/// inline data to a `.gcsr` snapshot) plus placement metadata.
+fn build_record(
+    core: &Arc<Core>,
+    spec: &LoadSpec,
+    fingerprint: u64,
+    vertices: usize,
+    edges: usize,
+    graph: Option<&gms_core::CsrGraph>,
+) -> Result<GraphRecord, WireError> {
+    let reload = match &spec.source {
+        LoadSource::Path(path) => ReloadSource::ClientPath {
+            path: path.clone(),
+            format: spec.format,
+        },
+        LoadSource::Data(_) => {
+            let graph = graph.expect("inline loads materialize a CSR");
+            let path = core.spill_dir.join(format!("{fingerprint:016x}.gcsr"));
+            if !path.exists() {
+                gms_graph::io::save_snapshot(graph, &path)
+                    .map_err(|e| WireError::new(ErrorCode::Io, format!("spill failed: {e}")))?;
+            }
+            ReloadSource::Spill(path)
+        }
+    };
+    Ok(GraphRecord {
+        owner: None,
+        fingerprint,
+        vertices,
+        edges,
+        reload,
+        gap: matches!(spec.compression, gms_serve::LoadCompression::Gap),
+    })
+}
+
+fn forward_load(
+    core: &Arc<Core>,
+    raw: &Json,
+    spec: &LoadSpec,
+    record: Result<GraphRecord, WireError>,
+    id: Option<&Json>,
+) -> Json {
+    let record = match record {
+        Ok(record) => record,
+        Err(e) => return error_json(&e, id),
+    };
+    let forward = without_id(raw);
+    let mut failover = false;
+    loop {
+        let Some(owner) = core.ring_owner(record.fingerprint) else {
+            core.counters.unavailable.fetch_add(1, Ordering::Relaxed);
+            return error_json(
+                &WireError::new(
+                    ErrorCode::BackendUnavailable,
+                    "no healthy backend can take the graph",
+                ),
+                id,
+            );
+        };
+        match core.backends[owner].request(&forward) {
+            Ok(response) => {
+                if response.get("ok") != Some(&Json::Bool(true)) {
+                    // The shard rejected the load (bad path, parse
+                    // error): forward its typed error untouched.
+                    return annotate(response, core.backends[owner].addr, failover, id);
+                }
+                let replaced = {
+                    let mut graphs = core.graphs.write().unwrap_or_else(|e| e.into_inner());
+                    let mut record = record;
+                    record.owner = Some(owner);
+                    graphs.insert(spec.name.clone(), record).is_some()
+                };
+                // The router's table is the fleet-wide truth for
+                // "replaced": the shard only sees its own slice.
+                let response = match response {
+                    Json::Object(mut fields) => {
+                        for (key, value) in fields.iter_mut() {
+                            if key == "replaced" {
+                                *value = Json::Bool(replaced);
+                            }
+                        }
+                        Json::Object(fields)
+                    }
+                    other => other,
+                };
+                return annotate(response, core.backends[owner].addr, failover, id);
+            }
+            Err(_) => {
+                core.on_backend_death(owner);
+                failover = true;
+            }
+        }
+    }
+}
+
+fn handle_run(
+    core: &Arc<Core>,
+    raw: &Json,
+    spec: &RunSpec,
+    redirect: bool,
+    id: Option<&Json>,
+) -> Json {
+    if !core
+        .graphs
+        .read()
+        .unwrap_or_else(|e| e.into_inner())
+        .contains_key(&spec.graph)
+    {
+        core.counters.not_found.fetch_add(1, Ordering::Relaxed);
+        return error_json(
+            &WireError::new(
+                ErrorCode::GraphNotFound,
+                format!("graph {:?} is not loaded anywhere in the fleet", spec.graph),
+            ),
+            id,
+        );
+    }
+    let forward = without_id(raw);
+    let mut failover = false;
+    loop {
+        let Some(owner) = core.ensure_placed(&spec.graph) else {
+            core.counters.unavailable.fetch_add(1, Ordering::Relaxed);
+            return error_json(
+                &WireError::new(
+                    ErrorCode::BackendUnavailable,
+                    format!("no healthy backend holds graph {:?}", spec.graph),
+                ),
+                id,
+            );
+        };
+        if failover && redirect {
+            // The graph moved while this request was in flight and
+            // the client asked to manage its own retries.
+            core.counters.moved.fetch_add(1, Ordering::Relaxed);
+            return error_json_with(
+                &WireError::new(
+                    ErrorCode::Moved,
+                    format!("graph {:?} moved to a new shard", spec.graph),
+                ),
+                &[("addr", Json::from(core.backends[owner].addr.to_string()))],
+                id,
+            );
+        }
+        match core.backends[owner].request(&forward) {
+            Ok(response) => {
+                if error_code_of(&response) == Some("unknown-graph") {
+                    // Router/shard disagreement (the shard restarted
+                    // or dropped it): heal by reloading, then retry.
+                    if heal_missing(core, &spec.graph, owner) {
+                        continue;
+                    }
+                }
+                return annotate(response, core.backends[owner].addr, failover, id);
+            }
+            Err(_) => {
+                core.on_backend_death(owner);
+                failover = true;
+            }
+        }
+    }
+}
+
+/// Reloads a graph the router believes `owner` holds but the shard
+/// denies. Returns `true` when the reload succeeded (retry the run).
+fn heal_missing(core: &Arc<Core>, name: &str, owner: usize) -> bool {
+    let _guard = core.placement.lock().unwrap_or_else(|e| e.into_inner());
+    let load_request = {
+        let graphs = core.graphs.read().unwrap_or_else(|e| e.into_inner());
+        match graphs.get(name) {
+            Some(record) => reload_request(name, record),
+            None => return false,
+        }
+    };
+    matches!(
+        core.backends[owner].request(&load_request),
+        Ok(ref r) if r.get("ok") == Some(&Json::Bool(true))
+    )
+}
+
+/// Scatter-gather: splits a batch by graph ownership, runs the
+/// sub-batches on their shards concurrently, and reassembles the
+/// results in request order. Backend deaths mid-batch trigger
+/// failover and bounded retry rounds — each failed round marks at
+/// least one shard down, so the loop terminates with either results
+/// or typed errors, never a hang.
+fn handle_batch(core: &Arc<Core>, raw: &Json, specs: &[RunSpec], id: Option<&Json>) -> Json {
+    let raw_items: Vec<Json> = raw
+        .get("requests")
+        .and_then(Json::as_array)
+        .map(|items| items.to_vec())
+        .unwrap_or_default();
+    debug_assert_eq!(raw_items.len(), specs.len());
+    let mut results: Vec<Option<Json>> = vec![None; specs.len()];
+    let mut shards_used: Vec<SocketAddr> = Vec::new();
+
+    // Slots still needing execution, grouped fresh each round.
+    let mut pending: Vec<usize> = (0..specs.len()).collect();
+    // Each failed round kills ≥1 backend; one extra round drains the
+    // no-healthy-backends case into typed errors.
+    let max_rounds = core.backends.len() + 1;
+    for _round in 0..max_rounds {
+        if pending.is_empty() {
+            break;
+        }
+        // Resolve owners; unknown / unplaceable graphs answer typed
+        // errors without costing a shard round trip.
+        let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for &slot in &pending {
+            let spec = &specs[slot];
+            let known = core
+                .graphs
+                .read()
+                .unwrap_or_else(|e| e.into_inner())
+                .contains_key(&spec.graph);
+            if !known {
+                core.counters.not_found.fetch_add(1, Ordering::Relaxed);
+                results[slot] = Some(error_json(
+                    &WireError::new(
+                        ErrorCode::GraphNotFound,
+                        format!("graph {:?} is not loaded anywhere in the fleet", spec.graph),
+                    ),
+                    None,
+                ));
+                continue;
+            }
+            match core.ensure_placed(&spec.graph) {
+                Some(owner) => groups.entry(owner).or_default().push(slot),
+                None => {
+                    core.counters.unavailable.fetch_add(1, Ordering::Relaxed);
+                    results[slot] = Some(error_json(
+                        &WireError::new(
+                            ErrorCode::BackendUnavailable,
+                            format!("no healthy backend holds graph {:?}", spec.graph),
+                        ),
+                        None,
+                    ));
+                }
+            }
+        }
+        // Scatter concurrently, one thread per owning shard.
+        let round_results: Vec<(usize, Vec<usize>, std::io::Result<Json>)> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = groups
+                    .into_iter()
+                    .map(|(owner, slots)| {
+                        let sub_request = Json::object([
+                            ("op", Json::from("batch")),
+                            (
+                                "requests",
+                                Json::Array(
+                                    slots.iter().map(|&s| without_id(&raw_items[s])).collect(),
+                                ),
+                            ),
+                        ]);
+                        let core = Arc::clone(core);
+                        scope.spawn(move || {
+                            let outcome = core.backends[owner].request(&sub_request);
+                            (owner, slots, outcome)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+        // Gather: successes fill their slots; failures re-enter the
+        // next round after failover.
+        pending.clear();
+        for (owner, slots, outcome) in round_results {
+            match outcome {
+                Ok(response) => {
+                    let sub_results = response
+                        .get("results")
+                        .and_then(Json::as_array)
+                        .map(|r| r.to_vec())
+                        .unwrap_or_default();
+                    if sub_results.len() != slots.len() {
+                        for &slot in &slots {
+                            results[slot] = Some(error_json(
+                                &WireError::new(
+                                    ErrorCode::BackendUnavailable,
+                                    "shard answered a malformed batch response",
+                                ),
+                                None,
+                            ));
+                        }
+                        continue;
+                    }
+                    if !shards_used.contains(&core.backends[owner].addr) {
+                        shards_used.push(core.backends[owner].addr);
+                    }
+                    for (slot, result) in slots.into_iter().zip(sub_results) {
+                        results[slot] = Some(result);
+                    }
+                }
+                Err(_) => {
+                    core.on_backend_death(owner);
+                    pending.extend(slots);
+                }
+            }
+        }
+    }
+    // Anything still pending after the bounded rounds has no shard.
+    for slot in pending {
+        core.counters.unavailable.fetch_add(1, Ordering::Relaxed);
+        results[slot] = Some(error_json(
+            &WireError::new(ErrorCode::BackendUnavailable, "no healthy backends"),
+            None,
+        ));
+    }
+    with_id(
+        vec![
+            ("ok", Json::Bool(true)),
+            (
+                "results",
+                Json::Array(
+                    results
+                        .into_iter()
+                        .map(|r| r.expect("slot filled"))
+                        .collect(),
+                ),
+            ),
+            ("shards", Json::from(shards_used.len())),
+        ],
+        id,
+    )
+}
+
+fn proxy_kernels(core: &Arc<Core>, id: Option<&Json>) -> Json {
+    let request = Json::object([("op", Json::from("kernels"))]);
+    for (index, backend) in core.backends.iter().enumerate() {
+        if !backend.healthy() {
+            continue;
+        }
+        match backend.request(&request) {
+            Ok(response) => return annotate(response, backend.addr, false, id),
+            Err(_) => core.on_backend_death(index),
+        }
+    }
+    core.counters.unavailable.fetch_add(1, Ordering::Relaxed);
+    error_json(
+        &WireError::new(ErrorCode::BackendUnavailable, "no healthy backends"),
+        id,
+    )
+}
+
+fn health_json(core: &Arc<Core>, id: Option<&Json>) -> Json {
+    let healthy = core.backends.iter().filter(|b| b.healthy()).count();
+    let workers: usize = core
+        .backends
+        .iter()
+        .filter(|b| b.healthy())
+        .map(|b| b.weight)
+        .sum();
+    let graphs = core.graphs.read().unwrap_or_else(|e| e.into_inner()).len();
+    with_id(
+        vec![
+            ("ok", Json::Bool(true)),
+            (
+                "status",
+                Json::from(if core.running() {
+                    "serving"
+                } else {
+                    "shutting-down"
+                }),
+            ),
+            ("role", Json::from("router")),
+            ("addr", Json::from(core.addr.to_string())),
+            ("backends", Json::from(core.backends.len())),
+            ("healthy", Json::from(healthy)),
+            ("workers", Json::from(workers)),
+            ("graphs", Json::from(graphs)),
+        ],
+        id,
+    )
+}
+
+/// Fleet-wide stats: per-backend blocks straight from the shards,
+/// their cache/server counters summed into one fleet aggregate, the
+/// router's own counters, and the authoritative graph table.
+fn stats_json(core: &Arc<Core>, id: Option<&Json>) -> Json {
+    const CACHE_KEYS: &[&str] = &[
+        "hits",
+        "misses",
+        "evictions",
+        "coalesced",
+        "cross_hits",
+        "invalidated",
+        "entries",
+        "capacity",
+    ];
+    const SERVER_KEYS: &[&str] = &[
+        "connections",
+        "requests",
+        "completed",
+        "rejected",
+        "malformed",
+    ];
+    let request = Json::object([("op", Json::from("stats"))]);
+    let mut cache_totals: BTreeMap<&str, i64> = BTreeMap::new();
+    let mut server_totals: BTreeMap<&str, i64> = BTreeMap::new();
+    let mut backend_blocks: Vec<Json> = Vec::new();
+    for (index, backend) in core.backends.iter().enumerate() {
+        let mut fields: Vec<(String, Json)> = vec![
+            ("addr".to_string(), Json::from(backend.addr.to_string())),
+            ("healthy".to_string(), Json::Bool(backend.healthy())),
+            ("weight".to_string(), Json::from(backend.weight)),
+            (
+                "served".to_string(),
+                Json::from(backend.served.load(Ordering::Relaxed)),
+            ),
+        ];
+        if backend.healthy() {
+            match backend.request(&request) {
+                Ok(stats) => {
+                    for (section, keys, totals) in [
+                        ("cache", CACHE_KEYS, &mut cache_totals),
+                        ("server", SERVER_KEYS, &mut server_totals),
+                    ] {
+                        if let Some(block) = stats.get(section) {
+                            for &key in keys {
+                                if let Some(v) = block.get(key).and_then(Json::as_i64) {
+                                    *totals.entry(key).or_insert(0) += v;
+                                }
+                            }
+                            fields.push((section.to_string(), block.clone()));
+                        }
+                    }
+                }
+                Err(_) => core.on_backend_death(index),
+            }
+        }
+        backend_blocks.push(Json::Object(fields));
+    }
+    let totals_json = |keys: &[&str], totals: &BTreeMap<&str, i64>| {
+        Json::Object(
+            keys.iter()
+                .map(|&k| (k.to_string(), Json::from(*totals.get(k).unwrap_or(&0))))
+                .collect(),
+        )
+    };
+    let graphs: Vec<Json> = {
+        let graphs = core.graphs.read().unwrap_or_else(|e| e.into_inner());
+        graphs
+            .iter()
+            .map(|(name, record)| {
+                Json::object([
+                    ("name", Json::from(name.clone())),
+                    (
+                        "shard",
+                        match record.owner {
+                            Some(owner) => Json::from(core.backends[owner].addr.to_string()),
+                            None => Json::Null,
+                        },
+                    ),
+                    (
+                        "fingerprint",
+                        gms_serve::protocol::fingerprint_json(record.fingerprint),
+                    ),
+                    ("vertices", Json::from(record.vertices)),
+                    ("edges", Json::from(record.edges)),
+                ])
+            })
+            .collect()
+    };
+    let counters = &core.counters;
+    let healthy = core.backends.iter().filter(|b| b.healthy()).count();
+    with_id(
+        vec![
+            ("ok", Json::Bool(true)),
+            ("role", Json::from("router")),
+            (
+                "fleet",
+                Json::object([
+                    ("backends", Json::from(core.backends.len())),
+                    ("healthy", Json::from(healthy)),
+                    ("cache", totals_json(CACHE_KEYS, &cache_totals)),
+                    ("server", totals_json(SERVER_KEYS, &server_totals)),
+                ]),
+            ),
+            (
+                "router",
+                Json::object([
+                    (
+                        "connections",
+                        Json::from(counters.connections.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "requests",
+                        Json::from(counters.requests.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "routed",
+                        Json::from(counters.routed.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "malformed",
+                        Json::from(counters.malformed.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "failovers",
+                        Json::from(counters.failovers.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "graphs_replaced",
+                        Json::from(counters.replaced.load(Ordering::Relaxed)),
+                    ),
+                    ("moved", Json::from(counters.moved.load(Ordering::Relaxed))),
+                    (
+                        "unavailable",
+                        Json::from(counters.unavailable.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "not_found",
+                        Json::from(counters.not_found.load(Ordering::Relaxed)),
+                    ),
+                ]),
+            ),
+            ("backends", Json::Array(backend_blocks)),
+            ("graphs", Json::Array(graphs)),
+        ],
+        id,
+    )
+}

@@ -1,0 +1,353 @@
+//! End-to-end routing over real sockets: a router fronting several
+//! in-process `gms-serve` backends, driven through the unchanged
+//! `gms_serve::Client`. The failover tests kill a backend out from
+//! under the router and assert the fleet answers — with the right
+//! pattern counts or the right typed error — instead of hanging.
+
+use gms_serve::{Client, Json, ServeConfig, Server, ServerHandle};
+use std::time::Duration;
+
+use gms_router::{Router, RouterConfig, RouterHandle};
+
+/// Starts `n` backends plus a router fronting them. Background
+/// probing is disabled so tests control exactly when deaths are
+/// discovered (on the request path).
+fn start_fleet(n: usize) -> (Vec<ServerHandle>, RouterHandle) {
+    let backends: Vec<ServerHandle> = (0..n)
+        .map(|_| Server::start(ServeConfig::default()).expect("start backend"))
+        .collect();
+    let router = Router::start(RouterConfig {
+        backends: backends.iter().map(|b| b.addr().to_string()).collect(),
+        probe_interval: Duration::ZERO,
+        read_timeout: Duration::from_secs(10),
+        ..RouterConfig::default()
+    })
+    .expect("start router");
+    (backends, router)
+}
+
+/// Kills one backend: graceful protocol shutdown, then join — after
+/// this its port refuses connections and pooled sockets die.
+fn kill_backend(handle: ServerHandle) {
+    let mut client = Client::connect(handle.addr()).expect("connect to backend");
+    let _ = client.shutdown();
+    handle.join();
+}
+
+fn edge_list_text(graph: &gms_core::CsrGraph) -> String {
+    let mut text = Vec::new();
+    gms_graph::io::write_edge_list(graph, &mut text).expect("render edge list");
+    String::from_utf8(text).expect("edge lists are ASCII")
+}
+
+/// Loads `count` distinct graphs through `client` as g0..g{count-1}.
+fn load_graphs(client: &mut Client, count: usize) {
+    for i in 0..count {
+        let graph = gms_gen::gnp(120 + 10 * i, 0.06, 1000 + i as u64);
+        let response = client
+            .load_inline(&format!("g{i}"), "edge-list", &edge_list_text(&graph))
+            .expect("load round trip");
+        assert_eq!(
+            response.get("ok"),
+            Some(&Json::Bool(true)),
+            "load g{i}: {}",
+            response.render()
+        );
+    }
+}
+
+fn batch_request(count: usize) -> Json {
+    Json::object([
+        ("op", Json::from("batch")),
+        (
+            "requests",
+            Json::Array(
+                (0..count)
+                    .map(|i| {
+                        Json::object([
+                            ("op", Json::from("run")),
+                            ("kernel", Json::from("triangle-count")),
+                            ("graph", Json::from(format!("g{i}"))),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn patterns_of(results: &[Json]) -> Vec<i64> {
+    results
+        .iter()
+        .map(|r| {
+            assert_eq!(r.get("ok"), Some(&Json::Bool(true)), "item: {}", r.render());
+            r.get("patterns").and_then(Json::as_i64).expect("patterns")
+        })
+        .collect()
+}
+
+fn error_code(response: &Json) -> Option<&str> {
+    response
+        .get("error")
+        .and_then(|e| e.get("code"))
+        .and_then(Json::as_str)
+}
+
+/// The shard address currently owning `name`, from router stats.
+fn shard_of(stats: &Json, name: &str) -> String {
+    stats
+        .get("graphs")
+        .and_then(Json::as_array)
+        .expect("graphs table")
+        .iter()
+        .find(|g| g.get("name").and_then(Json::as_str) == Some(name))
+        .and_then(|g| g.get("shard"))
+        .and_then(Json::as_str)
+        .expect("graph has a shard")
+        .to_string()
+}
+
+#[test]
+fn router_answers_match_a_single_backend() {
+    let (backends, router) = start_fleet(2);
+    let mut via_router = Client::connect(router.addr()).expect("connect router");
+    load_graphs(&mut via_router, 4);
+
+    // The same graphs on one standalone backend are the reference.
+    let single = Server::start(ServeConfig::default()).expect("start reference");
+    let mut direct = Client::connect(single.addr()).expect("connect reference");
+    load_graphs(&mut direct, 4);
+
+    for i in 0..4 {
+        let name = format!("g{i}");
+        let routed = via_router
+            .run("triangle-count", &name, &[])
+            .expect("routed run");
+        let reference = direct
+            .run("triangle-count", &name, &[])
+            .expect("direct run");
+        assert_eq!(
+            routed.get("patterns").and_then(Json::as_i64),
+            reference.get("patterns").and_then(Json::as_i64),
+            "{name}: routed answers equal single-backend answers"
+        );
+        // Responses name the shard that served them.
+        let shard = routed.get("shard").and_then(Json::as_str).expect("shard");
+        assert!(
+            backends.iter().any(|b| b.addr().to_string() == shard),
+            "shard {shard} is a fleet member"
+        );
+    }
+
+    kill_backend(single);
+    router.shutdown();
+    router.join();
+    for backend in backends {
+        kill_backend(backend);
+    }
+}
+
+#[test]
+fn batch_scatters_across_shards_and_gathers_in_order() {
+    let (backends, router) = start_fleet(3);
+    let mut client = Client::connect(router.addr()).expect("connect router");
+    let count = 6;
+    load_graphs(&mut client, count);
+
+    let response = client.request(&batch_request(count)).expect("batch");
+    assert_eq!(response.get("ok"), Some(&Json::Bool(true)));
+    let results = response
+        .get("results")
+        .and_then(Json::as_array)
+        .expect("results");
+    assert_eq!(results.len(), count, "one result per request, in order");
+    let patterns = patterns_of(results);
+
+    // Placement is fingerprint-driven: six distinct graphs land on
+    // more than one shard of a three-shard fleet.
+    let shards = response
+        .get("shards")
+        .and_then(Json::as_i64)
+        .expect("shards");
+    assert!(
+        (2..=3).contains(&shards),
+        "batch touched {shards} shards (expected 2..=3)"
+    );
+
+    // The same batch again answers identically (now cache-warm).
+    let again = client.request(&batch_request(count)).expect("batch again");
+    assert_eq!(
+        patterns_of(again.get("results").and_then(Json::as_array).unwrap()),
+        patterns,
+        "batches are deterministic"
+    );
+
+    router.shutdown();
+    router.join();
+    for backend in backends {
+        kill_backend(backend);
+    }
+}
+
+#[test]
+fn backend_killed_mid_batch_fails_over_to_survivors() {
+    let (backends, router) = start_fleet(3);
+    let mut client = Client::connect(router.addr()).expect("connect router");
+    let count = 6;
+    load_graphs(&mut client, count);
+
+    // Reference pass while the whole fleet is up.
+    let before = client.request(&batch_request(count)).expect("warm batch");
+    let expected = patterns_of(before.get("results").and_then(Json::as_array).unwrap());
+
+    // Kill the shard owning g0 — the router has not noticed (probing
+    // is off): the next batch discovers the death mid-flight, when
+    // the scattered sub-batch to the dead shard fails over sockets.
+    let victim_addr = shard_of(&client.stats().expect("stats"), "g0");
+    let mut survivors = Vec::new();
+    for backend in backends {
+        if backend.addr().to_string() == victim_addr {
+            kill_backend(backend);
+        } else {
+            survivors.push(backend);
+        }
+    }
+
+    let after = client
+        .request(&batch_request(count))
+        .expect("failover batch");
+    assert_eq!(
+        after.get("ok"),
+        Some(&Json::Bool(true)),
+        "batch completes despite the dead shard: {}",
+        after.render()
+    );
+    assert_eq!(
+        patterns_of(after.get("results").and_then(Json::as_array).unwrap()),
+        expected,
+        "post-failover pattern counts equal the full-fleet counts"
+    );
+
+    // The router recorded the failover and re-placed the dead
+    // shard's graphs on survivors.
+    let stats = client.stats().expect("stats after failover");
+    let router_block = stats.get("router").expect("router counters");
+    assert!(
+        router_block
+            .get("failovers")
+            .and_then(Json::as_i64)
+            .unwrap_or(0)
+            >= 1,
+        "failover counted"
+    );
+    assert!(
+        router_block
+            .get("graphs_replaced")
+            .and_then(Json::as_i64)
+            .unwrap_or(0)
+            >= 1,
+        "orphaned graphs re-placed"
+    );
+    assert_ne!(
+        shard_of(&stats, "g0"),
+        victim_addr,
+        "g0 moved off the dead shard"
+    );
+
+    router.shutdown();
+    router.join();
+    for backend in survivors {
+        kill_backend(backend);
+    }
+}
+
+#[test]
+fn redirect_clients_get_typed_moved_with_the_new_address() {
+    let (backends, router) = start_fleet(2);
+    let mut client = Client::connect(router.addr()).expect("connect router");
+    load_graphs(&mut client, 1);
+    let warm = client.run("triangle-count", "g0", &[]).expect("warm run");
+    let expected = warm
+        .get("patterns")
+        .and_then(Json::as_i64)
+        .expect("patterns");
+
+    let victim_addr = shard_of(&client.stats().expect("stats"), "g0");
+    let mut survivors = Vec::new();
+    for backend in backends {
+        if backend.addr().to_string() == victim_addr {
+            kill_backend(backend);
+        } else {
+            survivors.push(backend);
+        }
+    }
+
+    // A redirect-aware client is told where the graph went instead
+    // of being transparently retried.
+    let moved = client
+        .request(&Json::object([
+            ("op", Json::from("run")),
+            ("kernel", Json::from("triangle-count")),
+            ("graph", Json::from("g0")),
+            ("redirect", Json::Bool(true)),
+        ]))
+        .expect("moved round trip");
+    assert_eq!(moved.get("ok"), Some(&Json::Bool(false)));
+    assert_eq!(error_code(&moved), Some("moved"), "{}", moved.render());
+    let new_addr = moved
+        .get("error")
+        .and_then(|e| e.get("addr"))
+        .and_then(Json::as_str)
+        .expect("moved carries the new shard address");
+    assert_eq!(new_addr, survivors[0].addr().to_string());
+
+    // Following the hint works: the survivor serves the graph
+    // directly, reloaded from the router's spill.
+    let mut direct = Client::connect(survivors[0].addr()).expect("connect survivor");
+    let served = direct.run("triangle-count", "g0", &[]).expect("direct run");
+    assert_eq!(
+        served.get("patterns").and_then(Json::as_i64),
+        Some(expected)
+    );
+
+    // A plain client sees a transparent failover on the same graph.
+    let plain = client.run("triangle-count", "g0", &[]).expect("plain run");
+    assert_eq!(plain.get("patterns").and_then(Json::as_i64), Some(expected));
+
+    router.shutdown();
+    router.join();
+    for backend in survivors {
+        kill_backend(backend);
+    }
+}
+
+#[test]
+fn fleet_errors_are_typed_never_hangs() {
+    let (backends, router) = start_fleet(1);
+    let mut client = Client::connect(router.addr()).expect("connect router");
+
+    // Unknown graph: typed graph-not-found from the router's own
+    // table, no backend round trip.
+    let missing = client
+        .run("triangle-count", "nope", &[])
+        .expect("round trip");
+    assert_eq!(error_code(&missing), Some("graph-not-found"));
+
+    // Kill the only backend: runs answer backend-unavailable.
+    load_graphs(&mut client, 1);
+    for backend in backends {
+        kill_backend(backend);
+    }
+    let unavailable = client
+        .run("triangle-count", "g0", &[])
+        .expect("round trip, not a hang");
+    assert_eq!(
+        error_code(&unavailable),
+        Some("backend-unavailable"),
+        "{}",
+        unavailable.render()
+    );
+
+    router.shutdown();
+    router.join();
+}

@@ -1,57 +1,174 @@
 //! A small synchronous client for the newline-delimited protocol:
 //! one request in flight per connection, used by the `bench_serve`
-//! load generator, the integration tests, and the facade quick
-//! start.
+//! load generator, the integration tests, the facade quick start,
+//! and — pooled — by the `gms-router` front end.
+//!
+//! Built for reuse inside connection pools: the client remembers its
+//! resolved address, carries configurable connect/read timeouts (a
+//! dead server answers with a timeout error instead of hanging the
+//! calling thread forever), and [`Client::request_idempotent`]
+//! transparently reconnects and retries **once** when a pooled
+//! connection turns out to be broken — the stale-connection case
+//! every pool hits after a server restart.
 
 use crate::json::Json;
-use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
-/// One protocol connection. Each call sends a line and blocks for
-/// the one-line response; drop the client to close the connection.
-pub struct Client {
+/// Connection-behavior knobs, all optional: `None` means block
+/// indefinitely (the pre-pooling behavior).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ClientConfig {
+    /// Give up dialing after this long.
+    pub connect_timeout: Option<Duration>,
+    /// Give up waiting for a response line after this long. The
+    /// failed read surfaces as a `WouldBlock`/`TimedOut` I/O error
+    /// and poisons the connection (the next use reconnects).
+    pub read_timeout: Option<Duration>,
+}
+
+struct Conn {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
 }
 
+/// One protocol connection. Each call sends a line and blocks for
+/// the one-line response; drop the client to close the connection.
+pub struct Client {
+    addr: SocketAddr,
+    config: ClientConfig,
+    conn: Option<Conn>,
+}
+
+/// Whether an I/O failure means the connection itself is unusable
+/// (as opposed to a semantic failure the caller must see).
+fn is_connection_death(kind: ErrorKind) -> bool {
+    matches!(
+        kind,
+        ErrorKind::BrokenPipe
+            | ErrorKind::ConnectionReset
+            | ErrorKind::ConnectionAborted
+            | ErrorKind::ConnectionRefused
+            | ErrorKind::UnexpectedEof
+            | ErrorKind::WouldBlock
+            | ErrorKind::TimedOut
+    )
+}
+
 impl Client {
-    /// Connects to a running server.
+    /// Connects to a running server with default (blocking) timeouts.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
+        Self::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connects with explicit connect/read timeouts.
+    pub fn connect_with<A: ToSocketAddrs>(addr: A, config: ClientConfig) -> std::io::Result<Self> {
+        let addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            std::io::Error::new(ErrorKind::InvalidInput, "address resolved to nothing")
+        })?;
+        let mut client = Self {
+            addr,
+            config,
+            conn: None,
+        };
+        client.reconnect()?;
+        Ok(client)
+    }
+
+    /// The resolved peer address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Replaces the read timeout for subsequent requests.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.config.read_timeout = timeout;
+        if let Some(conn) = &self.conn {
+            conn.writer.set_read_timeout(timeout)?;
+        }
+        Ok(())
+    }
+
+    /// Drops any existing connection and dials a fresh one.
+    pub fn reconnect(&mut self) -> std::io::Result<()> {
+        self.conn = None;
+        let stream = match self.config.connect_timeout {
+            Some(timeout) => TcpStream::connect_timeout(&self.addr, timeout)?,
+            None => TcpStream::connect(self.addr)?,
+        };
         stream.set_nodelay(true)?;
+        stream.set_read_timeout(self.config.read_timeout)?;
         let reader = BufReader::new(stream.try_clone()?);
-        Ok(Self {
+        self.conn = Some(Conn {
             reader,
             writer: stream,
-        })
+        });
+        Ok(())
+    }
+
+    fn round_trip(&mut self, line: &str) -> std::io::Result<Json> {
+        if self.conn.is_none() {
+            self.reconnect()?;
+        }
+        let conn = self.conn.as_mut().expect("reconnect() populated conn");
+        let result = (|| {
+            conn.writer.write_all(line.as_bytes())?;
+            conn.writer.write_all(b"\n")?;
+            conn.writer.flush()?;
+            let mut response = String::new();
+            let n = conn.reader.read_line(&mut response)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
+            }
+            Ok(response)
+        })();
+        match result {
+            Ok(response) => Json::parse(response.trim()).map_err(|e| {
+                std::io::Error::new(ErrorKind::InvalidData, format!("unparsable response: {e}"))
+            }),
+            Err(e) => {
+                // A half-written request or half-read response leaves
+                // the stream desynchronized: poison the connection so
+                // the next use dials fresh.
+                if is_connection_death(e.kind()) {
+                    self.conn = None;
+                }
+                Err(e)
+            }
+        }
     }
 
     /// Sends raw bytes as one line and reads one response line. The
     /// raw entry point exists so tests and load generators can send
     /// deliberately malformed requests.
     pub fn request_raw(&mut self, line: &str) -> std::io::Result<Json> {
-        self.writer.write_all(line.as_bytes())?;
-        self.writer.write_all(b"\n")?;
-        self.writer.flush()?;
-        let mut response = String::new();
-        let n = self.reader.read_line(&mut response)?;
-        if n == 0 {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "server closed the connection",
-            ));
-        }
-        Json::parse(response.trim()).map_err(|e| {
-            std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                format!("unparsable response: {e}"),
-            )
-        })
+        self.round_trip(line)
     }
 
     /// Sends a request value and reads the response.
     pub fn request(&mut self, request: &Json) -> std::io::Result<Json> {
         self.request_raw(&request.render())
+    }
+
+    /// Like [`Client::request`], for requests that are safe to send
+    /// twice (`health`, `stats`, `run` — the result cache makes runs
+    /// repeatable): when the connection turns out to be dead (broken
+    /// pipe, reset, EOF on a pooled connection the server closed, or
+    /// a read timeout), reconnects and retries **once**. A second
+    /// failure propagates — the server really is unreachable.
+    pub fn request_idempotent(&mut self, request: &Json) -> std::io::Result<Json> {
+        let line = request.render();
+        match self.round_trip(&line) {
+            Err(e) if is_connection_death(e.kind()) => {
+                self.reconnect()?;
+                self.round_trip(&line)
+            }
+            other => other,
+        }
     }
 
     /// `{"op":"health"}`.

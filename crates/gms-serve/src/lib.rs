@@ -41,7 +41,7 @@ pub mod json;
 pub mod protocol;
 pub mod server;
 
-pub use client::Client;
+pub use client::{Client, ClientConfig};
 pub use json::{Json, JsonError};
 pub use protocol::{
     ErrorCode, LoadCompression, LoadFormat, LoadSource, LoadSpec, Request, RunSpec, WireError,

@@ -39,6 +39,18 @@ pub enum ErrorCode {
     Io,
     /// The server is shutting down and no longer admits work.
     ShuttingDown,
+    /// Fleet vocabulary: the shard owning the requested graph is
+    /// down and the request could not be served by a survivor.
+    /// Retryable — the router keeps re-placing orphaned graphs.
+    BackendUnavailable,
+    /// Fleet vocabulary: the graph now lives on a different shard;
+    /// the error object carries the new owner under `"addr"`. A
+    /// client talking to the router can simply retry the request.
+    Moved,
+    /// Fleet vocabulary: the graph is not in the fleet-wide table
+    /// (the router-level analog of a single process's
+    /// `unknown-graph`).
+    GraphNotFound,
 }
 
 impl ErrorCode {
@@ -54,6 +66,9 @@ impl ErrorCode {
             ErrorCode::UnknownGraph => "unknown-graph",
             ErrorCode::Io => "io-error",
             ErrorCode::ShuttingDown => "shutting-down",
+            ErrorCode::BackendUnavailable => "backend-unavailable",
+            ErrorCode::Moved => "moved",
+            ErrorCode::GraphNotFound => "graph-not-found",
         }
     }
 }
@@ -380,8 +395,9 @@ pub fn parse_request(line: &str) -> Result<(Request, Option<Json>), (WireError, 
 
 /// Assembles a response object, echoing the request's `id` (when one
 /// was sent) as the last member — the one id-echo implementation
-/// every response goes through.
-pub(crate) fn with_id(mut fields: Vec<(&'static str, Json)>, id: Option<&Json>) -> Json {
+/// every response goes through (public so the `gms-router` front end
+/// composes responses the same way).
+pub fn with_id(mut fields: Vec<(&'static str, Json)>, id: Option<&Json>) -> Json {
     if let Some(id) = id {
         fields.push(("id", id.clone()));
     }
@@ -390,17 +406,21 @@ pub(crate) fn with_id(mut fields: Vec<(&'static str, Json)>, id: Option<&Json>) 
 
 /// Renders a typed error response.
 pub fn error_json(error: &WireError, id: Option<&Json>) -> Json {
+    error_json_with(error, &[], id)
+}
+
+/// Renders a typed error response with extra members inside the
+/// error object — how `moved` carries the new shard under `"addr"`.
+pub fn error_json_with(error: &WireError, extra: &[(&str, Json)], id: Option<&Json>) -> Json {
+    let mut members = vec![
+        ("code", Json::from(error.code.as_str())),
+        ("message", Json::from(error.message.clone())),
+    ];
+    for (key, value) in extra {
+        members.push((key, value.clone()));
+    }
     with_id(
-        vec![
-            ("ok", Json::Bool(false)),
-            (
-                "error",
-                Json::object([
-                    ("code", Json::from(error.code.as_str())),
-                    ("message", Json::from(error.message.clone())),
-                ]),
-            ),
-        ],
+        vec![("ok", Json::Bool(false)), ("error", Json::object(members))],
         id,
     )
 }
@@ -536,6 +556,26 @@ mod tests {
             parse_request(r#"{"op":"load","graph":"g","format":"metis","path":"a","data":"b"}"#)
                 .unwrap_err();
         assert_eq!(err.code, ErrorCode::BadRequest);
+    }
+
+    #[test]
+    fn fleet_error_vocabulary_renders_with_extra_members() {
+        for (code, spelling) in [
+            (ErrorCode::BackendUnavailable, "backend-unavailable"),
+            (ErrorCode::Moved, "moved"),
+            (ErrorCode::GraphNotFound, "graph-not-found"),
+        ] {
+            assert_eq!(code.as_str(), spelling);
+        }
+        let rendered = error_json_with(
+            &WireError::new(ErrorCode::Moved, "graph \"g\" moved"),
+            &[("addr", Json::from("127.0.0.1:7002"))],
+            Some(&Json::Int(9)),
+        );
+        assert_eq!(
+            rendered.render(),
+            r#"{"ok":false,"error":{"code":"moved","message":"graph \"g\" moved","addr":"127.0.0.1:7002"},"id":9}"#
+        );
     }
 
     #[test]

@@ -587,6 +587,7 @@ fn health_json(shared: &Arc<Shared>, id: Option<&Json>) -> Json {
                     "shutting-down"
                 }),
             ),
+            ("addr", Json::from(shared.addr.to_string())),
             ("kernels", Json::from(shared.registry.len())),
             ("graphs", Json::from(graphs.len())),
             ("workers", Json::from(shared.worker_served.len())),

@@ -112,6 +112,18 @@
 //! | [`platform`] | pipeline, metrics, counters, scaling, stats | §4.3, 5.4–5.5 |
 //! | [`platform::kernel`] | unified kernel API: registry, session + shared result cache, batch runner | §5 (service layer) |
 //! | [`serve`] | TCP front end: NDJSON protocol, admission control, concurrent worker sessions | north star |
+//! | [`router`] | fleet front end: consistent-hash sharding over N `serve` backends, scatter-gather batches, failover | north star |
+//!
+//! Scale past one process by putting [`router`] in front of several
+//! [`serve`] backends — same wire protocol, one address:
+//!
+//! ```text
+//!   clients ──► gms-router ──► gms-serve × N
+//!              (placement,    (admission queue,
+//!               scatter-       worker sessions,
+//!               gather,        shared result cache)
+//!               failover)
+//! ```
 
 #![warn(missing_docs)]
 
@@ -124,6 +136,7 @@ pub use gms_opt as opt;
 pub use gms_order as order;
 pub use gms_pattern as pattern;
 pub use gms_platform as platform;
+pub use gms_router as router;
 pub use gms_serve as serve;
 
 /// The most common imports in one place.
@@ -147,5 +160,6 @@ pub mod prelude {
         SessionStats, SnapshotCompression, Value, ValueKind,
     };
     pub use gms_platform::{GraphStats, Measurement, Pipeline, Throughput};
+    pub use gms_router::{Router, RouterConfig, RouterHandle};
     pub use gms_serve::{Client, ServeConfig, Server, ServerHandle};
 }

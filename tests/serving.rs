@@ -229,3 +229,113 @@ fn facade_serves_over_tcp() {
     client.shutdown().unwrap();
     handle.join();
 }
+
+/// Placement is a pure function of (fleet membership, graph
+/// content): the same graph built twice fingerprints identically,
+/// and two independently constructed rings over the same fleet agree
+/// on its owner — so a router restart (or a second router over the
+/// same backends) places every graph where the first one did.
+#[test]
+fn router_placement_is_deterministic() {
+    use gms::router::{HashRing, RingMember};
+
+    let fleet: Vec<RingMember> = (0..4)
+        .map(|i| RingMember {
+            name: format!("10.1.0.{i}:7400"),
+            weight: 2 + i % 3,
+        })
+        .collect();
+    let ring_a = HashRing::build(fleet.iter().map(Some));
+    let ring_b = HashRing::build(fleet.iter().map(Some));
+
+    let fp_a = gms::platform::kernel::fingerprint(&small_graph());
+    let fp_b = gms::platform::kernel::fingerprint(&small_graph());
+    assert_eq!(fp_a, fp_b, "content fingerprints are stable");
+    assert_eq!(
+        ring_a.owner(fp_a),
+        ring_b.owner(fp_b),
+        "identical fleets place identical graphs identically"
+    );
+    // And across many fingerprints, not just this one.
+    for key in 0..5_000u64 {
+        assert_eq!(ring_a.owner(key), ring_b.owner(key));
+    }
+}
+
+/// Fleet-wide `stats` through the router: per-backend counter blocks
+/// sum into the fleet aggregate, and the graph table names a live
+/// shard for every loaded graph.
+#[test]
+fn router_stats_merge_fleet_counters() {
+    let backends: Vec<ServerHandle> = (0..2)
+        .map(|_| Server::start(ServeConfig::default()).unwrap())
+        .collect();
+    let router = Router::start(RouterConfig {
+        backends: backends.iter().map(|b| b.addr().to_string()).collect(),
+        ..RouterConfig::default()
+    })
+    .unwrap();
+    let mut client = Client::connect(router.addr()).unwrap();
+
+    let mut text = Vec::new();
+    gms::graph::io::write_edge_list(&small_graph(), &mut text).unwrap();
+    let text = std::str::from_utf8(&text).unwrap();
+    for name in ["a", "b", "c"] {
+        let loaded = client.load_inline(name, "edge-list", text).unwrap();
+        assert_eq!(loaded.get("ok"), Some(&Json::Bool(true)));
+        let run = client.run("triangle-count", name, &[]).unwrap();
+        assert_eq!(run.get("ok"), Some(&Json::Bool(true)));
+    }
+
+    let stats = client
+        .request(&Json::object([("op", Json::from("stats"))]))
+        .unwrap();
+    assert_eq!(stats.get("ok"), Some(&Json::Bool(true)));
+
+    // Fleet aggregates are the sum of the per-backend blocks.
+    let backend_blocks = stats.get("backends").and_then(Json::as_array).unwrap();
+    assert_eq!(backend_blocks.len(), 2);
+    let sum_of = |key: &str| -> i64 {
+        backend_blocks
+            .iter()
+            .filter_map(|b| {
+                b.get("server")
+                    .and_then(|s| s.get(key))
+                    .and_then(Json::as_i64)
+            })
+            .sum()
+    };
+    let fleet_server = stats.get("fleet").and_then(|f| f.get("server")).unwrap();
+    for key in ["requests", "completed", "rejected", "malformed"] {
+        assert_eq!(
+            fleet_server.get(key).and_then(Json::as_i64),
+            Some(sum_of(key)),
+            "fleet {key} is the sum of the shards"
+        );
+    }
+    assert!(
+        fleet_server
+            .get("completed")
+            .and_then(Json::as_i64)
+            .unwrap()
+            >= 3,
+        "the three runs completed somewhere in the fleet"
+    );
+
+    // The graph table is fleet-wide and every graph has a live home.
+    let graphs = stats.get("graphs").and_then(Json::as_array).unwrap();
+    assert_eq!(graphs.len(), 3);
+    let fleet_addrs: Vec<String> = backends.iter().map(|b| b.addr().to_string()).collect();
+    for graph in graphs {
+        let shard = graph.get("shard").and_then(Json::as_str).unwrap();
+        assert!(fleet_addrs.iter().any(|a| a == shard));
+    }
+
+    router.shutdown();
+    router.join();
+    for backend in backends {
+        let mut c = Client::connect(backend.addr()).unwrap();
+        let _ = c.shutdown();
+        backend.join();
+    }
+}
