@@ -16,11 +16,13 @@ pub mod bitpacked_csr;
 pub mod compress;
 pub mod compressed_csr;
 pub mod io;
+pub mod patch;
 pub mod transform;
 pub mod traverse;
 
 pub use adjacency_matrix::AdjacencyMatrix;
 pub use bitpacked_csr::BitPackedCsr;
 pub use compressed_csr::CompressedCsr;
+pub use patch::{patch_csr, EdgeDelta, PatchError};
 pub use transform::{degrees, induced_subgraph, orient_by_rank, relabel, Rank};
 pub use traverse::{bfs_distances, connected_components, largest_component_size, pseudo_diameter};

@@ -1,0 +1,332 @@
+//! Batched edge mutations on immutable CSR graphs.
+//!
+//! A [`CsrGraph`] is a frozen pair of arrays; mutating it in place
+//! would invalidate every borrowed adjacency slice and every
+//! content fingerprint derived from it. Instead, [`patch_csr`]
+//! applies a whole batch of undirected edge insertions and removals
+//! in one O(n + m + |batch| log |batch|) rebuild, producing a *new*
+//! CSR plus an [`EdgeDelta`] describing what actually changed — the
+//! input the platform's delta-aware cache invalidation and the
+//! incremental kernels (touched-wedge triangle recount, localized
+//! k-core re-peeling) consume.
+//!
+//! Semantics are set-like and idempotent: the patched edge set is
+//! `(E \ remove) ∪ add`. Adding a present edge or removing an absent
+//! one is a no-op (and does not appear in the delta); an edge listed
+//! in both batches ends up present. Self-loops are rejected from
+//! `add` silently (the CSR representation never stores them) and
+//! endpoints outside `0..n` are a typed [`PatchError`] — edge
+//! mutations never grow or shrink the vertex set.
+
+use gms_core::{CsrGraph, Edge, Graph, NodeId};
+
+/// What a [`patch_csr`] call actually changed, in canonical
+/// (`u < v`) undirected form. This is the `delta_summary` half of the
+/// platform's versioned fingerprint lineage: downstream caches use
+/// [`EdgeDelta::touched`] to decide which results a mutation can
+/// possibly affect.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EdgeDelta {
+    /// Edges present after the patch that were absent before,
+    /// canonical and sorted.
+    pub added: Vec<Edge>,
+    /// Edges absent after the patch that were present before,
+    /// canonical and sorted.
+    pub removed: Vec<Edge>,
+    /// Sorted, deduplicated endpoints of every added or removed
+    /// edge — the vertices whose neighborhoods differ between the
+    /// two versions.
+    pub touched: Vec<NodeId>,
+}
+
+impl EdgeDelta {
+    /// `true` when the patch was a no-op (every requested addition
+    /// already present, every removal already absent): the graph,
+    /// and therefore its fingerprint, is unchanged.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+
+    /// Whether `v` is an endpoint of any actual change.
+    pub fn touches(&self, v: NodeId) -> bool {
+        self.touched.binary_search(&v).is_ok()
+    }
+}
+
+/// Why a mutation batch was rejected. The batch is validated as a
+/// whole before any work happens: a rejected patch leaves nothing to
+/// roll back.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PatchError {
+    /// An edge referenced a vertex outside `0..vertices`. Edge
+    /// mutations cannot create vertices; load a new graph for that.
+    VertexOutOfRange {
+        /// The offending endpoint.
+        vertex: NodeId,
+        /// The graph's vertex count.
+        vertices: usize,
+    },
+}
+
+impl std::fmt::Display for PatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PatchError::VertexOutOfRange { vertex, vertices } => {
+                write!(f, "vertex {vertex} out of range (graph has {vertices})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PatchError {}
+
+/// Canonicalizes a raw edge batch: undirected `u < v` form,
+/// self-loops dropped, duplicates removed, endpoints range-checked.
+fn canonicalize(edges: &[Edge], n: usize) -> Result<Vec<Edge>, PatchError> {
+    let mut out = Vec::with_capacity(edges.len());
+    for &(u, v) in edges {
+        for w in [u, v] {
+            if (w as usize) >= n {
+                return Err(PatchError::VertexOutOfRange {
+                    vertex: w,
+                    vertices: n,
+                });
+            }
+        }
+        if u == v {
+            continue;
+        }
+        out.push((u.min(v), u.max(v)));
+    }
+    out.sort_unstable();
+    out.dedup();
+    Ok(out)
+}
+
+/// Applies a batch of undirected edge additions and removals to
+/// `graph`, returning the patched CSR and the [`EdgeDelta`] of
+/// *actual* changes.
+///
+/// The result's edge set is `(E \ remove) ∪ add` — removals apply
+/// first, additions win. The rebuild streams each vertex's old
+/// (sorted) adjacency against its sorted per-vertex change lists, so
+/// cost is linear in the graph plus batch size, not quadratic.
+///
+/// # Errors
+/// [`PatchError::VertexOutOfRange`] if any endpoint in either batch
+/// is `>= graph.num_vertices()`; the graph is untouched.
+pub fn patch_csr(
+    graph: &CsrGraph,
+    add: &[Edge],
+    remove: &[Edge],
+) -> Result<(CsrGraph, EdgeDelta), PatchError> {
+    let n = graph.num_vertices();
+    let add = canonicalize(add, n)?;
+    let remove = canonicalize(remove, n)?;
+
+    // Net effect per candidate edge: present_after = (present_before
+    // && !removed) || added. Only candidates whose presence actually
+    // flips enter the delta.
+    let mut added = Vec::new();
+    let mut removed = Vec::new();
+    for &(u, v) in &add {
+        if !graph.has_edge(u, v) {
+            added.push((u, v));
+        }
+    }
+    for &(u, v) in &remove {
+        if graph.has_edge(u, v) && add.binary_search(&(u, v)).is_err() {
+            removed.push((u, v));
+        }
+    }
+
+    let mut touched: Vec<NodeId> = added
+        .iter()
+        .chain(removed.iter())
+        .flat_map(|&(u, v)| [u, v])
+        .collect();
+    touched.sort_unstable();
+    touched.dedup();
+    let delta = EdgeDelta {
+        added,
+        removed,
+        touched,
+    };
+    if delta.is_empty() {
+        return Ok((graph.clone(), delta));
+    }
+
+    // Directed arc change lists, sorted by (source, target), so each
+    // vertex's rebuild is a three-way sorted merge.
+    let mut add_arcs: Vec<(NodeId, NodeId)> = Vec::with_capacity(delta.added.len() * 2);
+    for &(u, v) in &delta.added {
+        add_arcs.push((u, v));
+        add_arcs.push((v, u));
+    }
+    add_arcs.sort_unstable();
+    let mut rm_arcs: Vec<(NodeId, NodeId)> = Vec::with_capacity(delta.removed.len() * 2);
+    for &(u, v) in &delta.removed {
+        rm_arcs.push((u, v));
+        rm_arcs.push((v, u));
+    }
+    rm_arcs.sort_unstable();
+
+    let new_arc_count = graph.num_arcs() + add_arcs.len() - rm_arcs.len();
+    let mut offsets = Vec::with_capacity(n + 1);
+    let mut neighbors: Vec<NodeId> = Vec::with_capacity(new_arc_count);
+    offsets.push(0);
+    let (mut ai, mut ri) = (0usize, 0usize);
+    for v in 0..n as NodeId {
+        let old = graph.neighbors_slice(v);
+        let mut oi = 0usize;
+        // Merge old neighbors (minus removals) with additions; both
+        // sides are sorted and disjoint (additions were absent, so
+        // they never collide with surviving old entries).
+        while oi < old.len() || (ai < add_arcs.len() && add_arcs[ai].0 == v) {
+            let next_add = (ai < add_arcs.len() && add_arcs[ai].0 == v).then(|| add_arcs[ai].1);
+            let next_old = (oi < old.len()).then(|| old[oi]);
+            match (next_old, next_add) {
+                (Some(o), add_t) if add_t.is_none() || o < add_t.unwrap() => {
+                    oi += 1;
+                    if ri < rm_arcs.len() && rm_arcs[ri] == (v, o) {
+                        ri += 1; // dropped
+                    } else {
+                        neighbors.push(o);
+                    }
+                }
+                (_, Some(t)) => {
+                    ai += 1;
+                    neighbors.push(t);
+                }
+                _ => unreachable!("loop condition guarantees one side"),
+            }
+        }
+        offsets.push(neighbors.len());
+    }
+    debug_assert_eq!(neighbors.len(), new_arc_count);
+    Ok((CsrGraph::from_parts(offsets, neighbors), delta))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(n: usize, edges: &[Edge]) -> CsrGraph {
+        CsrGraph::from_undirected_edges(n, edges)
+    }
+
+    #[test]
+    fn add_and_remove_basic() {
+        let graph = g(5, &[(0, 1), (1, 2), (2, 3)]);
+        let (patched, delta) = patch_csr(&graph, &[(3, 4), (1, 0)], &[(1, 2)]).unwrap();
+        assert_eq!(delta.added, vec![(3, 4)]);
+        assert_eq!(delta.removed, vec![(1, 2)]);
+        assert_eq!(delta.touched, vec![1, 2, 3, 4]);
+        let expect = g(5, &[(0, 1), (2, 3), (3, 4)]);
+        assert_eq!(patched.offsets(), expect.offsets());
+        assert_eq!(patched.adjacency(), expect.adjacency());
+    }
+
+    #[test]
+    fn noop_patch_is_empty_delta_and_identical_graph() {
+        let graph = g(4, &[(0, 1), (2, 3)]);
+        // Adding present edges, removing absent ones, self-loops.
+        let (patched, delta) = patch_csr(&graph, &[(1, 0), (2, 2)], &[(0, 3)]).unwrap();
+        assert!(delta.is_empty());
+        assert_eq!(patched.offsets(), graph.offsets());
+        assert_eq!(patched.adjacency(), graph.adjacency());
+    }
+
+    #[test]
+    fn add_wins_over_remove_for_the_same_edge() {
+        let graph = g(3, &[(0, 1)]);
+        // Present edge in both lists: stays, no delta entry.
+        let (_, delta) = patch_csr(&graph, &[(0, 1)], &[(0, 1)]).unwrap();
+        assert!(delta.is_empty());
+        // Absent edge in both lists: ends up added.
+        let (patched, delta) = patch_csr(&graph, &[(1, 2)], &[(1, 2)]).unwrap();
+        assert_eq!(delta.added, vec![(1, 2)]);
+        assert!(patched.has_edge(1, 2));
+    }
+
+    #[test]
+    fn out_of_range_is_typed_error_everywhere() {
+        let graph = g(3, &[(0, 1)]);
+        let err = patch_csr(&graph, &[(0, 7)], &[]).unwrap_err();
+        assert_eq!(
+            err,
+            PatchError::VertexOutOfRange {
+                vertex: 7,
+                vertices: 3
+            }
+        );
+        assert!(patch_csr(&graph, &[], &[(9, 0)]).is_err());
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn patch_equals_rebuild_on_random_batches() {
+        // Oracle at the storage layer: patching must equal rebuilding
+        // from the mutated edge set, for arbitrary seeded batches.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for round in 0..40 {
+            let n = 8 + (rng() % 40) as usize;
+            let mut edges: Vec<Edge> = Vec::new();
+            for u in 0..n as NodeId {
+                for v in (u + 1)..n as NodeId {
+                    if rng() % 100 < 20 {
+                        edges.push((u, v));
+                    }
+                }
+            }
+            let graph = g(n, &edges);
+            let batch = |rng: &mut dyn FnMut() -> u64| -> Vec<Edge> {
+                (0..(rng() % 12))
+                    .map(|_| ((rng() % n as u64) as NodeId, (rng() % n as u64) as NodeId))
+                    .collect()
+            };
+            let add = batch(&mut rng);
+            let remove = batch(&mut rng);
+            let (patched, delta) = patch_csr(&graph, &add, &remove).unwrap();
+
+            // Reference: set semantics on a sorted edge list.
+            let canon = |es: &[Edge]| -> Vec<Edge> {
+                let mut c: Vec<Edge> = es
+                    .iter()
+                    .filter(|&&(u, v)| u != v)
+                    .map(|&(u, v)| (u.min(v), u.max(v)))
+                    .collect();
+                c.sort_unstable();
+                c.dedup();
+                c
+            };
+            let (add_c, rm_c) = (canon(&add), canon(&remove));
+            let mut expect: Vec<Edge> = graph
+                .edges_undirected()
+                .filter(|e| rm_c.binary_search(e).is_err() || add_c.binary_search(e).is_ok())
+                .collect();
+            expect.extend(add_c.iter().copied());
+            expect.sort_unstable();
+            expect.dedup();
+            let rebuilt = g(n, &expect);
+            assert_eq!(
+                patched.offsets(),
+                rebuilt.offsets(),
+                "round {round}: offsets diverged"
+            );
+            assert_eq!(patched.adjacency(), rebuilt.adjacency());
+
+            // Delta endpoints really are the changed neighborhoods.
+            for v in 0..n as NodeId {
+                let same = graph.neighbors_slice(v) == patched.neighbors_slice(v);
+                assert_eq!(same, !delta.touches(v), "vertex {v} in round {round}");
+            }
+        }
+    }
+}

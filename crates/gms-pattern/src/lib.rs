@@ -35,4 +35,5 @@ pub use kclique::{
 };
 pub use triangles::{
     triangle_count_compressed, triangle_count_node_iterator, triangle_count_rank_merge,
+    triangle_count_touched,
 };

@@ -88,6 +88,46 @@ pub fn triangle_count_compressed(graph: &CompressedCsr) -> u64 {
     total / 3
 }
 
+/// Touched-wedge triangle recount: the number of triangles containing
+/// at least one vertex of `touched` (sorted, deduplicated). This is
+/// the incremental-maintenance primitive for dynamic graphs — a
+/// batched edge mutation can only create or destroy triangles whose
+/// corners include a touched endpoint, so
+/// `new = old - touched_count(old_graph) + touched_count(new_graph)`
+/// with both recounts local to the mutation, not the whole graph.
+///
+/// Each qualifying triangle is counted exactly once, at its
+/// minimum-id *touched* corner: for every touched `s`, every wedge
+/// `u < v` in `N(s)` closed by an edge `(u, v)` contributes iff no
+/// touched corner smaller than `s` exists. Cost is
+/// `O(Σ_{s∈touched} deg(s)² · log deg)` — proportional to the touched
+/// neighborhoods, independent of graph size.
+pub fn triangle_count_touched(graph: &CsrGraph, touched: &[NodeId]) -> u64 {
+    debug_assert!(touched.windows(2).all(|w| w[0] < w[1]), "sorted + dedup");
+    let is_touched = |v: NodeId| touched.binary_search(&v).is_ok();
+    touched
+        .par_iter()
+        .map(|&s| {
+            let ns = graph.neighbors_slice(s);
+            let mut local = 0u64;
+            for (i, &u) in ns.iter().enumerate() {
+                if u < s && is_touched(u) {
+                    continue; // counted at u
+                }
+                for &v in &ns[i + 1..] {
+                    if v < s && is_touched(v) {
+                        continue;
+                    }
+                    if graph.has_edge(u, v) {
+                        local += 1;
+                    }
+                }
+            }
+            local
+        })
+        .sum()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -156,6 +196,43 @@ mod tests {
     fn agrees_with_ordering_crate() {
         let g = gms_gen::kronecker_default(8, 6, 7);
         assert_eq!(triangle_count_rank_merge(&g), gms_order::triangle_count(&g));
+    }
+
+    #[test]
+    fn touched_recount_matches_filtered_enumeration() {
+        let g = gms_gen::gnp(80, 0.1, 9);
+        // Reference: enumerate all triangles, keep those touching S.
+        let all_with = |s: &[NodeId]| -> u64 {
+            let mut count = 0u64;
+            for u in 0..g.num_vertices() as NodeId {
+                for &v in g.neighbors_slice(u).iter().filter(|&&v| v > u) {
+                    for &w in g.neighbors_slice(v).iter().filter(|&&w| w > v) {
+                        if g.has_edge(u, w)
+                            && (s.binary_search(&u).is_ok()
+                                || s.binary_search(&v).is_ok()
+                                || s.binary_search(&w).is_ok())
+                        {
+                            count += 1;
+                        }
+                    }
+                }
+            }
+            count
+        };
+        for touched in [
+            vec![],
+            vec![0],
+            vec![3, 17, 42],
+            (0..80).collect::<Vec<NodeId>>(),
+        ] {
+            assert_eq!(triangle_count_touched(&g, &touched), all_with(&touched));
+        }
+        // Touching everything is the full count.
+        let everyone: Vec<NodeId> = (0..80).collect();
+        assert_eq!(
+            triangle_count_touched(&g, &everyone),
+            triangle_count_rank_merge(&g)
+        );
     }
 
     #[test]

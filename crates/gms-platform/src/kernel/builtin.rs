@@ -6,13 +6,14 @@
 //! registry, the session cache, the batch runner, and the benchmark
 //! harness reach them.
 
-use super::{Category, Kernel, KernelError, Outcome, ParamSpec, Params, Payload};
+use super::{Category, DeltaSensitivity, Kernel, KernelError, Outcome, ParamSpec, Params, Payload};
 use crate::counters::CountingSet;
 use crate::pipeline::StageTimings;
 use gms_core::hash::FxHasher;
 use gms_core::{
     CsrGraph, DenseBitSet, Graph, HashVertexSet, NodeId, RoaringSet, SetGraph, SortedVecSet,
 };
+use gms_graph::EdgeDelta;
 use gms_learn::{
     evaluate_accuracy, jarvis_patrick, label_propagation, louvain, num_clusters,
     similarity_batch_csr, JarvisPatrickConfig, SimilarityMeasure,
@@ -25,10 +26,11 @@ use gms_opt::{
     boruvka, forest_weight, greedy_coloring, johansson, jones_plassmann, min_cut, verify_coloring,
     WeightedEdge,
 };
-use gms_order::{bfs_order, random_order, OrderingKind};
+use gms_order::{bfs_order, k_core_by_peeling, random_order, OrderingKind};
 use gms_pattern::{
     bron_kerbosch, k_clique_count, k_clique_stars, triangle_count_node_iterator,
-    triangle_count_rank_merge, BkConfig, BkVariant, KcConfig, KcParallel, SubgraphMode,
+    triangle_count_rank_merge, triangle_count_touched, BkConfig, BkVariant, KcConfig, KcParallel,
+    SubgraphMode,
 };
 use std::hash::Hasher;
 use std::time::Instant;
@@ -57,6 +59,7 @@ pub(super) fn register_all(registry: &mut super::Registry) {
     registry.register(Box::new(ColoringKernel));
     registry.register(Box::new(MstKernel));
     registry.register(Box::new(MinCutKernel));
+    registry.register(Box::new(KCoreKernel));
     // Reorderings (③) as runnable preprocessing stages.
     for which in OrderWhich::ALL {
         registry.register(Box::new(OrderKernel(which)));
@@ -312,6 +315,37 @@ impl Kernel for TriangleKernel {
             ..StageTimings::default()
         };
         Ok(Outcome::new(self.name(), count).with_timings(timings))
+    }
+
+    /// Every triangle has three corners, so any triangle a mutation
+    /// creates or destroys has a touched corner.
+    fn delta_sensitivity(&self) -> DeltaSensitivity {
+        DeltaSensitivity::VertexNeighborhood
+    }
+
+    /// Touched-wedge recount: subtract the triangles incident to the
+    /// touched vertices in the old graph, add those in the new graph
+    /// — each counted exactly once at its minimum-id touched corner.
+    /// Work scales with the touched neighborhoods, not the graph.
+    /// Both `method` choices count the same triangles, so one delta
+    /// path serves every cached parameterization.
+    fn run_delta(
+        &self,
+        old: &CsrGraph,
+        new: &CsrGraph,
+        delta: &EdgeDelta,
+        previous: &Outcome,
+        _params: &Params,
+    ) -> Option<Outcome> {
+        let t = Instant::now();
+        let stale = triangle_count_touched(old, &delta.touched);
+        let fresh = triangle_count_touched(new, &delta.touched);
+        let count = (previous.patterns + fresh).checked_sub(stale)?;
+        let timings = StageTimings {
+            kernel: t.elapsed(),
+            ..StageTimings::default()
+        };
+        Some(Outcome::new(self.name(), count).with_timings(timings))
     }
 }
 
@@ -834,6 +868,125 @@ impl Kernel for MinCutKernel {
     }
 }
 
+/// k-core membership by iterative peeling, with a localized re-peel
+/// maintaining cached cores across removal-only mutations.
+struct KCoreKernel;
+
+impl Kernel for KCoreKernel {
+    fn name(&self) -> &'static str {
+        "k-core"
+    }
+    fn category(&self) -> Category {
+        Category::Opt
+    }
+    fn about(&self) -> &'static str {
+        "k-core membership via iterative peeling (patterns = core size)"
+    }
+    fn params(&self) -> Vec<ParamSpec> {
+        vec![ParamSpec::int("k", 2, "minimum degree within the core")]
+    }
+    fn run(&self, graph: &CsrGraph, params: &Params) -> Result<Outcome, KernelError> {
+        let k = params.get_int("k", 2).max(0) as u32;
+        let t = Instant::now();
+        let mut core = k_core_by_peeling(graph, k);
+        core.sort_unstable();
+        let kernel = t.elapsed();
+        Ok(Outcome::new(self.name(), core.len() as u64)
+            .with_timings(stage(std::time::Duration::ZERO, kernel))
+            .with_payload(Payload::VertexGroups(vec![core])))
+    }
+
+    /// Core membership cascades only through the mutated region: a
+    /// vertex leaves the core only when its within-core degree drops
+    /// below k, and under removal-only deltas that starts at a
+    /// touched vertex.
+    fn delta_sensitivity(&self) -> DeltaSensitivity {
+        DeltaSensitivity::ComponentLocal
+    }
+
+    /// Localized re-peel for removal-only deltas. Removing edges can
+    /// only shrink the core, so the old core is a superset of the new
+    /// one; peeling the old core seeded from the touched vertices —
+    /// with within-core degrees computed lazily, only along the
+    /// eviction cascade — reproduces exactly what a full peel of the
+    /// new graph would. Additions can grow the core through vertices
+    /// arbitrarily far from the batch, so they decline to a full
+    /// recompute.
+    fn run_delta(
+        &self,
+        _old: &CsrGraph,
+        new: &CsrGraph,
+        delta: &EdgeDelta,
+        previous: &Outcome,
+        params: &Params,
+    ) -> Option<Outcome> {
+        if !delta.added.is_empty() {
+            return None;
+        }
+        let Payload::VertexGroups(groups) = &previous.payload else {
+            return None;
+        };
+        let prev_core = groups.first()?;
+        let k = params.get_int("k", 2).max(0) as usize;
+        let t = Instant::now();
+        let n = new.num_vertices();
+        let mut in_core = vec![false; n];
+        for &v in prev_core {
+            in_core[v as usize] = true;
+        }
+        // usize::MAX marks a within-core degree not yet computed; it
+        // is filled in lazily the first time the cascade reaches the
+        // vertex, then kept current by decrements.
+        const UNKNOWN: usize = usize::MAX;
+        let mut deg = vec![UNKNOWN; n];
+        let within_core =
+            |v: NodeId, in_core: &[bool]| new.neighbors(v).filter(|&u| in_core[u as usize]).count();
+        let mut evict: Vec<NodeId> = Vec::new();
+        for &v in &delta.touched {
+            if in_core[v as usize] && deg[v as usize] == UNKNOWN {
+                let d = within_core(v, &in_core);
+                deg[v as usize] = d;
+                if d < k {
+                    evict.push(v);
+                }
+            }
+        }
+        while let Some(v) = evict.pop() {
+            if !in_core[v as usize] {
+                continue;
+            }
+            in_core[v as usize] = false;
+            for u in new.neighbors(v) {
+                let ui = u as usize;
+                if !in_core[ui] {
+                    continue;
+                }
+                if deg[ui] == UNKNOWN {
+                    // Computed against the post-eviction membership,
+                    // so v is already excluded.
+                    deg[ui] = within_core(u, &in_core);
+                } else {
+                    deg[ui] -= 1;
+                }
+                if deg[ui] < k {
+                    evict.push(u);
+                }
+            }
+        }
+        let core: Vec<NodeId> = prev_core
+            .iter()
+            .copied()
+            .filter(|&v| in_core[v as usize])
+            .collect();
+        let kernel = t.elapsed();
+        Some(
+            Outcome::new(self.name(), core.len() as u64)
+                .with_timings(stage(std::time::Duration::ZERO, kernel))
+                .with_payload(Payload::VertexGroups(vec![core])),
+        )
+    }
+}
+
 // ---------------------------------------------------------------- order
 
 /// Which reordering an [`OrderKernel`] computes.
@@ -909,5 +1062,16 @@ impl Kernel for OrderKernel {
         Ok(Outcome::new(self.name(), n as u64)
             .with_timings(stage(preprocess, std::time::Duration::ZERO))
             .with_payload(Payload::Rank(rank.ranks().to_vec())))
+    }
+
+    /// `order-random` is a seeded shuffle of `0..n` — a pure function
+    /// of the vertex count and seed that edge mutations provably
+    /// cannot affect. Every other ordering reads degrees or
+    /// adjacency, so any edge change may move it.
+    fn delta_sensitivity(&self) -> DeltaSensitivity {
+        match self.0 {
+            OrderWhich::Random => DeltaSensitivity::VertexCount,
+            _ => DeltaSensitivity::Global,
+        }
     }
 }

@@ -17,6 +17,18 @@
 //!   every outcome computed for a graph content hash, the hook
 //!   [`Session::replace_graph`](super::Session::replace_graph) and
 //!   the server's load-with-replace use when a graph is reloaded.
+//!   Invalidation is *final*: each call stamps an epoch for the
+//!   fingerprint, and an in-flight computation admitted before the
+//!   stamp discards its insert instead of resurrecting a dropped
+//!   entry — the stale-result window a replace racing a concurrent
+//!   batch would otherwise open ([`CacheStats::stale_drops`]);
+//! * **delta migration** — [`ResultCache::migrate_fingerprint`]
+//!   re-keys the entries of a *mutated* graph (old fingerprint → new
+//!   fingerprint) under a caller-supplied per-entry decision: keep
+//!   verbatim (the kernel's declared delta sensitivity provably cannot
+//!   be affected), refresh with an incrementally maintained outcome,
+//!   or invalidate. This is what makes batched edge mutations cheaper
+//!   than a blanket flush.
 
 use super::{Kernel, KernelError, Outcome, Params};
 use crate::pipeline::StageTimings;
@@ -99,12 +111,48 @@ pub struct CacheStats {
     /// Hits served to a different owner (session / worker) than the
     /// one that paid for the computation.
     pub cross_hits: u64,
-    /// Entries dropped by fingerprint invalidation (graph replaced).
+    /// Entries dropped by fingerprint invalidation (graph replaced,
+    /// or a mutation delta its kernel's sensitivity could affect).
     pub invalidated: u64,
+    /// Entries re-keyed to a mutated graph's new fingerprint because
+    /// the mutation provably could not affect them ([`ResultCache::
+    /// migrate_fingerprint`] decisions `Keep` + `Refresh`).
+    pub migrated: u64,
+    /// The subset of `migrated` whose outcome was incrementally
+    /// maintained (`Refresh`) rather than kept verbatim.
+    pub refreshed: u64,
+    /// Completed computations discarded instead of inserted because
+    /// their fingerprint was invalidated while they were in flight —
+    /// the replace-mid-batch stale window, closed.
+    pub stale_drops: u64,
     /// Entries currently cached.
     pub entries: usize,
     /// Maximum number of entries (0 = caching disabled).
     pub capacity: usize,
+}
+
+/// Per-entry verdict for [`ResultCache::migrate_fingerprint`].
+pub enum MigrationDecision {
+    /// The mutation provably cannot affect this outcome: re-key it to
+    /// the new fingerprint unchanged.
+    Keep,
+    /// The outcome was incrementally maintained across the delta:
+    /// re-key it with this replacement value.
+    Refresh(Outcome),
+    /// The mutation may affect the outcome and no incremental path
+    /// exists: drop it (the full-recompute fallback).
+    Invalidate,
+}
+
+/// What one [`ResultCache::migrate_fingerprint`] call did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MigrationStats {
+    /// Entries re-keyed verbatim.
+    pub survived: usize,
+    /// Entries re-keyed with an incrementally maintained outcome.
+    pub refreshed: usize,
+    /// Entries dropped.
+    pub invalidated: usize,
 }
 
 struct Entry {
@@ -120,12 +168,21 @@ struct Inner {
     entries: FxHashMap<CacheKey, Entry>,
     /// Keys with a computation currently in flight (single-flight).
     inflight: FxHashMap<CacheKey, ()>,
+    /// Fingerprint → tick of its most recent invalidation or
+    /// migration. Computations admitted before that tick must not
+    /// insert: their graph was replaced or mutated while they ran,
+    /// and a late insert would resurrect an entry invalidation
+    /// already dropped.
+    invalidated_at: FxHashMap<u64, u64>,
     hits: u64,
     misses: u64,
     evictions: u64,
     coalesced: u64,
     cross_hits: u64,
     invalidated: u64,
+    migrated: u64,
+    refreshed: u64,
+    stale_drops: u64,
 }
 
 impl Inner {
@@ -151,8 +208,20 @@ impl Inner {
         Some(outcome)
     }
 
-    fn insert(&mut self, key: CacheKey, outcome: Outcome, owner: u64) {
+    /// Inserts a freshly computed outcome. `admitted` is the tick at
+    /// which the computation was admitted: if the key's fingerprint
+    /// was invalidated after that, the result is for content some
+    /// handle no longer references and is dropped instead of cached.
+    fn insert(&mut self, key: CacheKey, outcome: Outcome, owner: u64, admitted: u64) {
         if self.capacity == 0 {
+            return;
+        }
+        if self
+            .invalidated_at
+            .get(&key.fingerprint)
+            .is_some_and(|&at| at > admitted)
+        {
+            self.stale_drops += 1;
             return;
         }
         self.tick += 1;
@@ -168,6 +237,22 @@ impl Inner {
                 owner,
             },
         );
+    }
+
+    /// Stamps `fingerprint` as invalidated *now* and bounds the epoch
+    /// map (a long-lived server replacing graphs forever must not
+    /// grow it without limit; pruned stamps only cost a wasted —
+    /// harmless — late insert).
+    fn stamp_invalidated(&mut self, fingerprint: u64) {
+        self.tick += 1;
+        let tick = self.tick;
+        self.invalidated_at.insert(fingerprint, tick);
+        if self.invalidated_at.len() > 1024 {
+            let mut ticks: Vec<u64> = self.invalidated_at.values().copied().collect();
+            ticks.sort_unstable();
+            let cutoff = ticks[ticks.len() / 2];
+            self.invalidated_at.retain(|_, &mut at| at > cutoff);
+        }
     }
 
     fn evict_oldest(&mut self) {
@@ -233,7 +318,7 @@ impl ResultCache {
         F: FnOnce() -> Result<Outcome, KernelError>,
     {
         let mut waited = false;
-        let track = {
+        let (track, admitted) = {
             let mut inner = self.lock();
             loop {
                 if let Some(hit) = inner.lookup(key, owner, waited) {
@@ -253,7 +338,7 @@ impl ResultCache {
             if track {
                 inner.inflight.insert(key.clone(), ());
             }
-            track
+            (track, inner.tick)
         };
         if !track {
             // Caching disabled: every request computes for itself.
@@ -264,7 +349,8 @@ impl ResultCache {
         let _flight = Flight { cache: self, key };
         let result = compute();
         if let Ok(outcome) = &result {
-            self.lock().insert(key.clone(), outcome.clone(), owner);
+            self.lock()
+                .insert(key.clone(), outcome.clone(), owner, admitted);
         }
         result
     }
@@ -281,7 +367,82 @@ impl ResultCache {
             .retain(|key, _| key.fingerprint != fingerprint);
         let removed = before - inner.entries.len();
         inner.invalidated += removed as u64;
+        // Stamp even when nothing was cached: an in-flight
+        // computation for this fingerprint must still discard its
+        // late insert.
+        inner.stamp_invalidated(fingerprint);
         removed
+    }
+
+    /// Re-keys the cached entries of a mutated graph from `old_fp` to
+    /// `new_fp` (with the new CSR dimensions), asking `decide` what
+    /// to do with each one: [`MigrationDecision::Keep`] moves the
+    /// outcome verbatim, [`MigrationDecision::Refresh`] moves an
+    /// incrementally maintained replacement, and
+    /// [`MigrationDecision::Invalidate`] drops the entry. The old
+    /// fingerprint is stamped invalidated either way, so an in-flight
+    /// computation against the pre-mutation content cannot resurrect
+    /// an entry afterwards.
+    ///
+    /// `decide` runs with the cache lock held: it must not call back
+    /// into this cache (incremental kernel maintenance is fine; cache
+    /// lookups are not).
+    pub fn migrate_fingerprint<F>(
+        &self,
+        old_fp: u64,
+        new_fp: u64,
+        new_vertices: usize,
+        new_arcs: usize,
+        mut decide: F,
+    ) -> MigrationStats
+    where
+        F: FnMut(&CacheKey, &Outcome) -> MigrationDecision,
+    {
+        let mut stats = MigrationStats::default();
+        let mut inner = self.lock();
+        inner.stamp_invalidated(old_fp);
+        if old_fp == new_fp {
+            return stats;
+        }
+        let old_keys: Vec<CacheKey> = inner
+            .entries
+            .keys()
+            .filter(|k| k.fingerprint == old_fp)
+            .cloned()
+            .collect();
+        for key in old_keys {
+            let entry = inner.entries.remove(&key).expect("key collected above");
+            let new_key = CacheKey {
+                fingerprint: new_fp,
+                vertices: new_vertices,
+                arcs: new_arcs,
+                kernel: key.kernel,
+                params: key.params,
+            };
+            let moved = match decide(&new_key, &entry.outcome) {
+                MigrationDecision::Keep => {
+                    stats.survived += 1;
+                    Some(entry)
+                }
+                MigrationDecision::Refresh(outcome) => {
+                    stats.refreshed += 1;
+                    Some(Entry { outcome, ..entry })
+                }
+                MigrationDecision::Invalidate => {
+                    stats.invalidated += 1;
+                    None
+                }
+            };
+            if let Some(entry) = moved {
+                // Never clobber an entry already computed for the new
+                // content (a racing fresh run beat the migration).
+                inner.entries.entry(new_key).or_insert(entry);
+            }
+        }
+        inner.migrated += (stats.survived + stats.refreshed) as u64;
+        inner.refreshed += stats.refreshed as u64;
+        inner.invalidated += stats.invalidated as u64;
+        stats
     }
 
     /// Resizes the cache; shrinking evicts least-recently-used
@@ -319,6 +480,9 @@ impl ResultCache {
             coalesced: inner.coalesced,
             cross_hits: inner.cross_hits,
             invalidated: inner.invalidated,
+            migrated: inner.migrated,
+            refreshed: inner.refreshed,
+            stale_drops: inner.stale_drops,
             entries: inner.entries.len(),
             capacity: inner.capacity,
         }
@@ -457,6 +621,96 @@ mod tests {
         assert_eq!(cache.len(), 1);
         assert!(cache.get(&key(2, "a"), 1).is_some());
         assert_eq!(cache.stats().invalidated, 2);
+    }
+
+    #[test]
+    fn invalidation_mid_flight_discards_the_late_insert() {
+        // The replace-mid-batch race: a computation admitted for
+        // fingerprint 1 is still running when the graph is replaced
+        // and fp 1 invalidated. Its insert must be discarded — the
+        // cache promised "after invalidate returns, fp-1 entries do
+        // not reappear unless recomputed".
+        let cache = Arc::new(ResultCache::new(16));
+        let started = Arc::new(Barrier::new(2));
+        let cache2 = cache.clone();
+        let started2 = started.clone();
+        let worker = std::thread::spawn(move || {
+            cache2.run_or_wait(&key(1, "a"), 1, || {
+                started2.wait();
+                // Hold the computation open long enough for the main
+                // thread to invalidate.
+                std::thread::sleep(Duration::from_millis(60));
+                Ok(outcome(5))
+            })
+        });
+        started.wait();
+        std::thread::sleep(Duration::from_millis(10));
+        cache.invalidate_fingerprint(1);
+        let result = worker.join().unwrap().unwrap();
+        assert_eq!(result.patterns, 5, "the caller still gets its result");
+        assert!(
+            cache.get(&key(1, "a"), 1).is_none(),
+            "a late insert must not resurrect an invalidated fingerprint"
+        );
+        assert_eq!(cache.stats().stale_drops, 1);
+        // A computation admitted *after* the invalidation caches
+        // normally.
+        cache
+            .run_or_wait(&key(1, "a"), 1, || Ok(outcome(6)))
+            .unwrap();
+        assert_eq!(cache.get(&key(1, "a"), 1).unwrap().patterns, 6);
+    }
+
+    #[test]
+    fn migrate_fingerprint_moves_refreshes_and_drops_per_decision() {
+        let cache = ResultCache::new(16);
+        let mk = |kernel: &'static str, fp: u64, patterns: u64| {
+            let k = CacheKey {
+                fingerprint: fp,
+                vertices: 10,
+                arcs: 20,
+                kernel,
+                params: "".to_string(),
+            };
+            cache.run_or_wait(&k, 1, || Ok(Outcome::new(kernel, patterns)))
+        };
+        mk("keep-me", 1, 10).unwrap();
+        mk("refresh-me", 1, 20).unwrap();
+        mk("drop-me", 1, 30).unwrap();
+        mk("other-graph", 2, 40).unwrap();
+
+        let stats = cache.migrate_fingerprint(1, 9, 11, 24, |key, prev| match key.kernel {
+            "keep-me" => MigrationDecision::Keep,
+            "refresh-me" => {
+                MigrationDecision::Refresh(Outcome::new("refresh-me", prev.patterns + 1))
+            }
+            _ => MigrationDecision::Invalidate,
+        });
+        assert_eq!(
+            stats,
+            MigrationStats {
+                survived: 1,
+                refreshed: 1,
+                invalidated: 1
+            }
+        );
+        let at = |kernel: &'static str, fp: u64| CacheKey {
+            fingerprint: fp,
+            vertices: if fp == 9 { 11 } else { 10 },
+            arcs: if fp == 9 { 24 } else { 20 },
+            kernel,
+            params: "".to_string(),
+        };
+        assert_eq!(cache.get(&at("keep-me", 9), 1).unwrap().patterns, 10);
+        assert_eq!(cache.get(&at("refresh-me", 9), 1).unwrap().patterns, 21);
+        assert!(cache.get(&at("drop-me", 9), 1).is_none());
+        assert!(cache.get(&at("keep-me", 1), 1).is_none(), "old key gone");
+        assert!(
+            cache.get(&at("other-graph", 2), 1).is_some(),
+            "unrelated fingerprints untouched"
+        );
+        let cs = cache.stats();
+        assert_eq!((cs.migrated, cs.refreshed, cs.invalidated), (2, 1, 1));
     }
 
     #[test]

@@ -39,13 +39,15 @@
 mod batch;
 mod builtin;
 mod cache;
+mod delta;
 mod outcome;
 mod params;
 mod registry;
 mod session;
 
 pub use batch::{BatchRequest, BatchRunner};
-pub use cache::{next_owner, CacheKey, CacheStats, ResultCache};
+pub use cache::{next_owner, CacheKey, CacheStats, MigrationDecision, MigrationStats, ResultCache};
+pub use delta::{migrate_for_delta, DeltaSensitivity, GraphLineage, MutationOutcome};
 pub use outcome::{Outcome, Payload};
 pub use params::{ParamSpec, Params, Value, ValueKind};
 pub use registry::Registry;
@@ -55,7 +57,7 @@ pub use session::{
 };
 
 use gms_core::CsrGraph;
-use gms_graph::CompressedCsr;
+use gms_graph::{CompressedCsr, EdgeDelta};
 
 /// The kernel families of the GMS specification (§4.1), plus the
 /// reorderings of the preprocessing stage (③) exposed as runnable
@@ -143,6 +145,42 @@ pub trait Kernel: Send + Sync {
         outcome.timings.convert += decode;
         Ok(outcome)
     }
+
+    /// How this kernel's result depends on structural deltas — the
+    /// declaration delta-aware cache invalidation acts on. The
+    /// default is the always-safe [`DeltaSensitivity::Global`] (any
+    /// mutation invalidates); kernels whose result is provably local
+    /// opt in to keep their cache entries alive across mutations.
+    fn delta_sensitivity(&self) -> DeltaSensitivity {
+        DeltaSensitivity::Global
+    }
+
+    /// Incrementally maintains a previously computed outcome across a
+    /// batched edge mutation: `old` is the pre-mutation CSR,
+    /// `new` the post-mutation CSR, `delta` what changed, and
+    /// `previous` the cached outcome for `old` under the same
+    /// parameters. Returns the outcome for `new`, or `None` when this
+    /// kernel (or this particular delta shape) has no incremental
+    /// path — the caller then invalidates and the next request
+    /// recomputes from scratch, so declining is always safe.
+    ///
+    /// Only consulted for kernels declaring a non-[`Global`]
+    /// ([`DeltaSensitivity::Global`]), non-[`VertexCount`]
+    /// ([`DeltaSensitivity::VertexCount`]) sensitivity.
+    ///
+    /// [`Global`]: DeltaSensitivity::Global
+    /// [`VertexCount`]: DeltaSensitivity::VertexCount
+    fn run_delta(
+        &self,
+        old: &CsrGraph,
+        new: &CsrGraph,
+        delta: &EdgeDelta,
+        previous: &Outcome,
+        params: &Params,
+    ) -> Option<Outcome> {
+        let _ = (old, new, delta, previous, params);
+        None
+    }
 }
 
 /// Everything that can go wrong between a request and an [`Outcome`].
@@ -171,6 +209,12 @@ pub enum KernelError {
     /// A raw-CSR view was requested from a handle whose graph is
     /// resident only in compressed form.
     NotMaterialized,
+    /// A batched edge mutation was rejected (endpoint out of range).
+    /// Edge mutations cannot create vertices.
+    BadMutation {
+        /// What was wrong with the batch.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for KernelError {
@@ -191,6 +235,9 @@ impl std::fmt::Display for KernelError {
             KernelError::InvalidHandle => write!(f, "graph handle not owned by this session"),
             KernelError::NotMaterialized => {
                 write!(f, "graph is stored compressed; no raw CSR view exists")
+            }
+            KernelError::BadMutation { message } => {
+                write!(f, "bad edge mutation: {message}")
             }
         }
     }

@@ -262,6 +262,43 @@ impl Params {
         }
     }
 
+    /// Parses a [`Params::canonical`] rendering back into a `Params`
+    /// — the inverse the cache's delta migration needs to re-run a
+    /// kernel's incremental path from a stored [`CacheKey`] params
+    /// string.
+    ///
+    /// Value types are inferred: `true`/`false` → bool, integer
+    /// literal → int, float literal → float, anything else → string.
+    /// This round-trips every canonical rendering whose string values
+    /// contain no `,`/`=` and do not themselves parse as numbers —
+    /// true for the whole built-in kernel suite, whose string
+    /// parameters are closed keyword choices.
+    ///
+    /// [`CacheKey`]: super::CacheKey
+    pub fn from_canonical(canonical: &str) -> Self {
+        let mut params = Params::new();
+        for part in canonical.split(',').filter(|p| !p.is_empty()) {
+            let Some((name, value)) = part.split_once('=') else {
+                continue;
+            };
+            let value = match value {
+                "true" => Value::Bool(true),
+                "false" => Value::Bool(false),
+                other => {
+                    if let Ok(i) = other.parse::<i64>() {
+                        Value::Int(i)
+                    } else if let Ok(x) = other.parse::<f64>() {
+                        Value::Float(x)
+                    } else {
+                        Value::Str(other.to_string())
+                    }
+                }
+            };
+            params.set(name, value);
+        }
+        params
+    }
+
     /// Checks the overrides against a kernel's schema: unknown names,
     /// type mismatches, and out-of-choice strings are errors (floats
     /// additionally accept integer literals).
@@ -386,6 +423,26 @@ mod tests {
         let c = Params::new().with("k", 5).with("ordering", "degree");
         let d = c.clone().with("eps", 0.25);
         assert_eq!(c.canonical(&specs), d.canonical(&specs));
+    }
+
+    #[test]
+    fn from_canonical_round_trips_the_canonical_rendering() {
+        let specs = specs();
+        let p = Params::new()
+            .with("k", 7)
+            .with("eps", 0.5)
+            .with("ordering", "degree")
+            .with("collect", true);
+        let rendered = p.canonical(&specs);
+        let back = Params::from_canonical(&rendered);
+        assert_eq!(back.canonical(&specs), rendered);
+        assert_eq!(back.get_int("k", 0), 7);
+        assert_eq!(back.get_float("eps", 0.0), 0.5);
+        assert_eq!(back.get_str("ordering", ""), "degree");
+        assert!(back.get_bool("collect", false));
+        // Empty canonical (kernel without parameters) parses to the
+        // empty override set.
+        assert_eq!(Params::from_canonical(""), Params::new());
     }
 
     #[test]

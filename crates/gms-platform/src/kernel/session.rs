@@ -10,12 +10,13 @@
 //! them — with single-flight deduplication for identical requests
 //! that are in flight at the same time.
 
-use super::cache::{next_owner, CacheKey, CacheStats, ResultCache};
+use super::cache::{next_owner, CacheKey, CacheStats, MigrationStats, ResultCache};
+use super::delta::{migrate_for_delta, GraphLineage, MutationOutcome};
 use super::{KernelError, Outcome, Params, Registry};
 use gms_core::hash::FxHasher;
-use gms_core::{CsrGraph, Graph, NodeId};
+use gms_core::{CsrGraph, Edge, Graph, NodeId};
 use gms_graph::io::{GraphIoError, SnapshotGraph};
-use gms_graph::CompressedCsr;
+use gms_graph::{patch_csr, CompressedCsr};
 use std::hash::Hasher;
 use std::io::BufRead;
 use std::path::Path;
@@ -167,6 +168,15 @@ pub struct SessionStats {
     pub misses: u64,
 }
 
+/// One loaded graph with its cached identity: the resident
+/// representation, the current content fingerprint, and the versioned
+/// lineage mutations advance.
+struct Resident {
+    store: GraphStore,
+    fingerprint: u64,
+    lineage: GraphLineage,
+}
+
 /// A long-running mining session: owns loaded graphs, a kernel
 /// [`Registry`], and sits on a fingerprint-keyed [`ResultCache`] —
 /// private by default, shareable across sessions. This is the typed
@@ -174,7 +184,7 @@ pub struct SessionStats {
 /// wraps with a network front end.
 pub struct Session {
     registry: Registry,
-    graphs: Vec<(GraphStore, u64)>,
+    graphs: Vec<Resident>,
     cache: Arc<ResultCache>,
     stats: SessionStats,
     owner: u64,
@@ -261,7 +271,11 @@ impl Session {
 
     fn add_store(&mut self, store: GraphStore) -> GraphHandle {
         let fp = store.fingerprint();
-        self.graphs.push((store, fp));
+        self.graphs.push(Resident {
+            store,
+            fingerprint: fp,
+            lineage: GraphLineage::new(fp),
+        });
         GraphHandle(self.graphs.len() - 1)
     }
 
@@ -278,13 +292,144 @@ impl Session {
         if handle.0 >= self.graphs.len() {
             return Err(KernelError::InvalidHandle);
         }
-        let old_fp = self.graphs[handle.0].1;
+        let old_fp = self.graphs[handle.0].fingerprint;
         let fp = fingerprint(&graph);
-        self.graphs[handle.0] = (GraphStore::Csr(graph), fp);
-        if old_fp != fp && !self.graphs.iter().any(|&(_, f)| f == old_fp) {
+        self.graphs[handle.0] = Resident {
+            store: GraphStore::Csr(graph),
+            fingerprint: fp,
+            lineage: GraphLineage::new(fp),
+        };
+        if old_fp != fp && !self.graphs.iter().any(|r| r.fingerprint == old_fp) {
             self.cache.invalidate_fingerprint(old_fp);
         }
         Ok(fp)
+    }
+
+    /// Adds a batch of undirected edges to the graph behind `handle`
+    /// — see [`Session::mutate_edges`].
+    pub fn add_edges(
+        &mut self,
+        handle: GraphHandle,
+        edges: &[Edge],
+    ) -> Result<MutationOutcome, KernelError> {
+        self.mutate_edges(handle, edges, &[])
+    }
+
+    /// Removes a batch of undirected edges from the graph behind
+    /// `handle` — see [`Session::mutate_edges`].
+    pub fn remove_edges(
+        &mut self,
+        handle: GraphHandle,
+        edges: &[Edge],
+    ) -> Result<MutationOutcome, KernelError> {
+        self.mutate_edges(handle, &[], edges)
+    }
+
+    /// Applies a batched edge mutation to the graph behind `handle`
+    /// with set semantics: the new edge set is `(E \ remove) ∪ add`
+    /// (an edge in both lists ends up present), self-loops and
+    /// duplicates are dropped, and already-satisfied requests are
+    /// no-ops — so replaying the same batch is idempotent. Endpoints
+    /// must name existing vertices; mutations never change the vertex
+    /// count ([`KernelError::BadMutation`] otherwise, with the graph
+    /// untouched).
+    ///
+    /// The handle keeps its identity: the resident representation is
+    /// patched in place (a compressed store is transparently
+    /// re-encoded; a `gap+reorder` resident re-encodes as plain
+    /// `gap`, since the patch is expressed in the original labels),
+    /// the content fingerprint advances, and
+    /// [`GraphLineage::version`] increments for every effective
+    /// batch. Cached outcomes of the old content are migrated to the
+    /// new fingerprint per kernel [`DeltaSensitivity`] declarations —
+    /// kept, incrementally refreshed, or invalidated (see
+    /// [`MutationOutcome::cache`]) — unless the old content is still
+    /// reachable through another handle, in which case its entries
+    /// stay where they are.
+    ///
+    /// [`DeltaSensitivity`]: super::DeltaSensitivity
+    pub fn mutate_edges(
+        &mut self,
+        handle: GraphHandle,
+        add: &[Edge],
+        remove: &[Edge],
+    ) -> Result<MutationOutcome, KernelError> {
+        let (old_fp, old_csr, was_compressed, lineage) = {
+            let r = self
+                .graphs
+                .get(handle.0)
+                .ok_or(KernelError::InvalidHandle)?;
+            (
+                r.fingerprint,
+                r.store.to_csr(),
+                matches!(r.store, GraphStore::Compressed(_)),
+                r.lineage,
+            )
+        };
+        let (new_csr, delta) =
+            patch_csr(&old_csr, add, remove).map_err(|e| KernelError::BadMutation {
+                message: e.to_string(),
+            })?;
+        if delta.is_empty() {
+            // Every requested change already held: same content, same
+            // fingerprint, no version bump, nothing to migrate.
+            return Ok(MutationOutcome {
+                fingerprint: old_fp,
+                base_fingerprint: lineage.base_fingerprint,
+                version: lineage.version,
+                added: 0,
+                removed: 0,
+                touched: 0,
+                vertices: old_csr.num_vertices(),
+                edges: old_csr.num_arcs() / 2,
+                cache: MigrationStats::default(),
+            });
+        }
+        let new_fp = fingerprint(&new_csr);
+        let still_referenced = self
+            .graphs
+            .iter()
+            .enumerate()
+            .any(|(i, r)| i != handle.0 && r.fingerprint == old_fp);
+        let cache = if still_referenced {
+            // The old content's cache entries must stay keyed to the
+            // handle that still serves it.
+            MigrationStats::default()
+        } else {
+            migrate_for_delta(
+                &self.cache,
+                &self.registry,
+                &old_csr,
+                &new_csr,
+                old_fp,
+                new_fp,
+                &delta,
+            )
+        };
+        let vertices = new_csr.num_vertices();
+        let edges = new_csr.num_arcs() / 2;
+        let (added, removed, touched) =
+            (delta.added.len(), delta.removed.len(), delta.touched.len());
+        let store = if was_compressed {
+            GraphStore::Compressed(CompressedCsr::from_csr(&new_csr))
+        } else {
+            GraphStore::Csr(new_csr)
+        };
+        let resident = &mut self.graphs[handle.0];
+        resident.store = store;
+        resident.fingerprint = new_fp;
+        resident.lineage.version += 1;
+        Ok(MutationOutcome {
+            fingerprint: new_fp,
+            base_fingerprint: resident.lineage.base_fingerprint,
+            version: resident.lineage.version,
+            added,
+            removed,
+            touched,
+            vertices,
+            edges,
+            cache,
+        })
     }
 
     /// Streams an undirected SNAP-style edge list from disk into the
@@ -400,7 +545,7 @@ impl Session {
     pub fn store(&self, handle: GraphHandle) -> Result<&GraphStore, KernelError> {
         self.graphs
             .get(handle.0)
-            .map(|(store, _)| store)
+            .map(|r| &r.store)
             .ok_or(KernelError::InvalidHandle)
     }
 
@@ -409,7 +554,18 @@ impl Session {
     pub fn graph_fingerprint(&self, handle: GraphHandle) -> Result<u64, KernelError> {
         self.graphs
             .get(handle.0)
-            .map(|&(_, fp)| fp)
+            .map(|r| r.fingerprint)
+            .ok_or(KernelError::InvalidHandle)
+    }
+
+    /// The versioned lineage of a loaded graph: the fingerprint it was
+    /// loaded with and how many mutation batches have been applied
+    /// since. [`Session::replace_graph`] resets the lineage (new
+    /// content, version 0); [`Session::mutate_edges`] advances it.
+    pub fn graph_lineage(&self, handle: GraphHandle) -> Result<GraphLineage, KernelError> {
+        self.graphs
+            .get(handle.0)
+            .map(|r| r.lineage)
             .ok_or(KernelError::InvalidHandle)
     }
 
@@ -785,6 +941,138 @@ mod tests {
                 if e.kind() == std::io::ErrorKind::InvalidInput
         ));
         assert!(!path.exists(), "nothing must be written for a bad handle");
+    }
+
+    #[test]
+    fn mutations_bump_version_and_migrate_the_cache_per_sensitivity() {
+        let mut session = Session::new();
+        let g = session.add_graph(small());
+        let base_fp = session.graph_fingerprint(g).unwrap();
+
+        // Populate three cache lines with distinct sensitivities.
+        let tri = session.run("triangle-count", g, &Params::new()).unwrap();
+        let rand = session.run("order-random", g, &Params::new()).unwrap();
+        session.run("order-degree", g, &Params::new()).unwrap();
+        assert_eq!(session.cached_outcomes(), 3);
+
+        let csr0 = session.store(g).unwrap().to_csr();
+        let v = (0..csr0.num_vertices() as NodeId)
+            .find(|&v| csr0.degree(v) >= 2)
+            .unwrap();
+        let targets: Vec<NodeId> = csr0.neighbors(v).take(2).collect();
+        let out = session
+            .remove_edges(g, &[(v, targets[0]), (v, targets[1])])
+            .unwrap();
+        assert_eq!(out.base_fingerprint, base_fp);
+        assert_eq!(out.version, 1);
+        assert_ne!(out.fingerprint, base_fp);
+        assert_eq!(
+            session.graph_lineage(g).unwrap(),
+            GraphLineage {
+                base_fingerprint: base_fp,
+                version: 1
+            }
+        );
+        // order-random survived (VertexCount), triangle-count was
+        // refreshed incrementally, order-degree (Global) died.
+        assert_eq!(out.cache.survived, 1);
+        assert_eq!(out.cache.refreshed, 1);
+        assert_eq!(out.cache.invalidated, 1);
+        assert_eq!(session.cached_outcomes(), 2);
+
+        // The migrated entries serve the mutated graph...
+        let rand2 = session.run("order-random", g, &Params::new()).unwrap();
+        assert!(rand2.cached);
+        assert!(rand2.same_result(&rand));
+        let tri2 = session.run("triangle-count", g, &Params::new()).unwrap();
+        assert!(tri2.cached, "refreshed outcome must be a cache hit");
+        // ...and the refreshed count matches a from-scratch recount.
+        let mut fresh = Session::new();
+        let csr = session.store(g).unwrap().to_csr();
+        let h = fresh.add_graph(csr);
+        let oracle = fresh.run("triangle-count", h, &Params::new()).unwrap();
+        assert_eq!(tri2.patterns, oracle.patterns);
+        assert!(tri.patterns >= tri2.patterns);
+    }
+
+    #[test]
+    fn redundant_mutations_are_no_ops_and_bad_endpoints_are_rejected() {
+        let mut session = Session::new();
+        let g = session.add_graph(gms_gen::grid(4, 4));
+        let fp = session.graph_fingerprint(g).unwrap();
+        // Edge (0,1) already exists; removing a non-edge is equally moot.
+        let out = session
+            .mutate_edges(g, &[(0, 1)], &[(0, 15), (3, 3)])
+            .unwrap();
+        assert_eq!(out.version, 0, "no-op batches must not advance lineage");
+        assert_eq!(out.fingerprint, fp);
+        assert_eq!((out.added, out.removed, out.touched), (0, 0, 0));
+
+        let err = session.add_edges(g, &[(0, 99)]).unwrap_err();
+        assert!(matches!(err, KernelError::BadMutation { .. }));
+        assert_eq!(
+            session.graph_fingerprint(g).unwrap(),
+            fp,
+            "a rejected batch must leave the graph untouched"
+        );
+        // Replaying an applied batch is idempotent (set semantics).
+        let first = session.add_edges(g, &[(0, 5)]).unwrap();
+        assert_eq!(first.version, 1);
+        let replay = session.add_edges(g, &[(0, 5)]).unwrap();
+        assert_eq!(replay.version, 1);
+        assert_eq!(replay.fingerprint, first.fingerprint);
+    }
+
+    #[test]
+    fn mutating_a_compressed_store_rebuilds_transparently() {
+        let plain = small();
+        let u = (0..plain.num_vertices() as NodeId)
+            .find(|&v| plain.degree(v) >= 1)
+            .unwrap();
+        let w = plain.neighbors(u).next().unwrap();
+        let mut session = Session::new();
+        let g = session.add_compressed(CompressedCsr::from_csr(&plain));
+        assert_eq!(session.store(g).unwrap().compression(), "gap");
+        let out = session.remove_edges(g, &[(u, w)]).unwrap();
+        assert_eq!(out.removed, 1);
+        assert_eq!(out.version, 1);
+        assert_eq!(
+            session.store(g).unwrap().compression(),
+            "gap",
+            "the resident representation survives the mutation"
+        );
+        // The re-encoded store fingerprints as its content.
+        assert_eq!(
+            session.store(g).unwrap().fingerprint(),
+            session.graph_fingerprint(g).unwrap()
+        );
+        let tri = session.run("triangle-count", g, &Params::new()).unwrap();
+        let mut fresh = Session::new();
+        let h = fresh.add_graph(session.store(g).unwrap().to_csr());
+        let oracle = fresh.run("triangle-count", h, &Params::new()).unwrap();
+        assert_eq!(tri.patterns, oracle.patterns);
+    }
+
+    #[test]
+    fn mutation_leaves_cache_entries_alone_while_content_is_shared() {
+        let mut session = Session::new();
+        let plain = small();
+        let u = (0..plain.num_vertices() as NodeId)
+            .find(|&v| plain.degree(v) >= 1)
+            .unwrap();
+        let w = plain.neighbors(u).next().unwrap();
+        let a = session.add_graph(plain);
+        let b = session.add_graph(small());
+        session.run("triangle-count", a, &Params::new()).unwrap();
+        let out = session.remove_edges(a, &[(u, w)]).unwrap();
+        assert_eq!(out.version, 1);
+        assert_eq!(
+            out.cache,
+            MigrationStats::default(),
+            "shared content must not be migrated away"
+        );
+        let hit = session.run("triangle-count", b, &Params::new()).unwrap();
+        assert!(hit.cached, "handle b still serves the original content");
     }
 
     #[test]

@@ -38,13 +38,13 @@ use crate::backend::Backend;
 use crate::ring::{HashRing, RingMember};
 use gms_serve::protocol::{
     error_json, error_json_with, parse_request, with_id, ErrorCode, LoadFormat, LoadSource,
-    LoadSpec, Request, RunSpec, WireError,
+    LoadSpec, MutateSpec, Request, RunSpec, WireError,
 };
 use gms_serve::{ClientConfig, Json};
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
@@ -108,7 +108,14 @@ struct GraphRecord {
     /// Owning backend index; `None` while orphaned (owner died and
     /// re-placement has not succeeded yet).
     owner: Option<usize>,
+    /// Current content fingerprint (advances on every mutation).
     fingerprint: u64,
+    /// Load-time fingerprint — the placement key. Keying the ring on
+    /// the base keeps a graph on its shard across mutations instead
+    /// of reshuffling the fleet every batch.
+    base_fingerprint: u64,
+    /// Effective mutation batches applied since load.
+    version: u64,
     vertices: usize,
     edges: usize,
     reload: ReloadSource,
@@ -122,6 +129,7 @@ struct Counters {
     requests: AtomicU64,
     malformed: AtomicU64,
     routed: AtomicU64,
+    mutations: AtomicU64,
     failovers: AtomicU64,
     replaced: AtomicU64,
     moved: AtomicU64,
@@ -137,6 +145,12 @@ struct Core {
     /// dead shard's graphs while others wait, then see the healed
     /// table instead of racing duplicate reloads.
     placement: Mutex<()>,
+    /// Serializes edge mutations: the order shards apply batches in
+    /// is the order the router patches its spill snapshots in, so a
+    /// failover reload always serves the content the fleet answered
+    /// with. Never held while `placement` is held (the mutation path
+    /// takes `placement` through `ensure_placed`, not vice versa).
+    mutation: Mutex<()>,
     running: AtomicBool,
     counters: Counters,
     addr: SocketAddr,
@@ -222,7 +236,7 @@ impl Core {
                 }
             }
             (
-                record.fingerprint,
+                record.base_fingerprint,
                 reload_request(name, record),
                 record.owner,
             )
@@ -419,6 +433,7 @@ impl Router {
             ring: RwLock::new(HashRing::default()),
             graphs: RwLock::new(BTreeMap::new()),
             placement: Mutex::new(()),
+            mutation: Mutex::new(()),
             running: AtomicBool::new(true),
             counters: Counters::default(),
             addr,
@@ -475,12 +490,22 @@ impl RouterHandle {
         self.core.begin_shutdown();
     }
 
-    /// Waits for the router to finish and removes the default spill
-    /// directory (an explicitly configured one is left alone).
+    /// Waits for the router to finish, deletes every spill snapshot
+    /// the router created, and removes the default spill directory
+    /// (an explicitly configured directory is left in place, empty
+    /// of router state).
     pub fn join(self) {
         let _ = self.acceptor.join();
         if let Some(prober) = self.prober {
             let _ = prober.join();
+        }
+        {
+            let graphs = self.core.graphs.read().unwrap_or_else(|e| e.into_inner());
+            for record in graphs.values() {
+                if let ReloadSource::Spill(path) = &record.reload {
+                    let _ = std::fs::remove_file(path);
+                }
+            }
         }
         if self.owns_spill_dir {
             let _ = std::fs::remove_dir_all(&self.core.spill_dir);
@@ -629,6 +654,10 @@ fn handle_line(line: &str, core: &Arc<Core>) -> (Json, bool) {
             core.counters.routed.fetch_add(1, Ordering::Relaxed);
             (handle_load(core, &raw, &spec, id.as_ref()), true)
         }
+        Request::Mutate(spec) => {
+            core.counters.routed.fetch_add(1, Ordering::Relaxed);
+            (handle_mutate(core, &raw, &spec, id.as_ref()), true)
+        }
         Request::Run(spec) => {
             core.counters.routed.fetch_add(1, Ordering::Relaxed);
             let redirect = raw.get("redirect").and_then(Json::as_bool).unwrap_or(false);
@@ -732,11 +761,40 @@ fn build_record(
     Ok(GraphRecord {
         owner: None,
         fingerprint,
+        base_fingerprint: fingerprint,
+        version: 0,
         vertices,
         edges,
         reload,
         gap: matches!(spec.compression, gms_serve::LoadCompression::Gap),
     })
+}
+
+/// Whether any record still reloads from `path` — shared-content
+/// graphs share spill files (the path is keyed by fingerprint), so a
+/// spill is only deletable once the last referent is gone.
+fn spill_referenced(graphs: &BTreeMap<String, GraphRecord>, path: &Path) -> bool {
+    graphs
+        .values()
+        .any(|r| matches!(&r.reload, ReloadSource::Spill(p) if p == path))
+}
+
+/// Materializes the current content of a record's reload source —
+/// the graph a failover reload would hand a survivor.
+fn materialize_reload(record: &GraphRecord) -> Result<gms_core::CsrGraph, String> {
+    let from_snapshot = |path: &Path| match gms_graph::io::load_snapshot_auto(path) {
+        Ok(gms_graph::io::SnapshotGraph::Raw(g)) => Ok(g),
+        Ok(gms_graph::io::SnapshotGraph::Compressed(c)) => Ok(c.to_csr()),
+        Err(e) => Err(e.to_string()),
+    };
+    match &record.reload {
+        ReloadSource::Spill(path) => from_snapshot(path),
+        ReloadSource::ClientPath { path, format } => match format {
+            LoadFormat::EdgeList => gms_graph::io::load_undirected(path).map_err(|e| e.to_string()),
+            LoadFormat::Metis => gms_graph::io::load_metis(path).map_err(|e| e.to_string()),
+            LoadFormat::Gcsr => from_snapshot(Path::new(path)),
+        },
+    }
 }
 
 fn forward_load(
@@ -753,7 +811,7 @@ fn forward_load(
     let forward = without_id(raw);
     let mut failover = false;
     loop {
-        let Some(owner) = core.ring_owner(record.fingerprint) else {
+        let Some(owner) = core.ring_owner(record.base_fingerprint) else {
             core.counters.unavailable.fetch_add(1, Ordering::Relaxed);
             return error_json(
                 &WireError::new(
@@ -770,12 +828,26 @@ fn forward_load(
                     // error): forward its typed error untouched.
                     return annotate(response, core.backends[owner].addr, failover, id);
                 }
-                let replaced = {
+                let (replaced, stale_spill) = {
                     let mut graphs = core.graphs.write().unwrap_or_else(|e| e.into_inner());
                     let mut record = record;
                     record.owner = Some(owner);
-                    graphs.insert(spec.name.clone(), record).is_some()
+                    let old = graphs.insert(spec.name.clone(), record);
+                    let replaced = old.is_some();
+                    // A replaced-away inline graph leaves its spill
+                    // snapshot behind; delete it once nothing else
+                    // reloads from it — replacing must not leak disk.
+                    let stale = old
+                        .and_then(|o| match o.reload {
+                            ReloadSource::Spill(path) => Some(path),
+                            ReloadSource::ClientPath { .. } => None,
+                        })
+                        .filter(|path| !spill_referenced(&graphs, path));
+                    (replaced, stale)
                 };
+                if let Some(path) = stale_spill {
+                    let _ = std::fs::remove_file(path);
+                }
                 // The router's table is the fleet-wide truth for
                 // "replaced": the shard only sees its own slice.
                 let response = match response {
@@ -789,6 +861,152 @@ fn forward_load(
                     }
                     other => other,
                 };
+                return annotate(response, core.backends[owner].addr, failover, id);
+            }
+            Err(_) => {
+                core.on_backend_death(owner);
+                failover = true;
+            }
+        }
+    }
+}
+
+/// Routes an edge mutation to the shard owning the graph, keeping
+/// the router's failover state in sync: the same patch is applied to
+/// the router's copy of the graph and written as a fresh spill
+/// snapshot keyed by the post-mutation fingerprint **before** the
+/// batch is forwarded, so a shard death at any point reloads content
+/// no older than what the fleet last acknowledged. Placement stays
+/// on the base fingerprint — mutating never moves a graph. A
+/// path-loaded graph converts to a spill reload here (its client
+/// file no longer matches the resident content), and the
+/// pre-mutation spill is deleted once nothing references it.
+fn handle_mutate(core: &Arc<Core>, raw: &Json, spec: &MutateSpec, id: Option<&Json>) -> Json {
+    if !core
+        .graphs
+        .read()
+        .unwrap_or_else(|e| e.into_inner())
+        .contains_key(&spec.graph)
+    {
+        core.counters.not_found.fetch_add(1, Ordering::Relaxed);
+        return error_json(
+            &WireError::new(
+                ErrorCode::GraphNotFound,
+                format!("graph {:?} is not loaded anywhere in the fleet", spec.graph),
+            ),
+            id,
+        );
+    }
+    let _one_at_a_time = core.mutation.lock().unwrap_or_else(|e| e.into_inner());
+    // Patch the router's copy first.
+    let (patched, delta, old_spill) = {
+        let graphs = core.graphs.read().unwrap_or_else(|e| e.into_inner());
+        let Some(record) = graphs.get(&spec.graph) else {
+            core.counters.not_found.fetch_add(1, Ordering::Relaxed);
+            return error_json(
+                &WireError::new(
+                    ErrorCode::GraphNotFound,
+                    format!("graph {:?} is not loaded anywhere in the fleet", spec.graph),
+                ),
+                id,
+            );
+        };
+        let old = match materialize_reload(record) {
+            Ok(graph) => graph,
+            Err(e) => {
+                return error_json(
+                    &WireError::new(ErrorCode::Io, format!("reload source unreadable: {e}")),
+                    id,
+                )
+            }
+        };
+        match gms_graph::patch_csr(&old, &spec.add, &spec.remove) {
+            Ok((patched, delta)) => {
+                let old_spill = match &record.reload {
+                    ReloadSource::Spill(path) => Some(path.clone()),
+                    ReloadSource::ClientPath { .. } => None,
+                };
+                (patched, delta, old_spill)
+            }
+            Err(e) => {
+                return error_json(&WireError::new(ErrorCode::BadMutation, e.to_string()), id)
+            }
+        }
+    };
+    let forward = without_id(raw);
+    let new_spill = if delta.is_empty() {
+        // Content unchanged: forward for the authoritative no-op
+        // response, nothing router-side to refresh.
+        None
+    } else {
+        let fingerprint = gms_platform::kernel::fingerprint(&patched);
+        let path = core.spill_dir.join(format!("{fingerprint:016x}.gcsr"));
+        if !path.exists() {
+            if let Err(e) = gms_graph::io::save_snapshot(&patched, &path) {
+                return error_json(
+                    &WireError::new(ErrorCode::Io, format!("spill failed: {e}")),
+                    id,
+                );
+            }
+        }
+        Some((fingerprint, path))
+    };
+    use gms_core::Graph as _;
+    let new_edges = patched.num_arcs() / 2;
+    drop(patched);
+    // Drops the freshly written spill when the mutation never
+    // commits (dead fleet, shard-side rejection).
+    let discard_new_spill = |spill: &Option<(u64, PathBuf)>| {
+        if let Some((_, path)) = spill {
+            let referenced = {
+                let graphs = core.graphs.read().unwrap_or_else(|e| e.into_inner());
+                spill_referenced(&graphs, path)
+            };
+            if !referenced {
+                let _ = std::fs::remove_file(path);
+            }
+        }
+    };
+    let mut failover = false;
+    loop {
+        let Some(owner) = core.ensure_placed(&spec.graph) else {
+            core.counters.unavailable.fetch_add(1, Ordering::Relaxed);
+            discard_new_spill(&new_spill);
+            return error_json(
+                &WireError::new(
+                    ErrorCode::BackendUnavailable,
+                    format!("no healthy backend holds graph {:?}", spec.graph),
+                ),
+                id,
+            );
+        };
+        match core.backends[owner].request(&forward) {
+            Ok(response) => {
+                if error_code_of(&response) == Some("unknown-graph")
+                    && heal_missing(core, &spec.graph, owner)
+                {
+                    continue;
+                }
+                if response.get("ok") != Some(&Json::Bool(true)) {
+                    discard_new_spill(&new_spill);
+                    return annotate(response, core.backends[owner].addr, failover, id);
+                }
+                core.counters.mutations.fetch_add(1, Ordering::Relaxed);
+                if let Some((fingerprint, path)) = new_spill {
+                    let stale_spill = {
+                        let mut graphs = core.graphs.write().unwrap_or_else(|e| e.into_inner());
+                        if let Some(record) = graphs.get_mut(&spec.graph) {
+                            record.fingerprint = fingerprint;
+                            record.version += 1;
+                            record.edges = new_edges;
+                            record.reload = ReloadSource::Spill(path);
+                        }
+                        old_spill.filter(|p| !spill_referenced(&graphs, p))
+                    };
+                    if let Some(path) = stale_spill {
+                        let _ = std::fs::remove_file(path);
+                    }
+                }
                 return annotate(response, core.backends[owner].addr, failover, id);
             }
             Err(_) => {
@@ -1090,6 +1308,9 @@ fn stats_json(core: &Arc<Core>, id: Option<&Json>) -> Json {
         "coalesced",
         "cross_hits",
         "invalidated",
+        "migrated",
+        "refreshed",
+        "stale_drops",
         "entries",
         "capacity",
     ];
@@ -1161,6 +1382,11 @@ fn stats_json(core: &Arc<Core>, id: Option<&Json>) -> Json {
                         "fingerprint",
                         gms_serve::protocol::fingerprint_json(record.fingerprint),
                     ),
+                    (
+                        "base_fingerprint",
+                        gms_serve::protocol::fingerprint_json(record.base_fingerprint),
+                    ),
+                    ("version", Json::from(record.version)),
                     ("vertices", Json::from(record.vertices)),
                     ("edges", Json::from(record.edges)),
                 ])
@@ -1196,6 +1422,10 @@ fn stats_json(core: &Arc<Core>, id: Option<&Json>) -> Json {
                     (
                         "routed",
                         Json::from(counters.routed.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "mutations",
+                        Json::from(counters.mutations.load(Ordering::Relaxed)),
                     ),
                     (
                         "malformed",

@@ -321,6 +321,214 @@ fn redirect_clients_get_typed_moved_with_the_new_address() {
     }
 }
 
+/// Triangle count of `graph`, recomputed from scratch — the oracle
+/// the routed answers are held against.
+fn local_triangles(graph: &gms_core::CsrGraph) -> i64 {
+    gms_pattern::triangle_count_rank_merge(graph) as i64
+}
+
+#[test]
+fn mutations_route_to_the_owner_and_survive_failover() {
+    let (backends, router) = start_fleet(3);
+    let mut client = Client::connect(router.addr()).expect("connect router");
+    load_graphs(&mut client, 4);
+
+    // The router's copy of g0, mutated in lockstep with the fleet.
+    let mut local = gms_gen::gnp(120, 0.06, 1000);
+    let warm = client.run("triangle-count", "g0", &[]).expect("warm run");
+    assert_eq!(
+        warm.get("patterns").and_then(Json::as_i64),
+        Some(local_triangles(&local)),
+        "sanity: routed count matches the local copy"
+    );
+
+    // Remove two real edges, then add a triangle; the router must
+    // forward both batches to the owning shard and advance lineage.
+    use gms_core::Graph as _;
+    let v = (0..local.num_vertices() as u32)
+        .find(|&v| local.degree(v) >= 2)
+        .expect("a vertex with two edges");
+    let targets: Vec<u32> = local.neighbors(v).take(2).collect();
+    let removals: Vec<(u32, u32)> = targets.iter().map(|&t| (v, t)).collect();
+    let removed = client.remove_edges("g0", &removals).expect("remove");
+    assert_eq!(
+        removed.get("ok"),
+        Some(&Json::Bool(true)),
+        "{}",
+        removed.render()
+    );
+    assert_eq!(removed.get("version").and_then(Json::as_i64), Some(1));
+    let additions = [(0u32, 1u32), (0, 2), (1, 2)];
+    let added = client.add_edges("g0", &additions).expect("add");
+    assert_eq!(
+        added.get("ok"),
+        Some(&Json::Bool(true)),
+        "{}",
+        added.render()
+    );
+    assert_eq!(added.get("version").and_then(Json::as_i64), Some(2));
+
+    let edges = |pairs: &[(u32, u32)]| pairs.to_vec();
+    local = gms_graph::patch_csr(&local, &[], &edges(&removals))
+        .expect("local removal")
+        .0;
+    local = gms_graph::patch_csr(&local, &edges(&additions), &[])
+        .expect("local addition")
+        .0;
+    let expected = local_triangles(&local);
+    let routed = client.run("triangle-count", "g0", &[]).expect("routed run");
+    assert_eq!(
+        routed.get("patterns").and_then(Json::as_i64),
+        Some(expected),
+        "post-mutation count matches a from-scratch recount"
+    );
+
+    // The router's graph table tracks lineage: the content
+    // fingerprint advanced, the placement key did not.
+    let stats = client.stats().expect("stats");
+    let g0 = stats
+        .get("graphs")
+        .and_then(Json::as_array)
+        .expect("graphs")
+        .iter()
+        .find(|g| g.get("name").and_then(Json::as_str) == Some("g0"))
+        .expect("g0 row")
+        .clone();
+    assert_eq!(g0.get("version").and_then(Json::as_i64), Some(2));
+    assert_ne!(
+        g0.get("fingerprint").and_then(Json::as_str),
+        g0.get("base_fingerprint").and_then(Json::as_str),
+        "mutations advance the fingerprint off the base"
+    );
+
+    // Kill the owner: the survivor must serve the *mutated* content
+    // — the router refreshed its spill snapshot on each mutation.
+    let victim_addr = shard_of(&stats, "g0");
+    let mut survivors = Vec::new();
+    for backend in backends {
+        if backend.addr().to_string() == victim_addr {
+            kill_backend(backend);
+        } else {
+            survivors.push(backend);
+        }
+    }
+    let failed_over = client
+        .run("triangle-count", "g0", &[])
+        .expect("failover run");
+    assert_eq!(
+        failed_over.get("patterns").and_then(Json::as_i64),
+        Some(expected),
+        "failover serves the post-mutation content: {}",
+        failed_over.render()
+    );
+
+    // Mutations keep working after the failover.
+    let again = client.add_edges("g0", &[(3, 5)]).expect("mutate survivor");
+    assert_eq!(
+        again.get("ok"),
+        Some(&Json::Bool(true)),
+        "{}",
+        again.render()
+    );
+
+    // Typed errors: out-of-range endpoints are rejected at the
+    // router (the fleet never sees the batch); unknown graphs answer
+    // from the router's own table.
+    let bad = client
+        .add_edges("g0", &[(0, 9_999_999)])
+        .expect("round trip");
+    assert_eq!(error_code(&bad), Some("bad-mutation"), "{}", bad.render());
+    let missing = client.add_edges("nope", &[(0, 1)]).expect("round trip");
+    assert_eq!(error_code(&missing), Some("graph-not-found"));
+
+    router.shutdown();
+    router.join();
+    for backend in survivors {
+        kill_backend(backend);
+    }
+}
+
+/// Satellite regression: spill snapshots used to accumulate forever
+/// — replacing a graph left the old `.gcsr` behind and shutdown kept
+/// every file in a user-supplied spill directory.
+#[test]
+fn replace_mutate_and_shutdown_delete_stale_spills() {
+    let spill_dir =
+        std::env::temp_dir().join(format!("gms-router-test-spill-{}", std::process::id()));
+    std::fs::create_dir_all(&spill_dir).expect("make spill dir");
+    let backends: Vec<ServerHandle> = (0..2)
+        .map(|_| Server::start(ServeConfig::default()).expect("start backend"))
+        .collect();
+    let router = Router::start(RouterConfig {
+        backends: backends.iter().map(|b| b.addr().to_string()).collect(),
+        probe_interval: Duration::ZERO,
+        read_timeout: Duration::from_secs(10),
+        spill_dir: Some(spill_dir.clone()),
+        ..RouterConfig::default()
+    })
+    .expect("start router");
+    let spills = || -> Vec<String> {
+        let mut names: Vec<String> = std::fs::read_dir(&spill_dir)
+            .expect("read spill dir")
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.ends_with(".gcsr"))
+            .collect();
+        names.sort();
+        names
+    };
+
+    let mut client = Client::connect(router.addr()).expect("connect router");
+    let graph = gms_gen::gnp(80, 0.08, 7);
+    let response = client
+        .load_inline("g", "edge-list", &edge_list_text(&graph))
+        .expect("load");
+    assert_eq!(response.get("ok"), Some(&Json::Bool(true)));
+    let after_load = spills();
+    assert_eq!(after_load.len(), 1, "inline load spills one snapshot");
+
+    // A mutation replaces the spill instead of accumulating: the
+    // post-mutation snapshot appears, the pre-mutation one is gone.
+    use gms_core::Graph as _;
+    let (u, v) = (0..80u32)
+        .flat_map(|u| ((u + 1)..80).map(move |v| (u, v)))
+        .find(|&(u, v)| !graph.neighbors(u).any(|n| n == v))
+        .expect("a non-edge to add");
+    let mutated = client.add_edges("g", &[(u, v)]).expect("mutate");
+    assert_eq!(
+        mutated.get("ok"),
+        Some(&Json::Bool(true)),
+        "{}",
+        mutated.render()
+    );
+    let after_mutation = spills();
+    assert_eq!(after_mutation.len(), 1, "mutation does not leak spills");
+    assert_ne!(after_mutation, after_load, "the snapshot was refreshed");
+
+    // Replacing the graph under the same name deletes the spill the
+    // replaced record reloaded from.
+    let replacement = gms_gen::gnp(90, 0.08, 8);
+    let reload = client
+        .load_inline("g", "edge-list", &edge_list_text(&replacement))
+        .expect("replace");
+    assert_eq!(reload.get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(reload.get("replaced"), Some(&Json::Bool(true)));
+    let after_replace = spills();
+    assert_eq!(after_replace.len(), 1, "replace does not leak spills");
+    assert_ne!(after_replace, after_mutation);
+
+    // Shutdown deletes router-created snapshots even from a
+    // user-supplied directory (the directory itself is kept).
+    router.shutdown();
+    router.join();
+    assert!(spill_dir.exists(), "configured spill dir is left in place");
+    assert_eq!(spills(), Vec::<String>::new(), "no snapshots survive");
+    let _ = std::fs::remove_dir_all(&spill_dir);
+    for backend in backends {
+        kill_backend(backend);
+    }
+}
+
 #[test]
 fn fleet_errors_are_typed_never_hangs() {
     let (backends, router) = start_fleet(1);

@@ -206,6 +206,38 @@ impl Client {
         ]))
     }
 
+    /// Adds a batch of undirected edges to a loaded graph. Set
+    /// semantics make the batch idempotent (already-present edges are
+    /// no-ops), so the request rides the reconnect-and-retry path —
+    /// a lost response is safe to replay.
+    pub fn add_edges(&mut self, graph: &str, edges: &[(u32, u32)]) -> std::io::Result<Json> {
+        self.mutate_edges("add_edges", graph, edges)
+    }
+
+    /// Removes a batch of undirected edges from a loaded graph. Set
+    /// semantics make the batch idempotent (already-absent edges are
+    /// no-ops), so the request rides the reconnect-and-retry path.
+    pub fn remove_edges(&mut self, graph: &str, edges: &[(u32, u32)]) -> std::io::Result<Json> {
+        self.mutate_edges("remove_edges", graph, edges)
+    }
+
+    fn mutate_edges(
+        &mut self,
+        op: &str,
+        graph: &str,
+        edges: &[(u32, u32)],
+    ) -> std::io::Result<Json> {
+        let edges: Vec<Json> = edges
+            .iter()
+            .map(|&(u, v)| Json::Array(vec![Json::from(u as i64), Json::from(v as i64)]))
+            .collect();
+        self.request_idempotent(&Json::object([
+            ("op", Json::from(op)),
+            ("graph", Json::from(graph)),
+            ("edges", Json::Array(edges)),
+        ]))
+    }
+
     /// Runs a kernel on a loaded graph with parameter overrides.
     pub fn run(
         &mut self,

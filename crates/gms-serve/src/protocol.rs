@@ -13,7 +13,8 @@
 //! but not admitted, and the client should retry later or slow down.
 
 use crate::json::Json;
-use gms_platform::kernel::{KernelError, Outcome, Params, Payload, Value};
+use gms_core::{Edge, NodeId};
+use gms_platform::kernel::{KernelError, MutationOutcome, Outcome, Params, Payload, Value};
 
 /// The closed set of error codes a response can carry.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -37,6 +38,9 @@ pub enum ErrorCode {
     /// Loading a graph failed (file missing, parse error, checksum
     /// mismatch, ...).
     Io,
+    /// An edge-mutation batch was rejected (endpoint out of range —
+    /// mutations cannot create vertices). The graph is untouched.
+    BadMutation,
     /// The server is shutting down and no longer admits work.
     ShuttingDown,
     /// Fleet vocabulary: the shard owning the requested graph is
@@ -65,6 +69,7 @@ impl ErrorCode {
             ErrorCode::BadParam => "bad-param",
             ErrorCode::UnknownGraph => "unknown-graph",
             ErrorCode::Io => "io-error",
+            ErrorCode::BadMutation => "bad-mutation",
             ErrorCode::ShuttingDown => "shutting-down",
             ErrorCode::BackendUnavailable => "backend-unavailable",
             ErrorCode::Moved => "moved",
@@ -105,6 +110,7 @@ impl WireError {
             KernelError::BadParam { .. } => ErrorCode::BadParam,
             KernelError::InvalidHandle => ErrorCode::UnknownGraph,
             KernelError::NotMaterialized => ErrorCode::BadRequest,
+            KernelError::BadMutation { .. } => ErrorCode::BadMutation,
         };
         Self::new(code, e.to_string())
     }
@@ -183,6 +189,20 @@ pub struct LoadSpec {
     pub compression: LoadCompression,
 }
 
+/// A parsed `add_edges` / `remove_edges` request: one batched edge
+/// mutation against a named graph. Set semantics — already-satisfied
+/// requests are no-ops — so replaying a batch after a lost response
+/// is safe (the client's idempotent-retry path uses this).
+#[derive(Clone, Debug)]
+pub struct MutateSpec {
+    /// Server-side graph name.
+    pub graph: String,
+    /// Undirected edges to add.
+    pub add: Vec<Edge>,
+    /// Undirected edges to remove.
+    pub remove: Vec<Edge>,
+}
+
 /// One kernel invocation inside a `run` or `batch` request.
 #[derive(Clone, Debug)]
 pub struct RunSpec {
@@ -208,6 +228,8 @@ pub enum Request {
     Shutdown,
     /// Load or replace a graph (admitted through the queue).
     Load(LoadSpec),
+    /// Apply a batched edge mutation (admitted through the queue).
+    Mutate(MutateSpec),
     /// Run one kernel (admitted through the queue).
     Run(RunSpec),
     /// Run several kernels as one admitted unit.
@@ -337,6 +359,49 @@ fn load_spec(obj: &Json) -> Result<LoadSpec, WireError> {
     })
 }
 
+/// Parses a JSON `edges` array — `[[u,v],...]` with `u32` endpoints —
+/// as sent by `add_edges` / `remove_edges`.
+fn edges_from_json(obj: &Json, op: &str) -> Result<Vec<Edge>, WireError> {
+    let items = obj.get("edges").and_then(Json::as_array).ok_or_else(|| {
+        WireError::new(
+            ErrorCode::BadRequest,
+            format!("op {op:?} requires an \"edges\" array of [u,v] pairs"),
+        )
+    })?;
+    let endpoint = |v: &Json| -> Option<NodeId> {
+        match v {
+            Json::Int(i) if (0..=NodeId::MAX as i64).contains(i) => Some(*i as NodeId),
+            _ => None,
+        }
+    };
+    items
+        .iter()
+        .map(|item| {
+            let pair = item.as_array().filter(|p| p.len() == 2);
+            pair.and_then(|p| Some((endpoint(&p[0])?, endpoint(&p[1])?)))
+                .ok_or_else(|| {
+                    WireError::new(
+                        ErrorCode::BadRequest,
+                        format!(
+                            "every edge of op {op:?} must be a [u,v] pair of non-negative integers"
+                        ),
+                    )
+                })
+        })
+        .collect()
+}
+
+fn mutate_spec(obj: &Json, op: &str) -> Result<MutateSpec, WireError> {
+    let graph = required_str(obj, "graph", op)?;
+    let edges = edges_from_json(obj, op)?;
+    let (add, remove) = if op == "add_edges" {
+        (edges, Vec::new())
+    } else {
+        (Vec::new(), edges)
+    };
+    Ok(MutateSpec { graph, add, remove })
+}
+
 /// Parses one request line. On success returns the request plus the
 /// echoed `id`; on failure the error still carries whatever `id`
 /// could be recovered, so even malformed requests get a matchable
@@ -365,6 +430,7 @@ pub fn parse_request(line: &str) -> Result<(Request, Option<Json>), (WireError, 
         "stats" => Request::Stats,
         "shutdown" => Request::Shutdown,
         "load" => Request::Load(load_spec(&value).map_err(&fail)?),
+        "add_edges" | "remove_edges" => Request::Mutate(mutate_spec(&value, op).map_err(&fail)?),
         "run" => Request::Run(run_spec(&value, "run").map_err(&fail)?),
         "batch" => {
             let items = value
@@ -473,6 +539,38 @@ pub fn outcome_json(spec: &RunSpec, outcome: &Outcome, id: Option<&Json>) -> Jso
 /// spells it.
 pub fn fingerprint_json(fingerprint: u64) -> Json {
     Json::from(format!("{fingerprint:#018x}"))
+}
+
+/// Renders a successful `add_edges` / `remove_edges` response: the
+/// graph's new identity (fingerprint, base fingerprint, version), the
+/// effective delta, and how the result cache fared.
+pub fn mutation_json(graph: &str, outcome: &MutationOutcome, id: Option<&Json>) -> Json {
+    with_id(
+        vec![
+            ("ok", Json::Bool(true)),
+            ("graph", Json::from(graph)),
+            ("fingerprint", fingerprint_json(outcome.fingerprint)),
+            (
+                "base_fingerprint",
+                fingerprint_json(outcome.base_fingerprint),
+            ),
+            ("version", Json::from(outcome.version)),
+            ("added", Json::from(outcome.added)),
+            ("removed", Json::from(outcome.removed)),
+            ("touched", Json::from(outcome.touched)),
+            ("vertices", Json::from(outcome.vertices)),
+            ("edges", Json::from(outcome.edges)),
+            (
+                "cache",
+                Json::object([
+                    ("survived", Json::from(outcome.cache.survived)),
+                    ("refreshed", Json::from(outcome.cache.refreshed)),
+                    ("invalidated", Json::from(outcome.cache.invalidated)),
+                ]),
+            ),
+        ],
+        id,
+    )
 }
 
 #[cfg(test)]

@@ -25,12 +25,16 @@
 use crate::admission::{AdmissionQueue, SubmitError};
 use crate::json::Json;
 use crate::protocol::{
-    error_json, fingerprint_json, outcome_json, with_id, ErrorCode, LoadCompression, LoadFormat,
-    LoadSource, LoadSpec, Request, RunSpec, WireError,
+    error_json, fingerprint_json, mutation_json, outcome_json, with_id, ErrorCode, LoadCompression,
+    LoadFormat, LoadSource, LoadSpec, MutateSpec, Request, RunSpec, WireError,
 };
+use gms_core::Graph;
 use gms_graph::io::SnapshotGraph;
-use gms_graph::CompressedCsr;
-use gms_platform::kernel::{next_owner, CacheKey, GraphStore, Registry, ResultCache};
+use gms_graph::{patch_csr, CompressedCsr};
+use gms_platform::kernel::{
+    fingerprint, migrate_for_delta, next_owner, CacheKey, GraphStore, MigrationStats,
+    MutationOutcome, Registry, ResultCache,
+};
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -73,6 +77,12 @@ impl Default for ServeConfig {
 struct GraphEntry {
     store: Arc<GraphStore>,
     fingerprint: u64,
+    /// Fingerprint at registration time — the stable identity edge
+    /// mutations preserve (the router places shards by it).
+    base_fingerprint: u64,
+    /// Number of effective mutation batches applied since
+    /// registration.
+    version: u64,
     vertices: usize,
     edges: usize,
 }
@@ -136,6 +146,7 @@ impl ResponseWriter {
 
 enum DataOp {
     Load(LoadSpec),
+    Mutate(MutateSpec),
     Run(RunSpec),
     Batch(Vec<RunSpec>),
 }
@@ -331,6 +342,7 @@ fn handle_line(line: &str, shared: &Arc<Shared>, writer: &ResponseWriter) -> boo
     }
     let op = match request {
         Request::Load(spec) => DataOp::Load(spec),
+        Request::Mutate(spec) => DataOp::Mutate(spec),
         Request::Run(spec) => DataOp::Run(spec),
         Request::Batch(specs) => DataOp::Batch(specs),
         control => unreachable!("control op routed to the data plane: {control:?}"),
@@ -427,6 +439,10 @@ fn worker_loop(shared: &Arc<Shared>, index: usize) {
                 Ok(body) => with_id(body, job.id.as_ref()),
                 Err(e) => error_json(&e, job.id.as_ref()),
             },
+            DataOp::Mutate(spec) => match execute_mutate(shared, &spec) {
+                Ok(outcome) => mutation_json(&spec.graph, &outcome, job.id.as_ref()),
+                Err(e) => error_json(&e, job.id.as_ref()),
+            },
             DataOp::Run(spec) => match execute_run(shared, owner, &spec) {
                 Ok(outcome) => outcome_json(&spec, &outcome, job.id.as_ref()),
                 Err(e) => error_json(&e, job.id.as_ref()),
@@ -497,29 +513,43 @@ fn execute_load(
     let edges = store.num_arcs() / 2;
     let compression = store.compression();
     let resident_bytes = store.resident_bytes();
-    let entry = GraphEntry {
-        store: Arc::new(store),
-        fingerprint: fp,
-        vertices,
-        edges,
-    };
-    let (replaced, invalidated) = {
+    let (replaced, invalidated, base_fp, version) = {
         let mut graphs = shared.graphs.write().unwrap_or_else(|e| e.into_inner());
-        let old = graphs.insert(spec.name.clone(), entry);
-        match old {
-            None => (false, 0),
-            Some(old) => {
-                // Replacing a graph drops the old content's cached
-                // outcomes — unless the content is still reachable
-                // under another name (or unchanged).
-                let still_referenced = old.fingerprint == fp
-                    || graphs.values().any(|e| e.fingerprint == old.fingerprint);
-                let invalidated = if still_referenced {
-                    0
-                } else {
-                    shared.cache.invalidate_fingerprint(old.fingerprint)
+        match graphs.get(&spec.name) {
+            // Idempotent re-registration: a retried `load` whose
+            // earlier attempt died after registering (response lost
+            // mid-body) finds identical content already under the
+            // name and keeps the existing entry — lineage, version
+            // and store untouched, nothing invalidated.
+            Some(existing) if existing.fingerprint == fp => {
+                (true, 0, existing.base_fingerprint, existing.version)
+            }
+            old => {
+                let old_fp = old.map(|e| e.fingerprint);
+                let entry = GraphEntry {
+                    store: Arc::new(store),
+                    fingerprint: fp,
+                    base_fingerprint: fp,
+                    version: 0,
+                    vertices,
+                    edges,
                 };
-                (true, invalidated)
+                graphs.insert(spec.name.clone(), entry);
+                match old_fp {
+                    None => (false, 0, fp, 0),
+                    Some(old_fp) => {
+                        // Replacing a graph drops the old content's
+                        // cached outcomes — unless the content is
+                        // still reachable under another name.
+                        let still_referenced = graphs.values().any(|e| e.fingerprint == old_fp);
+                        let invalidated = if still_referenced {
+                            0
+                        } else {
+                            shared.cache.invalidate_fingerprint(old_fp)
+                        };
+                        (true, invalidated, fp, 0)
+                    }
+                }
             }
         }
     };
@@ -529,11 +559,92 @@ fn execute_load(
         ("vertices", Json::from(vertices)),
         ("edges", Json::from(edges)),
         ("fingerprint", fingerprint_json(fp)),
+        ("base_fingerprint", fingerprint_json(base_fp)),
+        ("version", Json::from(version)),
         ("compression", Json::from(compression)),
         ("resident_bytes", Json::from(resident_bytes)),
         ("replaced", Json::from(replaced)),
         ("invalidated", Json::from(invalidated)),
     ])
+}
+
+/// Applies a batched edge mutation under the graphs write lock, so
+/// mutations to one graph serialize and no kernel admission can
+/// observe a half-swapped entry. Cached outcomes of the old content
+/// are migrated to the new fingerprint per kernel
+/// [`DeltaSensitivity`](gms_platform::kernel::DeltaSensitivity)
+/// declarations; an in-flight kernel still computing against the old
+/// content cannot resurrect a migrated-away entry — its late insert
+/// is dropped by the cache's invalidation epoch (`stale_drops`).
+fn execute_mutate(shared: &Arc<Shared>, spec: &MutateSpec) -> Result<MutationOutcome, WireError> {
+    let mut graphs = shared.graphs.write().unwrap_or_else(|e| e.into_inner());
+    let entry = graphs.get(&spec.graph).ok_or_else(|| {
+        WireError::new(
+            ErrorCode::UnknownGraph,
+            format!("no graph loaded under {:?}", spec.graph),
+        )
+    })?;
+    let old_fp = entry.fingerprint;
+    let (base_fp, version) = (entry.base_fingerprint, entry.version);
+    let was_compressed = matches!(&*entry.store, GraphStore::Compressed(_));
+    let old_csr = entry.store.to_csr();
+    let (new_csr, delta) = patch_csr(&old_csr, &spec.add, &spec.remove)
+        .map_err(|e| WireError::new(ErrorCode::BadMutation, e.to_string()))?;
+    if delta.is_empty() {
+        return Ok(MutationOutcome {
+            fingerprint: old_fp,
+            base_fingerprint: base_fp,
+            version,
+            added: 0,
+            removed: 0,
+            touched: 0,
+            vertices: old_csr.num_vertices(),
+            edges: old_csr.num_arcs() / 2,
+            cache: MigrationStats::default(),
+        });
+    }
+    let new_fp = fingerprint(&new_csr);
+    let still_referenced = graphs
+        .iter()
+        .any(|(name, e)| name != &spec.graph && e.fingerprint == old_fp);
+    let cache = if still_referenced {
+        MigrationStats::default()
+    } else {
+        migrate_for_delta(
+            &shared.cache,
+            &shared.registry,
+            &old_csr,
+            &new_csr,
+            old_fp,
+            new_fp,
+            &delta,
+        )
+    };
+    let vertices = new_csr.num_vertices();
+    let edges = new_csr.num_arcs() / 2;
+    let (added, removed, touched) = (delta.added.len(), delta.removed.len(), delta.touched.len());
+    let store = if was_compressed {
+        GraphStore::Compressed(CompressedCsr::from_csr(&new_csr))
+    } else {
+        GraphStore::Csr(new_csr)
+    };
+    let entry = graphs.get_mut(&spec.graph).expect("entry checked above");
+    entry.store = Arc::new(store);
+    entry.fingerprint = new_fp;
+    entry.version += 1;
+    entry.vertices = vertices;
+    entry.edges = edges;
+    Ok(MutationOutcome {
+        fingerprint: new_fp,
+        base_fingerprint: base_fp,
+        version: entry.version,
+        added,
+        removed,
+        touched,
+        vertices,
+        edges,
+        cache,
+    })
 }
 
 fn execute_run(
@@ -645,6 +756,8 @@ fn stats_json(shared: &Arc<Shared>, id: Option<&Json>) -> Json {
                     ("vertices", Json::from(entry.vertices)),
                     ("edges", Json::from(entry.edges)),
                     ("fingerprint", fingerprint_json(entry.fingerprint)),
+                    ("base_fingerprint", fingerprint_json(entry.base_fingerprint)),
+                    ("version", Json::from(entry.version)),
                     ("compression", Json::from(entry.store.compression())),
                     ("resident_bytes", Json::from(entry.store.resident_bytes())),
                 ])
@@ -668,6 +781,9 @@ fn stats_json(shared: &Arc<Shared>, id: Option<&Json>) -> Json {
                     ("coalesced", Json::from(cache.coalesced)),
                     ("cross_hits", Json::from(cache.cross_hits)),
                     ("invalidated", Json::from(cache.invalidated)),
+                    ("migrated", Json::from(cache.migrated)),
+                    ("refreshed", Json::from(cache.refreshed)),
+                    ("stale_drops", Json::from(cache.stale_drops)),
                     ("entries", Json::from(cache.entries)),
                     ("capacity", Json::from(cache.capacity)),
                 ]),

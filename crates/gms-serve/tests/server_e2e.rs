@@ -313,6 +313,215 @@ fn reload_invalidates_replaced_content() {
 }
 
 #[test]
+fn edge_mutations_over_the_wire_migrate_the_cache() {
+    use gms_core::Graph;
+    let (handle, mut client) = start(2, 16);
+    let graph = gms_gen::planted_cliques(200, 0.03, 3, 6, 7).0;
+    let loaded = client
+        .load_inline("g", "edge-list", &edge_list(&graph))
+        .unwrap();
+    assert_ok(&loaded);
+    assert_eq!(loaded.get("version"), Some(&Json::Int(0)));
+    let base_fp = loaded.get("base_fingerprint").cloned().unwrap();
+    assert_eq!(loaded.get("fingerprint"), Some(&base_fp));
+
+    // Three cache lines with distinct delta sensitivities.
+    client.run("triangle-count", "g", &[]).unwrap();
+    client.run("order-random", "g", &[]).unwrap();
+    client.run("order-degree", "g", &[]).unwrap();
+
+    // Remove two real edges in one batch.
+    let v = (0..graph.num_vertices() as u32)
+        .find(|&v| graph.degree(v) >= 2)
+        .unwrap();
+    let ns: Vec<u32> = graph.neighbors(v).take(2).collect();
+    let removals = [(v, ns[0]), (v, ns[1])];
+    let removed = client.remove_edges("g", &removals).unwrap();
+    assert_ok(&removed);
+    assert_eq!(removed.get("version"), Some(&Json::Int(1)));
+    assert_eq!(removed.get("base_fingerprint"), Some(&base_fp));
+    assert_ne!(removed.get("fingerprint"), Some(&base_fp));
+    assert_eq!(removed.get("removed"), Some(&Json::Int(2)));
+    let cache = removed.get("cache").unwrap();
+    assert_eq!(cache.get("survived"), Some(&Json::Int(1)), "order-random");
+    assert_eq!(
+        cache.get("refreshed"),
+        Some(&Json::Int(1)),
+        "triangle-count"
+    );
+    assert_eq!(
+        cache.get("invalidated"),
+        Some(&Json::Int(1)),
+        "order-degree"
+    );
+
+    // The refreshed count is served cached and agrees with an oracle
+    // recount of the patched graph.
+    let (patched, _) = gms_graph::patch_csr(&graph, &[], &removals).unwrap();
+    let expected = gms_pattern::triangle_count_rank_merge(&patched) as i64;
+    let tri = client.run("triangle-count", "g", &[]).unwrap();
+    assert_eq!(tri.get("cached"), Some(&Json::Bool(true)));
+    assert_eq!(tri.get("patterns"), Some(&Json::Int(expected)));
+    let rand = client.run("order-random", "g", &[]).unwrap();
+    assert_eq!(rand.get("cached"), Some(&Json::Bool(true)));
+
+    // An addition batch exercises the same delta path the other way.
+    let (a, b) = (0..graph.num_vertices() as u32)
+        .flat_map(|x| ((x + 1)..graph.num_vertices() as u32).map(move |y| (x, y)))
+        .find(|&(x, y)| !graph.neighbors(x).any(|t| t == y))
+        .unwrap();
+    let added = client.add_edges("g", &[(a, b)]).unwrap();
+    assert_ok(&added);
+    assert_eq!(added.get("version"), Some(&Json::Int(2)));
+    assert_eq!(added.get("added"), Some(&Json::Int(1)));
+    let (patched2, _) = gms_graph::patch_csr(&patched, &[(a, b)], &[]).unwrap();
+    let expected2 = gms_pattern::triangle_count_rank_merge(&patched2) as i64;
+    let tri2 = client.run("triangle-count", "g", &[]).unwrap();
+    assert_eq!(tri2.get("cached"), Some(&Json::Bool(true)));
+    assert_eq!(tri2.get("patterns"), Some(&Json::Int(expected2)));
+
+    // Replaying the addition is a no-op (set semantics): same
+    // fingerprint, no version bump.
+    let replay = client.add_edges("g", &[(a, b)]).unwrap();
+    assert_ok(&replay);
+    assert_eq!(replay.get("version"), Some(&Json::Int(2)));
+    assert_eq!(replay.get("fingerprint"), added.get("fingerprint"));
+
+    // Stats carry lineage and the fleet-visible migration counters.
+    let stats = client.stats().unwrap();
+    let graphs = stats.get("graphs").and_then(Json::as_array).unwrap();
+    assert_eq!(graphs[0].get("version"), Some(&Json::Int(2)));
+    assert_eq!(graphs[0].get("base_fingerprint"), Some(&base_fp));
+    let cstats = stats.get("cache").unwrap();
+    assert!(cstats.get("migrated").and_then(Json::as_i64).unwrap() >= 4);
+    assert!(cstats.get("refreshed").and_then(Json::as_i64).unwrap() >= 2);
+
+    // Typed failure surface; a rejected batch leaves the graph alone.
+    let bad = client.add_edges("g", &[(0, 1_000_000)]).unwrap();
+    assert_eq!(error_code(&bad), "bad-mutation");
+    let gone = client.add_edges("nope", &[(0, 1)]).unwrap();
+    assert_eq!(error_code(&gone), "unknown-graph");
+    let stats = client.stats().unwrap();
+    let graphs = stats.get("graphs").and_then(Json::as_array).unwrap();
+    assert_eq!(graphs[0].get("version"), Some(&Json::Int(2)));
+    assert_eq!(graphs[0].get("fingerprint"), added.get("fingerprint"));
+
+    client.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn retried_load_after_mid_line_death_registers_once() {
+    use std::io::Write;
+    let (handle, mut client) = start(2, 16);
+    let graph = gms_gen::planted_cliques(150, 0.03, 3, 6, 7).0;
+    let full = Json::object([
+        ("op", Json::from("load")),
+        ("graph", Json::from("g")),
+        ("format", Json::from("edge-list")),
+        ("data", Json::from(edge_list(&graph))),
+        ("compression", Json::from("gap")),
+    ])
+    .render();
+
+    // Attempt 1 dies mid-body: half the request line, no newline,
+    // connection dropped. Nothing may register.
+    {
+        let mut stream = std::net::TcpStream::connect(handle.addr()).unwrap();
+        stream
+            .write_all(&full.as_bytes()[..full.len() / 2])
+            .unwrap();
+        stream.flush().unwrap();
+    }
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    let health = client.health().unwrap();
+    assert_eq!(
+        health.get("graphs"),
+        Some(&Json::Int(0)),
+        "a dead half-line must not register a graph"
+    );
+
+    // Attempt 2 completes and warms the cache.
+    let first = client.request(&Json::parse(&full).unwrap()).unwrap();
+    assert_ok(&first);
+    assert_eq!(first.get("replaced"), Some(&Json::Bool(false)));
+    assert_eq!(first.get("compression").and_then(Json::as_str), Some("gap"));
+    let warm = client.run("triangle-count", "g", &[]).unwrap();
+    assert_eq!(warm.get("cached"), Some(&Json::Bool(false)));
+
+    // The client never saw attempt 2's response (say), so it replays
+    // the identical request: registration is idempotent by
+    // fingerprint — the existing entry is kept, nothing invalidated,
+    // the warmed cache intact.
+    let retry = client.request(&Json::parse(&full).unwrap()).unwrap();
+    assert_ok(&retry);
+    assert_eq!(retry.get("replaced"), Some(&Json::Bool(true)));
+    assert_eq!(retry.get("invalidated"), Some(&Json::Int(0)));
+    assert_eq!(retry.get("version"), Some(&Json::Int(0)));
+    assert_eq!(retry.get("fingerprint"), first.get("fingerprint"));
+    let hit = client.run("triangle-count", "g", &[]).unwrap();
+    assert_eq!(
+        hit.get("cached"),
+        Some(&Json::Bool(true)),
+        "the retry must not cold the cache"
+    );
+    let health = client.health().unwrap();
+    assert_eq!(health.get("graphs"), Some(&Json::Int(1)));
+
+    client.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn mutating_a_compressed_resident_rebuilds_transparently_over_sockets() {
+    use gms_core::Graph;
+    let (handle, mut client) = start(2, 16);
+    let graph = gms_gen::planted_cliques(150, 0.03, 3, 6, 7).0;
+    let loaded = client
+        .request(&Json::object([
+            ("op", Json::from("load")),
+            ("graph", Json::from("g")),
+            ("format", Json::from("edge-list")),
+            ("data", Json::from(edge_list(&graph))),
+            ("compression", Json::from("gap")),
+        ]))
+        .unwrap();
+    assert_ok(&loaded);
+    assert_eq!(
+        loaded.get("compression").and_then(Json::as_str),
+        Some("gap")
+    );
+
+    let u = (0..graph.num_vertices() as u32)
+        .find(|&v| graph.degree(v) >= 1)
+        .unwrap();
+    let w = graph.neighbors(u).next().unwrap();
+    let out = client.remove_edges("g", &[(u, w)]).unwrap();
+    assert_ok(&out);
+    assert_eq!(out.get("version"), Some(&Json::Int(1)));
+
+    // The pinned policy: a compressed resident is transparently
+    // re-encoded across a mutation — it stays `gap`, and kernels keep
+    // serving through the decode hot path, rather than failing
+    // not-materialized.
+    let stats = client.stats().unwrap();
+    let graphs = stats.get("graphs").and_then(Json::as_array).unwrap();
+    assert_eq!(
+        graphs[0].get("compression").and_then(Json::as_str),
+        Some("gap")
+    );
+    assert_eq!(graphs[0].get("version"), Some(&Json::Int(1)));
+    let (patched, _) = gms_graph::patch_csr(&graph, &[], &[(u, w)]).unwrap();
+    let expected = gms_pattern::triangle_count_rank_merge(&patched) as i64;
+    let tri = client.run("triangle-count", "g", &[]).unwrap();
+    assert_ok(&tri);
+    assert_eq!(tri.get("patterns"), Some(&Json::Int(expected)));
+
+    client.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
 fn duplicate_requests_across_connections_share_one_execution() {
     let (handle, mut setup) = start(2, 16);
     let graph = gms_gen::planted_cliques(150, 0.03, 3, 6, 7).0;
