@@ -1,5 +1,5 @@
 //! `gms-client`: the load generator for `gms-serve`, and the CI
-//! serving smoke. Drives a server through four phases and writes a
+//! serving smoke. Drives a server through five phases and writes a
 //! latency/throughput report to `BENCH_serve.json`:
 //!
 //! 1. **setup** — load two synthetic graphs (inline edge lists over
@@ -11,7 +11,11 @@
 //! 3. **open loop** — dispatch a mixed kernel stream (with deliberate
 //!    duplicates) on a fixed arrival schedule over a connection pool,
 //!    recording per-request latency percentiles and throughput;
-//! 4. **verify** — read the stats endpoint and assert the run proved
+//! 4. **HTTP lane** — the same server through the `/v1` gateway: a
+//!    GET + POST mix on per-request connections plus one chunked
+//!    streaming listing, with its own latency percentiles (this is
+//!    also the CI HTTP smoke — no curl required);
+//! 5. **verify** — read the stats endpoint and assert the run proved
 //!    what CI needs: ≥1 queue-full rejection, ≥1 cross-session cache
 //!    hit, the malformed request answered with a typed error — then
 //!    shut the server down gracefully.
@@ -251,7 +255,48 @@ fn main() {
     let open_loop_rejected = *open_loop_rejected.lock().unwrap();
     let completed = latencies.len();
 
-    // ---- Phase 4: verify + report ---------------------------------------
+    // ---- Phase 4: HTTP lane ---------------------------------------------
+    // The same server through the `/v1` gateway: a GET + POST mix on
+    // per-request connections (connection cost included in the
+    // percentiles), plus one chunked streaming listing. This doubles
+    // as the CI HTTP smoke — no curl required.
+    let http = gms_serve::HttpClient::new(addr).expect("dial gateway");
+    let http_total = 60usize;
+    let mut http_latencies: Vec<f64> = Vec::new();
+    let mut http_rejected = 0usize;
+    for i in 0..http_total {
+        let sent = Instant::now();
+        let response = match i % 3 {
+            0 => http.get("/v1/health"),
+            1 => http.run("clique-rich", "triangle-count", &[]),
+            _ => http.run("mesh", "coloring", &[]),
+        }
+        .expect("http round trip");
+        let elapsed_ms = sent.elapsed().as_secs_f64() * 1e3;
+        if response.status == 200 {
+            http_latencies.push(elapsed_ms);
+        } else {
+            assert_eq!(
+                response.status, 503,
+                "only backpressure may fail the HTTP lane: {} {}",
+                response.status, response.body
+            );
+            http_rejected += 1;
+        }
+    }
+    let streamed = http
+        .run_streaming("clique-rich", "bk", &[("collect", Json::Bool(true))], 16)
+        .expect("streamed run");
+    assert_eq!(streamed.status, 200, "streaming lane: {}", streamed.body);
+    assert!(
+        streamed.chunks >= 3,
+        "a clique listing streams as meta + pages + trailer, got {} chunks",
+        streamed.chunks
+    );
+    http_latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let http_completed = http_latencies.len();
+
+    // ---- Phase 5: verify + report ---------------------------------------
     let stats = control.stats().expect("stats endpoint");
     assert_ok(&stats, "stats");
     let cache = stats.get("cache").expect("cache stats");
@@ -267,6 +312,10 @@ fn main() {
         get(cache, "cross_hits") >= 1,
         "≥1 hit must cross worker sessions: {}",
         stats.render()
+    );
+    assert!(
+        get(server, "http_requests") as usize >= http_total,
+        "the gateway counted the HTTP lane"
     );
 
     let mean = if completed > 0 {
@@ -311,6 +360,24 @@ fn main() {
                         ("p99", Json::from(percentile(&latencies, 99.0))),
                         ("max", Json::from(percentile(&latencies, 100.0))),
                         ("mean", Json::from(mean)),
+                    ]),
+                ),
+            ]),
+        ),
+        (
+            "http",
+            Json::object([
+                ("offered", Json::from(http_total)),
+                ("completed", Json::from(http_completed)),
+                ("rejected", Json::from(http_rejected)),
+                ("streamed_chunks", Json::from(streamed.chunks)),
+                (
+                    "latency_ms",
+                    Json::object([
+                        ("p50", Json::from(percentile(&http_latencies, 50.0))),
+                        ("p90", Json::from(percentile(&http_latencies, 90.0))),
+                        ("p99", Json::from(percentile(&http_latencies, 99.0))),
+                        ("max", Json::from(percentile(&http_latencies, 100.0))),
                     ]),
                 ),
             ]),

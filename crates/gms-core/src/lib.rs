@@ -21,11 +21,13 @@
 
 #![warn(missing_docs)]
 
+pub mod cancel;
 pub mod graph;
 pub mod hash;
 pub mod set;
 pub mod types;
 
+pub use cancel::CancelToken;
 pub use graph::{CsrBuilder, CsrGraph, Graph, SetGraph, SetNeighborhoods};
 pub use set::{
     DenseBitSet, HashVertexSet, RoaringSet, Set, SetElement, SortedVecSet, SparseBitSet,

@@ -17,6 +17,7 @@
 
 use crate::labeled::LabeledGraph;
 use crate::vf2::{build_plan, IsoOptions, MatchState};
+use gms_core::CancelToken;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -50,6 +51,18 @@ pub fn count_embeddings_parallel(
     target: &LabeledGraph,
     config: &ParallelIsoConfig,
 ) -> u64 {
+    count_embeddings_parallel_cancellable(query, target, config, &CancelToken::none())
+}
+
+/// [`count_embeddings_parallel`] under a cooperative [`CancelToken`]
+/// probed at every chunk boundary and extension step. A fired token
+/// yields a partial count the caller must discard.
+pub fn count_embeddings_parallel_cancellable(
+    query: &LabeledGraph,
+    target: &LabeledGraph,
+    config: &ParallelIsoConfig,
+    cancel: &CancelToken,
+) -> u64 {
     if query.num_vertices() == 0 {
         return 1;
     }
@@ -76,10 +89,11 @@ pub fn count_embeddings_parallel(
         .expect("threads >= 1");
     pool.install(|| {
         roots.par_chunks(chunk).for_each(|chunk_roots| {
-            if total.load(Ordering::Relaxed) >= config.options.limit {
+            if total.load(Ordering::Relaxed) >= config.options.limit || cancel.is_cancelled() {
                 return;
             }
             let mut state = MatchState::new(query, target, &plan, &config.options);
+            state.cancel = cancel.clone();
             for &root in chunk_roots {
                 if total.load(Ordering::Relaxed) >= config.options.limit {
                     break;

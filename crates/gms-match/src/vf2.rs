@@ -16,7 +16,7 @@
 //!   branch-light binary search instead of linear scans.
 
 use crate::labeled::LabeledGraph;
-use gms_core::{Graph, NodeId};
+use gms_core::{CancelToken, Graph, NodeId};
 
 /// Matching semantics.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -125,6 +125,9 @@ pub(crate) struct MatchState<'a> {
     /// Targets already used.
     pub used: Vec<bool>,
     pub found: u64,
+    /// Cooperative cancellation, probed at every extension step; a
+    /// fired token makes `found` a partial count the caller discards.
+    pub cancel: CancelToken,
 }
 
 const UNMAPPED: NodeId = u32::MAX;
@@ -144,6 +147,7 @@ impl<'a> MatchState<'a> {
             mapping: vec![UNMAPPED; query.num_vertices()],
             used: vec![false; target.num_vertices()],
             found: 0,
+            cancel: CancelToken::none(),
         }
     }
 
@@ -188,7 +192,7 @@ impl<'a> MatchState<'a> {
 
     /// Recursive extension from position `depth` in the plan order.
     pub fn extend(&mut self, depth: usize) {
-        if self.found >= self.options.limit {
+        if self.found >= self.options.limit || self.cancel.is_cancelled() {
             return;
         }
         if depth == self.plan.order.len() {
@@ -249,6 +253,9 @@ impl MatchState<'_> {
     /// query→target mapping for every embedding; `visit` returning
     /// `false` aborts the traversal. Returns whether to continue.
     fn extend_visit<F: FnMut(&[NodeId]) -> bool>(&mut self, depth: usize, visit: &mut F) -> bool {
+        if self.cancel.is_cancelled() {
+            return false;
+        }
         if depth == self.plan.order.len() {
             self.found += 1;
             // Mapping is indexed by query vertex, fully populated here.
@@ -299,11 +306,24 @@ pub fn enumerate_embeddings(
 
 /// Counts embeddings of `query` in `target` (sequential VF2).
 pub fn count_embeddings(query: &LabeledGraph, target: &LabeledGraph, options: &IsoOptions) -> u64 {
+    count_embeddings_cancellable(query, target, options, &CancelToken::none())
+}
+
+/// [`count_embeddings`] under a cooperative [`CancelToken`] probed
+/// at every extension step. A fired token yields a partial count the
+/// caller must discard.
+pub fn count_embeddings_cancellable(
+    query: &LabeledGraph,
+    target: &LabeledGraph,
+    options: &IsoOptions,
+    cancel: &CancelToken,
+) -> u64 {
     if query.num_vertices() == 0 || query.num_vertices() > target.num_vertices() {
         return if query.num_vertices() == 0 { 1 } else { 0 };
     }
     let plan = build_plan(query, target, options);
     let mut state = MatchState::new(query, target, &plan, options);
+    state.cancel = cancel.clone();
     state.extend(0);
     state.found
 }

@@ -27,7 +27,8 @@
 use crate::scratch::{with_worker_scratch, SetPool};
 use gms_core::hash::FxHashMap;
 use gms_core::{
-    CsrGraph, DenseBitSet, Graph, HashVertexSet, NodeId, Set, SetGraph, SetNeighborhoods,
+    CancelToken, CsrGraph, DenseBitSet, Graph, HashVertexSet, NodeId, Set, SetGraph,
+    SetNeighborhoods,
 };
 use gms_graph::relabel;
 use gms_order::OrderingKind;
@@ -111,6 +112,10 @@ struct SearchCtx<'a, S: Set> {
     /// Rebuild `H` before every recursive call (Eppstein-style).
     per_level: bool,
     collect: bool,
+    /// Cooperative cancellation, probed at every recursion entry.
+    /// When it fires the search unwinds with a partial count the
+    /// caller must discard.
+    cancel: &'a CancelToken,
 }
 
 impl<S: Set> SearchCtx<'_, S> {
@@ -187,6 +192,9 @@ fn bk_pivot<S: Set>(
     scratch: &mut SetPool<S>,
     out: &mut LocalOut,
 ) {
+    if ctx.cancel.is_cancelled() {
+        return;
+    }
     if p.is_empty() {
         // Line 19: R is maximal iff X is also empty.
         if x.is_empty() {
@@ -221,6 +229,7 @@ fn bk_pivot<S: Set>(
                 subgraph: Some(&h),
                 per_level: true,
                 collect: ctx.collect,
+                cancel: ctx.cancel,
             };
             bk_pivot(&child, &mut p_new, r, &mut x_new, scratch, out);
         } else {
@@ -246,6 +255,9 @@ fn bk_pivot_par<S: Set>(
     x: &S,
     depth_left: usize,
 ) -> LocalOut {
+    if ctx.cancel.is_cancelled() {
+        return LocalOut::empty();
+    }
     if depth_left == 0 || rayon::current_num_threads() <= 1 {
         // Sequential subtree: borrow the calling worker's scratch
         // pool instead of growing a fresh one per task — stolen
@@ -308,6 +320,7 @@ fn bk_split_branches<S: Set>(
                     subgraph: Some(&h),
                     per_level: true,
                     collect: ctx.collect,
+                    cancel: ctx.cancel,
                 };
                 bk_pivot_par(&child, &p_new, &r_new, &x_new, depth_left - 1)
             } else {
@@ -348,6 +361,18 @@ fn bk_split_branches<S: Set>(
 
 /// Runs Bron–Kerbosch with pivoting over set representation `S`.
 pub fn bron_kerbosch<S: Set>(graph: &CsrGraph, config: &BkConfig) -> BkOutcome {
+    bron_kerbosch_cancellable::<S>(graph, config, &CancelToken::none())
+}
+
+/// [`bron_kerbosch`] with a cooperative [`CancelToken`] probed at
+/// every recursion entry. When the token fires mid-search the walk
+/// unwinds early and the returned counts are partial — callers must
+/// check the token and discard the outcome.
+pub fn bron_kerbosch_cancellable<S: Set>(
+    graph: &CsrGraph,
+    config: &BkConfig,
+    cancel: &CancelToken,
+) -> BkOutcome {
     let t0 = Instant::now();
     let rank = config.ordering.compute(graph);
     let relabeled = relabel(graph, &rank);
@@ -361,6 +386,9 @@ pub fn bron_kerbosch<S: Set>(graph: &CsrGraph, config: &BkConfig) -> BkOutcome {
     let merged = (0..n as NodeId)
         .into_par_iter()
         .map(|v| {
+            if cancel.is_cancelled() {
+                return LocalOut::empty();
+            }
             // Line 13: split N(v) by the processing order.
             let neigh = relabeled.neighbors_slice(v);
             let split = neigh.partition_point(|&w| w < v);
@@ -388,6 +416,7 @@ pub fn bron_kerbosch<S: Set>(graph: &CsrGraph, config: &BkConfig) -> BkOutcome {
                 subgraph,
                 per_level: config.subgraph == SubgraphMode::PerLevel,
                 collect: config.collect,
+                cancel,
             };
             let r = vec![v];
             if config.par_depth > 0 && rayon::current_num_threads() > 1 {
@@ -480,51 +509,51 @@ impl BkVariant {
 
     /// Runs the variant, optionally collecting the cliques.
     pub fn run_with(&self, graph: &CsrGraph, collect: bool) -> BkOutcome {
+        self.run_cancellable(graph, collect, &CancelToken::none())
+    }
+
+    /// [`BkVariant::run_with`] under a cooperative [`CancelToken`];
+    /// a fired token yields a partial outcome the caller discards.
+    pub fn run_cancellable(
+        &self,
+        graph: &CsrGraph,
+        collect: bool,
+        cancel: &CancelToken,
+    ) -> BkOutcome {
+        let config = |ordering, subgraph| BkConfig {
+            ordering,
+            subgraph,
+            collect,
+            ..BkConfig::default()
+        };
         match self {
-            BkVariant::Das => bron_kerbosch::<HashVertexSet>(
+            BkVariant::Das => bron_kerbosch_cancellable::<HashVertexSet>(
                 graph,
-                &BkConfig {
-                    ordering: OrderingKind::Degeneracy,
-                    subgraph: SubgraphMode::PerLevel,
-                    collect,
-                    ..BkConfig::default()
-                },
+                &config(OrderingKind::Degeneracy, SubgraphMode::PerLevel),
+                cancel,
             ),
-            BkVariant::GmsDeg => bron_kerbosch::<DenseBitSet>(
+            BkVariant::GmsDeg => bron_kerbosch_cancellable::<DenseBitSet>(
                 graph,
-                &BkConfig {
-                    ordering: OrderingKind::Degree,
-                    subgraph: SubgraphMode::None,
-                    collect,
-                    ..BkConfig::default()
-                },
+                &config(OrderingKind::Degree, SubgraphMode::None),
+                cancel,
             ),
-            BkVariant::GmsDgr => bron_kerbosch::<DenseBitSet>(
+            BkVariant::GmsDgr => bron_kerbosch_cancellable::<DenseBitSet>(
                 graph,
-                &BkConfig {
-                    ordering: OrderingKind::Degeneracy,
-                    subgraph: SubgraphMode::None,
-                    collect,
-                    ..BkConfig::default()
-                },
+                &config(OrderingKind::Degeneracy, SubgraphMode::None),
+                cancel,
             ),
-            BkVariant::GmsAdg => bron_kerbosch::<DenseBitSet>(
+            BkVariant::GmsAdg => bron_kerbosch_cancellable::<DenseBitSet>(
                 graph,
-                &BkConfig {
-                    ordering: OrderingKind::ApproxDegeneracy(0.25),
-                    subgraph: SubgraphMode::None,
-                    collect,
-                    ..BkConfig::default()
-                },
+                &config(OrderingKind::ApproxDegeneracy(0.25), SubgraphMode::None),
+                cancel,
             ),
-            BkVariant::GmsAdgS => bron_kerbosch::<DenseBitSet>(
+            BkVariant::GmsAdgS => bron_kerbosch_cancellable::<DenseBitSet>(
                 graph,
-                &BkConfig {
-                    ordering: OrderingKind::ApproxDegeneracy(0.25),
-                    subgraph: SubgraphMode::Outermost,
-                    collect,
-                    ..BkConfig::default()
-                },
+                &config(
+                    OrderingKind::ApproxDegeneracy(0.25),
+                    SubgraphMode::Outermost,
+                ),
+                cancel,
             ),
         }
     }
@@ -648,6 +677,20 @@ mod tests {
         let outcome = BkVariant::GmsAdg.run(&g);
         assert!(outcome.throughput() > 0.0);
         assert!(outcome.cliques.is_none());
+    }
+
+    #[test]
+    fn fired_token_unwinds_with_a_partial_count() {
+        let (g, _) = gms_gen::planted_cliques(200, 0.03, 3, 8, 1);
+        assert!(BkVariant::GmsAdg.run(&g).clique_count > 0);
+        let token = CancelToken::manual();
+        token.cancel();
+        // A token fired before the search starts prunes every root.
+        let partial = BkVariant::GmsAdg.run_cancellable(&g, false, &token);
+        assert_eq!(partial.clique_count, 0);
+        // An unfired token changes nothing.
+        let live = BkVariant::GmsAdg.run_cancellable(&g, false, &CancelToken::manual());
+        assert_eq!(live.clique_count, BkVariant::GmsAdg.run(&g).clique_count);
     }
 
     #[test]

@@ -19,7 +19,7 @@
 //! candidate set sizes, not by Δ².
 
 use crate::scratch::{with_worker_scratch, SetPool};
-use gms_core::{CsrGraph, Graph, NodeId, Set, SortedVecSet};
+use gms_core::{CancelToken, CsrGraph, Graph, NodeId, Set, SortedVecSet};
 use gms_graph::{orient_by_rank, relabel, Rank};
 use gms_order::OrderingKind;
 use rayon::prelude::*;
@@ -77,7 +77,11 @@ fn count_rec<S: Set>(
     k: usize,
     candidates: &S,
     pool: &mut SetPool<S>,
+    cancel: &CancelToken,
 ) -> u64 {
+    if cancel.is_cancelled() {
+        return 0;
+    }
     if level == k {
         return candidates.cardinality() as u64;
     }
@@ -97,7 +101,7 @@ fn count_rec<S: Set>(
         forward.assign_sorted(dag.neighbors_slice(v));
         next.clone_from(candidates);
         next.intersect_inplace(&forward);
-        total += count_rec(dag, level + 1, k, &next, pool);
+        total += count_rec(dag, level + 1, k, &next, pool, cancel);
     }
     pool.put(next);
     pool.put(forward);
@@ -106,6 +110,18 @@ fn count_rec<S: Set>(
 
 /// Counts `k`-cliques with representation `S` for the candidate sets.
 pub fn k_clique_count_with<S: Set>(graph: &CsrGraph, k: usize, config: &KcConfig) -> KcOutcome {
+    k_clique_count_cancellable_with::<S>(graph, k, config, &CancelToken::none())
+}
+
+/// [`k_clique_count_with`] under a cooperative [`CancelToken`]
+/// probed at every recursion entry and task root. A fired token
+/// yields a partial count the caller must discard.
+pub fn k_clique_count_cancellable_with<S: Set>(
+    graph: &CsrGraph,
+    k: usize,
+    config: &KcConfig,
+    cancel: &CancelToken,
+) -> KcOutcome {
     assert!(k >= 1, "k must be positive");
     let t0 = Instant::now();
     let rank = config.ordering.compute(graph);
@@ -121,10 +137,13 @@ pub fn k_clique_count_with<S: Set>(graph: &CsrGraph, k: usize, config: &KcConfig
             KcParallel::Node => (0..dag.num_vertices() as NodeId)
                 .into_par_iter()
                 .map(|u| {
+                    if cancel.is_cancelled() {
+                        return 0;
+                    }
                     with_worker_scratch::<SetPool<S>, _>(|pool| {
                         let mut c2 = pool.take();
                         c2.assign_sorted(dag.neighbors_slice(u));
-                        let total = count_rec(&dag, 2, k, &c2, pool);
+                        let total = count_rec(&dag, 2, k, &c2, pool, cancel);
                         pool.put(c2);
                         total
                     })
@@ -144,6 +163,9 @@ pub fn k_clique_count_with<S: Set>(graph: &CsrGraph, k: usize, config: &KcConfig
                     .into_par_iter()
                     .with_min_len(16)
                     .map(|(u, v)| {
+                        if cancel.is_cancelled() {
+                            return 0;
+                        }
                         with_worker_scratch::<SetPool<S>, _>(|pool| {
                             let mut nu = pool.take();
                             nu.assign_sorted(dag.neighbors_slice(u));
@@ -156,7 +178,7 @@ pub fn k_clique_count_with<S: Set>(graph: &CsrGraph, k: usize, config: &KcConfig
                                 nv.assign_sorted(dag.neighbors_slice(v));
                                 nu.intersect_inplace(&nv);
                                 pool.put(nv);
-                                count_rec(&dag, 3, k, &nu, pool)
+                                count_rec(&dag, 3, k, &nu, pool, cancel)
                             };
                             pool.put(nu);
                             total
@@ -177,6 +199,16 @@ pub fn k_clique_count_with<S: Set>(graph: &CsrGraph, k: usize, config: &KcConfig
 /// Counts `k`-cliques with the default sorted-array candidate sets.
 pub fn k_clique_count(graph: &CsrGraph, k: usize, config: &KcConfig) -> KcOutcome {
     k_clique_count_with::<SortedVecSet>(graph, k, config)
+}
+
+/// [`k_clique_count`] under a cooperative [`CancelToken`].
+pub fn k_clique_count_cancellable(
+    graph: &CsrGraph,
+    k: usize,
+    config: &KcConfig,
+    cancel: &CancelToken,
+) -> KcOutcome {
+    k_clique_count_cancellable_with::<SortedVecSet>(graph, k, config, cancel)
 }
 
 /// Lists all `k`-cliques (original vertex IDs, each sorted; the whole
@@ -396,6 +428,20 @@ mod tests {
         assert!(
             counts[0] >= 2 * binomial(7, 5),
             "planted cliques contribute"
+        );
+    }
+
+    #[test]
+    fn fired_token_yields_a_discardable_partial_count() {
+        let g = gms_gen::complete(10);
+        let token = CancelToken::manual();
+        token.cancel();
+        let out = k_clique_count_cancellable(&g, 4, &KcConfig::default(), &token);
+        assert_eq!(out.count, 0, "every task root sees the fired token");
+        let live = k_clique_count_cancellable(&g, 4, &KcConfig::default(), &CancelToken::manual());
+        assert_eq!(
+            live.count,
+            k_clique_count(&g, 4, &KcConfig::default()).count
         );
     }
 

@@ -24,14 +24,17 @@ pub mod kclique;
 pub mod scratch;
 pub mod triangles;
 
-pub use bk::{bron_kerbosch, BkConfig, BkOutcome, BkVariant, SubgraphMode};
+pub use bk::{
+    bron_kerbosch, bron_kerbosch_cancellable, BkConfig, BkOutcome, BkVariant, SubgraphMode,
+};
 pub use clique_star::{k_clique_stars, CliqueStar};
 pub use dense::{
     densest_subgraph, is_quasi_clique, k_truss_vertices, max_truss, truss_decomposition,
     DensestSubgraph,
 };
 pub use kclique::{
-    k_clique_count, k_clique_count_with, k_clique_list, KcConfig, KcOutcome, KcParallel, KcVariant,
+    k_clique_count, k_clique_count_cancellable, k_clique_count_cancellable_with,
+    k_clique_count_with, k_clique_list, KcConfig, KcOutcome, KcParallel, KcVariant,
 };
 pub use triangles::{
     triangle_count_compressed, triangle_count_node_iterator, triangle_count_rank_merge,

@@ -5,7 +5,7 @@
 //! as stealable tasks on a sized rayon pool.
 
 use super::session::{GraphHandle, Session};
-use super::{KernelError, Outcome, Params};
+use super::{CancelToken, KernelError, Outcome, Params};
 use rayon::prelude::*;
 
 /// One kernel request inside a batch.
@@ -56,6 +56,24 @@ impl BatchRunner {
         &self,
         session: &mut Session,
         requests: &[BatchRequest],
+    ) -> Vec<Result<Outcome, KernelError>> {
+        self.run_cancellable(session, requests, &CancelToken::none())
+    }
+
+    /// [`BatchRunner::run`] under a cooperative [`CancelToken`]
+    /// shared by every request in the batch — the shape a propagated
+    /// request deadline takes once it reaches batched execution.
+    ///
+    /// Cache hits are still served after the token fires (they cost
+    /// nothing), but jobs that would need kernel time fail fast with
+    /// [`KernelError::DeadlineExceeded`], and jobs already running
+    /// stop at the kernel's next cancellation point. Failed jobs are
+    /// never cached.
+    pub fn run_cancellable(
+        &self,
+        session: &mut Session,
+        requests: &[BatchRequest],
+        cancel: &CancelToken,
     ) -> Vec<Result<Outcome, KernelError>> {
         // Phase 1 (sequential): validate, consult the cache, and
         // collect the unique keys that actually need kernel time.
@@ -109,13 +127,16 @@ impl BatchRunner {
                         .registry()
                         .get(&request.kernel)
                         .expect("validated kernel name");
+                    if cancel.expired() {
+                        return Err(KernelError::DeadlineExceeded);
+                    }
                     match frozen.store(request.graph)? {
-                        super::GraphStore::Csr(graph) => {
-                            cache.run_or_wait(key, owner, || kernel.run(graph, &request.params))
-                        }
+                        super::GraphStore::Csr(graph) => cache.run_or_wait(key, owner, || {
+                            kernel.run_with_cancel(graph, &request.params, cancel)
+                        }),
                         super::GraphStore::Compressed(graph) => {
                             cache.run_or_wait(key, owner, || {
-                                kernel.run_compressed(graph, &request.params)
+                                kernel.run_compressed_with_cancel(graph, &request.params, cancel)
                             })
                         }
                     }
@@ -177,6 +198,29 @@ mod tests {
             .run("k-clique", g, &Params::new().with("k", 3))
             .unwrap();
         assert!(hit.cached);
+    }
+
+    #[test]
+    fn fired_token_fails_misses_but_serves_hits() {
+        let mut session = Session::new();
+        let g = session.add_graph(gms_gen::gnp(80, 0.1, 4));
+        let warm = vec![BatchRequest::new("triangle-count", g, Params::new())];
+        assert!(BatchRunner::new(2).run(&mut session, &warm)[0].is_ok());
+
+        let fired = CancelToken::manual();
+        fired.cancel();
+        let requests = vec![
+            BatchRequest::new("triangle-count", g, Params::new()), // cached
+            BatchRequest::new("k-clique", g, Params::new().with("k", 3)), // miss
+        ];
+        let results = BatchRunner::new(2).run_cancellable(&mut session, &requests, &fired);
+        assert!(results[0].as_ref().unwrap().cached, "hits still served");
+        assert!(matches!(results[1], Err(KernelError::DeadlineExceeded)));
+        // The failure was not cached: a live retry computes it.
+        let retry = session
+            .run("k-clique", g, &Params::new().with("k", 3))
+            .unwrap();
+        assert!(!retry.cached);
     }
 
     #[test]

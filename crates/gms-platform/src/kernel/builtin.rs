@@ -6,7 +6,10 @@
 //! registry, the session cache, the batch runner, and the benchmark
 //! harness reach them.
 
-use super::{Category, DeltaSensitivity, Kernel, KernelError, Outcome, ParamSpec, Params, Payload};
+use super::{
+    CancelToken, Category, DeltaSensitivity, Kernel, KernelError, Outcome, ParamSpec, Params,
+    Payload,
+};
 use crate::counters::CountingSet;
 use crate::pipeline::StageTimings;
 use gms_core::hash::FxHasher;
@@ -19,8 +22,8 @@ use gms_learn::{
     similarity_batch_csr, JarvisPatrickConfig, SimilarityMeasure,
 };
 use gms_match::{
-    count_embeddings, count_embeddings_parallel, IsoMode, IsoOptions, LabeledGraph,
-    ParallelIsoConfig,
+    count_embeddings_cancellable, count_embeddings_parallel_cancellable, IsoMode, IsoOptions,
+    LabeledGraph, ParallelIsoConfig,
 };
 use gms_opt::{
     boruvka, forest_weight, greedy_coloring, johansson, jones_plassmann, min_cut, verify_coloring,
@@ -28,9 +31,9 @@ use gms_opt::{
 };
 use gms_order::{bfs_order, k_core_by_peeling, random_order, OrderingKind};
 use gms_pattern::{
-    bron_kerbosch, k_clique_count, k_clique_stars, triangle_count_node_iterator,
-    triangle_count_rank_merge, triangle_count_touched, BkConfig, BkVariant, KcConfig, KcParallel,
-    SubgraphMode,
+    bron_kerbosch_cancellable, k_clique_count_cancellable, k_clique_stars,
+    triangle_count_node_iterator, triangle_count_rank_merge, triangle_count_touched, BkConfig,
+    BkVariant, KcConfig, KcParallel, SubgraphMode,
 };
 use std::hash::Hasher;
 use std::time::Instant;
@@ -143,6 +146,14 @@ impl Kernel for BkKernel {
         ]
     }
     fn run(&self, graph: &CsrGraph, params: &Params) -> Result<Outcome, KernelError> {
+        self.run_with_cancel(graph, params, &CancelToken::none())
+    }
+    fn run_with_cancel(
+        &self,
+        graph: &CsrGraph,
+        params: &Params,
+        cancel: &CancelToken,
+    ) -> Result<Outcome, KernelError> {
         let config = BkConfig {
             ordering: ordering_from(params),
             subgraph: match params.get_str("subgraph", "none") {
@@ -154,12 +165,17 @@ impl Kernel for BkKernel {
             par_depth: params.get_int("par-depth", 4).max(0) as usize,
         };
         let out = match params.get_str("layout", "dense") {
-            "sorted" => bron_kerbosch::<SortedVecSet>(graph, &config),
-            "roaring" => bron_kerbosch::<RoaringSet>(graph, &config),
-            "hash" => bron_kerbosch::<HashVertexSet>(graph, &config),
-            "counting" => bron_kerbosch::<CountingSet<SortedVecSet>>(graph, &config),
-            _ => bron_kerbosch::<DenseBitSet>(graph, &config),
+            "sorted" => bron_kerbosch_cancellable::<SortedVecSet>(graph, &config, cancel),
+            "roaring" => bron_kerbosch_cancellable::<RoaringSet>(graph, &config, cancel),
+            "hash" => bron_kerbosch_cancellable::<HashVertexSet>(graph, &config, cancel),
+            "counting" => {
+                bron_kerbosch_cancellable::<CountingSet<SortedVecSet>>(graph, &config, cancel)
+            }
+            _ => bron_kerbosch_cancellable::<DenseBitSet>(graph, &config, cancel),
         };
+        if cancel.expired() {
+            return Err(KernelError::DeadlineExceeded);
+        }
         Ok(Outcome::new(self.name(), out.clique_count)
             .with_timings(stage(out.preprocess, out.mine))
             .with_payload(match out.cliques {
@@ -197,7 +213,20 @@ impl Kernel for BkVariantKernel {
         )]
     }
     fn run(&self, graph: &CsrGraph, params: &Params) -> Result<Outcome, KernelError> {
-        let out = self.0.run_with(graph, params.get_bool("collect", false));
+        self.run_with_cancel(graph, params, &CancelToken::none())
+    }
+    fn run_with_cancel(
+        &self,
+        graph: &CsrGraph,
+        params: &Params,
+        cancel: &CancelToken,
+    ) -> Result<Outcome, KernelError> {
+        let out = self
+            .0
+            .run_cancellable(graph, params.get_bool("collect", false), cancel);
+        if cancel.expired() {
+            return Err(KernelError::DeadlineExceeded);
+        }
         Ok(Outcome::new(self.name(), out.clique_count)
             .with_timings(stage(out.preprocess, out.mine))
             .with_payload(match out.cliques {
@@ -235,6 +264,14 @@ impl Kernel for KCliqueKernel {
         ]
     }
     fn run(&self, graph: &CsrGraph, params: &Params) -> Result<Outcome, KernelError> {
+        self.run_with_cancel(graph, params, &CancelToken::none())
+    }
+    fn run_with_cancel(
+        &self,
+        graph: &CsrGraph,
+        params: &Params,
+        cancel: &CancelToken,
+    ) -> Result<Outcome, KernelError> {
         let k = params.get_int("k", 4);
         if k < 1 {
             return Err(KernelError::BadParam {
@@ -250,7 +287,10 @@ impl Kernel for KCliqueKernel {
                 _ => KcParallel::Edge,
             },
         };
-        let out = k_clique_count(graph, k as usize, &config);
+        let out = k_clique_count_cancellable(graph, k as usize, &config, cancel);
+        if cancel.expired() {
+            return Err(KernelError::DeadlineExceeded);
+        }
         Ok(Outcome::new(self.name(), out.count).with_timings(stage(out.preprocess, out.mine)))
     }
 }
@@ -464,13 +504,24 @@ impl Kernel for SubgraphIsoKernel {
         iso_specs()
     }
     fn run(&self, graph: &CsrGraph, params: &Params) -> Result<Outcome, KernelError> {
+        self.run_with_cancel(graph, params, &CancelToken::none())
+    }
+    fn run_with_cancel(
+        &self,
+        graph: &CsrGraph,
+        params: &Params,
+        cancel: &CancelToken,
+    ) -> Result<Outcome, KernelError> {
         let t = Instant::now();
         let query = LabeledGraph::unlabeled(query_graph(params.get_str("query", "triangle")));
         let target = LabeledGraph::unlabeled(graph.clone());
         let convert = t.elapsed();
         let t = Instant::now();
-        let count = count_embeddings(&query, &target, &iso_options(params));
+        let count = count_embeddings_cancellable(&query, &target, &iso_options(params), cancel);
         let kernel = t.elapsed();
+        if cancel.expired() {
+            return Err(KernelError::DeadlineExceeded);
+        }
         Ok(Outcome::new(self.name(), count).with_timings(StageTimings {
             convert,
             preprocess: std::time::Duration::ZERO,
@@ -507,6 +558,14 @@ impl Kernel for ParallelIsoKernel {
         specs
     }
     fn run(&self, graph: &CsrGraph, params: &Params) -> Result<Outcome, KernelError> {
+        self.run_with_cancel(graph, params, &CancelToken::none())
+    }
+    fn run_with_cancel(
+        &self,
+        graph: &CsrGraph,
+        params: &Params,
+        cancel: &CancelToken,
+    ) -> Result<Outcome, KernelError> {
         let t = Instant::now();
         let query = LabeledGraph::unlabeled(query_graph(params.get_str("query", "triangle")));
         let target = LabeledGraph::unlabeled(graph.clone());
@@ -522,8 +581,11 @@ impl Kernel for ParallelIsoKernel {
             options: iso_options(params),
         };
         let t = Instant::now();
-        let count = count_embeddings_parallel(&query, &target, &config);
+        let count = count_embeddings_parallel_cancellable(&query, &target, &config, cancel);
         let kernel = t.elapsed();
+        if cancel.expired() {
+            return Err(KernelError::DeadlineExceeded);
+        }
         Ok(Outcome::new(self.name(), count).with_timings(StageTimings {
             convert,
             preprocess: std::time::Duration::ZERO,

@@ -59,6 +59,8 @@ pub use session::{
 use gms_core::CsrGraph;
 use gms_graph::{CompressedCsr, EdgeDelta};
 
+pub use gms_core::CancelToken;
+
 /// The kernel families of the GMS specification (§4.1), plus the
 /// reorderings of the preprocessing stage (③) exposed as runnable
 /// kernels in their own right.
@@ -146,6 +148,56 @@ pub trait Kernel: Send + Sync {
         Ok(outcome)
     }
 
+    /// Runs the kernel under a cooperative [`CancelToken`] — the
+    /// entry point request deadlines travel through.
+    ///
+    /// The default runs [`Kernel::run`] to completion and fails with
+    /// [`KernelError::DeadlineExceeded`] afterwards if the token has
+    /// fired — always correct, never early. Kernels with cancellable
+    /// hot loops (Bron–Kerbosch, k-clique, subgraph isomorphism)
+    /// override this to probe the token mid-search, so an expired
+    /// request stops burning CPU instead of finishing an answer
+    /// nobody is waiting for. A fired token must surface as
+    /// [`KernelError::DeadlineExceeded`], never as a partial
+    /// [`Outcome`] — the result cache would memoize the truncation.
+    fn run_with_cancel(
+        &self,
+        graph: &CsrGraph,
+        params: &Params,
+        cancel: &CancelToken,
+    ) -> Result<Outcome, KernelError> {
+        if cancel.expired() {
+            return Err(KernelError::DeadlineExceeded);
+        }
+        let outcome = self.run(graph, params)?;
+        if cancel.expired() {
+            return Err(KernelError::DeadlineExceeded);
+        }
+        Ok(outcome)
+    }
+
+    /// [`Kernel::run_compressed`] under a cooperative [`CancelToken`].
+    ///
+    /// The default delegates to [`Kernel::run_compressed`] (so
+    /// decode-native overrides keep their hot path) and applies the
+    /// same fired-token-becomes-error contract as
+    /// [`Kernel::run_with_cancel`].
+    fn run_compressed_with_cancel(
+        &self,
+        graph: &CompressedCsr,
+        params: &Params,
+        cancel: &CancelToken,
+    ) -> Result<Outcome, KernelError> {
+        if cancel.expired() {
+            return Err(KernelError::DeadlineExceeded);
+        }
+        let outcome = self.run_compressed(graph, params)?;
+        if cancel.expired() {
+            return Err(KernelError::DeadlineExceeded);
+        }
+        Ok(outcome)
+    }
+
     /// How this kernel's result depends on structural deltas — the
     /// declaration delta-aware cache invalidation acts on. The
     /// default is the always-safe [`DeltaSensitivity::Global`] (any
@@ -215,6 +267,10 @@ pub enum KernelError {
         /// What was wrong with the batch.
         message: String,
     },
+    /// The request's deadline passed before the kernel completed;
+    /// the (partial) work was discarded. Deadline-exceeded results
+    /// are never cached, so a later request recomputes from scratch.
+    DeadlineExceeded,
 }
 
 impl std::fmt::Display for KernelError {
@@ -238,6 +294,9 @@ impl std::fmt::Display for KernelError {
             }
             KernelError::BadMutation { message } => {
                 write!(f, "bad edge mutation: {message}")
+            }
+            KernelError::DeadlineExceeded => {
+                write!(f, "deadline exceeded before the kernel completed")
             }
         }
     }

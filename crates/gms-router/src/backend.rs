@@ -10,10 +10,29 @@
 //! the router turns into failover.
 
 use gms_serve::{Client, ClientConfig, Json};
+use std::io::ErrorKind;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
+
+/// Grace on top of a caller deadline before the router stops waiting
+/// on a shard: covers the shard's strided cancellation checks plus
+/// one response transit.
+const DEADLINE_SLACK: Duration = Duration::from_millis(500);
+
+/// How a routed request failed — the distinction drives failover.
+#[derive(Debug)]
+pub enum RequestError {
+    /// The caller's deadline (plus slack) lapsed waiting on the
+    /// shard. The shard may be perfectly healthy and merely slow to
+    /// cancel, so the router answers a typed `deadline-exceeded` and
+    /// must **not** declare the backend dead.
+    DeadlineLapsed,
+    /// Transport failure after the one-reconnect retry: the shard is
+    /// genuinely unreachable and failover should run.
+    Dead(std::io::Error),
+}
 
 /// A registered shard.
 pub struct Backend {
@@ -94,6 +113,58 @@ impl Backend {
                 Ok(response)
             }
             Err(e) => Err(e),
+        }
+    }
+
+    /// Like [`Backend::request`], but when the caller carries a
+    /// `deadline_ms` the pooled connection's read timeout is
+    /// tightened to `deadline + slack` for this request — never
+    /// loosened past the configured failover timeout — so an
+    /// over-deadline request costs the routing thread roughly the
+    /// deadline instead of the full 30 s death watch. A timeout under
+    /// the tightened budget maps to [`RequestError::DeadlineLapsed`]
+    /// (no failover); stale pooled connections still heal with one
+    /// reconnect, exactly like the plain path.
+    pub fn request_with_deadline(
+        &self,
+        request: &Json,
+        deadline_ms: Option<u64>,
+    ) -> Result<Json, RequestError> {
+        let tightened = deadline_ms
+            .map(|ms| Duration::from_millis(ms) + DEADLINE_SLACK)
+            .filter(|t| self.config.read_timeout.is_none_or(|cfg| *t < cfg));
+        let Some(timeout) = tightened else {
+            return self.request(request).map_err(RequestError::Dead);
+        };
+        let is_timeout =
+            |e: &std::io::Error| matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut);
+        let mut client = self.take().map_err(RequestError::Dead)?;
+        if let Err(e) = client.set_read_timeout(Some(timeout)) {
+            return Err(RequestError::Dead(e));
+        }
+        let outcome = match client.request(request) {
+            // A non-timeout failure is a stale pooled connection (the
+            // shard restarted, an idle socket died): one reconnect,
+            // one retry — the deadline-tightened timeout carries over
+            // because `reconnect` re-applies the client's config.
+            Err(e) if !is_timeout(&e) => match client.reconnect() {
+                Ok(()) => client.request(request),
+                Err(dial) => Err(dial),
+            },
+            other => other,
+        };
+        match outcome {
+            Ok(response) => {
+                self.served.fetch_add(1, Ordering::Relaxed);
+                // Restore the configured timeout before pooling so
+                // the next request is not stuck with this deadline.
+                if client.set_read_timeout(self.config.read_timeout).is_ok() {
+                    self.put(client);
+                }
+                Ok(response)
+            }
+            Err(e) if is_timeout(&e) => Err(RequestError::DeadlineLapsed),
+            Err(e) => Err(RequestError::Dead(e)),
         }
     }
 

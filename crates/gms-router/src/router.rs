@@ -34,11 +34,11 @@
 //! instead. A graph with no reachable shard answers
 //! `backend-unavailable` — never a hang.
 
-use crate::backend::Backend;
+use crate::backend::{Backend, RequestError};
 use crate::ring::{HashRing, RingMember};
 use gms_serve::protocol::{
-    error_json, error_json_with, parse_request, with_id, ErrorCode, LoadFormat, LoadSource,
-    LoadSpec, MutateSpec, Request, RunSpec, WireError,
+    error_json, error_json_with, parse_envelope, with_id, Envelope, ErrorCode, LoadFormat,
+    LoadSource, LoadSpec, MutateSpec, Request, RunSpec, WireError,
 };
 use gms_serve::{ClientConfig, Json};
 use std::collections::BTreeMap;
@@ -135,6 +135,11 @@ struct Counters {
     moved: AtomicU64,
     unavailable: AtomicU64,
     not_found: AtomicU64,
+    /// Requests that arrived without `"v":1` (deprecation grace).
+    legacy_requests: AtomicU64,
+    /// Requests answered `deadline-exceeded` at the router because
+    /// the owning shard did not reply within the caller's deadline.
+    deadline_exceeded: AtomicU64,
 }
 
 struct Core {
@@ -615,7 +620,13 @@ fn connection_loop(stream: TcpStream, core: &Arc<Core>) {
 /// Handles one request line; returns the response and whether the
 /// connection stays open.
 fn handle_line(line: &str, core: &Arc<Core>) -> (Json, bool) {
-    let (request, id) = match parse_request(line) {
+    let Envelope {
+        request,
+        id,
+        versioned,
+        deadline_ms,
+        ..
+    } = match parse_envelope(line) {
         Ok(parsed) => parsed,
         Err((error, id)) => {
             core.counters.malformed.fetch_add(1, Ordering::Relaxed);
@@ -623,6 +634,11 @@ fn handle_line(line: &str, core: &Arc<Core>) -> (Json, bool) {
         }
     };
     core.counters.requests.fetch_add(1, Ordering::Relaxed);
+    if !versioned {
+        core.counters
+            .legacy_requests
+            .fetch_add(1, Ordering::Relaxed);
+    }
     // The raw value re-parsed once: forwarded bodies keep exactly
     // what the client sent (params, compression, ...), id excluded.
     let raw = Json::parse(line).expect("parse_request accepted the line");
@@ -661,11 +677,17 @@ fn handle_line(line: &str, core: &Arc<Core>) -> (Json, bool) {
         Request::Run(spec) => {
             core.counters.routed.fetch_add(1, Ordering::Relaxed);
             let redirect = raw.get("redirect").and_then(Json::as_bool).unwrap_or(false);
-            (handle_run(core, &raw, &spec, redirect, id.as_ref()), true)
+            (
+                handle_run(core, &raw, &spec, redirect, deadline_ms, id.as_ref()),
+                true,
+            )
         }
         Request::Batch(specs) => {
             core.counters.routed.fetch_add(1, Ordering::Relaxed);
-            (handle_batch(core, &raw, &specs, id.as_ref()), true)
+            (
+                handle_batch(core, &raw, &specs, deadline_ms, id.as_ref()),
+                true,
+            )
         }
     }
 }
@@ -1022,6 +1044,7 @@ fn handle_run(
     raw: &Json,
     spec: &RunSpec,
     redirect: bool,
+    deadline_ms: Option<u64>,
     id: Option<&Json>,
 ) -> Json {
     if !core
@@ -1065,7 +1088,7 @@ fn handle_run(
                 id,
             );
         }
-        match core.backends[owner].request(&forward) {
+        match core.backends[owner].request_with_deadline(&forward, deadline_ms) {
             Ok(response) => {
                 if error_code_of(&response) == Some("unknown-graph") {
                     // Router/shard disagreement (the shard restarted
@@ -1076,7 +1099,26 @@ fn handle_run(
                 }
                 return annotate(response, core.backends[owner].addr, failover, id);
             }
-            Err(_) => {
+            Err(RequestError::DeadlineLapsed) => {
+                // The shard is (probably) alive but over the caller's
+                // budget — answer the typed error without failover,
+                // which would re-place every graph on a healthy shard.
+                core.counters
+                    .deadline_exceeded
+                    .fetch_add(1, Ordering::Relaxed);
+                return error_json(
+                    &WireError::new(
+                        ErrorCode::DeadlineExceeded,
+                        format!(
+                            "deadline of {}ms lapsed waiting on shard {}",
+                            deadline_ms.unwrap_or(0),
+                            core.backends[owner].addr
+                        ),
+                    ),
+                    id,
+                );
+            }
+            Err(RequestError::Dead(_)) => {
                 core.on_backend_death(owner);
                 failover = true;
             }
@@ -1107,7 +1149,13 @@ fn heal_missing(core: &Arc<Core>, name: &str, owner: usize) -> bool {
 /// failover and bounded retry rounds — each failed round marks at
 /// least one shard down, so the loop terminates with either results
 /// or typed errors, never a hang.
-fn handle_batch(core: &Arc<Core>, raw: &Json, specs: &[RunSpec], id: Option<&Json>) -> Json {
+fn handle_batch(
+    core: &Arc<Core>,
+    raw: &Json,
+    specs: &[RunSpec],
+    deadline_ms: Option<u64>,
+    id: Option<&Json>,
+) -> Json {
     let raw_items: Vec<Json> = raw
         .get("requests")
         .and_then(Json::as_array)
@@ -1162,23 +1210,34 @@ fn handle_batch(core: &Arc<Core>, raw: &Json, specs: &[RunSpec], id: Option<&Jso
             }
         }
         // Scatter concurrently, one thread per owning shard.
-        let round_results: Vec<(usize, Vec<usize>, std::io::Result<Json>)> =
+        let round_results: Vec<(usize, Vec<usize>, Result<Json, RequestError>)> =
             std::thread::scope(|scope| {
                 let handles: Vec<_> = groups
                     .into_iter()
                     .map(|(owner, slots)| {
-                        let sub_request = Json::object([
-                            ("op", Json::from("batch")),
+                        // The sub-batch keeps the caller's envelope
+                        // (version, deadline, fairness identity), so
+                        // the shard enforces the same deadline and
+                        // accounts the work to the right client.
+                        let mut fields: Vec<(String, Json)> = vec![
+                            ("op".to_string(), Json::from("batch")),
                             (
-                                "requests",
+                                "requests".to_string(),
                                 Json::Array(
                                     slots.iter().map(|&s| without_id(&raw_items[s])).collect(),
                                 ),
                             ),
-                        ]);
+                        ];
+                        for key in ["v", "deadline_ms", "client", "weight"] {
+                            if let Some(value) = raw.get(key) {
+                                fields.push((key.to_string(), value.clone()));
+                            }
+                        }
+                        let sub_request = Json::Object(fields);
                         let core = Arc::clone(core);
                         scope.spawn(move || {
-                            let outcome = core.backends[owner].request(&sub_request);
+                            let outcome = core.backends[owner]
+                                .request_with_deadline(&sub_request, deadline_ms);
                             (owner, slots, outcome)
                         })
                     })
@@ -1215,7 +1274,27 @@ fn handle_batch(core: &Arc<Core>, raw: &Json, specs: &[RunSpec], id: Option<&Jso
                         results[slot] = Some(result);
                     }
                 }
-                Err(_) => {
+                Err(RequestError::DeadlineLapsed) => {
+                    // Retrying elsewhere cannot beat an already-spent
+                    // deadline: answer the slots typed, keep the shard.
+                    core.counters
+                        .deadline_exceeded
+                        .fetch_add(1, Ordering::Relaxed);
+                    for &slot in &slots {
+                        results[slot] = Some(error_json(
+                            &WireError::new(
+                                ErrorCode::DeadlineExceeded,
+                                format!(
+                                    "deadline of {}ms lapsed waiting on shard {}",
+                                    deadline_ms.unwrap_or(0),
+                                    core.backends[owner].addr
+                                ),
+                            ),
+                            None,
+                        ));
+                    }
+                }
+                Err(RequestError::Dead(_)) => {
                     core.on_backend_death(owner);
                     pending.extend(slots);
                 }
@@ -1447,6 +1526,14 @@ fn stats_json(core: &Arc<Core>, id: Option<&Json>) -> Json {
                     (
                         "not_found",
                         Json::from(counters.not_found.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "legacy_requests",
+                        Json::from(counters.legacy_requests.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "deadline_exceeded",
+                        Json::from(counters.deadline_exceeded.load(Ordering::Relaxed)),
                     ),
                 ]),
             ),

@@ -2,50 +2,210 @@
 //! threads (producers) and the worker sessions (consumers).
 //!
 //! The queue is the server's backpressure valve. Connection threads
-//! *never block* on it: [`AdmissionQueue::try_submit`] either admits
-//! the request or returns [`SubmitError::Full`] immediately, which
-//! the wire layer turns into a `queue-full` error response — the
-//! HTTP 429 of the newline-delimited protocol. Worker threads block
-//! on [`AdmissionQueue::dequeue`] until work arrives or the queue is
+//! *never block* on it: [`AdmissionQueue::try_submit_as`] either
+//! admits the request or returns immediately with
+//! [`SubmitError::Full`] (queue at capacity) or
+//! [`SubmitError::RateLimited`] (that client's token bucket is
+//! empty), which the wire layer turns into `queue-full` /
+//! `rate-limited` error responses. Worker threads block on
+//! [`AdmissionQueue::dequeue`] until work arrives or the queue is
 //! closed; closing drains — jobs admitted before
 //! [`AdmissionQueue::close`] are still handed out, so a graceful
 //! shutdown answers everything it admitted.
+//!
+//! # Fairness (the v1 redesign)
+//!
+//! The pre-v1 queue was one global FIFO: a client flooding requests
+//! starved everyone behind it, and a shed request left no trace of
+//! *who* was shed. The queue is now a set of per-client sub-queues
+//! served by **weighted round-robin**: each visit to a client serves
+//! up to `weight` consecutive items before the cursor moves on, so
+//! two saturating clients with weights 4 and 1 see their work
+//! dequeued in a 4:1 ratio, and a heavy client can only ever delay —
+//! not starve — a light one. Every client's admitted / served / shed
+//! / rate-limited counts are tracked and surfaced through
+//! [`AdmissionQueue::client_stats`] into the server's `stats`
+//! endpoint.
+//!
+//! An optional per-client **token bucket** ([`RateLimit`]) caps
+//! sustained request rate independently of queue capacity: capacity
+//! protects the *server*, the rate limit protects *other clients*.
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// Bound on distinct per-client accounting entries. Clients beyond
+/// the bound share the default (`""`) entry, so a client-name
+/// cardinality attack cannot grow server memory.
+const MAX_CLIENTS: usize = 1024;
+
+/// A per-client token-bucket rate limit: `rate_per_sec` sustained
+/// requests per second with bursts up to `burst`.
+#[derive(Clone, Copy, Debug)]
+pub struct RateLimit {
+    /// Steady-state admissions per second per client.
+    pub rate_per_sec: f64,
+    /// Bucket capacity: how many requests may arrive back-to-back
+    /// before the steady rate applies.
+    pub burst: f64,
+}
 
 /// Why a submission was not admitted.
 #[derive(Debug)]
 pub enum SubmitError<T> {
     /// The queue is at capacity; the rejected item is handed back.
     Full(T),
+    /// The submitting client's token bucket is empty; the rejected
+    /// item is handed back. Other clients are unaffected.
+    RateLimited(T),
     /// The queue was closed (server shutting down).
     Closed(T),
 }
 
-struct Inner<T> {
+/// A point-in-time snapshot of one client's admission accounting.
+#[derive(Clone, Debug)]
+pub struct ClientStats {
+    /// Client identity (`""` is the default / anonymous client).
+    pub client: String,
+    /// Current weighted-fair-queuing weight (the last one sent).
+    pub weight: u32,
+    /// Items waiting in this client's sub-queue right now.
+    pub pending: usize,
+    /// Total items admitted.
+    pub admitted: u64,
+    /// Total items handed to workers.
+    pub served: u64,
+    /// Total items rejected because the queue was at capacity — the
+    /// record of *who* was shed that the FIFO design never kept.
+    pub shed: u64,
+    /// Total items rejected by this client's token bucket.
+    pub rate_limited: u64,
+}
+
+struct ClientState<T> {
+    name: String,
+    weight: u32,
     items: VecDeque<T>,
+    admitted: u64,
+    served: u64,
+    shed: u64,
+    rate_limited: u64,
+    tokens: f64,
+    refilled: Instant,
+}
+
+impl<T> ClientState<T> {
+    fn new(name: &str, burst: f64) -> Self {
+        Self {
+            name: name.to_string(),
+            weight: 1,
+            items: VecDeque::new(),
+            admitted: 0,
+            served: 0,
+            shed: 0,
+            rate_limited: 0,
+            tokens: burst,
+            refilled: Instant::now(),
+        }
+    }
+
+    /// Refills by elapsed wall time, then tries to spend one token.
+    fn take_token(&mut self, limit: &RateLimit) -> bool {
+        let now = Instant::now();
+        let elapsed = now.duration_since(self.refilled).as_secs_f64();
+        self.refilled = now;
+        self.tokens = (self.tokens + elapsed * limit.rate_per_sec).min(limit.burst);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+struct Inner<T> {
+    clients: Vec<ClientState<T>>,
+    /// Index of the client the round-robin cursor is on.
+    cursor: usize,
+    /// How many more consecutive items the cursor's client may be
+    /// served before the cursor moves on (reset to `weight` on
+    /// arrival).
+    quantum_left: u32,
+    /// Total pending items across all sub-queues.
+    len: usize,
     closed: bool,
 }
 
-/// A bounded multi-producer / multi-consumer FIFO with non-blocking
-/// submission and blocking, drain-on-close consumption.
+impl<T> Inner<T> {
+    /// Index of `client`'s accounting entry, creating it if the
+    /// table has room; full tables fold new names into the default
+    /// entry (index of `""`, itself created on demand).
+    fn client_index(&mut self, client: &str, burst: f64) -> usize {
+        if let Some(i) = self.clients.iter().position(|c| c.name == client) {
+            return i;
+        }
+        if self.clients.len() >= MAX_CLIENTS {
+            if let Some(i) = self.clients.iter().position(|c| c.name.is_empty()) {
+                return i;
+            }
+        }
+        self.clients.push(ClientState::new(client, burst));
+        self.clients.len() - 1
+    }
+
+    /// Pops the next item under weighted round-robin. Caller
+    /// guarantees `len > 0`.
+    fn pop_weighted(&mut self) -> T {
+        loop {
+            let c = &mut self.clients[self.cursor];
+            if self.quantum_left > 0 {
+                if let Some(item) = c.items.pop_front() {
+                    self.quantum_left -= 1;
+                    self.len -= 1;
+                    c.served += 1;
+                    return item;
+                }
+            }
+            self.cursor = (self.cursor + 1) % self.clients.len();
+            self.quantum_left = self.clients[self.cursor].weight.max(1);
+        }
+    }
+}
+
+/// A bounded multi-producer / multi-consumer queue with non-blocking
+/// submission, weighted-fair consumption, optional per-client rate
+/// limits, and blocking, drain-on-close dequeue.
 pub struct AdmissionQueue<T> {
     inner: Mutex<Inner<T>>,
     available: Condvar,
     capacity: usize,
+    rate_limit: Option<RateLimit>,
 }
 
 impl<T> AdmissionQueue<T> {
-    /// A queue admitting at most `capacity` pending items.
+    /// A queue admitting at most `capacity` pending items, with no
+    /// per-client rate limit.
     pub fn new(capacity: usize) -> Self {
+        Self::with_rate_limit(capacity, None)
+    }
+
+    /// A queue admitting at most `capacity` pending items; when
+    /// `rate_limit` is set, every client is additionally held to its
+    /// own token bucket.
+    pub fn with_rate_limit(capacity: usize, rate_limit: Option<RateLimit>) -> Self {
         Self {
             inner: Mutex::new(Inner {
-                items: VecDeque::with_capacity(capacity),
+                clients: Vec::new(),
+                cursor: 0,
+                quantum_left: 1,
+                len: 0,
                 closed: false,
             }),
             available: Condvar::new(),
             capacity,
+            rate_limit,
         }
     }
 
@@ -53,28 +213,51 @@ impl<T> AdmissionQueue<T> {
         self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    /// Admits `item` if there is room; never blocks.
+    /// Admits `item` for the default client at weight 1; never
+    /// blocks. The pre-v1 entry point — NDJSON lines that carry no
+    /// `"client"` member land here.
     pub fn try_submit(&self, item: T) -> Result<(), SubmitError<T>> {
+        self.try_submit_as("", 1, item)
+    }
+
+    /// Admits `item` on `client`'s sub-queue at `weight`; never
+    /// blocks. The weight sticks to the client (its last value
+    /// wins), and a client's first rejection still creates its
+    /// accounting entry — shed requests are attributed, not lost.
+    pub fn try_submit_as(&self, client: &str, weight: u32, item: T) -> Result<(), SubmitError<T>> {
+        let burst = self.rate_limit.map_or(0.0, |l| l.burst);
         let mut inner = self.lock();
         if inner.closed {
             return Err(SubmitError::Closed(item));
         }
-        if inner.items.len() >= self.capacity {
+        let index = inner.client_index(client, burst);
+        inner.clients[index].weight = weight.max(1);
+        if let Some(limit) = &self.rate_limit {
+            if !inner.clients[index].take_token(limit) {
+                inner.clients[index].rate_limited += 1;
+                return Err(SubmitError::RateLimited(item));
+            }
+        }
+        if inner.len >= self.capacity {
+            inner.clients[index].shed += 1;
             return Err(SubmitError::Full(item));
         }
-        inner.items.push_back(item);
+        inner.clients[index].items.push_back(item);
+        inner.clients[index].admitted += 1;
+        inner.len += 1;
         drop(inner);
         self.available.notify_one();
         Ok(())
     }
 
-    /// Blocks until an item is available and pops it. Returns `None`
-    /// only when the queue is closed *and* drained.
+    /// Blocks until an item is available and pops the next one under
+    /// weighted round-robin. Returns `None` only when the queue is
+    /// closed *and* drained.
     pub fn dequeue(&self) -> Option<T> {
         let mut inner = self.lock();
         loop {
-            if let Some(item) = inner.items.pop_front() {
-                return Some(item);
+            if inner.len > 0 {
+                return Some(inner.pop_weighted());
             }
             if inner.closed {
                 return None;
@@ -93,14 +276,31 @@ impl<T> AdmissionQueue<T> {
         self.available.notify_all();
     }
 
-    /// Items currently waiting.
+    /// Items currently waiting, across all clients.
     pub fn depth(&self) -> usize {
-        self.lock().items.len()
+        self.lock().len
     }
 
     /// The admission bound.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// Per-client accounting, in first-seen order.
+    pub fn client_stats(&self) -> Vec<ClientStats> {
+        self.lock()
+            .clients
+            .iter()
+            .map(|c| ClientStats {
+                client: c.name.clone(),
+                weight: c.weight,
+                pending: c.items.len(),
+                admitted: c.admitted,
+                served: c.served,
+                shed: c.shed,
+                rate_limited: c.rate_limited,
+            })
+            .collect()
     }
 }
 
@@ -149,5 +349,75 @@ mod tests {
         let mut got: Vec<_> = consumers.into_iter().map(|h| h.join().unwrap()).collect();
         got.sort();
         assert_eq!(got, vec![None, Some(10), Some(20)]);
+    }
+
+    #[test]
+    fn weighted_round_robin_serves_four_to_one() {
+        let q = AdmissionQueue::new(64);
+        for i in 0..16 {
+            q.try_submit_as("heavy", 4, ("heavy", i)).unwrap();
+            q.try_submit_as("light", 1, ("light", i)).unwrap();
+        }
+        // Under saturation, the first 10 dequeues split 8:2 — the
+        // ≥2:1 completed-request ratio the 4:1 weights promise.
+        let first: Vec<_> = (0..10).map(|_| q.dequeue().unwrap().0).collect();
+        let heavy = first.iter().filter(|&&c| c == "heavy").count();
+        let light = first.iter().filter(|&&c| c == "light").count();
+        assert_eq!(heavy + light, 10);
+        assert!(
+            heavy >= 2 * light,
+            "4:1 weights must yield >= 2:1 service, got {heavy}:{light}"
+        );
+        // Nothing starves: draining the queue serves everything.
+        let mut rest = 0;
+        while q.depth() > 0 {
+            q.dequeue().unwrap();
+            rest += 1;
+        }
+        assert_eq!(rest, 22);
+    }
+
+    #[test]
+    fn shed_requests_are_attributed_to_their_client() {
+        let q = AdmissionQueue::new(1);
+        q.try_submit_as("a", 1, 1).unwrap();
+        assert!(matches!(
+            q.try_submit_as("b", 1, 2),
+            Err(SubmitError::Full(2))
+        ));
+        assert!(matches!(
+            q.try_submit_as("b", 1, 3),
+            Err(SubmitError::Full(3))
+        ));
+        let stats = q.client_stats();
+        let a = stats.iter().find(|s| s.client == "a").unwrap();
+        let b = stats.iter().find(|s| s.client == "b").unwrap();
+        assert_eq!((a.admitted, a.shed), (1, 0));
+        assert_eq!((b.admitted, b.shed), (0, 2), "shed is per-client now");
+    }
+
+    #[test]
+    fn token_bucket_limits_one_client_not_the_other() {
+        // A near-zero refill rate makes the test deterministic: each
+        // client gets exactly `burst` admissions.
+        let q = AdmissionQueue::with_rate_limit(
+            64,
+            Some(RateLimit {
+                rate_per_sec: 1e-9,
+                burst: 2.0,
+            }),
+        );
+        q.try_submit_as("greedy", 1, 1).unwrap();
+        q.try_submit_as("greedy", 1, 2).unwrap();
+        assert!(matches!(
+            q.try_submit_as("greedy", 1, 3),
+            Err(SubmitError::RateLimited(3))
+        ));
+        // An unrelated client still has its own full bucket.
+        q.try_submit_as("polite", 1, 4).unwrap();
+        let stats = q.client_stats();
+        let greedy = stats.iter().find(|s| s.client == "greedy").unwrap();
+        assert_eq!(greedy.rate_limited, 1);
+        assert_eq!(greedy.admitted, 2);
     }
 }

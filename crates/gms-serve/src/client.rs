@@ -1,7 +1,39 @@
-//! A small synchronous client for the newline-delimited protocol:
-//! one request in flight per connection, used by the `bench_serve`
-//! load generator, the integration tests, the facade quick start,
-//! and — pooled — by the `gms-router` front end.
+//! Clients for both faces of the server: the newline-delimited JSON
+//! protocol and the `/v1` HTTP gateway.
+//!
+//! Three layers, lowest first:
+//!
+//! - [`Client`] — one NDJSON connection, one request in flight.
+//!   The raw `io::Result<Json>` methods (`request`, `health`, `run`,
+//!   ...) predate v1 and stay for the router's pool and for tests
+//!   that send deliberately malformed lines.
+//! - The **typed v1 surface** on the same [`Client`]
+//!   ([`Client::check_health`], [`Client::run_kernel`], ...): every
+//!   method stamps the v1 envelope (`"v":1` plus the builder's
+//!   default deadline / client identity / weight) and returns
+//!   `Result<T, ApiError>` — transport failures and server-side
+//!   failures arrive as the same typed error.
+//! - [`HttpClient`] — a minimal HTTP/1.1 client for the gateway,
+//!   chunk-aware so tests and the benchmark can observe how many
+//!   chunks a streamed response actually arrived in.
+//!
+//! Construction goes through [`ClientBuilder`]:
+//!
+//! ```no_run
+//! use gms_serve::ClientBuilder;
+//! use std::time::Duration;
+//!
+//! let mut client = ClientBuilder::new()
+//!     .connect_timeout(Duration::from_secs(1))
+//!     .read_timeout(Duration::from_secs(10))
+//!     .deadline_ms(500)
+//!     .client_name("alice")
+//!     .weight(4)
+//!     .connect("127.0.0.1:7001")
+//!     .unwrap();
+//! let health = client.check_health().unwrap();
+//! assert_eq!(health.status, "serving");
+//! ```
 //!
 //! Built for reuse inside connection pools: the client remembers its
 //! resolved address, carries configurable connect/read timeouts (a
@@ -12,12 +44,17 @@
 //! every pool hits after a server restart.
 
 use crate::json::Json;
-use std::io::{BufRead, BufReader, ErrorKind, Write};
+use crate::protocol::{ApiError, ErrorCode, PROTOCOL_VERSION};
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 /// Connection-behavior knobs, all optional: `None` means block
 /// indefinitely (the pre-pooling behavior).
+///
+/// The positional-config era of this struct is over — new code
+/// should go through [`ClientBuilder`] — but it remains the pooled
+/// router's configuration unit.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct ClientConfig {
     /// Give up dialing after this long.
@@ -26,6 +63,90 @@ pub struct ClientConfig {
     /// failed read surfaces as a `WouldBlock`/`TimedOut` I/O error
     /// and poisons the connection (the next use reconnects).
     pub read_timeout: Option<Duration>,
+}
+
+/// Builder for [`Client`] and [`HttpClient`]: timeouts plus the v1
+/// request defaults (deadline, client identity, fairness weight)
+/// stamped onto every typed request.
+#[derive(Clone, Debug, Default)]
+pub struct ClientBuilder {
+    config: ClientConfig,
+    deadline_ms: Option<u64>,
+    client_name: Option<String>,
+    weight: u32,
+}
+
+impl ClientBuilder {
+    /// A builder with no timeouts, no default deadline, anonymous
+    /// identity, and weight 1.
+    pub fn new() -> Self {
+        Self {
+            weight: 1,
+            ..Self::default()
+        }
+    }
+
+    /// Give up dialing after this long.
+    pub fn connect_timeout(mut self, timeout: Duration) -> Self {
+        self.config.connect_timeout = Some(timeout);
+        self
+    }
+
+    /// Give up waiting for a response after this long.
+    pub fn read_timeout(mut self, timeout: Duration) -> Self {
+        self.config.read_timeout = Some(timeout);
+        self
+    }
+
+    /// Default relative deadline stamped on every typed request; the
+    /// server propagates it into kernel cancellation points.
+    pub fn deadline_ms(mut self, ms: u64) -> Self {
+        self.deadline_ms = Some(ms);
+        self
+    }
+
+    /// The fairness / rate-limit identity sent with every typed
+    /// request.
+    pub fn client_name(mut self, name: impl Into<String>) -> Self {
+        self.client_name = Some(name.into());
+        self
+    }
+
+    /// Weighted-fair-queuing weight (1..=1024) sent with every typed
+    /// request.
+    pub fn weight(mut self, weight: u32) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    /// Dials an NDJSON [`Client`].
+    pub fn connect<A: ToSocketAddrs>(self, addr: A) -> std::io::Result<Client> {
+        let mut client = Client::connect_with(addr, self.config)?;
+        client.deadline_ms = self.deadline_ms;
+        client.client_name = self.client_name;
+        client.weight = self.weight;
+        Ok(client)
+    }
+
+    /// Builds an [`HttpClient`] for the `/v1` gateway at `addr`
+    /// (connections are per-request, so this only resolves the
+    /// address).
+    pub fn connect_http<A: ToSocketAddrs>(self, addr: A) -> std::io::Result<HttpClient> {
+        let addr = resolve(addr)?;
+        Ok(HttpClient {
+            addr,
+            config: self.config,
+            deadline_ms: self.deadline_ms,
+            client_name: self.client_name,
+            weight: self.weight,
+        })
+    }
+}
+
+fn resolve<A: ToSocketAddrs>(addr: A) -> std::io::Result<SocketAddr> {
+    addr.to_socket_addrs()?
+        .next()
+        .ok_or_else(|| std::io::Error::new(ErrorKind::InvalidInput, "address resolved to nothing"))
 }
 
 struct Conn {
@@ -39,6 +160,9 @@ pub struct Client {
     addr: SocketAddr,
     config: ClientConfig,
     conn: Option<Conn>,
+    deadline_ms: Option<u64>,
+    client_name: Option<String>,
+    weight: u32,
 }
 
 /// Whether an I/O failure means the connection itself is unusable
@@ -64,13 +188,14 @@ impl Client {
 
     /// Connects with explicit connect/read timeouts.
     pub fn connect_with<A: ToSocketAddrs>(addr: A, config: ClientConfig) -> std::io::Result<Self> {
-        let addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
-            std::io::Error::new(ErrorKind::InvalidInput, "address resolved to nothing")
-        })?;
+        let addr = resolve(addr)?;
         let mut client = Self {
             addr,
             config,
             conn: None,
+            deadline_ms: None,
+            client_name: None,
+            weight: 1,
         };
         client.reconnect()?;
         Ok(client)
@@ -171,6 +296,176 @@ impl Client {
         }
     }
 
+    /// Wraps op members in the v1 envelope: protocol version first,
+    /// then the builder's default deadline / identity / weight.
+    fn envelope(&self, members: Vec<(&'static str, Json)>) -> Json {
+        let mut fields: Vec<(&'static str, Json)> = Vec::with_capacity(members.len() + 4);
+        fields.push(("v", Json::Int(PROTOCOL_VERSION)));
+        fields.extend(members);
+        if let Some(ms) = self.deadline_ms {
+            fields.push(("deadline_ms", Json::from(ms)));
+        }
+        if let Some(name) = &self.client_name {
+            fields.push(("client", Json::from(name.clone())));
+        }
+        if self.weight != 1 {
+            fields.push(("weight", Json::from(u64::from(self.weight))));
+        }
+        Json::object(fields)
+    }
+
+    /// One typed round trip: transport failures become
+    /// [`ErrorCode::Transport`], server-side `error` objects parse
+    /// back into their original typed form.
+    fn typed_request(&mut self, request: &Json) -> Result<Json, ApiError> {
+        let response = self
+            .request(request)
+            .map_err(|e| ApiError::new(ErrorCode::Transport, e.to_string()))?;
+        response_or_error(response)
+    }
+
+    /// Typed v1 `health`.
+    pub fn check_health(&mut self) -> Result<HealthInfo, ApiError> {
+        let v = self.typed_request(&self.envelope(vec![("op", Json::from("health"))]))?;
+        Ok(HealthInfo {
+            status: req_str(&v, "status")?,
+            kernels: req_usize(&v, "kernels")?,
+            graphs: req_usize(&v, "graphs")?,
+            workers: req_usize(&v, "workers")?,
+            queue_depth: req_usize(&v, "queue_depth")?,
+            queue_capacity: req_usize(&v, "queue_capacity")?,
+        })
+    }
+
+    /// Typed v1 `kernels`.
+    pub fn list_kernels(&mut self) -> Result<Vec<KernelInfo>, ApiError> {
+        let v = self.typed_request(&self.envelope(vec![("op", Json::from("kernels"))]))?;
+        let items = v.get("kernels").and_then(Json::as_array).ok_or_else(|| {
+            ApiError::new(ErrorCode::Transport, "kernels response without a list")
+        })?;
+        items
+            .iter()
+            .map(|k| {
+                Ok(KernelInfo {
+                    name: req_str(k, "name")?,
+                    category: req_str(k, "category")?,
+                    about: req_str(k, "about")?,
+                })
+            })
+            .collect()
+    }
+
+    /// Typed v1 `stats` (the shape is deliberately open-ended, so
+    /// the full object is returned).
+    pub fn fetch_stats(&mut self) -> Result<Json, ApiError> {
+        self.typed_request(&self.envelope(vec![("op", Json::from("stats"))]))
+    }
+
+    /// Typed v1 `load` with the graph text inline.
+    pub fn load_graph_inline(
+        &mut self,
+        name: &str,
+        format: &str,
+        data: &str,
+    ) -> Result<LoadOutcome, ApiError> {
+        let request = self.envelope(vec![
+            ("op", Json::from("load")),
+            ("graph", Json::from(name)),
+            ("format", Json::from(format)),
+            ("data", Json::from(data)),
+        ]);
+        LoadOutcome::from_json(&self.typed_request(&request)?)
+    }
+
+    /// Typed v1 `load` from a path on the server's filesystem.
+    pub fn load_graph_path(
+        &mut self,
+        name: &str,
+        format: &str,
+        path: &str,
+    ) -> Result<LoadOutcome, ApiError> {
+        let request = self.envelope(vec![
+            ("op", Json::from("load")),
+            ("graph", Json::from(name)),
+            ("format", Json::from(format)),
+            ("path", Json::from(path)),
+        ]);
+        LoadOutcome::from_json(&self.typed_request(&request)?)
+    }
+
+    /// Typed v1 `run`.
+    pub fn run_kernel(
+        &mut self,
+        kernel: &str,
+        graph: &str,
+        params: &[(&str, Json)],
+    ) -> Result<RunOutcome, ApiError> {
+        let request = self.envelope(vec![
+            ("op", Json::from("run")),
+            ("kernel", Json::from(kernel)),
+            ("graph", Json::from(graph)),
+            (
+                "params",
+                Json::Object(
+                    params
+                        .iter()
+                        .map(|(k, v)| (k.to_string(), v.clone()))
+                        .collect(),
+                ),
+            ),
+        ]);
+        let v = self.typed_request(&request)?;
+        Ok(RunOutcome {
+            kernel: req_str(&v, "kernel")?,
+            graph: req_str(&v, "graph")?,
+            patterns: v.get("patterns").and_then(Json::as_i64).unwrap_or(0) as u64,
+            cached: v.get("cached").and_then(Json::as_bool).unwrap_or(false),
+            kernel_ms: v.get("kernel_ms").and_then(Json::as_f64).unwrap_or(0.0),
+            total_ms: v.get("total_ms").and_then(Json::as_f64).unwrap_or(0.0),
+        })
+    }
+
+    /// Typed v1 `add_edges`/`remove_edges`: applies `add` then
+    /// `remove` (skipping empty batches) and returns the final graph
+    /// identity. Both ops are idempotent, so they ride the
+    /// reconnect-and-retry path.
+    pub fn mutate_graph(
+        &mut self,
+        graph: &str,
+        add: &[(u32, u32)],
+        remove: &[(u32, u32)],
+    ) -> Result<MutateOutcome, ApiError> {
+        let mut last: Option<MutateOutcome> = None;
+        for (op, edges) in [("add_edges", add), ("remove_edges", remove)] {
+            if edges.is_empty() {
+                continue;
+            }
+            let request = self.envelope(vec![
+                ("op", Json::from(op)),
+                ("graph", Json::from(graph)),
+                ("edges", edges_json(edges)),
+            ]);
+            let response = self
+                .request_idempotent(&request)
+                .map_err(|e| ApiError::new(ErrorCode::Transport, e.to_string()))?;
+            let v = response_or_error(response)?;
+            last = Some(MutateOutcome {
+                fingerprint: req_str(&v, "fingerprint")?,
+                version: req_usize(&v, "version")? as u64,
+                added: req_usize(&v, "added")?,
+                removed: req_usize(&v, "removed")?,
+                vertices: req_usize(&v, "vertices")?,
+                edges: req_usize(&v, "edges")?,
+            })
+        }
+        last.ok_or_else(|| {
+            ApiError::new(
+                ErrorCode::BadRequest,
+                "mutate_graph needs at least one edge to add or remove",
+            )
+        })
+    }
+
     /// `{"op":"health"}`.
     pub fn health(&mut self) -> std::io::Result<Json> {
         self.request(&Json::object([("op", Json::from("health"))]))
@@ -227,14 +522,10 @@ impl Client {
         graph: &str,
         edges: &[(u32, u32)],
     ) -> std::io::Result<Json> {
-        let edges: Vec<Json> = edges
-            .iter()
-            .map(|&(u, v)| Json::Array(vec![Json::from(u as i64), Json::from(v as i64)]))
-            .collect();
         self.request_idempotent(&Json::object([
             ("op", Json::from(op)),
             ("graph", Json::from(graph)),
-            ("edges", Json::Array(edges)),
+            ("edges", edges_json(edges)),
         ]))
     }
 
@@ -265,4 +556,409 @@ impl Client {
     pub fn shutdown(&mut self) -> std::io::Result<Json> {
         self.request(&Json::object([("op", Json::from("shutdown"))]))
     }
+}
+
+fn edges_json(edges: &[(u32, u32)]) -> Json {
+    Json::Array(
+        edges
+            .iter()
+            .map(|&(u, v)| Json::Array(vec![Json::from(u as i64), Json::from(v as i64)]))
+            .collect(),
+    )
+}
+
+/// Splits a response into success (`Ok(response)`) or its typed
+/// error.
+fn response_or_error(response: Json) -> Result<Json, ApiError> {
+    if response.get("ok").and_then(Json::as_bool) == Some(true) {
+        return Ok(response);
+    }
+    match response.get("error") {
+        Some(error) => Err(ApiError::from_json(error)),
+        None => Err(ApiError::new(
+            ErrorCode::Transport,
+            format!(
+                "response carries neither ok nor error: {}",
+                response.render()
+            ),
+        )),
+    }
+}
+
+fn missing(key: &str) -> ApiError {
+    ApiError::new(
+        ErrorCode::Transport,
+        format!("response is missing the {key:?} member"),
+    )
+}
+
+fn req_str(v: &Json, key: &str) -> Result<String, ApiError> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| missing(key))
+}
+
+fn req_usize(v: &Json, key: &str) -> Result<usize, ApiError> {
+    v.get(key)
+        .and_then(Json::as_i64)
+        .filter(|&n| n >= 0)
+        .map(|n| n as usize)
+        .ok_or_else(|| missing(key))
+}
+
+/// Typed v1 `health` response.
+#[derive(Clone, Debug)]
+pub struct HealthInfo {
+    /// `"serving"` or `"shutting-down"`.
+    pub status: String,
+    /// Registered kernels.
+    pub kernels: usize,
+    /// Loaded graphs.
+    pub graphs: usize,
+    /// Worker sessions.
+    pub workers: usize,
+    /// Requests waiting in the admission queue.
+    pub queue_depth: usize,
+    /// Admission-queue bound.
+    pub queue_capacity: usize,
+}
+
+/// One kernel from the typed v1 `kernels` listing.
+#[derive(Clone, Debug)]
+pub struct KernelInfo {
+    /// Registered name.
+    pub name: String,
+    /// Category label.
+    pub category: String,
+    /// One-line description.
+    pub about: String,
+}
+
+/// Typed v1 `load` response.
+#[derive(Clone, Debug)]
+pub struct LoadOutcome {
+    /// Registered graph name.
+    pub graph: String,
+    /// Vertex count.
+    pub vertices: usize,
+    /// Undirected edge count.
+    pub edges: usize,
+    /// Content fingerprint (hex).
+    pub fingerprint: String,
+    /// Resident representation (`"none"` or `"gap"`).
+    pub compression: String,
+    /// Whether an existing graph under this name was replaced.
+    pub replaced: bool,
+}
+
+impl LoadOutcome {
+    fn from_json(v: &Json) -> Result<Self, ApiError> {
+        Ok(Self {
+            graph: req_str(v, "graph")?,
+            vertices: req_usize(v, "vertices")?,
+            edges: req_usize(v, "edges")?,
+            fingerprint: req_str(v, "fingerprint")?,
+            compression: req_str(v, "compression")?,
+            replaced: v.get("replaced").and_then(Json::as_bool).unwrap_or(false),
+        })
+    }
+}
+
+/// Typed v1 `run` response (payload summarized, not materialized —
+/// stream over HTTP for the items).
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// Kernel that ran.
+    pub kernel: String,
+    /// Graph it ran on.
+    pub graph: String,
+    /// Pattern count (cliques, triangles, embeddings, ...).
+    pub patterns: u64,
+    /// Whether the result came from the result cache.
+    pub cached: bool,
+    /// Kernel time in milliseconds (zero for cache hits).
+    pub kernel_ms: f64,
+    /// End-to-end pipeline time in milliseconds.
+    pub total_ms: f64,
+}
+
+/// Typed v1 mutation response: the graph's new identity.
+#[derive(Clone, Debug)]
+pub struct MutateOutcome {
+    /// New content fingerprint (hex).
+    pub fingerprint: String,
+    /// Mutation batches applied since registration.
+    pub version: u64,
+    /// Edges actually added by the batch.
+    pub added: usize,
+    /// Edges actually removed by the batch.
+    pub removed: usize,
+    /// Vertex count after the batch.
+    pub vertices: usize,
+    /// Undirected edge count after the batch.
+    pub edges: usize,
+}
+
+/// A minimal HTTP/1.1 client for the `/v1` gateway. One connection
+/// per request (`Connection: close`), which keeps it stateless and
+/// lets it observe exactly how many chunks a streamed response
+/// arrived in ([`HttpResponse::chunks`]).
+pub struct HttpClient {
+    addr: SocketAddr,
+    config: ClientConfig,
+    deadline_ms: Option<u64>,
+    client_name: Option<String>,
+    weight: u32,
+}
+
+/// One parsed HTTP response.
+#[derive(Clone, Debug)]
+pub struct HttpResponse {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Header `(name, value)` pairs, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body, chunked transfer already decoded.
+    pub body: String,
+    /// Data chunks the body arrived in: 1 for a fixed-length body,
+    /// the actual chunk count for `Transfer-Encoding: chunked`.
+    pub chunks: usize,
+}
+
+impl HttpResponse {
+    /// Header lookup (name lowercased).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Parses the body as one JSON value.
+    pub fn json(&self) -> Result<Json, ApiError> {
+        Json::parse(self.body.trim())
+            .map_err(|e| ApiError::new(ErrorCode::Transport, format!("unparsable body: {e}")))
+    }
+
+    /// Parses an NDJSON body (a streamed response) line by line.
+    pub fn json_lines(&self) -> Result<Vec<Json>, ApiError> {
+        self.body
+            .lines()
+            .filter(|line| !line.trim().is_empty())
+            .map(|line| {
+                Json::parse(line.trim()).map_err(|e| {
+                    ApiError::new(ErrorCode::Transport, format!("unparsable line: {e}"))
+                })
+            })
+            .collect()
+    }
+
+    /// The typed error this response carries, if it is a failure.
+    pub fn error(&self) -> Option<ApiError> {
+        let body = self.json().ok()?;
+        body.get("error").map(ApiError::from_json)
+    }
+}
+
+impl HttpClient {
+    /// A client for the gateway at `addr` with default (blocking)
+    /// timeouts; [`ClientBuilder::connect_http`] sets more.
+    pub fn new<A: ToSocketAddrs>(addr: A) -> std::io::Result<Self> {
+        ClientBuilder::new().connect_http(addr)
+    }
+
+    /// The resolved gateway address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// `GET` a path (e.g. `/v1/health`).
+    pub fn get(&self, path: &str) -> Result<HttpResponse, ApiError> {
+        self.round_trip("GET", path, None)
+    }
+
+    /// `POST` a JSON body to a path.
+    pub fn post(&self, path: &str, body: &Json) -> Result<HttpResponse, ApiError> {
+        self.round_trip("POST", path, Some(body))
+    }
+
+    /// `POST /v1/graphs`: load a graph from inline text.
+    pub fn load_inline(
+        &self,
+        name: &str,
+        format: &str,
+        data: &str,
+    ) -> Result<HttpResponse, ApiError> {
+        self.post(
+            "/v1/graphs",
+            &Json::object([
+                ("graph", Json::from(name)),
+                ("format", Json::from(format)),
+                ("data", Json::from(data)),
+            ]),
+        )
+    }
+
+    /// `POST /v1/graphs/{graph}/run`.
+    pub fn run(
+        &self,
+        graph: &str,
+        kernel: &str,
+        params: &[(&str, Json)],
+    ) -> Result<HttpResponse, ApiError> {
+        self.post(
+            &format!("/v1/graphs/{graph}/run"),
+            &run_body(kernel, params),
+        )
+    }
+
+    /// `POST /v1/graphs/{graph}/run?stream=1&limit=N`: chunked
+    /// streaming with `limit` items per page.
+    pub fn run_streaming(
+        &self,
+        graph: &str,
+        kernel: &str,
+        params: &[(&str, Json)],
+        limit: usize,
+    ) -> Result<HttpResponse, ApiError> {
+        self.post(
+            &format!("/v1/graphs/{graph}/run?stream=1&limit={limit}"),
+            &run_body(kernel, params),
+        )
+    }
+
+    /// `POST /v1/graphs/{graph}/mutate`.
+    pub fn mutate(
+        &self,
+        graph: &str,
+        add: &[(u32, u32)],
+        remove: &[(u32, u32)],
+    ) -> Result<HttpResponse, ApiError> {
+        self.post(
+            &format!("/v1/graphs/{graph}/mutate"),
+            &Json::object([("add", edges_json(add)), ("remove", edges_json(remove))]),
+        )
+    }
+
+    fn round_trip(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&Json>,
+    ) -> Result<HttpResponse, ApiError> {
+        let transport = |e: std::io::Error| ApiError::new(ErrorCode::Transport, e.to_string());
+        let mut stream = match self.config.connect_timeout {
+            Some(timeout) => TcpStream::connect_timeout(&self.addr, timeout),
+            None => TcpStream::connect(self.addr),
+        }
+        .map_err(transport)?;
+        stream.set_nodelay(true).map_err(transport)?;
+        stream
+            .set_read_timeout(self.config.read_timeout)
+            .map_err(transport)?;
+
+        let payload = body.map(|b| b.render()).unwrap_or_default();
+        let mut head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nConnection: close\r\n",
+            self.addr
+        );
+        if let Some(ms) = self.deadline_ms {
+            head.push_str(&format!("X-Gms-Deadline-Ms: {ms}\r\n"));
+        }
+        if let Some(name) = &self.client_name {
+            head.push_str(&format!("X-Gms-Client: {name}\r\n"));
+        }
+        if self.weight != 1 {
+            head.push_str(&format!("X-Gms-Weight: {}\r\n", self.weight));
+        }
+        if body.is_some() {
+            head.push_str(&format!(
+                "Content-Type: application/json\r\nContent-Length: {}\r\n",
+                payload.len()
+            ));
+        }
+        head.push_str("\r\n");
+        stream.write_all(head.as_bytes()).map_err(transport)?;
+        stream.write_all(payload.as_bytes()).map_err(transport)?;
+        stream.flush().map_err(transport)?;
+
+        // `Connection: close` means EOF delimits the response.
+        let mut raw = Vec::new();
+        stream.read_to_end(&mut raw).map_err(transport)?;
+        parse_http_response(&raw)
+    }
+}
+
+fn run_body(kernel: &str, params: &[(&str, Json)]) -> Json {
+    Json::object([
+        ("kernel", Json::from(kernel)),
+        (
+            "params",
+            Json::Object(
+                params
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.clone()))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn parse_http_response(raw: &[u8]) -> Result<HttpResponse, ApiError> {
+    let bad = |why: &str| ApiError::new(ErrorCode::Transport, format!("bad HTTP response: {why}"));
+    let text = std::str::from_utf8(raw).map_err(|_| bad("not UTF-8"))?;
+    let (head, body) = text.split_once("\r\n\r\n").ok_or_else(|| bad("no head"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or("");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("unparsable status line"))?;
+    let headers: Vec<(String, String)> = lines
+        .filter_map(|line| {
+            let (name, value) = line.split_once(':')?;
+            Some((name.trim().to_ascii_lowercase(), value.trim().to_string()))
+        })
+        .collect();
+    let chunked = headers
+        .iter()
+        .any(|(k, v)| k == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
+    if !chunked {
+        return Ok(HttpResponse {
+            status,
+            headers,
+            body: body.to_string(),
+            chunks: 1,
+        });
+    }
+    // Decode chunked transfer, counting data chunks as they arrived.
+    let mut decoded = String::new();
+    let mut chunks = 0usize;
+    let mut rest = body;
+    loop {
+        let (size_line, tail) = rest
+            .split_once("\r\n")
+            .ok_or_else(|| bad("truncated chunk"))?;
+        let size = usize::from_str_radix(size_line.trim(), 16)
+            .map_err(|_| bad("unparsable chunk size"))?;
+        if size == 0 {
+            break;
+        }
+        if tail.len() < size {
+            return Err(bad("short chunk"));
+        }
+        decoded.push_str(&tail[..size]);
+        chunks += 1;
+        rest = tail[size..]
+            .strip_prefix("\r\n")
+            .ok_or_else(|| bad("chunk without terminator"))?;
+    }
+    Ok(HttpResponse {
+        status,
+        headers,
+        body: decoded,
+        chunks,
+    })
 }

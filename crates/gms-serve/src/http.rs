@@ -1,0 +1,542 @@
+//! The `/v1` HTTP/1.1 gateway: the public face of the server.
+//!
+//! The server listens on **one** port and sniffs the first byte of
+//! each connection: `{` means the NDJSON wire protocol, an ASCII
+//! method letter means HTTP. Both planes map onto the same typed
+//! [`Request`](crate::protocol::Request) structs, pass the same
+//! admission queue, and are executed by the same worker pool — the
+//! gateway is an adapter, not a second server.
+//!
+//! ```text
+//! GET  /v1/health                  liveness + capacity probe
+//! GET  /v1/kernels                 kernel listing with schemas
+//! GET  /v1/stats                   cache / server / client stats
+//! POST /v1/graphs                  load a graph (body: load spec)
+//! POST /v1/graphs/{name}/run       run a kernel (body: {kernel, params})
+//! POST /v1/graphs/{name}/mutate    batched edge mutation
+//! ```
+//!
+//! Failures reuse the NDJSON error body verbatim
+//! (`{"v":1,"ok":false,"error":{code,message,retryable,...}}`) with
+//! the status line picked by
+//! [`ErrorCode::http_status`](crate::protocol::ErrorCode::http_status),
+//! so the two surfaces never disagree about what went wrong.
+//!
+//! Request metadata rides in headers: `X-Gms-Deadline-Ms` (relative
+//! deadline, propagated into the kernel as a cancellation token),
+//! `X-Gms-Client` (fairness identity; defaults to the peer address),
+//! and `X-Gms-Weight` (weighted-fair-queuing weight).
+//!
+//! Abuse is rejected before it costs memory or compute: a
+//! `Content-Length` above the configured body cap answers `413`
+//! *without reading the body*, a peer that trickles its request head
+//! slower than the request timeout gets `408` (the slow-loris
+//! guard), and over-deadline work is dropped at the next kernel
+//! cancellation point.
+//!
+//! `POST /v1/graphs/{name}/run?stream=1&limit=N` switches the
+//! response to `Transfer-Encoding: chunked` NDJSON streaming (see
+//! [`stream`](crate::stream)): a meta line, then payload items in
+//! pages of `N`, each page flushed as its own chunk.
+
+use crate::json::Json;
+use crate::protocol::{error_json, ApiError, ErrorCode, MutateSpec};
+use crate::server::{
+    health_json, kernels_json, stats_json, submit, DataOp, Job, Reply, Shared, SyncReply, READ_POLL,
+};
+use crate::stream::{stream_outcome, DEFAULT_PAGE_LIMIT};
+use gms_core::{Edge, NodeId};
+use gms_platform::kernel::CancelToken;
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Largest accepted request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// One parsed HTTP request.
+struct HttpRequest {
+    method: String,
+    /// Path without the query string.
+    path: String,
+    /// `key=value` pairs from the query string, undecoded.
+    query: Vec<(String, String)>,
+    /// Header `(name, value)` pairs, names lowercased.
+    headers: Vec<(String, String)>,
+    body: Vec<u8>,
+}
+
+impl HttpRequest {
+    fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+enum RecvError {
+    /// Peer closed (or went idle into shutdown) between requests —
+    /// not an error, just the end of the connection.
+    Done,
+    /// The slow-loris guard fired.
+    Timeout,
+    /// The head outgrew [`MAX_HEAD_BYTES`].
+    HeadTooLarge,
+    /// Declared body above the configured cap.
+    BodyTooLarge(usize),
+    /// Anything else unparseable.
+    Bad(String),
+}
+
+/// Serves HTTP requests on one sniffed connection until the peer
+/// closes, an abuse guard fires, or the server shuts down.
+pub(crate) fn http_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "unknown-peer".to_string());
+    loop {
+        let request = match recv_request(&mut stream, shared) {
+            Ok(request) => request,
+            Err(RecvError::Done) => return,
+            Err(RecvError::Timeout) => {
+                let error = ApiError::new(
+                    ErrorCode::Timeout,
+                    format!(
+                        "request not completed within {:?} (slow-loris guard)",
+                        shared.request_timeout
+                    ),
+                );
+                let _ = send_error(&mut stream, &error, false);
+                return;
+            }
+            Err(RecvError::HeadTooLarge) => {
+                let error = ApiError::new(
+                    ErrorCode::PayloadTooLarge,
+                    format!("request head exceeds {MAX_HEAD_BYTES} bytes"),
+                );
+                let _ = send_error(&mut stream, &error, false);
+                return;
+            }
+            Err(RecvError::BodyTooLarge(declared)) => {
+                // Rejected on the Content-Length header alone — the
+                // oversized body was never read, let alone parsed.
+                let error = ApiError::new(
+                    ErrorCode::PayloadTooLarge,
+                    format!(
+                        "declared body of {declared} bytes exceeds the {}-byte cap",
+                        shared.max_body_bytes
+                    ),
+                );
+                let _ = send_error(&mut stream, &error, false);
+                return;
+            }
+            Err(RecvError::Bad(message)) => {
+                let error = ApiError::new(ErrorCode::BadRequest, message);
+                let _ = send_error(&mut stream, &error, false);
+                return;
+            }
+        };
+        shared
+            .counters
+            .http_requests
+            .fetch_add(1, Ordering::Relaxed);
+        shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let keep_alive = !request.wants_close();
+        if handle_request(&mut stream, shared, &request, &peer, keep_alive).is_err() {
+            return; // peer hung up mid-response
+        }
+        if !keep_alive || !shared.running() {
+            return;
+        }
+    }
+}
+
+/// Reads one complete request. Idle waiting between requests is
+/// unbounded (keep-alive), but once the first byte arrives the whole
+/// head+body must land within `shared.request_timeout`.
+fn recv_request(stream: &mut TcpStream, shared: &Arc<Shared>) -> Result<HttpRequest, RecvError> {
+    // Phase 0: wait for the first byte (poll so shutdown is noticed).
+    let mut probe = [0u8; 1];
+    loop {
+        match stream.peek(&mut probe) {
+            Ok(0) => return Err(RecvError::Done),
+            Ok(_) => break,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if !shared.running() {
+                    return Err(RecvError::Done);
+                }
+            }
+            Err(_) => return Err(RecvError::Done),
+        }
+    }
+    let deadline = Instant::now() + shared.request_timeout;
+
+    // Phase 1: the head, terminated by CRLFCRLF.
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(RecvError::HeadTooLarge);
+        }
+        read_some(stream, &mut buf, deadline)?;
+    };
+    let head = String::from_utf8(buf[..head_end].to_vec())
+        .map_err(|_| RecvError::Bad("request head is not valid UTF-8".to_string()))?;
+    let mut rest = buf.split_off(head_end + 4);
+    std::mem::swap(&mut buf, &mut rest); // buf = bytes past the head
+
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_ascii_uppercase();
+    let target = parts.next().unwrap_or("").to_string();
+    if method.is_empty() || target.is_empty() {
+        return Err(RecvError::Bad(format!(
+            "malformed request line {request_line:?}"
+        )));
+    }
+    let headers: Vec<(String, String)> = lines
+        .filter_map(|line| {
+            let (name, value) = line.split_once(':')?;
+            Some((name.trim().to_ascii_lowercase(), value.trim().to_string()))
+        })
+        .collect();
+
+    // Phase 2: the body cap is enforced on the *declared* length,
+    // before any body byte is read or buffered.
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| v.parse::<usize>())
+        .transpose()
+        .map_err(|_| RecvError::Bad("unparseable Content-Length".to_string()))?
+        .unwrap_or(0);
+    if content_length > shared.max_body_bytes {
+        return Err(RecvError::BodyTooLarge(content_length));
+    }
+    while buf.len() < content_length {
+        read_some(stream, &mut buf, deadline)?;
+    }
+    buf.truncate(content_length);
+
+    let (path, query_str) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target, String::new()),
+    };
+    let query = query_str
+        .split('&')
+        .filter(|s| !s.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (k.to_string(), v.to_string()),
+            None => (pair.to_string(), String::new()),
+        })
+        .collect();
+    Ok(HttpRequest {
+        method,
+        path,
+        query,
+        headers,
+        body: buf,
+    })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// One bounded read append; maps timeouts against `deadline` to the
+/// slow-loris error.
+fn read_some(
+    stream: &mut TcpStream,
+    buf: &mut Vec<u8>,
+    deadline: Instant,
+) -> Result<(), RecvError> {
+    let mut chunk = [0u8; 4096];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(RecvError::Done),
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                return Ok(());
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if Instant::now() >= deadline {
+                    return Err(RecvError::Timeout);
+                }
+            }
+            Err(_) => return Err(RecvError::Done),
+        }
+    }
+}
+
+/// Routes one parsed request and writes the response.
+fn handle_request(
+    stream: &mut TcpStream,
+    shared: &Arc<Shared>,
+    request: &HttpRequest,
+    peer: &str,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (request.method.as_str(), segments.as_slice()) {
+        ("GET", ["v1", "health"]) => send_json(stream, 200, &health_json(shared, None), keep_alive),
+        ("GET", ["v1", "kernels"]) => {
+            send_json(stream, 200, &kernels_json(shared, None), keep_alive)
+        }
+        ("GET", ["v1", "stats"]) => send_json(stream, 200, &stats_json(shared, None), keep_alive),
+        ("POST", ["v1", "graphs"]) => {
+            data_plane(stream, shared, request, peer, keep_alive, |body| {
+                Ok(DataOp::Load(crate::protocol::load_spec(body)?))
+            })
+        }
+        ("POST", ["v1", "graphs", name, "run"]) => {
+            let graph = (*name).to_string();
+            data_plane(stream, shared, request, peer, keep_alive, move |body| {
+                let kernel = body
+                    .get("kernel")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| {
+                        ApiError::new(ErrorCode::BadRequest, "body requires a string \"kernel\"")
+                    })?
+                    .to_string();
+                let params = match body.get("params") {
+                    None => gms_platform::kernel::Params::new(),
+                    Some(v) => crate::protocol::params_from_json(v)?,
+                };
+                Ok(DataOp::Run(crate::protocol::RunSpec {
+                    kernel,
+                    graph: graph.clone(),
+                    params,
+                }))
+            })
+        }
+        ("POST", ["v1", "graphs", name, "mutate"]) => {
+            let graph = (*name).to_string();
+            data_plane(stream, shared, request, peer, keep_alive, move |body| {
+                let add = edges_member(body, "add")?;
+                let remove = edges_member(body, "remove")?;
+                if add.is_empty() && remove.is_empty() {
+                    return Err(ApiError::new(
+                        ErrorCode::BadRequest,
+                        "mutation body requires \"add\" and/or \"remove\" edge arrays",
+                    ));
+                }
+                Ok(DataOp::Mutate(MutateSpec {
+                    graph: graph.clone(),
+                    add,
+                    remove,
+                }))
+            })
+        }
+        _ => {
+            let error = ApiError::new(
+                ErrorCode::GraphNotFound,
+                format!(
+                    "no endpoint {} {} (see crates/gms-serve/README.md for the /v1 reference)",
+                    request.method, request.path
+                ),
+            );
+            send_error(stream, &error, keep_alive)
+        }
+    }
+}
+
+/// Parses an optional `[[u,v],...]` member into edges.
+fn edges_member(body: &Json, key: &str) -> Result<Vec<Edge>, ApiError> {
+    let Some(value) = body.get(key) else {
+        return Ok(Vec::new());
+    };
+    let items = value.as_array().ok_or_else(|| {
+        ApiError::new(
+            ErrorCode::BadRequest,
+            format!("\"{key}\" must be an array of [u,v] pairs"),
+        )
+    })?;
+    items
+        .iter()
+        .map(|item| {
+            let pair = item.as_array().filter(|p| p.len() == 2);
+            let endpoint = |v: &Json| -> Option<NodeId> {
+                match v {
+                    Json::Int(i) if (0..=i64::from(NodeId::MAX)).contains(i) => Some(*i as NodeId),
+                    _ => None,
+                }
+            };
+            pair.and_then(|p| Some((endpoint(&p[0])?, endpoint(&p[1])?)))
+                .ok_or_else(|| {
+                    ApiError::new(
+                        ErrorCode::BadRequest,
+                        format!(
+                            "every \"{key}\" entry must be a [u,v] pair of non-negative integers"
+                        ),
+                    )
+                })
+        })
+        .collect()
+}
+
+/// The shared data-plane path: parse the JSON body, build the op,
+/// thread deadline/client/weight from headers, pass admission, block
+/// on the worker's reply, and render it with the right status line
+/// (or stream it chunked when asked).
+fn data_plane(
+    stream: &mut TcpStream,
+    shared: &Arc<Shared>,
+    request: &HttpRequest,
+    peer: &str,
+    keep_alive: bool,
+    build: impl FnOnce(&Json) -> Result<DataOp, ApiError>,
+) -> std::io::Result<()> {
+    let body = if request.body.is_empty() {
+        Json::Object(Vec::new())
+    } else {
+        match std::str::from_utf8(&request.body)
+            .ok()
+            .and_then(|text| Json::parse(text).ok())
+        {
+            Some(parsed) => parsed,
+            None => {
+                shared.counters.malformed.fetch_add(1, Ordering::Relaxed);
+                let error = ApiError::new(ErrorCode::BadJson, "body is not valid JSON");
+                return send_error(stream, &error, keep_alive);
+            }
+        }
+    };
+    let op = match build(&body) {
+        Ok(op) => op,
+        Err(error) => {
+            shared.counters.malformed.fetch_add(1, Ordering::Relaxed);
+            return send_error(stream, &error, keep_alive);
+        }
+    };
+
+    let deadline_ms = match request.header("x-gms-deadline-ms") {
+        None => None,
+        Some(raw) => match raw.parse::<u64>() {
+            Ok(ms) if ms > 0 => Some(ms),
+            _ => {
+                let error = ApiError::new(
+                    ErrorCode::BadRequest,
+                    "X-Gms-Deadline-Ms must be a positive integer",
+                );
+                return send_error(stream, &error, keep_alive);
+            }
+        },
+    };
+    let weight = match request.header("x-gms-weight") {
+        None => 1,
+        Some(raw) => match raw.parse::<u32>() {
+            Ok(w) if (1..=1024).contains(&w) => w,
+            _ => {
+                let error = ApiError::new(
+                    ErrorCode::BadRequest,
+                    "X-Gms-Weight must be an integer in 1..=1024",
+                );
+                return send_error(stream, &error, keep_alive);
+            }
+        },
+    };
+    let client = request
+        .header("x-gms-client")
+        .map(str::to_string)
+        .unwrap_or_else(|| peer.to_string());
+    let streaming = request.query_param("stream").is_some_and(|v| v == "1");
+    let limit = request
+        .query_param("limit")
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(DEFAULT_PAGE_LIMIT);
+
+    let cancel = match deadline_ms {
+        Some(ms) => CancelToken::after(Duration::from_millis(ms)),
+        None => CancelToken::none(),
+    };
+    let reply = SyncReply::new();
+    let job = Job {
+        op,
+        id: None,
+        reply: Reply::Sync(Arc::clone(&reply)),
+        cancel,
+        full_payload: streaming,
+    };
+    submit(shared, job, &client, weight);
+    let response = reply.recv();
+
+    // An error response carries its own status; success is 200.
+    if let Some(error) = response.get("error") {
+        let status = ApiError::from_json(error).code.http_status();
+        return send_json(stream, status, &response, keep_alive);
+    }
+    if streaming {
+        return stream_outcome(stream, &response, limit, keep_alive);
+    }
+    send_json(stream, 200, &response, keep_alive)
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        421 => "Misdirected Request",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        502 => "Bad Gateway",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Response",
+    }
+}
+
+/// Writes one fixed-length JSON response.
+fn send_json(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &Json,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let mut payload = body.render();
+    payload.push('\n');
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        reason(status),
+        payload.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(payload.as_bytes())?;
+    stream.flush()
+}
+
+/// Writes a typed error with its mapped status — the same error
+/// object the NDJSON plane would send.
+fn send_error(stream: &mut TcpStream, error: &ApiError, keep_alive: bool) -> std::io::Result<()> {
+    send_json(
+        stream,
+        error.code.http_status(),
+        &error_json(error, None),
+        keep_alive,
+    )
+}

@@ -37,13 +37,17 @@
 
 pub mod admission;
 pub mod client;
+mod http;
 pub mod json;
 pub mod protocol;
 pub mod server;
+mod stream;
 
-pub use client::{Client, ClientConfig};
+pub use admission::{ClientStats, RateLimit};
+pub use client::{Client, ClientBuilder, ClientConfig, HttpClient, HttpResponse};
 pub use json::{Json, JsonError};
 pub use protocol::{
-    ErrorCode, LoadCompression, LoadFormat, LoadSource, LoadSpec, Request, RunSpec, WireError,
+    ApiError, Envelope, ErrorCode, LoadCompression, LoadFormat, LoadSource, LoadSpec, Request,
+    RunSpec, WireError, PROTOCOL_VERSION,
 };
 pub use server::{ServeConfig, Server, ServerHandle};

@@ -9,9 +9,13 @@
 //! | `--workers` | `GMS_SERVE_WORKERS` | 2 | worker sessions |
 //! | `--queue` | `GMS_SERVE_QUEUE` | 64 | admission-queue capacity |
 //! | `--cache` | `GMS_SERVE_CACHE` | 256 | result-cache capacity |
+//! | `--rate-limit` | `GMS_SERVE_RATE_LIMIT` | off | per-client token bucket as `rate/burst` (e.g. `100/20` = 100 req/s, burst 20) |
+//! | `--max-body-bytes` | `GMS_SERVE_MAX_BODY` | 8388608 | largest inline request body; bigger is `payload-too-large` (HTTP 413) |
+//! | `--request-timeout-ms` | `GMS_SERVE_REQUEST_TIMEOUT_MS` | 5000 | slow-loris guard: max time to deliver one complete request |
 //! | `--addr-file` | `GMS_SERVE_ADDR_FILE` | — | write the bound address to this file (CI reads the ephemeral port from it) |
 
-use gms_serve::{ServeConfig, Server};
+use gms_serve::{RateLimit, ServeConfig, Server};
+use std::time::Duration;
 
 fn arg_or_env(args: &[String], flag: &str, env: &str) -> Option<String> {
     args.iter()
@@ -28,6 +32,19 @@ fn parse_or<T: std::str::FromStr>(value: Option<String>, default: T, flag: &str)
             std::process::exit(2);
         }),
     }
+}
+
+fn parse_rate_limit(text: &str) -> RateLimit {
+    let parsed = text.split_once('/').and_then(|(rate, burst)| {
+        Some(RateLimit {
+            rate_per_sec: rate.parse().ok().filter(|&r: &f64| r > 0.0)?,
+            burst: burst.parse().ok().filter(|&b: &f64| b >= 1.0)?,
+        })
+    });
+    parsed.unwrap_or_else(|| {
+        eprintln!("gms-serve: --rate-limit expects \"rate/burst\" (e.g. 100/20), got {text:?}");
+        std::process::exit(2);
+    })
 }
 
 fn main() {
@@ -50,6 +67,22 @@ fn main() {
             256,
             "--cache",
         ),
+        rate_limit: arg_or_env(&args, "--rate-limit", "GMS_SERVE_RATE_LIMIT")
+            .map(|text| parse_rate_limit(&text)),
+        max_body_bytes: parse_or(
+            arg_or_env(&args, "--max-body-bytes", "GMS_SERVE_MAX_BODY"),
+            8 * 1024 * 1024,
+            "--max-body-bytes",
+        ),
+        request_timeout: Duration::from_millis(parse_or(
+            arg_or_env(
+                &args,
+                "--request-timeout-ms",
+                "GMS_SERVE_REQUEST_TIMEOUT_MS",
+            ),
+            5000,
+            "--request-timeout-ms",
+        )),
     };
     let addr_file = arg_or_env(&args, "--addr-file", "GMS_SERVE_ADDR_FILE");
 

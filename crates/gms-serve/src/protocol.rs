@@ -7,14 +7,31 @@
 //! answers to questions. The full format, endpoint by endpoint, is
 //! documented in `crates/gms-serve/README.md`.
 //!
-//! Errors are typed: `{"ok":false,"error":{"code":...,"message":...}}`
-//! with the closed set of codes in [`ErrorCode`]. `queue-full` is the
-//! backpressure signal (the HTTP 429 analog): the request was parsed
-//! but not admitted, and the client should retry later or slow down.
+//! **Versioning (v1).** Every response carries `"v":1` as its first
+//! member. Requests *may* send `"v":1`; requests without it are
+//! accepted for back-compatibility but counted as `legacy_requests`
+//! in `stats` — the deprecation signal for pre-v1 clients. A request
+//! envelope may further carry `"deadline_ms"` (a relative deadline
+//! propagated into the kernel as a cancellation token), `"client"`
+//! (the fairness identity), and `"weight"` (its scheduling weight);
+//! see [`Envelope`].
+//!
+//! Errors are typed ([`ApiError`]): `{"ok":false,"error":{"code":...,
+//! "message":...,"retryable":...}}` with the closed set of codes in
+//! [`ErrorCode`] — rendered identically on the NDJSON wire and as
+//! HTTP response bodies (where [`ErrorCode::http_status`] picks the
+//! status line). `queue-full` and `rate-limited` are the
+//! backpressure signals: the request was parsed but not admitted,
+//! and the client should retry later or slow down.
 
 use crate::json::Json;
 use gms_core::{Edge, NodeId};
 use gms_platform::kernel::{KernelError, MutationOutcome, Outcome, Params, Payload, Value};
+
+/// The protocol version this server speaks: stamped on every
+/// response, accepted (and required to match) when a request sends
+/// `"v"`.
+pub const PROTOCOL_VERSION: i64 = 1;
 
 /// The closed set of error codes a response can carry.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -55,6 +72,25 @@ pub enum ErrorCode {
     /// (the router-level analog of a single process's
     /// `unknown-graph`).
     GraphNotFound,
+    /// The request's deadline passed before the kernel completed;
+    /// partial work was discarded and nothing was cached (HTTP 504
+    /// analog). Retryable with a longer deadline.
+    DeadlineExceeded,
+    /// The client's token bucket is empty: admission was refused by
+    /// the per-client rate limit, not by queue capacity (HTTP 429
+    /// analog). Other clients are unaffected.
+    RateLimited,
+    /// An inline request body exceeded the configured size cap and
+    /// was rejected before being materialized (HTTP 413 analog).
+    PayloadTooLarge,
+    /// The peer was too slow producing a complete request (the
+    /// slow-loris guard; HTTP 408 analog).
+    Timeout,
+    /// Client-side vocabulary (never sent by a server): the
+    /// transport failed before a well-formed response arrived —
+    /// connect/read/write failure or an unparsable reply. Lets every
+    /// typed client method fail with one [`ApiError`] shape.
+    Transport,
 }
 
 impl ErrorCode {
@@ -74,6 +110,51 @@ impl ErrorCode {
             ErrorCode::BackendUnavailable => "backend-unavailable",
             ErrorCode::Moved => "moved",
             ErrorCode::GraphNotFound => "graph-not-found",
+            ErrorCode::DeadlineExceeded => "deadline-exceeded",
+            ErrorCode::RateLimited => "rate-limited",
+            ErrorCode::PayloadTooLarge => "payload-too-large",
+            ErrorCode::Timeout => "timeout",
+            ErrorCode::Transport => "transport",
+        }
+    }
+
+    /// Whether retrying the identical request can succeed without the
+    /// client changing anything (transient congestion / placement
+    /// churn) — stamped into every rendered error so clients need no
+    /// code-by-code retry table.
+    pub fn retryable(&self) -> bool {
+        matches!(
+            self,
+            ErrorCode::QueueFull
+                | ErrorCode::RateLimited
+                | ErrorCode::ShuttingDown
+                | ErrorCode::BackendUnavailable
+                | ErrorCode::Moved
+                | ErrorCode::Timeout
+                | ErrorCode::DeadlineExceeded
+                | ErrorCode::Transport
+        )
+    }
+
+    /// The HTTP status line the `/v1` gateway answers with when a
+    /// request fails with this code — the same typed error body is
+    /// the response payload, so the two surfaces never disagree.
+    pub fn http_status(&self) -> u16 {
+        match self {
+            ErrorCode::BadJson
+            | ErrorCode::BadRequest
+            | ErrorCode::BadParam
+            | ErrorCode::UnknownParam
+            | ErrorCode::BadMutation => 400,
+            ErrorCode::UnknownKernel | ErrorCode::UnknownGraph | ErrorCode::GraphNotFound => 404,
+            ErrorCode::Timeout => 408,
+            ErrorCode::PayloadTooLarge => 413,
+            ErrorCode::Moved => 421,
+            ErrorCode::RateLimited => 429,
+            ErrorCode::Io => 500,
+            ErrorCode::BackendUnavailable | ErrorCode::Transport => 502,
+            ErrorCode::QueueFull | ErrorCode::ShuttingDown => 503,
+            ErrorCode::DeadlineExceeded => 504,
         }
     }
 }
@@ -84,22 +165,51 @@ impl std::fmt::Display for ErrorCode {
     }
 }
 
-/// A typed wire-level failure: code plus human-readable message.
+/// The one typed failure shape of the v1 API: every error — NDJSON
+/// line, HTTP body, router verdict, client-side transport failure —
+/// is one of these. Rendered as
+/// `{"code":...,"message":...,"retryable":...}` plus any `details`
+/// members (e.g. `moved` carries the new shard under `"addr"`).
+///
+/// This replaced three ad-hoc shapes (bare `WireError`, the router's
+/// extra-member errors, and client-side `io::Error` strings); the
+/// old [`WireError`] name remains as an alias for one release.
 #[derive(Clone, Debug)]
-pub struct WireError {
+pub struct ApiError {
     /// Which of the closed error codes.
     pub code: ErrorCode,
     /// Human-readable detail.
     pub message: String,
+    /// Extra structured members rendered inside the error object,
+    /// after `retryable`. Empty for most errors.
+    pub details: Vec<(String, Json)>,
 }
 
-impl WireError {
+/// Deprecated spelling of [`ApiError`] — the pre-v1 name. Kept as an
+/// alias so existing constructors keep compiling; new code should
+/// say [`ApiError`].
+pub type WireError = ApiError;
+
+impl ApiError {
     /// Convenience constructor.
     pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
         Self {
             code,
             message: message.into(),
+            details: Vec::new(),
         }
+    }
+
+    /// Attaches a structured detail member.
+    pub fn with_detail(mut self, key: &str, value: Json) -> Self {
+        self.details.push((key.to_string(), value));
+        self
+    }
+
+    /// Whether retrying the identical request can succeed (see
+    /// [`ErrorCode::retryable`]).
+    pub fn retryable(&self) -> bool {
+        self.code.retryable()
     }
 
     /// Maps a kernel-API error onto the wire codes.
@@ -111,10 +221,71 @@ impl WireError {
             KernelError::InvalidHandle => ErrorCode::UnknownGraph,
             KernelError::NotMaterialized => ErrorCode::BadRequest,
             KernelError::BadMutation { .. } => ErrorCode::BadMutation,
+            KernelError::DeadlineExceeded => ErrorCode::DeadlineExceeded,
         };
         Self::new(code, e.to_string())
     }
+
+    /// Parses a rendered error object (the value under `"error"`)
+    /// back into a typed [`ApiError`] — how the client surfaces
+    /// server-side failures typed instead of as strings. Unknown
+    /// codes map to the closest local meaning so old clients survive
+    /// new servers.
+    pub fn from_json(value: &Json) -> Self {
+        let code_str = value.get("code").and_then(Json::as_str).unwrap_or("");
+        let code = [
+            ErrorCode::BadJson,
+            ErrorCode::BadRequest,
+            ErrorCode::QueueFull,
+            ErrorCode::UnknownKernel,
+            ErrorCode::UnknownParam,
+            ErrorCode::BadParam,
+            ErrorCode::UnknownGraph,
+            ErrorCode::Io,
+            ErrorCode::BadMutation,
+            ErrorCode::ShuttingDown,
+            ErrorCode::BackendUnavailable,
+            ErrorCode::Moved,
+            ErrorCode::GraphNotFound,
+            ErrorCode::DeadlineExceeded,
+            ErrorCode::RateLimited,
+            ErrorCode::PayloadTooLarge,
+            ErrorCode::Timeout,
+            ErrorCode::Transport,
+        ]
+        .into_iter()
+        .find(|c| c.as_str() == code_str)
+        .unwrap_or(ErrorCode::Io);
+        let message = value
+            .get("message")
+            .and_then(Json::as_str)
+            .unwrap_or("unrecognized error shape")
+            .to_string();
+        let details = value
+            .as_object()
+            .map(|fields| {
+                fields
+                    .iter()
+                    .filter(|(k, _)| k != "code" && k != "message" && k != "retryable")
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect()
+            })
+            .unwrap_or_default();
+        Self {
+            code,
+            message,
+            details,
+        }
+    }
 }
+
+impl std::fmt::Display for ApiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for ApiError {}
 
 /// On-disk / inline source of a graph to load.
 #[derive(Clone, Debug)]
@@ -300,7 +471,10 @@ fn run_spec(obj: &Json, op: &str) -> Result<RunSpec, WireError> {
     })
 }
 
-fn load_spec(obj: &Json) -> Result<LoadSpec, WireError> {
+/// Parses a load body (`graph`, `format`, `path`|`data`, optional
+/// `compression`) — shared by the NDJSON `load` op and the HTTP
+/// `POST /v1/graphs` endpoint.
+pub(crate) fn load_spec(obj: &Json) -> Result<LoadSpec, WireError> {
     let name = required_str(obj, "graph", "load")?;
     let format_name = required_str(obj, "format", "load")?;
     let format = LoadFormat::parse(&format_name).ok_or_else(|| {
@@ -402,15 +576,112 @@ fn mutate_spec(obj: &Json, op: &str) -> Result<MutateSpec, WireError> {
     Ok(MutateSpec { graph, add, remove })
 }
 
+/// The v1 request envelope: the parsed [`Request`] plus the members
+/// every endpoint shares — the echoed `id`, the optional protocol
+/// version, and the admission metadata (deadline, client identity,
+/// fairness weight) that travels alongside the operation.
+#[derive(Clone, Debug)]
+pub struct Envelope {
+    /// The parsed operation.
+    pub request: Request,
+    /// The echoed `"id"` member, if one was sent.
+    pub id: Option<Json>,
+    /// Whether the request carried `"v":1`. Version-less requests
+    /// are accepted (deprecation grace) but counted in `stats` as
+    /// `legacy_requests`.
+    pub versioned: bool,
+    /// `"deadline_ms"`: relative deadline for the whole request,
+    /// propagated into kernels as a cancellation token.
+    pub deadline_ms: Option<u64>,
+    /// `"client"`: the fairness / rate-limit identity. Connections
+    /// that never say fall back to a per-transport default.
+    pub client: Option<String>,
+    /// `"weight"`: weighted-fair-queuing weight (≥ 1; default 1).
+    pub weight: u32,
+}
+
+/// Parses one request line into the full v1 [`Envelope`]. On failure
+/// the error still carries whatever `id` could be recovered, so even
+/// malformed requests get a matchable response.
+pub fn parse_envelope(line: &str) -> Result<Envelope, (ApiError, Option<Json>)> {
+    let value =
+        Json::parse(line).map_err(|e| (ApiError::new(ErrorCode::BadJson, e.to_string()), None))?;
+    let id = value.get("id").cloned();
+    let fail = |e: ApiError| (e, id.clone());
+    let versioned = match value.get("v") {
+        None => false,
+        Some(Json::Int(v)) if *v == PROTOCOL_VERSION => true,
+        Some(other) => {
+            return Err(fail(ApiError::new(
+                ErrorCode::BadRequest,
+                format!(
+                    "unsupported protocol version {} (this server speaks \"v\":{PROTOCOL_VERSION})",
+                    other.render()
+                ),
+            )))
+        }
+    };
+    let deadline_ms = match value.get("deadline_ms") {
+        None => None,
+        Some(Json::Int(ms)) if *ms > 0 => Some(*ms as u64),
+        Some(_) => {
+            return Err(fail(ApiError::new(
+                ErrorCode::BadRequest,
+                "\"deadline_ms\" must be a positive integer",
+            )))
+        }
+    };
+    let client = match value.get("client") {
+        None => None,
+        Some(Json::Str(name)) if !name.is_empty() => Some(name.clone()),
+        Some(_) => {
+            return Err(fail(ApiError::new(
+                ErrorCode::BadRequest,
+                "\"client\" must be a non-empty string",
+            )))
+        }
+    };
+    let weight = match value.get("weight") {
+        None => 1,
+        Some(Json::Int(w)) if (1..=1024).contains(w) => *w as u32,
+        Some(_) => {
+            return Err(fail(ApiError::new(
+                ErrorCode::BadRequest,
+                "\"weight\" must be an integer in 1..=1024",
+            )))
+        }
+    };
+    let (request, id) = parse_request_value(value, id)?;
+    Ok(Envelope {
+        request,
+        id,
+        versioned,
+        deadline_ms,
+        client,
+        weight,
+    })
+}
+
 /// Parses one request line. On success returns the request plus the
 /// echoed `id`; on failure the error still carries whatever `id`
 /// could be recovered, so even malformed requests get a matchable
 /// response.
+///
+/// The pre-v1 entry point: ignores the envelope members
+/// ([`parse_envelope`] reads those) but accepts the same lines.
 #[allow(clippy::type_complexity)]
 pub fn parse_request(line: &str) -> Result<(Request, Option<Json>), (WireError, Option<Json>)> {
     let value =
         Json::parse(line).map_err(|e| (WireError::new(ErrorCode::BadJson, e.to_string()), None))?;
     let id = value.get("id").cloned();
+    parse_request_value(value, id)
+}
+
+#[allow(clippy::type_complexity)]
+fn parse_request_value(
+    value: Json,
+    id: Option<Json>,
+) -> Result<(Request, Option<Json>), (WireError, Option<Json>)> {
     let fail = |e: WireError| (e, id.clone());
     if value.as_object().is_none() {
         return Err(fail(WireError::new(
@@ -459,36 +730,55 @@ pub fn parse_request(line: &str) -> Result<(Request, Option<Json>), (WireError, 
     Ok((request, id))
 }
 
-/// Assembles a response object, echoing the request's `id` (when one
-/// was sent) as the last member — the one id-echo implementation
-/// every response goes through (public so the `gms-router` front end
+/// Assembles a response object: stamps the protocol version
+/// (`"v":1`) as the first member and echoes the request's `id` (when
+/// one was sent) as the last — the one envelope implementation every
+/// response goes through (public so the `gms-router` front end
 /// composes responses the same way).
-pub fn with_id(mut fields: Vec<(&'static str, Json)>, id: Option<&Json>) -> Json {
+pub fn with_id(fields: Vec<(&'static str, Json)>, id: Option<&Json>) -> Json {
+    let mut members = Vec::with_capacity(fields.len() + 2);
+    members.push(("v", Json::Int(PROTOCOL_VERSION)));
+    members.extend(fields);
     if let Some(id) = id {
-        fields.push(("id", id.clone()));
+        members.push(("id", id.clone()));
     }
-    Json::object(fields)
+    Json::object(members)
 }
 
-/// Renders a typed error response.
-pub fn error_json(error: &WireError, id: Option<&Json>) -> Json {
+/// Renders a typed error response: the [`ApiError`]'s own `details`
+/// members ride inside the error object.
+pub fn error_json(error: &ApiError, id: Option<&Json>) -> Json {
     error_json_with(error, &[], id)
 }
 
 /// Renders a typed error response with extra members inside the
 /// error object — how `moved` carries the new shard under `"addr"`.
-pub fn error_json_with(error: &WireError, extra: &[(&str, Json)], id: Option<&Json>) -> Json {
+pub fn error_json_with(error: &ApiError, extra: &[(&str, Json)], id: Option<&Json>) -> Json {
+    with_id(
+        vec![
+            ("ok", Json::Bool(false)),
+            ("error", error_object(error, extra)),
+        ],
+        id,
+    )
+}
+
+/// Renders just the error *object* (the value under `"error"`) — the
+/// piece the HTTP gateway reuses as a response body so both surfaces
+/// spell failures identically.
+pub fn error_object(error: &ApiError, extra: &[(&str, Json)]) -> Json {
     let mut members = vec![
         ("code", Json::from(error.code.as_str())),
         ("message", Json::from(error.message.clone())),
+        ("retryable", Json::Bool(error.retryable())),
     ];
+    for (key, value) in &error.details {
+        members.push((key.as_str(), value.clone()));
+    }
     for (key, value) in extra {
         members.push((key, value.clone()));
     }
-    with_id(
-        vec![("ok", Json::Bool(false)), ("error", Json::object(members))],
-        id,
-    )
+    Json::object(members)
 }
 
 fn payload_json(payload: &Payload) -> Json {
@@ -511,28 +801,97 @@ fn payload_json(payload: &Payload) -> Json {
     }
 }
 
+/// Renders one page of a payload's items — the unit the streaming
+/// HTTP endpoints emit chunk by chunk. `offset`/`limit` select the
+/// page; the returned array is empty once `offset` walks off the
+/// end. Scalar and empty payloads have no items to page.
+pub fn payload_items_json(payload: &Payload, offset: usize, limit: usize) -> Json {
+    match payload {
+        Payload::None | Payload::Scalar(_) => Json::Array(Vec::new()),
+        Payload::VertexGroups(groups) => Json::Array(
+            groups
+                .iter()
+                .skip(offset)
+                .take(limit)
+                .map(|group| Json::Array(group.iter().map(|&v| Json::Int(i64::from(v))).collect()))
+                .collect(),
+        ),
+        Payload::Assignment(a) => Json::Array(
+            a.iter()
+                .skip(offset)
+                .take(limit)
+                .map(|&x| Json::Int(i64::from(x)))
+                .collect(),
+        ),
+        Payload::Rank(r) => Json::Array(
+            r.iter()
+                .skip(offset)
+                .take(limit)
+                .map(|&x| Json::Int(i64::from(x)))
+                .collect(),
+        ),
+    }
+}
+
+/// How many pageable items a payload holds (the total the streaming
+/// meta line announces).
+pub fn payload_item_count(payload: &Payload) -> usize {
+    match payload {
+        Payload::None | Payload::Scalar(_) => 0,
+        Payload::VertexGroups(groups) => groups.len(),
+        Payload::Assignment(a) => a.len(),
+        Payload::Rank(r) => r.len(),
+    }
+}
+
+fn outcome_members(spec: &RunSpec, outcome: &Outcome, payload: Json) -> Vec<(&'static str, Json)> {
+    vec![
+        ("ok", Json::Bool(true)),
+        ("kernel", Json::from(outcome.kernel)),
+        ("graph", Json::from(spec.graph.clone())),
+        ("patterns", Json::from(outcome.patterns)),
+        ("cached", Json::from(outcome.cached)),
+        (
+            "kernel_ms",
+            Json::from(outcome.timings.kernel.as_secs_f64() * 1e3),
+        ),
+        (
+            "total_ms",
+            Json::from(outcome.timings.total().as_secs_f64() * 1e3),
+        ),
+        ("payload", payload),
+    ]
+}
+
 /// Renders a successful `run` response (also one element of a
-/// `batch` response's `results` array).
+/// `batch` response's `results` array). The payload is summarized
+/// (counts, not items); [`outcome_json_full`] materializes it.
 pub fn outcome_json(spec: &RunSpec, outcome: &Outcome, id: Option<&Json>) -> Json {
     with_id(
-        vec![
-            ("ok", Json::Bool(true)),
-            ("kernel", Json::from(outcome.kernel)),
-            ("graph", Json::from(spec.graph.clone())),
-            ("patterns", Json::from(outcome.patterns)),
-            ("cached", Json::from(outcome.cached)),
-            (
-                "kernel_ms",
-                Json::from(outcome.timings.kernel.as_secs_f64() * 1e3),
-            ),
-            (
-                "total_ms",
-                Json::from(outcome.timings.total().as_secs_f64() * 1e3),
-            ),
-            ("payload", payload_json(&outcome.payload)),
-        ],
+        outcome_members(spec, outcome, payload_json(&outcome.payload)),
         id,
     )
+}
+
+/// Renders a successful `run` response with the payload's items
+/// materialized under `payload.items` (plus `payload.items_total`) —
+/// the form the streaming HTTP endpoints page over chunk by chunk.
+pub fn outcome_json_full(spec: &RunSpec, outcome: &Outcome, id: Option<&Json>) -> Json {
+    let summary = payload_json(&outcome.payload);
+    let mut members: Vec<(String, Json)> = summary
+        .as_object()
+        .map(|fields| fields.to_vec())
+        .unwrap_or_default();
+    members.push((
+        "items_total".to_string(),
+        Json::from(payload_item_count(&outcome.payload)),
+    ));
+    members.push((
+        "items".to_string(),
+        payload_items_json(&outcome.payload, 0, usize::MAX),
+    ));
+    let payload = Json::Object(members);
+    with_id(outcome_members(spec, outcome, payload), id)
 }
 
 /// Renders a hexadecimal graph fingerprint the way every endpoint
@@ -672,7 +1031,7 @@ mod tests {
         );
         assert_eq!(
             rendered.render(),
-            r#"{"ok":false,"error":{"code":"moved","message":"graph \"g\" moved","addr":"127.0.0.1:7002"},"id":9}"#
+            r#"{"v":1,"ok":false,"error":{"code":"moved","message":"graph \"g\" moved","retryable":true,"addr":"127.0.0.1:7002"},"id":9}"#
         );
     }
 
@@ -685,7 +1044,7 @@ mod tests {
         .render();
         assert_eq!(
             rendered,
-            r#"{"ok":false,"error":{"code":"queue-full","message":"admission queue at capacity (4)"},"id":3}"#
+            r#"{"v":1,"ok":false,"error":{"code":"queue-full","message":"admission queue at capacity (4)","retryable":true},"id":3}"#
         );
 
         let spec = RunSpec {
@@ -695,6 +1054,7 @@ mod tests {
         };
         let outcome = Outcome::new("triangle-count", 12);
         let v = outcome_json(&spec, &outcome, None);
+        assert_eq!(v.get("v"), Some(&Json::Int(1)), "responses are versioned");
         assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
         assert_eq!(v.get("patterns"), Some(&Json::Int(12)));
         assert_eq!(v.get("cached"), Some(&Json::Bool(false)));
@@ -704,5 +1064,72 @@ mod tests {
                 .and_then(Json::as_str),
             Some("none")
         );
+    }
+
+    #[test]
+    fn envelope_members_parse_and_validate() {
+        let env = parse_envelope(
+            r#"{"v":1,"op":"run","id":4,"kernel":"t","graph":"g","deadline_ms":250,"client":"alice","weight":4}"#,
+        )
+        .unwrap();
+        assert!(env.versioned);
+        assert_eq!(env.deadline_ms, Some(250));
+        assert_eq!(env.client.as_deref(), Some("alice"));
+        assert_eq!(env.weight, 4);
+        assert_eq!(env.id, Some(Json::Int(4)));
+
+        // Version-less requests still parse (deprecation grace)...
+        let legacy = parse_envelope(r#"{"op":"health"}"#).unwrap();
+        assert!(!legacy.versioned);
+        assert_eq!(legacy.weight, 1);
+        assert!(legacy.deadline_ms.is_none());
+
+        // ...but a *wrong* version, bad deadline, or bad weight is a
+        // typed bad-request.
+        for line in [
+            r#"{"v":2,"op":"health"}"#,
+            r#"{"v":"1","op":"health"}"#,
+            r#"{"op":"health","deadline_ms":0}"#,
+            r#"{"op":"health","deadline_ms":-5}"#,
+            r#"{"op":"health","client":""}"#,
+            r#"{"op":"health","weight":0}"#,
+            r#"{"op":"health","weight":4096}"#,
+        ] {
+            let (err, _) = parse_envelope(line).unwrap_err();
+            assert_eq!(err.code, ErrorCode::BadRequest, "{line}");
+        }
+    }
+
+    #[test]
+    fn api_errors_round_trip_and_classify() {
+        assert!(ErrorCode::RateLimited.retryable());
+        assert!(ErrorCode::DeadlineExceeded.retryable());
+        assert!(!ErrorCode::PayloadTooLarge.retryable());
+        assert_eq!(ErrorCode::RateLimited.http_status(), 429);
+        assert_eq!(ErrorCode::PayloadTooLarge.http_status(), 413);
+        assert_eq!(ErrorCode::DeadlineExceeded.http_status(), 504);
+        assert_eq!(ErrorCode::Timeout.http_status(), 408);
+
+        let original = ApiError::new(ErrorCode::Moved, "graph \"g\" moved")
+            .with_detail("addr", Json::from("10.0.0.2:7002"));
+        let parsed = ApiError::from_json(&error_object(&original, &[]));
+        assert_eq!(parsed.code, ErrorCode::Moved);
+        assert_eq!(parsed.message, original.message);
+        assert_eq!(parsed.details.len(), 1);
+        assert_eq!(parsed.details[0].0, "addr");
+    }
+
+    #[test]
+    fn payload_items_page_cleanly() {
+        let payload = Payload::VertexGroups(vec![vec![0, 1], vec![2, 3], vec![4, 5]]);
+        assert_eq!(payload_item_count(&payload), 3);
+        let page = payload_items_json(&payload, 1, 1);
+        assert_eq!(page.render(), "[[2,3]]");
+        let tail = payload_items_json(&payload, 2, 10);
+        assert_eq!(tail.render(), "[[4,5]]");
+        let off_end = payload_items_json(&payload, 7, 10);
+        assert_eq!(off_end.render(), "[]");
+        let ranks = Payload::Rank(vec![5, 4, 3]);
+        assert_eq!(payload_items_json(&ranks, 0, 2).render(), "[5,4]");
     }
 }

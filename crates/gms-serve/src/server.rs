@@ -22,31 +22,32 @@
 //! execution (single-flight) and show up as cross-session hits in
 //! the stats endpoint.
 
-use crate::admission::{AdmissionQueue, SubmitError};
+use crate::admission::{AdmissionQueue, RateLimit, SubmitError};
 use crate::json::Json;
 use crate::protocol::{
-    error_json, fingerprint_json, mutation_json, outcome_json, with_id, ErrorCode, LoadCompression,
-    LoadFormat, LoadSource, LoadSpec, MutateSpec, Request, RunSpec, WireError,
+    error_json, fingerprint_json, mutation_json, outcome_json, outcome_json_full, with_id,
+    ApiError, Envelope, ErrorCode, LoadCompression, LoadFormat, LoadSource, LoadSpec, MutateSpec,
+    Request, RunSpec, WireError,
 };
 use gms_core::Graph;
 use gms_graph::io::SnapshotGraph;
 use gms_graph::{patch_csr, CompressedCsr};
 use gms_platform::kernel::{
-    fingerprint, migrate_for_delta, next_owner, CacheKey, GraphStore, MigrationStats,
+    fingerprint, migrate_for_delta, next_owner, CacheKey, CancelToken, GraphStore, MigrationStats,
     MutationOutcome, Registry, ResultCache,
 };
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// How long a blocked connection read may go unanswered before the
 /// thread re-checks the shutdown flag. Bounds shutdown latency for
 /// idle connections.
-const READ_POLL: Duration = Duration::from_millis(100);
+pub(crate) const READ_POLL: Duration = Duration::from_millis(100);
 
 /// Server construction parameters.
 #[derive(Clone, Debug)]
@@ -61,6 +62,17 @@ pub struct ServeConfig {
     pub queue_capacity: usize,
     /// Shared result-cache capacity in outcomes.
     pub cache_capacity: usize,
+    /// Optional per-client token-bucket rate limit applied at
+    /// admission (`None` = unlimited, the pre-v1 behavior).
+    pub rate_limit: Option<RateLimit>,
+    /// Largest inline request body (HTTP body or NDJSON line) in
+    /// bytes; larger requests are rejected with `payload-too-large`
+    /// *before* being materialized.
+    pub max_body_bytes: usize,
+    /// How long a peer may take to deliver one complete request
+    /// (line or HTTP head) before the slow-loris guard answers
+    /// `timeout` and closes the connection.
+    pub request_timeout: Duration,
 }
 
 impl Default for ServeConfig {
@@ -70,11 +82,14 @@ impl Default for ServeConfig {
             workers: 2,
             queue_capacity: 64,
             cache_capacity: 256,
+            rate_limit: None,
+            max_body_bytes: 8 * 1024 * 1024,
+            request_timeout: Duration::from_secs(5),
         }
     }
 }
 
-struct GraphEntry {
+pub(crate) struct GraphEntry {
     store: Arc<GraphStore>,
     fingerprint: u64,
     /// Fingerprint at registration time — the stable identity edge
@@ -88,27 +103,38 @@ struct GraphEntry {
 }
 
 #[derive(Default)]
-struct Counters {
-    connections: AtomicU64,
-    requests: AtomicU64,
-    completed: AtomicU64,
-    rejected: AtomicU64,
-    malformed: AtomicU64,
+pub(crate) struct Counters {
+    pub(crate) connections: AtomicU64,
+    pub(crate) requests: AtomicU64,
+    pub(crate) completed: AtomicU64,
+    pub(crate) rejected: AtomicU64,
+    pub(crate) malformed: AtomicU64,
+    /// Requests accepted without a `"v"` member — the deprecation
+    /// gauge for pre-v1 clients.
+    pub(crate) legacy_requests: AtomicU64,
+    /// Requests refused by a per-client token bucket.
+    pub(crate) rate_limited: AtomicU64,
+    /// Requests that failed with `deadline-exceeded`.
+    pub(crate) deadline_exceeded: AtomicU64,
+    /// HTTP requests served by the `/v1` gateway (any method).
+    pub(crate) http_requests: AtomicU64,
 }
 
-struct Shared {
-    registry: Registry,
-    cache: Arc<ResultCache>,
-    graphs: RwLock<BTreeMap<String, GraphEntry>>,
-    queue: AdmissionQueue<Job>,
-    running: AtomicBool,
-    counters: Counters,
-    worker_served: Vec<AtomicU64>,
-    addr: SocketAddr,
+pub(crate) struct Shared {
+    pub(crate) registry: Registry,
+    pub(crate) cache: Arc<ResultCache>,
+    pub(crate) graphs: RwLock<BTreeMap<String, GraphEntry>>,
+    pub(crate) queue: AdmissionQueue<Job>,
+    pub(crate) running: AtomicBool,
+    pub(crate) counters: Counters,
+    pub(crate) worker_served: Vec<AtomicU64>,
+    pub(crate) addr: SocketAddr,
+    pub(crate) max_body_bytes: usize,
+    pub(crate) request_timeout: Duration,
 }
 
 impl Shared {
-    fn running(&self) -> bool {
+    pub(crate) fn running(&self) -> bool {
         self.running.load(Ordering::SeqCst)
     }
 
@@ -129,7 +155,7 @@ impl Shared {
 /// Workers serving requests from the same connection serialize their
 /// response lines through it.
 #[derive(Clone)]
-struct ResponseWriter {
+pub(crate) struct ResponseWriter {
     stream: Arc<Mutex<TcpStream>>,
 }
 
@@ -144,17 +170,75 @@ impl ResponseWriter {
     }
 }
 
-enum DataOp {
+/// A one-shot rendezvous an HTTP connection thread blocks on while
+/// its admitted job crosses the worker pool.
+pub(crate) struct SyncReply {
+    slot: Mutex<Option<Json>>,
+    ready: Condvar,
+}
+
+impl SyncReply {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(Self {
+            slot: Mutex::new(None),
+            ready: Condvar::new(),
+        })
+    }
+
+    fn deliver(&self, response: Json) {
+        *self.slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(response);
+        self.ready.notify_all();
+    }
+
+    /// Blocks until the worker delivers. Workers answer every job
+    /// they dequeue and close() drains, so admitted jobs always
+    /// resolve.
+    pub(crate) fn recv(&self) -> Json {
+        let mut slot = self.slot.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(response) = slot.take() {
+                return response;
+            }
+            slot = self.ready.wait(slot).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// Where a finished job's response goes: back onto an NDJSON
+/// connection's write half, or into the [`SyncReply`] an HTTP thread
+/// is blocked on.
+pub(crate) enum Reply {
+    Line(ResponseWriter),
+    Sync(Arc<SyncReply>),
+}
+
+impl Reply {
+    fn deliver(&self, response: Json) {
+        match self {
+            Reply::Line(writer) => writer.send(&response),
+            Reply::Sync(reply) => reply.deliver(response),
+        }
+    }
+}
+
+pub(crate) enum DataOp {
     Load(LoadSpec),
     Mutate(MutateSpec),
     Run(RunSpec),
     Batch(Vec<RunSpec>),
 }
 
-struct Job {
-    op: DataOp,
-    id: Option<Json>,
-    out: ResponseWriter,
+pub(crate) struct Job {
+    pub(crate) op: DataOp,
+    pub(crate) id: Option<Json>,
+    pub(crate) reply: Reply,
+    /// The propagated request deadline; workers probe it before and
+    /// during kernel execution.
+    pub(crate) cancel: CancelToken,
+    /// Render the full payload items into the response (the
+    /// streaming HTTP endpoints page over them); NDJSON responses
+    /// keep the compact summary.
+    pub(crate) full_payload: bool,
 }
 
 /// The serving front end. [`Server::start`] binds, spawns the
@@ -172,11 +256,13 @@ impl Server {
             registry: Registry::with_builtins(),
             cache: Arc::new(ResultCache::new(config.cache_capacity)),
             graphs: RwLock::new(BTreeMap::new()),
-            queue: AdmissionQueue::new(config.queue_capacity),
+            queue: AdmissionQueue::with_rate_limit(config.queue_capacity, config.rate_limit),
             running: AtomicBool::new(true),
             counters: Counters::default(),
             worker_served: (0..workers).map(|_| AtomicU64::new(0)).collect(),
             addr,
+            max_body_bytes: config.max_body_bytes,
+            request_timeout: config.request_timeout,
         });
 
         let worker_threads: Vec<JoinHandle<()>> = (0..workers)
@@ -271,7 +357,33 @@ fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
     }
 }
 
+/// Sniffs the first byte to pick a protocol: NDJSON requests start
+/// with `{` (or leading whitespace); anything else — an HTTP method
+/// letter — goes to the `/v1` HTTP gateway. Both planes share one
+/// port, one admission queue, and one worker pool.
 fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let mut first = [0u8; 1];
+    loop {
+        match stream.peek(&mut first) {
+            Ok(0) => return, // closed before the first byte
+            Ok(_) => {
+                if first[0] == b'{' || first[0].is_ascii_whitespace() {
+                    return ndjson_connection(stream, shared);
+                }
+                return crate::http::http_connection(stream, shared);
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if !shared.running() {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn ndjson_connection(stream: TcpStream, shared: &Arc<Shared>) {
     // Responses are short: send them as soon as they are written.
     let _ = stream.set_nodelay(true);
     // Poll reads so an idle connection notices shutdown.
@@ -326,8 +438,23 @@ fn handle_line(line: &str, shared: &Arc<Shared>, writer: &ResponseWriter) -> boo
     if line.is_empty() {
         return true; // tolerate blank keep-alive lines
     }
-    let (request, id) = match crate::protocol::parse_request(line) {
-        Ok(parsed) => parsed,
+    if line.len() > shared.max_body_bytes {
+        shared.counters.malformed.fetch_add(1, Ordering::Relaxed);
+        writer.send(&error_json(
+            &ApiError::new(
+                ErrorCode::PayloadTooLarge,
+                format!(
+                    "request line of {} bytes exceeds the {}-byte cap",
+                    line.len(),
+                    shared.max_body_bytes
+                ),
+            ),
+            None,
+        ));
+        return true;
+    }
+    let envelope = match crate::protocol::parse_envelope(line) {
+        Ok(envelope) => envelope,
         Err((error, id)) => {
             shared.counters.malformed.fetch_add(1, Ordering::Relaxed);
             writer.send(&error_json(&error, id.as_ref()));
@@ -335,6 +462,20 @@ fn handle_line(line: &str, shared: &Arc<Shared>, writer: &ResponseWriter) -> boo
         }
     };
     shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+    if !envelope.versioned {
+        shared
+            .counters
+            .legacy_requests
+            .fetch_add(1, Ordering::Relaxed);
+    }
+    let Envelope {
+        request,
+        id,
+        deadline_ms,
+        client,
+        weight,
+        ..
+    } = envelope;
     // `Request::is_control` is the single source of truth for the
     // plane split; the matches below panic loudly if it drifts.
     if request.is_control() {
@@ -347,7 +488,19 @@ fn handle_line(line: &str, shared: &Arc<Shared>, writer: &ResponseWriter) -> boo
         Request::Batch(specs) => DataOp::Batch(specs),
         control => unreachable!("control op routed to the data plane: {control:?}"),
     };
-    submit(shared, writer, op, id)
+    let cancel = match deadline_ms {
+        Some(ms) => CancelToken::after(Duration::from_millis(ms)),
+        None => CancelToken::none(),
+    };
+    let job = Job {
+        op,
+        id,
+        reply: Reply::Line(writer.clone()),
+        cancel,
+        full_payload: false,
+    };
+    submit(shared, job, client.as_deref().unwrap_or(""), weight);
+    true
 }
 
 /// Answers a control-plane request inline on the connection thread;
@@ -372,13 +525,12 @@ fn answer_control(
             true
         }
         Request::Shutdown => {
-            writer.send(&Json::object(
-                [
+            writer.send(&with_id(
+                vec![
                     ("ok", Json::Bool(true)),
                     ("status", Json::from("shutting-down")),
-                ]
-                .into_iter()
-                .chain(id.as_ref().map(|v| ("id", v.clone()))),
+                ],
+                id.as_ref(),
             ));
             shared.begin_shutdown();
             false
@@ -388,25 +540,24 @@ fn answer_control(
 }
 
 /// Admission control: data-plane requests either enter the bounded
-/// queue or are rejected right here, on the connection thread.
-fn submit(shared: &Arc<Shared>, writer: &ResponseWriter, op: DataOp, id: Option<Json>) -> bool {
+/// queue under their client's identity and weight, or are rejected
+/// right here on the connection thread — the rejection travels back
+/// through the job's own reply channel, so NDJSON and HTTP callers
+/// share one code path.
+pub(crate) fn submit(shared: &Arc<Shared>, job: Job, client: &str, weight: u32) {
     if !shared.running() {
-        writer.send(&error_json(
+        let response = error_json(
             &WireError::new(ErrorCode::ShuttingDown, "server is shutting down"),
-            id.as_ref(),
-        ));
-        return true;
+            job.id.as_ref(),
+        );
+        job.reply.deliver(response);
+        return;
     }
-    let job = Job {
-        op,
-        id,
-        out: writer.clone(),
-    };
-    match shared.queue.try_submit(job) {
-        Ok(()) => true,
+    match shared.queue.try_submit_as(client, weight, job) {
+        Ok(()) => {}
         Err(SubmitError::Full(job)) => {
             shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
-            job.out.send(&error_json(
+            let response = error_json(
                 &WireError::new(
                     ErrorCode::QueueFull,
                     format!(
@@ -415,15 +566,26 @@ fn submit(shared: &Arc<Shared>, writer: &ResponseWriter, op: DataOp, id: Option<
                     ),
                 ),
                 job.id.as_ref(),
-            ));
-            true
+            );
+            job.reply.deliver(response);
+        }
+        Err(SubmitError::RateLimited(job)) => {
+            shared.counters.rate_limited.fetch_add(1, Ordering::Relaxed);
+            let response = error_json(
+                &WireError::new(
+                    ErrorCode::RateLimited,
+                    format!("client {client:?} is over its rate limit; slow down"),
+                ),
+                job.id.as_ref(),
+            );
+            job.reply.deliver(response);
         }
         Err(SubmitError::Closed(job)) => {
-            job.out.send(&error_json(
+            let response = error_json(
                 &WireError::new(ErrorCode::ShuttingDown, "server is shutting down"),
                 job.id.as_ref(),
-            ));
-            true
+            );
+            job.reply.deliver(response);
         }
     }
 }
@@ -434,34 +596,69 @@ fn submit(shared: &Arc<Shared>, writer: &ResponseWriter, op: DataOp, id: Option<
 fn worker_loop(shared: &Arc<Shared>, index: usize) {
     let owner = next_owner();
     while let Some(job) = shared.queue.dequeue() {
-        let response = match job.op {
-            DataOp::Load(spec) => match execute_load(shared, &spec) {
-                Ok(body) => with_id(body, job.id.as_ref()),
-                Err(e) => error_json(&e, job.id.as_ref()),
-            },
-            DataOp::Mutate(spec) => match execute_mutate(shared, &spec) {
-                Ok(outcome) => mutation_json(&spec.graph, &outcome, job.id.as_ref()),
-                Err(e) => error_json(&e, job.id.as_ref()),
-            },
-            DataOp::Run(spec) => match execute_run(shared, owner, &spec) {
-                Ok(outcome) => outcome_json(&spec, &outcome, job.id.as_ref()),
-                Err(e) => error_json(&e, job.id.as_ref()),
-            },
-            DataOp::Batch(specs) => {
-                let results: Vec<Json> = specs
-                    .iter()
-                    .map(|spec| match execute_run(shared, owner, spec) {
-                        Ok(outcome) => outcome_json(spec, &outcome, None),
-                        Err(e) => error_json(&e, None),
-                    })
-                    .collect();
-                with_id(
-                    vec![("ok", Json::Bool(true)), ("results", Json::Array(results))],
-                    job.id.as_ref(),
-                )
+        let deadline_error = || {
+            shared
+                .counters
+                .deadline_exceeded
+                .fetch_add(1, Ordering::Relaxed);
+            ApiError::new(
+                ErrorCode::DeadlineExceeded,
+                "deadline exceeded before the request completed",
+            )
+        };
+        // A request whose deadline passed while queued fails without
+        // costing any kernel time — the worker is immediately free
+        // for the next job.
+        let response = if job.cancel.expired() {
+            error_json(&deadline_error(), job.id.as_ref())
+        } else {
+            match job.op {
+                DataOp::Load(spec) => match execute_load(shared, &spec) {
+                    Ok(body) => with_id(body, job.id.as_ref()),
+                    Err(e) => error_json(&e, job.id.as_ref()),
+                },
+                DataOp::Mutate(spec) => match execute_mutate(shared, &spec) {
+                    Ok(outcome) => mutation_json(&spec.graph, &outcome, job.id.as_ref()),
+                    Err(e) => error_json(&e, job.id.as_ref()),
+                },
+                DataOp::Run(spec) => match execute_run(shared, owner, &spec, &job.cancel) {
+                    Ok(outcome) if job.full_payload => {
+                        outcome_json_full(&spec, &outcome, job.id.as_ref())
+                    }
+                    Ok(outcome) => outcome_json(&spec, &outcome, job.id.as_ref()),
+                    Err(e) => {
+                        if e.code == ErrorCode::DeadlineExceeded {
+                            let _ = deadline_error();
+                        }
+                        error_json(&e, job.id.as_ref())
+                    }
+                },
+                DataOp::Batch(specs) => {
+                    let results: Vec<Json> = specs
+                        .iter()
+                        .map(|spec| {
+                            if job.cancel.expired() {
+                                return error_json(&deadline_error(), None);
+                            }
+                            match execute_run(shared, owner, spec, &job.cancel) {
+                                Ok(outcome) => outcome_json(spec, &outcome, None),
+                                Err(e) => {
+                                    if e.code == ErrorCode::DeadlineExceeded {
+                                        let _ = deadline_error();
+                                    }
+                                    error_json(&e, None)
+                                }
+                            }
+                        })
+                        .collect();
+                    with_id(
+                        vec![("ok", Json::Bool(true)), ("results", Json::Array(results))],
+                        job.id.as_ref(),
+                    )
+                }
             }
         };
-        job.out.send(&response);
+        job.reply.deliver(response);
         shared.counters.completed.fetch_add(1, Ordering::Relaxed);
         shared.worker_served[index].fetch_add(1, Ordering::Relaxed);
     }
@@ -651,6 +848,7 @@ fn execute_run(
     shared: &Arc<Shared>,
     owner: u64,
     spec: &RunSpec,
+    cancel: &CancelToken,
 ) -> Result<gms_platform::kernel::Outcome, WireError> {
     let (store, fp) = {
         let graphs = shared.graphs.read().unwrap_or_else(|e| e.into_inner());
@@ -676,16 +874,23 @@ fn execute_run(
         &spec.params,
     )
     .map_err(|e| WireError::from_kernel(&e))?;
+    // The cancel token rides into the kernel's own cancellation
+    // points; a fired token surfaces as `DeadlineExceeded`, which
+    // `run_or_wait` never caches (and a waiting duplicate request is
+    // promoted to leader with its *own* token, so one client's tight
+    // deadline cannot poison another's identical request).
     shared
         .cache
         .run_or_wait(&key, owner, || match &*store {
-            GraphStore::Csr(graph) => kernel.run(graph, &spec.params),
-            GraphStore::Compressed(graph) => kernel.run_compressed(graph, &spec.params),
+            GraphStore::Csr(graph) => kernel.run_with_cancel(graph, &spec.params, cancel),
+            GraphStore::Compressed(graph) => {
+                kernel.run_compressed_with_cancel(graph, &spec.params, cancel)
+            }
         })
         .map_err(|e| WireError::from_kernel(&e))
 }
 
-fn health_json(shared: &Arc<Shared>, id: Option<&Json>) -> Json {
+pub(crate) fn health_json(shared: &Arc<Shared>, id: Option<&Json>) -> Json {
     let graphs = shared.graphs.read().unwrap_or_else(|e| e.into_inner());
     with_id(
         vec![
@@ -709,7 +914,7 @@ fn health_json(shared: &Arc<Shared>, id: Option<&Json>) -> Json {
     )
 }
 
-fn kernels_json(shared: &Arc<Shared>, id: Option<&Json>) -> Json {
+pub(crate) fn kernels_json(shared: &Arc<Shared>, id: Option<&Json>) -> Json {
     let kernels: Vec<Json> = shared
         .registry
         .iter()
@@ -743,7 +948,7 @@ fn kernels_json(shared: &Arc<Shared>, id: Option<&Json>) -> Json {
     )
 }
 
-fn stats_json(shared: &Arc<Shared>, id: Option<&Json>) -> Json {
+pub(crate) fn stats_json(shared: &Arc<Shared>, id: Option<&Json>) -> Json {
     let cache = shared.cache.stats();
     let counters = &shared.counters;
     let graphs: Vec<Json> = {
@@ -812,10 +1017,47 @@ fn stats_json(shared: &Arc<Shared>, id: Option<&Json>) -> Json {
                         "malformed",
                         Json::from(counters.malformed.load(Ordering::Relaxed)),
                     ),
+                    (
+                        "legacy_requests",
+                        Json::from(counters.legacy_requests.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "rate_limited",
+                        Json::from(counters.rate_limited.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "deadline_exceeded",
+                        Json::from(counters.deadline_exceeded.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "http_requests",
+                        Json::from(counters.http_requests.load(Ordering::Relaxed)),
+                    ),
                     ("queue_depth", Json::from(shared.queue.depth())),
                     ("queue_capacity", Json::from(shared.queue.capacity())),
                     ("worker_served", Json::Array(worker_served)),
                 ]),
+            ),
+            (
+                "clients",
+                Json::Array(
+                    shared
+                        .queue
+                        .client_stats()
+                        .into_iter()
+                        .map(|c| {
+                            Json::object([
+                                ("client", Json::from(c.client)),
+                                ("weight", Json::from(u64::from(c.weight))),
+                                ("pending", Json::from(c.pending)),
+                                ("admitted", Json::from(c.admitted)),
+                                ("served", Json::from(c.served)),
+                                ("shed", Json::from(c.shed)),
+                                ("rate_limited", Json::from(c.rate_limited)),
+                            ])
+                        })
+                        .collect(),
+                ),
             ),
             ("graphs", Json::Array(graphs)),
         ],

@@ -1,0 +1,227 @@
+//! Chunked NDJSON streaming for large kernel payloads.
+//!
+//! A `POST /v1/graphs/{name}/run?stream=1&limit=N` response does not
+//! buffer the whole payload into one body. Instead the gateway
+//! answers `Transfer-Encoding: chunked` with `application/x-ndjson`
+//! content, where every chunk is one complete JSON line, flushed as
+//! soon as it is written:
+//!
+//! ```text
+//! {"v":1,"ok":true,...,"payload":{...,"items_total":531}}   ← meta
+//! {"v":1,"page":0,"offset":0,"items":[...]}                 ← ≤ N items
+//! {"v":1,"page":1,"offset":N,"items":[...]}
+//! ...
+//! {"v":1,"done":true,"pages":P,"items_total":531}           ← trailer
+//! ```
+//!
+//! The meta line is the ordinary full-payload response with
+//! `payload.items` *removed* (its `items_total` survives, so a client
+//! knows up front how much is coming). A payload larger than the page
+//! limit therefore always arrives in at least two data chunks, and a
+//! client can stop reading mid-stream having still seen well-formed
+//! JSON on every line it did read.
+
+use crate::json::Json;
+use crate::protocol::PROTOCOL_VERSION;
+use std::io::{self, Write};
+
+/// Items per streamed page when the request does not say
+/// (`?limit=N`).
+pub(crate) const DEFAULT_PAGE_LIMIT: usize = 256;
+
+/// Splits a full-payload response into the meta line (summary
+/// retained, `payload.items` removed) and the item array to page
+/// over. Responses without a payload object stream zero pages.
+fn split_response(response: &Json) -> (Json, Vec<Json>) {
+    let mut items: Vec<Json> = Vec::new();
+    let members: Vec<(String, Json)> = response
+        .as_object()
+        .map(|fields| {
+            fields
+                .iter()
+                .map(|(key, value)| {
+                    if key != "payload" {
+                        return (key.clone(), value.clone());
+                    }
+                    let kept: Vec<(String, Json)> = value
+                        .as_object()
+                        .map(|inner| {
+                            inner
+                                .iter()
+                                .filter(|(k, v)| {
+                                    if k == "items" {
+                                        if let Json::Array(found) = v {
+                                            items = found.clone();
+                                        }
+                                        false
+                                    } else {
+                                        true
+                                    }
+                                })
+                                .map(|(k, v)| (k.clone(), v.clone()))
+                                .collect()
+                        })
+                        .unwrap_or_default();
+                    (key.clone(), Json::Object(kept))
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    (Json::Object(members), items)
+}
+
+/// Writes one HTTP chunk (`<hex length>\r\n<data>\r\n`) and flushes
+/// it, so every page reaches the peer as its own transfer unit.
+fn write_chunk<W: Write>(out: &mut W, data: &[u8]) -> io::Result<()> {
+    write!(out, "{:x}\r\n", data.len())?;
+    out.write_all(data)?;
+    out.write_all(b"\r\n")?;
+    out.flush()
+}
+
+fn ndjson_line(value: &Json) -> Vec<u8> {
+    let mut line = value.render().into_bytes();
+    line.push(b'\n');
+    line
+}
+
+/// Streams a full-payload `run` response as chunked NDJSON: status
+/// line and headers, the meta line, `ceil(items/limit)` page lines,
+/// the `done` trailer, and the terminating zero chunk.
+pub(crate) fn stream_outcome<W: Write>(
+    out: &mut W,
+    response: &Json,
+    limit: usize,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let limit = limit.max(1);
+    let (meta, items) = split_response(response);
+    let head = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\nTransfer-Encoding: chunked\r\nConnection: {}\r\n\r\n",
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    out.write_all(head.as_bytes())?;
+    write_chunk(out, &ndjson_line(&meta))?;
+    let mut pages = 0usize;
+    for page in items.chunks(limit) {
+        let line = Json::object([
+            ("v", Json::Int(PROTOCOL_VERSION)),
+            ("page", Json::from(pages)),
+            ("offset", Json::from(pages * limit)),
+            ("items", Json::Array(page.to_vec())),
+        ]);
+        write_chunk(out, &ndjson_line(&line))?;
+        pages += 1;
+    }
+    let done = Json::object([
+        ("v", Json::Int(PROTOCOL_VERSION)),
+        ("done", Json::Bool(true)),
+        ("pages", Json::from(pages)),
+        ("items_total", Json::from(items.len())),
+    ]);
+    write_chunk(out, &ndjson_line(&done))?;
+    out.write_all(b"0\r\n\r\n")?;
+    out.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_response() -> Json {
+        Json::object([
+            ("v", Json::Int(1)),
+            ("ok", Json::Bool(true)),
+            (
+                "payload",
+                Json::object([
+                    ("type", Json::from("vertex-groups")),
+                    ("groups", Json::from(5_usize)),
+                    ("items_total", Json::from(5_usize)),
+                    (
+                        "items",
+                        Json::Array(
+                            (0..5)
+                                .map(|i| Json::Array(vec![Json::Int(i), Json::Int(i + 1)]))
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ),
+        ])
+    }
+
+    /// Parses a chunked body back into its chunks (sizes validated).
+    fn decode_chunks(raw: &[u8]) -> Vec<String> {
+        let text = std::str::from_utf8(raw).unwrap();
+        let body = text.split_once("\r\n\r\n").unwrap().1;
+        let mut rest = body;
+        let mut chunks = Vec::new();
+        loop {
+            let (size_line, tail) = rest.split_once("\r\n").unwrap();
+            let size = usize::from_str_radix(size_line, 16).unwrap();
+            if size == 0 {
+                break;
+            }
+            chunks.push(tail[..size].to_string());
+            rest = tail[size..].strip_prefix("\r\n").unwrap();
+        }
+        chunks
+    }
+
+    #[test]
+    fn meta_keeps_totals_but_drops_items() {
+        let (meta, items) = split_response(&full_response());
+        assert_eq!(items.len(), 5);
+        let payload = meta.get("payload").unwrap();
+        assert_eq!(payload.get("items_total"), Some(&Json::Int(5)));
+        assert!(payload.get("items").is_none(), "items live in the pages");
+        assert_eq!(meta.get("ok"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn items_beyond_the_limit_arrive_in_multiple_chunks() {
+        let mut out: Vec<u8> = Vec::new();
+        stream_outcome(&mut out, &full_response(), 2, true).unwrap();
+        let head = std::str::from_utf8(&out).unwrap();
+        assert!(head.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(head.contains("Transfer-Encoding: chunked"));
+        let chunks = decode_chunks(&out);
+        // meta + ceil(5/2)=3 pages + done = 5 chunks ≥ 2 data chunks.
+        assert_eq!(chunks.len(), 5);
+        let page0 = Json::parse(chunks[1].trim()).unwrap();
+        assert_eq!(page0.get("offset"), Some(&Json::Int(0)));
+        assert_eq!(
+            page0.get("items").and_then(Json::as_array).unwrap().len(),
+            2
+        );
+        let last = Json::parse(chunks[4].trim()).unwrap();
+        assert_eq!(last.get("done"), Some(&Json::Bool(true)));
+        assert_eq!(last.get("pages"), Some(&Json::Int(3)));
+        assert_eq!(last.get("items_total"), Some(&Json::Int(5)));
+    }
+
+    #[test]
+    fn scalar_responses_stream_zero_pages() {
+        let response = Json::object([
+            ("v", Json::Int(1)),
+            ("ok", Json::Bool(true)),
+            (
+                "payload",
+                Json::object([
+                    ("type", Json::from("scalar")),
+                    ("value", Json::from(42.0)),
+                    ("items_total", Json::from(0_usize)),
+                    ("items", Json::Array(Vec::new())),
+                ]),
+            ),
+        ]);
+        let mut out: Vec<u8> = Vec::new();
+        stream_outcome(&mut out, &response, 8, false).unwrap();
+        let chunks = decode_chunks(&out);
+        assert_eq!(chunks.len(), 2, "meta + done only");
+        assert!(std::str::from_utf8(&out)
+            .unwrap()
+            .contains("Connection: close"));
+    }
+}

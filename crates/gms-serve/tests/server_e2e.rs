@@ -633,9 +633,12 @@ fn invalid_utf8_line_gets_a_typed_error_and_framing_survives() {
     let (handle, mut client) = start(1, 4);
 
     // Raw socket: a line that is not valid UTF-8 (lone 0xFF bytes),
-    // then a well-formed request on the same connection.
+    // then a well-formed request on the same connection. The line
+    // starts with `{` so the dual-protocol sniffer keeps it on the
+    // NDJSON plane (a non-JSON first byte would route to the HTTP
+    // gateway instead).
     let mut stream = std::net::TcpStream::connect(handle.addr()).unwrap();
-    stream.write_all(b"\xff\xfe garbage \xff\n").unwrap();
+    stream.write_all(b"{\xff\xfe garbage \xff\n").unwrap();
     stream.write_all(b"{\"op\":\"health\",\"id\":9}\n").unwrap();
     stream.flush().unwrap();
     let mut reader = BufReader::new(stream);
@@ -673,5 +676,312 @@ fn requests_after_shutdown_are_answered_shutting_down() {
     // data-plane request is now refused with a typed error.
     let response = client.run("triangle-count", "g", &[]).unwrap();
     assert_eq!(error_code(&response), "shutting-down");
+    handle.join();
+}
+
+// ------------------------------------------------------------------
+// The /v1 HTTP gateway: same server, same port, sniffed protocol.
+// ------------------------------------------------------------------
+
+#[test]
+fn http_gateway_round_trip() {
+    use gms_serve::HttpClient;
+
+    let (handle, mut ndjson) = start(2, 16);
+    let http = HttpClient::new(handle.addr()).unwrap();
+
+    // Control plane.
+    let health = http.get("/v1/health").unwrap();
+    assert_eq!(health.status, 200);
+    let body = health.json().unwrap();
+    assert_eq!(body.get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(body.get("v"), Some(&Json::Int(1)));
+
+    let kernels = http.get("/v1/kernels").unwrap();
+    assert_eq!(kernels.status, 200);
+    let list = kernels.json().unwrap();
+    assert!(
+        list.get("kernels").and_then(Json::as_array).unwrap().len() >= 15,
+        "gateway proxies the full registry"
+    );
+
+    // Data plane: load, run, mutate — same state the NDJSON plane sees.
+    let loaded = http
+        .load_inline("web", "edge-list", "0 1\n1 2\n2 0\n2 3\n")
+        .unwrap();
+    assert_eq!(loaded.status, 200);
+    assert_eq!(loaded.json().unwrap().get("vertices"), Some(&Json::Int(4)));
+
+    let run = http.run("web", "triangle-count", &[]).unwrap();
+    assert_eq!(run.status, 200);
+    assert_eq!(run.json().unwrap().get("patterns"), Some(&Json::Int(1)));
+
+    let mutated = http.mutate("web", &[(0, 3)], &[]).unwrap();
+    assert_eq!(mutated.status, 200);
+    assert_eq!(mutated.json().unwrap().get("added"), Some(&Json::Int(1)));
+
+    // The NDJSON plane sees the HTTP-loaded, HTTP-mutated graph.
+    let over_wire = ndjson.run("triangle-count", "web", &[]).unwrap();
+    assert_ok(&over_wire);
+    assert_eq!(over_wire.get("patterns"), Some(&Json::Int(2)));
+
+    // Typed errors with mapped status codes.
+    let missing = http.run("nope", "triangle-count", &[]).unwrap();
+    assert_eq!(missing.status, 404);
+    assert_eq!(missing.error().unwrap().code.as_str(), "unknown-graph");
+    let unknown_path = http.get("/v1/unknown").unwrap();
+    assert_eq!(unknown_path.status, 404);
+    let wrong_method = http.get("/v1/graphs").unwrap();
+    assert_eq!(wrong_method.status, 404, "GET on a POST-only endpoint");
+
+    // The gateway shows up in stats, attributed per transport.
+    let stats = http.get("/v1/stats").unwrap();
+    assert_eq!(stats.status, 200);
+    let server = stats.json().unwrap().get("server").unwrap().clone();
+    assert!(server.get("http_requests").and_then(Json::as_i64).unwrap() >= 8);
+
+    ndjson.shutdown().unwrap();
+    handle.join();
+}
+
+/// Acceptance: a streamed clique listing whose payload exceeds the
+/// page limit arrives in at least two data chunks, each a complete
+/// JSON line, with the totals announced up front.
+#[test]
+fn streamed_clique_listing_arrives_in_pages() {
+    use gms_serve::HttpClient;
+
+    let (handle, mut ndjson) = start(2, 16);
+    let (graph, _) = gms_gen::planted_cliques(150, 0.05, 6, 5, 13);
+    let loaded = ndjson
+        .load_inline("g", "edge-list", &edge_list(&graph))
+        .unwrap();
+    assert_ok(&loaded);
+
+    let http = HttpClient::new(handle.addr()).unwrap();
+    let streamed = http
+        .run_streaming("g", "bk", &[("collect", Json::Bool(true))], 4)
+        .unwrap();
+    assert_eq!(streamed.status, 200);
+    assert_eq!(
+        streamed.header("transfer-encoding").map(str::to_lowercase),
+        Some("chunked".to_string())
+    );
+    assert!(
+        streamed.chunks >= 4,
+        "meta + >=2 pages + trailer, got {} chunks",
+        streamed.chunks
+    );
+
+    let lines = streamed.json_lines().unwrap();
+    let meta = &lines[0];
+    let payload = meta.get("payload").expect("meta keeps the summary");
+    assert!(payload.get("items").is_none(), "items live in the pages");
+    let total = payload.get("items_total").and_then(Json::as_i64).unwrap();
+    assert!(total > 4, "enough cliques to overflow one page: {total}");
+
+    let done = lines.last().unwrap();
+    assert_eq!(done.get("done"), Some(&Json::Bool(true)));
+    assert!(done.get("pages").and_then(Json::as_i64).unwrap() >= 2);
+    let paged: i64 = lines[1..lines.len() - 1]
+        .iter()
+        .map(|l| l.get("items").and_then(Json::as_array).unwrap().len() as i64)
+        .sum();
+    assert_eq!(paged, total, "pages partition the full listing");
+
+    ndjson.shutdown().unwrap();
+    handle.join();
+}
+
+/// Abuse: a peer that sends a partial request head and stalls is
+/// answered 408 within the request timeout instead of parking the
+/// connection thread forever.
+#[test]
+fn slowloris_partial_request_times_out_with_408() {
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+    use std::time::{Duration, Instant};
+
+    let handle = Server::start(ServeConfig {
+        request_timeout: Duration::from_millis(300),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    // A request head that never finishes: no blank line, no body.
+    stream
+        .write_all(b"POST /v1/graphs HTTP/1.1\r\nHost: x\r\n")
+        .unwrap();
+    let started = Instant::now();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).unwrap(); // server answers, then closes
+    let text = String::from_utf8_lossy(&raw);
+    assert!(
+        text.starts_with("HTTP/1.1 408"),
+        "expected 408, got: {}",
+        text.lines().next().unwrap_or("")
+    );
+    assert!(text.contains("\"timeout\""), "typed error code in body");
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "guard fired promptly"
+    );
+
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.shutdown().unwrap();
+    handle.join();
+}
+
+/// Abuse: an oversized body is refused from its Content-Length alone
+/// (HTTP 413) — and the same cap guards the NDJSON plane — before
+/// any body bytes are materialized.
+#[test]
+fn oversized_bodies_are_rejected_before_materialization() {
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+
+    let handle = Server::start(ServeConfig {
+        max_body_bytes: 1024,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+
+    // HTTP plane: declare 50 MB, send none of it. The 413 must come
+    // back anyway — the server rejected on the header.
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    stream
+        .write_all(b"POST /v1/graphs HTTP/1.1\r\nHost: x\r\nContent-Length: 52428800\r\n\r\n")
+        .unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).unwrap();
+    let text = String::from_utf8_lossy(&raw);
+    assert!(
+        text.starts_with("HTTP/1.1 413"),
+        "expected 413, got: {}",
+        text.lines().next().unwrap_or("")
+    );
+    assert!(text.contains("payload-too-large"));
+
+    // NDJSON plane: a request line over the cap gets the same typed
+    // error and the connection survives for well-behaved requests.
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let big = "0 1\n".repeat(600); // 2400 bytes > 1024
+    let refused = client.load_inline("g", "edge-list", &big).unwrap();
+    assert_eq!(error_code(&refused), "payload-too-large");
+    assert_ok(&client.health().unwrap());
+
+    client.shutdown().unwrap();
+    handle.join();
+}
+
+/// Acceptance: an over-deadline Bron-Kerbosch run on a large graph
+/// answers a typed `deadline-exceeded` in under 2x the deadline, and
+/// the worker it ran on is freed for the next request.
+#[test]
+fn deadline_expiry_mid_kernel_returns_typed_error_and_frees_the_worker() {
+    use gms_serve::{ClientBuilder, ErrorCode};
+    use std::time::{Duration, Instant};
+
+    let (handle, mut loader) = start(1, 8);
+    // Dense enough that maximal-clique listing takes far longer than
+    // the deadline; cancellation must cut it short from inside the
+    // kernel's hot loop.
+    let graph = gms_gen::gnp(1200, 0.08, 7);
+    let loaded = loader
+        .load_inline("big", "edge-list", &edge_list(&graph))
+        .unwrap();
+    assert_ok(&loaded);
+
+    let deadline = Duration::from_millis(500);
+    let mut client = ClientBuilder::new()
+        .deadline_ms(deadline.as_millis() as u64)
+        .connect(handle.addr())
+        .unwrap();
+    let started = Instant::now();
+    let error = client.run_kernel("bk", "big", &[]).unwrap_err();
+    let elapsed = started.elapsed();
+    assert_eq!(error.code, ErrorCode::DeadlineExceeded);
+    assert!(error.retryable());
+    assert!(
+        elapsed < 2 * deadline,
+        "deadline-exceeded took {elapsed:?}, acceptance bound is {:?}",
+        2 * deadline
+    );
+
+    // The single worker is free again: a cheap run completes.
+    let next = loader.run("triangle-count", "big", &[]).unwrap();
+    assert_ok(&next);
+
+    loader.shutdown().unwrap();
+    handle.join();
+}
+
+/// Abuse: a client that exhausts its token bucket is answered 429
+/// (`rate-limited`) while a second client's identical request
+/// proceeds — and the shed is attributed to the right client in
+/// `stats`.
+#[test]
+fn rate_limited_client_gets_429_while_second_client_proceeds() {
+    use gms_serve::{ClientBuilder, ErrorCode, RateLimit};
+
+    let handle = Server::start(ServeConfig {
+        rate_limit: Some(RateLimit {
+            rate_per_sec: 0.5,
+            burst: 1.0,
+        }),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let mut admin = Client::connect(handle.addr()).unwrap();
+    let loaded = admin
+        .load_inline("g", "edge-list", "0 1\n1 2\n2 0\n")
+        .unwrap();
+    assert_ok(&loaded);
+
+    let mut alice = ClientBuilder::new()
+        .client_name("alice")
+        .connect(handle.addr())
+        .unwrap();
+    alice.run_kernel("triangle-count", "g", &[]).unwrap();
+    let refused = alice.run_kernel("triangle-count", "g", &[]).unwrap_err();
+    assert_eq!(refused.code, ErrorCode::RateLimited);
+    assert!(refused.retryable());
+
+    // A different identity is untouched by alice's bucket.
+    let mut bob = ClientBuilder::new()
+        .client_name("bob")
+        .connect(handle.addr())
+        .unwrap();
+    bob.run_kernel("triangle-count", "g", &[]).unwrap();
+
+    // The same identity over HTTP shares the same drained bucket.
+    let http = ClientBuilder::new()
+        .client_name("alice")
+        .connect_http(handle.addr())
+        .unwrap();
+    let over_http = http.run("g", "triangle-count", &[]).unwrap();
+    assert_eq!(over_http.status, 429);
+    assert_eq!(over_http.error().unwrap().code.as_str(), "rate-limited");
+
+    // Attributed in stats: alice's shed is hers, not bob's.
+    let stats = admin.stats().unwrap();
+    let clients = stats.get("clients").and_then(Json::as_array).unwrap();
+    let by_name = |name: &str| {
+        clients
+            .iter()
+            .find(|c| c.get("client").and_then(Json::as_str) == Some(name))
+            .unwrap_or_else(|| panic!("client {name} in stats"))
+    };
+    assert!(
+        by_name("alice")
+            .get("rate_limited")
+            .and_then(Json::as_i64)
+            .unwrap()
+            >= 2
+    );
+    assert_eq!(by_name("bob").get("rate_limited"), Some(&Json::Int(0)));
+
+    admin.shutdown().unwrap();
     handle.join();
 }

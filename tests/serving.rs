@@ -339,3 +339,102 @@ fn router_stats_merge_fleet_counters() {
         backend.join();
     }
 }
+
+/// Acceptance: two clients with 4:1 weights hammering a one-worker
+/// server under a shared deadline complete requests in at least a
+/// 2:1 ratio — weighted-fair scheduling, not FIFO arrival order.
+/// Per-mutation cost is calibrated first so the deadline and backlog
+/// sizes adapt to the machine running the test.
+#[test]
+fn weighted_clients_split_a_saturated_server_by_weight() {
+    use gms::serve::Client;
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+    use std::time::Instant;
+
+    let graph = gms::gen::gnp(20_000, 0.0005, 11);
+    let mut text = Vec::new();
+    gms::graph::io::write_edge_list(&graph, &mut text).unwrap();
+    let text = String::from_utf8(text).unwrap();
+
+    // Calibrate: how long does one single-edge mutation cost here?
+    let unit_ms = {
+        let handle = Server::start(ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let mut admin = Client::connect(handle.addr()).unwrap();
+        admin.load_inline("g", "edge-list", &text).unwrap();
+        let started = Instant::now();
+        for i in 0..4u32 {
+            admin.add_edges("g", &[(i, i + 10_000)]).unwrap();
+        }
+        admin.shutdown().unwrap();
+        handle.join();
+        (started.elapsed().as_secs_f64() * 1000.0 / 4.0).max(0.1)
+    };
+    // A deadline dozens of mutations deep (ratio granularity), with
+    // per-client backlogs comfortably outlasting it (saturation).
+    let deadline_ms = ((40.0 * unit_ms) as u64).max(250);
+    let per_client = ((2.0 * deadline_ms as f64 / unit_ms).ceil() as usize).clamp(80, 4000);
+
+    let handle = Server::start(ServeConfig {
+        workers: 1,
+        queue_capacity: 2 * per_client + 64,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let mut admin = Client::connect(handle.addr()).unwrap();
+    admin.load_inline("g", "edge-list", &text).unwrap();
+
+    // Each client pipelines its whole backlog of distinct single-edge
+    // mutations (uncacheable, so every request costs real work), then
+    // counts how many completed before the shared deadline expired
+    // the rest in the queue.
+    let addr = handle.addr();
+    let contest = |name: &'static str, weight: u32, base: usize| {
+        std::thread::spawn(move || {
+            let stream = TcpStream::connect(addr).unwrap();
+            let mut writer = stream.try_clone().unwrap();
+            let mut reader = BufReader::new(stream);
+            for k in 0..per_client {
+                let (a, b) = (4 * k + base, 4 * k + base + 1);
+                let line = format!(
+                    "{{\"v\":1,\"op\":\"add_edges\",\"graph\":\"g\",\"edges\":[[{a},{b}]],\
+                     \"deadline_ms\":{deadline_ms},\"client\":\"{name}\",\"weight\":{weight}}}\n"
+                );
+                writer.write_all(line.as_bytes()).unwrap();
+            }
+            writer.flush().unwrap();
+            let mut completed = 0usize;
+            let mut line = String::new();
+            for _ in 0..per_client {
+                line.clear();
+                reader.read_line(&mut line).unwrap();
+                let response = Json::parse(line.trim()).unwrap();
+                if response.get("ok") == Some(&Json::Bool(true)) {
+                    completed += 1;
+                }
+            }
+            completed
+        })
+    };
+    let heavy = contest("heavy", 4, 0);
+    let light = contest("light", 1, 2);
+    let heavy_ok = heavy.join().unwrap();
+    let light_ok = light.join().unwrap();
+
+    assert!(heavy_ok >= 1, "the favored client completed work");
+    assert!(
+        heavy_ok + light_ok < 2 * per_client,
+        "the deadline cut the backlog (saturation held): {heavy_ok} + {light_ok}"
+    );
+    assert!(
+        heavy_ok >= 2 * light_ok.max(1),
+        "4:1 weights should yield at least 2:1 service, got {heavy_ok}:{light_ok}"
+    );
+
+    admin.shutdown().unwrap();
+    handle.join();
+}
