@@ -147,11 +147,16 @@ impl<T> Inner<T> {
             return i;
         }
         if self.clients.len() >= MAX_CLIENTS {
+            // Full table: fold the new name into the default entry,
+            // creating it on demand — never push an attacker-chosen
+            // name past the bound.
             if let Some(i) = self.clients.iter().position(|c| c.name.is_empty()) {
                 return i;
             }
+            self.clients.push(ClientState::new("", burst));
+        } else {
+            self.clients.push(ClientState::new(client, burst));
         }
-        self.clients.push(ClientState::new(client, burst));
         self.clients.len() - 1
     }
 
@@ -232,15 +237,18 @@ impl<T> AdmissionQueue<T> {
         }
         let index = inner.client_index(client, burst);
         inner.clients[index].weight = weight.max(1);
+        // Capacity before the token bucket: a request shed on a full
+        // queue must not also burn a rate-limit token — the work was
+        // never admitted, so the client is not double-penalized.
+        if inner.len >= self.capacity {
+            inner.clients[index].shed += 1;
+            return Err(SubmitError::Full(item));
+        }
         if let Some(limit) = &self.rate_limit {
             if !inner.clients[index].take_token(limit) {
                 inner.clients[index].rate_limited += 1;
                 return Err(SubmitError::RateLimited(item));
             }
-        }
-        if inner.len >= self.capacity {
-            inner.clients[index].shed += 1;
-            return Err(SubmitError::Full(item));
         }
         inner.clients[index].items.push_back(item);
         inner.clients[index].admitted += 1;
@@ -394,6 +402,58 @@ mod tests {
         let b = stats.iter().find(|s| s.client == "b").unwrap();
         assert_eq!((a.admitted, a.shed), (1, 0));
         assert_eq!((b.admitted, b.shed), (0, 2), "shed is per-client now");
+    }
+
+    #[test]
+    fn client_table_is_bounded_under_name_cardinality_attack() {
+        let q = AdmissionQueue::new(2 * MAX_CLIENTS);
+        let extra = 100;
+        for i in 0..MAX_CLIENTS + extra {
+            let name = format!("spoofed-{i}");
+            q.try_submit_as(&name, 1, i).unwrap();
+        }
+        let stats = q.client_stats();
+        assert!(
+            stats.len() <= MAX_CLIENTS + 1,
+            "unique names must not grow the table past the bound (+ the fold entry), got {}",
+            stats.len()
+        );
+        // Overflow names all fold into the default entry...
+        let fold = stats.iter().find(|s| s.client.is_empty()).unwrap();
+        assert_eq!(fold.admitted, extra as u64);
+        // ...and nothing was lost.
+        let mut drained = 0;
+        while q.depth() > 0 {
+            q.dequeue().unwrap();
+            drained += 1;
+        }
+        assert_eq!(drained, MAX_CLIENTS + extra);
+    }
+
+    #[test]
+    fn full_queue_rejection_does_not_burn_a_token() {
+        let q = AdmissionQueue::with_rate_limit(
+            1,
+            Some(RateLimit {
+                rate_per_sec: 1e-9,
+                burst: 2.0,
+            }),
+        );
+        q.try_submit_as("c", 1, 1).unwrap(); // one token spent
+        assert!(matches!(
+            q.try_submit_as("c", 1, 2),
+            Err(SubmitError::Full(2))
+        ));
+        assert_eq!(q.dequeue(), Some(1));
+        // The full-queue rejection must not have cost the second
+        // token: this admission succeeds, and only then is the
+        // bucket empty.
+        q.try_submit_as("c", 1, 3).unwrap();
+        assert_eq!(q.dequeue(), Some(3));
+        assert!(matches!(
+            q.try_submit_as("c", 1, 4),
+            Err(SubmitError::RateLimited(4))
+        ));
     }
 
     #[test]

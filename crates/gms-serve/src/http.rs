@@ -112,8 +112,11 @@ pub(crate) fn http_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
         .peer_addr()
         .map(|a| a.to_string())
         .unwrap_or_else(|_| "unknown-peer".to_string());
+    // Bytes read past one request's body (a pipelined next request)
+    // carry over to the next `recv_request` instead of being dropped.
+    let mut carry: Vec<u8> = Vec::new();
     loop {
-        let request = match recv_request(&mut stream, shared) {
+        let request = match recv_request(&mut stream, shared, &mut carry) {
             Ok(request) => request,
             Err(RecvError::Done) => return,
             Err(RecvError::Timeout) => {
@@ -171,26 +174,35 @@ pub(crate) fn http_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
 
 /// Reads one complete request. Idle waiting between requests is
 /// unbounded (keep-alive), but once the first byte arrives the whole
-/// head+body must land within `shared.request_timeout`.
-fn recv_request(stream: &mut TcpStream, shared: &Arc<Shared>) -> Result<HttpRequest, RecvError> {
-    // Phase 0: wait for the first byte (poll so shutdown is noticed).
-    let mut probe = [0u8; 1];
-    loop {
-        match stream.peek(&mut probe) {
-            Ok(0) => return Err(RecvError::Done),
-            Ok(_) => break,
-            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
-                if !shared.running() {
-                    return Err(RecvError::Done);
+/// head+body must land within `shared.request_timeout`. `carry`
+/// seeds the parse with bytes already read past the previous body
+/// (pipelining) and receives this request's own overrun on return.
+fn recv_request(
+    stream: &mut TcpStream,
+    shared: &Arc<Shared>,
+    carry: &mut Vec<u8>,
+) -> Result<HttpRequest, RecvError> {
+    // Phase 0: wait for the first byte (poll so shutdown is noticed)
+    // — unless a pipelined request is already buffered.
+    if carry.is_empty() {
+        let mut probe = [0u8; 1];
+        loop {
+            match stream.peek(&mut probe) {
+                Ok(0) => return Err(RecvError::Done),
+                Ok(_) => break,
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    if !shared.running() {
+                        return Err(RecvError::Done);
+                    }
                 }
+                Err(_) => return Err(RecvError::Done),
             }
-            Err(_) => return Err(RecvError::Done),
         }
     }
     let deadline = Instant::now() + shared.request_timeout;
 
     // Phase 1: the head, terminated by CRLFCRLF.
-    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut buf: Vec<u8> = std::mem::take(carry);
     let head_end = loop {
         if let Some(pos) = find_head_end(&buf) {
             break pos;
@@ -237,7 +249,8 @@ fn recv_request(stream: &mut TcpStream, shared: &Arc<Shared>) -> Result<HttpRequ
     while buf.len() < content_length {
         read_some(stream, &mut buf, deadline)?;
     }
-    buf.truncate(content_length);
+    // Bytes past the body belong to the next pipelined request.
+    *carry = buf.split_off(content_length);
 
     let (path, query_str) = match target.split_once('?') {
         Some((p, q)) => (p.to_string(), q.to_string()),

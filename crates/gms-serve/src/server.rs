@@ -395,15 +395,34 @@ fn ndjson_connection(stream: TcpStream, shared: &Arc<Shared>) {
         stream: Arc::new(Mutex::new(stream)),
     };
     let mut reader = BufReader::new(read_half);
-    // Byte-oriented line assembly: unlike `read_line`, `read_until`
-    // keeps everything read so far in the buffer when a call ends in
-    // a timeout, even mid-multibyte-character — the poll below
-    // depends on partial lines surviving intact.
+    // Byte-oriented line assembly with the body cap enforced *while*
+    // bytes arrive: a newline-free stream is cut off at
+    // `max_body_bytes`, never materialized — the same
+    // reject-before-buffering guarantee the HTTP plane gets from
+    // Content-Length. Partial lines survive timeout polls intact,
+    // even mid-multibyte-character.
     let mut line: Vec<u8> = Vec::new();
+    // Set after a too-long line: the remainder is consumed without
+    // being stored, so memory stays bounded while the stream resyncs
+    // on the next newline.
+    let mut discarding = false;
     loop {
-        match reader.read_until(b'\n', &mut line) {
-            Ok(0) => break, // client closed
-            Ok(_) => {
+        if discarding {
+            match discard_line(&mut reader) {
+                Ok(true) => discarding = false, // resynced past the newline
+                Ok(false) => break,             // client closed
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    if !shared.running() {
+                        break;
+                    }
+                }
+                Err(_) => break,
+            }
+            continue;
+        }
+        match read_line_bounded(&mut reader, &mut line, shared.max_body_bytes) {
+            Ok(LineRead::Closed) => break,
+            Ok(LineRead::Line) => {
                 let keep_going = match std::str::from_utf8(&line) {
                     Ok(text) => handle_line(text.trim(), shared, &writer),
                     Err(_) => {
@@ -420,6 +439,21 @@ fn ndjson_connection(stream: TcpStream, shared: &Arc<Shared>) {
                     break;
                 }
             }
+            Ok(LineRead::TooLong) => {
+                shared.counters.malformed.fetch_add(1, Ordering::Relaxed);
+                writer.send(&error_json(
+                    &ApiError::new(
+                        ErrorCode::PayloadTooLarge,
+                        format!(
+                            "request line exceeds the {}-byte cap",
+                            shared.max_body_bytes
+                        ),
+                    ),
+                    None,
+                ));
+                line.clear();
+                discarding = true;
+            }
             // Timeout poll: `line` keeps any partial read; loop
             // appends the rest once it arrives.
             Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
@@ -428,6 +462,69 @@ fn ndjson_connection(stream: TcpStream, shared: &Arc<Shared>) {
                 }
             }
             Err(_) => break,
+        }
+    }
+}
+
+enum LineRead {
+    /// A full line (newline included) landed in the buffer.
+    Line,
+    /// The line under assembly outgrew `cap` before its newline.
+    TooLong,
+    /// EOF: the peer closed the connection.
+    Closed,
+}
+
+/// Appends bytes up to and including the next `\n` onto `line`,
+/// refusing to buffer more than `cap` bytes of a newline-free
+/// stream. Timeouts surface as errors with the partial line kept.
+fn read_line_bounded(
+    reader: &mut impl BufRead,
+    line: &mut Vec<u8>,
+    cap: usize,
+) -> std::io::Result<LineRead> {
+    loop {
+        let available = reader.fill_buf()?;
+        if available.is_empty() {
+            // EOF terminates a non-empty final line, like `read_until`.
+            return Ok(if line.is_empty() {
+                LineRead::Closed
+            } else {
+                LineRead::Line
+            });
+        }
+        if let Some(pos) = available.iter().position(|&b| b == b'\n') {
+            line.extend_from_slice(&available[..=pos]);
+            reader.consume(pos + 1);
+            return Ok(LineRead::Line);
+        }
+        let n = available.len();
+        line.extend_from_slice(available);
+        reader.consume(n);
+        if line.len() > cap {
+            return Ok(LineRead::TooLong);
+        }
+    }
+}
+
+/// Consumes bytes without storing them until a newline goes by.
+/// Returns `Ok(true)` once resynced, `Ok(false)` at EOF; timeouts
+/// surface as errors and the discard resumes on the next call.
+fn discard_line(reader: &mut impl BufRead) -> std::io::Result<bool> {
+    loop {
+        let available = reader.fill_buf()?;
+        if available.is_empty() {
+            return Ok(false);
+        }
+        match available.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                reader.consume(pos + 1);
+                return Ok(true);
+            }
+            None => {
+                let n = available.len();
+                reader.consume(n);
+            }
         }
     }
 }

@@ -875,6 +875,78 @@ fn oversized_bodies_are_rejected_before_materialization() {
     handle.join();
 }
 
+/// Abuse: a newline-free NDJSON stream is cut off at the body cap
+/// *while* it arrives — the server answers `payload-too-large`
+/// before the flood completes instead of buffering it whole, and the
+/// connection resyncs on the next newline.
+#[test]
+fn newline_free_ndjson_flood_is_bounded_and_resyncs() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+
+    let handle = Server::start(ServeConfig {
+        max_body_bytes: 1024,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    // Starts with '{' so the sniffer picks the NDJSON plane, then
+    // streams far past the cap without ever sending a newline.
+    let flood = vec![b'{'; 64 * 1024];
+    stream.write_all(&flood).unwrap();
+    stream.flush().unwrap();
+    // The error must come back while the line is still unterminated.
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut reply = String::new();
+    reader.read_line(&mut reply).unwrap();
+    assert!(
+        reply.contains("payload-too-large"),
+        "expected payload-too-large mid-flood, got: {reply}"
+    );
+    // Terminate the flooded line; the connection is resynced and
+    // serves well-formed requests again.
+    stream.write_all(b"\n{\"op\":\"health\"}\n").unwrap();
+    let mut reply = String::new();
+    reader.read_line(&mut reply).unwrap();
+    assert!(
+        reply.contains("\"serving\""),
+        "connection should resync after the flood, got: {reply}"
+    );
+
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.shutdown().unwrap();
+    handle.join();
+}
+
+/// Two pipelined requests written back-to-back in one packet both
+/// get answers: bytes read past the first body are carried into the
+/// next request's parse, not dropped.
+#[test]
+fn pipelined_http_requests_are_both_answered() {
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+
+    let handle = Server::start(ServeConfig::default()).unwrap();
+
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    stream
+        .write_all(
+            b"GET /v1/health HTTP/1.1\r\nHost: x\r\n\r\n\
+              GET /v1/health HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
+        )
+        .unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).unwrap(); // close arrives after both
+    let text = String::from_utf8_lossy(&raw);
+    let answers = text.matches("HTTP/1.1 200").count();
+    assert_eq!(answers, 2, "both pipelined requests answered: {text}");
+
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.shutdown().unwrap();
+    handle.join();
+}
+
 /// Acceptance: an over-deadline Bron-Kerbosch run on a large graph
 /// answers a typed `deadline-exceeded` in under 2x the deadline, and
 /// the worker it ran on is freed for the next request.
